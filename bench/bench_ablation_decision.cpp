@@ -1,0 +1,63 @@
+// Ablation A3: the dynamic offload decision (paper Fig. 3) on vs off.
+// With the input striped round-robin and no successive operation to
+// amortize a re-layout, DAS's decision engine *rejects* the offload and
+// serves the request as normal I/O — landing at TS performance — while a
+// dependence-unaware active storage that offloads anyway lands at NAS
+// performance. The decision is the difference.
+#include "bench_common.hpp"
+
+#include "core/scheme.hpp"
+
+int main(int argc, char** argv) {
+  using das::core::RunReport;
+  using das::core::Scheme;
+  namespace bench = das::bench;
+
+  bench::print_banner(
+      "Ablation A3: offload decision on vs off (round-robin input, "
+      "single operation)",
+      "dynamic DAS rejects the offload and matches TS; forced offload "
+      "pays the NAS penalty");
+
+  std::vector<bench::Cell> cells;
+  std::vector<das::runner::ShapeCheck> checks;
+
+  for (const std::string& kernel : das::runner::paper_kernels()) {
+    das::core::SchemeRunOptions o;
+    o.workload = das::runner::paper_workload(kernel, 24);
+    o.cluster = das::runner::paper_cluster(24);
+
+    // Dynamic DAS on a round-robin file, one operation, no pre-distribution.
+    o.scheme = Scheme::kDAS;
+    o.pre_distributed = false;
+    o.pipeline_length = 1;
+    const RunReport dynamic = das::core::run_scheme(o);
+
+    // Forced offload on the same file = the NAS scheme.
+    o.scheme = Scheme::kNAS;
+    const RunReport forced = das::core::run_scheme(o);
+
+    // The TS reference the decision should land on.
+    o.scheme = Scheme::kTS;
+    const RunReport ts = das::core::run_scheme(o);
+
+    cells.push_back({"A3/" + kernel + "/DAS-dynamic", dynamic});
+    cells.push_back({"A3/" + kernel + "/forced-offload", forced});
+    cells.push_back({"A3/" + kernel + "/TS", ts});
+
+    checks.push_back(das::runner::ShapeCheck{
+        "decision rejects the offload, " + kernel, "served as normal I/O",
+        dynamic.offloaded ? 1.0 : 0.0, !dynamic.offloaded});
+    checks.push_back(das::runner::ShapeCheck{
+        "dynamic DAS ~ TS, " + kernel, "within 5% of TS",
+        dynamic.exec_seconds / ts.exec_seconds,
+        dynamic.exec_seconds < ts.exec_seconds * 1.05});
+    checks.push_back(das::runner::ShapeCheck{
+        "forced offload pays the NAS penalty, " + kernel,
+        "well above dynamic DAS",
+        forced.exec_seconds / dynamic.exec_seconds,
+        forced.exec_seconds > dynamic.exec_seconds * 1.3});
+  }
+
+  return bench::finish(argc, argv, cells, checks);
+}

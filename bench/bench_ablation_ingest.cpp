@@ -1,0 +1,123 @@
+// Ablation A6: when to establish the DAS layout. Three strategies for a
+// dataset that a stencil pipeline will process:
+//  (1) ingest round-robin, serve normally (never re-lay-out),
+//  (2) ingest round-robin, re-lay-out at first use (runtime redistribution),
+//  (3) ingest directly into the DAS layout (pay only 2/r extra at load).
+// Cost = ingest + one flow-routing pass, on 12 GiB over 24 nodes.
+#include "bench_common.hpp"
+
+#include "core/as_client.hpp"
+#include "core/ingest.hpp"
+#include "core/scheme.hpp"
+#include "kernels/registry.hpp"
+
+namespace {
+
+using das::core::Scheme;
+
+/// Ingest with `layout`, then run flow-routing under `scheme`, in one
+/// simulation. Returns a report whose exec time covers both phases.
+das::core::RunReport ingest_then_run(
+    std::unique_ptr<das::pfs::Layout> layout, Scheme scheme,
+    bool pre_distributed_counts, double* ingest_seconds) {
+  das::core::SchemeRunOptions o;
+  o.workload = das::runner::paper_workload("flow-routing", 12);
+  o.cluster = das::runner::paper_cluster(24);
+  o.scheme = scheme;
+  o.pre_distributed = false;
+  o.pipeline_length = 1;
+
+  das::core::Cluster cluster(o.cluster);
+  das::core::Ingestor ingestor(cluster);
+  das::sim::SimTime ingest_done = -1;
+  const das::pfs::FileId input = ingestor.ingest(
+      o.workload.make_meta("input"), std::move(layout), nullptr,
+      [&] { ingest_done = cluster.simulator().now(); });
+  cluster.simulator().run();
+  DAS_REQUIRE(ingest_done >= 0);
+  if (ingest_seconds != nullptr) {
+    *ingest_seconds = das::sim::to_seconds(ingest_done);
+  }
+
+  // Process the freshly ingested file through the Active Storage Client
+  // (offload) or the TS executor (normal) in the same simulation.
+  const das::kernels::KernelRegistry registry =
+      das::kernels::standard_registry();
+  das::core::ActiveStorageClient client(cluster, registry, o.distribution);
+  das::core::ActiveRequest request;
+  request.input = input;
+  request.kernel_name = "flow-routing";
+  request.allow_redistribution = scheme == Scheme::kDAS;
+  request.pipeline_length = pre_distributed_counts ? 1 : 2;
+  das::sim::SimTime finished = -1;
+  client.submit(request, [&] { finished = cluster.simulator().now(); });
+  cluster.simulator().run();
+  DAS_REQUIRE(finished >= 0);
+
+  das::core::RunReport report;
+  report.scheme = to_string(scheme);
+  report.kernel = "ingest+flow-routing";
+  report.data_bytes = o.workload.data_bytes;
+  report.storage_nodes = o.cluster.storage_nodes;
+  report.compute_nodes = o.cluster.compute_nodes;
+  report.exec_seconds = das::sim::to_seconds(finished);
+  report.client_server_bytes = cluster.network().bytes_delivered(
+      das::net::TrafficClass::kClientServer);
+  report.server_server_bytes = cluster.network().bytes_delivered(
+      das::net::TrafficClass::kServerServer);
+  return report;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  namespace bench = das::bench;
+
+  bench::print_banner(
+      "Ablation A6: establishing the DAS layout at ingest vs at first use "
+      "(12 GiB + one flow-routing pass, 24 nodes)",
+      "ingest-into-DAS is cheapest end to end; runtime re-layout pays the "
+      "full move; never-re-laying-out pays TS every pass");
+
+  const std::uint32_t servers = 12;
+  std::vector<bench::Cell> cells;
+  std::vector<das::runner::ShapeCheck> checks;
+
+  double rr_ingest = 0.0, das_ingest = 0.0;
+  const auto never = ingest_then_run(
+      std::make_unique<das::pfs::RoundRobinLayout>(servers), Scheme::kTS,
+      true, &rr_ingest);
+  const auto relayout = ingest_then_run(
+      std::make_unique<das::pfs::RoundRobinLayout>(servers), Scheme::kDAS,
+      false, nullptr);
+  const auto at_ingest = ingest_then_run(
+      std::make_unique<das::pfs::DasReplicatedLayout>(servers, 16, 1),
+      Scheme::kDAS, true, &das_ingest);
+
+  cells.push_back({"A6/ingest-RR+serve-normal", never});
+  cells.push_back({"A6/ingest-RR+relayout", relayout});
+  cells.push_back({"A6/ingest-DAS", at_ingest});
+
+  std::printf("\nround-robin ingest: %.2f s; DAS-layout ingest: %.2f s "
+              "(+%.1f%%)\n",
+              rr_ingest, das_ingest,
+              100.0 * (das_ingest / rr_ingest - 1.0));
+
+  // Volume overhead is 2/r = 12.5%; the measured time overhead runs about
+  // twice that because a strip's window slot is held until every holder
+  // (primary + replica) has acked, so the slowest ack gates the pipeline.
+  checks.push_back(das::runner::ShapeCheck{
+      "DAS-layout ingest overhead", "small (2/r volume + ack gating)",
+      das_ingest / rr_ingest - 1.0,
+      das_ingest / rr_ingest - 1.0 < 0.35});
+  checks.push_back(das::runner::ShapeCheck{
+      "ingest-into-DAS beats runtime re-layout", "cheapest end to end",
+      at_ingest.exec_seconds / relayout.exec_seconds,
+      at_ingest.exec_seconds < relayout.exec_seconds});
+  checks.push_back(das::runner::ShapeCheck{
+      "ingest-into-DAS beats never-re-laying-out", "offload pays off",
+      at_ingest.exec_seconds / never.exec_seconds,
+      at_ingest.exec_seconds < never.exec_seconds});
+
+  return bench::finish(argc, argv, cells, checks);
+}

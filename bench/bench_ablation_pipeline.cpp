@@ -1,0 +1,64 @@
+// Ablation A4: amortizing the DAS re-layout over successive operations
+// (the paper's flow-routing -> flow-accumulation argument). Starting from a
+// round-robin file, a runtime redistribution is a loss for one operation
+// but pays for itself as the pipeline deepens, because every later stage
+// inherits the dependence-aware layout for free.
+#include "bench_common.hpp"
+
+#include "core/scheme.hpp"
+
+int main(int argc, char** argv) {
+  using das::core::RunReport;
+  using das::core::Scheme;
+  namespace bench = das::bench;
+
+  bench::print_banner(
+      "Ablation A4: re-layout cost amortized over pipeline depth "
+      "(round-robin start, 12 GiB, 24 nodes)",
+      "runtime redistribution loses at depth 1, wins from shallow depths on");
+
+  std::vector<bench::Cell> cells;
+  std::vector<das::runner::ShapeCheck> checks;
+
+  std::printf("\n%6s %12s %12s %10s\n", "depth", "DAS(s)", "TS(s)",
+              "DAS/TS");
+  double last_ratio = 0.0;
+  for (std::uint32_t depth = 1; depth <= 4; ++depth) {
+    std::vector<std::string> chain;
+    chain.push_back("flow-routing");
+    for (std::uint32_t i = 1; i < depth; ++i) {
+      chain.push_back("flow-accumulation");
+    }
+
+    das::core::SchemeRunOptions o;
+    o.workload = das::runner::paper_workload("flow-routing", 12);
+    o.cluster = das::runner::paper_cluster(24);
+    o.pre_distributed = false;
+
+    o.scheme = Scheme::kDAS;
+    const auto das_reports = das::core::run_pipeline(o, chain);
+    o.scheme = Scheme::kTS;
+    const auto ts_reports = das::core::run_pipeline(o, chain);
+
+    const RunReport& das_total = das_reports.back();
+    const RunReport& ts_total = ts_reports.back();
+    cells.push_back({"A4/DAS/depth" + std::to_string(depth), das_total});
+    cells.push_back({"A4/TS/depth" + std::to_string(depth), ts_total});
+
+    const double ratio = das_total.exec_seconds / ts_total.exec_seconds;
+    last_ratio = ratio;
+    std::printf("%6u %12.2f %12.2f %10.2f\n", depth,
+                das_total.exec_seconds, ts_total.exec_seconds, ratio);
+
+    if (depth == 1) {
+      checks.push_back(das::runner::ShapeCheck{
+          "depth 1: decision avoids a losing re-layout",
+          "DAS within ~10% of TS", ratio, ratio < 1.1});
+    }
+  }
+  checks.push_back(das::runner::ShapeCheck{
+      "deep pipelines amortize the re-layout", "DAS clearly ahead at depth 4",
+      last_ratio, last_ratio < 0.8});
+
+  return bench::finish(argc, argv, cells, checks);
+}

@@ -1,0 +1,58 @@
+// Ablation A1: replication-factor sweep. The paper's layout trades capacity
+// (2*halo/r overhead) against nothing at runtime — the halo is local for any
+// feasible r — but small r multiplies output-replica propagation and large r
+// coarsens parallelism. This bench sweeps r and reports execution time,
+// server-server traffic, and the measured capacity overhead.
+#include "bench_common.hpp"
+
+#include "core/scheme.hpp"
+
+int main(int argc, char** argv) {
+  using das::core::RunReport;
+  using das::core::Scheme;
+  namespace bench = das::bench;
+
+  bench::print_banner(
+      "Ablation A1: DAS group size r (capacity overhead 2/r vs traffic)",
+      "larger r shrinks replica traffic toward zero; all r beat TS");
+
+  std::vector<bench::Cell> cells;
+  std::vector<das::runner::ShapeCheck> checks;
+
+  const RunReport ts =
+      das::runner::run_cell(Scheme::kTS, "flow-routing", 24, 24);
+  cells.push_back({"A1/TS-baseline", ts});
+
+  std::printf("\n%6s %10s %14s %16s\n", "r", "time(s)", "srv-srv GiB",
+              "capacity +%");
+  double previous_srv = 1e30;
+  for (const std::uint64_t r : {4ULL, 8ULL, 16ULL, 32ULL, 64ULL}) {
+    das::core::SchemeRunOptions o;
+    o.scheme = Scheme::kDAS;
+    o.workload = das::runner::paper_workload("flow-routing", 24);
+    o.cluster = das::runner::paper_cluster(24);
+    o.distribution.group_size = r;
+    o.distribution.max_capacity_overhead = 1.0;  // let r alone control it
+    const RunReport rep = das::core::run_scheme(o);
+    cells.push_back({"A1/DAS/r" + std::to_string(r), rep});
+
+    const double overhead = 2.0 / static_cast<double>(r) * 100.0;
+    std::printf("%6llu %10.2f %14.3f %16.2f\n",
+                static_cast<unsigned long long>(r), rep.exec_seconds,
+                static_cast<double>(rep.server_server_bytes) / (1 << 30),
+                overhead);
+
+    checks.push_back(das::runner::ShapeCheck{
+        "DAS(r=" + std::to_string(r) + ") beats TS", "faster than TS",
+        rep.exec_seconds / ts.exec_seconds,
+        rep.exec_seconds < ts.exec_seconds});
+    checks.push_back(das::runner::ShapeCheck{
+        "replica traffic shrinks, r=" + std::to_string(r),
+        "monotone in 1/r",
+        static_cast<double>(rep.server_server_bytes) / (1 << 30),
+        static_cast<double>(rep.server_server_bytes) <= previous_srv});
+    previous_srv = static_cast<double>(rep.server_server_bytes);
+  }
+
+  return bench::finish(argc, argv, cells, checks);
+}

@@ -1,0 +1,65 @@
+// Ablation A7: iterative halo exchange. Flow accumulation converges through
+// repeated local passes with boundary exchange (the exact distributed
+// algorithm in kernels/flow_accumulation.*). Each extra round re-reads the
+// previous round's output with its halo — locally under the DAS layout,
+// over the network under round-robin (NAS). Expressed as a pipeline of R
+// accumulation stages, the per-round cost gap is the paper's argument
+// compounded: NAS pays ~2x the file in server-server traffic per round,
+// DAS pays only local disk plus the 2/r replica propagation.
+#include "bench_common.hpp"
+
+#include "core/scheme.hpp"
+
+int main(int argc, char** argv) {
+  using das::core::RunReport;
+  using das::core::Scheme;
+  namespace bench = das::bench;
+
+  bench::print_banner(
+      "Ablation A7: halo-exchange rounds (flow-accumulation x R, 12 GiB, "
+      "24 nodes)",
+      "per-round cost: NAS re-ships ~2x the file between servers every "
+      "round; DAS rounds are local");
+
+  std::vector<bench::Cell> cells;
+  std::vector<das::runner::ShapeCheck> checks;
+
+  std::printf("\n%7s %10s %10s %14s %14s\n", "rounds", "NAS(s)", "DAS(s)",
+              "NAS srv-srv", "DAS srv-srv");
+  double nas_prev = 0.0, das_prev = 0.0;
+  double nas_round_cost = 0.0, das_round_cost = 0.0;
+  for (std::uint32_t rounds = 1; rounds <= 4; ++rounds) {
+    const std::vector<std::string> chain(rounds, "flow-accumulation");
+    das::core::SchemeRunOptions o;
+    o.workload = das::runner::paper_workload("flow-accumulation", 12);
+    o.cluster = das::runner::paper_cluster(24);
+
+    o.scheme = Scheme::kNAS;
+    const RunReport nas = das::core::run_pipeline(o, chain).back();
+    o.scheme = Scheme::kDAS;
+    const RunReport das_r = das::core::run_pipeline(o, chain).back();
+    cells.push_back({"A7/NAS/rounds" + std::to_string(rounds), nas});
+    cells.push_back({"A7/DAS/rounds" + std::to_string(rounds), das_r});
+
+    std::printf("%7u %10.2f %10.2f %13.2fG %13.2fG\n", rounds,
+                nas.exec_seconds, das_r.exec_seconds,
+                static_cast<double>(nas.server_server_bytes) / (1 << 30),
+                static_cast<double>(das_r.server_server_bytes) / (1 << 30));
+    if (rounds > 1) {
+      nas_round_cost = nas.exec_seconds - nas_prev;
+      das_round_cost = das_r.exec_seconds - das_prev;
+    }
+    nas_prev = nas.exec_seconds;
+    das_prev = das_r.exec_seconds;
+  }
+
+  checks.push_back(das::runner::ShapeCheck{
+      "marginal round cost, NAS vs DAS",
+      "NAS round much dearer (network vs local disk)",
+      nas_round_cost / das_round_cost, nas_round_cost > 2.0 * das_round_cost});
+  checks.push_back(das::runner::ShapeCheck{
+      "DAS marginal round cost", "seconds, small",
+      das_round_cost, das_round_cost > 0.0});
+
+  return bench::finish(argc, argv, cells, checks);
+}

@@ -1,0 +1,75 @@
+// Ablation A5: straggler sensitivity. Active storage binds computation to
+// data placement, so one slow storage server gates the slabs it owns; TS's
+// bottleneck is the client links, which a slow server disk barely dents.
+// This sweep slows one of twelve servers by 1-8x and compares the relative
+// execution-time hit of DAS vs TS (flow-routing, 24 GiB, 24 nodes).
+#include "bench_common.hpp"
+
+#include "core/scheme.hpp"
+
+namespace {
+
+das::core::RunReport run_with_straggler(das::core::Scheme scheme,
+                                        double slowdown) {
+  das::core::SchemeRunOptions o;
+  o.scheme = scheme;
+  o.workload = das::runner::paper_workload("flow-routing", 24);
+  o.cluster = das::runner::paper_cluster(24);
+  o.cluster.straggler_count = slowdown > 1.0 ? 1 : 0;
+  o.cluster.straggler_slowdown = slowdown;
+  return das::core::run_scheme(o);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using das::core::RunReport;
+  using das::core::Scheme;
+  namespace bench = das::bench;
+
+  bench::print_banner(
+      "Ablation A5: one slow storage server (flow-routing, 24 GiB, 24 "
+      "nodes)",
+      "DAS degrades more than TS as the straggler slows: offloaded "
+      "compute is bound to data placement");
+
+  std::vector<bench::Cell> cells;
+  std::vector<das::runner::ShapeCheck> checks;
+
+  const double das_base = run_with_straggler(Scheme::kDAS, 1.0).exec_seconds;
+  const double ts_base = run_with_straggler(Scheme::kTS, 1.0).exec_seconds;
+
+  std::printf("\n%10s %12s %12s %12s %12s\n", "slowdown", "DAS(s)",
+              "DAS hit", "TS(s)", "TS hit");
+  for (const double slowdown : {1.0, 2.0, 4.0, 8.0}) {
+    const RunReport das_r = run_with_straggler(Scheme::kDAS, slowdown);
+    const RunReport ts = run_with_straggler(Scheme::kTS, slowdown);
+    cells.push_back({"A5/DAS/x" + std::to_string(static_cast<int>(slowdown)),
+                     das_r});
+    cells.push_back({"A5/TS/x" + std::to_string(static_cast<int>(slowdown)),
+                     ts});
+    const double das_hit = das_r.exec_seconds / das_base;
+    const double ts_hit = ts.exec_seconds / ts_base;
+    std::printf("%9.0fx %12.2f %11.2fx %12.2f %11.2fx\n", slowdown,
+                das_r.exec_seconds, das_hit, ts.exec_seconds, ts_hit);
+    if (slowdown >= 4.0) {
+      checks.push_back(das::runner::ShapeCheck{
+          "DAS hit exceeds TS hit at " +
+              std::to_string(static_cast<int>(slowdown)) + "x",
+          "active storage is placement-bound", das_hit / ts_hit,
+          das_hit > ts_hit});
+    }
+    if (slowdown == 2.0) {
+      // A mild straggler does not erase the layout advantage; by ~4x the
+      // placement-bound compute lets TS catch up (the crossover this
+      // ablation exists to expose).
+      checks.push_back(das::runner::ShapeCheck{
+          "DAS still beats TS at 2x",
+          "layout advantage survives a mild straggler",
+          das_r.exec_seconds / ts.exec_seconds,
+          das_r.exec_seconds < ts.exec_seconds});
+    }
+  }
+
+  return bench::finish(argc, argv, cells, checks);
+}

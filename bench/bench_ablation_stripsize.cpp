@@ -1,0 +1,73 @@
+// Ablation A2: strip-size sweep at a fixed raster geometry. The paper's
+// Eqs. 1-4 make locality depend on how dependence offsets land relative to
+// strip boundaries; this bench fixes the row width (1 MiB rows) and sweeps
+// the strip size, showing how NAS dependence traffic and the predictor's
+// per-element bwcost move together while DAS stays flat.
+#include "bench_common.hpp"
+
+#include "core/bandwidth_model.hpp"
+#include "core/scheme.hpp"
+#include "kernels/features.hpp"
+
+int main(int argc, char** argv) {
+  using das::core::RunReport;
+  using das::core::Scheme;
+  namespace bench = das::bench;
+
+  bench::print_banner(
+      "Ablation A2: strip size vs dependence traffic (rows fixed at 1 MiB)",
+      "small strips multiply NAS halo fetches (whole rows per strip); "
+      "DAS stays near zero at every strip size");
+
+  constexpr std::uint32_t kRowElements = (1U << 20) / 4 - 1;
+  std::vector<bench::Cell> cells;
+  std::vector<das::runner::ShapeCheck> checks;
+
+  std::printf("\n%12s %12s %14s %14s %14s\n", "strip", "NAS time",
+              "NAS srv-srv", "DAS srv-srv", "bwcost/elem");
+  for (const std::uint64_t strip :
+       {256ULL << 10, 512ULL << 10, 1ULL << 20, 2ULL << 20, 4ULL << 20}) {
+    das::core::SchemeRunOptions o;
+    o.workload.kernel_name = "flow-routing";
+    o.workload.data_bytes = 12ULL << 30;
+    o.workload.strip_size = strip;
+    o.workload.raster_width = kRowElements;
+    o.cluster = das::runner::paper_cluster(24);
+
+    o.scheme = Scheme::kNAS;
+    const RunReport nas = das::core::run_scheme(o);
+    o.scheme = Scheme::kDAS;
+    const RunReport das_r = das::core::run_scheme(o);
+    cells.push_back({"A2/NAS/strip" + std::to_string(strip >> 10) + "KiB",
+                     nas});
+    cells.push_back({"A2/DAS/strip" + std::to_string(strip >> 10) + "KiB",
+                     das_r});
+
+    const auto offsets =
+        das::kernels::eight_neighbor_pattern("flow-routing")
+            .resolve(kRowElements);
+    const double bwcost = das::core::bwcost_per_element(
+        offsets, 4, strip, das::core::PlacementSpec{12, 1, 0});
+
+    std::printf("%9lluKiB %11.2fs %13.2fG %13.2fG %14.3f\n",
+                static_cast<unsigned long long>(strip >> 10),
+                nas.exec_seconds,
+                static_cast<double>(nas.server_server_bytes) / (1 << 30),
+                static_cast<double>(das_r.server_server_bytes) / (1 << 30),
+                bwcost);
+
+    checks.push_back(das::runner::ShapeCheck{
+        "DAS beats NAS at strip " + std::to_string(strip >> 10) + " KiB",
+        "DAS faster", das_r.exec_seconds / nas.exec_seconds,
+        das_r.exec_seconds < nas.exec_seconds});
+    checks.push_back(das::runner::ShapeCheck{
+        "DAS dependence traffic small, strip " +
+            std::to_string(strip >> 10) + " KiB",
+        "srv-srv well below NAS",
+        static_cast<double>(das_r.server_server_bytes) /
+            static_cast<double>(nas.server_server_bytes),
+        das_r.server_server_bytes < nas.server_server_bytes / 2});
+  }
+
+  return bench::finish(argc, argv, cells, checks);
+}

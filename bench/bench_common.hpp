@@ -1,0 +1,81 @@
+// Shared plumbing for the table/figure reproduction benches.
+//
+// Each bench binary runs its simulation cells once in main, prints the
+// paper-shaped series plus the paper-vs-measured shape checks, and then
+// registers one google-benchmark entry per cell whose manual time is the
+// *simulated* execution time (iterations = 1, nothing is re-run), so the
+// standard benchmark output tabulates the same numbers.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/metrics.hpp"
+#include "runner/paper.hpp"
+
+namespace das::bench {
+
+struct Cell {
+  std::string label;
+  core::RunReport report;
+};
+
+inline void print_banner(const char* figure, const char* claim) {
+  std::printf("=====================================================\n");
+  std::printf("%s\n", figure);
+  std::printf("paper claim: %s\n", claim);
+  std::printf("=====================================================\n");
+}
+
+inline void register_cells(const std::vector<Cell>& cells) {
+  for (const Cell& cell : cells) {
+    const core::RunReport report = cell.report;
+    benchmark::RegisterBenchmark(
+        cell.label.c_str(),
+        [report](benchmark::State& state) {
+          for (auto _ : state) {
+          }
+          state.SetIterationTime(report.exec_seconds);
+          state.counters["sim_seconds"] = report.exec_seconds;
+          state.counters["cli_srv_GiB"] =
+              static_cast<double>(report.client_server_bytes) / (1 << 30);
+          state.counters["srv_srv_GiB"] =
+              static_cast<double>(report.server_server_bytes) / (1 << 30);
+          state.counters["bw_MiBps"] =
+              report.sustained_bandwidth_bps() / (1 << 20);
+        })
+        ->UseManualTime()
+        ->Iterations(1);
+  }
+}
+
+inline int finish(int argc, char** argv, const std::vector<Cell>& cells,
+                  const std::vector<runner::ShapeCheck>& checks) {
+  std::vector<core::RunReport> reports;
+  reports.reserve(cells.size());
+  for (const Cell& c : cells) reports.push_back(c.report);
+  std::printf("\n%s\n", core::format_report_table(reports).c_str());
+  if (!checks.empty()) {
+    std::printf("shape checks vs the paper:\n%s\n",
+                runner::format_checks(checks).c_str());
+  }
+  bool all_hold = true;
+  for (const auto& c : checks) all_hold = all_hold && c.holds;
+  if (!checks.empty()) {
+    std::printf("overall: %s\n\n",
+                all_hold ? "all shape checks hold"
+                         : "SOME SHAPE CHECKS FAILED");
+  }
+
+  register_cells(cells);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return all_hold ? 0 : 2;
+}
+
+}  // namespace das::bench

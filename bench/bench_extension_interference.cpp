@@ -1,0 +1,131 @@
+// Extension E2: job interference. Two jobs sharing the same storage
+// servers: like pairs pay roughly 2x (DAS+DAS share the disks and engines,
+// TS+TS share the links), and a mixed TS+DAS pair overlaps no better than
+// running the jobs back to back — the server disks sit on both paths. A
+// scheduling observation the paper's single-job evaluation cannot see.
+#include "bench_common.hpp"
+
+#include <algorithm>
+
+#include "core/as_client.hpp"
+#include "core/scheme.hpp"
+#include "core/ts_executor.hpp"
+#include "core/workload.hpp"
+#include "kernels/registry.hpp"
+
+namespace {
+
+using das::core::Scheme;
+
+/// Run one flow-routing job per entry of `schemes` (each on its own 6 GiB
+/// file) concurrently on one 24-node cluster; returns per-job finish times.
+std::vector<double> run_jobs(const std::vector<Scheme>& schemes) {
+  auto wl = das::runner::paper_workload("flow-routing", 6);
+  das::core::ClusterConfig cc = das::runner::paper_cluster(24);
+  cc.job_startup = 0;
+  das::core::Cluster cluster(cc);
+  const auto registry = das::kernels::standard_registry();
+  das::core::DistributionConfig distribution;
+  das::core::ActiveStorageClient client(cluster, registry, distribution);
+
+  const auto kernel = registry.create(wl.kernel_name);
+  const auto offsets = kernel->features().resolve(wl.width());
+  das::core::DistributionPlanner planner(distribution);
+
+  std::vector<double> finishes(schemes.size(), 0.0);
+  std::vector<std::unique_ptr<das::core::TsExecutor>> ts_execs;
+
+  for (std::size_t job = 0; job < schemes.size(); ++job) {
+    auto meta = wl.make_meta("input" + std::to_string(job));
+    std::unique_ptr<das::pfs::Layout> layout;
+    if (schemes[job] == Scheme::kDAS) {
+      layout = planner.plan(meta, offsets, cc.storage_nodes)->make_layout();
+    } else {
+      layout = std::make_unique<das::pfs::RoundRobinLayout>(cc.storage_nodes);
+    }
+    const auto input = cluster.pfs().create_file(meta, std::move(layout),
+                                                 nullptr);
+    double* finish = &finishes[job];
+    auto on_done = [&cluster, finish]() {
+      *finish = das::sim::to_seconds(cluster.simulator().now());
+    };
+    if (schemes[job] == Scheme::kDAS) {
+      das::core::ActiveRequest request;
+      request.input = input;
+      request.kernel_name = wl.kernel_name;
+      client.submit(request, on_done);
+    } else {
+      auto out_meta = meta;
+      out_meta.name += ".out";
+      const auto output = cluster.pfs().create_file(
+          out_meta,
+          std::make_unique<das::pfs::RoundRobinLayout>(cc.storage_nodes),
+          nullptr);
+      das::core::TsExecutor::Options opt{kernel.get(), 1, false};
+      ts_execs.push_back(
+          std::make_unique<das::core::TsExecutor>(cluster, opt));
+      ts_execs.back()->start(input, output, on_done);
+    }
+  }
+  cluster.simulator().run();
+  return finishes;
+}
+
+double makespan(const std::vector<double>& finishes) {
+  return *std::max_element(finishes.begin(), finishes.end());
+}
+
+das::core::RunReport as_report(const char* label, double seconds) {
+  das::core::RunReport r;
+  r.scheme = label;
+  r.kernel = "flow-routing x2";
+  r.data_bytes = 12ULL << 30;
+  r.storage_nodes = 12;
+  r.compute_nodes = 12;
+  r.exec_seconds = seconds;
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  namespace bench = das::bench;
+
+  bench::print_banner(
+      "Extension E2: two concurrent 6 GiB flow-routing jobs on one cluster",
+      "pairs of like jobs pay ~2x (shared disks or shared links); a mixed "
+      "TS+DAS pair overlaps no better than running the two jobs back to "
+      "back, because the server disks are common to both paths");
+
+  const double das_solo = makespan(run_jobs({Scheme::kDAS}));
+  const double ts_solo = makespan(run_jobs({Scheme::kTS}));
+  const double das_pair = makespan(run_jobs({Scheme::kDAS, Scheme::kDAS}));
+  const double ts_pair = makespan(run_jobs({Scheme::kTS, Scheme::kTS}));
+  const double mixed = makespan(run_jobs({Scheme::kTS, Scheme::kDAS}));
+
+  std::vector<bench::Cell> cells;
+  cells.push_back({"E2/DAS-solo", as_report("DAS", das_solo)});
+  cells.push_back({"E2/TS-solo", as_report("TS", ts_solo)});
+  cells.push_back({"E2/DAS+DAS", as_report("DASx2", das_pair)});
+  cells.push_back({"E2/TS+TS", as_report("TSx2", ts_pair)});
+  cells.push_back({"E2/TS+DAS", as_report("mixed", mixed)});
+
+  std::printf("\nsolo: DAS %.2f s, TS %.2f s\n", das_solo, ts_solo);
+  std::printf("pairs (makespan): DAS+DAS %.2f s, TS+TS %.2f s, TS+DAS "
+              "%.2f s\n",
+              das_pair, ts_pair, mixed);
+
+  std::vector<das::runner::ShapeCheck> checks;
+  checks.push_back(das::runner::ShapeCheck{
+      "DAS pair slowdown over solo", "~2x (shared disks/engines)",
+      das_pair / das_solo, das_pair > 1.5 * das_solo});
+  checks.push_back(das::runner::ShapeCheck{
+      "TS pair slowdown over solo", ">= 2x (shared links + incast)",
+      ts_pair / ts_solo, ts_pair > 1.9 * ts_solo});
+  checks.push_back(das::runner::ShapeCheck{
+      "mixed pair vs running both serially",
+      "no worse than back-to-back (shared disks limit overlap)",
+      mixed / (das_solo + ts_solo), mixed < 1.05 * (das_solo + ts_solo)});
+
+  return bench::finish(argc, argv, cells, checks);
+}

@@ -1,0 +1,56 @@
+// Extension E1: reduction offloading (raster-statistics). The active-disk
+// literature the paper builds on (Riedel et al., Keeton et al.) targets
+// scan/reduction kernels whose output is a few bytes: offloading always
+// wins there, and — with an empty dependence set — NAS and DAS coincide.
+// This bench quantifies that contrast with the paper's stencil kernels,
+// framing where dependence awareness does and does not matter.
+#include "bench_common.hpp"
+
+#include "core/scheme.hpp"
+
+int main(int argc, char** argv) {
+  using das::core::RunReport;
+  using das::core::Scheme;
+  namespace bench = das::bench;
+
+  bench::print_banner(
+      "Extension E1: reduction offloading (raster-statistics, 24 GiB, "
+      "24 nodes)",
+      "offloading crushes TS; NAS == DAS because there is no dependence");
+
+  std::vector<bench::Cell> cells;
+  std::vector<das::runner::ShapeCheck> checks;
+
+  RunReport by_scheme[3];
+  std::size_t i = 0;
+  for (const Scheme scheme : {Scheme::kNAS, Scheme::kDAS, Scheme::kTS}) {
+    das::core::SchemeRunOptions o;
+    o.scheme = scheme;
+    o.workload = das::runner::paper_workload("raster-statistics", 24);
+    o.cluster = das::runner::paper_cluster(24);
+    by_scheme[i] = das::core::run_scheme(o);
+    cells.push_back({std::string("E1/") + to_string(scheme), by_scheme[i]});
+    ++i;
+  }
+  const RunReport& nas = by_scheme[0];
+  const RunReport& das_r = by_scheme[1];
+  const RunReport& ts = by_scheme[2];
+
+  checks.push_back(das::runner::ShapeCheck{
+      "offload speedup over TS", "large (output is ~64 B)",
+      ts.exec_seconds / das_r.exec_seconds,
+      das_r.exec_seconds < 0.7 * ts.exec_seconds});
+  checks.push_back(das::runner::ShapeCheck{
+      "NAS/DAS time ratio", "~1.0 (no dependence to be aware of)",
+      nas.exec_seconds / das_r.exec_seconds,
+      std::abs(nas.exec_seconds / das_r.exec_seconds - 1.0) < 0.02});
+  checks.push_back(das::runner::ShapeCheck{
+      "active-scheme network traffic", "near zero (partials only)",
+      static_cast<double>(das_r.client_server_bytes +
+                          das_r.server_server_bytes) /
+          (1 << 20),
+      das_r.client_server_bytes + das_r.server_server_bytes <
+          (1ULL << 20) * 16});
+
+  return bench::finish(argc, argv, cells, checks);
+}

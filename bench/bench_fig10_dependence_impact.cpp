@@ -1,0 +1,43 @@
+// Fig. 10 reproduction: execution time of NAS vs TS for the three Table-I
+// kernels as the data size grows from 24 to 60 GB on 24 nodes (12 storage +
+// 12 compute). The paper's point: ignoring data dependence makes "normal"
+// active storage *slower* than traditional storage.
+#include "bench_common.hpp"
+
+#include "core/scheme.hpp"
+
+int main(int argc, char** argv) {
+  using das::core::RunReport;
+  using das::core::Scheme;
+  namespace bench = das::bench;
+
+  bench::print_banner(
+      "Fig. 10: Comparison of Execution Time for NAS and TS Schemes",
+      "NAS is much slower than TS for every kernel and size");
+
+  const std::vector<std::uint64_t> sizes{24, 36, 48, 60};
+  std::vector<bench::Cell> cells;
+  std::vector<das::runner::ShapeCheck> checks;
+
+  for (const std::string& kernel : das::runner::paper_kernels()) {
+    for (const std::uint64_t gib : sizes) {
+      const RunReport nas =
+          das::runner::run_cell(Scheme::kNAS, kernel, gib, 24);
+      const RunReport ts = das::runner::run_cell(Scheme::kTS, kernel, gib, 24);
+      cells.push_back({"Fig10/" + kernel + "/NAS/" + std::to_string(gib) +
+                           "GiB",
+                       nas});
+      cells.push_back({"Fig10/" + kernel + "/TS/" + std::to_string(gib) +
+                           "GiB",
+                       ts});
+      checks.push_back(das::runner::ShapeCheck{
+          "NAS/TS time ratio, " + kernel + ", " + std::to_string(gib) +
+              " GiB",
+          "NAS slower than TS (> 1.0)",
+          nas.exec_seconds / ts.exec_seconds,
+          nas.exec_seconds > ts.exec_seconds});
+    }
+  }
+
+  return bench::finish(argc, argv, cells, checks);
+}

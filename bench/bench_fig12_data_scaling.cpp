@@ -1,0 +1,64 @@
+// Fig. 12 reproduction: scalability with data size (24 -> 60 GB) for all
+// three schemes and kernels on 24 nodes. The paper reports DAS execution
+// time growing ~15% per +12 GB step on average while NAS and TS grow over
+// 30%.
+#include "bench_common.hpp"
+
+#include "core/scheme.hpp"
+
+namespace {
+
+double average_step_growth(const std::vector<double>& times) {
+  double total = 0.0;
+  for (std::size_t i = 1; i < times.size(); ++i) {
+    total += times[i] / times[i - 1] - 1.0;
+  }
+  return total / static_cast<double>(times.size() - 1);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using das::core::RunReport;
+  using das::core::Scheme;
+  namespace bench = das::bench;
+
+  bench::print_banner(
+      "Fig. 12: Execution Time of NAS, TS and DAS as Data Size Increases",
+      "DAS grows ~15% per +12 GB on average; NAS and TS grow over 30%");
+
+  const std::vector<std::uint64_t> sizes{24, 36, 48, 60};
+  std::vector<bench::Cell> cells;
+  std::vector<das::runner::ShapeCheck> checks;
+
+  for (const std::string& kernel : das::runner::paper_kernels()) {
+    std::vector<double> growth_by_scheme;
+    for (const Scheme scheme : {Scheme::kNAS, Scheme::kDAS, Scheme::kTS}) {
+      std::vector<double> times;
+      for (const std::uint64_t gib : sizes) {
+        const RunReport r = das::runner::run_cell(scheme, kernel, gib, 24);
+        cells.push_back({"Fig12/" + kernel + "/" + to_string(scheme) + "/" +
+                             std::to_string(gib) + "GiB",
+                         r});
+        times.push_back(r.exec_seconds);
+      }
+      growth_by_scheme.push_back(average_step_growth(times));
+    }
+
+    const double nas_growth = growth_by_scheme[0];
+    const double das_growth = growth_by_scheme[1];
+    const double ts_growth = growth_by_scheme[2];
+    checks.push_back(das::runner::ShapeCheck{
+        "DAS avg growth per +12 GiB, " + kernel, "~15% (lowest of the three)",
+        das_growth, das_growth < ts_growth && das_growth < nas_growth &&
+                        das_growth < 0.25});
+    checks.push_back(das::runner::ShapeCheck{
+        "TS avg growth per +12 GiB, " + kernel, "over 30% (higher than DAS)",
+        ts_growth, ts_growth > das_growth});
+    checks.push_back(das::runner::ShapeCheck{
+        "NAS avg growth per +12 GiB, " + kernel, "over 30%", nas_growth,
+        nas_growth > 0.25});
+  }
+
+  return bench::finish(argc, argv, cells, checks);
+}

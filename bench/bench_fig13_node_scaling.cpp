@@ -1,0 +1,55 @@
+// Fig. 13 reproduction: scalability with the number of nodes (24 -> 60,
+// half storage, half compute) at a fixed 60 GB data size, DAS vs TS. The
+// paper reports both schemes scaling, with execution time dropping ~15% per
+// +12 nodes and a similar trend for both.
+#include "bench_common.hpp"
+
+#include "core/scheme.hpp"
+
+int main(int argc, char** argv) {
+  using das::core::RunReport;
+  using das::core::Scheme;
+  namespace bench = das::bench;
+
+  bench::print_banner(
+      "Fig. 13: Execution Time as the Number of Nodes Increases",
+      "DAS and TS both scale; time falls with every +12 nodes");
+
+  const std::vector<std::uint32_t> node_counts{24, 36, 48, 60};
+  std::vector<bench::Cell> cells;
+  std::vector<das::runner::ShapeCheck> checks;
+
+  for (const std::string& kernel : das::runner::paper_kernels()) {
+    std::vector<double> das_times, ts_times;
+    for (const Scheme scheme : {Scheme::kDAS, Scheme::kTS}) {
+      std::vector<double>& times =
+          scheme == Scheme::kDAS ? das_times : ts_times;
+      for (const std::uint32_t nodes : node_counts) {
+        const RunReport r = das::runner::run_cell(scheme, kernel, 60, nodes);
+        cells.push_back({"Fig13/" + kernel + "/" + to_string(scheme) + "/" +
+                             std::to_string(nodes) + "nodes",
+                         r});
+        times.push_back(r.exec_seconds);
+      }
+      bool monotone = true;
+      for (std::size_t i = 1; i < times.size(); ++i) {
+        monotone = monotone && times[i] < times[i - 1];
+      }
+      checks.push_back(das::runner::ShapeCheck{
+          std::string(to_string(scheme)) + " scales with nodes, " + kernel,
+          "time falls 24 -> 60 nodes", times.back() / times.front(),
+          monotone});
+    }
+
+    // The paper stresses DAS stays ahead of TS at every cluster size.
+    for (std::size_t i = 0; i < node_counts.size(); ++i) {
+      checks.push_back(das::runner::ShapeCheck{
+          "DAS/TS at " + std::to_string(node_counts[i]) + " nodes, " +
+              kernel,
+          "DAS faster (< 1.0)", das_times[i] / ts_times[i],
+          das_times[i] < ts_times[i]});
+    }
+  }
+
+  return bench::finish(argc, argv, cells, checks);
+}

@@ -1,0 +1,51 @@
+// Fig. 14 reproduction: normalized sustained bandwidth of the flow-routing
+// operation under NAS, DAS and TS (TS = 1.0) for data sizes 24 -> 48 GB on
+// 24 nodes. The paper reports DAS improving sustained bandwidth by nearly
+// one fold over TS, with NAS below TS.
+#include "bench_common.hpp"
+
+#include "core/scheme.hpp"
+
+int main(int argc, char** argv) {
+  using das::core::RunReport;
+  using das::core::Scheme;
+  namespace bench = das::bench;
+
+  bench::print_banner(
+      "Fig. 14: Normalized Sustained Bandwidth (flow-routing)",
+      "DAS ~2x TS; NAS below TS, at every data size");
+
+  const std::vector<std::uint64_t> sizes{24, 36, 48};
+  std::vector<bench::Cell> cells;
+  std::vector<das::runner::ShapeCheck> checks;
+
+  std::printf("\nnormalized sustained bandwidth (TS = 1.0):\n");
+  std::printf("%8s %8s %8s %8s\n", "GiB", "NAS", "DAS", "TS");
+  for (const std::uint64_t gib : sizes) {
+    const RunReport nas =
+        das::runner::run_cell(Scheme::kNAS, "flow-routing", gib, 24);
+    const RunReport das_r =
+        das::runner::run_cell(Scheme::kDAS, "flow-routing", gib, 24);
+    const RunReport ts =
+        das::runner::run_cell(Scheme::kTS, "flow-routing", gib, 24);
+    cells.push_back({"Fig14/NAS/" + std::to_string(gib) + "GiB", nas});
+    cells.push_back({"Fig14/DAS/" + std::to_string(gib) + "GiB", das_r});
+    cells.push_back({"Fig14/TS/" + std::to_string(gib) + "GiB", ts});
+
+    const double base = ts.sustained_bandwidth_bps();
+    const double nas_norm = nas.sustained_bandwidth_bps() / base;
+    const double das_norm = das_r.sustained_bandwidth_bps() / base;
+    std::printf("%8llu %8.2f %8.2f %8.2f\n",
+                static_cast<unsigned long long>(gib), nas_norm, das_norm,
+                1.0);
+
+    checks.push_back(das::runner::ShapeCheck{
+        "DAS normalized bandwidth, " + std::to_string(gib) + " GiB",
+        "well above TS (~2x)", das_norm, das_norm > 1.4});
+    checks.push_back(das::runner::ShapeCheck{
+        "NAS normalized bandwidth, " + std::to_string(gib) + " GiB",
+        "below TS (< 1.0)", nas_norm, nas_norm < 1.0});
+  }
+
+  return bench::finish(argc, argv, cells, checks);
+}

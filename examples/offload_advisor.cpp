@@ -1,0 +1,141 @@
+// Offload advisor: drive the bandwidth predictor and decision engine
+// directly (no simulation) for a workload you describe on the command line
+// or with a Kernel Features record (the paper's §III-B text format).
+//
+//   offload_advisor [--gib=24] [--servers=12] [--strip-kib=1024]
+//                   [--width=262143] [--pipeline=1]
+//                   [--pattern=8-neighbor|4-neighbor]
+//                   [--stride=<elements>]        (overrides --pattern)
+//                   [--features-file=<path> --op=<name>]  (overrides both:
+//                    read a Kernel Features catalog in the paper's text
+//                    format and analyze the named operator)
+//
+// Prints the per-element bandwidth cost (Eq. 5), the literal Eq.-17 check,
+// the traffic forecast under round-robin and under the planned DAS layout,
+// and the decision the Active Storage Client would take.
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "core/decision.hpp"
+#include "kernels/catalog.hpp"
+#include "kernels/features.hpp"
+#include "runner/args.hpp"
+
+int main(int argc, char** argv) {
+  using namespace das;
+
+  const runner::Args args(argc, argv);
+  const auto gib = static_cast<std::uint64_t>(args.get_int("gib", 24));
+  const auto servers =
+      static_cast<std::uint32_t>(args.get_int("servers", 12));
+  const auto strip =
+      static_cast<std::uint64_t>(args.get_int("strip-kib", 1024)) << 10;
+  const auto width = static_cast<std::uint32_t>(
+      args.get_int("width", static_cast<std::int64_t>(strip / 4) - 1));
+  const auto pipeline =
+      static_cast<std::uint32_t>(args.get_int("pipeline", 1));
+  const std::string pattern = args.get("pattern", "8-neighbor");
+  const std::int64_t stride = args.get_int("stride", 0);
+  const std::string features_file = args.get("features-file", "");
+  const std::string op = args.get("op", "");
+  if (const std::string u = args.unused(); !u.empty()) {
+    std::cerr << "unknown flags: " << u << "\n";
+    return 2;
+  }
+
+  kernels::KernelFeatures features;
+  if (!features_file.empty()) {
+    std::ifstream in(features_file);
+    if (!in) {
+      std::cerr << "cannot read " << features_file << "\n";
+      return 1;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    const auto catalog = kernels::FeaturesCatalog::from_text(text.str());
+    const auto record = catalog.lookup(op);
+    if (!record) {
+      std::cerr << "operator '" << op << "' not in " << features_file
+                << " (records: " << catalog.size() << ")\n";
+      return 1;
+    }
+    features = *record;
+  } else if (stride != 0) {
+    features.name = "custom-stride";
+    features.dependence = {kernels::SymbolicOffset{0, -stride},
+                           kernels::SymbolicOffset{0, stride}};
+  } else if (pattern == "4-neighbor") {
+    features = kernels::four_neighbor_pattern("advisor-op");
+  } else {
+    features = kernels::eight_neighbor_pattern("advisor-op");
+  }
+
+  pfs::FileMeta meta;
+  meta.name = "dataset";
+  meta.size_bytes = gib << 30;
+  meta.element_size = 4;
+  meta.strip_size = strip;
+  meta.raster_width = width;
+  meta.raster_height = static_cast<std::uint32_t>(
+      meta.size_bytes / (static_cast<std::uint64_t>(width) * 4));
+
+  std::printf("Kernel Features record under analysis:\n%s\n",
+              features.format().c_str());
+
+  const auto offsets = features.resolve(width);
+  const core::PlacementSpec round_robin{servers, 1, 0};
+
+  std::printf("file: %llu GiB, %u servers, %llu KiB strips, width %u\n\n",
+              static_cast<unsigned long long>(gib), servers,
+              static_cast<unsigned long long>(strip >> 10), width);
+
+  const double bwcost =
+      core::bwcost_per_element(offsets, 4, strip, round_robin);
+  std::printf("Eq. 5 bandwidth cost per element (round-robin): %.3f B\n",
+              bwcost);
+
+  const std::uint64_t reach =
+      core::required_halo_strips(offsets, 4, strip);
+  std::printf("dependence reach: %llu strip(s) of halo per side\n",
+              static_cast<unsigned long long>(reach));
+  if (stride != 0) {
+    const bool eq17 = core::paper_locality_criterion(
+        static_cast<std::uint64_t>(stride < 0 ? -stride : stride), 4, strip,
+        1, servers);
+    std::printf("paper Eq. 17 on round-robin: %s\n",
+                eq17 ? "local" : "not local");
+  }
+
+  const auto rr_forecast =
+      core::forecast_traffic(meta, offsets, round_robin, meta.size_bytes);
+  std::printf("\nround-robin forecast: offload moves %.2f GiB "
+              "(vs %.2f GiB critical-path for normal I/O) -> %s\n",
+              static_cast<double>(rr_forecast.active_total_bytes()) /
+                  (1 << 30),
+              static_cast<double>(rr_forecast.normal_critical_bytes) /
+                  (1 << 30),
+              rr_forecast.offload_beneficial() ? "offload" : "reject");
+
+  const core::DistributionConfig distribution;
+  const core::DecisionEngine engine(distribution);
+  const auto layout = round_robin.make_layout();
+  const core::Decision decision =
+      engine.decide(meta, *layout, features, meta.size_bytes, pipeline);
+
+  std::printf("\ndecision (pipeline depth %u): %s\n", pipeline,
+              to_string(decision.action));
+  if (decision.target) {
+    std::printf("planned layout: r=%llu, halo=%llu (capacity overhead "
+                "%.1f%%), re-layout moves %.2f GiB\n",
+                static_cast<unsigned long long>(decision.target->group_size),
+                static_cast<unsigned long long>(decision.target->halo),
+                200.0 * static_cast<double>(decision.target->halo) /
+                    static_cast<double>(decision.target->group_size),
+                static_cast<double>(decision.redistribution_bytes) /
+                    (1 << 30));
+  }
+  std::printf("rationale: %s\n", decision.rationale.c_str());
+  return 0;
+}

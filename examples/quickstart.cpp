@@ -1,0 +1,52 @@
+// Quickstart: run the paper's three schemes (TS, NAS, DAS) on one kernel
+// and print the resulting execution times, traffic split and the DAS
+// offload decision.
+//
+//   quickstart [--kernel=flow-routing] [--gib=6] [--nodes=8]
+//
+// TS ships the data to the compute nodes; NAS offloads onto round-robin
+// striping and drowns in dependence traffic; DAS offloads onto the
+// dependence-aware replicated layout. Expect DAS < TS < NAS.
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "core/metrics.hpp"
+#include "core/scheme.hpp"
+#include "runner/args.hpp"
+#include "runner/paper.hpp"
+
+int main(int argc, char** argv) {
+  using das::core::RunReport;
+  using das::core::Scheme;
+
+  const das::runner::Args args(argc, argv);
+  const std::string kernel = args.get("kernel", "flow-routing");
+  const auto gib = static_cast<std::uint64_t>(args.get_int("gib", 6));
+  const auto nodes = static_cast<std::uint32_t>(args.get_int("nodes", 8));
+  if (const std::string u = args.unused(); !u.empty()) {
+    std::cerr << "unknown flags: " << u << "\n";
+    return 2;
+  }
+
+  std::printf("Dynamic Active Storage quickstart: %s over %llu GiB on %u "
+              "nodes (%u storage + %u compute)\n\n",
+              kernel.c_str(), static_cast<unsigned long long>(gib), nodes,
+              nodes / 2, nodes / 2);
+
+  std::vector<RunReport> reports;
+  for (const Scheme scheme : {Scheme::kNAS, Scheme::kDAS, Scheme::kTS}) {
+    reports.push_back(das::runner::run_cell(scheme, kernel, gib, nodes));
+  }
+  std::cout << das::core::format_report_table(reports);
+
+  const RunReport& nas = reports[0];
+  const RunReport& das_r = reports[1];
+  const RunReport& ts = reports[2];
+  std::printf("\nDAS vs TS : %5.1f%% faster (paper: over 30%%)\n",
+              100.0 * (1.0 - das_r.exec_seconds / ts.exec_seconds));
+  std::printf("DAS vs NAS: %5.1f%% faster (paper: over 60%%)\n",
+              100.0 * (1.0 - das_r.exec_seconds / nas.exec_seconds));
+  std::printf("\nDAS decision: %s\n", das_r.decision_note.c_str());
+  return 0;
+}

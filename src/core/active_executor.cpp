@@ -1,0 +1,302 @@
+#include "core/active_executor.hpp"
+
+#include <cstring>
+#include <utility>
+
+#include "simkit/assert.hpp"
+
+namespace das::core {
+
+struct ActiveExecutor::RunState {
+  pfs::LocalRun run;
+  /// Strip coverage of the assembled buffer, inclusive: the run's strips,
+  /// its locally stored halo, plus whatever halo was fetched remotely.
+  std::uint64_t buf_lo = 0, buf_hi = 0;
+  std::vector<std::byte> buffer;  // data mode only
+  std::uint64_t inputs_pending = 0;
+  bool started = false;
+  bool finished = false;
+};
+
+struct ActiveExecutor::ServerTask {
+  pfs::ServerIndex server = 0;
+  net::NodeId node = net::kInvalidNode;
+  pfs::FileId input = pfs::kInvalidFile;
+  pfs::FileId output = pfs::kInvalidFile;
+  std::vector<RunState> runs;
+  std::size_t next_run = 0;
+  std::size_t running = 0;
+  BarrierPtr barrier;  // one arrival per completed run
+};
+
+ActiveExecutor::ActiveExecutor(Cluster& cluster, const Options& options)
+    : cluster_(cluster), options_(options) {
+  DAS_REQUIRE(options.kernel != nullptr);
+  DAS_REQUIRE(!(options.data_mode && options.kernel->is_reduction()));
+}
+
+void ActiveExecutor::start(pfs::FileId input, pfs::FileId output,
+                           std::function<void()> on_done) {
+  // Reductions produce no output file; raster kernels need one of the same
+  // size as the input.
+  DAS_REQUIRE(options_.kernel->is_reduction() ||
+              cluster_.pfs().meta(output).size_bytes ==
+                  cluster_.pfs().meta(input).size_bytes);
+  const BarrierPtr barrier = make_barrier(std::move(on_done));
+  for (pfs::ServerIndex s = 0; s < cluster_.pfs().num_servers(); ++s) {
+    start_server(s, input, output, barrier);
+  }
+  barrier->seal();
+}
+
+void ActiveExecutor::start_server(pfs::ServerIndex server, pfs::FileId input,
+                                  pfs::FileId output,
+                                  const BarrierPtr& barrier) {
+  const pfs::LocalIo lio(cluster_.pfs(), server, input,
+                         options_.halo_strips);
+  if (lio.runs().empty()) return;
+
+  auto task = std::make_shared<ServerTask>();
+  task->server = server;
+  task->node = cluster_.storage_node(server);
+  task->input = input;
+  task->output = output;
+  task->barrier = barrier;
+  task->runs.reserve(lio.runs().size());
+  for (const pfs::LocalRun& run : lio.runs()) {
+    RunState rs;
+    rs.run = run;
+    task->runs.push_back(std::move(rs));
+  }
+  barrier->add(task->runs.size());
+  tasks_.push_back(task);
+  pump(task);
+}
+
+void ActiveExecutor::pump(const std::shared_ptr<ServerTask>& task) {
+  const std::uint32_t window = cluster_.config().pipeline_window;
+  while (task->running < window && task->next_run < task->runs.size()) {
+    start_run(task, task->next_run++);
+  }
+}
+
+void ActiveExecutor::start_run(const std::shared_ptr<ServerTask>& task,
+                               std::size_t index) {
+  RunState& rs = task->runs[index];
+  DAS_REQUIRE(!rs.started);
+  rs.started = true;
+  ++task->running;
+
+  const pfs::FileMeta& meta = cluster_.pfs().meta(task->input);
+  const pfs::Layout& layout = cluster_.pfs().layout(task->input);
+  const std::uint64_t num_strips = meta.num_strips();
+  pfs::PfsServer& self = cluster_.pfs().server(task->server);
+  sim::Simulator& simulator = cluster_.simulator();
+
+  // Buffer coverage: run strips + every halo strip that exists in the file
+  // (local replicas read from disk; the rest fetched from remote servers).
+  const pfs::LocalRun& run = rs.run;
+  const std::uint64_t wanted = options_.halo_strips;
+  rs.buf_lo = run.first_strip >= wanted ? run.first_strip - wanted : 0;
+  rs.buf_hi = std::min(num_strips - 1, run.last_strip + wanted);
+
+  if (options_.data_mode) {
+    const std::uint64_t base = meta.strip(rs.buf_lo).offset;
+    const pfs::StripRef last = meta.strip(rs.buf_hi);
+    rs.buffer.assign(last.offset + last.length - base, std::byte{0});
+  }
+
+  // One pending input per strip in the buffer.
+  rs.inputs_pending = rs.buf_hi - rs.buf_lo + 1;
+
+  auto input_arrived = [this, task, index]() {
+    RunState& state = task->runs[index];
+    DAS_REQUIRE(state.inputs_pending > 0);
+    if (--state.inputs_pending == 0) compute_and_write(task, state);
+  };
+
+  const std::uint64_t base = meta.strip(rs.buf_lo).offset;
+  for (std::uint64_t s = rs.buf_lo; s <= rs.buf_hi; ++s) {
+    const pfs::StripRef ref = meta.strip(s);
+    if (self.store().has(task->input, s)) {
+      // Local strip (own or replica): one disk read.
+      const sim::SimTime done = self.read_local(task->input, s);
+      if (options_.data_mode) {
+        const auto& bytes = self.store().bytes(task->input, s);
+        DAS_REQUIRE(bytes.size() == ref.length);
+        std::memcpy(task->runs[index].buffer.data() + (ref.offset - base),
+                    bytes.data(), bytes.size());
+      }
+      simulator.schedule_at(done, input_arrived, "as.local_read");
+    } else {
+      // Remote halo strip: request it from its primary server. This is the
+      // dependence traffic (and the service load on the peer) that NAS pays.
+      ++halo_strips_fetched_;
+      halo_bytes_fetched_ += ref.length;
+      const pfs::ServerIndex source = layout.primary(s);
+      DAS_REQUIRE(source != task->server);
+      pfs::PfsServer& peer = cluster_.pfs().server(source);
+      cluster_.network().send_control(
+          task->node, peer.node(),
+          [this, task, index, &peer, s, ref, base, input_arrived]() {
+            peer.serve_read(
+                task->input, s, 0, ref.length, task->node,
+                net::TrafficClass::kServerServer,
+                [this, task, index, ref, base,
+                 input_arrived](std::vector<std::byte> payload) {
+                  if (options_.data_mode) {
+                    DAS_REQUIRE(payload.size() == ref.length);
+                    std::memcpy(
+                        task->runs[index].buffer.data() + (ref.offset - base),
+                        payload.data(), payload.size());
+                  }
+                  input_arrived();
+                });
+          });
+    }
+  }
+}
+
+void ActiveExecutor::compute_and_write(const std::shared_ptr<ServerTask>& task,
+                                       RunState& rs) {
+  const pfs::FileMeta& meta = cluster_.pfs().meta(task->input);
+  pfs::PfsServer& self = cluster_.pfs().server(task->server);
+  sim::Simulator& simulator = cluster_.simulator();
+
+  // Processing cost covers the run's own strips.
+  std::uint64_t own_bytes = 0;
+  for (std::uint64_t s = rs.run.first_strip; s <= rs.run.last_strip; ++s) {
+    own_bytes += meta.strip(s).length;
+  }
+  const sim::SimTime computed = cluster_.engine(task->node).execute(
+      simulator.now(), own_bytes, options_.kernel->cost_factor());
+
+  if (options_.kernel->is_reduction()) {
+    // Ship the partial result (a few dozen bytes) to the requesting client;
+    // the run completes when it arrives.
+    simulator.schedule_at(
+        computed,
+        [this, task, &rs]() {
+          cluster_.network().send(net::Message{
+              task->node, cluster_.compute_node(0),
+              options_.kernel->reduction_result_bytes(),
+              net::TrafficClass::kClientServer, [this, task, &rs]() {
+                DAS_REQUIRE(!rs.finished);
+                rs.finished = true;
+                DAS_REQUIRE(task->running > 0);
+                --task->running;
+                task->barrier->arrive();
+                pump(task);
+              }});
+        },
+        "as.reduce_result");
+    return;
+  }
+
+  const pfs::FileMeta& out_meta = cluster_.pfs().meta(task->output);
+  const pfs::Layout& out_layout = cluster_.pfs().layout(task->output);
+  const std::uint64_t out_strips = out_meta.num_strips();
+
+  simulator.schedule_at(
+      computed,
+      [this, task, &rs, &self, out_meta, &out_layout, out_strips, meta]() {
+        // Produce the output slab (host-level) in data mode.
+        std::vector<std::byte> out_bytes;
+        const std::uint64_t own_begin =
+            out_meta.strip(rs.run.first_strip).offset;
+        if (options_.data_mode) {
+          const std::uint64_t row_bytes =
+              static_cast<std::uint64_t>(meta.raster_width) *
+              meta.element_size;
+          const std::uint64_t base = meta.strip(rs.buf_lo).offset;
+          const pfs::StripRef own_last = meta.strip(rs.run.last_strip);
+          DAS_REQUIRE(base % row_bytes == 0);
+          DAS_REQUIRE(own_begin % row_bytes == 0);
+          DAS_REQUIRE((own_last.offset + own_last.length) % row_bytes == 0);
+          DAS_REQUIRE(rs.buffer.size() % row_bytes == 0);
+
+          const auto buf_row0 =
+              static_cast<std::uint32_t>(base / row_bytes);
+          const auto out_row0 =
+              static_cast<std::uint32_t>(own_begin / row_bytes);
+          const auto out_row1 = static_cast<std::uint32_t>(
+              (own_last.offset + own_last.length) / row_bytes);
+          const auto buf_rows =
+              static_cast<std::uint32_t>(rs.buffer.size() / row_bytes);
+
+          grid::Grid<float> buf(meta.raster_width, buf_rows);
+          std::memcpy(buf.data(), rs.buffer.data(), rs.buffer.size());
+          grid::Grid<float> out(meta.raster_width, out_row1 - out_row0);
+          options_.kernel->run_tile(buf, buf_row0, meta.raster_height,
+                                    out_row0, out_row1, out);
+          out_bytes.resize(out.size() * sizeof(float));
+          std::memcpy(out_bytes.data(), out.data(), out_bytes.size());
+        }
+
+        // Completion of this run: local writes + every replica propagation.
+        auto run_done = make_barrier([this, task, &rs]() {
+          DAS_REQUIRE(!rs.finished);
+          rs.finished = true;
+          rs.buffer.clear();
+          rs.buffer.shrink_to_fit();
+          DAS_REQUIRE(task->running > 0);
+          --task->running;
+          task->barrier->arrive();
+          pump(task);
+        });
+
+        sim::SimTime last_local_write = cluster_.simulator().now();
+        for (std::uint64_t s = rs.run.first_strip; s <= rs.run.last_strip;
+             ++s) {
+          const pfs::StripRef ref = out_meta.strip(s);
+          std::vector<std::byte> payload;
+          if (options_.data_mode) {
+            payload.assign(
+                out_bytes.begin() +
+                    static_cast<std::ptrdiff_t>(ref.offset - own_begin),
+                out_bytes.begin() +
+                    static_cast<std::ptrdiff_t>(ref.offset - own_begin +
+                                                ref.length));
+          }
+          last_local_write = std::max(
+              last_local_write,
+              self.write_local(task->output, ref, std::move(payload)));
+
+          // Output halo replicas travel to the neighbouring servers.
+          for (const pfs::ServerIndex rep : out_layout.replicas(s, out_strips)) {
+            if (rep == task->server) continue;
+            pfs::PfsServer& peer = cluster_.pfs().server(rep);
+            std::vector<std::byte> copy;
+            if (options_.data_mode) {
+              copy.assign(out_bytes.begin() + static_cast<std::ptrdiff_t>(
+                                                  ref.offset - own_begin),
+                          out_bytes.begin() +
+                              static_cast<std::ptrdiff_t>(ref.offset -
+                                                          own_begin +
+                                                          ref.length));
+            }
+            run_done->add();
+            cluster_.network().send(net::Message{
+                task->node, peer.node(), ref.length,
+                net::TrafficClass::kServerServer,
+                [this, &peer, task, ref, copy = std::move(copy),
+                 run_done]() mutable {
+                  const sim::SimTime written = peer.write_local(
+                      task->output, ref, std::move(copy));
+                  cluster_.simulator().schedule_at(
+                      written, [run_done]() { run_done->arrive(); },
+                      "as.replica_write");
+                }});
+          }
+        }
+
+        run_done->add();
+        cluster_.simulator().schedule_at(
+            last_local_write, [run_done]() { run_done->arrive(); },
+            "as.local_write");
+        run_done->seal();
+      },
+      "as.compute");
+}
+
+}  // namespace das::core

@@ -1,0 +1,74 @@
+// Active-storage scheme executor (shared by NAS and DAS).
+//
+// Every storage server processes the strips it owns (the AS helper process
+// invoking the kernel through the Local I/O API). The difference between
+// NAS and DAS is entirely in the layout of the input file:
+//  * round-robin (NAS): the dependence halo of every run is on other
+//    servers, so the server fetches those strips remotely — the dependence
+//    traffic and service load the paper identifies;
+//  * DAS-replicated: the halo is a locally stored replica, so no
+//    server-to-server input traffic occurs at all.
+// Output strips are written locally; output halo replicas are propagated to
+// the neighbouring servers (honest accounting of the DAS layout's write
+// cost).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/cluster.hpp"
+#include "core/completion.hpp"
+#include "kernels/kernel.hpp"
+#include "pfs/file.hpp"
+#include "pfs/local_io.hpp"
+
+namespace das::core {
+
+class ActiveExecutor {
+ public:
+  struct Options {
+    const kernels::ProcessingKernel* kernel = nullptr;
+    /// Halo strips the dependence pattern needs on each side of a run.
+    std::uint64_t halo_strips = 1;
+    /// Carry and verify real bytes.
+    bool data_mode = false;
+  };
+
+  ActiveExecutor(Cluster& cluster, const Options& options);
+
+  /// Offload the kernel over `input`, writing `output` (same size, already
+  /// created with its layout). `on_done` fires when every server has
+  /// processed all its runs and all output (incl. replicas) is on disk.
+  void start(pfs::FileId input, pfs::FileId output,
+             std::function<void()> on_done);
+
+  /// Halo strips fetched from remote servers (0 under a sufficient DAS
+  /// layout; ~2 per strip under round-robin).
+  [[nodiscard]] std::uint64_t halo_strips_fetched() const {
+    return halo_strips_fetched_;
+  }
+  [[nodiscard]] std::uint64_t halo_bytes_fetched() const {
+    return halo_bytes_fetched_;
+  }
+
+ private:
+  struct ServerTask;
+  struct RunState;
+
+  void start_server(pfs::ServerIndex server, pfs::FileId input,
+                    pfs::FileId output, const BarrierPtr& barrier);
+  void pump(const std::shared_ptr<ServerTask>& task);
+  void start_run(const std::shared_ptr<ServerTask>& task, std::size_t index);
+  void compute_and_write(const std::shared_ptr<ServerTask>& task,
+                         RunState& run);
+
+  Cluster& cluster_;
+  Options options_;
+  std::vector<std::shared_ptr<ServerTask>> tasks_;
+  std::uint64_t halo_strips_fetched_ = 0;
+  std::uint64_t halo_bytes_fetched_ = 0;
+};
+
+}  // namespace das::core

@@ -1,0 +1,241 @@
+#include "core/bandwidth_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "simkit/assert.hpp"
+
+namespace das::core {
+
+PlacementSpec PlacementSpec::from_layout(const pfs::Layout& layout) {
+  PlacementSpec spec;
+  spec.num_servers = layout.num_servers();
+  if (const auto* das = dynamic_cast<const pfs::DasReplicatedLayout*>(&layout)) {
+    spec.group_size = das->group_size();
+    spec.halo = das->halo();
+  } else if (const auto* grouped =
+                 dynamic_cast<const pfs::GroupedLayout*>(&layout)) {
+    spec.group_size = grouped->group_size();
+    spec.halo = 0;
+  } else if (dynamic_cast<const pfs::RoundRobinLayout*>(&layout) != nullptr) {
+    spec.group_size = 1;
+    spec.halo = 0;
+  } else {
+    DAS_REQUIRE(false && "unknown layout type");
+  }
+  return spec;
+}
+
+std::unique_ptr<pfs::Layout> PlacementSpec::make_layout() const {
+  if (halo > 0) {
+    return std::make_unique<pfs::DasReplicatedLayout>(num_servers, group_size,
+                                                      halo);
+  }
+  if (group_size == 1) {
+    return std::make_unique<pfs::RoundRobinLayout>(num_servers);
+  }
+  return std::make_unique<pfs::GroupedLayout>(num_servers, group_size);
+}
+
+std::uint64_t strip_of_element(std::uint64_t i, std::uint32_t element_size,
+                               std::uint64_t strip_size) {
+  DAS_REQUIRE(strip_size > 0);
+  return i * element_size / strip_size;
+}
+
+std::uint32_t location_of_element(std::uint64_t i, std::uint32_t element_size,
+                                  std::uint64_t strip_size,
+                                  const PlacementSpec& placement) {
+  const std::uint64_t strip = strip_of_element(i, element_size, strip_size);
+  return static_cast<std::uint32_t>((strip / placement.group_size) %
+                                    placement.num_servers);
+}
+
+// Derivation. Let G = r * strip_size be the bytes per group and z = |offset|
+// * E the dependence distance in bytes. The byte position of an element
+// within its group is (for interior elements) uniform over the group, so the
+// dependent lands delta = q groups away with probability (G - rem) / G and
+// delta = q + 1 groups away with probability rem / G, where q = z / G and
+// rem = z % G. Writing d for the dependent's distance past the *near* edge
+// of its group (the edge facing the element):
+//   delta = q:     d = phi + rem,       uniform over [rem, G)
+//   delta = q + 1: d = phi - (G - rem), uniform over [0, rem)
+// A dependent delta groups away is locally available iff one of:
+//   * delta mod D == 0        — same server again;
+//   * (delta - 1) mod D == 0 and d < H        — we own the group *before*
+//     the dependent's, so its first `halo` strips are replicated to us;
+//   * (delta + 1) mod D == 0 and d >= G - H   — we own the group *after*
+//     it, so its last `halo` strips are replicated to us
+// with H = halo * strip_size. (For D == 2 the two replica cases coincide on
+// the same peer and both apply.) Negative offsets mirror exactly.
+double remote_access_fraction(std::int64_t offset, std::uint32_t element_size,
+                              std::uint64_t strip_size,
+                              const PlacementSpec& placement) {
+  if (offset == 0 || placement.num_servers == 1) return 0.0;
+  DAS_REQUIRE(element_size > 0 && strip_size > 0);
+  DAS_REQUIRE(placement.halo == 0 ||
+              2 * placement.halo <= placement.group_size);
+
+  const std::uint64_t group_bytes = placement.group_size * strip_size;
+  const std::uint64_t z = static_cast<std::uint64_t>(
+                              offset < 0 ? -offset : offset) *
+                          element_size;
+  const std::uint64_t q = z / group_bytes;
+  const std::uint64_t rem = z % group_bytes;
+  const double g = static_cast<double>(group_bytes);
+  const double halo_bytes =
+      static_cast<double>(placement.halo) * static_cast<double>(strip_size);
+  const std::uint32_t servers = placement.num_servers;
+
+  const auto overlap = [](double a, double b, double lo, double hi) {
+    return std::max(0.0, std::min(b, hi) - std::max(a, lo));
+  };
+
+  // Remote probability of one delta branch given d uniform on [a, b).
+  const auto branch_remote = [&](std::uint64_t delta, double a, double b) {
+    if (delta == 0 || delta % servers == 0) return 0.0;
+    double local = 0.0;
+    if ((delta - 1) % servers == 0) local += overlap(a, b, 0.0, halo_bytes);
+    if ((delta + 1) % servers == 0) {
+      local += overlap(a, b, g - halo_bytes, g);
+    }
+    const double len = b - a;
+    return (len - std::min(local, len)) / len;
+  };
+
+  double remote = 0.0;
+  if (group_bytes > rem) {
+    remote += (g - static_cast<double>(rem)) / g *
+              branch_remote(q, static_cast<double>(rem), g);
+  }
+  if (rem > 0) {
+    remote += static_cast<double>(rem) / g *
+              branch_remote(q + 1, 0.0, static_cast<double>(rem));
+  }
+  return remote;
+}
+
+double measure_remote_fraction(std::int64_t offset,
+                               std::uint32_t element_size,
+                               std::uint64_t strip_size,
+                               const PlacementSpec& placement,
+                               std::uint64_t begin, std::uint64_t end) {
+  DAS_REQUIRE(begin < end);
+  const auto layout = placement.make_layout();
+  // Enough strips that no sampled dependent is suppressed as a file edge.
+  const std::uint64_t margin =
+      static_cast<std::uint64_t>(std::abs(offset)) + 1;
+  const std::uint64_t num_strips =
+      strip_of_element(end + margin, element_size, strip_size) +
+      2 * placement.group_size + 2;
+
+  std::uint64_t remote = 0;
+  for (std::uint64_t i = begin; i < end; ++i) {
+    const std::int64_t dep = static_cast<std::int64_t>(i) + offset;
+    DAS_REQUIRE(dep >= 0);
+    const std::uint64_t dep_strip = strip_of_element(
+        static_cast<std::uint64_t>(dep), element_size, strip_size);
+    const auto server = static_cast<pfs::ServerIndex>(
+        location_of_element(i, element_size, strip_size, placement));
+    if (!layout->holds(server, dep_strip, num_strips)) ++remote;
+  }
+  return static_cast<double>(remote) / static_cast<double>(end - begin);
+}
+
+double bwcost_per_element(const std::vector<std::int64_t>& offsets,
+                          std::uint32_t element_size,
+                          std::uint64_t strip_size,
+                          const PlacementSpec& placement) {
+  double cost = 0.0;
+  for (const std::int64_t off : offsets) {
+    cost += static_cast<double>(element_size) *
+            remote_access_fraction(off, element_size, strip_size, placement);
+  }
+  return cost;
+}
+
+bool paper_locality_criterion(std::uint64_t stride,
+                              std::uint32_t element_size,
+                              std::uint64_t strip_size,
+                              std::uint64_t group_size,
+                              std::uint32_t num_servers) {
+  DAS_REQUIRE(strip_size > 0 && group_size > 0 && num_servers > 0);
+  const std::uint64_t groups_away =
+      stride * element_size / (group_size * strip_size);
+  return groups_away % num_servers == 0;
+}
+
+std::uint64_t required_halo_strips(const std::vector<std::int64_t>& offsets,
+                                   std::uint32_t element_size,
+                                   std::uint64_t strip_size) {
+  std::uint64_t reach_bytes = 0;
+  for (const std::int64_t off : offsets) {
+    const auto z = static_cast<std::uint64_t>(off < 0 ? -off : off) *
+                   element_size;
+    reach_bytes = std::max(reach_bytes, z);
+  }
+  return (reach_bytes + strip_size - 1) / strip_size;
+}
+
+TrafficForecast forecast_traffic(const pfs::FileMeta& meta,
+                                 const std::vector<std::int64_t>& offsets,
+                                 const PlacementSpec& placement,
+                                 std::uint64_t output_bytes) {
+  TrafficForecast out;
+  out.normal_io_bytes = meta.size_bytes + output_bytes;
+  out.normal_critical_bytes = std::max(meta.size_bytes, output_bytes);
+  out.active_exact_bytes =
+      bwcost_per_element(offsets, meta.element_size, meta.strip_size,
+                         placement) *
+      static_cast<double>(meta.num_elements());
+
+  const std::uint64_t num_strips = meta.num_strips();
+  const std::uint64_t needed =
+      required_halo_strips(offsets, meta.element_size, meta.strip_size);
+  const std::uint64_t missing =
+      needed > placement.halo ? needed - placement.halo : 0;
+
+  if (placement.num_servers > 1) {
+    const std::uint64_t r = placement.group_size;
+    const std::uint64_t num_groups = (num_strips + r - 1) / r;
+
+    // Strip-granular fetches: each group (run) fetches its missing halo
+    // strips from the neighbouring servers, clipped at the file edges.
+    if (missing > 0) {
+      for (std::uint64_t g = 0; g < num_groups; ++g) {
+        const std::uint64_t lo = g * r;
+        const std::uint64_t hi = std::min(num_strips, lo + r) - 1;
+        for (std::uint64_t m = 1; m <= missing; ++m) {
+          const std::uint64_t pre_wanted = placement.halo + m;
+          if (lo >= pre_wanted) {
+            out.active_strip_fetch_bytes +=
+                meta.strip(lo - pre_wanted).length;
+          }
+          if (hi + pre_wanted < num_strips) {
+            out.active_strip_fetch_bytes +=
+                meta.strip(hi + pre_wanted).length;
+          }
+        }
+      }
+    }
+
+    // Output replica propagation: the output inherits the placement, so the
+    // halo strips of every group are copied to the neighbouring server.
+    if (placement.halo > 0 && output_bytes > 0) {
+      pfs::FileMeta out_meta = meta;
+      out_meta.size_bytes = output_bytes;
+      const std::uint64_t out_strips = out_meta.num_strips();
+      const auto layout = placement.make_layout();
+      for (std::uint64_t s = 0; s < out_strips; ++s) {
+        const auto reps = layout->replicas(s, out_strips);
+        out.replica_write_bytes +=
+            reps.size() * out_meta.strip(s).length;
+      }
+    }
+  }
+
+  return out;
+}
+
+}  // namespace das::core

@@ -1,0 +1,132 @@
+// Bandwidth analysis and prediction (paper §III-C and §III-D).
+//
+// Given an operator's dependence offsets, the element size E, the strip
+// size, and the placement (D servers, group size r, replicated halo), this
+// model predicts how many dependent accesses cross servers and what the
+// resulting data movement is, so the Active Storage Client can decide
+// whether offloading beats normal I/O (the paper's Fig. 3 workflow).
+//
+// The paper's equations appear as:
+//  * strip_of_element / location_of_element      — Eqs. 1-4 (and 14-16 with
+//    group size r),
+//  * remote_access_fraction                      — the exact a_j of Eq. 5,
+//    extended from the paper's element-position argument to account for the
+//    fraction of elements sitting close enough to a group boundary for
+//    their dependents to cross it,
+//  * bwcost_per_element                          — Eq. 5,
+//  * paper_locality_criterion                    — Eq. 17's literal
+//    "(stride*E)/(r*strip_size) mod D == 0" test.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pfs/file.hpp"
+#include "pfs/layout.hpp"
+
+namespace das::core {
+
+/// Placement parameters the predictor reasons about. group_size == 1 and
+/// halo == 0 describes the default round-robin layout.
+struct PlacementSpec {
+  std::uint32_t num_servers = 1;  // D
+  std::uint64_t group_size = 1;   // r
+  std::uint64_t halo = 0;         // strips replicated at each group edge
+
+  /// Recover the spec from a concrete layout object.
+  [[nodiscard]] static PlacementSpec from_layout(const pfs::Layout& layout);
+
+  /// Instantiate the concrete layout for this spec.
+  [[nodiscard]] std::unique_ptr<pfs::Layout> make_layout() const;
+
+  friend bool operator==(const PlacementSpec&, const PlacementSpec&) = default;
+};
+
+/// Paper Eq. 1 (and the Eq. 14 variant): strip/group of element i.
+[[nodiscard]] std::uint64_t strip_of_element(std::uint64_t i,
+                                             std::uint32_t element_size,
+                                             std::uint64_t strip_size);
+
+/// Paper Eqs. 2/14: server index of element i under `placement`.
+[[nodiscard]] std::uint32_t location_of_element(std::uint64_t i,
+                                                std::uint32_t element_size,
+                                                std::uint64_t strip_size,
+                                                const PlacementSpec& placement);
+
+/// Exact fraction of (interior) elements whose dependent at `offset`
+/// elements away resides on a different server with no local replica.
+/// Derived in closed form; see bandwidth_model.cpp.
+[[nodiscard]] double remote_access_fraction(std::int64_t offset,
+                                            std::uint32_t element_size,
+                                            std::uint64_t strip_size,
+                                            const PlacementSpec& placement);
+
+/// Brute-force counterpart of remote_access_fraction for validation:
+/// evaluates elements [begin, end) directly via location_of_element and the
+/// layout's replica sets.
+[[nodiscard]] double measure_remote_fraction(std::int64_t offset,
+                                             std::uint32_t element_size,
+                                             std::uint64_t strip_size,
+                                             const PlacementSpec& placement,
+                                             std::uint64_t begin,
+                                             std::uint64_t end);
+
+/// Paper Eq. 5: expected remote bytes that must move to process one element.
+[[nodiscard]] double bwcost_per_element(const std::vector<std::int64_t>& offsets,
+                                        std::uint32_t element_size,
+                                        std::uint64_t strip_size,
+                                        const PlacementSpec& placement);
+
+/// Paper Eq. 17, literally: (stride*E) / (r*strip_size) mod D == 0.
+/// `stride` is in elements. The paper uses this as its offload criterion;
+/// remote_access_fraction is the exact version (Eq. 17 ignores the
+/// boundary-crossing fraction that the halo replication exists to absorb).
+[[nodiscard]] bool paper_locality_criterion(std::uint64_t stride,
+                                            std::uint32_t element_size,
+                                            std::uint64_t strip_size,
+                                            std::uint64_t group_size,
+                                            std::uint32_t num_servers);
+
+/// Predicted data movement for serving one operator invocation.
+struct TrafficForecast {
+  /// Server-to-server bytes if offloaded and dependents are fetched exactly
+  /// (Eq. 5 summed over the file).
+  double active_exact_bytes = 0.0;
+  /// Server-to-server bytes if offloaded with strip-granular halo fetches
+  /// (what a real active-storage server does; >= active_exact_bytes).
+  std::uint64_t active_strip_fetch_bytes = 0;
+  /// Server-to-server bytes spent propagating output halo replicas.
+  std::uint64_t replica_write_bytes = 0;
+  /// Client-server bytes if served as normal I/O (input out + output back).
+  std::uint64_t normal_io_bytes = 0;
+  /// Critical-path bytes of normal I/O: input and output travel opposite
+  /// directions over full-duplex links, so the slower direction governs.
+  std::uint64_t normal_critical_bytes = 0;
+
+  /// Total movement if offloaded (strip-fetch policy). Every one of these
+  /// bytes leaves one storage server and enters another, loading the server
+  /// pool's NICs in both directions at once.
+  [[nodiscard]] std::uint64_t active_total_bytes() const {
+    return active_strip_fetch_bytes + replica_write_bytes;
+  }
+
+  /// The accept/reject test of the paper's Fig. 3 workflow: offload iff the
+  /// dependence traffic underruns the normal path's critical direction.
+  [[nodiscard]] bool offload_beneficial() const {
+    return active_total_bytes() < normal_critical_bytes;
+  }
+};
+
+/// Forecast the traffic for one operator over `meta` under `placement`.
+/// `offsets` are the resolved dependence offsets (elements); `output_bytes`
+/// the size of the operator's output (all Table-I kernels: same as input).
+[[nodiscard]] TrafficForecast forecast_traffic(
+    const pfs::FileMeta& meta, const std::vector<std::int64_t>& offsets,
+    const PlacementSpec& placement, std::uint64_t output_bytes);
+
+/// Halo strips a run needs on each side to cover the widest offset.
+[[nodiscard]] std::uint64_t required_halo_strips(
+    const std::vector<std::int64_t>& offsets, std::uint32_t element_size,
+    std::uint64_t strip_size);
+
+}  // namespace das::core

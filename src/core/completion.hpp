@@ -1,0 +1,65 @@
+// Completion barrier for fan-out/fan-in event patterns.
+//
+// Executors issue many concurrent operations whose completions arrive as
+// events; the barrier fires its callback when every registered operation has
+// arrived AND seal() has been called (so registrations racing with early
+// completions cannot fire the callback prematurely).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <utility>
+
+#include "simkit/assert.hpp"
+
+namespace das::core {
+
+class CompletionBarrier {
+ public:
+  explicit CompletionBarrier(std::function<void()> on_done)
+      : on_done_(std::move(on_done)) {}
+
+  /// Register `n` more expected completions.
+  void add(std::uint64_t n = 1) {
+    DAS_REQUIRE(!sealed_ || outstanding_ > 0);
+    outstanding_ += n;
+  }
+
+  /// One completion arrived.
+  void arrive() {
+    DAS_REQUIRE(outstanding_ > 0);
+    --outstanding_;
+    maybe_fire();
+  }
+
+  /// No further add() calls will follow; fire now if nothing is pending.
+  void seal() {
+    sealed_ = true;
+    maybe_fire();
+  }
+
+  [[nodiscard]] std::uint64_t outstanding() const { return outstanding_; }
+
+ private:
+  void maybe_fire() {
+    if (sealed_ && outstanding_ == 0 && on_done_) {
+      // Move out first: the callback may destroy this barrier.
+      auto cb = std::move(on_done_);
+      on_done_ = nullptr;
+      cb();
+    }
+  }
+
+  std::function<void()> on_done_;
+  std::uint64_t outstanding_ = 0;
+  bool sealed_ = false;
+};
+
+using BarrierPtr = std::shared_ptr<CompletionBarrier>;
+
+inline BarrierPtr make_barrier(std::function<void()> on_done) {
+  return std::make_shared<CompletionBarrier>(std::move(on_done));
+}
+
+}  // namespace das::core

@@ -1,0 +1,89 @@
+// Cluster and experiment configuration.
+//
+// Defaults are calibrated to a 2012-era HPC cluster like the paper's
+// testbed: GigE-class node links (the bandwidth bottleneck the whole paper
+// is about), striped-RAID local storage that outruns the NIC, and stencil
+// kernels that stream memory at a few hundred MiB/s per node. Absolute
+// seconds are not meant to match the paper's testbed; the byte-flow ratios
+// that decide which scheme wins are.
+#pragma once
+
+#include <cstdint>
+
+#include "net/network.hpp"
+#include "simkit/time.hpp"
+#include "storage/compute_engine.hpp"
+#include "storage/disk.hpp"
+
+namespace das::core {
+
+struct ClusterConfig {
+  /// Storage servers (the paper's "active storage nodes").
+  std::uint32_t storage_nodes = 12;
+  /// Compute nodes (clients). The paper's default ratio is 1:1.
+  std::uint32_t compute_nodes = 12;
+
+  /// Per-node link bandwidth, full duplex (GigE class).
+  double nic_bandwidth_bps = 110.0 * 1024 * 1024;
+  sim::SimDuration wire_latency = sim::microseconds(80);
+
+  /// Local storage on each server.
+  double disk_bandwidth_bps = 700.0 * 1024 * 1024;
+  sim::SimDuration disk_seek_time = sim::microseconds(400);
+
+  /// Effective per-node processing rate for a cost-factor-1.0 kernel
+  /// (memory-bandwidth-bound stencil on a 12-core 2012 node).
+  double compute_rate_bps = 450.0 * 1024 * 1024;
+
+  /// One-time per-run cost: job launch, file open/metadata, shipping the
+  /// processing kernel to the servers. Charged identically to every scheme.
+  sim::SimDuration job_startup = sim::seconds(12);
+
+  /// How many strips/runs a node keeps in flight (bounded prefetch).
+  std::uint32_t pipeline_window = 4;
+
+  /// Straggler injection: the first `straggler_count` storage nodes run
+  /// their disk AND compute engine `straggler_slowdown` times slower.
+  /// Active storage binds computation to data placement, so its exposure to
+  /// slow servers differs from TS's — the straggler ablation measures that.
+  std::uint32_t straggler_count = 0;
+  double straggler_slowdown = 1.0;
+
+  /// Per-request disk service-time jitter (fraction, uniform); 0 keeps the
+  /// whole simulation deterministic. Each server disk gets an independent
+  /// stream derived from `seed`.
+  double disk_jitter = 0.0;
+  std::uint64_t seed = 20120901;
+
+  [[nodiscard]] std::uint32_t total_nodes() const {
+    return storage_nodes + compute_nodes;
+  }
+
+  [[nodiscard]] net::NetworkConfig network_config() const {
+    net::NetworkConfig cfg;
+    cfg.num_nodes = total_nodes();
+    cfg.nic_bandwidth_bps = nic_bandwidth_bps;
+    cfg.wire_latency = wire_latency;
+    return cfg;
+  }
+
+  [[nodiscard]] storage::DiskConfig disk_config() const {
+    return storage::DiskConfig{disk_bandwidth_bps, disk_seek_time};
+  }
+
+  [[nodiscard]] storage::ComputeConfig compute_config() const {
+    return storage::ComputeConfig{compute_rate_bps, 1};
+  }
+};
+
+/// Parameters of the DAS data distribution (paper §III-D).
+struct DistributionConfig {
+  /// Strips per group (the paper's r). Capacity overhead is 2*halo/r.
+  std::uint64_t group_size = 16;
+  /// Halo strips replicated onto each neighbouring server.
+  std::uint64_t halo = 1;
+  /// Largest tolerated capacity overhead when the planner picks r itself.
+  double max_capacity_overhead = 0.25;
+};
+
+}  // namespace das::core

@@ -1,0 +1,91 @@
+#include "core/decision.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "simkit/assert.hpp"
+
+namespace das::core {
+
+std::uint64_t redistribution_bytes(const pfs::FileMeta& meta,
+                                   const pfs::Layout& from,
+                                   const pfs::Layout& to) {
+  DAS_REQUIRE(from.num_servers() == to.num_servers());
+  const std::uint64_t n = meta.num_strips();
+  std::uint64_t moved = 0;
+  for (std::uint64_t s = 0; s < n; ++s) {
+    const auto old_holders = from.holders(s, n);
+    for (const pfs::ServerIndex target : to.holders(s, n)) {
+      if (std::find(old_holders.begin(), old_holders.end(), target) ==
+          old_holders.end()) {
+        moved += meta.strip(s).length;
+      }
+    }
+  }
+  return moved;
+}
+
+Decision DecisionEngine::decide(const pfs::FileMeta& meta,
+                                const pfs::Layout& current_layout,
+                                const kernels::KernelFeatures& features,
+                                std::uint64_t output_bytes,
+                                std::uint32_t pipeline_length) const {
+  DAS_REQUIRE(pipeline_length >= 1);
+  DAS_REQUIRE(meta.raster_width > 0);
+
+  Decision decision;
+  const auto offsets = features.resolve(meta.raster_width);
+  const PlacementSpec current = PlacementSpec::from_layout(current_layout);
+  decision.current_forecast =
+      forecast_traffic(meta, offsets, current, output_bytes);
+
+  // Costs are critical-path bytes per the comparison in
+  // TrafficForecast::offload_beneficial, totalled over the pipeline.
+  const std::uint64_t pipeline = pipeline_length;
+  const std::uint64_t cost_normal =
+      decision.current_forecast.normal_critical_bytes * pipeline;
+  const std::uint64_t cost_offload_asis =
+      decision.current_forecast.active_total_bytes() * pipeline;
+
+  std::uint64_t cost_redistribute = UINT64_MAX;
+  const auto target =
+      planner_.plan(meta, offsets, current_layout.num_servers());
+  if (target.has_value() && *target != current) {
+    decision.target = target;
+    decision.target_forecast =
+        forecast_traffic(meta, offsets, *target, output_bytes);
+    decision.redistribution_bytes = redistribution_bytes(
+        meta, current_layout, *target->make_layout());
+    cost_redistribute =
+        decision.redistribution_bytes +
+        decision.target_forecast.active_total_bytes() * pipeline;
+  }
+
+  std::ostringstream why;
+  why << "per-element bwcost=" << decision.current_forecast.active_exact_bytes /
+             std::max<double>(1.0, static_cast<double>(meta.num_elements()))
+      << "B; normal=" << cost_normal << "B, offload=" << cost_offload_asis
+      << "B, redistribute=";
+  if (cost_redistribute == UINT64_MAX) {
+    why << "n/a";
+  } else {
+    why << cost_redistribute << "B";
+  }
+  why << " (pipeline x" << pipeline << ")";
+
+  if (cost_offload_asis <= cost_normal &&
+      cost_offload_asis <= cost_redistribute) {
+    decision.action = OffloadAction::kOffload;
+    decision.predicted_bytes = cost_offload_asis;
+  } else if (cost_redistribute <= cost_normal) {
+    decision.action = OffloadAction::kOffloadAfterRedistribution;
+    decision.predicted_bytes = cost_redistribute;
+  } else {
+    decision.action = OffloadAction::kServeNormal;
+    decision.predicted_bytes = cost_normal;
+  }
+  decision.rationale = why.str();
+  return decision;
+}
+
+}  // namespace das::core

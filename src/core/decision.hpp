@@ -1,0 +1,84 @@
+// Offload decision engine — the paper's Fig. 3 workflow.
+//
+// For an incoming active-storage request the engine:
+//  1. gets the dependence pattern (Kernel Features),
+//  2. gets the file's current distribution from the PFS,
+//  3. predicts the bandwidth cost of offloading under the current layout
+//     and of serving the request as normal I/O,
+//  4. when a successive operation is expected (or the request allows it),
+//     finds a reasonable data distribution and weighs the one-time
+//     redistribution cost against the per-operation savings,
+//  5. accepts the request (as-is or after redistribution) or rejects it
+//     (serve as normal I/O), choosing the plan that moves the fewest bytes.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "core/bandwidth_model.hpp"
+#include "core/config.hpp"
+#include "core/distribution_planner.hpp"
+#include "kernels/features.hpp"
+#include "pfs/file.hpp"
+#include "pfs/layout.hpp"
+
+namespace das::core {
+
+enum class OffloadAction {
+  kOffload,                    // accept under the current layout
+  kOffloadAfterRedistribution, // accept after re-laying-out the file
+  kServeNormal,                // reject: serve as a normal I/O request
+};
+
+[[nodiscard]] constexpr const char* to_string(OffloadAction a) {
+  switch (a) {
+    case OffloadAction::kOffload: return "offload";
+    case OffloadAction::kOffloadAfterRedistribution:
+      return "offload-after-redistribution";
+    case OffloadAction::kServeNormal: return "serve-normal";
+  }
+  return "?";
+}
+
+struct Decision {
+  OffloadAction action = OffloadAction::kServeNormal;
+  /// Forecast under the file's current layout.
+  TrafficForecast current_forecast;
+  /// Target placement and its forecast (set when redistribution is chosen
+  /// or at least evaluated successfully).
+  std::optional<PlacementSpec> target;
+  TrafficForecast target_forecast;
+  std::uint64_t redistribution_bytes = 0;
+  /// Predicted total bytes moved by the chosen plan over the whole pipeline.
+  std::uint64_t predicted_bytes = 0;
+  std::string rationale;
+};
+
+class DecisionEngine {
+ public:
+  explicit DecisionEngine(const DistributionConfig& config)
+      : planner_(config) {}
+
+  /// Decide how to serve one operator (with `pipeline_length` successive
+  /// operations expected to reuse the same dependence pattern and layout).
+  [[nodiscard]] Decision decide(const pfs::FileMeta& meta,
+                                const pfs::Layout& current_layout,
+                                const kernels::KernelFeatures& features,
+                                std::uint64_t output_bytes,
+                                std::uint32_t pipeline_length = 1) const;
+
+  [[nodiscard]] const DistributionPlanner& planner() const { return planner_; }
+
+ private:
+  DistributionPlanner planner_;
+};
+
+/// Exact redistribution cost: bytes that must move to turn `from` into `to`
+/// for a file with metadata `meta` (strips gaining a holder are shipped from
+/// their current primary).
+[[nodiscard]] std::uint64_t redistribution_bytes(const pfs::FileMeta& meta,
+                                                 const pfs::Layout& from,
+                                                 const pfs::Layout& to);
+
+}  // namespace das::core

@@ -1,0 +1,41 @@
+#include "core/distribution_planner.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "simkit/assert.hpp"
+
+namespace das::core {
+
+std::optional<PlacementSpec> DistributionPlanner::plan(
+    const pfs::FileMeta& meta, const std::vector<std::int64_t>& offsets,
+    std::uint32_t num_servers) const {
+  DAS_REQUIRE(num_servers > 0);
+  const std::uint64_t num_strips = meta.num_strips();
+
+  const std::uint64_t halo =
+      required_halo_strips(offsets, meta.element_size, meta.strip_size);
+  if (halo == 0) {
+    // No cross-strip dependence; the default striping is already ideal.
+    return PlacementSpec{num_servers, 1, 0};
+  }
+
+  // Layout feasibility: a group must absorb both halos (2*halo <= r).
+  // Capacity: overhead 2*halo/r must fit the budget.
+  // Parallelism: every server should own at least one group.
+  std::uint64_t r_min = 2 * halo;
+  if (config_.max_capacity_overhead > 0.0) {
+    const auto r_capacity = static_cast<std::uint64_t>(
+        std::ceil(2.0 * static_cast<double>(halo) /
+                  config_.max_capacity_overhead));
+    r_min = std::max(r_min, r_capacity);
+  }
+  const std::uint64_t r_max = num_strips / num_servers;
+  if (r_max < r_min) return std::nullopt;
+
+  const std::uint64_t r =
+      std::clamp<std::uint64_t>(config_.group_size, r_min, r_max);
+  return PlacementSpec{num_servers, r, halo};
+}
+
+}  // namespace das::core

@@ -1,0 +1,39 @@
+// Improved data distribution planning (paper §III-D).
+//
+// Given an operator's dependence offsets and the file geometry, pick the
+// group size r and halo so that every dependent element of every interior
+// element is stored on the same server (Eq. 17 satisfied by construction),
+// subject to a capacity-overhead budget (the paper's 2/r concern) and to
+// keeping every server busy (at least one group per server).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/bandwidth_model.hpp"
+#include "core/config.hpp"
+#include "pfs/file.hpp"
+
+namespace das::core {
+
+class DistributionPlanner {
+ public:
+  explicit DistributionPlanner(const DistributionConfig& config)
+      : config_(config) {}
+
+  /// Plan a placement of `meta` over `num_servers` servers that makes the
+  /// dependence `offsets` (elements) local. Returns nullopt when no
+  /// placement satisfies both the capacity budget and the parallelism
+  /// constraint — the request should then be served as normal I/O.
+  [[nodiscard]] std::optional<PlacementSpec> plan(
+      const pfs::FileMeta& meta, const std::vector<std::int64_t>& offsets,
+      std::uint32_t num_servers) const;
+
+  [[nodiscard]] const DistributionConfig& config() const { return config_; }
+
+ private:
+  DistributionConfig config_;
+};
+
+}  // namespace das::core

@@ -1,0 +1,73 @@
+#include "core/ingest.hpp"
+
+#include <utility>
+
+#include "core/completion.hpp"
+#include "simkit/assert.hpp"
+
+namespace das::core {
+
+struct Ingestor::ClientTask {
+  std::uint32_t client_index = 0;
+  std::uint64_t next_strip = 0;
+  std::uint64_t end_strip = 0;
+  std::uint32_t in_flight = 0;
+  std::function<void()> issue;
+};
+
+pfs::FileId Ingestor::ingest(pfs::FileMeta meta,
+                             std::unique_ptr<pfs::Layout> layout,
+                             const std::vector<std::byte>* data,
+                             std::function<void()> on_done) {
+  DAS_REQUIRE(layout != nullptr);
+  const pfs::FileMeta file_meta = meta;  // keep a copy; create_file moves it
+
+  // Register the file (length-only); the timed writes below carry the
+  // actual bytes and the disk/network cost.
+  const pfs::FileId file =
+      cluster_.pfs().create_file(std::move(meta), std::move(layout), nullptr);
+  bytes_ingested_ = file_meta.size_bytes;
+
+  const std::uint64_t num_strips = file_meta.num_strips();
+  const std::uint32_t num_clients = cluster_.config().compute_nodes;
+  const BarrierPtr barrier = make_barrier(std::move(on_done));
+
+  for (std::uint32_t c = 0; c < num_clients; ++c) {
+    auto task = std::make_shared<ClientTask>();
+    task->client_index = c;
+    task->next_strip = c * num_strips / num_clients;
+    task->end_strip = (c + 1) * num_strips / num_clients;
+    if (task->next_strip >= task->end_strip) continue;
+    barrier->add(task->end_strip - task->next_strip);
+    tasks_.push_back(task);
+
+    pfs::PfsClient& client = cluster_.client(c);
+    task->issue = [this, task = task.get(), &client, file, file_meta, data,
+                   barrier]() {
+      const std::uint32_t window = cluster_.config().pipeline_window;
+      while (task->in_flight < window && task->next_strip < task->end_strip) {
+        const pfs::StripRef ref = file_meta.strip(task->next_strip++);
+        ++task->in_flight;
+        std::vector<std::byte> payload;
+        if (data != nullptr) {
+          payload.assign(
+              data->begin() + static_cast<std::ptrdiff_t>(ref.offset),
+              data->begin() +
+                  static_cast<std::ptrdiff_t>(ref.offset + ref.length));
+        }
+        client.write_range(file, ref.offset, ref.length, payload,
+                           [task, barrier]() {
+                             DAS_REQUIRE(task->in_flight > 0);
+                             --task->in_flight;
+                             task->issue();
+                             barrier->arrive();
+                           });
+      }
+    };
+    task->issue();
+  }
+  barrier->seal();
+  return file;
+}
+
+}  // namespace das::core

@@ -1,0 +1,67 @@
+#include "core/metrics.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+namespace das::core {
+
+std::string format_bytes(std::uint64_t bytes) {
+  char buf[32];
+  const double b = static_cast<double>(bytes);
+  if (bytes >= (1ULL << 30)) {
+    std::snprintf(buf, sizeof buf, "%.4g GiB", b / (1ULL << 30));
+  } else if (bytes >= (1ULL << 20)) {
+    std::snprintf(buf, sizeof buf, "%.4g MiB", b / (1ULL << 20));
+  } else if (bytes >= (1ULL << 10)) {
+    std::snprintf(buf, sizeof buf, "%.4g KiB", b / (1ULL << 10));
+  } else {
+    std::snprintf(buf, sizeof buf, "%llu B",
+                  static_cast<unsigned long long>(bytes));
+  }
+  return buf;
+}
+
+std::string format_report_table(const std::vector<RunReport>& reports) {
+  std::ostringstream out;
+  char line[256];
+  std::snprintf(line, sizeof line, "%-6s %-18s %10s %6s %10s %14s %14s %9s\n",
+                "scheme", "kernel", "data", "nodes", "time(s)", "cli-srv",
+                "srv-srv", "BW(MiB/s)");
+  out << line;
+  for (const RunReport& r : reports) {
+    std::snprintf(line, sizeof line,
+                  "%-6s %-18s %10s %6u %10.2f %14s %14s %9.1f\n",
+                  r.scheme.c_str(), r.kernel.c_str(),
+                  format_bytes(r.data_bytes).c_str(),
+                  r.storage_nodes + r.compute_nodes, r.exec_seconds,
+                  format_bytes(r.client_server_bytes).c_str(),
+                  format_bytes(r.server_server_bytes).c_str(),
+                  r.sustained_bandwidth_bps() / (1 << 20));
+    out << line;
+  }
+  return out.str();
+}
+
+std::string report_csv_header() {
+  return "scheme,kernel,data_bytes,storage_nodes,compute_nodes,exec_seconds,"
+         "client_server_bytes,server_server_bytes,control_messages,"
+         "redistribution_bytes,offloaded,redistributed,sustained_bw_bps,"
+         "server_disk_util,server_nic_util,server_compute_util,"
+         "client_compute_util";
+}
+
+std::string to_csv(const RunReport& r) {
+  std::ostringstream out;
+  out << r.scheme << ',' << r.kernel << ',' << r.data_bytes << ','
+      << r.storage_nodes << ',' << r.compute_nodes << ',' << r.exec_seconds
+      << ',' << r.client_server_bytes << ',' << r.server_server_bytes << ','
+      << r.control_messages << ',' << r.redistribution_bytes << ','
+      << (r.offloaded ? 1 : 0) << ',' << (r.redistributed ? 1 : 0) << ','
+      << r.sustained_bandwidth_bps() << ',' << r.server_disk_utilization
+      << ',' << r.server_nic_utilization << ','
+      << r.server_compute_utilization << ','
+      << r.client_compute_utilization;
+  return out.str();
+}
+
+}  // namespace das::core

@@ -1,0 +1,64 @@
+// Per-run result record and report formatting.
+//
+// A RunReport captures everything the paper's evaluation plots: execution
+// time, bytes moved per traffic class, sustained bandwidth, and — in
+// correctness mode — whether the distributed output matched the sequential
+// reference bit for bit.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace das::core {
+
+struct RunReport {
+  std::string scheme;       // "TS" / "NAS" / "DAS"
+  std::string kernel;
+  std::uint64_t data_bytes = 0;
+  std::uint32_t storage_nodes = 0;
+  std::uint32_t compute_nodes = 0;
+
+  double exec_seconds = 0.0;
+
+  std::uint64_t client_server_bytes = 0;
+  std::uint64_t server_server_bytes = 0;
+  std::uint64_t control_messages = 0;
+  std::uint64_t redistribution_bytes = 0;  // subset of server_server_bytes
+
+  bool offloaded = false;
+  bool redistributed = false;
+  std::string decision_note;
+
+  bool data_mode = false;
+  bool output_verified = false;
+  double output_max_error = 0.0;
+
+  /// Mean busy fraction of each resource class over the whole run (0..1),
+  /// averaged across the nodes of that class.
+  double server_disk_utilization = 0.0;
+  double server_nic_utilization = 0.0;     // mean of egress/ingress halves
+  double server_compute_utilization = 0.0;
+  double client_compute_utilization = 0.0;
+
+  /// Application-visible sustained bandwidth: input bytes processed per
+  /// second of end-to-end execution (the metric of the paper's Fig. 14).
+  [[nodiscard]] double sustained_bandwidth_bps() const {
+    return exec_seconds > 0.0
+               ? static_cast<double>(data_bytes) / exec_seconds
+               : 0.0;
+  }
+};
+
+/// Aligned text table over the given reports.
+[[nodiscard]] std::string format_report_table(
+    const std::vector<RunReport>& reports);
+
+/// CSV emission (header + one line per report).
+[[nodiscard]] std::string report_csv_header();
+[[nodiscard]] std::string to_csv(const RunReport& report);
+
+/// "24 GB" / "512 MB" style rendering used in tables.
+[[nodiscard]] std::string format_bytes(std::uint64_t bytes);
+
+}  // namespace das::core

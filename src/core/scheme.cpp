@@ -1,0 +1,376 @@
+#include "core/scheme.hpp"
+
+#include <memory>
+#include <optional>
+#include <utility>
+
+#include "core/as_client.hpp"
+#include "core/bandwidth_model.hpp"
+#include "core/cluster.hpp"
+#include "core/distribution_planner.hpp"
+#include "grid/serialize.hpp"
+#include "kernels/registry.hpp"
+#include "simkit/assert.hpp"
+
+namespace das::core {
+namespace {
+
+/// Snapshot of the network counters, for per-stage attribution.
+struct TrafficSnapshot {
+  std::uint64_t client_server = 0;
+  std::uint64_t server_server = 0;
+  std::uint64_t control = 0;
+
+  static TrafficSnapshot take(const net::Network& network) {
+    return TrafficSnapshot{
+        network.bytes_delivered(net::TrafficClass::kClientServer),
+        network.bytes_delivered(net::TrafficClass::kServerServer),
+        network.messages_delivered(net::TrafficClass::kControl)};
+  }
+};
+
+/// Choose the input layout for a run.
+std::unique_ptr<pfs::Layout> choose_input_layout(
+    const SchemeRunOptions& options, const pfs::FileMeta& meta,
+    const std::vector<std::int64_t>& offsets) {
+  const std::uint32_t servers = options.cluster.storage_nodes;
+  if (options.scheme == Scheme::kDAS && options.pre_distributed) {
+    const DistributionPlanner planner(options.distribution);
+    if (const auto spec = planner.plan(meta, offsets, servers)) {
+      return spec->make_layout();
+    }
+  }
+  return std::make_unique<pfs::RoundRobinLayout>(servers);
+}
+
+RunReport make_base_report(const SchemeRunOptions& options,
+                           const std::string& kernel_name) {
+  RunReport report;
+  report.scheme = to_string(options.scheme);
+  report.kernel = kernel_name;
+  report.data_bytes = options.workload.data_bytes;
+  report.storage_nodes = options.cluster.storage_nodes;
+  report.compute_nodes = options.cluster.compute_nodes;
+  report.data_mode = options.workload.with_data;
+  return report;
+}
+
+void fill_traffic(RunReport& report, const net::Network& network,
+                  const TrafficSnapshot& before) {
+  const TrafficSnapshot after = TrafficSnapshot::take(network);
+  report.client_server_bytes = after.client_server - before.client_server;
+  report.server_server_bytes = after.server_server - before.server_server;
+  report.control_messages = after.control - before.control;
+}
+
+/// Resource busy fractions over [0, finish], averaged per node class.
+void fill_utilization(RunReport& report, Cluster& cluster,
+                      sim::SimTime finish) {
+  if (finish <= 0) return;
+  const double span = sim::to_seconds(finish);
+  const std::uint32_t servers = cluster.config().storage_nodes;
+  const std::uint32_t clients = cluster.config().compute_nodes;
+
+  double disk = 0.0, nic = 0.0, server_compute = 0.0, client_compute = 0.0;
+  for (pfs::ServerIndex s = 0; s < servers; ++s) {
+    const net::NodeId node = cluster.storage_node(s);
+    disk += sim::to_seconds(cluster.pfs().server(s).disk().busy_time());
+    nic += (sim::to_seconds(cluster.network().nic(node).egress_busy()) +
+            sim::to_seconds(cluster.network().nic(node).ingress_busy())) /
+           2.0;
+    server_compute += sim::to_seconds(cluster.engine(node).busy_time());
+  }
+  for (std::uint32_t c = 0; c < clients; ++c) {
+    client_compute +=
+        sim::to_seconds(cluster.engine(cluster.compute_node(c)).busy_time());
+  }
+  report.server_disk_utilization = disk / (span * servers);
+  report.server_nic_utilization = nic / (span * servers);
+  report.server_compute_utilization = server_compute / (span * servers);
+  report.client_compute_utilization = client_compute / (span * clients);
+}
+
+/// Verify a produced output file against the sequential reference.
+void verify_output(RunReport& report, Cluster& cluster, pfs::FileId output,
+                   const WorkloadSpec& workload,
+                   const kernels::ProcessingKernel& kernel) {
+  if (output == pfs::kInvalidFile) return;
+  if (!workload.with_data || !kernel.tile_exact()) return;
+  const auto bytes = cluster.pfs().gather_bytes(output);
+  const grid::Grid<float> produced =
+      grid::from_bytes(bytes, workload.width(), workload.height());
+  const grid::Grid<float> reference =
+      make_reference_output(workload, kernel);
+  report.output_max_error = grid::max_abs_diff(produced, reference);
+  report.output_verified = produced == reference;
+}
+
+}  // namespace
+
+RunReport run_scheme(const SchemeRunOptions& options) {
+  Cluster cluster(options.cluster);
+  const kernels::KernelRegistry registry = kernels::standard_registry();
+  const kernels::KernelPtr kernel =
+      registry.create(options.workload.kernel_name);
+  const WorkloadSpec& workload = options.workload;
+
+  pfs::FileMeta meta = workload.make_meta("input");
+  const auto offsets = kernel->features().resolve(meta.raster_width);
+  const std::uint64_t halo_strips =
+      required_halo_strips(offsets, meta.element_size, meta.strip_size);
+
+  std::optional<std::vector<std::byte>> data;
+  if (workload.with_data) {
+    data = grid::to_bytes(make_input(workload, *kernel));
+  }
+
+  const pfs::FileId input = cluster.pfs().create_file(
+      meta, choose_input_layout(options, meta, offsets),
+      data ? &*data : nullptr);
+
+  RunReport report = make_base_report(options, kernel->name());
+  const TrafficSnapshot before = TrafficSnapshot::take(cluster.network());
+
+  sim::SimTime finish = -1;
+  auto on_done = [&cluster, &finish]() { finish = cluster.simulator().now(); };
+
+  std::unique_ptr<TsExecutor> ts;
+  std::unique_ptr<ActiveExecutor> active;
+  std::unique_ptr<ActiveStorageClient> asc;
+  pfs::FileId output = pfs::kInvalidFile;
+  SubmissionResult das_result;
+
+  switch (options.scheme) {
+    case Scheme::kTS: {
+      if (!kernel->is_reduction()) {
+        pfs::FileMeta out_meta = meta;
+        out_meta.name = "output";
+        output = cluster.pfs().create_file(
+            std::move(out_meta),
+            std::make_unique<pfs::RoundRobinLayout>(
+                options.cluster.storage_nodes),
+            nullptr);
+      }
+      TsExecutor::Options opt{kernel.get(), halo_strips, workload.with_data};
+      ts = std::make_unique<TsExecutor>(cluster, opt);
+      cluster.simulator().schedule_at(
+          options.cluster.job_startup,
+          [&cluster, &ts, input, output, on_done]() {
+            cluster.metadata_cache(0).lookup(
+                input, [&ts, input, output, on_done](pfs::FileInfo) {
+                  ts->start(input, output, on_done);
+                });
+          },
+          "job.start");
+      break;
+    }
+    case Scheme::kNAS: {
+      if (!kernel->is_reduction()) {
+        pfs::FileMeta out_meta = meta;
+        out_meta.name = "output";
+        output = cluster.pfs().create_file(
+            std::move(out_meta), cluster.pfs().layout(input).clone(),
+            nullptr);
+      }
+      ActiveExecutor::Options opt{kernel.get(), halo_strips,
+                                  workload.with_data};
+      active = std::make_unique<ActiveExecutor>(cluster, opt);
+      cluster.simulator().schedule_at(
+          options.cluster.job_startup,
+          [&cluster, &active, input, output, on_done]() {
+            cluster.metadata_cache(0).lookup(
+                input, [&active, input, output, on_done](pfs::FileInfo) {
+                  active->start(input, output, on_done);
+                });
+          },
+          "job.start");
+      report.offloaded = true;
+      break;
+    }
+    case Scheme::kDAS: {
+      asc = std::make_unique<ActiveStorageClient>(cluster, registry,
+                                                  options.distribution);
+      cluster.simulator().schedule_at(
+          options.cluster.job_startup,
+          [&asc, &das_result, &workload, input, on_done,
+           pipeline = options.pipeline_length]() {
+            ActiveRequest request;
+            request.input = input;
+            request.kernel_name = workload.kernel_name;
+            request.pipeline_length = pipeline;
+            request.data_mode = workload.with_data;
+            das_result = asc->submit(request, on_done);
+          },
+          "job.start");
+      break;
+    }
+  }
+
+  cluster.simulator().run();
+  DAS_REQUIRE(finish >= 0 && "scheme run did not complete");
+
+  report.exec_seconds = sim::to_seconds(finish);
+  fill_traffic(report, cluster.network(), before);
+  fill_utilization(report, cluster, finish);
+
+  if (options.scheme == Scheme::kDAS) {
+    output = das_result.output;
+    report.offloaded = das_result.offloaded;
+    report.redistributed = das_result.redistributed;
+    report.redistribution_bytes = das_result.redistribution_bytes;
+    report.decision_note = das_result.decision.rationale;
+  }
+
+  verify_output(report, cluster, output, workload, *kernel);
+  return report;
+}
+
+std::vector<RunReport> run_pipeline(
+    const SchemeRunOptions& options,
+    const std::vector<std::string>& kernel_chain) {
+  DAS_REQUIRE(!kernel_chain.empty());
+  Cluster cluster(options.cluster);
+  const kernels::KernelRegistry registry = kernels::standard_registry();
+  const WorkloadSpec& workload = options.workload;
+
+  std::vector<kernels::KernelPtr> chain;
+  chain.reserve(kernel_chain.size());
+  for (std::size_t i = 0; i < kernel_chain.size(); ++i) {
+    chain.push_back(registry.create(kernel_chain[i]));
+    // A reduction has no raster output to feed a successor.
+    DAS_REQUIRE(!chain.back()->is_reduction() ||
+                i + 1 == kernel_chain.size());
+  }
+
+  pfs::FileMeta meta = workload.make_meta("input");
+  const auto offsets0 = chain.front()->features().resolve(meta.raster_width);
+
+  std::optional<std::vector<std::byte>> data;
+  if (workload.with_data) {
+    data = grid::to_bytes(make_input(workload, *chain.front()));
+  }
+  const pfs::FileId input = cluster.pfs().create_file(
+      meta, choose_input_layout(options, meta, offsets0),
+      data ? &*data : nullptr);
+
+  // Shared pipeline state driven by completion callbacks.
+  struct Stage {
+    RunReport report;
+    pfs::FileId output = pfs::kInvalidFile;
+    sim::SimTime finish = -1;
+    TrafficSnapshot before;
+  };
+  auto stages = std::make_shared<std::vector<Stage>>(kernel_chain.size());
+  for (std::size_t i = 0; i < kernel_chain.size(); ++i) {
+    (*stages)[i].report = make_base_report(options, kernel_chain[i]);
+  }
+
+  auto asc = std::make_unique<ActiveStorageClient>(cluster, registry,
+                                                   options.distribution);
+  auto ts_execs = std::make_shared<std::vector<std::unique_ptr<TsExecutor>>>();
+  auto active_execs =
+      std::make_shared<std::vector<std::unique_ptr<ActiveExecutor>>>();
+
+  // Recursive stage launcher. Callbacks hold a raw pointer: the function
+  // object outlives the simulation run because `launch` stays in scope.
+  auto launch = std::make_shared<std::function<void(std::size_t, pfs::FileId)>>();
+  auto* launch_raw = launch.get();
+  *launch = [&, stages, ts_execs, active_execs, launch_raw](std::size_t i,
+                                                            pfs::FileId in) {
+    Stage& stage = (*stages)[i];
+    stage.before = TrafficSnapshot::take(cluster.network());
+    const kernels::ProcessingKernel& kernel = *chain[i];
+    const pfs::FileMeta in_meta = cluster.pfs().meta(in);
+    const auto offs = kernel.features().resolve(in_meta.raster_width);
+    const std::uint64_t halo = required_halo_strips(
+        offs, in_meta.element_size, in_meta.strip_size);
+
+    auto stage_done = [&, stages, launch_raw, i]() {
+      Stage& st = (*stages)[i];
+      st.finish = cluster.simulator().now();
+      fill_traffic(st.report, cluster.network(), st.before);
+      st.report.exec_seconds =
+          sim::to_seconds(st.finish) -
+          (i == 0 ? sim::to_seconds(options.cluster.job_startup)
+                  : sim::to_seconds((*stages)[i - 1].finish));
+      if (i + 1 < stages->size()) (*launch_raw)(i + 1, st.output);
+    };
+
+    if (options.scheme == Scheme::kDAS) {
+      ActiveRequest request;
+      request.input = in;
+      request.kernel_name = kernel.name();
+      request.pipeline_length =
+          static_cast<std::uint32_t>(stages->size() - i);
+      request.data_mode = workload.with_data;
+      const SubmissionResult r = asc->submit(request, stage_done);
+      stage.output = r.output;
+      stage.report.offloaded = r.offloaded;
+      stage.report.redistributed = r.redistributed;
+      stage.report.redistribution_bytes = r.redistribution_bytes;
+      stage.report.decision_note = r.decision.rationale;
+    } else {
+      if (!kernel.is_reduction()) {
+        pfs::FileMeta out_meta = in_meta;
+        out_meta.name = in_meta.name + "." + kernel.name();
+        stage.output = cluster.pfs().create_file(
+            std::move(out_meta), cluster.pfs().layout(in).clone(), nullptr);
+      }
+      if (options.scheme == Scheme::kNAS) {
+        ActiveExecutor::Options opt{&kernel, halo, workload.with_data};
+        active_execs->push_back(
+            std::make_unique<ActiveExecutor>(cluster, opt));
+        active_execs->back()->start(in, stage.output, stage_done);
+        stage.report.offloaded = true;
+      } else {
+        TsExecutor::Options opt{&kernel, halo, workload.with_data};
+        ts_execs->push_back(std::make_unique<TsExecutor>(cluster, opt));
+        ts_execs->back()->start(in, stage.output, stage_done);
+      }
+    }
+  };
+
+  cluster.simulator().schedule_at(
+      options.cluster.job_startup,
+      [launch, input]() { (*launch)(0, input); }, "pipeline.start");
+  cluster.simulator().run();
+
+  std::vector<RunReport> reports;
+  RunReport combined = make_base_report(options, "pipeline");
+  // Stage-wise verification chains the references: stage i is checked
+  // against kernel_i applied to the reference output of stage i-1, and only
+  // while every upstream stage was tile-exact (a non-exact stage's output
+  // legitimately diverges from the reference downstream).
+  std::optional<grid::Grid<float>> reference;
+  bool upstream_exact = true;
+  if (workload.with_data) reference = make_input(workload, *chain.front());
+  for (std::size_t i = 0; i < stages->size(); ++i) {
+    Stage& stage = (*stages)[i];
+    DAS_REQUIRE(stage.finish >= 0 && "pipeline stage did not complete");
+    if (workload.with_data && !chain[i]->is_reduction()) {
+      reference = chain[i]->run_reference(*reference);
+      if (upstream_exact && chain[i]->tile_exact()) {
+        const auto bytes = cluster.pfs().gather_bytes(stage.output);
+        const grid::Grid<float> produced =
+            grid::from_bytes(bytes, workload.width(), workload.height());
+        stage.report.output_max_error =
+            grid::max_abs_diff(produced, *reference);
+        stage.report.output_verified = produced == *reference;
+      }
+      upstream_exact = upstream_exact && chain[i]->tile_exact();
+    }
+    combined.client_server_bytes += stage.report.client_server_bytes;
+    combined.server_server_bytes += stage.report.server_server_bytes;
+    combined.control_messages += stage.report.control_messages;
+    combined.redistribution_bytes += stage.report.redistribution_bytes;
+    combined.offloaded = combined.offloaded || stage.report.offloaded;
+    combined.redistributed =
+        combined.redistributed || stage.report.redistributed;
+    reports.push_back(stage.report);
+  }
+  combined.exec_seconds = sim::to_seconds(stages->back().finish);
+  reports.push_back(combined);
+  return reports;
+}
+
+}  // namespace das::core

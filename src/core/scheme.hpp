@@ -1,0 +1,50 @@
+// Scheme runners: one call reproduces one bar/point of the paper's
+// evaluation (TS / NAS / DAS on one kernel, one data size, one cluster
+// size), returning the RunReport the benches aggregate into tables.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/metrics.hpp"
+#include "core/workload.hpp"
+
+namespace das::core {
+
+enum class Scheme { kTS, kNAS, kDAS };
+
+[[nodiscard]] constexpr const char* to_string(Scheme s) {
+  switch (s) {
+    case Scheme::kTS: return "TS";
+    case Scheme::kNAS: return "NAS";
+    case Scheme::kDAS: return "DAS";
+  }
+  return "?";
+}
+
+struct SchemeRunOptions {
+  Scheme scheme = Scheme::kDAS;
+  WorkloadSpec workload;
+  ClusterConfig cluster;
+  DistributionConfig distribution;
+  /// DAS: the file is already stored in the planned distribution (the
+  /// paper's evaluation setting). Set false to charge the runtime
+  /// redistribution (ablation A4).
+  bool pre_distributed = true;
+  /// Successive operations sharing the dependence pattern (decision input).
+  std::uint32_t pipeline_length = 1;
+};
+
+/// Run one scheme on one workload and report the result.
+[[nodiscard]] RunReport run_scheme(const SchemeRunOptions& options);
+
+/// Run a chain of kernels (e.g. flow-routing then flow-accumulation), each
+/// consuming the previous operator's output, within ONE simulation —
+/// the successive-operation scenario of the paper's introduction. Returns
+/// one report per stage plus a combined report (last element).
+[[nodiscard]] std::vector<RunReport> run_pipeline(
+    const SchemeRunOptions& options,
+    const std::vector<std::string>& kernel_chain);
+
+}  // namespace das::core

@@ -1,0 +1,195 @@
+#include "core/ts_executor.hpp"
+
+#include <cstring>
+#include <utility>
+
+#include "core/completion.hpp"
+#include "simkit/assert.hpp"
+
+namespace das::core {
+
+struct TsExecutor::NodeTask {
+  std::uint32_t client_index = 0;
+  net::NodeId node = net::kInvalidNode;
+  std::uint64_t own_lo = 0, own_hi = 0;    // owned strips [lo, hi)
+  std::uint64_t read_lo = 0, read_hi = 0;  // owned + halo strips [lo, hi)
+
+  // Data mode: contiguous buffer over the read strips and the computed
+  // output slab (filled once all input strips have arrived).
+  std::vector<std::byte> buffer;
+  std::vector<std::byte> output_bytes;
+  std::uint64_t strips_pending = 0;
+  bool slab_ready = false;
+
+  // Bounded-outstanding read issuance (a real PFS client pipelines a few
+  // strip reads, it does not flood the servers with the whole slab's
+  // requests at once — and flooding would serialize service per client).
+  std::uint64_t next_read = 0;   // next strip index to request
+  std::uint32_t in_flight = 0;
+  std::function<void()> issue_reads;
+
+  // Per owned strip: gate of 2 in data mode (compute done + slab ready),
+  // 1 otherwise; the write is issued when the gate reaches zero.
+  std::vector<std::uint32_t> write_gate;
+};
+
+TsExecutor::TsExecutor(Cluster& cluster, const Options& options)
+    : cluster_(cluster), options_(options) {
+  DAS_REQUIRE(options.kernel != nullptr);
+  DAS_REQUIRE(!(options.data_mode && options.kernel->is_reduction()));
+}
+
+void TsExecutor::start(pfs::FileId input, pfs::FileId output,
+                       std::function<void()> on_done) {
+  const BarrierPtr barrier = make_barrier(std::move(on_done));
+  for (std::uint32_t c = 0; c < cluster_.config().compute_nodes; ++c) {
+    start_node(c, input, output, barrier);
+  }
+  barrier->seal();
+}
+
+void TsExecutor::start_node(std::uint32_t client_index, pfs::FileId input,
+                            pfs::FileId output, const BarrierPtr& barrier) {
+  const pfs::FileMeta& meta = cluster_.pfs().meta(input);
+  const bool reduction = options_.kernel->is_reduction();
+  // Reductions keep their (tiny) result on the compute node: no output file.
+  const pfs::FileMeta out_meta =
+      reduction ? meta : cluster_.pfs().meta(output);
+  DAS_REQUIRE(out_meta.size_bytes == meta.size_bytes);
+  const std::uint64_t num_strips = meta.num_strips();
+  const std::uint32_t num_clients = cluster_.config().compute_nodes;
+
+  auto task = std::make_shared<NodeTask>();
+  task->client_index = client_index;
+  task->node = cluster_.compute_node(client_index);
+  task->own_lo = client_index * num_strips / num_clients;
+  task->own_hi = (client_index + 1) * num_strips / num_clients;
+  if (task->own_lo >= task->own_hi) return;  // more nodes than strips
+
+  const std::uint64_t halo = options_.halo_strips;
+  task->read_lo = task->own_lo >= halo ? task->own_lo - halo : 0;
+  task->read_hi = std::min(num_strips, task->own_hi + halo);
+  task->strips_pending = task->read_hi - task->read_lo;
+  task->write_gate.assign(task->own_hi - task->own_lo,
+                          options_.data_mode ? 2U : 1U);
+  tasks_.push_back(task);
+
+  const std::uint64_t buf_begin = meta.strip(task->read_lo).offset;
+  if (options_.data_mode) {
+    const pfs::StripRef last = meta.strip(task->read_hi - 1);
+    task->buffer.assign(last.offset + last.length - buf_begin, std::byte{0});
+  }
+
+  barrier->add(task->own_hi - task->own_lo);  // one write ack per owned strip
+
+  const double cost = options_.kernel->cost_factor();
+  Cluster& cluster = cluster_;
+  pfs::PfsClient& client = cluster_.client(client_index);
+  const kernels::ProcessingKernel* kernel = options_.kernel;
+  const bool data_mode = options_.data_mode;
+
+  // Issues the write of owned strip `s` once its gate reaches zero
+  // (reductions skip the write: the partial result stays on this node).
+  auto gate_arrive = [task = task.get(), &client, output, out_meta, barrier,
+                      data_mode, reduction](std::uint64_t s) {
+    auto& gate = task->write_gate[s - task->own_lo];
+    DAS_REQUIRE(gate > 0);
+    if (--gate != 0) return;
+    if (reduction) {
+      barrier->arrive();
+      return;
+    }
+    const pfs::StripRef ref = out_meta.strip(s);
+    std::vector<std::byte> payload;
+    if (data_mode) {
+      DAS_REQUIRE(task->slab_ready);
+      const std::uint64_t own_begin =
+          out_meta.strip(task->own_lo).offset;
+      payload.assign(
+          task->output_bytes.begin() +
+              static_cast<std::ptrdiff_t>(ref.offset - own_begin),
+          task->output_bytes.begin() +
+              static_cast<std::ptrdiff_t>(ref.offset - own_begin +
+                                          ref.length));
+    }
+    client.write_range(output, ref.offset, ref.length, payload,
+                       [barrier]() { barrier->arrive(); });
+  };
+
+  // Runs the kernel over the whole slab (host-level) once every input strip
+  // has arrived, then releases the slab gate of every owned strip.
+  auto complete_slab = [task = task.get(), kernel, meta, gate_arrive]() {
+    const std::uint64_t row_bytes =
+        static_cast<std::uint64_t>(meta.raster_width) * meta.element_size;
+    const std::uint64_t slab_begin = meta.strip(task->read_lo).offset;
+    const std::uint64_t own_begin = meta.strip(task->own_lo).offset;
+    const pfs::StripRef own_last = meta.strip(task->own_hi - 1);
+    DAS_REQUIRE(slab_begin % row_bytes == 0);
+    DAS_REQUIRE(own_begin % row_bytes == 0);
+    DAS_REQUIRE((own_last.offset + own_last.length) % row_bytes == 0);
+    DAS_REQUIRE(task->buffer.size() % row_bytes == 0);
+
+    const auto buf_row0 = static_cast<std::uint32_t>(slab_begin / row_bytes);
+    const auto out_row0 = static_cast<std::uint32_t>(own_begin / row_bytes);
+    const auto out_row1 = static_cast<std::uint32_t>(
+        (own_last.offset + own_last.length) / row_bytes);
+    const auto buf_rows =
+        static_cast<std::uint32_t>(task->buffer.size() / row_bytes);
+
+    grid::Grid<float> buf(meta.raster_width, buf_rows);
+    std::memcpy(buf.data(), task->buffer.data(), task->buffer.size());
+    grid::Grid<float> out(meta.raster_width, out_row1 - out_row0);
+    kernel->run_tile(buf, buf_row0, meta.raster_height, out_row0, out_row1,
+                     out);
+    task->output_bytes.resize(out.size() * sizeof(float));
+    std::memcpy(task->output_bytes.data(), out.data(),
+                task->output_bytes.size());
+    task->slab_ready = true;
+    for (std::uint64_t s = task->own_lo; s < task->own_hi; ++s) {
+      gate_arrive(s);
+    }
+  };
+
+  task->next_read = task->read_lo;
+
+  // Issue up to pipeline_window single-strip reads; each completion pulls
+  // the next request, so requests from all clients interleave at the
+  // servers instead of arriving as one per-client burst.
+  auto on_strip = [task = task.get(), &cluster, cost, data_mode, gate_arrive,
+                   complete_slab, buf_begin](
+                      pfs::StripRef ref, std::vector<std::byte> payload) {
+    if (data_mode) {
+      DAS_REQUIRE(payload.size() == ref.length);
+      std::memcpy(task->buffer.data() + (ref.offset - buf_begin),
+                  payload.data(), payload.size());
+    }
+    const bool owned = ref.index >= task->own_lo && ref.index < task->own_hi;
+    if (owned) {
+      // The processing cost of this strip, on this compute node.
+      const sim::SimTime done = cluster.engine(task->node).execute(
+          cluster.simulator().now(), ref.length, cost);
+      cluster.simulator().schedule_at(
+          done, [gate_arrive, s = ref.index]() { gate_arrive(s); },
+          "ts.compute");
+    }
+    DAS_REQUIRE(task->in_flight > 0);
+    --task->in_flight;
+    task->issue_reads();
+    DAS_REQUIRE(task->strips_pending > 0);
+    if (--task->strips_pending == 0 && data_mode) complete_slab();
+  };
+
+  const pfs::FileMeta in_meta = meta;
+  task->issue_reads = [task = task.get(), &client, &cluster, input, in_meta,
+                       on_strip]() {
+    const std::uint32_t window = cluster.config().pipeline_window;
+    while (task->in_flight < window && task->next_read < task->read_hi) {
+      const pfs::StripRef ref = in_meta.strip(task->next_read++);
+      ++task->in_flight;
+      client.read_range(input, ref.offset, ref.length, nullptr, on_strip);
+    }
+  };
+  task->issue_reads();
+}
+
+}  // namespace das::core

@@ -1,0 +1,50 @@
+// Traditional Storage (TS) scheme executor.
+//
+// The baseline of the paper's evaluation: servers only serve I/O; the
+// analysis kernel runs on the compute nodes. Each compute node owns a
+// contiguous slab of strips, reads it (plus the dependence halo) through the
+// PFS client, processes it, and writes the output slab back — so the whole
+// dataset crosses the client-server links twice.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/cluster.hpp"
+#include "core/completion.hpp"
+#include "kernels/kernel.hpp"
+#include "pfs/file.hpp"
+
+namespace das::core {
+
+class TsExecutor {
+ public:
+  struct Options {
+    const kernels::ProcessingKernel* kernel = nullptr;
+    /// Halo strips each slab needs beyond its own (from the dependence).
+    std::uint64_t halo_strips = 1;
+    /// Carry and verify real bytes.
+    bool data_mode = false;
+  };
+
+  TsExecutor(Cluster& cluster, const Options& options);
+
+  /// Run the scheme over `input`, writing `output` (same size, already
+  /// created). `on_done` fires when every output strip has been acked.
+  void start(pfs::FileId input, pfs::FileId output,
+             std::function<void()> on_done);
+
+ private:
+  struct NodeTask;
+
+  void start_node(std::uint32_t client_index, pfs::FileId input,
+                  pfs::FileId output, const BarrierPtr& barrier);
+
+  Cluster& cluster_;
+  Options options_;
+  std::vector<std::shared_ptr<NodeTask>> tasks_;
+};
+
+}  // namespace das::core

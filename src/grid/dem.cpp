@@ -1,0 +1,106 @@
+#include "grid/dem.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace das::grid {
+namespace {
+
+/// Smallest power-of-two-plus-one square that covers (width, height).
+std::uint32_t covering_side(std::uint32_t width, std::uint32_t height) {
+  std::uint32_t side = 2;
+  while (side + 1 < std::max(width, height)) side *= 2;
+  return side + 1;
+}
+
+void diamond_square(Grid<double>& g, sim::Rng& rng, double roughness,
+                    double relief) {
+  const std::uint32_t side = g.width();
+  g.at(0, 0) = rng.uniform_real(-relief, relief);
+  g.at(side - 1, 0) = rng.uniform_real(-relief, relief);
+  g.at(0, side - 1) = rng.uniform_real(-relief, relief);
+  g.at(side - 1, side - 1) = rng.uniform_real(-relief, relief);
+
+  double amplitude = relief * roughness;
+  for (std::uint32_t step = side - 1; step > 1; step /= 2) {
+    const std::uint32_t half = step / 2;
+
+    // Diamond phase: centre of each square.
+    for (std::uint32_t y = half; y < side; y += step) {
+      for (std::uint32_t x = half; x < side; x += step) {
+        const double avg = (g.at(x - half, y - half) + g.at(x + half, y - half) +
+                            g.at(x - half, y + half) +
+                            g.at(x + half, y + half)) /
+                           4.0;
+        g.at(x, y) = avg + rng.uniform_real(-amplitude, amplitude);
+      }
+    }
+
+    // Square phase: midpoint of each edge.
+    for (std::uint32_t y = 0; y < side; y += half) {
+      for (std::uint32_t x = (y / half) % 2 == 0 ? half : 0; x < side;
+           x += step) {
+        double sum = 0.0;
+        int n = 0;
+        if (x >= half) { sum += g.at(x - half, y); ++n; }
+        if (x + half < side) { sum += g.at(x + half, y); ++n; }
+        if (y >= half) { sum += g.at(x, y - half); ++n; }
+        if (y + half < side) { sum += g.at(x, y + half); ++n; }
+        g.at(x, y) = sum / n + rng.uniform_real(-amplitude, amplitude);
+      }
+    }
+
+    amplitude *= roughness;
+  }
+}
+
+}  // namespace
+
+Grid<float> generate_dem(const DemOptions& options) {
+  DAS_REQUIRE(options.width >= 2 && options.height >= 2);
+  DAS_REQUIRE(options.roughness > 0.0 && options.roughness < 1.0);
+
+  sim::Rng rng(options.seed);
+  const std::uint32_t side = covering_side(options.width, options.height);
+  Grid<double> fractal(side, side, 0.0);
+  diamond_square(fractal, rng, options.roughness, options.relief);
+
+  Grid<float> out(options.width, options.height);
+  for (std::uint32_t y = 0; y < options.height; ++y) {
+    for (std::uint32_t x = 0; x < options.width; ++x) {
+      const double ramp =
+          options.ramp * (static_cast<double>(x) + static_cast<double>(y));
+      out.at(x, y) = static_cast<float>(fractal.at(x, y) - ramp);
+    }
+  }
+  return out;
+}
+
+Grid<float> generate_ramp(std::uint32_t width, std::uint32_t height,
+                          double slope_x, double slope_y) {
+  Grid<float> out(width, height);
+  for (std::uint32_t y = 0; y < height; ++y) {
+    for (std::uint32_t x = 0; x < width; ++x) {
+      out.at(x, y) = static_cast<float>(
+          -(slope_x * static_cast<double>(x) +
+            slope_y * static_cast<double>(y)));
+    }
+  }
+  return out;
+}
+
+Grid<float> generate_cone(std::uint32_t width, std::uint32_t height) {
+  Grid<float> out(width, height);
+  const double cx = (static_cast<double>(width) - 1.0) / 2.0;
+  const double cy = (static_cast<double>(height) - 1.0) / 2.0;
+  for (std::uint32_t y = 0; y < height; ++y) {
+    for (std::uint32_t x = 0; x < width; ++x) {
+      const double dx = static_cast<double>(x) - cx;
+      const double dy = static_cast<double>(y) - cy;
+      out.at(x, y) = static_cast<float>(std::sqrt(dx * dx + dy * dy));
+    }
+  }
+  return out;
+}
+
+}  // namespace das::grid

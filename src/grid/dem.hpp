@@ -1,0 +1,45 @@
+// Synthetic digital elevation models (DEMs) for the terrain-analysis
+// workloads (flow-routing, flow-accumulation).
+//
+// The paper ran on production GIS rasters we do not have; these generators
+// produce terrain with the same structural properties the kernels exercise:
+// continuous relief, distinct drainage basins, and no flat plateaus (every
+// cell has a strictly lower neighbour unless it is a local minimum).
+#pragma once
+
+#include <cstdint>
+
+#include "grid/grid.hpp"
+#include "simkit/random.hpp"
+
+namespace das::grid {
+
+struct DemOptions {
+  std::uint32_t width = 256;
+  std::uint32_t height = 256;
+  std::uint64_t seed = 42;
+  /// Fractal roughness in (0, 1); higher = rougher terrain.
+  double roughness = 0.55;
+  /// Amplitude of the initial corner displacement.
+  double relief = 1000.0;
+  /// Slope of the deterministic ramp added to break ties/plateaus.
+  double ramp = 1e-3;
+};
+
+/// Fractal terrain via diamond-square, plus a slight south-east ramp so that
+/// steepest-descent directions are unique almost everywhere.
+[[nodiscard]] Grid<float> generate_dem(const DemOptions& options);
+
+/// An inclined plane falling toward the south-east corner: every interior
+/// cell drains diagonally, giving a closed-form flow-accumulation answer
+/// used by the kernel tests.
+[[nodiscard]] Grid<float> generate_ramp(std::uint32_t width,
+                                        std::uint32_t height,
+                                        double slope_x = 1.0,
+                                        double slope_y = 1.0);
+
+/// A cone draining radially toward the centre cell.
+[[nodiscard]] Grid<float> generate_cone(std::uint32_t width,
+                                        std::uint32_t height);
+
+}  // namespace das::grid

@@ -1,0 +1,55 @@
+#include "grid/image.hpp"
+
+#include <cmath>
+
+namespace das::grid {
+
+Grid<float> generate_image(const ImageOptions& options) {
+  DAS_REQUIRE(options.width > 0 && options.height > 0);
+  sim::Rng rng(options.seed);
+
+  struct Blob {
+    double x, y, sigma, intensity;
+  };
+  std::vector<Blob> blobs;
+  blobs.reserve(options.num_blobs);
+  const double min_side = std::min(options.width, options.height);
+  for (std::uint32_t i = 0; i < options.num_blobs; ++i) {
+    blobs.push_back(Blob{
+        rng.uniform_real(0.0, static_cast<double>(options.width)),
+        rng.uniform_real(0.0, static_cast<double>(options.height)),
+        rng.uniform_real(min_side / 40.0, min_side / 8.0),
+        rng.uniform_real(0.3, 1.0) * options.blob_intensity,
+    });
+  }
+
+  Grid<float> out(options.width, options.height);
+  for (std::uint32_t y = 0; y < options.height; ++y) {
+    for (std::uint32_t x = 0; x < options.width; ++x) {
+      double v = options.background;
+      for (const Blob& b : blobs) {
+        const double dx = static_cast<double>(x) - b.x;
+        const double dy = static_cast<double>(y) - b.y;
+        v += b.intensity *
+             std::exp(-(dx * dx + dy * dy) / (2.0 * b.sigma * b.sigma));
+      }
+      v += rng.normal(0.0, options.noise_stddev);
+      out.at(x, y) = static_cast<float>(v);
+    }
+  }
+  return out;
+}
+
+Grid<float> generate_impulse_noise(std::uint32_t width, std::uint32_t height,
+                                   float base_value, float impulse_value,
+                                   double impulse_rate, std::uint64_t seed) {
+  DAS_REQUIRE(impulse_rate >= 0.0 && impulse_rate <= 1.0);
+  sim::Rng rng(seed);
+  Grid<float> out(width, height, base_value);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    if (rng.bernoulli(impulse_rate)) out[i] = impulse_value;
+  }
+  return out;
+}
+
+}  // namespace das::grid

@@ -1,0 +1,38 @@
+// Synthetic medical-image-like rasters for the filter kernels
+// (2-D Gaussian, median).
+//
+// Substitutes for the paper's medical imaging datasets: smooth anatomical
+// "structures" (Gaussian blobs) over a background, with additive speckle
+// noise — the signal shape a smoothing filter is meant to clean up.
+#pragma once
+
+#include <cstdint>
+
+#include "grid/grid.hpp"
+#include "simkit/random.hpp"
+
+namespace das::grid {
+
+struct ImageOptions {
+  std::uint32_t width = 256;
+  std::uint32_t height = 256;
+  std::uint64_t seed = 7;
+  std::uint32_t num_blobs = 12;
+  double background = 100.0;
+  double blob_intensity = 800.0;
+  double noise_stddev = 25.0;
+};
+
+/// Blobs + Gaussian speckle noise.
+[[nodiscard]] Grid<float> generate_image(const ImageOptions& options);
+
+/// Impulse ("salt and pepper") corrupted constant field: the classic
+/// median-filter test pattern with a known answer.
+[[nodiscard]] Grid<float> generate_impulse_noise(std::uint32_t width,
+                                                 std::uint32_t height,
+                                                 float base_value,
+                                                 float impulse_value,
+                                                 double impulse_rate,
+                                                 std::uint64_t seed);
+
+}  // namespace das::grid

@@ -1,0 +1,22 @@
+#include "grid/serialize.hpp"
+
+#include <cstring>
+
+namespace das::grid {
+
+std::vector<std::byte> to_bytes(const Grid<float>& g) {
+  std::vector<std::byte> out(serialized_size(g));
+  if (!out.empty()) std::memcpy(out.data(), g.data(), out.size());
+  return out;
+}
+
+Grid<float> from_bytes(const std::vector<std::byte>& bytes,
+                       std::uint32_t width, std::uint32_t height) {
+  DAS_REQUIRE(bytes.size() ==
+              static_cast<std::size_t>(width) * height * sizeof(float));
+  Grid<float> g(width, height);
+  std::memcpy(g.data(), bytes.data(), bytes.size());
+  return g;
+}
+
+}  // namespace das::grid

@@ -1,0 +1,32 @@
+// Grid <-> byte-stream conversion.
+//
+// A grid is stored in the parallel file system as its raw row-major element
+// stream (no header): element i of the file is cell (i % W, i / W), which is
+// precisely the 1-D abstraction the paper's dependence offsets are written
+// against ("a file can be abstracted as a one-dimension array of bytes").
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "grid/grid.hpp"
+
+namespace das::grid {
+
+/// Size in bytes of the serialized form of `g`.
+template <typename T>
+[[nodiscard]] std::uint64_t serialized_size(const Grid<T>& g) {
+  return static_cast<std::uint64_t>(g.size()) * sizeof(T);
+}
+
+/// Serialize to raw row-major bytes (native endianness).
+[[nodiscard]] std::vector<std::byte> to_bytes(const Grid<float>& g);
+
+/// Reconstruct a width x height float grid from raw bytes.
+/// Requires bytes.size() == width * height * sizeof(float).
+[[nodiscard]] Grid<float> from_bytes(const std::vector<std::byte>& bytes,
+                                     std::uint32_t width,
+                                     std::uint32_t height);
+
+}  // namespace das::grid

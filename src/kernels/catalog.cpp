@@ -1,0 +1,44 @@
+#include "kernels/catalog.hpp"
+
+#include <utility>
+
+namespace das::kernels {
+
+FeaturesCatalog FeaturesCatalog::from_text(std::string_view text) {
+  FeaturesCatalog catalog;
+  for (KernelFeatures& record : parse_catalog(text)) {
+    catalog.add(std::move(record));
+  }
+  return catalog;
+}
+
+void FeaturesCatalog::add(KernelFeatures features) {
+  std::string name = features.name;
+  records_.insert_or_assign(std::move(name), std::move(features));
+}
+
+bool FeaturesCatalog::remove(const std::string& name) {
+  return records_.erase(name) > 0;
+}
+
+bool FeaturesCatalog::contains(const std::string& name) const {
+  return records_.contains(name);
+}
+
+std::optional<KernelFeatures> FeaturesCatalog::lookup(
+    const std::string& name) const {
+  const auto it = records_.find(name);
+  if (it == records_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string FeaturesCatalog::to_text() const {
+  std::string out;
+  for (const auto& [name, record] : records_) {
+    if (!out.empty()) out += '\n';
+    out += record.format();
+  }
+  return out;
+}
+
+}  // namespace das::kernels

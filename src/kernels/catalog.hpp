@@ -1,0 +1,50 @@
+// Kernel Features catalog — the paper's §III-B component: "a component
+// called Kernel Features is embedded in the active storage client to
+// identify data dependence patterns. The patterns can be implemented and
+// represented as a plain text file."
+//
+// The catalog maps operator names to dependence records. The Active Storage
+// Client consults it before falling back to the kernel implementation's
+// built-in pattern, so deployments can describe operators (or correct a
+// pattern) without recompiling — exactly the paper's plain-text workflow.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "kernels/features.hpp"
+
+namespace das::kernels {
+
+class FeaturesCatalog {
+ public:
+  FeaturesCatalog() = default;
+
+  /// Parse a catalog from the paper's text format (one or more records).
+  /// Throws std::invalid_argument on malformed input.
+  [[nodiscard]] static FeaturesCatalog from_text(std::string_view text);
+
+  /// Insert or replace the record for `features.name`.
+  void add(KernelFeatures features);
+
+  /// Remove a record; returns false if it was absent.
+  bool remove(const std::string& name);
+
+  [[nodiscard]] bool contains(const std::string& name) const;
+
+  /// The record for `name`, if present.
+  [[nodiscard]] std::optional<KernelFeatures> lookup(
+      const std::string& name) const;
+
+  [[nodiscard]] std::size_t size() const { return records_.size(); }
+
+  /// Render every record back to the text format (round-trips from_text).
+  [[nodiscard]] std::string to_text() const;
+
+ private:
+  std::map<std::string, KernelFeatures> records_;
+};
+
+}  // namespace das::kernels

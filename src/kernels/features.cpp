@@ -1,0 +1,230 @@
+#include "kernels/features.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+
+namespace das::kernels {
+namespace {
+
+[[noreturn]] void bad(std::string_view what, std::string_view context) {
+  throw std::invalid_argument("kernel features: " + std::string(what) +
+                              " near '" + std::string(context) + "'");
+}
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+/// Parse one offset expression: a signed sum of terms, each term being an
+/// integer, "imgWidth", or "<int>*imgWidth".
+SymbolicOffset parse_offset(std::string_view expr) {
+  const std::string_view original = expr;
+  expr = trim(expr);
+  if (expr.empty()) bad("empty offset", original);
+
+  SymbolicOffset out;
+  std::size_t i = 0;
+  while (i < expr.size()) {
+    std::int64_t sign = 1;
+    while (i < expr.size() && (expr[i] == '+' || expr[i] == '-' ||
+                               std::isspace(static_cast<unsigned char>(expr[i])))) {
+      if (expr[i] == '-') sign = -sign;
+      ++i;
+    }
+    if (i >= expr.size()) bad("dangling sign", original);
+
+    std::int64_t magnitude = 1;
+    bool saw_number = false;
+    if (std::isdigit(static_cast<unsigned char>(expr[i]))) {
+      magnitude = 0;
+      saw_number = true;
+      while (i < expr.size() &&
+             std::isdigit(static_cast<unsigned char>(expr[i]))) {
+        magnitude = magnitude * 10 + (expr[i] - '0');
+        ++i;
+      }
+      while (i < expr.size() &&
+             std::isspace(static_cast<unsigned char>(expr[i]))) {
+        ++i;
+      }
+      if (i < expr.size() && expr[i] == '*') {
+        ++i;
+        while (i < expr.size() &&
+               std::isspace(static_cast<unsigned char>(expr[i]))) {
+          ++i;
+        }
+        saw_number = false;  // the number was a coefficient, not a term
+      } else {
+        out.constant += sign * magnitude;
+        continue;
+      }
+    }
+
+    constexpr std::string_view kWidth = "imgWidth";
+    if (expr.compare(i, kWidth.size(), kWidth) == 0) {
+      out.width_coeff += sign * magnitude;
+      i += kWidth.size();
+    } else if (saw_number) {
+      out.constant += sign * magnitude;
+    } else {
+      bad("expected integer or imgWidth", expr.substr(i));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string SymbolicOffset::to_string() const {
+  std::ostringstream out;
+  if (width_coeff != 0) {
+    if (width_coeff == -1) {
+      out << "-imgWidth";
+    } else if (width_coeff == 1) {
+      out << "imgWidth";
+    } else {
+      out << width_coeff << "*imgWidth";
+    }
+    if (constant > 0) out << '+' << constant;
+    if (constant < 0) out << constant;
+  } else {
+    out << constant;
+  }
+  return out.str();
+}
+
+std::vector<std::int64_t> KernelFeatures::resolve(
+    std::uint32_t img_width) const {
+  std::vector<std::int64_t> out;
+  out.reserve(dependence.size());
+  for (const SymbolicOffset& o : dependence) out.push_back(o.resolve(img_width));
+  return out;
+}
+
+std::uint64_t KernelFeatures::max_reach(std::uint32_t img_width) const {
+  std::uint64_t reach = 0;
+  for (const SymbolicOffset& o : dependence) {
+    const std::int64_t r = o.resolve(img_width);
+    reach = std::max(reach, static_cast<std::uint64_t>(r < 0 ? -r : r));
+  }
+  return reach;
+}
+
+std::string KernelFeatures::format() const {
+  std::ostringstream out;
+  out << "Name:" << name << "\nDependence: ";
+  for (std::size_t i = 0; i < dependence.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << dependence[i].to_string();
+  }
+  out << '\n';
+  return out.str();
+}
+
+KernelFeatures parse_features(std::string_view text) {
+  const auto records = parse_catalog(text);
+  if (records.size() != 1) {
+    throw std::invalid_argument(
+        "kernel features: expected exactly one record, found " +
+        std::to_string(records.size()));
+  }
+  return records.front();
+}
+
+std::vector<KernelFeatures> parse_catalog(std::string_view text) {
+  std::vector<KernelFeatures> records;
+  KernelFeatures current;
+  bool in_record = false;
+  bool in_dependence = false;
+
+  auto flush = [&]() {
+    if (!in_record) return;
+    if (current.dependence.empty()) {
+      bad("record has no Dependence line", current.name);
+    }
+    records.push_back(std::move(current));
+    current = KernelFeatures{};
+    in_record = false;
+    in_dependence = false;
+  };
+
+  auto parse_offset_list = [&](std::string_view list) {
+    std::size_t start = 0;
+    while (start <= list.size()) {
+      const std::size_t comma = list.find(',', start);
+      const std::string_view piece = trim(
+          list.substr(start, comma == std::string_view::npos
+                                 ? std::string_view::npos
+                                 : comma - start));
+      if (!piece.empty()) current.dependence.push_back(parse_offset(piece));
+      if (comma == std::string_view::npos) break;
+      start = comma + 1;
+    }
+  };
+
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t eol = text.find('\n', pos);
+    const std::string_view line = trim(
+        text.substr(pos, eol == std::string_view::npos ? std::string_view::npos
+                                                       : eol - pos));
+    pos = eol == std::string_view::npos ? text.size() + 1 : eol + 1;
+
+    if (line.empty()) {
+      in_dependence = false;
+      continue;
+    }
+    if (line.starts_with("Name:")) {
+      flush();
+      current.name = std::string(trim(line.substr(5)));
+      if (current.name.empty()) bad("empty operator name", line);
+      in_record = true;
+      in_dependence = false;
+    } else if (line.starts_with("Dependence:")) {
+      if (!in_record) bad("Dependence before Name", line);
+      parse_offset_list(line.substr(11));
+      in_dependence = true;
+    } else if (in_dependence) {
+      parse_offset_list(line);  // wrapped continuation of the offset list
+    } else {
+      bad("unrecognized line", line);
+    }
+  }
+  flush();
+  return records;
+}
+
+KernelFeatures four_neighbor_pattern(std::string name) {
+  KernelFeatures f;
+  f.name = std::move(name);
+  f.dependence = {
+      SymbolicOffset{-1, 0},  // north
+      SymbolicOffset{0, -1},  // west
+      SymbolicOffset{0, 1},   // east
+      SymbolicOffset{1, 0},   // south
+  };
+  return f;
+}
+
+KernelFeatures eight_neighbor_pattern(std::string name) {
+  KernelFeatures f;
+  f.name = std::move(name);
+  // The paper's flow-routing record order.
+  f.dependence = {
+      SymbolicOffset{-1, 1},  SymbolicOffset{-1, 0}, SymbolicOffset{-1, -1},
+      SymbolicOffset{0, -1},  SymbolicOffset{0, 1},  SymbolicOffset{1, -1},
+      SymbolicOffset{1, 0},   SymbolicOffset{1, 1},
+  };
+  return f;
+}
+
+}  // namespace das::kernels

@@ -1,0 +1,71 @@
+// Kernel Features descriptors (paper §III-B).
+//
+// A descriptor names an operator and lists the element offsets of its data
+// dependence relative to the element being processed, with the file viewed
+// as a 1-D element array. Offsets may reference the raster width
+// symbolically so one record covers any image size, exactly as in the
+// paper's example:
+//
+//   Name:flow-routing
+//   Dependence: -imgWidth+1, -imgWidth, -imgWidth-1, -1, 1,
+//               imgWidth-1, imgWidth, imgWidth+1
+//
+// The bandwidth predictor (src/core/bandwidth_model.*) consumes resolved
+// integer offsets.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace das::kernels {
+
+/// An offset of the form width_coeff * imgWidth + constant (elements).
+struct SymbolicOffset {
+  std::int64_t width_coeff = 0;
+  std::int64_t constant = 0;
+
+  [[nodiscard]] std::int64_t resolve(std::uint32_t img_width) const {
+    return width_coeff * static_cast<std::int64_t>(img_width) + constant;
+  }
+
+  /// Render in the paper's notation, e.g. "-imgWidth+1" or "-1".
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const SymbolicOffset&,
+                         const SymbolicOffset&) = default;
+};
+
+/// One operator's dependence record.
+struct KernelFeatures {
+  std::string name;
+  std::vector<SymbolicOffset> dependence;
+
+  /// Instantiate the offsets for a raster of the given width.
+  [[nodiscard]] std::vector<std::int64_t> resolve(
+      std::uint32_t img_width) const;
+
+  /// Largest |offset| in elements for the given width (the reach of the
+  /// stencil, which determines the halo the DAS layout must replicate).
+  [[nodiscard]] std::uint64_t max_reach(std::uint32_t img_width) const;
+
+  /// Render the record in the paper's two-line text format.
+  [[nodiscard]] std::string format() const;
+
+  friend bool operator==(const KernelFeatures&,
+                         const KernelFeatures&) = default;
+};
+
+/// Parse one record ("Name:..." line followed by "Dependence:..." line,
+/// which may wrap). Throws std::invalid_argument on malformed input.
+[[nodiscard]] KernelFeatures parse_features(std::string_view text);
+
+/// Parse a catalog: records separated by blank lines or back to back.
+[[nodiscard]] std::vector<KernelFeatures> parse_catalog(std::string_view text);
+
+/// The common GIS / imaging patterns (paper §III-C).
+[[nodiscard]] KernelFeatures four_neighbor_pattern(std::string name);
+[[nodiscard]] KernelFeatures eight_neighbor_pattern(std::string name);
+
+}  // namespace das::kernels

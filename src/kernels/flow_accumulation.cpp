@@ -1,0 +1,166 @@
+#include "kernels/flow_accumulation.hpp"
+
+#include <deque>
+
+#include "kernels/flow_routing.hpp"
+
+namespace das::kernels {
+namespace {
+
+/// Downstream cell of (x, y) under direction code `code`, or {-1, -1} when
+/// the cell is a pit or its flow leaves the grid.
+struct Cell {
+  std::int64_t x = -1;
+  std::int64_t y = -1;
+  [[nodiscard]] bool valid() const { return x >= 0; }
+};
+
+Cell downstream(const grid::Grid<float>& dirs, std::int64_t x,
+                std::int64_t y) {
+  const auto code = static_cast<std::uint32_t>(
+      dirs.at(static_cast<std::uint32_t>(x), static_cast<std::uint32_t>(y)));
+  if (code == 0) return {};
+  const D8Step step = d8_step(static_cast<D8>(code));
+  const std::int64_t nx = x + step.dx;
+  const std::int64_t ny = y + step.dy;
+  if (nx < 0 || ny < 0 || nx >= static_cast<std::int64_t>(dirs.width()) ||
+      ny >= static_cast<std::int64_t>(dirs.height())) {
+    return {};
+  }
+  return {nx, ny};
+}
+
+/// Kahn-style accumulation over rows [row_begin, row_end) of `dirs`.
+/// `inflow` supplies external contributions entering each cell; `acc`
+/// receives the result for the slab's rows; contributions leaving the slab
+/// (but staying in the grid) are added into `outflow`.
+void accumulate_slab(const grid::Grid<float>& dirs, std::uint32_t row_begin,
+                     std::uint32_t row_end, const grid::Grid<float>& inflow,
+                     grid::Grid<float>& acc, grid::Grid<float>& outflow) {
+  const std::uint32_t width = dirs.width();
+  const auto in_slab = [&](const Cell& c) {
+    return c.valid() && c.y >= row_begin && c.y < row_end;
+  };
+  const auto slab_index = [&](std::int64_t x, std::int64_t y) {
+    return static_cast<std::size_t>(y - row_begin) * width +
+           static_cast<std::size_t>(x);
+  };
+
+  const std::size_t cells =
+      static_cast<std::size_t>(row_end - row_begin) * width;
+  std::vector<std::uint32_t> indegree(cells, 0);
+  for (std::uint32_t y = row_begin; y < row_end; ++y) {
+    for (std::uint32_t x = 0; x < width; ++x) {
+      const Cell d = downstream(dirs, x, y);
+      if (in_slab(d)) ++indegree[slab_index(d.x, d.y)];
+    }
+  }
+
+  std::vector<double> value(cells);
+  std::deque<std::pair<std::uint32_t, std::uint32_t>> ready;
+  for (std::uint32_t y = row_begin; y < row_end; ++y) {
+    for (std::uint32_t x = 0; x < width; ++x) {
+      value[slab_index(x, y)] = inflow.at(x, y);
+      if (indegree[slab_index(x, y)] == 0) ready.emplace_back(x, y);
+    }
+  }
+
+  while (!ready.empty()) {
+    const auto [x, y] = ready.front();
+    ready.pop_front();
+    const double v = value[slab_index(x, y)];
+    acc.at(x, y) = static_cast<float>(v);
+    const Cell d = downstream(dirs, x, y);
+    if (!d.valid()) continue;
+    const double contribution = v + 1.0;
+    if (in_slab(d)) {
+      value[slab_index(d.x, d.y)] += contribution;
+      if (--indegree[slab_index(d.x, d.y)] == 0) {
+        ready.emplace_back(static_cast<std::uint32_t>(d.x),
+                           static_cast<std::uint32_t>(d.y));
+      }
+    } else {
+      outflow.at(static_cast<std::uint32_t>(d.x),
+                 static_cast<std::uint32_t>(d.y)) +=
+          static_cast<float>(contribution);
+    }
+  }
+}
+
+}  // namespace
+
+std::string FlowAccumulationKernel::description() const {
+  return "Basic operation of terrain analysis (GIS): accumulated flow as the "
+         "count of upstream cells draining through each cell";
+}
+
+KernelFeatures FlowAccumulationKernel::features() const {
+  return eight_neighbor_pattern(name());
+}
+
+grid::Grid<float> FlowAccumulationKernel::run_reference(
+    const grid::Grid<float>& dirs) const {
+  grid::Grid<float> acc(dirs.width(), dirs.height(), 0.0F);
+  grid::Grid<float> inflow(dirs.width(), dirs.height(), 0.0F);
+  grid::Grid<float> outflow(dirs.width(), dirs.height(), 0.0F);
+  accumulate_slab(dirs, 0, dirs.height(), inflow, acc, outflow);
+  return acc;
+}
+
+void FlowAccumulationKernel::run_tile(const grid::Grid<float>& buffer,
+                                      std::uint32_t buffer_row0,
+                                      std::uint32_t grid_height,
+                                      std::uint32_t out_row_begin,
+                                      std::uint32_t out_row_end,
+                                      grid::Grid<float>& out) const {
+  check_tile_args(buffer, buffer_row0, grid_height, out_row_begin,
+                  out_row_end, out);
+  // Round 0 of the distributed algorithm: accumulate within the slab with
+  // zero external inflow. The buffer rows corresponding to the slab are
+  // copied into a standalone grid so slab row indices start at 0.
+  const grid::Grid<float> slab_dirs = buffer.slice_rows(
+      out_row_begin - buffer_row0, out_row_end - buffer_row0);
+  grid::Grid<float> acc(slab_dirs.width(), slab_dirs.height(), 0.0F);
+  grid::Grid<float> inflow(slab_dirs.width(), slab_dirs.height(), 0.0F);
+  grid::Grid<float> outflow(slab_dirs.width(), slab_dirs.height(), 0.0F);
+  accumulate_slab(slab_dirs, 0, slab_dirs.height(), inflow, acc, outflow);
+  out = acc;
+}
+
+DistributedAccumulationResult distributed_flow_accumulation(
+    const grid::Grid<float>& dirs,
+    const std::vector<std::uint32_t>& slab_begins) {
+  DAS_REQUIRE(!slab_begins.empty());
+  DAS_REQUIRE(slab_begins.front() == 0);
+  for (std::size_t i = 1; i < slab_begins.size(); ++i) {
+    DAS_REQUIRE(slab_begins[i] > slab_begins[i - 1]);
+    DAS_REQUIRE(slab_begins[i] < dirs.height());
+  }
+
+  const std::uint32_t width = dirs.width();
+  const std::uint32_t height = dirs.height();
+  grid::Grid<float> acc(width, height, 0.0F);
+  grid::Grid<float> inflow(width, height, 0.0F);
+
+  // A flow path of length L crosses slab boundaries at most L times and each
+  // round resolves one more crossing along every path, so W*H rounds is a
+  // true upper bound; exceeding it means a cycle in the direction raster.
+  const std::uint64_t max_rounds =
+      static_cast<std::uint64_t>(width) * height + 8;
+  std::uint32_t round = 0;
+  for (;; ++round) {
+    DAS_REQUIRE(round < max_rounds && "distributed accumulation diverged");
+    grid::Grid<float> next_inflow(width, height, 0.0F);
+    for (std::size_t s = 0; s < slab_begins.size(); ++s) {
+      const std::uint32_t row_begin = slab_begins[s];
+      const std::uint32_t row_end =
+          s + 1 < slab_begins.size() ? slab_begins[s + 1] : height;
+      accumulate_slab(dirs, row_begin, row_end, inflow, acc, next_inflow);
+    }
+    if (next_inflow == inflow) break;
+    inflow = std::move(next_inflow);
+  }
+  return DistributedAccumulationResult{std::move(acc), round + 1};
+}
+
+}  // namespace das::kernels

@@ -1,0 +1,57 @@
+// Flow accumulation (paper Table I).
+//
+// Input is a D8 direction raster (the flow-routing output); the output
+// raster holds, per cell, the number of upstream cells whose flow passes
+// through it (not counting the cell itself — the ESRI convention).
+//
+// Flow accumulation has *global* dataflow: water entering one edge of a
+// strip can exit the other side, so a single pass over a tile with a 1-row
+// halo is not exact. The reference uses topological (Kahn) propagation; the
+// distributed algorithm partitions the grid into row slabs and iterates
+// boundary-inflow exchanges until a fixed point — the same structure an
+// active-storage execution uses, with each exchange round costing one halo
+// transfer. run_tile computes the zero-external-inflow local pass (round 0
+// of the distributed algorithm), hence tile_exact() == false.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "kernels/kernel.hpp"
+
+namespace das::kernels {
+
+class FlowAccumulationKernel final : public ProcessingKernel {
+ public:
+  [[nodiscard]] std::string name() const override {
+    return "flow-accumulation";
+  }
+  [[nodiscard]] std::string description() const override;
+  [[nodiscard]] KernelFeatures features() const override;
+  [[nodiscard]] double cost_factor() const override { return 1.0; }
+  [[nodiscard]] bool tile_exact() const override { return false; }
+
+  [[nodiscard]] grid::Grid<float> run_reference(
+      const grid::Grid<float>& dirs) const override;
+
+  void run_tile(const grid::Grid<float>& buffer, std::uint32_t buffer_row0,
+                std::uint32_t grid_height, std::uint32_t out_row_begin,
+                std::uint32_t out_row_end,
+                grid::Grid<float>& out) const override;
+};
+
+/// Result of the distributed algorithm: the accumulation raster plus the
+/// number of boundary-exchange rounds it took to converge (each round is a
+/// halo transfer in an active-storage execution).
+struct DistributedAccumulationResult {
+  grid::Grid<float> accumulation;
+  std::uint32_t rounds = 0;
+};
+
+/// Run flow accumulation over a row partition. `slab_begins` lists the first
+/// row of each slab, ascending, starting with 0; the last slab ends at
+/// dirs.height(). Produces output identical to the reference.
+[[nodiscard]] DistributedAccumulationResult distributed_flow_accumulation(
+    const grid::Grid<float>& dirs, const std::vector<std::uint32_t>& slab_begins);
+
+}  // namespace das::kernels

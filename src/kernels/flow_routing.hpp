@@ -1,0 +1,52 @@
+// Flow routing (single flow direction, paper Fig. 1 and Table I).
+//
+// For each cell the kernel inspects the 8 neighbours and routes flow to the
+// neighbour with the minimum value, following the paper's description
+// ("compares the value of central element to every 8-neighbor element and
+// find out the element with the minimum value as the flow direction").
+// Cells with no strictly lower neighbour are pits (direction 0). Directions
+// use the ESRI D8 encoding: E=1, SE=2, S=4, SW=8, W=16, NW=32, N=64, NE=128,
+// stored exactly in the float output raster.
+#pragma once
+
+#include "kernels/kernel.hpp"
+
+namespace das::kernels {
+
+/// D8 direction codes. kPit marks cells with no lower neighbour.
+enum class D8 : std::uint32_t {
+  kPit = 0,
+  kE = 1,
+  kSE = 2,
+  kS = 4,
+  kSW = 8,
+  kW = 16,
+  kNW = 32,
+  kN = 64,
+  kNE = 128,
+};
+
+/// (dx, dy) step for a D8 code. Requires code != kPit.
+struct D8Step {
+  std::int32_t dx;
+  std::int32_t dy;
+};
+[[nodiscard]] D8Step d8_step(D8 code);
+
+class FlowRoutingKernel final : public ProcessingKernel {
+ public:
+  [[nodiscard]] std::string name() const override { return "flow-routing"; }
+  [[nodiscard]] std::string description() const override;
+  [[nodiscard]] KernelFeatures features() const override;
+  [[nodiscard]] double cost_factor() const override { return 1.2; }
+
+  [[nodiscard]] grid::Grid<float> run_reference(
+      const grid::Grid<float>& input) const override;
+
+  void run_tile(const grid::Grid<float>& buffer, std::uint32_t buffer_row0,
+                std::uint32_t grid_height, std::uint32_t out_row_begin,
+                std::uint32_t out_row_end,
+                grid::Grid<float>& out) const override;
+};
+
+}  // namespace das::kernels

@@ -1,0 +1,47 @@
+#include "kernels/gaussian.hpp"
+
+namespace das::kernels {
+
+std::string GaussianKernel::description() const {
+  return "Basic operation of signal and medical image processing: 3x3 "
+         "binomial Gaussian smoothing of the raw data";
+}
+
+KernelFeatures GaussianKernel::features() const {
+  return eight_neighbor_pattern(name());
+}
+
+grid::Grid<float> GaussianKernel::run_reference(
+    const grid::Grid<float>& input) const {
+  grid::Grid<float> out(input.width(), input.height());
+  run_tile(input, 0, input.height(), 0, input.height(), out);
+  return out;
+}
+
+void GaussianKernel::run_tile(const grid::Grid<float>& buffer,
+                              std::uint32_t buffer_row0,
+                              std::uint32_t grid_height,
+                              std::uint32_t out_row_begin,
+                              std::uint32_t out_row_end,
+                              grid::Grid<float>& out) const {
+  check_tile_args(buffer, buffer_row0, grid_height, out_row_begin,
+                  out_row_end, out);
+  const TileView view(buffer, buffer_row0, grid_height);
+  constexpr float kWeights[3][3] = {
+      {1.0F, 2.0F, 1.0F}, {2.0F, 4.0F, 2.0F}, {1.0F, 2.0F, 1.0F}};
+  for (std::uint32_t y = out_row_begin; y < out_row_end; ++y) {
+    for (std::uint32_t x = 0; x < buffer.width(); ++x) {
+      float sum = 0.0F;
+      for (int dy = -1; dy <= 1; ++dy) {
+        for (int dx = -1; dx <= 1; ++dx) {
+          sum += kWeights[dy + 1][dx + 1] *
+                 view.at_clamped(static_cast<std::int64_t>(x) + dx,
+                                 static_cast<std::int64_t>(y) + dy);
+        }
+      }
+      out.at(x, y - out_row_begin) = sum / 16.0F;
+    }
+  }
+}
+
+}  // namespace das::kernels

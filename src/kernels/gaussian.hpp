@@ -1,0 +1,26 @@
+// 2-D Gaussian filter (paper Table I): 3x3 binomial smoothing
+// ([1 2 1; 2 4 2; 1 2 1] / 16) with clamp-to-edge boundary sampling, as used
+// in signal and medical image processing.
+#pragma once
+
+#include "kernels/kernel.hpp"
+
+namespace das::kernels {
+
+class GaussianKernel final : public ProcessingKernel {
+ public:
+  [[nodiscard]] std::string name() const override { return "gaussian-2d"; }
+  [[nodiscard]] std::string description() const override;
+  [[nodiscard]] KernelFeatures features() const override;
+  [[nodiscard]] double cost_factor() const override { return 1.5; }
+
+  [[nodiscard]] grid::Grid<float> run_reference(
+      const grid::Grid<float>& input) const override;
+
+  void run_tile(const grid::Grid<float>& buffer, std::uint32_t buffer_row0,
+                std::uint32_t grid_height, std::uint32_t out_row_begin,
+                std::uint32_t out_row_end,
+                grid::Grid<float>& out) const override;
+};
+
+}  // namespace das::kernels

@@ -1,0 +1,147 @@
+// Processing-kernel interface (the paper's "Processing Kernels", Fig. 2).
+//
+// Kernels are separate components invoked either on compute nodes (the TS
+// scheme) or by the AS helper process on storage servers (NAS/DAS schemes).
+// Each kernel supplies:
+//   * its Kernel Features record (dependence pattern) for the bandwidth
+//     predictor,
+//   * a per-byte relative compute cost for the timing model,
+//   * a sequential reference implementation, and
+//   * a tile implementation that computes a row slab given a buffer holding
+//     the slab plus its dependence halo — the exact shape of data a storage
+//     server owns under the DAS layout.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "grid/grid.hpp"
+#include "kernels/features.hpp"
+#include "simkit/assert.hpp"
+
+namespace das::kernels {
+
+/// Read access to a logical-grid window held in a row-slab buffer.
+///
+/// `buffer` stores logical rows [row0, row0 + buffer.height()); reads are
+/// checked against both the buffer and the logical grid bounds.
+class TileView {
+ public:
+  TileView(const grid::Grid<float>& buffer, std::uint32_t row0,
+           std::uint32_t grid_height)
+      : buffer_(buffer), row0_(row0), grid_height_(grid_height) {}
+
+  [[nodiscard]] std::uint32_t width() const { return buffer_.width(); }
+  [[nodiscard]] std::uint32_t grid_height() const { return grid_height_; }
+
+  /// True if logical cell (x, y) exists in the grid.
+  [[nodiscard]] bool in_grid(std::int64_t x, std::int64_t y) const {
+    return x >= 0 && y >= 0 && x < static_cast<std::int64_t>(width()) &&
+           y < static_cast<std::int64_t>(grid_height_);
+  }
+
+  /// Value at logical cell (x, y); the cell must be in the grid and covered
+  /// by the buffer.
+  [[nodiscard]] float at(std::int64_t x, std::int64_t y) const {
+    DAS_ASSERT(in_grid(x, y));
+    DAS_ASSERT(y >= row0_ && y < row0_ + buffer_.height());
+    return buffer_.at(static_cast<std::uint32_t>(x),
+                      static_cast<std::uint32_t>(y - row0_));
+  }
+
+  /// Clamp-to-edge sample: coordinates outside the grid are clamped to the
+  /// nearest grid cell (still must be covered by the buffer after clamping).
+  [[nodiscard]] float at_clamped(std::int64_t x, std::int64_t y) const {
+    const std::int64_t cx =
+        std::max<std::int64_t>(0, std::min<std::int64_t>(x, width() - 1));
+    const std::int64_t cy = std::max<std::int64_t>(
+        0, std::min<std::int64_t>(y, grid_height_ - 1));
+    return at(cx, cy);
+  }
+
+ private:
+  const grid::Grid<float>& buffer_;
+  std::uint32_t row0_;
+  std::uint32_t grid_height_;
+};
+
+class ProcessingKernel {
+ public:
+  virtual ~ProcessingKernel() = default;
+
+  /// Operator name as used in Kernel Features records.
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// One-line description (the paper's Table I).
+  [[nodiscard]] virtual std::string description() const = 0;
+
+  /// Dependence pattern, offsets symbolic in imgWidth.
+  [[nodiscard]] virtual KernelFeatures features() const = 0;
+
+  /// Per-byte compute cost relative to a baseline single-pass scan.
+  [[nodiscard]] virtual double cost_factor() const = 0;
+
+  /// Rows of dependence halo needed on each side of a tile.
+  [[nodiscard]] virtual std::uint32_t halo_rows() const { return 1; }
+
+  /// True if stitching run_tile outputs over a row partition (with
+  /// halo_rows() of halo) reproduces run_reference exactly. False for
+  /// kernels with global dataflow (flow accumulation), which need the
+  /// iterative distributed algorithm instead.
+  [[nodiscard]] virtual bool tile_exact() const { return true; }
+
+  /// True for reduction kernels: the output is a small summary, not a
+  /// same-size raster. Reduction kernels never go through run_tile inside
+  /// the executors; each worker produces a reduction_result_bytes() message
+  /// instead of output strips.
+  [[nodiscard]] virtual bool is_reduction() const { return false; }
+
+  /// Size of the operator's output given its input size. Identity for the
+  /// raster-to-raster kernels; a small constant for reductions.
+  [[nodiscard]] virtual std::uint64_t output_bytes(
+      std::uint64_t input_bytes) const {
+    return input_bytes;
+  }
+
+  /// Bytes of the per-worker partial result a reduction ships back.
+  [[nodiscard]] virtual std::uint64_t reduction_result_bytes() const {
+    return 64;
+  }
+
+  /// Sequential reference over the whole grid.
+  [[nodiscard]] virtual grid::Grid<float> run_reference(
+      const grid::Grid<float>& input) const = 0;
+
+  /// Compute logical rows [out_row_begin, out_row_end) into `out` (whose
+  /// row 0 corresponds to logical row out_row_begin). `buffer` holds
+  /// logical rows [buffer_row0, buffer_row0 + buffer.height()) and must
+  /// cover the output rows plus halo_rows() of halo clipped to the grid.
+  virtual void run_tile(const grid::Grid<float>& buffer,
+                        std::uint32_t buffer_row0, std::uint32_t grid_height,
+                        std::uint32_t out_row_begin, std::uint32_t out_row_end,
+                        grid::Grid<float>& out) const = 0;
+
+ protected:
+  /// Validate the run_tile contract; kernels call this first.
+  void check_tile_args(const grid::Grid<float>& buffer,
+                       std::uint32_t buffer_row0, std::uint32_t grid_height,
+                       std::uint32_t out_row_begin, std::uint32_t out_row_end,
+                       const grid::Grid<float>& out) const {
+    DAS_REQUIRE(out_row_begin < out_row_end);
+    DAS_REQUIRE(out_row_end <= grid_height);
+    DAS_REQUIRE(out.width() == buffer.width());
+    DAS_REQUIRE(out.height() == out_row_end - out_row_begin);
+    const std::uint32_t halo = halo_rows();
+    const std::uint32_t need_lo =
+        out_row_begin >= halo ? out_row_begin - halo : 0;
+    const std::uint32_t need_hi =
+        std::min(grid_height, out_row_end + halo);
+    DAS_REQUIRE(buffer_row0 <= need_lo);
+    DAS_REQUIRE(buffer_row0 + buffer.height() >= need_hi);
+  }
+};
+
+using KernelPtr = std::unique_ptr<ProcessingKernel>;
+
+}  // namespace das::kernels

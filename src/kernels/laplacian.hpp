@@ -1,0 +1,27 @@
+// 4-neighbour Laplacian (paper §III-C: "the most useful data dependence
+// patterns are 4-neighbor and 8-neighbor patterns"). The discrete 5-point
+// Laplacian is the canonical 4-neighbour operator — edge detection in
+// imaging, smoothing residual in terrain analysis.
+#pragma once
+
+#include "kernels/kernel.hpp"
+
+namespace das::kernels {
+
+class LaplacianKernel final : public ProcessingKernel {
+ public:
+  [[nodiscard]] std::string name() const override { return "laplacian-4"; }
+  [[nodiscard]] std::string description() const override;
+  [[nodiscard]] KernelFeatures features() const override;
+  [[nodiscard]] double cost_factor() const override { return 0.9; }
+
+  [[nodiscard]] grid::Grid<float> run_reference(
+      const grid::Grid<float>& input) const override;
+
+  void run_tile(const grid::Grid<float>& buffer, std::uint32_t buffer_row0,
+                std::uint32_t grid_height, std::uint32_t out_row_begin,
+                std::uint32_t out_row_end,
+                grid::Grid<float>& out) const override;
+};
+
+}  // namespace das::kernels

@@ -1,0 +1,27 @@
+// 3x3 median filter — the second medical-imaging operation the paper's
+// introduction motivates ("many commonly used operations, such as ... median
+// filter, always require eight neighbor data items"). Included beyond the
+// three Table-I kernels to exercise a higher compute-cost stencil.
+#pragma once
+
+#include "kernels/kernel.hpp"
+
+namespace das::kernels {
+
+class MedianKernel final : public ProcessingKernel {
+ public:
+  [[nodiscard]] std::string name() const override { return "median-3x3"; }
+  [[nodiscard]] std::string description() const override;
+  [[nodiscard]] KernelFeatures features() const override;
+  [[nodiscard]] double cost_factor() const override { return 2.5; }
+
+  [[nodiscard]] grid::Grid<float> run_reference(
+      const grid::Grid<float>& input) const override;
+
+  void run_tile(const grid::Grid<float>& buffer, std::uint32_t buffer_row0,
+                std::uint32_t grid_height, std::uint32_t out_row_begin,
+                std::uint32_t out_row_end,
+                grid::Grid<float>& out) const override;
+};
+
+}  // namespace das::kernels

@@ -1,0 +1,57 @@
+#include "kernels/registry.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "kernels/flow_accumulation.hpp"
+#include "kernels/flow_routing.hpp"
+#include "kernels/gaussian.hpp"
+#include "kernels/laplacian.hpp"
+#include "kernels/median.hpp"
+#include "kernels/slope.hpp"
+#include "kernels/statistics.hpp"
+#include "simkit/assert.hpp"
+
+namespace das::kernels {
+
+void KernelRegistry::add(Factory factory) {
+  DAS_REQUIRE(factory != nullptr);
+  std::string name = factory()->name();
+  const auto [it, inserted] = factories_.emplace(name, std::move(factory));
+  if (!inserted) {
+    throw std::invalid_argument("kernel already registered: " + name);
+  }
+}
+
+bool KernelRegistry::contains(const std::string& name) const {
+  return factories_.contains(name);
+}
+
+KernelPtr KernelRegistry::create(const std::string& name) const {
+  const auto it = factories_.find(name);
+  if (it == factories_.end()) {
+    throw std::out_of_range("unknown kernel: " + name);
+  }
+  return it->second();
+}
+
+std::vector<std::string> KernelRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(factories_.size());
+  for (const auto& [name, factory] : factories_) out.push_back(name);
+  return out;
+}
+
+KernelRegistry standard_registry() {
+  KernelRegistry registry;
+  registry.add([] { return std::make_unique<FlowRoutingKernel>(); });
+  registry.add([] { return std::make_unique<FlowAccumulationKernel>(); });
+  registry.add([] { return std::make_unique<GaussianKernel>(); });
+  registry.add([] { return std::make_unique<MedianKernel>(); });
+  registry.add([] { return std::make_unique<SlopeKernel>(); });
+  registry.add([] { return std::make_unique<LaplacianKernel>(); });
+  registry.add([] { return std::make_unique<StatisticsKernel>(); });
+  return registry;
+}
+
+}  // namespace das::kernels

@@ -1,0 +1,42 @@
+// Kernel registry: the catalog the Active Storage Client consults when an
+// application names an operator to offload. Factories produce fresh kernel
+// instances; the standard registry holds the paper's three Table-I kernels
+// plus the median filter.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "kernels/kernel.hpp"
+
+namespace das::kernels {
+
+class KernelRegistry {
+ public:
+  using Factory = std::function<KernelPtr()>;
+
+  /// Register a factory under the name its kernels report.
+  /// Throws std::invalid_argument if the name is already taken.
+  void add(Factory factory);
+
+  /// True if an operator with this name is registered.
+  [[nodiscard]] bool contains(const std::string& name) const;
+
+  /// Instantiate a kernel. Throws std::out_of_range for unknown names.
+  [[nodiscard]] KernelPtr create(const std::string& name) const;
+
+  /// Registered operator names, sorted.
+  [[nodiscard]] std::vector<std::string> names() const;
+
+ private:
+  std::map<std::string, Factory> factories_;
+};
+
+/// Registry preloaded with flow-routing, flow-accumulation, gaussian-2d and
+/// median-3x3.
+[[nodiscard]] KernelRegistry standard_registry();
+
+}  // namespace das::kernels

@@ -1,0 +1,57 @@
+#include "kernels/slope.hpp"
+
+#include <cmath>
+
+namespace das::kernels {
+
+std::string SlopeKernel::description() const {
+  return "Terrain analysis (GIS): per-cell slope magnitude via Horn's "
+         "3x3 weighted central differences";
+}
+
+KernelFeatures SlopeKernel::features() const {
+  return eight_neighbor_pattern(name());
+}
+
+grid::Grid<float> SlopeKernel::run_reference(
+    const grid::Grid<float>& input) const {
+  grid::Grid<float> out(input.width(), input.height());
+  run_tile(input, 0, input.height(), 0, input.height(), out);
+  return out;
+}
+
+void SlopeKernel::run_tile(const grid::Grid<float>& buffer,
+                           std::uint32_t buffer_row0,
+                           std::uint32_t grid_height,
+                           std::uint32_t out_row_begin,
+                           std::uint32_t out_row_end,
+                           grid::Grid<float>& out) const {
+  check_tile_args(buffer, buffer_row0, grid_height, out_row_begin,
+                  out_row_end, out);
+  const TileView view(buffer, buffer_row0, grid_height);
+  for (std::uint32_t y = out_row_begin; y < out_row_end; ++y) {
+    for (std::uint32_t x = 0; x < buffer.width(); ++x) {
+      const auto ix = static_cast<std::int64_t>(x);
+      const auto iy = static_cast<std::int64_t>(y);
+      // Horn 1981: weighted central differences over the 3x3 window with
+      // clamp-to-edge sampling.
+      const double a = view.at_clamped(ix - 1, iy - 1);
+      const double b = view.at_clamped(ix, iy - 1);
+      const double c = view.at_clamped(ix + 1, iy - 1);
+      const double d = view.at_clamped(ix - 1, iy);
+      const double f = view.at_clamped(ix + 1, iy);
+      const double g = view.at_clamped(ix - 1, iy + 1);
+      const double h = view.at_clamped(ix, iy + 1);
+      const double i = view.at_clamped(ix + 1, iy + 1);
+
+      const double dzdx = ((c + 2 * f + i) - (a + 2 * d + g)) /
+                          (8.0 * cell_size_);
+      const double dzdy = ((g + 2 * h + i) - (a + 2 * b + c)) /
+                          (8.0 * cell_size_);
+      out.at(x, y - out_row_begin) =
+          static_cast<float>(std::sqrt(dzdx * dzdx + dzdy * dzdy));
+    }
+  }
+}
+
+}  // namespace das::kernels

@@ -1,0 +1,34 @@
+// Surface slope analysis (named in paper §III-C as a common 8-neighbour
+// GIS operation): per-cell terrain slope magnitude via Horn's method, the
+// standard GIS estimator (3x3 weighted central differences).
+#pragma once
+
+#include "kernels/kernel.hpp"
+
+namespace das::kernels {
+
+class SlopeKernel final : public ProcessingKernel {
+ public:
+  /// `cell_size` is the ground distance between cell centres.
+  explicit SlopeKernel(double cell_size = 1.0) : cell_size_(cell_size) {
+    DAS_REQUIRE(cell_size > 0.0);
+  }
+
+  [[nodiscard]] std::string name() const override { return "surface-slope"; }
+  [[nodiscard]] std::string description() const override;
+  [[nodiscard]] KernelFeatures features() const override;
+  [[nodiscard]] double cost_factor() const override { return 1.8; }
+
+  [[nodiscard]] grid::Grid<float> run_reference(
+      const grid::Grid<float>& input) const override;
+
+  void run_tile(const grid::Grid<float>& buffer, std::uint32_t buffer_row0,
+                std::uint32_t grid_height, std::uint32_t out_row_begin,
+                std::uint32_t out_row_end,
+                grid::Grid<float>& out) const override;
+
+ private:
+  double cell_size_;
+};
+
+}  // namespace das::kernels

@@ -1,0 +1,74 @@
+// Raster statistics — a reduction kernel (count / min / max / mean /
+// standard deviation over the whole raster).
+//
+// Scan-style reductions are the workload the active-disk literature the
+// paper builds on was designed for (Riedel et al., Keeton et al.): the
+// output is a few dozen bytes, so offloading always wins and — because the
+// dependence set is empty — NAS and DAS behave identically. Including it
+// contrasts the paper's contribution: dependence awareness only matters for
+// operators that have dependence.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "kernels/kernel.hpp"
+
+namespace das::kernels {
+
+/// Mergeable summary of a set of raster cells.
+struct RasterSummary {
+  std::uint64_t count = 0;
+  float min = std::numeric_limits<float>::infinity();
+  float max = -std::numeric_limits<float>::infinity();
+  double sum = 0.0;
+  double sum_squares = 0.0;
+
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+
+  /// Absorb another summary (associative and commutative for exact sums).
+  void merge(const RasterSummary& other);
+
+  /// Summary of a whole grid.
+  [[nodiscard]] static RasterSummary of(const grid::Grid<float>& g);
+
+  /// Summary of rows [row_begin, row_end).
+  [[nodiscard]] static RasterSummary of_rows(const grid::Grid<float>& g,
+                                             std::uint32_t row_begin,
+                                             std::uint32_t row_end);
+
+  friend bool operator==(const RasterSummary&,
+                         const RasterSummary&) = default;
+};
+
+class StatisticsKernel final : public ProcessingKernel {
+ public:
+  [[nodiscard]] std::string name() const override {
+    return "raster-statistics";
+  }
+  [[nodiscard]] std::string description() const override;
+  [[nodiscard]] KernelFeatures features() const override;  // no dependence
+  [[nodiscard]] double cost_factor() const override { return 0.6; }
+  [[nodiscard]] std::uint32_t halo_rows() const override { return 0; }
+  [[nodiscard]] bool tile_exact() const override { return false; }
+  [[nodiscard]] bool is_reduction() const override { return true; }
+  [[nodiscard]] std::uint64_t output_bytes(
+      std::uint64_t /*input_bytes*/) const override {
+    return sizeof(RasterSummary);
+  }
+
+  /// Returns a 5x1 raster [count, min, max, mean, stddev] so that the
+  /// common ProcessingKernel interface still has a reference output.
+  [[nodiscard]] grid::Grid<float> run_reference(
+      const grid::Grid<float>& input) const override;
+
+  /// Reductions never execute through the tile path; aborts if called.
+  void run_tile(const grid::Grid<float>& buffer, std::uint32_t buffer_row0,
+                std::uint32_t grid_height, std::uint32_t out_row_begin,
+                std::uint32_t out_row_end,
+                grid::Grid<float>& out) const override;
+};
+
+}  // namespace das::kernels

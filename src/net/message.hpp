@@ -1,0 +1,45 @@
+// Message types exchanged over the simulated cluster fabric.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace das::net {
+
+/// Identifies a cluster node (compute or storage). Dense, 0-based.
+using NodeId = std::uint32_t;
+
+inline constexpr NodeId kInvalidNode = UINT32_MAX;
+
+/// Traffic accounting categories. The DAS paper's argument is entirely about
+/// which of these categories bytes fall into, so the network attributes every
+/// byte to one of them.
+enum class TrafficClass : std::uint8_t {
+  kClientServer = 0,  // compute node <-> storage node (normal I/O path)
+  kServerServer = 1,  // storage node <-> storage node (dependence traffic)
+  kControl = 2,       // requests, acks, offload commands
+};
+
+inline constexpr std::size_t kNumTrafficClasses = 3;
+
+/// Human-readable class name for reports.
+constexpr const char* to_string(TrafficClass c) {
+  switch (c) {
+    case TrafficClass::kClientServer: return "client-server";
+    case TrafficClass::kServerServer: return "server-server";
+    case TrafficClass::kControl: return "control";
+  }
+  return "?";
+}
+
+/// One message in flight. `on_delivered` runs at the receiver once the last
+/// byte has cleared the receiving NIC.
+struct Message {
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  std::uint64_t bytes = 0;
+  TrafficClass cls = TrafficClass::kControl;
+  std::function<void()> on_delivered;
+};
+
+}  // namespace das::net

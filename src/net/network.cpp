@@ -1,0 +1,57 @@
+#include "net/network.hpp"
+
+#include <utility>
+
+#include "simkit/assert.hpp"
+
+namespace das::net {
+
+Network::Network(sim::Simulator& simulator, const NetworkConfig& config)
+    : sim_(simulator), config_(config) {
+  DAS_REQUIRE(config.num_nodes > 0);
+  nics_.reserve(config.num_nodes);
+  for (std::uint32_t i = 0; i < config.num_nodes; ++i) {
+    nics_.emplace_back(config.nic_bandwidth_bps);
+  }
+}
+
+const Nic& Network::nic(NodeId node) const {
+  DAS_REQUIRE(node < nics_.size());
+  return nics_[node];
+}
+
+void Network::send(Message msg) {
+  DAS_REQUIRE(msg.src < nics_.size());
+  DAS_REQUIRE(msg.dst < nics_.size());
+
+  const sim::SimTime sent_at = sim_.now();
+  const auto cls_index = static_cast<std::size_t>(msg.cls);
+  bytes_by_class_[cls_index] += msg.bytes;
+  msgs_by_class_[cls_index] += 1;
+
+  sim::SimTime delivered_at;
+  if (msg.src == msg.dst) {
+    delivered_at = sent_at + config_.wire_latency;
+  } else {
+    const std::uint64_t wire_bytes = msg.bytes + config_.control_overhead_bytes;
+    const sim::SimTime egress_done =
+        nics_[msg.src].reserve_egress(sent_at, wire_bytes);
+    const sim::SimTime arrival = egress_done + config_.wire_latency;
+    delivered_at = nics_[msg.dst].reserve_ingress(arrival, wire_bytes);
+  }
+
+  latency_.record(sim::to_seconds(delivered_at - sent_at));
+
+  if (msg.on_delivered) {
+    sim_.schedule_at(delivered_at,
+                     [cb = std::move(msg.on_delivered)]() { cb(); },
+                     "net.deliver");
+  }
+}
+
+void Network::send_control(NodeId src, NodeId dst,
+                           std::function<void()> on_delivered) {
+  send(Message{src, dst, 0, TrafficClass::kControl, std::move(on_delivered)});
+}
+
+}  // namespace das::net

@@ -1,0 +1,74 @@
+// Star-topology cluster fabric.
+//
+// Every node connects to a non-blocking switch through its own full-duplex
+// NIC; the NICs are the bandwidth bottleneck (as on the paper's testbed,
+// where the per-node link, not the switch backplane, limits transfers).
+// A message experiences: sender egress serialization -> wire latency ->
+// receiver ingress serialization -> delivery callback.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "net/message.hpp"
+#include "net/nic.hpp"
+#include "simkit/simulator.hpp"
+#include "simkit/stats.hpp"
+
+namespace das::net {
+
+struct NetworkConfig {
+  std::uint32_t num_nodes = 0;
+  double nic_bandwidth_bps = 600.0 * 1024 * 1024;  // 600 MiB/s full duplex
+  sim::SimDuration wire_latency = sim::microseconds(50);
+  /// Bytes charged for a zero-payload control message (headers, RPC frame).
+  std::uint64_t control_overhead_bytes = 256;
+};
+
+class Network {
+ public:
+  Network(sim::Simulator& simulator, const NetworkConfig& config);
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Queue `msg` for transmission at the current simulated time.
+  /// Messages between a node and itself are delivered after the wire latency
+  /// only (loopback does not consume NIC bandwidth).
+  void send(Message msg);
+
+  /// Convenience: send a small control message (request/ack).
+  void send_control(NodeId src, NodeId dst, std::function<void()> on_delivered);
+
+  [[nodiscard]] std::uint32_t num_nodes() const {
+    return static_cast<std::uint32_t>(nics_.size());
+  }
+  [[nodiscard]] const NetworkConfig& config() const { return config_; }
+  [[nodiscard]] const Nic& nic(NodeId node) const;
+
+  /// Total payload bytes delivered in each traffic class.
+  [[nodiscard]] std::uint64_t bytes_delivered(TrafficClass cls) const {
+    return bytes_by_class_[static_cast<std::size_t>(cls)];
+  }
+
+  /// Count of messages delivered in each traffic class.
+  [[nodiscard]] std::uint64_t messages_delivered(TrafficClass cls) const {
+    return msgs_by_class_[static_cast<std::size_t>(cls)];
+  }
+
+  /// End-to-end latency samples (seconds), all classes.
+  [[nodiscard]] const sim::Histogram& latency_histogram() const {
+    return latency_;
+  }
+
+ private:
+  sim::Simulator& sim_;
+  NetworkConfig config_;
+  std::vector<Nic> nics_;
+  std::uint64_t bytes_by_class_[kNumTrafficClasses] = {};
+  std::uint64_t msgs_by_class_[kNumTrafficClasses] = {};
+  sim::Histogram latency_;
+};
+
+}  // namespace das::net

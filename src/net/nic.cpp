@@ -1,0 +1,31 @@
+#include "net/nic.hpp"
+
+#include <algorithm>
+
+#include "simkit/assert.hpp"
+
+namespace das::net {
+
+Nic::Nic(double bandwidth_bps) : bandwidth_bps_(bandwidth_bps) {
+  DAS_REQUIRE(bandwidth_bps > 0.0);
+}
+
+sim::SimTime Nic::reserve_egress(sim::SimTime now, std::uint64_t bytes) {
+  const sim::SimTime start = std::max(now, egress_free_at_);
+  const sim::SimDuration span = sim::transfer_time(bytes, bandwidth_bps_);
+  egress_free_at_ = start + span;
+  egress_busy_ += span;
+  bytes_sent_ += bytes;
+  return egress_free_at_;
+}
+
+sim::SimTime Nic::reserve_ingress(sim::SimTime arrival, std::uint64_t bytes) {
+  const sim::SimTime start = std::max(arrival, ingress_free_at_);
+  const sim::SimDuration span = sim::transfer_time(bytes, bandwidth_bps_);
+  ingress_free_at_ = start + span;
+  ingress_busy_ += span;
+  bytes_received_ += bytes;
+  return ingress_free_at_;
+}
+
+}  // namespace das::net

@@ -1,0 +1,57 @@
+// Full-duplex network interface model.
+//
+// Each direction (egress/ingress) is a serial resource: transfers reserve it
+// back-to-back, so concurrent senders to one receiver queue behind each other
+// at the receiving NIC (incast), and one sender's messages serialize at its
+// own egress. Reservation uses "next free time" bookkeeping rather than
+// per-byte events, keeping large simulations cheap.
+#pragma once
+
+#include <cstdint>
+
+#include "simkit/time.hpp"
+
+namespace das::net {
+
+class Nic {
+ public:
+  /// `bandwidth_bps` applies independently to each direction (full duplex).
+  explicit Nic(double bandwidth_bps);
+
+  /// Reserve the egress path for `bytes` starting no earlier than `now`.
+  /// Returns the simulated time the last byte leaves this NIC.
+  sim::SimTime reserve_egress(sim::SimTime now, std::uint64_t bytes);
+
+  /// Reserve the ingress path for `bytes` starting no earlier than `arrival`.
+  /// Returns the simulated time the last byte has been received.
+  sim::SimTime reserve_ingress(sim::SimTime arrival, std::uint64_t bytes);
+
+  [[nodiscard]] double bandwidth_bps() const { return bandwidth_bps_; }
+
+  /// Accumulated busy time per direction (for utilization reporting).
+  [[nodiscard]] sim::SimDuration egress_busy() const { return egress_busy_; }
+  [[nodiscard]] sim::SimDuration ingress_busy() const { return ingress_busy_; }
+
+  /// Bytes moved per direction.
+  [[nodiscard]] std::uint64_t bytes_sent() const { return bytes_sent_; }
+  [[nodiscard]] std::uint64_t bytes_received() const {
+    return bytes_received_;
+  }
+
+  /// Earliest time a new egress/ingress transfer could start.
+  [[nodiscard]] sim::SimTime egress_free_at() const { return egress_free_at_; }
+  [[nodiscard]] sim::SimTime ingress_free_at() const {
+    return ingress_free_at_;
+  }
+
+ private:
+  double bandwidth_bps_;
+  sim::SimTime egress_free_at_ = 0;
+  sim::SimTime ingress_free_at_ = 0;
+  sim::SimDuration egress_busy_ = 0;
+  sim::SimDuration ingress_busy_ = 0;
+  std::uint64_t bytes_sent_ = 0;
+  std::uint64_t bytes_received_ = 0;
+};
+
+}  // namespace das::net

@@ -1,0 +1,121 @@
+#include "pfs/client.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+#include "simkit/assert.hpp"
+
+namespace das::pfs {
+
+PfsClient::PfsClient(sim::Simulator& simulator, net::Network& network,
+                     Pfs& pfs, net::NodeId node)
+    : sim_(simulator), net_(network), pfs_(pfs), node_(node) {}
+
+void PfsClient::read_range(
+    FileId file, std::uint64_t offset, std::uint64_t length,
+    std::function<void()> on_complete,
+    std::function<void(StripRef, std::vector<std::byte>)> on_strip) {
+  const FileMeta& meta = pfs_.meta(file);
+  const Layout& layout = pfs_.layout(file);
+  DAS_REQUIRE(length > 0);
+  DAS_REQUIRE(offset + length <= meta.size_bytes);
+
+  const std::uint64_t first = meta.strip_of_byte(offset);
+  const std::uint64_t last = meta.strip_of_byte(offset + length - 1);
+  auto outstanding = std::make_shared<std::uint64_t>(last - first + 1);
+  auto done = std::make_shared<std::function<void()>>(std::move(on_complete));
+  auto strip_cb = std::make_shared<
+      std::function<void(StripRef, std::vector<std::byte>)>>(
+      std::move(on_strip));
+
+  bytes_read_ += length;
+
+  for (std::uint64_t s = first; s <= last; ++s) {
+    const StripRef ref = meta.strip(s);
+    const std::uint64_t lo = std::max(offset, ref.offset);
+    const std::uint64_t hi = std::min(offset + length, ref.offset + ref.length);
+    const std::uint64_t within = lo - ref.offset;
+    const std::uint64_t want = hi - lo;
+
+    const ServerIndex holder = layout.primary(s);
+    PfsServer& server = pfs_.server(holder);
+
+    // Request message travels to the server, then the server reads and ships
+    // the payload back.
+    net_.send_control(
+        node_, server.node(),
+        [this, &server, file, s, within, want, ref, lo, outstanding, done,
+         strip_cb]() {
+          server.serve_read(
+              file, s, within, want, node_, net::TrafficClass::kClientServer,
+              [ref, lo, want, outstanding, done,
+               strip_cb](std::vector<std::byte> payload) {
+                if (*strip_cb) {
+                  (*strip_cb)(StripRef{ref.index, lo, want},
+                              std::move(payload));
+                }
+                DAS_REQUIRE(*outstanding > 0);
+                if (--*outstanding == 0 && *done) (*done)();
+              });
+        });
+  }
+}
+
+void PfsClient::write_range(FileId file, std::uint64_t offset,
+                            std::uint64_t length,
+                            const std::vector<std::byte>& data,
+                            std::function<void()> on_complete) {
+  const FileMeta& meta = pfs_.meta(file);
+  const Layout& layout = pfs_.layout(file);
+  DAS_REQUIRE(length > 0);
+  DAS_REQUIRE(offset % meta.strip_size == 0);
+  DAS_REQUIRE(offset + length <= meta.size_bytes);
+  DAS_REQUIRE(offset + length == meta.size_bytes ||
+              (offset + length) % meta.strip_size == 0);
+  DAS_REQUIRE(data.empty() || data.size() == length);
+
+  const std::uint64_t first = meta.strip_of_byte(offset);
+  const std::uint64_t last = meta.strip_of_byte(offset + length - 1);
+  const std::uint64_t num_strips = meta.num_strips();
+
+  auto outstanding = std::make_shared<std::uint64_t>(0);
+  auto issuing = std::make_shared<bool>(true);
+  auto done = std::make_shared<std::function<void()>>(std::move(on_complete));
+  auto ack = [outstanding, issuing, done]() {
+    DAS_REQUIRE(*outstanding > 0);
+    if (--*outstanding == 0 && !*issuing && *done) (*done)();
+  };
+
+  bytes_written_ += length;
+
+  for (std::uint64_t s = first; s <= last; ++s) {
+    const StripRef ref = meta.strip(s);
+    std::vector<std::byte> payload;
+    if (!data.empty()) {
+      const std::uint64_t rel = ref.offset - offset;
+      payload.assign(data.begin() + static_cast<std::ptrdiff_t>(rel),
+                     data.begin() +
+                         static_cast<std::ptrdiff_t>(rel + ref.length));
+    }
+
+    for (const ServerIndex holder : layout.holders(s, num_strips)) {
+      PfsServer& server = pfs_.server(holder);
+      ++*outstanding;
+      net_.send(net::Message{
+          node_, server.node(), ref.length, net::TrafficClass::kClientServer,
+          [&server, file, ref, payload, this, ack]() mutable {
+            server.serve_write(file, ref, std::move(payload), node_,
+                               net::TrafficClass::kControl, ack);
+          }});
+    }
+  }
+
+  *issuing = false;
+  if (*outstanding == 0 && *done) {
+    sim_.schedule_after(net_.config().wire_latency, [done]() { (*done)(); },
+                        "pfs.write_noop");
+  }
+}
+
+}  // namespace das::pfs

@@ -1,0 +1,58 @@
+// Parallel-file-system client (compute-node side).
+//
+// Implements the "normal I/O" path of the paper's architecture (Fig. 2):
+// a compute node reads or writes a byte range, and the client fans the
+// request out to every server holding an affected strip, gathering the
+// responses. Active-storage requests bypass this path (they are handled by
+// the Active Storage Client in src/core).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "net/network.hpp"
+#include "pfs/pfs.hpp"
+#include "simkit/simulator.hpp"
+
+namespace das::pfs {
+
+class PfsClient {
+ public:
+  /// `node` is the compute node this client runs on.
+  PfsClient(sim::Simulator& simulator, net::Network& network, Pfs& pfs,
+            net::NodeId node);
+
+  [[nodiscard]] net::NodeId node() const { return node_; }
+
+  /// Read [offset, offset+length) of `file`. `on_strip` (optional) runs at
+  /// this node as each strip's payload arrives; `on_complete` runs once all
+  /// data has arrived. Partial strips at the range edges are read exactly
+  /// (no over-read).
+  void read_range(
+      FileId file, std::uint64_t offset, std::uint64_t length,
+      std::function<void()> on_complete,
+      std::function<void(StripRef, std::vector<std::byte>)> on_strip = {});
+
+  /// Write [offset, offset+data.size()) of `file`. Writes must be
+  /// strip-aligned (offset and length multiples of the strip size, except
+  /// the final strip). Every holder of a strip (primary + replicas)
+  /// receives the update. `data` may be empty in timing-only mode, in which
+  /// case `length` gives the logical size.
+  void write_range(FileId file, std::uint64_t offset, std::uint64_t length,
+                   const std::vector<std::byte>& data,
+                   std::function<void()> on_complete);
+
+  /// Total payload bytes this client has received / sent.
+  [[nodiscard]] std::uint64_t bytes_read() const { return bytes_read_; }
+  [[nodiscard]] std::uint64_t bytes_written() const { return bytes_written_; }
+
+ private:
+  sim::Simulator& sim_;
+  net::Network& net_;
+  Pfs& pfs_;
+  net::NodeId node_;
+  std::uint64_t bytes_read_ = 0;
+  std::uint64_t bytes_written_ = 0;
+};
+
+}  // namespace das::pfs

@@ -1,0 +1,78 @@
+// File metadata and strip arithmetic.
+//
+// A file is a 1-D byte array divided into fixed-size strips (PVFS2 calls
+// them "strips"/"stripes"; default 64 KB). Strip arithmetic here implements
+// the paper's Eq. 1 (strip(i) = i*E / strip_size) and the offset/length
+// bookkeeping every other module builds on.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "simkit/assert.hpp"
+
+namespace das::pfs {
+
+/// Identifies a file within one Pfs instance.
+using FileId = std::uint32_t;
+
+inline constexpr FileId kInvalidFile = UINT32_MAX;
+
+/// One strip of a file: its index and the byte range it covers.
+struct StripRef {
+  std::uint64_t index = 0;
+  std::uint64_t offset = 0;  // byte offset of the strip within the file
+  std::uint64_t length = 0;  // bytes in this strip (< strip_size only at EOF)
+
+  friend bool operator==(const StripRef&, const StripRef&) = default;
+};
+
+struct FileMeta {
+  std::string name;
+  std::uint64_t size_bytes = 0;
+  std::uint32_t element_size = 4;  // E in the paper; float rasters by default
+  std::uint64_t strip_size = 64 * 1024;  // PVFS2 default
+
+  /// Grid geometry carried with the file so dependence offsets expressed in
+  /// elements can be related to rows. Zero when the file is not a raster.
+  std::uint32_t raster_width = 0;
+  std::uint32_t raster_height = 0;
+
+  [[nodiscard]] std::uint64_t num_elements() const {
+    DAS_REQUIRE(element_size > 0);
+    return size_bytes / element_size;
+  }
+
+  [[nodiscard]] std::uint64_t num_strips() const {
+    DAS_REQUIRE(strip_size > 0);
+    return (size_bytes + strip_size - 1) / strip_size;
+  }
+
+  /// Paper Eq. 1: the strip holding element `i`.
+  [[nodiscard]] std::uint64_t strip_of_element(std::uint64_t i) const {
+    return i * element_size / strip_size;
+  }
+
+  /// The strip holding byte `offset`.
+  [[nodiscard]] std::uint64_t strip_of_byte(std::uint64_t offset) const {
+    DAS_REQUIRE(offset < size_bytes);
+    return offset / strip_size;
+  }
+
+  /// Full description of strip `index`.
+  [[nodiscard]] StripRef strip(std::uint64_t index) const {
+    DAS_REQUIRE(index < num_strips());
+    const std::uint64_t off = index * strip_size;
+    const std::uint64_t len =
+        off + strip_size <= size_bytes ? strip_size : size_bytes - off;
+    return StripRef{index, off, len};
+  }
+
+  /// Elements wholly contained in strip `index`.
+  [[nodiscard]] std::uint64_t elements_in_strip(std::uint64_t index) const {
+    const StripRef s = strip(index);
+    return s.length / element_size;
+  }
+};
+
+}  // namespace das::pfs

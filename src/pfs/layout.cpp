@@ -1,0 +1,137 @@
+#include "pfs/layout.hpp"
+
+#include <algorithm>
+
+#include "simkit/assert.hpp"
+
+namespace das::pfs {
+
+std::vector<ServerIndex> Layout::replicas(std::uint64_t /*strip*/,
+                                          std::uint64_t /*num_strips*/) const {
+  return {};
+}
+
+std::vector<ServerIndex> Layout::holders(std::uint64_t strip,
+                                         std::uint64_t num_strips) const {
+  std::vector<ServerIndex> out;
+  out.push_back(primary(strip));
+  for (const ServerIndex s : replicas(strip, num_strips)) {
+    if (std::find(out.begin(), out.end(), s) == out.end()) out.push_back(s);
+  }
+  return out;
+}
+
+bool Layout::holds(ServerIndex server, std::uint64_t strip,
+                   std::uint64_t num_strips) const {
+  if (primary(strip) == server) return true;
+  const auto reps = replicas(strip, num_strips);
+  return std::find(reps.begin(), reps.end(), server) != reps.end();
+}
+
+std::vector<std::uint64_t> Layout::primary_strips(
+    ServerIndex server, std::uint64_t num_strips) const {
+  std::vector<std::uint64_t> out;
+  for (std::uint64_t s = 0; s < num_strips; ++s) {
+    if (primary(s) == server) out.push_back(s);
+  }
+  return out;
+}
+
+std::vector<std::uint64_t> Layout::local_strips(
+    ServerIndex server, std::uint64_t num_strips) const {
+  std::vector<std::uint64_t> out;
+  for (std::uint64_t s = 0; s < num_strips; ++s) {
+    if (holds(server, s, num_strips)) out.push_back(s);
+  }
+  return out;
+}
+
+std::uint64_t Layout::stored_bytes(ServerIndex server,
+                                   const FileMeta& meta) const {
+  std::uint64_t total = 0;
+  const std::uint64_t n = meta.num_strips();
+  for (const std::uint64_t s : local_strips(server, n)) {
+    total += meta.strip(s).length;
+  }
+  return total;
+}
+
+RoundRobinLayout::RoundRobinLayout(std::uint32_t num_servers)
+    : d_(num_servers) {
+  DAS_REQUIRE(num_servers > 0);
+}
+
+ServerIndex RoundRobinLayout::primary(std::uint64_t strip) const {
+  return static_cast<ServerIndex>(strip % d_);
+}
+
+std::string RoundRobinLayout::name() const {
+  return "round-robin(D=" + std::to_string(d_) + ")";
+}
+
+std::unique_ptr<Layout> RoundRobinLayout::clone() const {
+  return std::make_unique<RoundRobinLayout>(*this);
+}
+
+GroupedLayout::GroupedLayout(std::uint32_t num_servers,
+                             std::uint64_t group_size)
+    : d_(num_servers), r_(group_size) {
+  DAS_REQUIRE(num_servers > 0);
+  DAS_REQUIRE(group_size > 0);
+}
+
+ServerIndex GroupedLayout::primary(std::uint64_t strip) const {
+  return static_cast<ServerIndex>((strip / r_) % d_);
+}
+
+std::string GroupedLayout::name() const {
+  return "grouped(D=" + std::to_string(d_) + ",r=" + std::to_string(r_) + ")";
+}
+
+std::unique_ptr<Layout> GroupedLayout::clone() const {
+  return std::make_unique<GroupedLayout>(*this);
+}
+
+DasReplicatedLayout::DasReplicatedLayout(std::uint32_t num_servers,
+                                         std::uint64_t group_size,
+                                         std::uint64_t halo)
+    : GroupedLayout(num_servers, group_size), halo_(halo) {
+  DAS_REQUIRE(halo >= 1);
+  DAS_REQUIRE(2 * halo <= group_size);
+}
+
+std::vector<ServerIndex> DasReplicatedLayout::replicas(
+    std::uint64_t strip, std::uint64_t num_strips) const {
+  std::vector<ServerIndex> out;
+  if (d_ == 1) return out;  // one server holds everything; copies are moot
+
+  const std::uint64_t group = strip / r_;
+  const std::uint64_t pos = strip % r_;
+  const std::uint64_t last_group = (num_strips - 1) / r_;
+  const ServerIndex home = primary(strip);
+
+  // First strips of a group also live on the server that owns the previous
+  // group (it needs them as the "next" halo of its own data).
+  if (pos < halo_ && group > 0) {
+    out.push_back(static_cast<ServerIndex>((home + d_ - 1) % d_));
+  }
+  // Last strips of a group also live on the next group's server.
+  if (pos + halo_ >= r_ && group < last_group) {
+    const auto next_server = static_cast<ServerIndex>((home + 1) % d_);
+    if (std::find(out.begin(), out.end(), next_server) == out.end()) {
+      out.push_back(next_server);
+    }
+  }
+  return out;
+}
+
+std::string DasReplicatedLayout::name() const {
+  return "das-replicated(D=" + std::to_string(d_) +
+         ",r=" + std::to_string(r_) + ",halo=" + std::to_string(halo_) + ")";
+}
+
+std::unique_ptr<Layout> DasReplicatedLayout::clone() const {
+  return std::make_unique<DasReplicatedLayout>(*this);
+}
+
+}  // namespace das::pfs

@@ -1,0 +1,122 @@
+// Strip-to-server placement policies.
+//
+// Three layouts model the paper's spectrum:
+//  * RoundRobinLayout  — PVFS2/Lustre default (paper Fig. 5): strip s on
+//    server s mod D.
+//  * GroupedLayout     — r successive strips per server (paper Fig. 7,
+//    Eq. 14 denominator r * strip_size): strip s on server (s / r) mod D.
+//  * DasReplicatedLayout — GroupedLayout plus halo replication (paper
+//    Fig. 9): the first `halo` strips of each group are also stored on the
+//    preceding server and the last `halo` strips on the following server, so
+//    stencil dependences that reach at most `halo` strips never cross
+//    servers. Capacity overhead is 2*halo/r (the paper's "2/r" for halo=1).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "pfs/file.hpp"
+
+namespace das::pfs {
+
+/// Index of a storage server within the file system (0 .. D-1). The cluster
+/// maps these to physical node ids.
+using ServerIndex = std::uint32_t;
+
+class Layout {
+ public:
+  virtual ~Layout() = default;
+
+  /// D: number of storage servers data is spread over.
+  [[nodiscard]] virtual std::uint32_t num_servers() const = 0;
+
+  /// The server owning the authoritative copy of `strip`.
+  [[nodiscard]] virtual ServerIndex primary(std::uint64_t strip) const = 0;
+
+  /// Servers holding extra copies of `strip`. `num_strips` bounds the file so
+  /// edge groups do not replicate past the ends. Default: none.
+  [[nodiscard]] virtual std::vector<ServerIndex> replicas(
+      std::uint64_t strip, std::uint64_t num_strips) const;
+
+  /// All servers holding `strip` (primary first).
+  [[nodiscard]] std::vector<ServerIndex> holders(
+      std::uint64_t strip, std::uint64_t num_strips) const;
+
+  /// True if `server` holds `strip` (as primary or replica).
+  [[nodiscard]] bool holds(ServerIndex server, std::uint64_t strip,
+                           std::uint64_t num_strips) const;
+
+  /// Strips whose primary copy is on `server`, ascending.
+  [[nodiscard]] std::vector<std::uint64_t> primary_strips(
+      ServerIndex server, std::uint64_t num_strips) const;
+
+  /// All strips present on `server` (primary + replica), ascending.
+  [[nodiscard]] std::vector<std::uint64_t> local_strips(
+      ServerIndex server, std::uint64_t num_strips) const;
+
+  /// Bytes stored on `server` for a file with metadata `meta`.
+  [[nodiscard]] std::uint64_t stored_bytes(ServerIndex server,
+                                           const FileMeta& meta) const;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+  [[nodiscard]] virtual std::unique_ptr<Layout> clone() const = 0;
+};
+
+/// PVFS2/Lustre default placement: strip s -> server s mod D.
+class RoundRobinLayout final : public Layout {
+ public:
+  explicit RoundRobinLayout(std::uint32_t num_servers);
+
+  [[nodiscard]] std::uint32_t num_servers() const override { return d_; }
+  [[nodiscard]] ServerIndex primary(std::uint64_t strip) const override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::unique_ptr<Layout> clone() const override;
+
+ private:
+  std::uint32_t d_;
+};
+
+/// r successive strips per server: strip s -> server (s / r) mod D.
+class GroupedLayout : public Layout {
+ public:
+  GroupedLayout(std::uint32_t num_servers, std::uint64_t group_size);
+
+  [[nodiscard]] std::uint32_t num_servers() const override { return d_; }
+  [[nodiscard]] ServerIndex primary(std::uint64_t strip) const override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::unique_ptr<Layout> clone() const override;
+
+  [[nodiscard]] std::uint64_t group_size() const { return r_; }
+
+ protected:
+  std::uint32_t d_;
+  std::uint64_t r_;
+};
+
+/// GroupedLayout + halo replication onto neighbouring servers (DAS layout).
+class DasReplicatedLayout final : public GroupedLayout {
+ public:
+  /// `halo` = strips replicated at each group edge; must satisfy
+  /// 2 * halo <= group_size so the copies fit within the neighbour groups.
+  DasReplicatedLayout(std::uint32_t num_servers, std::uint64_t group_size,
+                      std::uint64_t halo = 1);
+
+  [[nodiscard]] std::vector<ServerIndex> replicas(
+      std::uint64_t strip, std::uint64_t num_strips) const override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::unique_ptr<Layout> clone() const override;
+
+  [[nodiscard]] std::uint64_t halo() const { return halo_; }
+
+  /// Capacity overhead relative to un-replicated placement (paper: 2/r).
+  [[nodiscard]] double capacity_overhead() const {
+    return 2.0 * static_cast<double>(halo_) / static_cast<double>(r_);
+  }
+
+ private:
+  std::uint64_t halo_;
+};
+
+}  // namespace das::pfs

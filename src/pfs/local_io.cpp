@@ -1,0 +1,88 @@
+#include "pfs/local_io.hpp"
+
+#include <algorithm>
+
+#include "simkit/assert.hpp"
+
+namespace das::pfs {
+
+LocalIo::LocalIo(const Pfs& pfs, ServerIndex server_index, FileId file,
+                 std::uint64_t wanted_halo)
+    : pfs_(pfs), server_(server_index), file_(file) {
+  const FileMeta& meta = pfs.meta(file);
+  const Layout& layout = pfs.layout(file);
+  const std::uint64_t n = meta.num_strips();
+  const ServerStore& store = pfs.server(server_index).store();
+
+  const auto primaries = layout.primary_strips(server_index, n);
+  for (std::size_t i = 0; i < primaries.size();) {
+    LocalRun run;
+    run.first_strip = primaries[i];
+    std::size_t j = i;
+    while (j + 1 < primaries.size() && primaries[j + 1] == primaries[j] + 1) {
+      ++j;
+    }
+    run.last_strip = primaries[j];
+    i = j + 1;
+
+    // Classify each wanted halo strip: stored locally (replica) or missing.
+    for (std::uint64_t h = 1; h <= wanted_halo; ++h) {
+      if (run.first_strip >= h) {
+        const std::uint64_t s = run.first_strip - h;
+        if (store.has(file, s) && run.missing_pre_halo == 0) {
+          ++run.local_pre_halo;
+        } else {
+          ++run.missing_pre_halo;
+        }
+      }
+      if (run.last_strip + h < n) {
+        const std::uint64_t s = run.last_strip + h;
+        if (store.has(file, s) && run.missing_post_halo == 0) {
+          ++run.local_post_halo;
+        } else {
+          ++run.missing_post_halo;
+        }
+      }
+    }
+
+    for (std::uint64_t s = run.first_strip; s <= run.last_strip; ++s) {
+      local_bytes_ += meta.strip(s).length;
+    }
+    runs_.push_back(run);
+  }
+}
+
+std::uint64_t LocalIo::total_missing_halo_strips() const {
+  std::uint64_t total = 0;
+  for (const LocalRun& r : runs_) {
+    total += r.missing_pre_halo + r.missing_post_halo;
+  }
+  return total;
+}
+
+std::uint64_t LocalIo::run_buffer_offset(const LocalRun& run) const {
+  const FileMeta& meta = pfs_.meta(file_);
+  return meta.strip(run.first_strip - run.local_pre_halo).offset;
+}
+
+std::vector<std::byte> LocalIo::read_run(const LocalRun& run) const {
+  const FileMeta& meta = pfs_.meta(file_);
+  const ServerStore& store = pfs_.server(server_).store();
+
+  const std::uint64_t lo = run.first_strip - run.local_pre_halo;
+  const std::uint64_t hi = run.last_strip + run.local_post_halo;
+  const std::uint64_t base = meta.strip(lo).offset;
+  const StripRef last = meta.strip(hi);
+  std::vector<std::byte> out(last.offset + last.length - base);
+
+  for (std::uint64_t s = lo; s <= hi; ++s) {
+    const StripRef ref = meta.strip(s);
+    const auto& bytes = store.bytes(file_, s);
+    DAS_REQUIRE(bytes.size() == ref.length);
+    std::copy(bytes.begin(), bytes.end(),
+              out.begin() + static_cast<std::ptrdiff_t>(ref.offset - base));
+  }
+  return out;
+}
+
+}  // namespace das::pfs

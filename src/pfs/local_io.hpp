@@ -1,0 +1,74 @@
+// Local I/O API (paper §III-A): "abstracts local strips as a file and reads
+// local data for Processing Kernels".
+//
+// A server's share of a file is a set of strips; under a grouped layout they
+// form contiguous runs (one per group owned by the server). A processing
+// kernel works run by run: each run is a contiguous slab of the logical
+// file, optionally extended by halo strips that — under the DAS layout —
+// are locally-stored replicas. LocalIo never touches the network: if a halo
+// strip is not stored locally, it reports so, and the caller (the NAS
+// executor) must fetch it remotely.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pfs/pfs.hpp"
+
+namespace das::pfs {
+
+/// A maximal contiguous range of strips whose primary copy lives on one
+/// server, plus how much locally-stored halo surrounds it.
+struct LocalRun {
+  std::uint64_t first_strip = 0;
+  std::uint64_t last_strip = 0;  // inclusive
+  /// Halo strips below first_strip / above last_strip that exist in the file
+  /// AND are stored locally (replicas under the DAS layout; 0 otherwise).
+  std::uint64_t local_pre_halo = 0;
+  std::uint64_t local_post_halo = 0;
+  /// Halo strips that exist in the file but are NOT stored locally; these
+  /// are what a dependence-unaware active storage must fetch remotely.
+  std::uint64_t missing_pre_halo = 0;
+  std::uint64_t missing_post_halo = 0;
+
+  [[nodiscard]] std::uint64_t strip_count() const {
+    return last_strip - first_strip + 1;
+  }
+
+  friend bool operator==(const LocalRun&, const LocalRun&) = default;
+};
+
+class LocalIo {
+ public:
+  /// View of `file` from server `server_index`; `wanted_halo` is how many
+  /// strips of halo the kernel's dependence pattern requires on each side.
+  LocalIo(const Pfs& pfs, ServerIndex server_index, FileId file,
+          std::uint64_t wanted_halo);
+
+  /// The server's primary strips grouped into contiguous runs, ascending.
+  [[nodiscard]] const std::vector<LocalRun>& runs() const { return runs_; }
+
+  /// Total bytes in primary strips (the server's share of the file).
+  [[nodiscard]] std::uint64_t local_size() const { return local_bytes_; }
+
+  /// Total halo strips that would have to be fetched remotely across all
+  /// runs. Zero exactly when the layout satisfies the dependence locally.
+  [[nodiscard]] std::uint64_t total_missing_halo_strips() const;
+
+  /// Read one run plus its locally available halo into a contiguous buffer
+  /// (correctness mode; strips must carry data). The buffer covers strips
+  /// [first_strip - local_pre_halo, last_strip + local_post_halo].
+  [[nodiscard]] std::vector<std::byte> read_run(const LocalRun& run) const;
+
+  /// Byte offset within the logical file where read_run's buffer begins.
+  [[nodiscard]] std::uint64_t run_buffer_offset(const LocalRun& run) const;
+
+ private:
+  const Pfs& pfs_;
+  ServerIndex server_;
+  FileId file_;
+  std::vector<LocalRun> runs_;
+  std::uint64_t local_bytes_ = 0;
+};
+
+}  // namespace das::pfs

@@ -1,0 +1,67 @@
+#include "pfs/metadata.hpp"
+
+#include <utility>
+
+#include "simkit/assert.hpp"
+
+namespace das::pfs {
+
+MetadataService::MetadataService(sim::Simulator& simulator,
+                                 net::Network& network, Pfs& pfs,
+                                 net::NodeId home)
+    : sim_(simulator), net_(network), pfs_(pfs), home_(home) {
+  DAS_REQUIRE(home < network.num_nodes());
+}
+
+void MetadataService::lookup(net::NodeId client, FileId file,
+                             std::function<void(FileInfo)> cb) {
+  DAS_REQUIRE(cb != nullptr);
+  // Request to the service, then the (small) reply back to the client. The
+  // layout is cloned when the reply is assembled, so a lookup racing a
+  // redistribution returns whichever layout is current at service time.
+  net_.send_control(
+      client, home_, [this, client, file, cb = std::move(cb)]() mutable {
+        ++lookups_;
+        FileInfo info;
+        info.meta = pfs_.meta(file);
+        info.layout = pfs_.layout(file).clone();
+        net_.send(net::Message{
+            home_, client, sizeof(FileMeta), net::TrafficClass::kControl,
+            [cb = std::move(cb), info = std::make_shared<FileInfo>(
+                                     std::move(info))]() mutable {
+              cb(std::move(*info));
+            }});
+      });
+}
+
+MetadataCache::MetadataCache(sim::Simulator& simulator,
+                             MetadataService& service, net::NodeId client)
+    : sim_(simulator), service_(service), client_(client) {}
+
+void MetadataCache::lookup(FileId file, std::function<void(FileInfo)> cb) {
+  if (known_.contains(file)) {
+    ++hits_;
+    // Local answer: re-resolve from the Pfs directly (the cache models the
+    // avoided round trip; it does not snapshot stale layouts).
+    sim_.schedule_after(
+        0,
+        [this, file, cb = std::move(cb)]() mutable {
+          FileInfo info;
+          info.meta = service_.file_system().meta(file);
+          info.layout = service_.file_system().layout(file).clone();
+          cb(std::move(info));
+        },
+        "meta.cache_hit");
+    return;
+  }
+  ++misses_;
+  service_.lookup(client_, file,
+                  [this, file, cb = std::move(cb)](FileInfo info) mutable {
+                    known_.insert(file);
+                    cb(std::move(info));
+                  });
+}
+
+void MetadataCache::invalidate(FileId file) { known_.erase(file); }
+
+}  // namespace das::pfs

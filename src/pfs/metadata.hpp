@@ -1,0 +1,79 @@
+// Metadata service.
+//
+// Parallel file systems resolve a file's striping through a metadata server
+// before data flows; the paper's Fig. 3 workflow begins with "Get file
+// distribution information". This component models that step: it lives on
+// one storage node, answers layout queries over the network (one control
+// round trip), and lets clients cache the answer — so a job pays the
+// metadata latency once, not per strip.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <set>
+
+#include "pfs/pfs.hpp"
+
+namespace das::pfs {
+
+/// The answer to a metadata query.
+struct FileInfo {
+  FileMeta meta;
+  std::unique_ptr<Layout> layout;
+};
+
+class MetadataService {
+ public:
+  /// `home` is the node hosting the service (conventionally server 0).
+  MetadataService(sim::Simulator& simulator, net::Network& network, Pfs& pfs,
+                  net::NodeId home);
+
+  [[nodiscard]] net::NodeId home() const { return home_; }
+
+  /// Resolve `file` for a caller at `client`: request travels to the
+  /// service, the reply (metadata + layout clone) travels back, then `cb`
+  /// runs at the client. Queries served over the simulated network.
+  void lookup(net::NodeId client, FileId file,
+              std::function<void(FileInfo)> cb);
+
+  /// Number of lookups served (cache-effectiveness accounting).
+  [[nodiscard]] std::uint64_t lookups_served() const { return lookups_; }
+
+  /// The file system this service fronts.
+  [[nodiscard]] Pfs& file_system() { return pfs_; }
+
+ private:
+  sim::Simulator& sim_;
+  net::Network& net_;
+  Pfs& pfs_;
+  net::NodeId home_;
+  std::uint64_t lookups_ = 0;
+};
+
+/// Client-side metadata cache: the first lookup per file pays the round
+/// trip; repeats answer locally (after a negligible in-memory delay).
+class MetadataCache {
+ public:
+  MetadataCache(sim::Simulator& simulator, MetadataService& service,
+                net::NodeId client);
+
+  /// As MetadataService::lookup, but served from cache when possible.
+  void lookup(FileId file, std::function<void(FileInfo)> cb);
+
+  /// Drop a cached entry (e.g. after a redistribution invalidates it).
+  void invalidate(FileId file);
+
+  [[nodiscard]] std::uint64_t hits() const { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const { return misses_; }
+
+ private:
+  sim::Simulator& sim_;
+  MetadataService& service_;
+  net::NodeId client_;
+  std::set<FileId> known_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace das::pfs

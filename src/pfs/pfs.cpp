@@ -1,0 +1,194 @@
+#include "pfs/pfs.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+#include "simkit/assert.hpp"
+
+namespace das::pfs {
+
+Pfs::Pfs(sim::Simulator& simulator, net::Network& network,
+         std::vector<net::NodeId> server_nodes,
+         const storage::DiskConfig& disk_config)
+    : Pfs(simulator, network, std::move(server_nodes),
+          std::vector<storage::DiskConfig>(1, disk_config)) {}
+
+Pfs::Pfs(sim::Simulator& simulator, net::Network& network,
+         std::vector<net::NodeId> server_nodes,
+         std::vector<storage::DiskConfig> disk_configs)
+    : sim_(simulator), net_(network), server_nodes_(std::move(server_nodes)) {
+  DAS_REQUIRE(!server_nodes_.empty());
+  DAS_REQUIRE(disk_configs.size() == 1 ||
+              disk_configs.size() == server_nodes_.size());
+  servers_.reserve(server_nodes_.size());
+  for (std::size_t i = 0; i < server_nodes_.size(); ++i) {
+    const net::NodeId node = server_nodes_[i];
+    DAS_REQUIRE(node < network.num_nodes());
+    servers_.push_back(std::make_unique<PfsServer>(
+        simulator, network, node,
+        disk_configs.size() == 1 ? disk_configs[0] : disk_configs[i]));
+  }
+}
+
+PfsServer& Pfs::server(ServerIndex index) {
+  DAS_REQUIRE(index < servers_.size());
+  return *servers_[index];
+}
+
+const PfsServer& Pfs::server(ServerIndex index) const {
+  DAS_REQUIRE(index < servers_.size());
+  return *servers_[index];
+}
+
+net::NodeId Pfs::server_node(ServerIndex index) const {
+  DAS_REQUIRE(index < server_nodes_.size());
+  return server_nodes_[index];
+}
+
+ServerIndex Pfs::server_of_node(net::NodeId node) const {
+  const auto it =
+      std::find(server_nodes_.begin(), server_nodes_.end(), node);
+  if (it == server_nodes_.end()) return kInvalidServer;
+  return static_cast<ServerIndex>(it - server_nodes_.begin());
+}
+
+FileId Pfs::create_file(FileMeta meta, std::unique_ptr<Layout> layout,
+                        const std::vector<std::byte>* data) {
+  DAS_REQUIRE(layout != nullptr);
+  DAS_REQUIRE(layout->num_servers() == num_servers());
+  DAS_REQUIRE(meta.size_bytes > 0);
+  DAS_REQUIRE(meta.strip_size > 0);
+  DAS_REQUIRE(data == nullptr || data->size() == meta.size_bytes);
+
+  const auto file = static_cast<FileId>(files_.size());
+  const std::uint64_t n = meta.num_strips();
+  for (std::uint64_t s = 0; s < n; ++s) {
+    const StripRef ref = meta.strip(s);
+    for (const ServerIndex holder : layout->holders(s, n)) {
+      std::vector<std::byte> bytes;
+      if (data != nullptr) {
+        bytes.assign(
+            data->begin() + static_cast<std::ptrdiff_t>(ref.offset),
+            data->begin() + static_cast<std::ptrdiff_t>(ref.offset + ref.length));
+      }
+      servers_[holder]->store().put(file, s, ref.length, std::move(bytes));
+    }
+  }
+  files_.push_back(FileEntry{std::move(meta), std::move(layout)});
+  return file;
+}
+
+const FileMeta& Pfs::meta(FileId file) const {
+  DAS_REQUIRE(file < files_.size());
+  return files_[file].meta;
+}
+
+const Layout& Pfs::layout(FileId file) const {
+  DAS_REQUIRE(file < files_.size());
+  return *files_[file].layout;
+}
+
+std::uint64_t Pfs::redistribute(FileId file,
+                                std::unique_ptr<Layout> new_layout,
+                                std::function<void()> on_complete) {
+  DAS_REQUIRE(file < files_.size());
+  DAS_REQUIRE(new_layout != nullptr);
+  DAS_REQUIRE(new_layout->num_servers() == num_servers());
+
+  FileEntry& entry = files_[file];
+  const std::uint64_t n = entry.meta.num_strips();
+  std::uint64_t bytes_moved = 0;
+
+  // Completion bookkeeping shared by all in-flight transfers.
+  auto outstanding = std::make_shared<std::uint64_t>(0);
+  auto finished_issuing = std::make_shared<bool>(false);
+  auto done = std::make_shared<std::function<void()>>(std::move(on_complete));
+  auto transfer_finished = [outstanding, finished_issuing, done]() {
+    DAS_REQUIRE(*outstanding > 0);
+    --*outstanding;
+    if (*outstanding == 0 && *finished_issuing && *done) (*done)();
+  };
+
+  for (std::uint64_t s = 0; s < n; ++s) {
+    const StripRef ref = entry.meta.strip(s);
+    const auto old_holders = entry.layout->holders(s, n);
+    const auto new_holders = new_layout->holders(s, n);
+    const ServerIndex source = old_holders.front();  // primary copy
+
+    for (const ServerIndex target : new_holders) {
+      if (std::find(old_holders.begin(), old_holders.end(), target) !=
+          old_holders.end()) {
+        continue;  // already present
+      }
+      bytes_moved += ref.length;
+      ++*outstanding;
+
+      // Copy the payload now so later erases cannot drop it.
+      std::vector<std::byte> payload =
+          servers_[source]->store().bytes(file, s);
+      const net::NodeId src_node = server_nodes_[source];
+      const net::NodeId dst_node = server_nodes_[target];
+      PfsServer& src_server = *servers_[source];
+      PfsServer& dst_server = *servers_[target];
+
+      const sim::SimTime read_done = src_server.read_local(file, s);
+      sim_.schedule_at(
+          read_done,
+          [this, &dst_server, file, ref, src_node, dst_node,
+           payload = std::move(payload), transfer_finished]() mutable {
+            net_.send(net::Message{
+                src_node, dst_node, ref.length,
+                net::TrafficClass::kServerServer,
+                [&dst_server, file, ref, payload = std::move(payload),
+                 transfer_finished]() mutable {
+                  dst_server.write_local(file, ref, std::move(payload));
+                  transfer_finished();
+                }});
+          },
+          "pfs.redistribute");
+    }
+
+    // Drop copies no longer called for by the new layout (no time cost:
+    // deletion is metadata-only).
+    for (const ServerIndex holder : old_holders) {
+      if (std::find(new_holders.begin(), new_holders.end(), holder) ==
+          new_holders.end()) {
+        servers_[holder]->store().erase(file, s);
+      }
+    }
+  }
+
+  *finished_issuing = true;
+  if (*outstanding == 0 && *done) {
+    // Nothing moved; complete after a metadata round-trip.
+    sim_.schedule_after(net_.config().wire_latency,
+                        [done]() { (*done)(); }, "pfs.redistribute_noop");
+  }
+  entry.layout = std::move(new_layout);
+  return bytes_moved;
+}
+
+std::vector<std::byte> Pfs::gather_bytes(FileId file) const {
+  DAS_REQUIRE(file < files_.size());
+  const FileEntry& entry = files_[file];
+  std::vector<std::byte> out(entry.meta.size_bytes);
+  const std::uint64_t n = entry.meta.num_strips();
+  for (std::uint64_t s = 0; s < n; ++s) {
+    const StripRef ref = entry.meta.strip(s);
+    const ServerIndex holder = entry.layout->primary(s);
+    const auto& bytes = servers_[holder]->store().bytes(file, s);
+    DAS_REQUIRE(bytes.size() == ref.length);
+    std::copy(bytes.begin(), bytes.end(),
+              out.begin() + static_cast<std::ptrdiff_t>(ref.offset));
+  }
+  return out;
+}
+
+std::uint64_t Pfs::total_stored_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& s : servers_) total += s->store().stored_bytes();
+  return total;
+}
+
+}  // namespace das::pfs

@@ -1,0 +1,92 @@
+// Parallel file system facade.
+//
+// Owns the storage servers and the catalog of files (metadata + layout),
+// loads file contents onto servers according to a layout, and implements
+// layout reconfiguration ("Reconfig Parallel File System" in the paper's
+// Fig. 3 workflow) with full accounting of the bytes it moves.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "net/network.hpp"
+#include "pfs/file.hpp"
+#include "pfs/layout.hpp"
+#include "pfs/server.hpp"
+#include "simkit/simulator.hpp"
+#include "storage/disk.hpp"
+
+namespace das::pfs {
+
+class Pfs {
+ public:
+  /// `server_nodes[i]` is the cluster node hosting server index i; every
+  /// server gets the same disk.
+  Pfs(sim::Simulator& simulator, net::Network& network,
+      std::vector<net::NodeId> server_nodes,
+      const storage::DiskConfig& disk_config);
+
+  /// Heterogeneous variant: `disk_configs[i]` equips server index i
+  /// (straggler studies). Sizes must match.
+  Pfs(sim::Simulator& simulator, net::Network& network,
+      std::vector<net::NodeId> server_nodes,
+      std::vector<storage::DiskConfig> disk_configs);
+
+  Pfs(const Pfs&) = delete;
+  Pfs& operator=(const Pfs&) = delete;
+
+  [[nodiscard]] std::uint32_t num_servers() const {
+    return static_cast<std::uint32_t>(servers_.size());
+  }
+  [[nodiscard]] PfsServer& server(ServerIndex index);
+  [[nodiscard]] const PfsServer& server(ServerIndex index) const;
+  [[nodiscard]] net::NodeId server_node(ServerIndex index) const;
+
+  /// Returned by server_of_node for nodes that host no server.
+  static constexpr ServerIndex kInvalidServer = UINT32_MAX;
+
+  /// Server index hosting `node`, or kInvalidServer.
+  [[nodiscard]] ServerIndex server_of_node(net::NodeId node) const;
+
+  /// Register a file and place its strips per `layout`. When `data` is
+  /// non-null it must be exactly meta.size_bytes long and each holder
+  /// receives a real copy of its strips; when null the placement is
+  /// length-only (timing mode). Loading is instantaneous in simulated time
+  /// (the experiments start from data at rest, as in the paper).
+  FileId create_file(FileMeta meta, std::unique_ptr<Layout> layout,
+                     const std::vector<std::byte>* data = nullptr);
+
+  [[nodiscard]] const FileMeta& meta(FileId file) const;
+  [[nodiscard]] const Layout& layout(FileId file) const;
+
+  /// Replace the layout of `file`, physically moving/copying strips between
+  /// servers over the network (server-server traffic + disk on both ends).
+  /// `on_complete` fires when every transfer has finished. Returns the
+  /// number of bytes that had to move.
+  std::uint64_t redistribute(FileId file, std::unique_ptr<Layout> new_layout,
+                             std::function<void()> on_complete);
+
+  /// Reassemble the full contents of `file` from primary strips
+  /// (correctness mode; requires data-bearing strips).
+  [[nodiscard]] std::vector<std::byte> gather_bytes(FileId file) const;
+
+  /// Total bytes stored across all servers (capacity accounting, includes
+  /// replicas).
+  [[nodiscard]] std::uint64_t total_stored_bytes() const;
+
+ private:
+  struct FileEntry {
+    FileMeta meta;
+    std::unique_ptr<Layout> layout;
+  };
+
+  sim::Simulator& sim_;
+  net::Network& net_;
+  std::vector<net::NodeId> server_nodes_;
+  std::vector<std::unique_ptr<PfsServer>> servers_;
+  std::vector<FileEntry> files_;
+};
+
+}  // namespace das::pfs

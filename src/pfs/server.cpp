@@ -1,0 +1,79 @@
+#include "pfs/server.hpp"
+
+#include <utility>
+
+#include "simkit/assert.hpp"
+
+namespace das::pfs {
+
+PfsServer::PfsServer(sim::Simulator& simulator, net::Network& network,
+                     net::NodeId node,
+                     const storage::DiskConfig& disk_config)
+    : sim_(simulator), net_(network), node_(node), disk_(disk_config) {}
+
+void PfsServer::serve_read(
+    FileId file, std::uint64_t strip, std::uint64_t offset_in_strip,
+    std::uint64_t length, net::NodeId requester, net::TrafficClass cls,
+    std::function<void(std::vector<std::byte>)> on_data) {
+  DAS_REQUIRE(store_.has(file, strip));
+  DAS_REQUIRE(offset_in_strip + length <= store_.length(file, strip));
+
+  ++remote_reads_served_;
+  remote_bytes_served_ += length;
+
+  const std::uint64_t disk_off = store_.disk_offset(file, strip);
+  const sim::SimTime read_done =
+      disk_.read(sim_.now(), disk_off + offset_in_strip, length);
+
+  // Slice out the payload now (store contents may change later).
+  std::vector<std::byte> payload;
+  const auto& stored = store_.bytes(file, strip);
+  if (!stored.empty()) {
+    payload.assign(stored.begin() + static_cast<std::ptrdiff_t>(offset_in_strip),
+                   stored.begin() +
+                       static_cast<std::ptrdiff_t>(offset_in_strip + length));
+  }
+
+  sim_.schedule_at(
+      read_done,
+      [this, length, requester, cls, payload = std::move(payload),
+       on_data = std::move(on_data)]() mutable {
+        net_.send(net::Message{
+            node_, requester, length, cls,
+            on_data ? std::function<void()>(
+                          [payload = std::move(payload),
+                           on_data = std::move(on_data)]() mutable {
+                            on_data(std::move(payload));
+                          })
+                    : std::function<void()>()});
+      },
+      "pfs.read_done");
+}
+
+void PfsServer::serve_write(FileId file, const StripRef& strip,
+                            std::vector<std::byte> data,
+                            net::NodeId requester, net::TrafficClass cls,
+                            std::function<void()> on_ack) {
+  const sim::SimTime write_done = write_local(file, strip, std::move(data));
+  sim_.schedule_at(
+      write_done,
+      [this, requester, cls, on_ack = std::move(on_ack)]() mutable {
+        net_.send(net::Message{node_, requester, 0, cls, std::move(on_ack)});
+      },
+      "pfs.write_done");
+}
+
+sim::SimTime PfsServer::read_local(FileId file, std::uint64_t strip) {
+  DAS_REQUIRE(store_.has(file, strip));
+  return disk_.read(sim_.now(), store_.disk_offset(file, strip),
+                    store_.length(file, strip));
+}
+
+sim::SimTime PfsServer::write_local(FileId file, const StripRef& strip,
+                                    std::vector<std::byte> data) {
+  store_.put(file, strip.index, strip.length, std::move(data));
+  return disk_.write(sim_.now(), store_.disk_offset(file, strip.index),
+                     strip.length);
+}
+
+}  // namespace das::pfs

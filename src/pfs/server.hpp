@@ -1,0 +1,80 @@
+// One parallel-file-system storage server.
+//
+// Owns a disk and the store of strips placed on this node, and serves strip
+// read/write requests that arrive over the network. In the active-storage
+// schemes the same node also runs processing kernels; the extra load a
+// server takes on when *other* servers fetch dependent strips from it (the
+// first NAS penalty identified in the paper, §IV-B1) shows up here as disk
+// and NIC reservations that delay the node's own work.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "net/network.hpp"
+#include "pfs/file.hpp"
+#include "pfs/store.hpp"
+#include "simkit/simulator.hpp"
+#include "storage/disk.hpp"
+
+namespace das::pfs {
+
+class PfsServer {
+ public:
+  PfsServer(sim::Simulator& simulator, net::Network& network,
+            net::NodeId node, const storage::DiskConfig& disk_config);
+
+  PfsServer(const PfsServer&) = delete;
+  PfsServer& operator=(const PfsServer&) = delete;
+
+  [[nodiscard]] net::NodeId node() const { return node_; }
+  [[nodiscard]] ServerStore& store() { return store_; }
+  [[nodiscard]] const ServerStore& store() const { return store_; }
+  [[nodiscard]] storage::Disk& disk() { return disk_; }
+  [[nodiscard]] const storage::Disk& disk() const { return disk_; }
+
+  /// Serve a read request that has already arrived at this server: read
+  /// `length` bytes starting `offset_in_strip` into the strip from disk,
+  /// then ship them to `requester`. `on_data` (optional) runs at the
+  /// requester when the data has fully arrived, receiving the bytes (empty
+  /// in timing-only mode).
+  void serve_read(FileId file, std::uint64_t strip,
+                  std::uint64_t offset_in_strip, std::uint64_t length,
+                  net::NodeId requester, net::TrafficClass cls,
+                  std::function<void(std::vector<std::byte>)> on_data);
+
+  /// Serve a write whose payload has already arrived: write to disk, store
+  /// the bytes, then deliver a zero-payload ack to `requester`.
+  /// `on_ack` (optional) runs at the requester when the ack arrives.
+  void serve_write(FileId file, const StripRef& strip,
+                   std::vector<std::byte> data, net::NodeId requester,
+                   net::TrafficClass cls, std::function<void()> on_ack);
+
+  /// Local (no-network) strip read for the active-storage path.
+  /// Reserves the disk and returns the completion time.
+  sim::SimTime read_local(FileId file, std::uint64_t strip);
+
+  /// Local strip write (creates the strip if new).
+  sim::SimTime write_local(FileId file, const StripRef& strip,
+                           std::vector<std::byte> data);
+
+  /// Requests served on behalf of other nodes (the NAS service load).
+  [[nodiscard]] std::uint64_t remote_reads_served() const {
+    return remote_reads_served_;
+  }
+  [[nodiscard]] std::uint64_t remote_bytes_served() const {
+    return remote_bytes_served_;
+  }
+
+ private:
+  sim::Simulator& sim_;
+  net::Network& net_;
+  net::NodeId node_;
+  storage::Disk disk_;
+  ServerStore store_;
+  std::uint64_t remote_reads_served_ = 0;
+  std::uint64_t remote_bytes_served_ = 0;
+};
+
+}  // namespace das::pfs

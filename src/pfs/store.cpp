@@ -1,0 +1,62 @@
+#include "pfs/store.hpp"
+
+#include <utility>
+
+#include "simkit/assert.hpp"
+
+namespace das::pfs {
+
+void ServerStore::put(FileId file, std::uint64_t strip, std::uint64_t length,
+                      std::vector<std::byte> bytes) {
+  DAS_REQUIRE(bytes.empty() || bytes.size() == length);
+  const auto key = std::make_pair(file, strip);
+  auto it = strips_.find(key);
+  if (it == strips_.end()) {
+    StripData data;
+    data.length = length;
+    data.disk_offset = next_disk_offset_;
+    data.bytes = std::move(bytes);
+    next_disk_offset_ += length;
+    stored_bytes_ += length;
+    strips_.emplace(key, std::move(data));
+  } else {
+    DAS_REQUIRE(it->second.length == length);
+    it->second.bytes = std::move(bytes);
+  }
+}
+
+bool ServerStore::has(FileId file, std::uint64_t strip) const {
+  return strips_.contains(std::make_pair(file, strip));
+}
+
+const ServerStore::StripData& ServerStore::find(FileId file,
+                                                std::uint64_t strip) const {
+  const auto it = strips_.find(std::make_pair(file, strip));
+  DAS_REQUIRE(it != strips_.end());
+  return it->second;
+}
+
+const std::vector<std::byte>& ServerStore::bytes(FileId file,
+                                                 std::uint64_t strip) const {
+  return find(file, strip).bytes;
+}
+
+std::uint64_t ServerStore::disk_offset(FileId file,
+                                       std::uint64_t strip) const {
+  return find(file, strip).disk_offset;
+}
+
+std::uint64_t ServerStore::length(FileId file, std::uint64_t strip) const {
+  return find(file, strip).length;
+}
+
+void ServerStore::erase(FileId file, std::uint64_t strip) {
+  const auto it = strips_.find(std::make_pair(file, strip));
+  DAS_REQUIRE(it != strips_.end());
+  stored_bytes_ -= it->second.length;
+  strips_.erase(it);
+}
+
+std::size_t ServerStore::strip_count() const { return strips_.size(); }
+
+}  // namespace das::pfs

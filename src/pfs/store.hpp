@@ -1,0 +1,64 @@
+// Per-server strip storage.
+//
+// Holds the actual bytes of each strip a server stores (correctness mode)
+// and assigns each strip a position on the server's disk (timing mode).
+// Strips are placed on disk in the order they are created, so a server
+// scanning its strips in ascending order streams sequentially — matching how
+// a PFS server lays out stripe data in practice.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "pfs/file.hpp"
+
+namespace das::pfs {
+
+class ServerStore {
+ public:
+  /// Create-or-replace strip data. Assigns a disk position on first insert.
+  /// `bytes` may be empty in timing-only simulations; `length` is the strip's
+  /// logical length either way.
+  void put(FileId file, std::uint64_t strip, std::uint64_t length,
+           std::vector<std::byte> bytes);
+
+  /// True if this server stores the strip.
+  [[nodiscard]] bool has(FileId file, std::uint64_t strip) const;
+
+  /// The stored bytes (empty in timing-only mode). Requires has().
+  [[nodiscard]] const std::vector<std::byte>& bytes(FileId file,
+                                                    std::uint64_t strip) const;
+
+  /// Disk byte position of the strip on this server. Requires has().
+  [[nodiscard]] std::uint64_t disk_offset(FileId file,
+                                          std::uint64_t strip) const;
+
+  /// Logical length of the stored strip. Requires has().
+  [[nodiscard]] std::uint64_t length(FileId file, std::uint64_t strip) const;
+
+  /// Remove a strip (used when re-laying out a file). Requires has().
+  void erase(FileId file, std::uint64_t strip);
+
+  /// Total logical bytes stored (capacity accounting).
+  [[nodiscard]] std::uint64_t stored_bytes() const { return stored_bytes_; }
+
+  /// Number of strips stored.
+  [[nodiscard]] std::size_t strip_count() const;
+
+ private:
+  struct StripData {
+    std::uint64_t length = 0;
+    std::uint64_t disk_offset = 0;
+    std::vector<std::byte> bytes;
+  };
+
+  [[nodiscard]] const StripData& find(FileId file, std::uint64_t strip) const;
+
+  std::map<std::pair<FileId, std::uint64_t>, StripData> strips_;
+  std::uint64_t next_disk_offset_ = 0;
+  std::uint64_t stored_bytes_ = 0;
+};
+
+}  // namespace das::pfs

@@ -1,0 +1,62 @@
+#include "runner/args.hpp"
+
+#include <stdexcept>
+
+namespace das::runner {
+
+Args::Args(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      throw std::invalid_argument("expected --flag, got: " + arg);
+    }
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[arg] = argv[++i];
+    } else {
+      values_[arg] = "true";
+    }
+  }
+}
+
+bool Args::has(const std::string& name) const {
+  touched_[name] = true;
+  return values_.contains(name);
+}
+
+std::string Args::get(const std::string& name,
+                      const std::string& fallback) const {
+  touched_[name] = true;
+  const auto it = values_.find(name);
+  return it == values_.end() ? fallback : it->second;
+}
+
+std::int64_t Args::get_int(const std::string& name,
+                           std::int64_t fallback) const {
+  touched_[name] = true;
+  const auto it = values_.find(name);
+  return it == values_.end() ? fallback : std::stoll(it->second);
+}
+
+bool Args::get_bool(const std::string& name, bool fallback) const {
+  touched_[name] = true;
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+std::string Args::unused() const {
+  std::string out;
+  for (const auto& [name, value] : values_) {
+    if (!touched_.contains(name)) {
+      if (!out.empty()) out += ", ";
+      out += name;
+    }
+  }
+  return out;
+}
+
+}  // namespace das::runner

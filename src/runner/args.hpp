@@ -1,0 +1,33 @@
+// Minimal command-line flag parsing for the example binaries:
+// --name=value or --name value; unknown flags are reported.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace das::runner {
+
+class Args {
+ public:
+  /// Parse argv; throws std::invalid_argument on malformed input.
+  Args(int argc, const char* const* argv);
+
+  [[nodiscard]] bool has(const std::string& name) const;
+
+  /// Value lookups with defaults.
+  [[nodiscard]] std::string get(const std::string& name,
+                                const std::string& fallback) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& name,
+                                     std::int64_t fallback) const;
+  [[nodiscard]] bool get_bool(const std::string& name, bool fallback) const;
+
+  /// Names that were parsed but never looked up (typo detection).
+  [[nodiscard]] std::string unused() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  mutable std::map<std::string, bool> touched_;
+};
+
+}  // namespace das::runner

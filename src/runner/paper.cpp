@@ -1,0 +1,62 @@
+#include "runner/paper.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+#include "simkit/assert.hpp"
+
+namespace das::runner {
+
+std::vector<std::string> paper_kernels() {
+  return {"flow-routing", "flow-accumulation", "gaussian-2d"};
+}
+
+core::ClusterConfig paper_cluster(std::uint32_t total_nodes) {
+  DAS_REQUIRE(total_nodes >= 2 && total_nodes % 2 == 0);
+  core::ClusterConfig cfg;
+  cfg.storage_nodes = total_nodes / 2;
+  cfg.compute_nodes = total_nodes / 2;
+  return cfg;
+}
+
+core::WorkloadSpec paper_workload(const std::string& kernel,
+                                  std::uint64_t gib) {
+  core::WorkloadSpec spec;
+  spec.kernel_name = kernel;
+  spec.data_bytes = gib << 30;
+  spec.strip_size = 1ULL << 20;
+  spec.element_size = 4;
+  // One raster row is one element short of a strip, so the 8-neighbour
+  // reach (imgWidth + 1 elements) is exactly one strip: the dependence halo
+  // is a single strip per side, as in the paper's Figs. 4-9.
+  spec.raster_width =
+      static_cast<std::uint32_t>(spec.strip_size / spec.element_size) - 1;
+  spec.with_data = false;
+  return spec;
+}
+
+core::RunReport run_cell(core::Scheme scheme, const std::string& kernel,
+                         std::uint64_t gib, std::uint32_t total_nodes) {
+  core::SchemeRunOptions options;
+  options.scheme = scheme;
+  options.workload = paper_workload(kernel, gib);
+  options.cluster = paper_cluster(total_nodes);
+  return core::run_scheme(options);
+}
+
+std::string format_checks(const std::vector<ShapeCheck>& checks) {
+  std::ostringstream out;
+  char line[256];
+  std::snprintf(line, sizeof line, "%-52s %-34s %10s %s\n", "check",
+                "paper", "measured", "holds");
+  out << line;
+  for (const ShapeCheck& c : checks) {
+    std::snprintf(line, sizeof line, "%-52s %-34s %10.3f %s\n",
+                  c.what.c_str(), c.paper.c_str(), c.measured,
+                  c.holds ? "yes" : "NO");
+    out << line;
+  }
+  return out.str();
+}
+
+}  // namespace das::runner

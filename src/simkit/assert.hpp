@@ -1,0 +1,33 @@
+// Lightweight contract checks used across the library.
+//
+// DAS_REQUIRE is always on (it guards simulation invariants whose violation
+// would silently corrupt results); DAS_ASSERT compiles out in NDEBUG builds
+// and is used on hot paths.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace das::detail {
+
+[[noreturn]] inline void contract_failure(const char* kind, const char* expr,
+                                          const char* file, int line) {
+  std::fprintf(stderr, "%s failed: %s at %s:%d\n", kind, expr, file, line);
+  std::abort();
+}
+
+}  // namespace das::detail
+
+#define DAS_REQUIRE(expr)                                                \
+  ((expr) ? static_cast<void>(0)                                         \
+          : ::das::detail::contract_failure("DAS_REQUIRE", #expr,        \
+                                            __FILE__, __LINE__))
+
+#ifdef NDEBUG
+#define DAS_ASSERT(expr) static_cast<void>(0)
+#else
+#define DAS_ASSERT(expr)                                                 \
+  ((expr) ? static_cast<void>(0)                                         \
+          : ::das::detail::contract_failure("DAS_ASSERT", #expr,         \
+                                            __FILE__, __LINE__))
+#endif

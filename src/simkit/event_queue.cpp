@@ -1,0 +1,40 @@
+#include "simkit/event_queue.hpp"
+
+#include <utility>
+
+#include "simkit/assert.hpp"
+
+namespace das::sim {
+
+EventId EventQueue::push(SimTime when, std::function<void()> action,
+                         const char* tag) {
+  const EventId id = next_id_++;
+  heap_.push(Event{when, id, std::move(action), tag});
+  pending_.insert(id);
+  return id;
+}
+
+bool EventQueue::cancel(EventId id) { return pending_.erase(id) > 0; }
+
+void EventQueue::drop_dead() const {
+  while (!heap_.empty() && !pending_.contains(heap_.top().id)) {
+    heap_.pop();
+  }
+}
+
+SimTime EventQueue::next_time() const {
+  DAS_REQUIRE(!empty());
+  drop_dead();
+  return heap_.top().when;
+}
+
+Event EventQueue::pop() {
+  DAS_REQUIRE(!empty());
+  drop_dead();
+  Event ev = heap_.top();
+  heap_.pop();
+  pending_.erase(ev.id);
+  return ev;
+}
+
+}  // namespace das::sim

@@ -1,0 +1,73 @@
+// Pending-event set for the discrete-event simulator.
+//
+// Events at equal timestamps are delivered in insertion order (FIFO), which
+// makes every simulation in this repository fully deterministic: the same
+// inputs always produce the same event trace.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "simkit/time.hpp"
+
+namespace das::sim {
+
+/// Opaque handle identifying a scheduled event; used for cancellation.
+using EventId = std::uint64_t;
+
+/// A scheduled callback. `tag` is a static string used only for tracing.
+struct Event {
+  SimTime when = 0;
+  EventId id = 0;  // monotonically increasing; breaks timestamp ties FIFO
+  std::function<void()> action;
+  const char* tag = "";
+};
+
+/// Min-heap of events ordered by (when, id).
+///
+/// Cancellation is lazy: a cancelled event stays in the heap and is dropped
+/// when it reaches the top, but it no longer counts as live.
+class EventQueue {
+ public:
+  /// Insert an event; returns its id for later cancellation.
+  EventId push(SimTime when, std::function<void()> action, const char* tag);
+
+  /// Mark an event dead. Returns false if the id already fired or was
+  /// already cancelled.
+  bool cancel(EventId id);
+
+  /// True when no live event remains.
+  [[nodiscard]] bool empty() const { return pending_.empty(); }
+
+  /// Timestamp of the next live event. Requires !empty().
+  [[nodiscard]] SimTime next_time() const;
+
+  /// Remove and return the next live event. Requires !empty().
+  Event pop();
+
+  /// Number of live events (cancelled-but-unpopped events excluded).
+  [[nodiscard]] std::size_t size() const { return pending_.size(); }
+
+  /// Total events ever pushed (diagnostic).
+  [[nodiscard]] std::uint64_t total_pushed() const { return next_id_; }
+
+ private:
+  struct Order {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.id > b.id;
+    }
+  };
+
+  /// Pop cancelled events off the top of the heap.
+  void drop_dead() const;
+
+  mutable std::priority_queue<Event, std::vector<Event>, Order> heap_;
+  std::unordered_set<EventId> pending_;  // ids pushed, not yet popped/cancelled
+  EventId next_id_ = 0;
+};
+
+}  // namespace das::sim

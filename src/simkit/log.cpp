@@ -1,0 +1,34 @@
+#include "simkit/log.hpp"
+
+#include <cstdio>
+#include <iostream>
+
+namespace das::sim {
+
+std::string_view to_string(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo:  return "INFO";
+    case LogLevel::kWarn:  return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff:   return "OFF";
+  }
+  return "?";
+}
+
+void Logger::log(LogLevel level, SimTime now, std::string_view component,
+                 std::string_view message) {
+  if (!enabled(level)) return;
+  char stamp[32];
+  std::snprintf(stamp, sizeof stamp, "[%12.6fs]", to_seconds(now));
+  *sink_ << stamp << ' ' << to_string(level) << ' ' << component << ": "
+         << message << '\n';
+}
+
+Logger& Logger::global() {
+  static Logger logger(&std::cerr, LogLevel::kWarn);
+  return logger;
+}
+
+}  // namespace das::sim

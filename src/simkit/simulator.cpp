@@ -1,0 +1,49 @@
+#include "simkit/simulator.hpp"
+
+#include <utility>
+
+#include "simkit/assert.hpp"
+
+namespace das::sim {
+
+EventId Simulator::schedule_at(SimTime when, Callback cb, const char* tag) {
+  DAS_REQUIRE(when >= now_);
+  return queue_.push(when, std::move(cb), tag);
+}
+
+EventId Simulator::schedule_after(SimDuration delay, Callback cb,
+                                  const char* tag) {
+  DAS_REQUIRE(delay >= 0);
+  return queue_.push(now_ + delay, std::move(cb), tag);
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  Event ev = queue_.pop();
+  DAS_ASSERT(ev.when >= now_);
+  now_ = ev.when;
+  ++delivered_;
+  ev.action();
+  return true;
+}
+
+std::uint64_t Simulator::run() {
+  stopped_ = false;
+  std::uint64_t n = 0;
+  while (!stopped_ && step()) ++n;
+  return n;
+}
+
+std::uint64_t Simulator::run_until(SimTime deadline) {
+  DAS_REQUIRE(deadline >= now_);
+  stopped_ = false;
+  std::uint64_t n = 0;
+  while (!stopped_ && !queue_.empty() && queue_.next_time() <= deadline) {
+    step();
+    ++n;
+  }
+  if (!stopped_ && now_ < deadline) now_ = deadline;
+  return n;
+}
+
+}  // namespace das::sim

@@ -1,0 +1,65 @@
+// The discrete-event simulator driving every experiment in this repository.
+//
+// Components schedule callbacks at future simulated times; Simulator::run()
+// delivers them in timestamp order (FIFO among equal timestamps) until the
+// event set drains or a stop condition is reached. All simulations are
+// single-threaded and deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "simkit/event_queue.hpp"
+#include "simkit/time.hpp"
+
+namespace das::sim {
+
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Current simulated time. Starts at 0.
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  /// Schedule `cb` at absolute time `when` (must be >= now()).
+  /// `tag` is a static string for tracing; it is not copied.
+  EventId schedule_at(SimTime when, Callback cb, const char* tag = "");
+
+  /// Schedule `cb` after `delay` (must be >= 0) from now().
+  EventId schedule_after(SimDuration delay, Callback cb, const char* tag = "");
+
+  /// Cancel a previously scheduled event. Returns false if it already fired.
+  bool cancel(EventId id) { return queue_.cancel(id); }
+
+  /// Deliver the next event. Returns false if the queue was empty.
+  bool step();
+
+  /// Run until the event set drains or stop() is called.
+  /// Returns the number of events delivered by this call.
+  std::uint64_t run();
+
+  /// Run until simulated time would exceed `deadline` (events at exactly
+  /// `deadline` are delivered). Advances now() to `deadline` if the queue
+  /// drains earlier. Returns the number of events delivered.
+  std::uint64_t run_until(SimTime deadline);
+
+  /// Request that run()/run_until() return after the current event.
+  void stop() { stopped_ = true; }
+
+  /// True once stop() has been called during the current run.
+  [[nodiscard]] bool stopped() const { return stopped_; }
+
+  /// Number of events delivered over the simulator's lifetime.
+  [[nodiscard]] std::uint64_t events_delivered() const { return delivered_; }
+
+  /// Number of events currently pending.
+  [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
+
+ private:
+  EventQueue queue_;
+  SimTime now_ = kTimeZero;
+  std::uint64_t delivered_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace das::sim

@@ -1,0 +1,65 @@
+// Simulation time representation for the das discrete-event engine.
+//
+// Simulated time is an integer count of nanoseconds. Integer time keeps the
+// simulation deterministic across platforms (no floating-point event-order
+// ambiguity) while giving ~292 years of range, far beyond any experiment in
+// this repository.
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+
+namespace das::sim {
+
+/// Simulated time in nanoseconds since the start of the simulation.
+using SimTime = std::int64_t;
+
+/// A span of simulated time, also in nanoseconds.
+using SimDuration = std::int64_t;
+
+inline constexpr SimTime kTimeZero = 0;
+
+/// Largest representable time; used as "never" for idle components.
+inline constexpr SimTime kTimeInfinity = INT64_MAX;
+
+/// Construct a duration from nanoseconds (identity, for symmetry).
+constexpr SimDuration nanoseconds(std::int64_t n) { return n; }
+
+/// Construct a duration from microseconds.
+constexpr SimDuration microseconds(std::int64_t us) { return us * 1'000; }
+
+/// Construct a duration from milliseconds.
+constexpr SimDuration milliseconds(std::int64_t ms) { return ms * 1'000'000; }
+
+/// Construct a duration from whole seconds (any integral type).
+template <std::integral I>
+constexpr SimDuration seconds(I s) {
+  return static_cast<SimDuration>(s) * 1'000'000'000;
+}
+
+/// Construct a duration from fractional seconds (rounds to nearest ns).
+template <std::floating_point F>
+constexpr SimDuration seconds(F s) {
+  return static_cast<SimDuration>(
+      static_cast<double>(s) * 1e9 + (s >= 0 ? 0.5 : -0.5));
+}
+
+/// Convert a time/duration to fractional seconds for reporting.
+constexpr double to_seconds(SimTime t) { return static_cast<double>(t) * 1e-9; }
+
+/// Convert a time/duration to fractional milliseconds for reporting.
+constexpr double to_milliseconds(SimTime t) {
+  return static_cast<double>(t) * 1e-6;
+}
+
+/// Time to move `bytes` at `bytes_per_second`, rounded up to a whole ns so a
+/// nonzero transfer never takes zero simulated time.
+constexpr SimDuration transfer_time(std::uint64_t bytes,
+                                    double bytes_per_second) {
+  if (bytes == 0) return 0;
+  const double s = static_cast<double>(bytes) / bytes_per_second;
+  const auto ns = static_cast<SimDuration>(s * 1e9);
+  return ns > 0 ? ns : 1;
+}
+
+}  // namespace das::sim

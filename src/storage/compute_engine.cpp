@@ -1,0 +1,28 @@
+#include "storage/compute_engine.hpp"
+
+#include <algorithm>
+
+#include "simkit/assert.hpp"
+
+namespace das::storage {
+
+ComputeEngine::ComputeEngine(const ComputeConfig& config)
+    : config_(config),
+      effective_rate_bps_(config.rate_bps * config.cores) {
+  DAS_REQUIRE(config.rate_bps > 0.0);
+  DAS_REQUIRE(config.cores > 0);
+}
+
+sim::SimTime ComputeEngine::execute(sim::SimTime now, std::uint64_t bytes,
+                                    double cost_factor) {
+  DAS_REQUIRE(cost_factor > 0.0);
+  const sim::SimTime start = std::max(now, free_at_);
+  const sim::SimDuration span =
+      sim::transfer_time(bytes, effective_rate_bps_ / cost_factor);
+  free_at_ = start + span;
+  busy_ += span;
+  bytes_processed_ += bytes;
+  return free_at_;
+}
+
+}  // namespace das::storage

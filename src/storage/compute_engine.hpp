@@ -1,0 +1,49 @@
+// Per-node computation model.
+//
+// A node processes data at `rate_bps * cores` bytes per second, scaled by a
+// per-kernel cost factor (a Gaussian convolution costs more per byte than a
+// min-of-neighbours scan). Like the other resources, the engine is reserved
+// serially with "next free time" bookkeeping; a node that is also servicing
+// remote strip requests loses compute availability through the shared disk
+// and NIC, which the NAS experiments in the paper identify as one of the two
+// dependence penalties.
+#pragma once
+
+#include <cstdint>
+
+#include "simkit/time.hpp"
+
+namespace das::storage {
+
+struct ComputeConfig {
+  /// Per-core processing rate for a cost-factor-1.0 kernel.
+  double rate_bps = 250.0 * 1024 * 1024;
+  std::uint32_t cores = 1;
+};
+
+class ComputeEngine {
+ public:
+  explicit ComputeEngine(const ComputeConfig& config);
+
+  /// Reserve the engine to process `bytes` of input at `cost_factor` times
+  /// the baseline per-byte cost, starting no earlier than `now`.
+  /// Returns the completion time.
+  sim::SimTime execute(sim::SimTime now, std::uint64_t bytes,
+                       double cost_factor = 1.0);
+
+  [[nodiscard]] const ComputeConfig& config() const { return config_; }
+  [[nodiscard]] std::uint64_t bytes_processed() const {
+    return bytes_processed_;
+  }
+  [[nodiscard]] sim::SimDuration busy_time() const { return busy_; }
+  [[nodiscard]] sim::SimTime free_at() const { return free_at_; }
+
+ private:
+  ComputeConfig config_;
+  double effective_rate_bps_;
+  sim::SimTime free_at_ = 0;
+  std::uint64_t bytes_processed_ = 0;
+  sim::SimDuration busy_ = 0;
+};
+
+}  // namespace das::storage

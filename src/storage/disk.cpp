@@ -1,0 +1,48 @@
+#include "storage/disk.hpp"
+
+#include <algorithm>
+
+#include "simkit/assert.hpp"
+
+namespace das::storage {
+
+Disk::Disk(const DiskConfig& config)
+    : config_(config), rng_(config.seed) {
+  DAS_REQUIRE(config.bandwidth_bps > 0.0);
+  DAS_REQUIRE(config.seek_time >= 0);
+  DAS_REQUIRE(config.jitter >= 0.0 && config.jitter < 1.0);
+}
+
+sim::SimTime Disk::access(sim::SimTime now, std::uint64_t offset,
+                          std::uint64_t bytes) {
+  const sim::SimTime start = std::max(now, free_at_);
+  sim::SimDuration span = sim::transfer_time(bytes, config_.bandwidth_bps);
+  if (offset != next_sequential_offset_) {
+    span += config_.seek_time;
+    ++seeks_;
+  }
+  if (config_.jitter > 0.0 && span > 0) {
+    const double factor =
+        1.0 + config_.jitter * (2.0 * rng_.next_double() - 1.0);
+    span = static_cast<sim::SimDuration>(
+        static_cast<double>(span) * factor);
+  }
+  next_sequential_offset_ = offset + bytes;
+  free_at_ = start + span;
+  busy_ += span;
+  return free_at_;
+}
+
+sim::SimTime Disk::read(sim::SimTime now, std::uint64_t offset,
+                        std::uint64_t bytes) {
+  bytes_read_ += bytes;
+  return access(now, offset, bytes);
+}
+
+sim::SimTime Disk::write(sim::SimTime now, std::uint64_t offset,
+                         std::uint64_t bytes) {
+  bytes_written_ += bytes;
+  return access(now, offset, bytes);
+}
+
+}  // namespace das::storage

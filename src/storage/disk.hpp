@@ -1,0 +1,60 @@
+// Rotational/SSD-agnostic disk model: positioning cost + streaming bandwidth.
+//
+// A request at the offset where the previous one ended streams at full
+// bandwidth; any other offset pays one positioning (seek) penalty. The disk
+// is a serial resource reserved with "next free time" bookkeeping, like the
+// NIC model in net/.
+#pragma once
+
+#include <cstdint>
+
+#include "simkit/random.hpp"
+#include "simkit/time.hpp"
+
+namespace das::storage {
+
+struct DiskConfig {
+  double bandwidth_bps = 500.0 * 1024 * 1024;        // 500 MiB/s streaming
+  sim::SimDuration seek_time = sim::microseconds(500);
+  /// Per-request service-time jitter as a fraction of the nominal time
+  /// (uniform in [1-jitter, 1+jitter]); 0 keeps the disk deterministic.
+  double jitter = 0.0;
+  /// Seed for the jitter stream (give each disk its own).
+  std::uint64_t seed = 0;
+};
+
+class Disk {
+ public:
+  explicit Disk(const DiskConfig& config);
+
+  /// Reserve the disk for a read of `bytes` at `offset`, starting no earlier
+  /// than `now`. Returns the completion time.
+  sim::SimTime read(sim::SimTime now, std::uint64_t offset,
+                    std::uint64_t bytes);
+
+  /// Reserve the disk for a write of `bytes` at `offset`.
+  sim::SimTime write(sim::SimTime now, std::uint64_t offset,
+                     std::uint64_t bytes);
+
+  [[nodiscard]] const DiskConfig& config() const { return config_; }
+  [[nodiscard]] std::uint64_t bytes_read() const { return bytes_read_; }
+  [[nodiscard]] std::uint64_t bytes_written() const { return bytes_written_; }
+  [[nodiscard]] std::uint64_t seeks() const { return seeks_; }
+  [[nodiscard]] sim::SimDuration busy_time() const { return busy_; }
+  [[nodiscard]] sim::SimTime free_at() const { return free_at_; }
+
+ private:
+  sim::SimTime access(sim::SimTime now, std::uint64_t offset,
+                      std::uint64_t bytes);
+
+  DiskConfig config_;
+  sim::SimTime free_at_ = 0;
+  std::uint64_t next_sequential_offset_ = UINT64_MAX;
+  std::uint64_t bytes_read_ = 0;
+  std::uint64_t bytes_written_ = 0;
+  std::uint64_t seeks_ = 0;
+  sim::SimDuration busy_ = 0;
+  sim::Rng rng_;
+};
+
+}  // namespace das::storage

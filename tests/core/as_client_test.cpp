@@ -1,0 +1,177 @@
+// Public-API tests for the Active Storage Client: decision plumbing,
+// Kernel Features catalog overrides, and end-to-end submissions.
+#include "core/as_client.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/workload.hpp"
+#include "grid/serialize.hpp"
+
+namespace das::core {
+namespace {
+
+class AsClientFixture : public ::testing::Test {
+ protected:
+  AsClientFixture() : registry_(kernels::standard_registry()) {
+    config_.storage_nodes = 4;
+    config_.compute_nodes = 4;
+    config_.job_startup = 0;
+    distribution_.group_size = 8;
+    distribution_.max_capacity_overhead = 1.0;
+    cluster_ = std::make_unique<Cluster>(config_);
+    client_ = std::make_unique<ActiveStorageClient>(*cluster_, registry_,
+                                                    distribution_);
+  }
+
+  pfs::FileId make_raster_file(std::unique_ptr<pfs::Layout> layout,
+                               bool with_data = false) {
+    spec_.strip_size = 64;
+    spec_.element_size = 4;
+    spec_.data_bytes = 128 * 64;
+    spec_.with_data = with_data;
+    pfs::FileMeta meta = spec_.make_meta("input");
+    if (with_data) {
+      const auto kernel = registry_.create("gaussian-2d");
+      data_ = grid::to_bytes(make_input(spec_, *kernel));
+      return cluster_->pfs().create_file(meta, std::move(layout), &data_);
+    }
+    return cluster_->pfs().create_file(meta, std::move(layout), nullptr);
+  }
+
+  ClusterConfig config_;
+  DistributionConfig distribution_;
+  kernels::KernelRegistry registry_;
+  WorkloadSpec spec_;
+  std::vector<std::byte> data_;
+  std::unique_ptr<Cluster> cluster_;
+  std::unique_ptr<ActiveStorageClient> client_;
+};
+
+TEST_F(AsClientFixture, OffloadsFromADependenceAwareLayout) {
+  const pfs::FileId input = make_raster_file(
+      std::make_unique<pfs::DasReplicatedLayout>(4, 8, 2));
+  ActiveRequest request;
+  request.input = input;
+  request.kernel_name = "gaussian-2d";
+  bool done = false;
+  const SubmissionResult result =
+      client_->submit(request, [&] { done = true; });
+  cluster_->simulator().run();
+  EXPECT_TRUE(done);
+  EXPECT_TRUE(result.offloaded);
+  EXPECT_FALSE(result.redistributed);
+  EXPECT_NE(result.output, pfs::kInvalidFile);
+  ASSERT_NE(client_->last_active_executor(), nullptr);
+  EXPECT_EQ(client_->last_active_executor()->halo_strips_fetched(), 0U);
+}
+
+TEST_F(AsClientFixture, ServesNormallyFromRoundRobinWithoutPipeline) {
+  const pfs::FileId input =
+      make_raster_file(std::make_unique<pfs::RoundRobinLayout>(4));
+  ActiveRequest request;
+  request.input = input;
+  request.kernel_name = "gaussian-2d";
+  request.allow_redistribution = false;
+  bool done = false;
+  const SubmissionResult result =
+      client_->submit(request, [&] { done = true; });
+  cluster_->simulator().run();
+  EXPECT_TRUE(done);
+  EXPECT_FALSE(result.offloaded);
+  EXPECT_EQ(client_->last_active_executor(), nullptr);
+}
+
+TEST_F(AsClientFixture, OutputInheritsTheInputLayout) {
+  const pfs::FileId input = make_raster_file(
+      std::make_unique<pfs::DasReplicatedLayout>(4, 8, 2));
+  ActiveRequest request;
+  request.input = input;
+  request.kernel_name = "median-3x3";
+  const SubmissionResult result = client_->submit(request, nullptr);
+  cluster_->simulator().run();
+  EXPECT_EQ(cluster_->pfs().layout(result.output).name(),
+            cluster_->pfs().layout(input).name());
+}
+
+TEST_F(AsClientFixture, CatalogOverridesTheBuiltInPattern) {
+  // Declare gaussian-2d dependence-free through the catalog: the client
+  // must then offload directly even from round-robin striping.
+  kernels::FeaturesCatalog catalog;
+  kernels::KernelFeatures record;
+  record.name = "gaussian-2d";
+  catalog.add(record);
+  client_->set_features_catalog(&catalog);
+
+  const pfs::FileId input =
+      make_raster_file(std::make_unique<pfs::RoundRobinLayout>(4));
+  ActiveRequest request;
+  request.input = input;
+  request.kernel_name = "gaussian-2d";
+  const SubmissionResult result = client_->submit(request, nullptr);
+  cluster_->simulator().run();
+  EXPECT_TRUE(result.offloaded);
+  EXPECT_FALSE(result.redistributed);
+  EXPECT_EQ(result.decision.action, OffloadAction::kOffload);
+  // No dependence declared -> no halo fetches attempted.
+  ASSERT_NE(client_->last_active_executor(), nullptr);
+  EXPECT_EQ(client_->last_active_executor()->halo_strips_fetched(), 0U);
+}
+
+TEST_F(AsClientFixture, CatalogMissObeysTheKernelPattern) {
+  kernels::FeaturesCatalog catalog;  // empty
+  client_->set_features_catalog(&catalog);
+  const pfs::FileId input =
+      make_raster_file(std::make_unique<pfs::RoundRobinLayout>(4));
+  ActiveRequest request;
+  request.input = input;
+  request.kernel_name = "gaussian-2d";
+  request.allow_redistribution = false;
+  const SubmissionResult result = client_->submit(request, nullptr);
+  cluster_->simulator().run();
+  EXPECT_FALSE(result.offloaded);  // the real 8-neighbour pattern rejects
+}
+
+TEST_F(AsClientFixture, ReductionSubmissionHasNoOutputFile) {
+  const pfs::FileId input =
+      make_raster_file(std::make_unique<pfs::RoundRobinLayout>(4));
+  ActiveRequest request;
+  request.input = input;
+  request.kernel_name = "raster-statistics";
+  bool done = false;
+  const SubmissionResult result =
+      client_->submit(request, [&] { done = true; });
+  cluster_->simulator().run();
+  EXPECT_TRUE(done);
+  EXPECT_TRUE(result.offloaded);
+  EXPECT_EQ(result.output, pfs::kInvalidFile);
+}
+
+TEST_F(AsClientFixture, RedistributionPathDeliversVerifiedData) {
+  const pfs::FileId input =
+      make_raster_file(std::make_unique<pfs::RoundRobinLayout>(4),
+                       /*with_data=*/true);
+  ActiveRequest request;
+  request.input = input;
+  request.kernel_name = "gaussian-2d";
+  request.pipeline_length = 8;
+  request.data_mode = true;
+  bool done = false;
+  const SubmissionResult result =
+      client_->submit(request, [&] { done = true; });
+  cluster_->simulator().run();
+  ASSERT_TRUE(done);
+  EXPECT_TRUE(result.redistributed);
+  EXPECT_GT(result.redistribution_bytes, 0U);
+
+  const auto produced = grid::from_bytes(
+      cluster_->pfs().gather_bytes(result.output), spec_.width(),
+      spec_.height());
+  const auto kernel = registry_.create("gaussian-2d");
+  const auto reference =
+      kernel->run_reference(grid::from_bytes(data_, spec_.width(),
+                                             spec_.height()));
+  EXPECT_EQ(produced, reference);
+}
+
+}  // namespace
+}  // namespace das::core

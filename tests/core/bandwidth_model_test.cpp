@@ -1,0 +1,234 @@
+#include "core/bandwidth_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "kernels/features.hpp"
+
+namespace das::core {
+namespace {
+
+TEST(PlacementSpecTest, RoundTripThroughLayouts) {
+  const PlacementSpec rr{4, 1, 0};
+  EXPECT_EQ(PlacementSpec::from_layout(*rr.make_layout()), rr);
+
+  const PlacementSpec grouped{4, 8, 0};
+  EXPECT_EQ(PlacementSpec::from_layout(*grouped.make_layout()), grouped);
+
+  const PlacementSpec das{12, 16, 2};
+  EXPECT_EQ(PlacementSpec::from_layout(*das.make_layout()), das);
+}
+
+TEST(ElementLocationTest, MatchesPaperEquations) {
+  // Eq. 1: strip(i) = i*E / strip_size; Eq. 2: location = strip mod D.
+  const PlacementSpec rr{4, 1, 0};
+  EXPECT_EQ(strip_of_element(0, 4, 64), 0U);
+  EXPECT_EQ(strip_of_element(15, 4, 64), 0U);
+  EXPECT_EQ(strip_of_element(16, 4, 64), 1U);
+  EXPECT_EQ(location_of_element(16, 4, 64, rr), 1U);
+  EXPECT_EQ(location_of_element(64, 4, 64, rr), 0U);  // strip 4 -> server 0
+
+  // Eq. 14: with group size r the divisor becomes r * strip_size.
+  const PlacementSpec grouped{4, 2, 0};
+  EXPECT_EQ(location_of_element(16, 4, 64, grouped), 0U);  // strip 1, group 0
+  EXPECT_EQ(location_of_element(32, 4, 64, grouped), 1U);  // strip 2, group 1
+}
+
+TEST(ElementLocationTest, AgreesWithConcreteLayout) {
+  const PlacementSpec spec{5, 3, 0};
+  const auto layout = spec.make_layout();
+  for (std::uint64_t i = 0; i < 4000; i += 7) {
+    EXPECT_EQ(location_of_element(i, 4, 64, spec),
+              layout->primary(strip_of_element(i, 4, 64)));
+  }
+}
+
+// The analytic remote-access fraction must match brute-force enumeration
+// over the interior of a large file, for every placement shape.
+using FractionCase = std::tuple<std::int64_t,   // offset (elements)
+                                std::uint64_t,  // strip size (bytes)
+                                std::uint64_t,  // group size r
+                                std::uint64_t,  // halo
+                                std::uint32_t>; // servers D
+
+std::string fraction_case_name(
+    const ::testing::TestParamInfo<FractionCase>& info) {
+  const std::int64_t offset = std::get<0>(info.param);
+  const std::string sign = offset < 0 ? "m" : "p";
+  return sign + std::to_string(offset < 0 ? -offset : offset) + "_s" +
+         std::to_string(std::get<1>(info.param)) + "_r" +
+         std::to_string(std::get<2>(info.param)) + "_h" +
+         std::to_string(std::get<3>(info.param)) + "_D" +
+         std::to_string(std::get<4>(info.param));
+}
+
+class RemoteFractionTest : public ::testing::TestWithParam<FractionCase> {};
+
+TEST_P(RemoteFractionTest, AnalyticMatchesBruteForce) {
+  const auto [offset, strip, r, halo, servers] = GetParam();
+  const std::uint32_t element_size = 4;
+  const PlacementSpec spec{servers, r, halo};
+
+  // Sample interior elements spanning many groups, starting far from the
+  // file edges so edge suppression does not distort the measurement.
+  const std::uint64_t group_elems = r * strip / element_size;
+  const std::uint64_t begin =
+      group_elems * servers * 2 +
+      static_cast<std::uint64_t>(offset < 0 ? -offset : offset);
+  const std::uint64_t end = begin + group_elems * servers * 8;
+
+  const double analytic =
+      remote_access_fraction(offset, element_size, strip, spec);
+  const double measured =
+      measure_remote_fraction(offset, element_size, strip, spec, begin, end);
+  EXPECT_NEAR(analytic, measured, 1e-9)
+      << "offset=" << offset << " strip=" << strip << " r=" << r
+      << " halo=" << halo << " D=" << servers;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RemoteFractionTest,
+    ::testing::Values(
+        // Round-robin, unit offsets: tiny crossing fraction.
+        FractionCase{1, 64, 1, 0, 4}, FractionCase{-1, 64, 1, 0, 4},
+        // Row offsets equal to one strip: always remote under round-robin.
+        FractionCase{16, 64, 1, 0, 4}, FractionCase{-16, 64, 1, 0, 4},
+        // Offsets crossing within a group (partially remote).
+        FractionCase{16, 64, 4, 0, 4}, FractionCase{24, 64, 4, 0, 4},
+        // Halo replication absorbs adjacent-group crossings.
+        FractionCase{16, 64, 4, 1, 4}, FractionCase{-16, 64, 4, 1, 4},
+        FractionCase{40, 64, 4, 2, 4},
+        // Offset spanning multiple groups.
+        FractionCase{200, 64, 2, 0, 3}, FractionCase{-200, 64, 2, 0, 3},
+        // Offset landing exactly D groups away: same server again.
+        FractionCase{256, 64, 4, 0, 4},
+        // Two servers; wrap-heavy.
+        FractionCase{32, 64, 2, 1, 2}, FractionCase{48, 64, 3, 1, 2},
+        // Odd strip-to-offset ratios.
+        FractionCase{100, 256, 2, 0, 5}, FractionCase{-1000, 128, 8, 2, 6}),
+    fraction_case_name);
+
+TEST(RemoteFractionTest, ZeroOffsetIsLocal) {
+  EXPECT_EQ(remote_access_fraction(0, 4, 64, PlacementSpec{4, 1, 0}), 0.0);
+}
+
+TEST(RemoteFractionTest, SingleServerIsAlwaysLocal) {
+  EXPECT_EQ(remote_access_fraction(1000, 4, 64, PlacementSpec{1, 1, 0}),
+            0.0);
+}
+
+TEST(RemoteFractionTest, HaloCoveringTheWholeReachIsFullyLocal) {
+  // |offset| * E = 1 strip, halo = 1 strip: every crossing is absorbed.
+  const PlacementSpec spec{4, 4, 1};
+  EXPECT_EQ(remote_access_fraction(16, 4, 64, spec), 0.0);
+  EXPECT_EQ(remote_access_fraction(-16, 4, 64, spec), 0.0);
+}
+
+TEST(RemoteFractionTest, RowNeighbourOnRoundRobinIsAlwaysRemote) {
+  // The paper's Fig. 4/5 scenario: a row offset of exactly one strip under
+  // round-robin lands on the next server for every element.
+  EXPECT_EQ(remote_access_fraction(16, 4, 64, PlacementSpec{4, 1, 0}), 1.0);
+}
+
+TEST(BwCostTest, EightNeighbourCostUnderRoundRobin) {
+  // Paper Eq. 5 on the worst-case geometry (one row per strip): the six
+  // offsets reaching the previous/next row are remote for (almost) every
+  // element; +-1 cross only at strip edges.
+  const std::uint32_t width = 16;  // elements per row = per strip
+  const auto offsets =
+      kernels::eight_neighbor_pattern("op").resolve(width);
+  const PlacementSpec rr{4, 1, 0};
+  const double cost = bwcost_per_element(offsets, 4, 64, rr);
+  // Six row-crossing offsets are fully remote: cost ~ 6 * E. The +-1 and
+  // the +-(W+-1) variations shift by one element: tiny corrections.
+  EXPECT_NEAR(cost, 6.0 * 4.0, 4.0 * 0.5);
+  EXPECT_GT(cost, 4.0);  // far above the 2*E normal-I/O cost per element
+}
+
+TEST(BwCostTest, DasPlacementDrivesCostToZero) {
+  const std::uint32_t width = 15;  // (W+1)*E == strip: reach = 1 strip
+  const auto offsets =
+      kernels::eight_neighbor_pattern("op").resolve(width);
+  const PlacementSpec das{4, 4, 1};
+  EXPECT_EQ(bwcost_per_element(offsets, 4, 64, das), 0.0);
+}
+
+TEST(PaperCriterionTest, Equation17) {
+  // (stride * E) / (r * strip_size) mod D == 0.
+  EXPECT_TRUE(paper_locality_criterion(10, 4, 64, 1, 4));    // 40/64 = 0
+  EXPECT_FALSE(paper_locality_criterion(16, 4, 64, 1, 4));   // 64/64 = 1
+  EXPECT_TRUE(paper_locality_criterion(64, 4, 64, 1, 4));    // 256/64 = 4
+  EXPECT_TRUE(paper_locality_criterion(16, 4, 64, 4, 4));    // 64/256 = 0
+  EXPECT_TRUE(paper_locality_criterion(128, 4, 64, 2, 4));   // 512/128 = 4
+  EXPECT_FALSE(paper_locality_criterion(96, 4, 64, 2, 4));   // 384/128 = 3
+}
+
+TEST(PaperCriterionTest, ExactModelExposesEq17Optimism) {
+  // Eq. 17 calls a stride of one strip on a grouped layout "local"
+  // (integer division truncates to 0 groups away), but without halo
+  // replication a fraction of elements still cross: the exact model sees it.
+  EXPECT_TRUE(paper_locality_criterion(16, 4, 64, 4, 4));
+  EXPECT_GT(remote_access_fraction(16, 4, 64, PlacementSpec{4, 4, 0}), 0.0);
+  // With the DAS halo in place the promise becomes true.
+  EXPECT_EQ(remote_access_fraction(16, 4, 64, PlacementSpec{4, 4, 1}), 0.0);
+}
+
+TEST(RequiredHaloTest, CeilOfReachOverStrip) {
+  EXPECT_EQ(required_halo_strips({-1, 1}, 4, 64), 1U);
+  EXPECT_EQ(required_halo_strips({16}, 4, 64), 1U);    // exactly one strip
+  EXPECT_EQ(required_halo_strips({17}, 4, 64), 2U);    // just over
+  EXPECT_EQ(required_halo_strips({-33, 20}, 4, 64), 3U);
+  EXPECT_EQ(required_halo_strips({}, 4, 64), 0U);
+}
+
+TEST(ForecastTest, NormalIoIsInputPlusOutput) {
+  pfs::FileMeta meta;
+  meta.name = "f";
+  meta.size_bytes = 1 << 20;
+  meta.strip_size = 1 << 10;
+  meta.element_size = 4;
+  const auto fc = forecast_traffic(meta, {}, PlacementSpec{4, 1, 0},
+                                   meta.size_bytes);
+  EXPECT_EQ(fc.normal_io_bytes, 2U << 20);
+  EXPECT_EQ(fc.normal_critical_bytes, 1U << 20);
+  EXPECT_EQ(fc.active_total_bytes(), 0U);
+  EXPECT_TRUE(fc.offload_beneficial());
+}
+
+TEST(ForecastTest, RoundRobinStencilFetchesTwoStripsPerStrip) {
+  pfs::FileMeta meta;
+  meta.name = "f";
+  meta.size_bytes = 64 * 1024;
+  meta.strip_size = 1024;
+  meta.element_size = 4;
+  const std::uint32_t width = 255;  // reach (W+1)*E = 1024 = one strip
+  const auto offsets = kernels::eight_neighbor_pattern("op").resolve(width);
+  const auto fc =
+      forecast_traffic(meta, offsets, PlacementSpec{4, 1, 0}, meta.size_bytes);
+  // 64 strips, each fetching its two neighbours (file edges lose one each).
+  EXPECT_EQ(fc.active_strip_fetch_bytes, (2 * 64 - 2) * 1024U);
+  EXPECT_EQ(fc.replica_write_bytes, 0U);
+  EXPECT_FALSE(fc.offload_beneficial());
+}
+
+TEST(ForecastTest, DasPlacementPaysOnlyReplicaPropagation) {
+  pfs::FileMeta meta;
+  meta.name = "f";
+  meta.size_bytes = 64 * 1024;
+  meta.strip_size = 1024;
+  meta.element_size = 4;
+  const std::uint32_t width = 255;
+  const auto offsets = kernels::eight_neighbor_pattern("op").resolve(width);
+  const PlacementSpec das{4, 4, 1};
+  const auto fc = forecast_traffic(meta, offsets, das, meta.size_bytes);
+  EXPECT_EQ(fc.active_strip_fetch_bytes, 0U);
+  // 16 groups: all but the first replicate their first strip backward; all
+  // but the last replicate their last strip forward -> 30 strip copies.
+  EXPECT_EQ(fc.replica_write_bytes, 30U * 1024);
+  EXPECT_TRUE(fc.offload_beneficial());
+  EXPECT_EQ(fc.active_exact_bytes, 0.0);
+}
+
+}  // namespace
+}  // namespace das::core

@@ -1,0 +1,86 @@
+#include "core/completion.hpp"
+
+#include <gtest/gtest.h>
+
+namespace das::core {
+namespace {
+
+TEST(BarrierTest, FiresWhenSealedAndDrained) {
+  int fired = 0;
+  CompletionBarrier barrier([&] { ++fired; });
+  barrier.add(2);
+  barrier.arrive();
+  EXPECT_EQ(fired, 0);
+  barrier.arrive();
+  EXPECT_EQ(fired, 0);  // not sealed yet
+  barrier.seal();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(BarrierTest, SealBeforeArrivalsWaits) {
+  int fired = 0;
+  CompletionBarrier barrier([&] { ++fired; });
+  barrier.add(3);
+  barrier.seal();
+  barrier.arrive();
+  barrier.arrive();
+  EXPECT_EQ(fired, 0);
+  barrier.arrive();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(BarrierTest, EmptySealedBarrierFiresImmediately) {
+  int fired = 0;
+  CompletionBarrier barrier([&] { ++fired; });
+  barrier.seal();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(BarrierTest, FiresExactlyOnce) {
+  int fired = 0;
+  CompletionBarrier barrier([&] { ++fired; });
+  barrier.add(1);
+  barrier.seal();
+  barrier.arrive();
+  barrier.seal();  // extra seal after firing must not re-fire
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(BarrierTest, NullCallbackIsTolerated) {
+  CompletionBarrier barrier(nullptr);
+  barrier.add();
+  barrier.arrive();
+  barrier.seal();
+  EXPECT_EQ(barrier.outstanding(), 0U);
+}
+
+TEST(BarrierTest, OutstandingTracksBookkeeping) {
+  CompletionBarrier barrier([] {});
+  barrier.add(5);
+  barrier.arrive();
+  barrier.arrive();
+  EXPECT_EQ(barrier.outstanding(), 3U);
+}
+
+TEST(BarrierTest, CallbackMayDestroyTheBarrier) {
+  auto barrier = std::make_shared<CompletionBarrier>(nullptr);
+  // Re-create with a callback that drops the only external reference.
+  std::shared_ptr<CompletionBarrier> keeper;
+  barrier = std::make_shared<CompletionBarrier>([&keeper] { keeper.reset(); });
+  keeper = barrier;
+  barrier->add(1);
+  barrier->seal();
+  std::weak_ptr<CompletionBarrier> watch = barrier;
+  barrier.reset();
+  EXPECT_FALSE(watch.expired());  // keeper still holds it
+  watch.lock()->arrive();         // fires; callback drops keeper
+  EXPECT_TRUE(watch.expired());
+}
+
+TEST(BarrierDeathTest, ArriveWithoutAddAborts) {
+  CompletionBarrier barrier([] {});
+  EXPECT_DEATH(barrier.arrive(), "DAS_REQUIRE");
+}
+
+}  // namespace
+}  // namespace das::core

@@ -1,0 +1,104 @@
+// Concurrent jobs on one simulated cluster: the executors must coexist
+// (distinct files, shared resources) and contention must appear in the
+// timing.
+#include <gtest/gtest.h>
+
+#include "core/active_executor.hpp"
+#include "core/ts_executor.hpp"
+#include "core/workload.hpp"
+#include "kernels/registry.hpp"
+
+namespace das::core {
+namespace {
+
+class ConcurrencyFixture : public ::testing::Test {
+ protected:
+  ConcurrencyFixture() : registry_(kernels::standard_registry()) {
+    config_.storage_nodes = 4;
+    config_.compute_nodes = 4;
+    config_.job_startup = 0;
+    cluster_ = std::make_unique<Cluster>(config_);
+    kernel_ = registry_.create("flow-routing");
+  }
+
+  /// Creates an input/output pair for one job (timing mode).
+  std::pair<pfs::FileId, pfs::FileId> make_job_files(const std::string& tag) {
+    WorkloadSpec spec;
+    spec.strip_size = 1ULL << 20;
+    spec.element_size = 4;
+    spec.raster_width = static_cast<std::uint32_t>(spec.strip_size / 4) - 1;
+    spec.data_bytes = 512ULL << 20;
+    pfs::FileMeta meta = spec.make_meta("in-" + tag);
+    const auto input = cluster_->pfs().create_file(
+        meta, std::make_unique<pfs::DasReplicatedLayout>(4, 16, 1), nullptr);
+    meta.name = "out-" + tag;
+    const auto output = cluster_->pfs().create_file(
+        meta, std::make_unique<pfs::DasReplicatedLayout>(4, 16, 1), nullptr);
+    return {input, output};
+  }
+
+  sim::SimTime run_active_jobs(std::size_t count) {
+    std::vector<std::unique_ptr<ActiveExecutor>> executors;
+    std::vector<sim::SimTime> finishes(count, -1);
+    for (std::size_t i = 0; i < count; ++i) {
+      const auto [input, output] = make_job_files(std::to_string(i));
+      ActiveExecutor::Options opt{kernel_.get(), 1, false};
+      executors.push_back(std::make_unique<ActiveExecutor>(*cluster_, opt));
+      sim::SimTime* finish = &finishes[i];
+      executors.back()->start(input, output, [this, finish]() {
+        *finish = cluster_->simulator().now();
+      });
+    }
+    cluster_->simulator().run();
+    sim::SimTime last = 0;
+    for (const sim::SimTime f : finishes) {
+      EXPECT_GE(f, 0);
+      last = std::max(last, f);
+    }
+    return last;
+  }
+
+  ClusterConfig config_;
+  kernels::KernelRegistry registry_;
+  std::unique_ptr<Cluster> cluster_;
+  kernels::KernelPtr kernel_;
+};
+
+TEST_F(ConcurrencyFixture, TwoActiveJobsBothComplete) {
+  EXPECT_GT(run_active_jobs(2), 0);
+}
+
+TEST_F(ConcurrencyFixture, ContentionRoughlyDoublesTheMakespan) {
+  const sim::SimTime one = run_active_jobs(1);
+  cluster_ = std::make_unique<Cluster>(config_);  // fresh cluster
+  const sim::SimTime two = run_active_jobs(2);
+  EXPECT_GT(two, static_cast<sim::SimTime>(1.7 * static_cast<double>(one)));
+  EXPECT_LT(two, static_cast<sim::SimTime>(2.3 * static_cast<double>(one)));
+}
+
+TEST_F(ConcurrencyFixture, MixedExecutorsShareTheCluster) {
+  const auto [in_a, out_a] = make_job_files("active");
+  const auto [in_t, out_t] = make_job_files("ts");
+
+  ActiveExecutor::Options aopt{kernel_.get(), 1, false};
+  ActiveExecutor active(*cluster_, aopt);
+  TsExecutor::Options topt{kernel_.get(), 1, false};
+  TsExecutor ts(*cluster_, topt);
+
+  bool active_done = false, ts_done = false;
+  active.start(in_a, out_a, [&] { active_done = true; });
+  ts.start(in_t, out_t, [&] { ts_done = true; });
+  cluster_->simulator().run();
+  EXPECT_TRUE(active_done);
+  EXPECT_TRUE(ts_done);
+  // Both traffic classes show up in one simulation.
+  EXPECT_GT(cluster_->network().bytes_delivered(
+                net::TrafficClass::kClientServer),
+            0U);
+  EXPECT_GT(cluster_->network().bytes_delivered(
+                net::TrafficClass::kServerServer),
+            0U);
+}
+
+}  // namespace
+}  // namespace das::core

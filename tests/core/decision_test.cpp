@@ -1,0 +1,130 @@
+#include "core/decision.hpp"
+
+#include <gtest/gtest.h>
+
+#include "kernels/features.hpp"
+
+namespace das::core {
+namespace {
+
+pfs::FileMeta raster_meta(std::uint64_t strips) {
+  pfs::FileMeta m;
+  m.name = "f";
+  m.strip_size = 64;
+  m.element_size = 4;
+  m.size_bytes = strips * m.strip_size;
+  m.raster_width = 15;  // (W+1)*E == strip: stencil reach = one strip
+  m.raster_height = static_cast<std::uint32_t>(strips * 64 /
+                                               ((15 + 1) * 4));
+  return m;
+}
+
+DistributionConfig dist_config() {
+  DistributionConfig cfg;
+  cfg.group_size = 16;
+  cfg.max_capacity_overhead = 0.25;
+  return cfg;
+}
+
+TEST(RedistributionBytesTest, CountsOnlyNewHolders) {
+  const auto meta = raster_meta(16);
+  const pfs::RoundRobinLayout rr(4);
+  const pfs::GroupedLayout grouped(4, 4);
+  // Strips keeping their server: s % 4 == (s/4) % 4 -> {0, 5, 10, 15}.
+  EXPECT_EQ(redistribution_bytes(meta, rr, grouped), (16U - 4U) * 64);
+  EXPECT_EQ(redistribution_bytes(meta, rr, rr), 0U);
+}
+
+TEST(RedistributionBytesTest, ReplicasCostExtraCopies) {
+  const auto meta = raster_meta(16);
+  const pfs::GroupedLayout grouped(4, 4);
+  const pfs::DasReplicatedLayout das(4, 4, 1);
+  // Same primaries; only the halo copies move: 3 backward + 3 forward.
+  EXPECT_EQ(redistribution_bytes(meta, grouped, das), 6U * 64);
+}
+
+TEST(DecisionTest, StencilOnRoundRobinWithPipelineRedistributes) {
+  const DecisionEngine engine(dist_config());
+  const auto meta = raster_meta(1024);
+  const pfs::RoundRobinLayout rr(12);
+  const auto features = kernels::eight_neighbor_pattern("op");
+  const Decision d =
+      engine.decide(meta, rr, features, meta.size_bytes, /*pipeline=*/4);
+  EXPECT_EQ(d.action, OffloadAction::kOffloadAfterRedistribution);
+  ASSERT_TRUE(d.target.has_value());
+  EXPECT_EQ(d.target->halo, 1U);
+  EXPECT_GT(d.redistribution_bytes, 0U);
+  EXPECT_FALSE(d.rationale.empty());
+}
+
+TEST(DecisionTest, SingleOperationOnRoundRobinIsServedNormally) {
+  // One operation cannot amortize moving nearly the whole file around.
+  const DecisionEngine engine(dist_config());
+  const auto meta = raster_meta(1024);
+  const pfs::RoundRobinLayout rr(12);
+  const auto features = kernels::eight_neighbor_pattern("op");
+  const Decision d =
+      engine.decide(meta, rr, features, meta.size_bytes, /*pipeline=*/1);
+  EXPECT_EQ(d.action, OffloadAction::kServeNormal);
+}
+
+TEST(DecisionTest, PreDistributedFileIsOffloadedDirectly) {
+  const DecisionEngine engine(dist_config());
+  const auto meta = raster_meta(1024);
+  const pfs::DasReplicatedLayout das(4, 16, 1);
+  const auto features = kernels::eight_neighbor_pattern("op");
+  const Decision d = engine.decide(meta, das, features, meta.size_bytes, 1);
+  EXPECT_EQ(d.action, OffloadAction::kOffload);
+  EXPECT_EQ(d.current_forecast.active_strip_fetch_bytes, 0U);
+}
+
+TEST(DecisionTest, DependenceFreeOperatorOffloadsFromRoundRobin) {
+  const DecisionEngine engine(dist_config());
+  const auto meta = raster_meta(1024);
+  const pfs::RoundRobinLayout rr(4);
+  kernels::KernelFeatures features;
+  features.name = "pointwise";
+  const Decision d = engine.decide(meta, rr, features, meta.size_bytes, 1);
+  EXPECT_EQ(d.action, OffloadAction::kOffload);
+  EXPECT_EQ(d.predicted_bytes, 0U);
+}
+
+TEST(DecisionTest, InfeasiblePlanFallsBackToNormal) {
+  // The file is too small for the capacity budget: no target placement
+  // exists, and the round-robin dependence traffic is prohibitive.
+  const DecisionEngine engine(dist_config());
+  const auto meta = raster_meta(16);
+  const pfs::RoundRobinLayout rr(4);
+  const auto features = kernels::eight_neighbor_pattern("op");
+  const Decision d = engine.decide(meta, rr, features, meta.size_bytes, 8);
+  EXPECT_EQ(d.action, OffloadAction::kServeNormal);
+  EXPECT_FALSE(d.target.has_value());
+}
+
+TEST(DecisionTest, LongerPipelinesFavourRedistribution) {
+  const DecisionEngine engine(dist_config());
+  const auto meta = raster_meta(1024);
+  const pfs::RoundRobinLayout rr(12);
+  const auto features = kernels::eight_neighbor_pattern("op");
+  const Decision once = engine.decide(meta, rr, features, meta.size_bytes, 1);
+  const Decision often =
+      engine.decide(meta, rr, features, meta.size_bytes, 16);
+  EXPECT_EQ(once.action, OffloadAction::kServeNormal);
+  EXPECT_EQ(often.action, OffloadAction::kOffloadAfterRedistribution);
+  // Per-operation predicted bytes shrink as the layout cost amortizes.
+  EXPECT_LT(static_cast<double>(often.predicted_bytes) / 16.0,
+            static_cast<double>(once.predicted_bytes));
+}
+
+TEST(DecisionDeathTest, RequiresRasterGeometry) {
+  const DecisionEngine engine(dist_config());
+  pfs::FileMeta meta = raster_meta(64);
+  meta.raster_width = 0;
+  const pfs::RoundRobinLayout rr(4);
+  EXPECT_DEATH(engine.decide(meta, rr, kernels::eight_neighbor_pattern("op"),
+                             meta.size_bytes, 1),
+               "DAS_REQUIRE");
+}
+
+}  // namespace
+}  // namespace das::core

@@ -1,0 +1,226 @@
+// End-to-end executor tests in data mode: the simulated schemes carry real
+// bytes, and each scheme's distributed output must equal the sequential
+// reference bit for bit.
+#include <gtest/gtest.h>
+
+#include "core/active_executor.hpp"
+#include "core/bandwidth_model.hpp"
+#include "core/ts_executor.hpp"
+#include "core/workload.hpp"
+#include "grid/serialize.hpp"
+#include "kernels/registry.hpp"
+
+namespace das::core {
+namespace {
+
+class ExecutorFixture : public ::testing::Test {
+ protected:
+  ExecutorFixture() : registry_(kernels::standard_registry()) {
+    config_.storage_nodes = 4;
+    config_.compute_nodes = 4;
+    config_.job_startup = 0;
+  }
+
+  WorkloadSpec workload(const std::string& kernel) const {
+    WorkloadSpec spec;
+    spec.kernel_name = kernel;
+    spec.strip_size = 64;
+    spec.element_size = 4;      // width 16, one row per strip
+    spec.data_bytes = 64 * 64;  // 64 strips / rows
+    spec.with_data = true;
+    return spec;
+  }
+
+  /// Creates the cluster, input file (with data) and empty output file.
+  void setup(const std::string& kernel_name,
+             std::unique_ptr<pfs::Layout> in_layout) {
+    cluster_ = std::make_unique<Cluster>(config_);
+    kernel_ = registry_.create(kernel_name);
+    spec_ = workload(kernel_name);
+    ASSERT_TRUE(spec_.geometry_aligned());
+
+    input_grid_ = make_input(spec_, *kernel_);
+    const auto bytes = grid::to_bytes(input_grid_);
+    pfs::FileMeta meta = spec_.make_meta("input");
+    input_ = cluster_->pfs().create_file(meta, in_layout->clone(), &bytes);
+    pfs::FileMeta out_meta = meta;
+    out_meta.name = "output";
+    output_ =
+        cluster_->pfs().create_file(out_meta, std::move(in_layout), nullptr);
+
+    const auto offsets =
+        kernel_->features().resolve(spec_.width());
+    halo_strips_ = required_halo_strips(offsets, spec_.element_size,
+                                        spec_.strip_size);
+  }
+
+  grid::Grid<float> gathered_output() {
+    return grid::from_bytes(cluster_->pfs().gather_bytes(output_),
+                            spec_.width(), spec_.height());
+  }
+
+  ClusterConfig config_;
+  kernels::KernelRegistry registry_;
+  std::unique_ptr<Cluster> cluster_;
+  kernels::KernelPtr kernel_;
+  WorkloadSpec spec_;
+  grid::Grid<float> input_grid_;
+  pfs::FileId input_ = pfs::kInvalidFile;
+  pfs::FileId output_ = pfs::kInvalidFile;
+  std::uint64_t halo_strips_ = 0;
+};
+
+TEST_F(ExecutorFixture, TsProducesTheReferenceOutput) {
+  setup("gaussian-2d", std::make_unique<pfs::RoundRobinLayout>(4));
+  TsExecutor::Options opt{kernel_.get(), halo_strips_, true};
+  TsExecutor ts(*cluster_, opt);
+  bool done = false;
+  ts.start(input_, output_, [&] { done = true; });
+  cluster_->simulator().run();
+  ASSERT_TRUE(done);
+  EXPECT_EQ(gathered_output(), kernel_->run_reference(input_grid_));
+}
+
+TEST_F(ExecutorFixture, TsMovesTheWholeFileTwiceOverClientLinks) {
+  setup("flow-routing", std::make_unique<pfs::RoundRobinLayout>(4));
+  TsExecutor::Options opt{kernel_.get(), halo_strips_, true};
+  TsExecutor ts(*cluster_, opt);
+  ts.start(input_, output_, nullptr);
+  cluster_->simulator().run();
+  const auto moved = cluster_->network().bytes_delivered(
+      net::TrafficClass::kClientServer);
+  // input (plus the halo over-read) out to clients, output back.
+  EXPECT_GE(moved, 2 * spec_.data_bytes);
+  EXPECT_LE(moved, 2 * spec_.data_bytes + 2 * halo_strips_ * 4 * 64);
+  EXPECT_EQ(
+      cluster_->network().bytes_delivered(net::TrafficClass::kServerServer),
+      0U);
+}
+
+TEST_F(ExecutorFixture, NasOnRoundRobinFetchesHaloRemotely) {
+  setup("flow-routing", std::make_unique<pfs::RoundRobinLayout>(4));
+  ActiveExecutor::Options opt{kernel_.get(), halo_strips_, true};
+  ActiveExecutor nas(*cluster_, opt);
+  bool done = false;
+  nas.start(input_, output_, [&] { done = true; });
+  cluster_->simulator().run();
+  ASSERT_TRUE(done);
+  EXPECT_GT(nas.halo_strips_fetched(), 0U);
+  EXPECT_GT(
+      cluster_->network().bytes_delivered(net::TrafficClass::kServerServer),
+      0U);
+  EXPECT_EQ(gathered_output(), kernel_->run_reference(input_grid_));
+}
+
+TEST_F(ExecutorFixture, DasLayoutNeedsNoRemoteHalo) {
+  setup("flow-routing", std::make_unique<pfs::DasReplicatedLayout>(4, 8, 2));
+  ActiveExecutor::Options opt{kernel_.get(), halo_strips_, true};
+  ActiveExecutor das(*cluster_, opt);
+  bool done = false;
+  das.start(input_, output_, [&] { done = true; });
+  cluster_->simulator().run();
+  ASSERT_TRUE(done);
+  EXPECT_EQ(das.halo_strips_fetched(), 0U);
+  EXPECT_EQ(gathered_output(), kernel_->run_reference(input_grid_));
+}
+
+TEST_F(ExecutorFixture, DasReplicaPropagationKeepsCopiesCoherent) {
+  setup("gaussian-2d", std::make_unique<pfs::DasReplicatedLayout>(4, 8, 2));
+  ActiveExecutor::Options opt{kernel_.get(), halo_strips_, true};
+  ActiveExecutor das(*cluster_, opt);
+  das.start(input_, output_, nullptr);
+  cluster_->simulator().run();
+
+  const pfs::FileMeta& out_meta = cluster_->pfs().meta(output_);
+  const pfs::Layout& layout = cluster_->pfs().layout(output_);
+  const std::uint64_t n = out_meta.num_strips();
+  for (std::uint64_t s = 0; s < n; ++s) {
+    const auto holders = layout.holders(s, n);
+    const auto& primary_bytes =
+        cluster_->pfs().server(holders.front()).store().bytes(output_, s);
+    EXPECT_FALSE(primary_bytes.empty());
+    for (const pfs::ServerIndex h : holders) {
+      EXPECT_EQ(cluster_->pfs().server(h).store().bytes(output_, s),
+                primary_bytes);
+    }
+  }
+}
+
+TEST_F(ExecutorFixture, AllThreeSchemesAgreeOnEveryTileExactKernel) {
+  for (const std::string name : {"flow-routing", "gaussian-2d",
+                                 "median-3x3"}) {
+    setup(name, std::make_unique<pfs::RoundRobinLayout>(4));
+    const auto reference = kernel_->run_reference(input_grid_);
+
+    TsExecutor::Options topt{kernel_.get(), halo_strips_, true};
+    TsExecutor ts(*cluster_, topt);
+    ts.start(input_, output_, nullptr);
+    cluster_->simulator().run();
+    EXPECT_EQ(gathered_output(), reference) << "TS " << name;
+
+    setup(name, std::make_unique<pfs::RoundRobinLayout>(4));
+    ActiveExecutor nas(*cluster_,
+                       ActiveExecutor::Options{kernel_.get(), halo_strips_,
+                                               true});
+    nas.start(input_, output_, nullptr);
+    cluster_->simulator().run();
+    EXPECT_EQ(gathered_output(), reference) << "NAS " << name;
+
+    setup(name, std::make_unique<pfs::DasReplicatedLayout>(4, 8, 2));
+    ActiveExecutor das(*cluster_,
+                       ActiveExecutor::Options{kernel_.get(), halo_strips_,
+                                               true});
+    das.start(input_, output_, nullptr);
+    cluster_->simulator().run();
+    EXPECT_EQ(gathered_output(), reference) << "DAS " << name;
+  }
+}
+
+TEST_F(ExecutorFixture, DasFinishesBeforeNasOnTheSameWorkload) {
+  setup("flow-routing", std::make_unique<pfs::RoundRobinLayout>(4));
+  ActiveExecutor nas(*cluster_, ActiveExecutor::Options{
+                                    kernel_.get(), halo_strips_, true});
+  sim::SimTime nas_finish = -1;
+  nas.start(input_, output_,
+            [&] { nas_finish = cluster_->simulator().now(); });
+  cluster_->simulator().run();
+
+  setup("flow-routing", std::make_unique<pfs::DasReplicatedLayout>(4, 8, 2));
+  ActiveExecutor das(*cluster_, ActiveExecutor::Options{
+                                    kernel_.get(), halo_strips_, true});
+  sim::SimTime das_finish = -1;
+  das.start(input_, output_,
+            [&] { das_finish = cluster_->simulator().now(); });
+  cluster_->simulator().run();
+
+  ASSERT_GE(nas_finish, 0);
+  ASSERT_GE(das_finish, 0);
+  EXPECT_LT(das_finish, nas_finish);
+}
+
+TEST_F(ExecutorFixture, AccumulationRunsInTimingModeWithoutData) {
+  // The executors accept the non-tile-exact kernel; the timing path treats
+  // it as one local pass (its exact distributed algorithm is validated in
+  // kernels/flow_accumulation_test.cpp).
+  WorkloadSpec spec = workload("flow-accumulation");
+  spec.with_data = false;
+  cluster_ = std::make_unique<Cluster>(config_);
+  kernel_ = registry_.create("flow-accumulation");
+  const pfs::FileMeta meta = spec.make_meta("input");
+  input_ = cluster_->pfs().create_file(
+      meta, std::make_unique<pfs::RoundRobinLayout>(4), nullptr);
+  pfs::FileMeta out_meta = meta;
+  out_meta.name = "output";
+  output_ = cluster_->pfs().create_file(
+      out_meta, std::make_unique<pfs::RoundRobinLayout>(4), nullptr);
+
+  ActiveExecutor::Options opt{kernel_.get(), 2, false};
+  ActiveExecutor exec(*cluster_, opt);
+  bool done = false;
+  exec.start(input_, output_, [&] { done = true; });
+  cluster_->simulator().run();
+  EXPECT_TRUE(done);
+}
+
+}  // namespace
+}  // namespace das::core

@@ -1,0 +1,139 @@
+// Model-vs-machine agreement: the bandwidth predictor's strip-granular
+// forecast (what the decision engine trusts) must match what the active
+// executor actually moves, byte for byte, across layouts and kernels.
+// This is the property that makes the Fig. 3 accept/reject decision sound.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/active_executor.hpp"
+#include "core/as_client.hpp"
+#include "core/bandwidth_model.hpp"
+#include "core/workload.hpp"
+#include "kernels/registry.hpp"
+
+namespace das::core {
+namespace {
+
+using AgreementCase = std::tuple<std::string,  // kernel
+                                 std::uint64_t,  // group size r (1 = RR)
+                                 std::uint64_t,  // halo replicas
+                                 std::uint64_t>; // strips
+
+std::string case_name(const ::testing::TestParamInfo<AgreementCase>& info) {
+  std::string kernel = std::get<0>(info.param);
+  for (auto& c : kernel) {
+    if (c == '-') c = '_';
+  }
+  return kernel + "_r" + std::to_string(std::get<1>(info.param)) + "_h" +
+         std::to_string(std::get<2>(info.param)) + "_n" +
+         std::to_string(std::get<3>(info.param));
+}
+
+class ForecastAgreementTest
+    : public ::testing::TestWithParam<AgreementCase> {};
+
+TEST_P(ForecastAgreementTest, StripFetchForecastMatchesTheExecutor) {
+  const auto& [kernel_name, group, halo, strips] = GetParam();
+
+  ClusterConfig config;
+  config.storage_nodes = 4;
+  config.compute_nodes = 4;
+  config.job_startup = 0;
+  Cluster cluster(config);
+  const auto registry = kernels::standard_registry();
+  const auto kernel = registry.create(kernel_name);
+
+  WorkloadSpec spec;
+  spec.strip_size = 4096;
+  spec.element_size = 4;
+  spec.raster_width = static_cast<std::uint32_t>(spec.strip_size / 4) - 1;
+  spec.data_bytes = strips * spec.strip_size;
+  const pfs::FileMeta meta = spec.make_meta("input");
+
+  const PlacementSpec placement{4, group, halo};
+  const auto offsets = kernel->features().resolve(meta.raster_width);
+  const TrafficForecast forecast =
+      forecast_traffic(meta, offsets, placement, meta.size_bytes);
+
+  const auto input =
+      cluster.pfs().create_file(meta, placement.make_layout(), nullptr);
+  pfs::FileMeta out_meta = meta;
+  out_meta.name = "output";
+  const auto output = cluster.pfs().create_file(
+      out_meta, placement.make_layout(), nullptr);
+
+  const std::uint64_t needed =
+      required_halo_strips(offsets, meta.element_size, meta.strip_size);
+  ActiveExecutor executor(
+      cluster, ActiveExecutor::Options{kernel.get(), needed, false});
+  executor.start(input, output, nullptr);
+  cluster.simulator().run();
+
+  // Halo fetches: predicted == measured, exactly.
+  EXPECT_EQ(forecast.active_strip_fetch_bytes,
+            executor.halo_bytes_fetched());
+
+  // All server-server traffic is fetches + output replica propagation.
+  const auto server_server =
+      cluster.network().bytes_delivered(net::TrafficClass::kServerServer);
+  EXPECT_EQ(server_server,
+            forecast.active_strip_fetch_bytes + forecast.replica_write_bytes);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    LayoutsAndKernels, ForecastAgreementTest,
+    ::testing::Values(
+        // Round-robin: the NAS case, one strip of halo per side.
+        AgreementCase{"flow-routing", 1, 0, 64},
+        AgreementCase{"gaussian-2d", 1, 0, 64},
+        AgreementCase{"laplacian-4", 1, 0, 96},
+        // Grouped without replication: halo still crosses at group edges.
+        AgreementCase{"flow-routing", 4, 0, 64},
+        AgreementCase{"median-3x3", 8, 0, 64},
+        // DAS layout: no fetches, only replica propagation.
+        AgreementCase{"flow-routing", 8, 1, 64},
+        AgreementCase{"gaussian-2d", 16, 1, 64},
+        AgreementCase{"surface-slope", 8, 2, 64},
+        // Dependence-free reduction: nothing moves between servers.
+        AgreementCase{"raster-statistics", 1, 0, 64},
+        // Partial tail strip.
+        AgreementCase{"flow-routing", 4, 1, 63}),
+    case_name);
+
+TEST(ForecastAgreementTest, DecisionBytesAreHonestForTheDasPath) {
+  // The decision engine's predicted_bytes for a pre-distributed offload
+  // must equal what the run actually moves.
+  ClusterConfig config;
+  config.storage_nodes = 4;
+  config.compute_nodes = 4;
+  config.job_startup = 0;
+  Cluster cluster(config);
+  const auto registry = kernels::standard_registry();
+
+  WorkloadSpec spec;
+  spec.strip_size = 4096;
+  spec.element_size = 4;
+  spec.raster_width = static_cast<std::uint32_t>(spec.strip_size / 4) - 1;
+  spec.data_bytes = 128 * spec.strip_size;
+  const pfs::FileMeta meta = spec.make_meta("input");
+  const auto input = cluster.pfs().create_file(
+      meta, std::make_unique<pfs::DasReplicatedLayout>(4, 16, 1), nullptr);
+
+  DistributionConfig distribution;
+  distribution.group_size = 16;
+  ActiveStorageClient client(cluster, registry, distribution);
+  ActiveRequest request;
+  request.input = input;
+  request.kernel_name = "flow-routing";
+  const SubmissionResult result = client.submit(request, nullptr);
+  cluster.simulator().run();
+
+  ASSERT_EQ(result.decision.action, OffloadAction::kOffload);
+  EXPECT_EQ(result.decision.predicted_bytes,
+            cluster.network().bytes_delivered(
+                net::TrafficClass::kServerServer));
+}
+
+}  // namespace
+}  // namespace das::core

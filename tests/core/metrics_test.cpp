@@ -1,0 +1,60 @@
+#include "core/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace das::core {
+namespace {
+
+RunReport sample_report() {
+  RunReport r;
+  r.scheme = "DAS";
+  r.kernel = "flow-routing";
+  r.data_bytes = 24ULL << 30;
+  r.storage_nodes = 12;
+  r.compute_nodes = 12;
+  r.exec_seconds = 20.0;
+  r.client_server_bytes = 1 << 20;
+  r.server_server_bytes = 3ULL << 30;
+  return r;
+}
+
+TEST(FormatBytesTest, PicksHumanUnits) {
+  EXPECT_EQ(format_bytes(512), "512 B");
+  EXPECT_EQ(format_bytes(2048), "2 KiB");
+  EXPECT_EQ(format_bytes(3ULL << 20), "3 MiB");
+  EXPECT_EQ(format_bytes(24ULL << 30), "24 GiB");
+  EXPECT_EQ(format_bytes(0), "0 B");
+}
+
+TEST(SustainedBandwidthTest, BytesPerSecond) {
+  const RunReport r = sample_report();
+  EXPECT_DOUBLE_EQ(r.sustained_bandwidth_bps(),
+                   static_cast<double>(24ULL << 30) / 20.0);
+}
+
+TEST(SustainedBandwidthTest, ZeroTimeYieldsZero) {
+  RunReport r;
+  r.data_bytes = 100;
+  EXPECT_DOUBLE_EQ(r.sustained_bandwidth_bps(), 0.0);
+}
+
+TEST(TableTest, ContainsHeaderAndRows) {
+  const std::string table = format_report_table({sample_report()});
+  EXPECT_NE(table.find("scheme"), std::string::npos);
+  EXPECT_NE(table.find("DAS"), std::string::npos);
+  EXPECT_NE(table.find("flow-routing"), std::string::npos);
+  EXPECT_NE(table.find("24 GiB"), std::string::npos);
+}
+
+TEST(CsvTest, HeaderFieldCountMatchesRow) {
+  const std::string header = report_csv_header();
+  const std::string row = to_csv(sample_report());
+  const auto count = [](const std::string& s) {
+    return std::count(s.begin(), s.end(), ',');
+  };
+  EXPECT_EQ(count(header), count(row));
+  EXPECT_NE(row.find("DAS,flow-routing"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace das::core

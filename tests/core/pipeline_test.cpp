@@ -1,0 +1,105 @@
+// Successive-operation pipelines (paper §I: "the flow-accumulation
+// operation always follows the flow-routing operation").
+#include <gtest/gtest.h>
+
+#include "core/scheme.hpp"
+
+namespace das::core {
+namespace {
+
+SchemeRunOptions base_options(Scheme scheme) {
+  SchemeRunOptions o;
+  o.scheme = scheme;
+  o.workload.kernel_name = "flow-routing";
+  o.workload.strip_size = 64;
+  o.workload.element_size = 4;
+  o.workload.data_bytes = 128 * 64;
+  o.workload.with_data = true;
+  o.cluster.storage_nodes = 4;
+  o.cluster.compute_nodes = 4;
+  o.cluster.job_startup = 0;
+  o.distribution.group_size = 16;
+  o.distribution.max_capacity_overhead = 1.0;
+  return o;
+}
+
+const std::vector<std::string> kTerrainChain{"flow-routing",
+                                             "flow-accumulation"};
+
+TEST(PipelineTest, ReturnsOneReportPerStagePlusCombined) {
+  const auto reports = run_pipeline(base_options(Scheme::kDAS), kTerrainChain);
+  ASSERT_EQ(reports.size(), 3U);
+  EXPECT_EQ(reports[0].kernel, "flow-routing");
+  EXPECT_EQ(reports[1].kernel, "flow-accumulation");
+  EXPECT_EQ(reports[2].kernel, "pipeline");
+}
+
+TEST(PipelineTest, CombinedTimeCoversTheStages) {
+  const auto reports = run_pipeline(base_options(Scheme::kTS), kTerrainChain);
+  EXPECT_GE(reports[2].exec_seconds + 1e-9,
+            reports[0].exec_seconds + reports[1].exec_seconds);
+}
+
+TEST(PipelineTest, FirstStageOutputFeedsTheSecondStage) {
+  // The routing stage is tile-exact and verifiable; the accumulation stage
+  // runs on its output (verification skipped: not tile-exact).
+  const auto reports = run_pipeline(base_options(Scheme::kDAS), kTerrainChain);
+  EXPECT_TRUE(reports[0].output_verified);
+  EXPECT_FALSE(reports[1].output_verified);
+}
+
+TEST(PipelineTest, DasStagesAfterTheFirstNeedNoRedistribution) {
+  SchemeRunOptions o = base_options(Scheme::kDAS);
+  o.pre_distributed = false;
+  const auto reports = run_pipeline(o, kTerrainChain);
+  // The first stage pays the redistribution; the second inherits the layout.
+  EXPECT_TRUE(reports[0].redistributed);
+  EXPECT_FALSE(reports[1].redistributed);
+  EXPECT_EQ(reports[1].redistribution_bytes, 0U);
+  EXPECT_TRUE(reports[1].offloaded);
+}
+
+TEST(PipelineTest, TsPipelineKeepsServersPassive) {
+  const auto reports = run_pipeline(base_options(Scheme::kTS), kTerrainChain);
+  for (const auto& r : reports) {
+    EXPECT_EQ(r.server_server_bytes, 0U);
+    EXPECT_FALSE(r.offloaded);
+  }
+}
+
+TEST(PipelineTest, DasPipelineBeatsTsPipelineAtPaperScale) {
+  SchemeRunOptions das = base_options(Scheme::kDAS);
+  das.workload.with_data = false;
+  das.workload.data_bytes = 1ULL << 30;
+  das.workload.strip_size = 1ULL << 20;
+  das.workload.raster_width =
+      static_cast<std::uint32_t>(das.workload.strip_size / 4) - 1;
+  das.distribution.group_size = 16;
+  das.distribution.max_capacity_overhead = 0.25;
+  SchemeRunOptions ts = das;
+  ts.scheme = Scheme::kTS;
+
+  const auto das_reports = run_pipeline(das, kTerrainChain);
+  const auto ts_reports = run_pipeline(ts, kTerrainChain);
+  EXPECT_LT(das_reports.back().exec_seconds,
+            ts_reports.back().exec_seconds);
+}
+
+TEST(PipelineTest, ChainOfThreeFiltersVerifiesEveryStage) {
+  SchemeRunOptions o = base_options(Scheme::kDAS);
+  o.workload.kernel_name = "gaussian-2d";
+  const std::vector<std::string> chain{"gaussian-2d", "median-3x3",
+                                       "gaussian-2d"};
+  const auto reports = run_pipeline(o, chain);
+  ASSERT_EQ(reports.size(), 4U);
+  EXPECT_TRUE(reports[0].output_verified);
+  EXPECT_TRUE(reports[1].output_verified);
+  EXPECT_TRUE(reports[2].output_verified);
+}
+
+TEST(PipelineDeathTest, EmptyChainAborts) {
+  EXPECT_DEATH(run_pipeline(base_options(Scheme::kTS), {}), "DAS_REQUIRE");
+}
+
+}  // namespace
+}  // namespace das::core

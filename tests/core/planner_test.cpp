@@ -1,0 +1,104 @@
+#include "core/distribution_planner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "kernels/features.hpp"
+
+namespace das::core {
+namespace {
+
+pfs::FileMeta meta_of(std::uint64_t strips, std::uint64_t strip_size = 64) {
+  pfs::FileMeta m;
+  m.name = "f";
+  m.size_bytes = strips * strip_size;
+  m.strip_size = strip_size;
+  m.element_size = 4;
+  return m;
+}
+
+DistributionConfig config_of(std::uint64_t group, double budget) {
+  DistributionConfig cfg;
+  cfg.group_size = group;
+  cfg.max_capacity_overhead = budget;
+  return cfg;
+}
+
+TEST(PlannerTest, NoDependenceMeansRoundRobin) {
+  const DistributionPlanner planner(config_of(16, 0.25));
+  const auto plan = planner.plan(meta_of(1024), {}, 4);
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_EQ(plan->group_size, 1U);
+  EXPECT_EQ(plan->halo, 0U);
+  EXPECT_EQ(plan->num_servers, 4U);
+}
+
+TEST(PlannerTest, StencilGetsOneStripHalo) {
+  const DistributionPlanner planner(config_of(16, 0.25));
+  // Reach 16 elements * 4 B = one 64 B strip.
+  const auto plan = planner.plan(meta_of(1024), {-16, 16}, 4);
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_EQ(plan->halo, 1U);
+  EXPECT_EQ(plan->group_size, 16U);
+}
+
+TEST(PlannerTest, CapacityBudgetForcesLargerGroups) {
+  // halo 1 with a 5% budget: 2*1/r <= 0.05 -> r >= 40.
+  const DistributionPlanner planner(config_of(16, 0.05));
+  const auto plan = planner.plan(meta_of(4096), {-16, 16}, 4);
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_EQ(plan->group_size, 40U);
+  EXPECT_LE(2.0 * static_cast<double>(plan->halo) /
+                static_cast<double>(plan->group_size),
+            0.05 + 1e-12);
+}
+
+TEST(PlannerTest, PreferredGroupSizeUsedWhenitFits) {
+  const DistributionPlanner planner(config_of(32, 0.25));
+  const auto plan = planner.plan(meta_of(4096), {-16, 16}, 4);
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_EQ(plan->group_size, 32U);
+}
+
+TEST(PlannerTest, ParallelismCapsGroupSize) {
+  // 64 strips over 4 servers: at most r = 16 keeps every server busy.
+  const DistributionPlanner planner(config_of(64, 0.25));
+  const auto plan = planner.plan(meta_of(64), {-16, 16}, 4);
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_EQ(plan->group_size, 16U);
+}
+
+TEST(PlannerTest, InfeasibleWhenFileTooSmallForBudget) {
+  // Budget demands r >= 16 but only 32 strips over 4 servers allow r <= 8.
+  const DistributionPlanner planner(config_of(16, 0.125));
+  EXPECT_FALSE(planner.plan(meta_of(32), {-16, 16}, 4).has_value());
+}
+
+TEST(PlannerTest, WideStencilGetsWiderHalo) {
+  const DistributionPlanner planner(config_of(16, 1.0));
+  // Reach 40 elements * 4 = 160 B = 2.5 strips -> halo 3.
+  const auto plan = planner.plan(meta_of(4096), {-40, 40}, 4);
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_EQ(plan->halo, 3U);
+  EXPECT_GE(plan->group_size, 6U);
+}
+
+TEST(PlannerTest, PlannedPlacementIsActuallyLocal) {
+  const DistributionPlanner planner(config_of(16, 0.25));
+  const std::vector<std::int64_t> offsets{-17, -16, -15, -1, 1, 15, 16, 17};
+  const auto plan = planner.plan(meta_of(4096), offsets, 4);
+  ASSERT_TRUE(plan.has_value());
+  for (const std::int64_t off : offsets) {
+    EXPECT_EQ(remote_access_fraction(off, 4, 64, *plan), 0.0)
+        << "offset " << off;
+  }
+}
+
+TEST(PlannerTest, ZeroBudgetDisablesTheCapacityConstraint) {
+  const DistributionPlanner planner(config_of(4, 0.0));
+  const auto plan = planner.plan(meta_of(1024), {-16, 16}, 4);
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_EQ(plan->group_size, 4U);
+}
+
+}  // namespace
+}  // namespace das::core

@@ -1,0 +1,80 @@
+#include "grid/dem.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace das::grid {
+namespace {
+
+TEST(DemTest, DimensionsMatchOptions) {
+  DemOptions opt;
+  opt.width = 37;
+  opt.height = 21;
+  const Grid<float> dem = generate_dem(opt);
+  EXPECT_EQ(dem.width(), 37U);
+  EXPECT_EQ(dem.height(), 21U);
+}
+
+TEST(DemTest, DeterministicForSeed) {
+  DemOptions opt;
+  opt.seed = 99;
+  EXPECT_EQ(generate_dem(opt), generate_dem(opt));
+}
+
+TEST(DemTest, DifferentSeedsDifferentTerrain) {
+  DemOptions a, b;
+  a.seed = 1;
+  b.seed = 2;
+  EXPECT_GT(max_abs_diff(generate_dem(a), generate_dem(b)), 0.0);
+}
+
+TEST(DemTest, TerrainHasRelief) {
+  const Grid<float> dem = generate_dem(DemOptions{});
+  float lo = dem[0], hi = dem[0];
+  for (std::size_t i = 0; i < dem.size(); ++i) {
+    lo = std::min(lo, dem[i]);
+    hi = std::max(hi, dem[i]);
+  }
+  EXPECT_GT(hi - lo, 100.0F);  // relief default is 1000
+}
+
+TEST(RampTest, StrictlyDecreasingTowardSouthEast) {
+  const Grid<float> r = generate_ramp(8, 8);
+  for (std::uint32_t y = 0; y + 1 < 8; ++y) {
+    for (std::uint32_t x = 0; x + 1 < 8; ++x) {
+      EXPECT_GT(r.at(x, y), r.at(x + 1, y + 1));
+      EXPECT_GT(r.at(x, y), r.at(x + 1, y));
+      EXPECT_GT(r.at(x, y), r.at(x, y + 1));
+    }
+  }
+}
+
+TEST(RampTest, SlopesAreHonored) {
+  const Grid<float> r = generate_ramp(4, 4, 2.0, 3.0);
+  EXPECT_FLOAT_EQ(r.at(0, 0), 0.0F);
+  EXPECT_FLOAT_EQ(r.at(1, 0), -2.0F);
+  EXPECT_FLOAT_EQ(r.at(0, 1), -3.0F);
+  EXPECT_FLOAT_EQ(r.at(2, 2), -10.0F);
+}
+
+TEST(ConeTest, CentreIsTheMinimum) {
+  const Grid<float> c = generate_cone(9, 9);
+  EXPECT_FLOAT_EQ(c.at(4, 4), 0.0F);
+  for (std::uint32_t y = 0; y < 9; ++y) {
+    for (std::uint32_t x = 0; x < 9; ++x) {
+      if (x == 4 && y == 4) continue;
+      EXPECT_GT(c.at(x, y), 0.0F);
+    }
+  }
+}
+
+TEST(ConeTest, RadiallySymmetric) {
+  const Grid<float> c = generate_cone(9, 9);
+  EXPECT_FLOAT_EQ(c.at(0, 4), c.at(8, 4));
+  EXPECT_FLOAT_EQ(c.at(4, 0), c.at(4, 8));
+  EXPECT_FLOAT_EQ(c.at(0, 0), c.at(8, 8));
+}
+
+}  // namespace
+}  // namespace das::grid

@@ -1,0 +1,48 @@
+#include "grid/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "grid/dem.hpp"
+
+namespace das::grid {
+namespace {
+
+TEST(SerializeTest, SizeIsElementsTimesFour) {
+  const Grid<float> g(7, 3);
+  EXPECT_EQ(serialized_size(g), 7U * 3 * 4);
+}
+
+TEST(SerializeTest, RoundTripPreservesContent) {
+  DemOptions opt;
+  opt.width = 16;
+  opt.height = 12;
+  const Grid<float> g = generate_dem(opt);
+  const auto bytes = to_bytes(g);
+  EXPECT_EQ(bytes.size(), serialized_size(g));
+  EXPECT_EQ(from_bytes(bytes, 16, 12), g);
+}
+
+TEST(SerializeTest, ElementOrderIsRowMajor) {
+  Grid<float> g(2, 2);
+  g.at(0, 0) = 1.0F;
+  g.at(1, 0) = 2.0F;
+  g.at(0, 1) = 3.0F;
+  g.at(1, 1) = 4.0F;
+  const auto bytes = to_bytes(g);
+  float values[4];
+  std::memcpy(values, bytes.data(), sizeof values);
+  EXPECT_FLOAT_EQ(values[0], 1.0F);
+  EXPECT_FLOAT_EQ(values[1], 2.0F);
+  EXPECT_FLOAT_EQ(values[2], 3.0F);
+  EXPECT_FLOAT_EQ(values[3], 4.0F);
+}
+
+TEST(SerializeDeathTest, SizeMismatchAborts) {
+  const std::vector<std::byte> bytes(12);
+  EXPECT_DEATH(from_bytes(bytes, 2, 2), "DAS_REQUIRE");
+}
+
+}  // namespace
+}  // namespace das::grid

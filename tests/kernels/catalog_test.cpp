@@ -1,0 +1,66 @@
+#include "kernels/catalog.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace das::kernels {
+namespace {
+
+TEST(CatalogTest, FromTextLoadsEveryRecord) {
+  const auto catalog = FeaturesCatalog::from_text(
+      "Name:flow-routing\n"
+      "Dependence: -imgWidth+1, -imgWidth, -imgWidth-1, -1, 1, "
+      "imgWidth-1, imgWidth, imgWidth+1\n"
+      "\n"
+      "Name:column-scan\n"
+      "Dependence: -imgWidth, imgWidth\n");
+  EXPECT_EQ(catalog.size(), 2U);
+  EXPECT_TRUE(catalog.contains("flow-routing"));
+  EXPECT_TRUE(catalog.contains("column-scan"));
+  EXPECT_FALSE(catalog.contains("median-3x3"));
+}
+
+TEST(CatalogTest, LookupReturnsTheRecord) {
+  FeaturesCatalog catalog;
+  catalog.add(eight_neighbor_pattern("op"));
+  const auto record = catalog.lookup("op");
+  ASSERT_TRUE(record.has_value());
+  EXPECT_EQ(*record, eight_neighbor_pattern("op"));
+  EXPECT_FALSE(catalog.lookup("other").has_value());
+}
+
+TEST(CatalogTest, AddReplacesExistingRecord) {
+  FeaturesCatalog catalog;
+  catalog.add(eight_neighbor_pattern("op"));
+  catalog.add(four_neighbor_pattern("op"));
+  EXPECT_EQ(catalog.size(), 1U);
+  EXPECT_EQ(catalog.lookup("op")->dependence.size(), 4U);
+}
+
+TEST(CatalogTest, RemoveErases) {
+  FeaturesCatalog catalog;
+  catalog.add(four_neighbor_pattern("op"));
+  EXPECT_TRUE(catalog.remove("op"));
+  EXPECT_FALSE(catalog.remove("op"));
+  EXPECT_EQ(catalog.size(), 0U);
+}
+
+TEST(CatalogTest, TextRoundTrip) {
+  FeaturesCatalog catalog;
+  catalog.add(eight_neighbor_pattern("flow-routing"));
+  catalog.add(four_neighbor_pattern("laplacian-4"));
+  const auto reloaded = FeaturesCatalog::from_text(catalog.to_text());
+  EXPECT_EQ(reloaded.size(), 2U);
+  EXPECT_EQ(reloaded.lookup("flow-routing"),
+            catalog.lookup("flow-routing"));
+  EXPECT_EQ(reloaded.lookup("laplacian-4"), catalog.lookup("laplacian-4"));
+}
+
+TEST(CatalogTest, MalformedTextThrows) {
+  EXPECT_THROW(FeaturesCatalog::from_text("Dependence: 1\n"),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace das::kernels

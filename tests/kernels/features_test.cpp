@@ -1,0 +1,115 @@
+#include "kernels/features.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace das::kernels {
+namespace {
+
+TEST(SymbolicOffsetTest, Resolve) {
+  EXPECT_EQ((SymbolicOffset{-1, 1}).resolve(100), -99);
+  EXPECT_EQ((SymbolicOffset{0, -1}).resolve(100), -1);
+  EXPECT_EQ((SymbolicOffset{2, 3}).resolve(10), 23);
+}
+
+TEST(SymbolicOffsetTest, ToStringMatchesPaperNotation) {
+  EXPECT_EQ((SymbolicOffset{-1, 1}).to_string(), "-imgWidth+1");
+  EXPECT_EQ((SymbolicOffset{-1, 0}).to_string(), "-imgWidth");
+  EXPECT_EQ((SymbolicOffset{-1, -1}).to_string(), "-imgWidth-1");
+  EXPECT_EQ((SymbolicOffset{0, -1}).to_string(), "-1");
+  EXPECT_EQ((SymbolicOffset{0, 1}).to_string(), "1");
+  EXPECT_EQ((SymbolicOffset{1, 1}).to_string(), "imgWidth+1");
+  EXPECT_EQ((SymbolicOffset{3, 0}).to_string(), "3*imgWidth");
+}
+
+TEST(ParseTest, PaperFlowRoutingRecord) {
+  const auto f = parse_features(
+      "Name:flow-routing\n"
+      "Dependence: -imgWidth+1, -imgWidth, -imgWidth-1, -1, 1, "
+      "imgWidth-1, imgWidth, imgWidth+1\n");
+  EXPECT_EQ(f.name, "flow-routing");
+  ASSERT_EQ(f.dependence.size(), 8U);
+  EXPECT_EQ(f, eight_neighbor_pattern("flow-routing"));
+}
+
+TEST(ParseTest, ResolveEightNeighbourOffsets) {
+  const auto f = eight_neighbor_pattern("op");
+  const auto offsets = f.resolve(1000);
+  const std::vector<std::int64_t> expected{-999, -1000, -1001, -1, 1,
+                                           999,  1000,  1001};
+  EXPECT_EQ(offsets, expected);
+}
+
+TEST(ParseTest, MaxReach) {
+  EXPECT_EQ(eight_neighbor_pattern("op").max_reach(100), 101U);
+  EXPECT_EQ(four_neighbor_pattern("op").max_reach(100), 100U);
+}
+
+TEST(ParseTest, FormatParseRoundTrip) {
+  const auto original = eight_neighbor_pattern("median filter");
+  const auto reparsed = parse_features(original.format());
+  EXPECT_EQ(reparsed, original);
+}
+
+TEST(ParseTest, PlainIntegerOffsets) {
+  const auto f = parse_features("Name:scan\nDependence: -4, 4, 8\n");
+  EXPECT_EQ(f.resolve(99), (std::vector<std::int64_t>{-4, 4, 8}));
+}
+
+TEST(ParseTest, CoefficientTimesWidth) {
+  const auto f = parse_features("Name:wide\nDependence: 2*imgWidth, "
+                                "-3*imgWidth+5\n");
+  EXPECT_EQ(f.resolve(10), (std::vector<std::int64_t>{20, -25}));
+}
+
+TEST(ParseTest, WrappedDependenceLine) {
+  const auto f = parse_features(
+      "Name:wrapped\nDependence: -imgWidth+1, -imgWidth,\n"
+      "            imgWidth, imgWidth+1\n");
+  EXPECT_EQ(f.dependence.size(), 4U);
+}
+
+TEST(ParseTest, CatalogWithMultipleRecords) {
+  const auto records = parse_catalog(
+      "Name:a\nDependence: 1\n\nName:b\nDependence: -1, 1\n");
+  ASSERT_EQ(records.size(), 2U);
+  EXPECT_EQ(records[0].name, "a");
+  EXPECT_EQ(records[1].dependence.size(), 2U);
+}
+
+TEST(ParseTest, WhitespaceTolerance) {
+  const auto f = parse_features("Name:  spaced out  \nDependence:  -1 ,  "
+                                "imgWidth + 1 \n");
+  EXPECT_EQ(f.name, "spaced out");
+  EXPECT_EQ(f.resolve(10), (std::vector<std::int64_t>{-1, 11}));
+}
+
+TEST(ParseTest, MalformedInputsThrow) {
+  EXPECT_THROW(parse_features(""), std::invalid_argument);
+  EXPECT_THROW(parse_features("Name:\nDependence: 1\n"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_features("Name:x\n"), std::invalid_argument);
+  EXPECT_THROW(parse_features("Dependence: 1\n"), std::invalid_argument);
+  EXPECT_THROW(parse_features("Name:x\nDependence: bogus\n"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_features("Name:x\nDependence: 1\nGarbage line\n"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_features("Name:x\nDependence: +\n"),
+               std::invalid_argument);
+}
+
+TEST(ParseTest, SingleRecordParserRejectsCatalogs) {
+  EXPECT_THROW(
+      parse_features("Name:a\nDependence: 1\nName:b\nDependence: 2\n"),
+      std::invalid_argument);
+}
+
+TEST(PatternTest, FourNeighbour) {
+  const auto f = four_neighbor_pattern("op");
+  const auto offsets = f.resolve(8);
+  EXPECT_EQ(offsets, (std::vector<std::int64_t>{-8, -1, 1, 8}));
+}
+
+}  // namespace
+}  // namespace das::kernels

@@ -1,0 +1,120 @@
+#include "kernels/flow_routing.hpp"
+
+#include <gtest/gtest.h>
+
+#include "grid/dem.hpp"
+
+namespace das::kernels {
+namespace {
+
+TEST(FlowRoutingTest, RampDrainsSouthEast) {
+  const auto dem = grid::generate_ramp(6, 6);
+  const auto dirs = FlowRoutingKernel{}.run_reference(dem);
+  // Interior cells: the lowest neighbour is always to the south-east.
+  for (std::uint32_t y = 0; y + 1 < 6; ++y) {
+    for (std::uint32_t x = 0; x + 1 < 6; ++x) {
+      EXPECT_EQ(dirs.at(x, y), static_cast<float>(D8::kSE))
+          << "at (" << x << "," << y << ")";
+    }
+  }
+}
+
+TEST(FlowRoutingTest, RampEdgesFollowTheBoundary) {
+  const auto dem = grid::generate_ramp(6, 6);
+  const auto dirs = FlowRoutingKernel{}.run_reference(dem);
+  // Bottom row can only move east; right column only south.
+  for (std::uint32_t x = 0; x + 1 < 6; ++x) {
+    EXPECT_EQ(dirs.at(x, 5), static_cast<float>(D8::kE));
+  }
+  for (std::uint32_t y = 0; y + 1 < 6; ++y) {
+    EXPECT_EQ(dirs.at(5, y), static_cast<float>(D8::kS));
+  }
+  // The south-east corner is the global minimum: a pit.
+  EXPECT_EQ(dirs.at(5, 5), static_cast<float>(D8::kPit));
+}
+
+TEST(FlowRoutingTest, FlatTerrainIsAllPits) {
+  const grid::Grid<float> flat(5, 5, 1.0F);
+  const auto dirs = FlowRoutingKernel{}.run_reference(flat);
+  for (std::size_t i = 0; i < dirs.size(); ++i) {
+    EXPECT_EQ(dirs[i], static_cast<float>(D8::kPit));
+  }
+}
+
+TEST(FlowRoutingTest, RoutesToMinimumNeighbour) {
+  grid::Grid<float> g(3, 3, 10.0F);
+  g.at(0, 0) = 3.0F;  // NW neighbour of the centre
+  g.at(2, 2) = 1.0F;  // SE neighbour, lower
+  const auto dirs = FlowRoutingKernel{}.run_reference(g);
+  EXPECT_EQ(dirs.at(1, 1), static_cast<float>(D8::kSE));
+}
+
+TEST(FlowRoutingTest, TieBreaksInScanOrder) {
+  grid::Grid<float> g(3, 3, 10.0F);
+  g.at(2, 1) = 2.0F;  // east of centre
+  g.at(1, 2) = 2.0F;  // south of centre, equal value
+  const auto dirs = FlowRoutingKernel{}.run_reference(g);
+  // E precedes S in the scan order.
+  EXPECT_EQ(dirs.at(1, 1), static_cast<float>(D8::kE));
+}
+
+TEST(FlowRoutingTest, ConeDrainsTowardCentre) {
+  const auto dem = grid::generate_cone(9, 9);
+  const auto dirs = FlowRoutingKernel{}.run_reference(dem);
+  EXPECT_EQ(dirs.at(4, 4), static_cast<float>(D8::kPit));
+  EXPECT_EQ(dirs.at(0, 4), static_cast<float>(D8::kE));
+  EXPECT_EQ(dirs.at(8, 4), static_cast<float>(D8::kW));
+  EXPECT_EQ(dirs.at(4, 0), static_cast<float>(D8::kS));
+  EXPECT_EQ(dirs.at(4, 8), static_cast<float>(D8::kN));
+}
+
+TEST(FlowRoutingTest, DirectionCodesAreValidD8) {
+  const auto dem = grid::generate_dem(grid::DemOptions{});
+  const auto dirs = FlowRoutingKernel{}.run_reference(dem);
+  for (std::size_t i = 0; i < dirs.size(); ++i) {
+    const auto code = static_cast<std::uint32_t>(dirs[i]);
+    EXPECT_TRUE(code == 0 || code == 1 || code == 2 || code == 4 ||
+                code == 8 || code == 16 || code == 32 || code == 64 ||
+                code == 128);
+  }
+}
+
+TEST(FlowRoutingTest, OutputValueIsStrictlyLowerAlongFlow) {
+  const auto dem = grid::generate_dem(grid::DemOptions{});
+  const auto dirs = FlowRoutingKernel{}.run_reference(dem);
+  for (std::uint32_t y = 0; y < dem.height(); ++y) {
+    for (std::uint32_t x = 0; x < dem.width(); ++x) {
+      const auto code = static_cast<std::uint32_t>(dirs.at(x, y));
+      if (code == 0) continue;
+      const D8Step step = d8_step(static_cast<D8>(code));
+      const auto nx = static_cast<std::uint32_t>(
+          static_cast<std::int64_t>(x) + step.dx);
+      const auto ny = static_cast<std::uint32_t>(
+          static_cast<std::int64_t>(y) + step.dy);
+      ASSERT_TRUE(dem.in_bounds(nx, ny));
+      EXPECT_LT(dem.at(nx, ny), dem.at(x, y));
+    }
+  }
+}
+
+TEST(D8StepTest, AllCodesMapToUnitSteps) {
+  for (const D8 code : {D8::kE, D8::kSE, D8::kS, D8::kSW, D8::kW, D8::kNW,
+                        D8::kN, D8::kNE}) {
+    const D8Step s = d8_step(code);
+    EXPECT_TRUE(s.dx >= -1 && s.dx <= 1);
+    EXPECT_TRUE(s.dy >= -1 && s.dy <= 1);
+    EXPECT_FALSE(s.dx == 0 && s.dy == 0);
+  }
+}
+
+TEST(FlowRoutingTest, MetadataIsConsistent) {
+  const FlowRoutingKernel kernel;
+  EXPECT_EQ(kernel.name(), "flow-routing");
+  EXPECT_TRUE(kernel.tile_exact());
+  EXPECT_EQ(kernel.halo_rows(), 1U);
+  EXPECT_EQ(kernel.features().dependence.size(), 8U);
+  EXPECT_GT(kernel.cost_factor(), 0.0);
+}
+
+}  // namespace
+}  // namespace das::kernels

@@ -1,0 +1,89 @@
+#include "kernels/gaussian.hpp"
+
+#include <gtest/gtest.h>
+
+#include "grid/image.hpp"
+
+namespace das::kernels {
+namespace {
+
+TEST(GaussianTest, ConstantFieldIsInvariant) {
+  const grid::Grid<float> flat(7, 5, 3.25F);
+  const auto out = GaussianKernel{}.run_reference(flat);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_FLOAT_EQ(out[i], 3.25F);
+  }
+}
+
+TEST(GaussianTest, ImpulseResponseIsTheBinomialKernel) {
+  grid::Grid<float> g(5, 5, 0.0F);
+  g.at(2, 2) = 16.0F;
+  const auto out = GaussianKernel{}.run_reference(g);
+  EXPECT_FLOAT_EQ(out.at(2, 2), 4.0F);
+  EXPECT_FLOAT_EQ(out.at(1, 2), 2.0F);
+  EXPECT_FLOAT_EQ(out.at(3, 2), 2.0F);
+  EXPECT_FLOAT_EQ(out.at(2, 1), 2.0F);
+  EXPECT_FLOAT_EQ(out.at(2, 3), 2.0F);
+  EXPECT_FLOAT_EQ(out.at(1, 1), 1.0F);
+  EXPECT_FLOAT_EQ(out.at(3, 3), 1.0F);
+  EXPECT_FLOAT_EQ(out.at(0, 0), 0.0F);
+  EXPECT_FLOAT_EQ(out.at(4, 2), 0.0F);
+}
+
+TEST(GaussianTest, ClampedBoundarySampling) {
+  // A corner impulse: the clamped samples re-weight the corner itself.
+  grid::Grid<float> g(4, 4, 0.0F);
+  g.at(0, 0) = 16.0F;
+  const auto out = GaussianKernel{}.run_reference(g);
+  // Corner (0,0): clamping folds samples (-1,-1), (0,-1), (-1,0) and (0,0)
+  // onto the corner, weights 1+2+2+4 = 9.
+  EXPECT_FLOAT_EQ(out.at(0, 0), 9.0F);
+  // Edge neighbour (1,0): samples (0,-1) (weight 1, clamped) and (0,0)
+  // (weight 2) read the corner, total 3.
+  EXPECT_FLOAT_EQ(out.at(1, 0), 3.0F);
+}
+
+TEST(GaussianTest, LinearityUnderScaling) {
+  grid::ImageOptions opt;
+  opt.width = 16;
+  opt.height = 16;
+  const auto img = grid::generate_image(opt);
+  grid::Grid<float> doubled(16, 16);
+  for (std::size_t i = 0; i < img.size(); ++i) doubled[i] = 2.0F * img[i];
+  const auto a = GaussianKernel{}.run_reference(img);
+  const auto b = GaussianKernel{}.run_reference(doubled);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_NEAR(b[i], 2.0F * a[i], 1e-3F);
+  }
+}
+
+TEST(GaussianTest, SmoothingReducesNoiseVariance) {
+  grid::ImageOptions opt;
+  opt.width = 64;
+  opt.height = 64;
+  opt.num_blobs = 0;
+  opt.noise_stddev = 20.0;
+  const auto noisy = grid::generate_image(opt);
+  const auto smooth = GaussianKernel{}.run_reference(noisy);
+
+  auto variance = [&](const grid::Grid<float>& g) {
+    double sum = 0, sum2 = 0;
+    for (std::size_t i = 0; i < g.size(); ++i) {
+      sum += g[i];
+      sum2 += static_cast<double>(g[i]) * g[i];
+    }
+    const double mean = sum / static_cast<double>(g.size());
+    return sum2 / static_cast<double>(g.size()) - mean * mean;
+  };
+  EXPECT_LT(variance(smooth), variance(noisy) * 0.5);
+}
+
+TEST(GaussianTest, MetadataIsConsistent) {
+  const GaussianKernel kernel;
+  EXPECT_EQ(kernel.name(), "gaussian-2d");
+  EXPECT_TRUE(kernel.tile_exact());
+  EXPECT_EQ(kernel.features(), eight_neighbor_pattern("gaussian-2d"));
+}
+
+}  // namespace
+}  // namespace das::kernels

@@ -1,0 +1,62 @@
+#include "kernels/laplacian.hpp"
+
+#include <gtest/gtest.h>
+
+#include "grid/dem.hpp"
+
+namespace das::kernels {
+namespace {
+
+TEST(LaplacianTest, ConstantFieldIsZero) {
+  const grid::Grid<float> flat(6, 6, 9.0F);
+  const auto out = LaplacianKernel{}.run_reference(flat);
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_FLOAT_EQ(out[i], 0.0F);
+}
+
+TEST(LaplacianTest, LinearRampIsZeroInTheInterior) {
+  const auto ramp = grid::generate_ramp(8, 8, 2.0, 5.0);
+  const auto out = LaplacianKernel{}.run_reference(ramp);
+  for (std::uint32_t y = 1; y + 1 < 8; ++y) {
+    for (std::uint32_t x = 1; x + 1 < 8; ++x) {
+      EXPECT_NEAR(out.at(x, y), 0.0F, 1e-4F);
+    }
+  }
+}
+
+TEST(LaplacianTest, ImpulseResponse) {
+  grid::Grid<float> g(5, 5, 0.0F);
+  g.at(2, 2) = 1.0F;
+  const auto out = LaplacianKernel{}.run_reference(g);
+  EXPECT_FLOAT_EQ(out.at(2, 2), -4.0F);
+  EXPECT_FLOAT_EQ(out.at(1, 2), 1.0F);
+  EXPECT_FLOAT_EQ(out.at(3, 2), 1.0F);
+  EXPECT_FLOAT_EQ(out.at(2, 1), 1.0F);
+  EXPECT_FLOAT_EQ(out.at(2, 3), 1.0F);
+  EXPECT_FLOAT_EQ(out.at(1, 1), 0.0F);  // diagonals unused
+}
+
+TEST(LaplacianTest, QuadraticSurfaceHasConstantLaplacian) {
+  // z = x^2 -> discrete Laplacian = 2 exactly in the interior.
+  grid::Grid<float> g(8, 8);
+  for (std::uint32_t y = 0; y < 8; ++y) {
+    for (std::uint32_t x = 0; x < 8; ++x) {
+      g.at(x, y) = static_cast<float>(x) * static_cast<float>(x);
+    }
+  }
+  const auto out = LaplacianKernel{}.run_reference(g);
+  for (std::uint32_t y = 1; y + 1 < 8; ++y) {
+    for (std::uint32_t x = 1; x + 1 < 8; ++x) {
+      EXPECT_FLOAT_EQ(out.at(x, y), 2.0F);
+    }
+  }
+}
+
+TEST(LaplacianTest, FourNeighbourDependence) {
+  const LaplacianKernel kernel;
+  EXPECT_EQ(kernel.features(), four_neighbor_pattern("laplacian-4"));
+  EXPECT_EQ(kernel.features().max_reach(100), 100U);  // one row, no corners
+  EXPECT_TRUE(kernel.tile_exact());
+}
+
+}  // namespace
+}  // namespace das::kernels

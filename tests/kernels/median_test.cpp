@@ -1,0 +1,93 @@
+#include "kernels/median.hpp"
+
+#include <gtest/gtest.h>
+
+#include "grid/image.hpp"
+
+namespace das::kernels {
+namespace {
+
+TEST(MedianTest, ConstantFieldIsInvariant) {
+  const grid::Grid<float> flat(6, 6, 8.0F);
+  const auto out = MedianKernel{}.run_reference(flat);
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_FLOAT_EQ(out[i], 8.0F);
+}
+
+TEST(MedianTest, RemovesIsolatedImpulses) {
+  grid::Grid<float> g(7, 7, 1.0F);
+  g.at(3, 3) = 255.0F;
+  const auto out = MedianKernel{}.run_reference(g);
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_FLOAT_EQ(out[i], 1.0F);
+}
+
+TEST(MedianTest, SparseImpulseNoiseIsCleaned) {
+  const auto noisy = grid::generate_impulse_noise(64, 64, 10.0F, 250.0F,
+                                                  0.02, 3);
+  const auto out = MedianKernel{}.run_reference(noisy);
+  std::size_t survivors = 0;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    if (out[i] != 10.0F) ++survivors;
+  }
+  // 2% impulse rate: clusters large enough to survive a 3x3 median are rare.
+  EXPECT_LT(survivors, out.size() / 100);
+}
+
+TEST(MedianTest, InteriorMedianOfKnownWindow) {
+  grid::Grid<float> g(3, 3);
+  const float values[9] = {9, 1, 8, 2, 7, 3, 6, 4, 5};
+  for (std::size_t i = 0; i < 9; ++i) g[i] = values[i];
+  const auto out = MedianKernel{}.run_reference(g);
+  EXPECT_FLOAT_EQ(out.at(1, 1), 5.0F);
+}
+
+TEST(MedianTest, CornerUsesOnlyInBoundsNeighbours) {
+  // Corner window has 4 cells; the median is the upper-middle (n/2 = 2,
+  // zero-indexed) of the sorted values.
+  grid::Grid<float> g(3, 3, 0.0F);
+  g.at(0, 0) = 1.0F;
+  g.at(1, 0) = 2.0F;
+  g.at(0, 1) = 3.0F;
+  g.at(1, 1) = 4.0F;
+  const auto out = MedianKernel{}.run_reference(g);
+  EXPECT_FLOAT_EQ(out.at(0, 0), 3.0F);
+}
+
+TEST(MedianTest, EdgeUsesSixNeighbours) {
+  grid::Grid<float> g(3, 3, 0.0F);
+  // Top edge cell (1,0): window = rows 0-1, all columns -> 6 cells.
+  g.at(0, 0) = 1.0F;
+  g.at(1, 0) = 2.0F;
+  g.at(2, 0) = 3.0F;
+  g.at(0, 1) = 4.0F;
+  g.at(1, 1) = 5.0F;
+  g.at(2, 1) = 6.0F;
+  const auto out = MedianKernel{}.run_reference(g);
+  // Sorted {1,2,3,4,5,6}: element n/2 = 3 -> value 4.
+  EXPECT_FLOAT_EQ(out.at(1, 0), 4.0F);
+}
+
+TEST(MedianTest, PreservesStepEdgesBetterThanMean) {
+  // A sharp vertical step must survive the median untouched away from the
+  // noise (the property medical imaging uses it for).
+  grid::Grid<float> g(8, 8);
+  for (std::uint32_t y = 0; y < 8; ++y) {
+    for (std::uint32_t x = 0; x < 8; ++x) {
+      g.at(x, y) = x < 4 ? 0.0F : 100.0F;
+    }
+  }
+  const auto out = MedianKernel{}.run_reference(g);
+  for (std::uint32_t y = 0; y < 8; ++y) {
+    EXPECT_FLOAT_EQ(out.at(1, y), 0.0F);
+    EXPECT_FLOAT_EQ(out.at(6, y), 100.0F);
+  }
+}
+
+TEST(MedianTest, MetadataIsConsistent) {
+  const MedianKernel kernel;
+  EXPECT_EQ(kernel.name(), "median-3x3");
+  EXPECT_TRUE(kernel.tile_exact());
+  EXPECT_GT(kernel.cost_factor(), 1.0);
+}
+
+}  // namespace
+}  // namespace das::kernels

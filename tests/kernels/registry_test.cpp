@@ -1,0 +1,67 @@
+#include "kernels/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "kernels/gaussian.hpp"
+
+namespace das::kernels {
+namespace {
+
+TEST(RegistryTest, StandardRegistryHasTheTableOneKernelsAndExtensions) {
+  const KernelRegistry registry = standard_registry();
+  const auto names = registry.names();
+  EXPECT_EQ(names, (std::vector<std::string>{
+                       "flow-accumulation", "flow-routing", "gaussian-2d",
+                       "laplacian-4", "median-3x3", "raster-statistics",
+                       "surface-slope"}));
+}
+
+TEST(RegistryTest, CreateReturnsFreshInstances) {
+  const KernelRegistry registry = standard_registry();
+  const KernelPtr a = registry.create("flow-routing");
+  const KernelPtr b = registry.create("flow-routing");
+  EXPECT_NE(a.get(), b.get());
+  EXPECT_EQ(a->name(), "flow-routing");
+}
+
+TEST(RegistryTest, ContainsChecks) {
+  const KernelRegistry registry = standard_registry();
+  EXPECT_TRUE(registry.contains("gaussian-2d"));
+  EXPECT_FALSE(registry.contains("sobel"));
+}
+
+TEST(RegistryTest, UnknownKernelThrows) {
+  const KernelRegistry registry = standard_registry();
+  EXPECT_THROW(registry.create("sobel"), std::out_of_range);
+}
+
+TEST(RegistryTest, DuplicateRegistrationThrows) {
+  KernelRegistry registry;
+  registry.add([] { return std::make_unique<GaussianKernel>(); });
+  EXPECT_THROW(
+      registry.add([] { return std::make_unique<GaussianKernel>(); }),
+      std::invalid_argument);
+}
+
+TEST(RegistryTest, EveryStandardKernelHasTableOneMetadata) {
+  const KernelRegistry registry = standard_registry();
+  for (const std::string& name : registry.names()) {
+    const KernelPtr kernel = registry.create(name);
+    EXPECT_EQ(kernel->name(), name);
+    EXPECT_FALSE(kernel->description().empty());
+    EXPECT_GT(kernel->cost_factor(), 0.0);
+    if (kernel->is_reduction()) {
+      EXPECT_TRUE(kernel->features().dependence.empty());
+      EXPECT_LT(kernel->output_bytes(1 << 20), 1024U);
+    } else {
+      EXPECT_FALSE(kernel->features().dependence.empty());
+      EXPECT_GE(kernel->halo_rows(), 1U);
+      EXPECT_EQ(kernel->output_bytes(1 << 20), 1U << 20);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace das::kernels

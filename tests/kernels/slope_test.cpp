@@ -1,0 +1,63 @@
+#include "kernels/slope.hpp"
+
+#include <gtest/gtest.h>
+
+#include "grid/dem.hpp"
+
+namespace das::kernels {
+namespace {
+
+TEST(SlopeTest, FlatTerrainHasZeroSlope) {
+  const grid::Grid<float> flat(8, 8, 42.0F);
+  const auto out = SlopeKernel{}.run_reference(flat);
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_FLOAT_EQ(out[i], 0.0F);
+}
+
+TEST(SlopeTest, LinearRampHasExactGradientMagnitudeInTheInterior) {
+  // Horn's estimator is exact on linear surfaces: z = -(3x + 4y) has
+  // |grad| = 5 everywhere away from the clamped border.
+  const auto ramp = grid::generate_ramp(10, 10, 3.0, 4.0);
+  const auto out = SlopeKernel{}.run_reference(ramp);
+  for (std::uint32_t y = 1; y + 1 < 10; ++y) {
+    for (std::uint32_t x = 1; x + 1 < 10; ++x) {
+      EXPECT_NEAR(out.at(x, y), 5.0F, 1e-4F);
+    }
+  }
+}
+
+TEST(SlopeTest, CellSizeScalesTheGradient) {
+  const auto ramp = grid::generate_ramp(8, 8, 2.0, 0.0);
+  const auto unit = SlopeKernel{1.0}.run_reference(ramp);
+  const auto coarse = SlopeKernel{2.0}.run_reference(ramp);
+  EXPECT_NEAR(unit.at(4, 4), 2.0F, 1e-4F);
+  EXPECT_NEAR(coarse.at(4, 4), 1.0F, 1e-4F);
+}
+
+TEST(SlopeTest, SteeperTerrainScoresHigher) {
+  const auto gentle = grid::generate_ramp(8, 8, 1.0, 0.0);
+  const auto steep = grid::generate_ramp(8, 8, 6.0, 0.0);
+  const auto a = SlopeKernel{}.run_reference(gentle);
+  const auto b = SlopeKernel{}.run_reference(steep);
+  EXPECT_LT(a.at(4, 4), b.at(4, 4));
+}
+
+TEST(SlopeTest, SlopeIsNonNegative) {
+  const auto dem = grid::generate_dem(grid::DemOptions{});
+  const auto out = SlopeKernel{}.run_reference(dem);
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_GE(out[i], 0.0F);
+}
+
+TEST(SlopeTest, MetadataIsConsistent) {
+  const SlopeKernel kernel;
+  EXPECT_EQ(kernel.name(), "surface-slope");
+  EXPECT_TRUE(kernel.tile_exact());
+  EXPECT_FALSE(kernel.is_reduction());
+  EXPECT_EQ(kernel.features().dependence.size(), 8U);
+}
+
+TEST(SlopeDeathTest, NonPositiveCellSizeAborts) {
+  EXPECT_DEATH(SlopeKernel{0.0}, "DAS_REQUIRE");
+}
+
+}  // namespace
+}  // namespace das::kernels

@@ -1,0 +1,121 @@
+#include "net/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include "simkit/simulator.hpp"
+
+namespace das::net {
+namespace {
+
+NetworkConfig test_config(std::uint32_t nodes) {
+  NetworkConfig cfg;
+  cfg.num_nodes = nodes;
+  cfg.nic_bandwidth_bps = 1024 * 1024;  // 1 MiB/s: easy arithmetic
+  cfg.wire_latency = sim::milliseconds(1);
+  cfg.control_overhead_bytes = 0;  // exact payload timing in these tests
+  return cfg;
+}
+
+TEST(NetworkTest, DeliveryTimeIsSerializationPlusLatency) {
+  sim::Simulator s;
+  Network net(s, test_config(2));
+  sim::SimTime delivered = -1;
+  net.send(Message{0, 1, 1024 * 1024, TrafficClass::kClientServer,
+                   [&] { delivered = s.now(); }});
+  s.run();
+  // 1 s sender egress + 1 ms wire + 1 s receiver ingress.
+  EXPECT_EQ(delivered, sim::seconds(2) + sim::milliseconds(1));
+}
+
+TEST(NetworkTest, LoopbackPaysOnlyLatency) {
+  sim::Simulator s;
+  Network net(s, test_config(2));
+  sim::SimTime delivered = -1;
+  net.send(Message{1, 1, 1024 * 1024, TrafficClass::kControl,
+                   [&] { delivered = s.now(); }});
+  s.run();
+  EXPECT_EQ(delivered, sim::milliseconds(1));
+}
+
+TEST(NetworkTest, IncastSerializesAtReceiver) {
+  sim::Simulator s;
+  Network net(s, test_config(3));
+  sim::SimTime first = -1, second = -1;
+  net.send(Message{0, 2, 1024 * 1024, TrafficClass::kClientServer,
+                   [&] { first = s.now(); }});
+  net.send(Message{1, 2, 1024 * 1024, TrafficClass::kClientServer,
+                   [&] { second = s.now(); }});
+  s.run();
+  // Both arrive at ~1s + latency; the receiver NIC serializes the second.
+  EXPECT_EQ(first, sim::seconds(2) + sim::milliseconds(1));
+  EXPECT_EQ(second, sim::seconds(3) + sim::milliseconds(1));
+}
+
+TEST(NetworkTest, SendersSerializeTheirOwnEgress) {
+  sim::Simulator s;
+  Network net(s, test_config(3));
+  sim::SimTime to1 = -1, to2 = -1;
+  net.send(Message{0, 1, 1024 * 1024, TrafficClass::kClientServer,
+                   [&] { to1 = s.now(); }});
+  net.send(Message{0, 2, 1024 * 1024, TrafficClass::kClientServer,
+                   [&] { to2 = s.now(); }});
+  s.run();
+  EXPECT_EQ(to1, sim::seconds(2) + sim::milliseconds(1));
+  // Second message leaves only after the first cleared node 0's egress.
+  EXPECT_EQ(to2, sim::seconds(3) + sim::milliseconds(1));
+}
+
+TEST(NetworkTest, TrafficClassAccounting) {
+  sim::Simulator s;
+  Network net(s, test_config(2));
+  net.send(Message{0, 1, 100, TrafficClass::kClientServer, nullptr});
+  net.send(Message{0, 1, 200, TrafficClass::kServerServer, nullptr});
+  net.send(Message{0, 1, 300, TrafficClass::kServerServer, nullptr});
+  net.send_control(1, 0, nullptr);
+  s.run();
+  EXPECT_EQ(net.bytes_delivered(TrafficClass::kClientServer), 100U);
+  EXPECT_EQ(net.bytes_delivered(TrafficClass::kServerServer), 500U);
+  EXPECT_EQ(net.bytes_delivered(TrafficClass::kControl), 0U);
+  EXPECT_EQ(net.messages_delivered(TrafficClass::kServerServer), 2U);
+  EXPECT_EQ(net.messages_delivered(TrafficClass::kControl), 1U);
+}
+
+TEST(NetworkTest, ControlOverheadDelaysWire) {
+  sim::Simulator s;
+  NetworkConfig cfg = test_config(2);
+  cfg.control_overhead_bytes = 1024 * 1024;  // grotesque, to be visible
+  Network net(s, cfg);
+  sim::SimTime delivered = -1;
+  net.send_control(0, 1, [&] { delivered = s.now(); });
+  s.run();
+  EXPECT_EQ(delivered, sim::seconds(2) + sim::milliseconds(1));
+}
+
+TEST(NetworkTest, LatencyHistogramRecordsEveryMessage) {
+  sim::Simulator s;
+  Network net(s, test_config(2));
+  net.send(Message{0, 1, 1024, TrafficClass::kControl, nullptr});
+  net.send(Message{1, 0, 1024, TrafficClass::kControl, nullptr});
+  s.run();
+  EXPECT_EQ(net.latency_histogram().count(), 2U);
+  EXPECT_GT(net.latency_histogram().min(), 0.0);
+}
+
+TEST(NetworkTest, MessageWithoutCallbackStillMovesBytes) {
+  sim::Simulator s;
+  Network net(s, test_config(2));
+  net.send(Message{0, 1, 4096, TrafficClass::kClientServer, nullptr});
+  s.run();
+  EXPECT_EQ(net.nic(0).bytes_sent(), 4096U);
+  EXPECT_EQ(net.nic(1).bytes_received(), 4096U);
+}
+
+TEST(NetworkDeathTest, InvalidNodeAborts) {
+  sim::Simulator s;
+  Network net(s, test_config(2));
+  EXPECT_DEATH(net.send(Message{0, 9, 1, TrafficClass::kControl, nullptr}),
+               "DAS_REQUIRE");
+}
+
+}  // namespace
+}  // namespace das::net

@@ -1,0 +1,62 @@
+#include "net/nic.hpp"
+
+#include <gtest/gtest.h>
+
+namespace das::net {
+namespace {
+
+constexpr double kBw = 100.0 * 1024 * 1024;  // 100 MiB/s
+
+TEST(NicTest, EgressSerializationTime) {
+  Nic nic(kBw);
+  const auto done = nic.reserve_egress(0, 100 * 1024 * 1024);
+  EXPECT_EQ(done, sim::seconds(1));
+}
+
+TEST(NicTest, BackToBackEgressQueues) {
+  Nic nic(kBw);
+  nic.reserve_egress(0, 50 * 1024 * 1024);            // busy [0, 0.5)
+  const auto done = nic.reserve_egress(0, 50 * 1024 * 1024);
+  EXPECT_EQ(done, sim::seconds(1));  // second waits for the first
+}
+
+TEST(NicTest, EgressIdleGapIsNotCharged) {
+  Nic nic(kBw);
+  nic.reserve_egress(0, 100 * 1024 * 1024);
+  const auto done = nic.reserve_egress(sim::seconds(10), 100 * 1024 * 1024);
+  EXPECT_EQ(done, sim::seconds(11));
+  EXPECT_EQ(nic.egress_busy(), sim::seconds(2));  // only transfer time
+}
+
+TEST(NicTest, FullDuplexDirectionsAreIndependent) {
+  Nic nic(kBw);
+  nic.reserve_egress(0, 100 * 1024 * 1024);
+  const auto in_done = nic.reserve_ingress(0, 100 * 1024 * 1024);
+  EXPECT_EQ(in_done, sim::seconds(1));  // not delayed by egress
+}
+
+TEST(NicTest, ByteCounters) {
+  Nic nic(kBw);
+  nic.reserve_egress(0, 1000);
+  nic.reserve_egress(0, 500);
+  nic.reserve_ingress(0, 42);
+  EXPECT_EQ(nic.bytes_sent(), 1500U);
+  EXPECT_EQ(nic.bytes_received(), 42U);
+}
+
+TEST(NicTest, ZeroByteTransferTakesNoTime) {
+  Nic nic(kBw);
+  EXPECT_EQ(nic.reserve_egress(7, 0), 7);
+}
+
+TEST(NicTest, OneByteTransferTakesNonZeroTime) {
+  Nic nic(kBw);
+  EXPECT_GT(nic.reserve_egress(0, 1), 0);
+}
+
+TEST(NicDeathTest, NonPositiveBandwidthAborts) {
+  EXPECT_DEATH(Nic(0.0), "DAS_REQUIRE");
+}
+
+}  // namespace
+}  // namespace das::net

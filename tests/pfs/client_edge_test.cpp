@@ -1,0 +1,138 @@
+// Edge cases of the PFS client: sub-strip ranges, range boundaries,
+// misaligned writes, many outstanding operations.
+#include <gtest/gtest.h>
+
+#include "pfs/client.hpp"
+#include "pfs/pfs.hpp"
+#include "simkit/simulator.hpp"
+
+namespace das::pfs {
+namespace {
+
+class ClientEdgeFixture : public ::testing::Test {
+ protected:
+  ClientEdgeFixture() {
+    net::NetworkConfig ncfg;
+    ncfg.num_nodes = 5;
+    network_ = std::make_unique<net::Network>(sim_, ncfg);
+    pfs_ = std::make_unique<Pfs>(sim_, *network_,
+                                 std::vector<net::NodeId>{0, 1, 2, 3},
+                                 storage::DiskConfig{});
+    client_ = std::make_unique<PfsClient>(sim_, *network_, *pfs_, 4);
+
+    FileMeta meta;
+    meta.name = "f";
+    meta.size_bytes = 1000;  // 10 strips, last one partial (9 * 104 ... )
+    meta.strip_size = 104;
+    data_.resize(meta.size_bytes);
+    for (std::size_t i = 0; i < data_.size(); ++i) {
+      data_[i] = static_cast<std::byte>(i % 251);
+    }
+    file_ = pfs_->create_file(meta, std::make_unique<RoundRobinLayout>(4),
+                              &data_);
+  }
+
+  std::vector<std::byte> read(std::uint64_t offset, std::uint64_t length) {
+    std::vector<std::byte> got(length);
+    bool complete = false;
+    client_->read_range(
+        file_, offset, length, [&] { complete = true; },
+        [&](StripRef ref, std::vector<std::byte> payload) {
+          std::copy(payload.begin(), payload.end(),
+                    got.begin() +
+                        static_cast<std::ptrdiff_t>(ref.offset - offset));
+        });
+    sim_.run();
+    EXPECT_TRUE(complete);
+    return got;
+  }
+
+  sim::Simulator sim_;
+  std::unique_ptr<net::Network> network_;
+  std::unique_ptr<Pfs> pfs_;
+  std::unique_ptr<PfsClient> client_;
+  std::vector<std::byte> data_;
+  FileId file_ = kInvalidFile;
+};
+
+TEST_F(ClientEdgeFixture, SingleByteRead) {
+  const auto got = read(555, 1);
+  EXPECT_EQ(got[0], data_[555]);
+}
+
+TEST_F(ClientEdgeFixture, ReadWithinOneStrip) {
+  const auto got = read(210, 50);
+  EXPECT_TRUE(std::equal(got.begin(), got.end(), data_.begin() + 210));
+}
+
+TEST_F(ClientEdgeFixture, ReadAcrossAStripBoundary) {
+  const auto got = read(100, 10);  // strips 0 and 1 (strip size 104)
+  EXPECT_TRUE(std::equal(got.begin(), got.end(), data_.begin() + 100));
+}
+
+TEST_F(ClientEdgeFixture, ReadTheExactFileTail) {
+  const auto got = read(990, 10);
+  EXPECT_TRUE(std::equal(got.begin(), got.end(), data_.begin() + 990));
+}
+
+TEST_F(ClientEdgeFixture, ReadWholeFile) {
+  EXPECT_EQ(read(0, 1000), data_);
+}
+
+TEST_F(ClientEdgeFixture, PartialTailStripHasShortLength) {
+  // Strip 9 covers [936, 1000): only 64 bytes.
+  std::uint64_t seen = 0;
+  client_->read_range(file_, 936, 64, nullptr,
+                      [&](StripRef ref, std::vector<std::byte>) {
+                        seen = ref.length;
+                      });
+  sim_.run();
+  EXPECT_EQ(seen, 64U);
+}
+
+TEST_F(ClientEdgeFixture, ManyConcurrentReadsAllComplete) {
+  int complete = 0;
+  for (int i = 0; i < 50; ++i) {
+    client_->read_range(file_, static_cast<std::uint64_t>(i * 17), 64,
+                        [&] { ++complete; });
+  }
+  sim_.run();
+  EXPECT_EQ(complete, 50);
+}
+
+TEST_F(ClientEdgeFixture, ByteCountersTrackRequests) {
+  read(0, 500);
+  std::vector<std::byte> fresh(104, std::byte{1});
+  client_->write_range(file_, 104, 104, fresh, nullptr);
+  sim_.run();
+  EXPECT_EQ(client_->bytes_read(), 500U);
+  EXPECT_EQ(client_->bytes_written(), 104U);
+}
+
+TEST_F(ClientEdgeFixture, WriteDeathOnMisalignedOffset) {
+  std::vector<std::byte> buf(104, std::byte{0});
+  EXPECT_DEATH(client_->write_range(file_, 50, 104, buf, nullptr),
+               "DAS_REQUIRE");
+}
+
+TEST_F(ClientEdgeFixture, WriteDeathOnMisalignedEnd) {
+  std::vector<std::byte> buf(60, std::byte{0});
+  EXPECT_DEATH(client_->write_range(file_, 104, 60, buf, nullptr),
+               "DAS_REQUIRE");
+}
+
+TEST_F(ClientEdgeFixture, ReadDeathBeyondEof) {
+  EXPECT_DEATH(client_->read_range(file_, 990, 20, nullptr), "DAS_REQUIRE");
+}
+
+TEST_F(ClientEdgeFixture, FinalPartialWriteIsAccepted) {
+  std::vector<std::byte> tail(64, std::byte{0x77});
+  bool complete = false;
+  client_->write_range(file_, 936, 64, tail, [&] { complete = true; });
+  sim_.run();
+  EXPECT_TRUE(complete);
+  EXPECT_EQ(read(936, 64), tail);
+}
+
+}  // namespace
+}  // namespace das::pfs

@@ -1,0 +1,117 @@
+#include "pfs/local_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include "simkit/simulator.hpp"
+
+namespace das::pfs {
+namespace {
+
+class LocalIoFixture : public ::testing::Test {
+ protected:
+  LocalIoFixture() {
+    net::NetworkConfig ncfg;
+    ncfg.num_nodes = 4;
+    network_ = std::make_unique<net::Network>(sim_, ncfg);
+    pfs_ = std::make_unique<Pfs>(sim_, *network_,
+                                 std::vector<net::NodeId>{0, 1, 2, 3},
+                                 storage::DiskConfig{});
+  }
+
+  FileId make_file(std::uint64_t strips, std::uint64_t strip_size,
+                   std::unique_ptr<Layout> layout) {
+    FileMeta meta;
+    meta.name = "f";
+    meta.size_bytes = strips * strip_size;
+    meta.strip_size = strip_size;
+    data_.resize(meta.size_bytes);
+    for (std::uint64_t i = 0; i < meta.size_bytes; ++i) {
+      data_[i] = static_cast<std::byte>(i % 251);
+    }
+    return pfs_->create_file(meta, std::move(layout), &data_);
+  }
+
+  sim::Simulator sim_;
+  std::unique_ptr<net::Network> network_;
+  std::unique_ptr<Pfs> pfs_;
+  std::vector<std::byte> data_;
+};
+
+TEST_F(LocalIoFixture, RoundRobinEveryStripIsItsOwnRunWithMissingHalo) {
+  const FileId f = make_file(16, 64, std::make_unique<RoundRobinLayout>(4));
+  const LocalIo lio(*pfs_, 1, f, 1);
+  ASSERT_EQ(lio.runs().size(), 4U);  // strips 1, 5, 9, 13
+  for (const LocalRun& run : lio.runs()) {
+    EXPECT_EQ(run.strip_count(), 1U);
+    EXPECT_EQ(run.local_pre_halo, 0U);
+    EXPECT_EQ(run.local_post_halo, 0U);
+    EXPECT_EQ(run.missing_pre_halo, 1U);
+    EXPECT_EQ(run.missing_post_halo, 1U);
+  }
+  EXPECT_EQ(lio.total_missing_halo_strips(), 8U);
+  EXPECT_EQ(lio.local_size(), 4U * 64);
+}
+
+TEST_F(LocalIoFixture, FileEdgeRunsWantNoHaloOutsideTheFile) {
+  const FileId f = make_file(16, 64, std::make_unique<RoundRobinLayout>(4));
+  const LocalIo lio(*pfs_, 0, f, 1);  // strips 0, 4, 8, 12
+  EXPECT_EQ(lio.runs().front().missing_pre_halo, 0U);  // strip 0: no pre
+  EXPECT_EQ(lio.runs().front().missing_post_halo, 1U);
+}
+
+TEST_F(LocalIoFixture, DasLayoutHasAllHaloLocal) {
+  const FileId f =
+      make_file(16, 64, std::make_unique<DasReplicatedLayout>(4, 4, 1));
+  for (ServerIndex server = 0; server < 4; ++server) {
+    const LocalIo lio(*pfs_, server, f, 1);
+    ASSERT_EQ(lio.runs().size(), 1U);
+    EXPECT_EQ(lio.runs().front().strip_count(), 4U);
+    EXPECT_EQ(lio.total_missing_halo_strips(), 0U);
+  }
+}
+
+TEST_F(LocalIoFixture, GroupedWithoutReplicationMissesItsHalo) {
+  const FileId f = make_file(16, 64, std::make_unique<GroupedLayout>(4, 4));
+  const LocalIo lio(*pfs_, 1, f, 1);  // strips 4-7
+  ASSERT_EQ(lio.runs().size(), 1U);
+  EXPECT_EQ(lio.runs().front().missing_pre_halo, 1U);
+  EXPECT_EQ(lio.runs().front().missing_post_halo, 1U);
+}
+
+TEST_F(LocalIoFixture, WideHaloPartiallyLocal) {
+  // halo=1 replicas but the kernel wants 2 strips of halo: 1 local, 1 missing.
+  const FileId f =
+      make_file(24, 64, std::make_unique<DasReplicatedLayout>(4, 4, 1));
+  const LocalIo lio(*pfs_, 1, f, 2);
+  ASSERT_FALSE(lio.runs().empty());
+  const LocalRun& run = lio.runs().front();
+  EXPECT_EQ(run.local_pre_halo, 1U);
+  EXPECT_EQ(run.missing_pre_halo, 1U);
+  EXPECT_EQ(run.local_post_halo, 1U);
+  EXPECT_EQ(run.missing_post_halo, 1U);
+}
+
+TEST_F(LocalIoFixture, ReadRunReturnsContiguousCoveredBytes) {
+  const FileId f =
+      make_file(16, 64, std::make_unique<DasReplicatedLayout>(4, 4, 1));
+  const LocalIo lio(*pfs_, 1, f, 1);  // strips 4-7 plus local halo 3 and 8
+  const LocalRun& run = lio.runs().front();
+  EXPECT_EQ(run.local_pre_halo, 1U);
+  EXPECT_EQ(run.local_post_halo, 1U);
+
+  const auto bytes = lio.read_run(run);
+  EXPECT_EQ(lio.run_buffer_offset(run), 3U * 64);
+  ASSERT_EQ(bytes.size(), 6U * 64);  // strips 3..8
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    EXPECT_EQ(bytes[i], data_[3 * 64 + i]);
+  }
+}
+
+TEST_F(LocalIoFixture, ZeroHaloRequestsNothing) {
+  const FileId f = make_file(16, 64, std::make_unique<RoundRobinLayout>(4));
+  const LocalIo lio(*pfs_, 2, f, 0);
+  EXPECT_EQ(lio.total_missing_halo_strips(), 0U);
+}
+
+}  // namespace
+}  // namespace das::pfs

@@ -1,0 +1,105 @@
+#include "pfs/metadata.hpp"
+
+#include <gtest/gtest.h>
+
+#include "simkit/simulator.hpp"
+
+namespace das::pfs {
+namespace {
+
+class MetadataFixture : public ::testing::Test {
+ protected:
+  MetadataFixture() {
+    net::NetworkConfig ncfg;
+    ncfg.num_nodes = 5;  // 4 servers + 1 client
+    ncfg.wire_latency = sim::milliseconds(1);
+    network_ = std::make_unique<net::Network>(sim_, ncfg);
+    pfs_ = std::make_unique<Pfs>(sim_, *network_,
+                                 std::vector<net::NodeId>{0, 1, 2, 3},
+                                 storage::DiskConfig{});
+    service_ = std::make_unique<MetadataService>(sim_, *network_, *pfs_, 0);
+    cache_ = std::make_unique<MetadataCache>(sim_, *service_, 4);
+
+    FileMeta meta;
+    meta.name = "data";
+    meta.size_bytes = 640;
+    meta.strip_size = 64;
+    file_ = pfs_->create_file(meta, std::make_unique<RoundRobinLayout>(4),
+                              nullptr);
+  }
+
+  sim::Simulator sim_;
+  std::unique_ptr<net::Network> network_;
+  std::unique_ptr<Pfs> pfs_;
+  std::unique_ptr<MetadataService> service_;
+  std::unique_ptr<MetadataCache> cache_;
+  FileId file_ = kInvalidFile;
+};
+
+TEST_F(MetadataFixture, LookupReturnsMetaAndLayout) {
+  bool answered = false;
+  service_->lookup(4, file_, [&](FileInfo info) {
+    answered = true;
+    EXPECT_EQ(info.meta.name, "data");
+    EXPECT_EQ(info.meta.size_bytes, 640U);
+    ASSERT_NE(info.layout, nullptr);
+    EXPECT_EQ(info.layout->name(), "round-robin(D=4)");
+  });
+  sim_.run();
+  EXPECT_TRUE(answered);
+  EXPECT_EQ(service_->lookups_served(), 1U);
+}
+
+TEST_F(MetadataFixture, LookupCostsARoundTrip) {
+  sim::SimTime answered_at = -1;
+  service_->lookup(4, file_, [&](FileInfo) { answered_at = sim_.now(); });
+  sim_.run();
+  EXPECT_GE(answered_at, 2 * sim::milliseconds(1));  // request + reply
+}
+
+TEST_F(MetadataFixture, CacheHitsSkipTheService) {
+  cache_->lookup(file_, [](FileInfo) {});
+  sim_.run();
+  EXPECT_EQ(cache_->misses(), 1U);
+  EXPECT_EQ(service_->lookups_served(), 1U);
+
+  sim::SimTime second_at = -1;
+  const sim::SimTime asked_at = sim_.now();
+  cache_->lookup(file_, [&](FileInfo) { second_at = sim_.now(); });
+  sim_.run();
+  EXPECT_EQ(cache_->hits(), 1U);
+  EXPECT_EQ(service_->lookups_served(), 1U);  // no extra network trip
+  EXPECT_EQ(second_at, asked_at);             // answered locally
+}
+
+TEST_F(MetadataFixture, CacheSeesLayoutChangesAfterRedistribution) {
+  cache_->lookup(file_, [](FileInfo) {});
+  sim_.run();
+  pfs_->redistribute(file_, std::make_unique<GroupedLayout>(4, 2), nullptr);
+  sim_.run();
+
+  std::string seen;
+  cache_->lookup(file_, [&](FileInfo info) { seen = info.layout->name(); });
+  sim_.run();
+  EXPECT_EQ(seen, "grouped(D=4,r=2)");
+}
+
+TEST_F(MetadataFixture, InvalidateForcesARefetch) {
+  cache_->lookup(file_, [](FileInfo) {});
+  sim_.run();
+  cache_->invalidate(file_);
+  cache_->lookup(file_, [](FileInfo) {});
+  sim_.run();
+  EXPECT_EQ(cache_->misses(), 2U);
+  EXPECT_EQ(service_->lookups_served(), 2U);
+}
+
+TEST_F(MetadataFixture, LookupsAreControlTraffic) {
+  service_->lookup(4, file_, [](FileInfo) {});
+  sim_.run();
+  EXPECT_EQ(network_->bytes_delivered(net::TrafficClass::kClientServer), 0U);
+  EXPECT_GE(network_->messages_delivered(net::TrafficClass::kControl), 2U);
+}
+
+}  // namespace
+}  // namespace das::pfs

@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include "pfs/pfs.hpp"
+#include "simkit/simulator.hpp"
+
+namespace das::pfs {
+namespace {
+
+class RedistributeFixture : public ::testing::Test {
+ protected:
+  RedistributeFixture() {
+    net::NetworkConfig ncfg;
+    ncfg.num_nodes = 4;
+    network_ = std::make_unique<net::Network>(sim_, ncfg);
+    pfs_ = std::make_unique<Pfs>(sim_, *network_,
+                                 std::vector<net::NodeId>{0, 1, 2, 3},
+                                 storage::DiskConfig{});
+  }
+
+  FileId make_file(std::uint64_t strips, std::unique_ptr<Layout> layout) {
+    FileMeta meta;
+    meta.name = "f";
+    meta.size_bytes = strips * 64;
+    meta.strip_size = 64;
+    data_.resize(meta.size_bytes);
+    for (std::uint64_t i = 0; i < meta.size_bytes; ++i) {
+      data_[i] = static_cast<std::byte>(i % 251);
+    }
+    return pfs_->create_file(meta, std::move(layout), &data_);
+  }
+
+  sim::Simulator sim_;
+  std::unique_ptr<net::Network> network_;
+  std::unique_ptr<Pfs> pfs_;
+  std::vector<std::byte> data_;
+};
+
+TEST_F(RedistributeFixture, RoundRobinToDasPreservesContent) {
+  const FileId f = make_file(16, std::make_unique<RoundRobinLayout>(4));
+  bool complete = false;
+  const std::uint64_t moved = pfs_->redistribute(
+      f, std::make_unique<DasReplicatedLayout>(4, 4, 1),
+      [&] { complete = true; });
+  EXPECT_GT(moved, 0U);
+  sim_.run();
+  EXPECT_TRUE(complete);
+  EXPECT_EQ(pfs_->gather_bytes(f), data_);
+  EXPECT_EQ(pfs_->layout(f).name(), "das-replicated(D=4,r=4,halo=1)");
+}
+
+TEST_F(RedistributeFixture, NewHoldersHaveTheStrips) {
+  const FileId f = make_file(16, std::make_unique<RoundRobinLayout>(4));
+  pfs_->redistribute(f, std::make_unique<DasReplicatedLayout>(4, 4, 1),
+                     nullptr);
+  sim_.run();
+  const Layout& layout = pfs_->layout(f);
+  for (std::uint64_t s = 0; s < 16; ++s) {
+    for (const ServerIndex holder : layout.holders(s, 16)) {
+      EXPECT_TRUE(pfs_->server(holder).store().has(f, s));
+      EXPECT_EQ(pfs_->server(holder).store().bytes(f, s),
+                std::vector<std::byte>(data_.begin() + static_cast<long>(s * 64),
+                                       data_.begin() +
+                                           static_cast<long>((s + 1) * 64)));
+    }
+  }
+}
+
+TEST_F(RedistributeFixture, DroppedCopiesAreErased) {
+  const FileId f = make_file(16, std::make_unique<RoundRobinLayout>(4));
+  pfs_->redistribute(f, std::make_unique<GroupedLayout>(4, 4), nullptr);
+  sim_.run();
+  // Total stored = exactly one copy of every strip (no replication).
+  EXPECT_EQ(pfs_->total_stored_bytes(), 16U * 64);
+}
+
+TEST_F(RedistributeFixture, MovedBytesMatchLayoutDelta) {
+  const FileId f = make_file(16, std::make_unique<RoundRobinLayout>(4));
+  // Round-robin: strip s on server s%4. Grouped(4,4): strip s on s/4.
+  // Strips already in place: s where s%4 == s/4 -> s in {0, 5, 10, 15}.
+  const std::uint64_t moved =
+      pfs_->redistribute(f, std::make_unique<GroupedLayout>(4, 4), nullptr);
+  EXPECT_EQ(moved, (16U - 4U) * 64);
+  sim_.run();
+}
+
+TEST_F(RedistributeFixture, SameLayoutMovesNothingButStillCompletes) {
+  const FileId f = make_file(16, std::make_unique<RoundRobinLayout>(4));
+  bool complete = false;
+  const std::uint64_t moved = pfs_->redistribute(
+      f, std::make_unique<RoundRobinLayout>(4), [&] { complete = true; });
+  EXPECT_EQ(moved, 0U);
+  sim_.run();
+  EXPECT_TRUE(complete);
+}
+
+TEST_F(RedistributeFixture, TrafficIsServerToServer) {
+  const FileId f = make_file(16, std::make_unique<RoundRobinLayout>(4));
+  const std::uint64_t moved = pfs_->redistribute(
+      f, std::make_unique<DasReplicatedLayout>(4, 4, 1), nullptr);
+  sim_.run();
+  EXPECT_EQ(network_->bytes_delivered(net::TrafficClass::kServerServer),
+            moved);
+  EXPECT_EQ(network_->bytes_delivered(net::TrafficClass::kClientServer), 0U);
+}
+
+TEST_F(RedistributeFixture, TakesSimulatedTime) {
+  const FileId f = make_file(64, std::make_unique<RoundRobinLayout>(4));
+  sim::SimTime done = -1;
+  pfs_->redistribute(f, std::make_unique<DasReplicatedLayout>(4, 8, 1),
+                     [&] { done = sim_.now(); });
+  sim_.run();
+  EXPECT_GT(done, 0);
+}
+
+}  // namespace
+}  // namespace das::pfs

@@ -1,0 +1,77 @@
+#include "pfs/store.hpp"
+
+#include <gtest/gtest.h>
+
+namespace das::pfs {
+namespace {
+
+std::vector<std::byte> bytes_of(std::initializer_list<int> values) {
+  std::vector<std::byte> out;
+  for (const int v : values) out.push_back(static_cast<std::byte>(v));
+  return out;
+}
+
+TEST(ServerStoreTest, PutThenGet) {
+  ServerStore store;
+  store.put(0, 3, 4, bytes_of({1, 2, 3, 4}));
+  EXPECT_TRUE(store.has(0, 3));
+  EXPECT_FALSE(store.has(0, 4));
+  EXPECT_FALSE(store.has(1, 3));
+  EXPECT_EQ(store.bytes(0, 3), bytes_of({1, 2, 3, 4}));
+  EXPECT_EQ(store.length(0, 3), 4U);
+}
+
+TEST(ServerStoreTest, TimingOnlyStripsHaveLengthButNoBytes) {
+  ServerStore store;
+  store.put(0, 0, 1024, {});
+  EXPECT_TRUE(store.has(0, 0));
+  EXPECT_EQ(store.length(0, 0), 1024U);
+  EXPECT_TRUE(store.bytes(0, 0).empty());
+  EXPECT_EQ(store.stored_bytes(), 1024U);
+}
+
+TEST(ServerStoreTest, DiskOffsetsAreSequentialByInsertion) {
+  ServerStore store;
+  store.put(0, 5, 100, {});
+  store.put(0, 2, 100, {});
+  store.put(1, 9, 50, {});
+  EXPECT_EQ(store.disk_offset(0, 5), 0U);
+  EXPECT_EQ(store.disk_offset(0, 2), 100U);
+  EXPECT_EQ(store.disk_offset(1, 9), 200U);
+}
+
+TEST(ServerStoreTest, OverwriteKeepsOffsetAndLength) {
+  ServerStore store;
+  store.put(0, 0, 4, bytes_of({1, 1, 1, 1}));
+  const auto offset = store.disk_offset(0, 0);
+  store.put(0, 0, 4, bytes_of({2, 2, 2, 2}));
+  EXPECT_EQ(store.disk_offset(0, 0), offset);
+  EXPECT_EQ(store.bytes(0, 0), bytes_of({2, 2, 2, 2}));
+  EXPECT_EQ(store.stored_bytes(), 4U);  // not double counted
+}
+
+TEST(ServerStoreTest, EraseFreesAccounting) {
+  ServerStore store;
+  store.put(0, 0, 100, {});
+  store.put(0, 1, 100, {});
+  store.erase(0, 0);
+  EXPECT_FALSE(store.has(0, 0));
+  EXPECT_EQ(store.stored_bytes(), 100U);
+  EXPECT_EQ(store.strip_count(), 1U);
+}
+
+TEST(ServerStoreDeathTest, LengthMismatchAborts) {
+  ServerStore store;
+  EXPECT_DEATH(store.put(0, 0, 3, bytes_of({1, 2})), "DAS_REQUIRE");
+  store.put(0, 0, 2, bytes_of({1, 2}));
+  EXPECT_DEATH(store.put(0, 0, 5, {}), "DAS_REQUIRE");
+}
+
+TEST(ServerStoreDeathTest, MissingStripAborts) {
+  ServerStore store;
+  EXPECT_DEATH(store.bytes(0, 0), "DAS_REQUIRE");
+  EXPECT_DEATH(store.erase(0, 0), "DAS_REQUIRE");
+}
+
+}  // namespace
+}  // namespace das::pfs

@@ -1,0 +1,57 @@
+#include "runner/paper.hpp"
+
+#include <gtest/gtest.h>
+
+namespace das::runner {
+namespace {
+
+TEST(PaperConfigTest, KernelsMatchTableOne) {
+  EXPECT_EQ(paper_kernels(),
+            (std::vector<std::string>{"flow-routing", "flow-accumulation",
+                                      "gaussian-2d"}));
+}
+
+TEST(PaperConfigTest, ClusterSplitsNodesOneToOne) {
+  const auto cfg = paper_cluster(24);
+  EXPECT_EQ(cfg.storage_nodes, 12U);
+  EXPECT_EQ(cfg.compute_nodes, 12U);
+  EXPECT_EQ(cfg.total_nodes(), 24U);
+}
+
+TEST(PaperConfigTest, WorkloadGeometryGivesOneStripHalo) {
+  const auto spec = paper_workload("flow-routing", 24);
+  EXPECT_EQ(spec.data_bytes, 24ULL << 30);
+  EXPECT_EQ(spec.strip_size, 1ULL << 20);
+  // One row is one element short of a strip, so the 8-neighbour reach
+  // ((W+1) * E) is exactly one strip.
+  EXPECT_EQ((static_cast<std::uint64_t>(spec.width()) + 1) *
+                spec.element_size,
+            spec.strip_size);
+  EXPECT_FALSE(spec.with_data);
+}
+
+TEST(PaperConfigTest, RunCellProducesAPopulatedReport) {
+  const auto report =
+      run_cell(das::core::Scheme::kDAS, "gaussian-2d", 1, 8);
+  EXPECT_EQ(report.scheme, "DAS");
+  EXPECT_EQ(report.kernel, "gaussian-2d");
+  EXPECT_GT(report.exec_seconds, 0.0);
+  EXPECT_TRUE(report.offloaded);
+}
+
+TEST(ShapeCheckTest, FormattingListsEveryCheck) {
+  std::vector<ShapeCheck> checks;
+  checks.push_back(ShapeCheck{"DAS vs TS", "over 30%", 0.42, true});
+  checks.push_back(ShapeCheck{"NAS slower", "NAS > TS", 1.5, false});
+  const std::string out = format_checks(checks);
+  EXPECT_NE(out.find("DAS vs TS"), std::string::npos);
+  EXPECT_NE(out.find("yes"), std::string::npos);
+  EXPECT_NE(out.find("NO"), std::string::npos);
+}
+
+TEST(PaperConfigDeathTest, OddNodeCountsAbort) {
+  EXPECT_DEATH(paper_cluster(25), "DAS_REQUIRE");
+}
+
+}  // namespace
+}  // namespace das::runner

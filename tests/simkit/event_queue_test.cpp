@@ -1,0 +1,110 @@
+#include "simkit/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace das::sim {
+namespace {
+
+TEST(EventQueueTest, StartsEmpty) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0U);
+  EXPECT_EQ(q.total_pushed(), 0U);
+}
+
+TEST(EventQueueTest, PopsInTimestampOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.push(30, [&] { order.push_back(3); }, "");
+  q.push(10, [&] { order.push_back(1); }, "");
+  q.push(20, [&] { order.push_back(2); }, "");
+  while (!q.empty()) q.pop().action();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, FifoAmongEqualTimestamps) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 8; ++i) {
+    q.push(42, [&order, i] { order.push_back(i); }, "");
+  }
+  while (!q.empty()) q.pop().action();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7}));
+}
+
+TEST(EventQueueTest, NextTimeReportsEarliestLiveEvent) {
+  EventQueue q;
+  q.push(50, [] {}, "");
+  q.push(5, [] {}, "");
+  EXPECT_EQ(q.next_time(), 5);
+}
+
+TEST(EventQueueTest, CancelPreventsDelivery) {
+  EventQueue q;
+  bool fired = false;
+  const EventId id = q.push(10, [&] { fired = true; }, "");
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueueTest, CancelledEventSkippedByNextTimeAndPop) {
+  EventQueue q;
+  const EventId early = q.push(10, [] {}, "early");
+  q.push(20, [] {}, "late");
+  q.cancel(early);
+  EXPECT_EQ(q.next_time(), 20);
+  const Event ev = q.pop();
+  EXPECT_EQ(ev.when, 20);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueueTest, CancelAfterPopReturnsFalse) {
+  EventQueue q;
+  const EventId id = q.push(10, [] {}, "");
+  q.pop();
+  EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueueTest, DoubleCancelReturnsFalse) {
+  EventQueue q;
+  const EventId id = q.push(10, [] {}, "");
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueueTest, SizeCountsOnlyLiveEvents) {
+  EventQueue q;
+  const EventId a = q.push(1, [] {}, "");
+  q.push(2, [] {}, "");
+  q.push(3, [] {}, "");
+  EXPECT_EQ(q.size(), 3U);
+  q.cancel(a);
+  EXPECT_EQ(q.size(), 2U);
+  q.pop();
+  EXPECT_EQ(q.size(), 1U);
+}
+
+TEST(EventQueueTest, TotalPushedIsMonotonic) {
+  EventQueue q;
+  const EventId a = q.push(1, [] {}, "");
+  q.cancel(a);
+  q.push(2, [] {}, "");
+  EXPECT_EQ(q.total_pushed(), 2U);
+}
+
+TEST(EventQueueTest, TagIsPreserved) {
+  EventQueue q;
+  q.push(1, [] {}, "my-tag");
+  EXPECT_STREQ(q.pop().tag, "my-tag");
+}
+
+TEST(EventQueueDeathTest, PopOnEmptyAborts) {
+  EventQueue q;
+  EXPECT_DEATH(q.pop(), "DAS_REQUIRE");
+}
+
+}  // namespace
+}  // namespace das::sim

@@ -1,0 +1,83 @@
+#include "simkit/log.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace das::sim {
+namespace {
+
+TEST(LogTest, EmitsAtOrAboveTheLevel) {
+  std::ostringstream out;
+  Logger logger(&out, LogLevel::kInfo);
+  logger.log(LogLevel::kDebug, seconds(1), "net", "dropped");
+  logger.log(LogLevel::kInfo, seconds(1), "net", "kept");
+  logger.log(LogLevel::kError, seconds(1), "net", "also kept");
+  EXPECT_EQ(out.str().find("dropped"), std::string::npos);
+  EXPECT_NE(out.str().find("kept"), std::string::npos);
+  EXPECT_NE(out.str().find("also kept"), std::string::npos);
+}
+
+TEST(LogTest, LineCarriesTimestampLevelAndComponent) {
+  std::ostringstream out;
+  Logger logger(&out, LogLevel::kTrace);
+  logger.log(LogLevel::kWarn, milliseconds(1500), "pfs", "slow strip");
+  const std::string line = out.str();
+  EXPECT_NE(line.find("1.500000s"), std::string::npos);
+  EXPECT_NE(line.find("WARN"), std::string::npos);
+  EXPECT_NE(line.find("pfs:"), std::string::npos);
+  EXPECT_NE(line.find("slow strip"), std::string::npos);
+}
+
+TEST(LogTest, NullSinkDisablesEverything) {
+  Logger logger(nullptr, LogLevel::kTrace);
+  EXPECT_FALSE(logger.enabled(LogLevel::kError));
+  logger.log(LogLevel::kError, 0, "x", "y");  // must not crash
+}
+
+TEST(LogTest, LazyBodySkippedWhenFiltered) {
+  std::ostringstream out;
+  Logger logger(&out, LogLevel::kError);
+  bool evaluated = false;
+  logger.log_lazy(LogLevel::kDebug, 0, "x",
+                  [&](std::ostream& msg) {
+                    evaluated = true;
+                    msg << "expensive";
+                  });
+  EXPECT_FALSE(evaluated);
+  logger.log_lazy(LogLevel::kError, 0, "x",
+                  [&](std::ostream& msg) {
+                    evaluated = true;
+                    msg << "cheap enough";
+                  });
+  EXPECT_TRUE(evaluated);
+  EXPECT_NE(out.str().find("cheap enough"), std::string::npos);
+}
+
+TEST(LogTest, LevelNames) {
+  EXPECT_EQ(to_string(LogLevel::kTrace), "TRACE");
+  EXPECT_EQ(to_string(LogLevel::kDebug), "DEBUG");
+  EXPECT_EQ(to_string(LogLevel::kInfo), "INFO");
+  EXPECT_EQ(to_string(LogLevel::kWarn), "WARN");
+  EXPECT_EQ(to_string(LogLevel::kError), "ERROR");
+  EXPECT_EQ(to_string(LogLevel::kOff), "OFF");
+}
+
+TEST(LogTest, SetLevelAndSinkTakeEffect) {
+  std::ostringstream a, b;
+  Logger logger(&a, LogLevel::kOff);
+  logger.log(LogLevel::kError, 0, "x", "nope");
+  EXPECT_TRUE(a.str().empty());
+  logger.set_level(LogLevel::kInfo);
+  logger.set_sink(&b);
+  logger.log(LogLevel::kInfo, 0, "x", "yes");
+  EXPECT_TRUE(a.str().empty());
+  EXPECT_FALSE(b.str().empty());
+}
+
+TEST(LogTest, GlobalLoggerExists) {
+  EXPECT_EQ(Logger::global().level(), LogLevel::kWarn);
+}
+
+}  // namespace
+}  // namespace das::sim

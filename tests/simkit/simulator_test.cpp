@@ -1,0 +1,120 @@
+#include "simkit/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace das::sim {
+namespace {
+
+TEST(SimulatorTest, TimeStartsAtZero) {
+  Simulator s;
+  EXPECT_EQ(s.now(), 0);
+  EXPECT_EQ(s.pending_events(), 0U);
+}
+
+TEST(SimulatorTest, ScheduleAfterAdvancesTime) {
+  Simulator s;
+  SimTime seen = -1;
+  s.schedule_after(milliseconds(5), [&] { seen = s.now(); });
+  s.run();
+  EXPECT_EQ(seen, milliseconds(5));
+  EXPECT_EQ(s.now(), milliseconds(5));
+}
+
+TEST(SimulatorTest, DeliversInTimestampOrderAcrossNesting) {
+  Simulator s;
+  std::vector<int> order;
+  s.schedule_at(10, [&] {
+    order.push_back(1);
+    s.schedule_at(15, [&] { order.push_back(2); });
+    s.schedule_at(30, [&] { order.push_back(4); });
+  });
+  s.schedule_at(20, [&] { order.push_back(3); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4}));
+}
+
+TEST(SimulatorTest, RunReturnsDeliveredCount) {
+  Simulator s;
+  for (int i = 0; i < 5; ++i) s.schedule_at(i, [] {});
+  EXPECT_EQ(s.run(), 5U);
+  EXPECT_EQ(s.events_delivered(), 5U);
+}
+
+TEST(SimulatorTest, StopHaltsDelivery) {
+  Simulator s;
+  int delivered = 0;
+  s.schedule_at(1, [&] {
+    ++delivered;
+    s.stop();
+  });
+  s.schedule_at(2, [&] { ++delivered; });
+  s.run();
+  EXPECT_EQ(delivered, 1);
+  EXPECT_TRUE(s.stopped());
+  EXPECT_EQ(s.pending_events(), 1U);
+}
+
+TEST(SimulatorTest, RunUntilStopsBeforeLaterEvents) {
+  Simulator s;
+  int delivered = 0;
+  s.schedule_at(10, [&] { ++delivered; });
+  s.schedule_at(20, [&] { ++delivered; });
+  s.schedule_at(30, [&] { ++delivered; });
+  EXPECT_EQ(s.run_until(20), 2U);  // events at exactly the deadline run
+  EXPECT_EQ(delivered, 2);
+  EXPECT_EQ(s.now(), 20);
+}
+
+TEST(SimulatorTest, RunUntilAdvancesClockWhenQueueDrains) {
+  Simulator s;
+  s.schedule_at(5, [] {});
+  s.run_until(100);
+  EXPECT_EQ(s.now(), 100);
+}
+
+TEST(SimulatorTest, CancelStopsScheduledEvent) {
+  Simulator s;
+  bool fired = false;
+  const EventId id = s.schedule_at(10, [&] { fired = true; });
+  EXPECT_TRUE(s.cancel(id));
+  s.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(SimulatorTest, ZeroDelayRunsAtCurrentTime) {
+  Simulator s;
+  SimTime inner = -1;
+  s.schedule_at(7, [&] {
+    s.schedule_after(0, [&] { inner = s.now(); });
+  });
+  s.run();
+  EXPECT_EQ(inner, 7);
+}
+
+TEST(SimulatorTest, StepDeliversOneEvent) {
+  Simulator s;
+  int delivered = 0;
+  s.schedule_at(1, [&] { ++delivered; });
+  s.schedule_at(2, [&] { ++delivered; });
+  EXPECT_TRUE(s.step());
+  EXPECT_EQ(delivered, 1);
+  EXPECT_TRUE(s.step());
+  EXPECT_FALSE(s.step());
+}
+
+TEST(SimulatorDeathTest, SchedulingInThePastAborts) {
+  Simulator s;
+  s.schedule_at(10, [] {});
+  s.run();
+  EXPECT_DEATH(s.schedule_at(5, [] {}), "DAS_REQUIRE");
+}
+
+TEST(SimulatorDeathTest, NegativeDelayAborts) {
+  Simulator s;
+  EXPECT_DEATH(s.schedule_after(-1, [] {}), "DAS_REQUIRE");
+}
+
+}  // namespace
+}  // namespace das::sim

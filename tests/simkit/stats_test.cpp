@@ -1,0 +1,111 @@
+#include "simkit/stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace das::sim {
+namespace {
+
+TEST(CounterTest, AccumulatesAndResets) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0U);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42U);
+  c.reset();
+  EXPECT_EQ(c.value(), 0U);
+}
+
+TEST(GaugeTest, TimeWeightedAverage) {
+  TimeWeightedGauge g;
+  g.set(0, 10.0);   // 10 held for [0, 100)
+  g.set(100, 20.0); // 20 held for [100, 300)
+  EXPECT_DOUBLE_EQ(g.average(300), (10.0 * 100 + 20.0 * 200) / 300.0);
+}
+
+TEST(GaugeTest, AverageBeforeFirstUpdateIsCurrent) {
+  TimeWeightedGauge g;
+  EXPECT_DOUBLE_EQ(g.average(50), 0.0);
+  g.set(10, 7.0);
+  EXPECT_DOUBLE_EQ(g.average(10), 7.0);
+}
+
+TEST(GaugeTest, TracksMaximum) {
+  TimeWeightedGauge g;
+  g.set(0, 1.0);
+  g.set(1, 9.0);
+  g.set(2, 3.0);
+  EXPECT_DOUBLE_EQ(g.maximum(), 9.0);
+  EXPECT_DOUBLE_EQ(g.current(), 3.0);
+}
+
+TEST(HistogramTest, CountSumMean) {
+  Histogram h;
+  h.record(1.0);
+  h.record(2.0);
+  h.record(3.0);
+  EXPECT_EQ(h.count(), 3U);
+  EXPECT_DOUBLE_EQ(h.sum(), 6.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 2.0);
+}
+
+TEST(HistogramTest, MinMax) {
+  Histogram h;
+  h.record(5.0);
+  h.record(-1.0);
+  h.record(3.0);
+  EXPECT_DOUBLE_EQ(h.min(), -1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 5.0);
+}
+
+TEST(HistogramTest, NearestRankQuantiles) {
+  Histogram h;
+  for (int i = 1; i <= 100; ++i) h.record(i);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 50.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 99.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 100.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 1.0);
+}
+
+TEST(HistogramTest, QuantileAfterInterleavedRecords) {
+  Histogram h;
+  h.record(3.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 3.0);
+  h.record(1.0);  // forces a re-sort on next query
+  h.record(2.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 2.0);
+}
+
+TEST(HistogramTest, ResetClears) {
+  Histogram h;
+  h.record(1.0);
+  h.reset();
+  EXPECT_EQ(h.count(), 0U);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+}
+
+TEST(HistogramDeathTest, QuantileOfEmptyAborts) {
+  Histogram h;
+  EXPECT_DEATH(h.quantile(0.5), "DAS_REQUIRE");
+}
+
+TEST(RegistryTest, FindOrCreateReturnsSameInstance) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("x");
+  a.add(5);
+  EXPECT_EQ(reg.counter("x").value(), 5U);
+  EXPECT_EQ(reg.counters().size(), 1U);
+}
+
+TEST(RegistryTest, ReportListsAllMetrics) {
+  MetricsRegistry reg;
+  reg.counter("reads").add(3);
+  reg.histogram("latency").record(0.5);
+  reg.gauge("depth").set(0, 2.0);
+  const std::string report = reg.report(100);
+  EXPECT_NE(report.find("reads = 3"), std::string::npos);
+  EXPECT_NE(report.find("latency"), std::string::npos);
+  EXPECT_NE(report.find("depth"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace das::sim

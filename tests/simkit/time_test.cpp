@@ -1,0 +1,53 @@
+#include "simkit/time.hpp"
+
+#include <gtest/gtest.h>
+
+namespace das::sim {
+namespace {
+
+TEST(TimeTest, UnitConstructors) {
+  EXPECT_EQ(nanoseconds(5), 5);
+  EXPECT_EQ(microseconds(5), 5'000);
+  EXPECT_EQ(milliseconds(5), 5'000'000);
+  EXPECT_EQ(seconds(5), 5'000'000'000);
+}
+
+TEST(TimeTest, FractionalSecondsRound) {
+  EXPECT_EQ(seconds(1.5), 1'500'000'000);
+  EXPECT_EQ(seconds(0.0000000014), 1);  // rounds to nearest ns
+  EXPECT_EQ(seconds(-2.5), -2'500'000'000);
+}
+
+TEST(TimeTest, ConversionRoundTrip) {
+  EXPECT_DOUBLE_EQ(to_seconds(seconds(3)), 3.0);
+  EXPECT_DOUBLE_EQ(to_milliseconds(milliseconds(7)), 7.0);
+  EXPECT_DOUBLE_EQ(to_seconds(microseconds(1)), 1e-6);
+}
+
+TEST(TransferTimeTest, ExactDivision) {
+  // 1 MiB at 1 MiB/s = 1 s.
+  EXPECT_EQ(transfer_time(1024 * 1024, 1024.0 * 1024), seconds(1));
+}
+
+TEST(TransferTimeTest, ZeroBytesIsFree) {
+  EXPECT_EQ(transfer_time(0, 100.0), 0);
+}
+
+TEST(TransferTimeTest, TinyTransfersNeverTakeZeroTime) {
+  // 1 byte at 100 GB/s would truncate to 0 ns; the model clamps to 1 ns so
+  // event ordering stays strict.
+  EXPECT_GE(transfer_time(1, 1e11), 1);
+}
+
+TEST(TransferTimeTest, ScalesLinearly) {
+  const auto one = transfer_time(1'000'000, 1e6);
+  const auto ten = transfer_time(10'000'000, 1e6);
+  EXPECT_EQ(ten, 10 * one);
+}
+
+TEST(TimeTest, InfinityIsLargerThanAnyPracticalTime) {
+  EXPECT_GT(kTimeInfinity, seconds(86400LL * 365 * 100));
+}
+
+}  // namespace
+}  // namespace das::sim

@@ -1,0 +1,54 @@
+#include "storage/compute_engine.hpp"
+
+#include <gtest/gtest.h>
+
+namespace das::storage {
+namespace {
+
+TEST(ComputeEngineTest, BaselineRate) {
+  ComputeEngine e(ComputeConfig{1024 * 1024, 1});
+  EXPECT_EQ(e.execute(0, 1024 * 1024), sim::seconds(1));
+}
+
+TEST(ComputeEngineTest, CoresMultiplyThroughput) {
+  ComputeEngine e(ComputeConfig{1024 * 1024, 4});
+  EXPECT_EQ(e.execute(0, 4 * 1024 * 1024), sim::seconds(1));
+}
+
+TEST(ComputeEngineTest, CostFactorSlowsProcessing) {
+  ComputeEngine e(ComputeConfig{1024 * 1024, 1});
+  EXPECT_EQ(e.execute(0, 1024 * 1024, 2.0), sim::seconds(2));
+}
+
+TEST(ComputeEngineTest, CheapKernelSpeedsUp) {
+  ComputeEngine e(ComputeConfig{1024 * 1024, 1});
+  EXPECT_EQ(e.execute(0, 1024 * 1024, 0.5), sim::milliseconds(500));
+}
+
+TEST(ComputeEngineTest, WorkQueuesSerially) {
+  ComputeEngine e(ComputeConfig{1024 * 1024, 1});
+  e.execute(0, 1024 * 1024);
+  EXPECT_EQ(e.execute(0, 1024 * 1024), sim::seconds(2));
+}
+
+TEST(ComputeEngineTest, Accounting) {
+  ComputeEngine e(ComputeConfig{1024 * 1024, 1});
+  e.execute(0, 1000);
+  e.execute(sim::seconds(5), 2000);
+  EXPECT_EQ(e.bytes_processed(), 3000U);
+  EXPECT_LT(e.busy_time(), sim::seconds(1));
+}
+
+TEST(ComputeEngineTest, ZeroBytesInstantaneous) {
+  ComputeEngine e(ComputeConfig{1024 * 1024, 1});
+  EXPECT_EQ(e.execute(3, 0), 3);
+}
+
+TEST(ComputeEngineDeathTest, BadArgsAbort) {
+  EXPECT_DEATH(ComputeEngine(ComputeConfig{0.0, 1}), "DAS_REQUIRE");
+  ComputeEngine e(ComputeConfig{1.0, 1});
+  EXPECT_DEATH(e.execute(0, 1, 0.0), "DAS_REQUIRE");
+}
+
+}  // namespace
+}  // namespace das::storage

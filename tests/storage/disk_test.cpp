@@ -1,0 +1,75 @@
+#include "storage/disk.hpp"
+
+#include <gtest/gtest.h>
+
+namespace das::storage {
+namespace {
+
+DiskConfig test_config() {
+  DiskConfig cfg;
+  cfg.bandwidth_bps = 1024 * 1024;  // 1 MiB/s
+  cfg.seek_time = sim::milliseconds(10);
+  return cfg;
+}
+
+TEST(DiskTest, FirstAccessPaysSeek) {
+  Disk d(test_config());
+  const auto done = d.read(0, 0, 1024 * 1024);
+  EXPECT_EQ(done, sim::seconds(1) + sim::milliseconds(10));
+  EXPECT_EQ(d.seeks(), 1U);
+}
+
+TEST(DiskTest, SequentialAccessSkipsSeek) {
+  Disk d(test_config());
+  d.read(0, 0, 512 * 1024);
+  const auto done = d.read(0, 512 * 1024, 512 * 1024);
+  EXPECT_EQ(done, sim::seconds(1) + sim::milliseconds(10));  // one seek only
+  EXPECT_EQ(d.seeks(), 1U);
+}
+
+TEST(DiskTest, NonSequentialOffsetSeeksAgain) {
+  Disk d(test_config());
+  d.read(0, 0, 1024);
+  d.read(0, 999999, 1024);
+  EXPECT_EQ(d.seeks(), 2U);
+}
+
+TEST(DiskTest, RequestsQueueSerially) {
+  Disk d(test_config());
+  d.read(0, 0, 1024 * 1024);
+  const auto done = d.read(0, 1024 * 1024, 1024 * 1024);
+  // Second starts when the first finishes, no extra seek (sequential).
+  EXPECT_EQ(done, sim::seconds(2) + sim::milliseconds(10));
+}
+
+TEST(DiskTest, WritesAndReadsShareTheSpindle) {
+  Disk d(test_config());
+  d.read(0, 0, 1024 * 1024);
+  const auto done = d.write(0, 1024 * 1024, 1024 * 1024);
+  EXPECT_GE(done, sim::seconds(2));
+  EXPECT_EQ(d.bytes_read(), 1024U * 1024);
+  EXPECT_EQ(d.bytes_written(), 1024U * 1024);
+}
+
+TEST(DiskTest, BusyTimeExcludesIdleGaps) {
+  Disk d(test_config());
+  d.read(0, 0, 1024 * 1024);
+  d.read(sim::seconds(100), 1024 * 1024, 1024 * 1024);
+  EXPECT_EQ(d.busy_time(), sim::seconds(2) + sim::milliseconds(10));
+}
+
+TEST(DiskTest, WriteAfterReadAtSameSpotIsSequential) {
+  Disk d(test_config());
+  d.read(0, 0, 4096);
+  d.write(0, 4096, 4096);
+  EXPECT_EQ(d.seeks(), 1U);
+}
+
+TEST(DiskDeathTest, BadConfigAborts) {
+  DiskConfig cfg;
+  cfg.bandwidth_bps = -1.0;
+  EXPECT_DEATH(Disk{cfg}, "DAS_REQUIRE");
+}
+
+}  // namespace
+}  // namespace das::storage

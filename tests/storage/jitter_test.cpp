@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include "core/scheme.hpp"
+#include "storage/disk.hpp"
+
+namespace das {
+namespace {
+
+storage::DiskConfig jittered(double jitter, std::uint64_t seed) {
+  storage::DiskConfig cfg;
+  cfg.bandwidth_bps = 1024 * 1024;
+  cfg.seek_time = 0;
+  cfg.jitter = jitter;
+  cfg.seed = seed;
+  return cfg;
+}
+
+TEST(DiskJitterTest, ZeroJitterIsExact) {
+  storage::Disk d(jittered(0.0, 1));
+  EXPECT_EQ(d.read(0, 0, 1024 * 1024), sim::seconds(1));
+}
+
+TEST(DiskJitterTest, JitterStaysWithinTheBand) {
+  storage::Disk d(jittered(0.25, 7));
+  sim::SimTime previous_end = 0;
+  for (int i = 0; i < 200; ++i) {
+    const sim::SimTime end =
+        d.read(previous_end, static_cast<std::uint64_t>(i) * 999983, 1024 * 1024);
+    const auto span = end - previous_end;
+    EXPECT_GE(span, sim::seconds(0.75));
+    EXPECT_LE(span, sim::seconds(1.25));
+    previous_end = end;
+  }
+}
+
+TEST(DiskJitterTest, SameSeedReproduces) {
+  storage::Disk a(jittered(0.3, 42));
+  storage::Disk b(jittered(0.3, 42));
+  for (int i = 0; i < 50; ++i) {
+    const auto off = static_cast<std::uint64_t>(i) * 7919;
+    EXPECT_EQ(a.read(0, off, 4096), b.read(0, off, 4096));
+  }
+}
+
+TEST(DiskJitterTest, DifferentSeedsDiverge) {
+  storage::Disk a(jittered(0.3, 1));
+  storage::Disk b(jittered(0.3, 2));
+  int equal = 0;
+  for (int i = 0; i < 50; ++i) {
+    const auto off = static_cast<std::uint64_t>(i) * 7919;
+    if (a.read(0, off, 4096) == b.read(0, off, 4096)) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(DiskJitterDeathTest, JitterOutOfRangeAborts) {
+  EXPECT_DEATH(storage::Disk(jittered(1.0, 1)), "DAS_REQUIRE");
+  storage::DiskConfig cfg;
+  cfg.jitter = -0.1;
+  EXPECT_DEATH(storage::Disk{cfg}, "DAS_REQUIRE");
+}
+
+core::SchemeRunOptions jitter_run(double jitter, std::uint64_t seed) {
+  core::SchemeRunOptions o;
+  o.scheme = core::Scheme::kDAS;
+  o.workload.kernel_name = "flow-routing";
+  o.workload.data_bytes = 1ULL << 30;
+  o.workload.strip_size = 1ULL << 20;
+  o.workload.raster_width =
+      static_cast<std::uint32_t>(o.workload.strip_size / 4) - 1;
+  o.cluster.storage_nodes = 4;
+  o.cluster.compute_nodes = 4;
+  o.cluster.job_startup = 0;
+  o.cluster.disk_jitter = jitter;
+  o.cluster.seed = seed;
+  return o;
+}
+
+TEST(ClusterJitterTest, DeterministicWithoutJitter) {
+  const auto a = core::run_scheme(jitter_run(0.0, 1));
+  const auto b = core::run_scheme(jitter_run(0.0, 2));  // seed irrelevant
+  EXPECT_DOUBLE_EQ(a.exec_seconds, b.exec_seconds);
+}
+
+TEST(ClusterJitterTest, SeedReproducesJitteredRuns) {
+  const auto a = core::run_scheme(jitter_run(0.2, 99));
+  const auto b = core::run_scheme(jitter_run(0.2, 99));
+  EXPECT_DOUBLE_EQ(a.exec_seconds, b.exec_seconds);
+}
+
+TEST(ClusterJitterTest, SeedsProduceTrialVariance) {
+  const auto a = core::run_scheme(jitter_run(0.2, 1));
+  const auto b = core::run_scheme(jitter_run(0.2, 2));
+  EXPECT_NE(a.exec_seconds, b.exec_seconds);
+  // Jitter perturbs timing, never the bytes moved.
+  EXPECT_EQ(a.server_server_bytes, b.server_server_bytes);
+  EXPECT_EQ(a.client_server_bytes, b.client_server_bytes);
+}
+
+TEST(ClusterJitterTest, JitteredRunStaysNearTheNominalTime) {
+  const double nominal = core::run_scheme(jitter_run(0.0, 1)).exec_seconds;
+  const double jittery = core::run_scheme(jitter_run(0.2, 1)).exec_seconds;
+  EXPECT_NEAR(jittery, nominal, 0.25 * nominal);
+}
+
+}  // namespace
+}  // namespace das

@@ -1,0 +1,126 @@
+// das_sim — command-line driver for the simulator.
+//
+// Runs any (scheme, kernel, size, cluster) combination with full control
+// over the model parameters, optionally repeating trials under disk jitter
+// and reporting mean +- stddev, and optionally emitting CSV for plotting.
+//
+//   das_sim [--scheme=all|TS|NAS|DAS] [--kernel=all|<name>]
+//           [--gib=24] [--nodes=24] [--trials=1] [--csv]
+//           [--strip-kib=1024] [--group=16] [--budget=0.25]
+//           [--pipeline=1] [--pre-distributed=true]
+//           [--nic-mibps=110] [--disk-mibps=700] [--compute-mibps=450]
+//           [--startup-s=12] [--jitter=0] [--stragglers=0] [--slowdown=1]
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "core/scheme.hpp"
+#include "kernels/registry.hpp"
+#include "runner/args.hpp"
+#include "runner/paper.hpp"
+
+namespace {
+
+std::vector<das::core::Scheme> parse_schemes(const std::string& arg) {
+  using das::core::Scheme;
+  if (arg == "all") return {Scheme::kNAS, Scheme::kDAS, Scheme::kTS};
+  if (arg == "TS" || arg == "ts") return {Scheme::kTS};
+  if (arg == "NAS" || arg == "nas") return {Scheme::kNAS};
+  if (arg == "DAS" || arg == "das") return {Scheme::kDAS};
+  throw std::invalid_argument("unknown scheme: " + arg);
+}
+
+std::vector<std::string> parse_kernels(const std::string& arg) {
+  const auto registry = das::kernels::standard_registry();
+  if (arg == "all") return registry.names();
+  if (!registry.contains(arg)) {
+    throw std::invalid_argument("unknown kernel: " + arg);
+  }
+  return {arg};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using das::core::RunReport;
+
+  try {
+    const das::runner::Args args(argc, argv);
+    const auto schemes = parse_schemes(args.get("scheme", "all"));
+    const auto kernels = parse_kernels(args.get("kernel", "flow-routing"));
+    const auto gib = static_cast<std::uint64_t>(args.get_int("gib", 24));
+    const auto nodes = static_cast<std::uint32_t>(args.get_int("nodes", 24));
+    const auto trials = static_cast<std::uint32_t>(args.get_int("trials", 1));
+    const bool csv = args.get_bool("csv", false);
+
+    das::core::SchemeRunOptions base;
+    base.workload.data_bytes = gib << 30;
+    base.workload.strip_size =
+        static_cast<std::uint64_t>(args.get_int("strip-kib", 1024)) << 10;
+    base.workload.raster_width = static_cast<std::uint32_t>(
+        base.workload.strip_size / base.workload.element_size - 1);
+    base.cluster = das::runner::paper_cluster(nodes);
+    base.cluster.nic_bandwidth_bps =
+        static_cast<double>(args.get_int("nic-mibps", 110)) * 1024 * 1024;
+    base.cluster.disk_bandwidth_bps =
+        static_cast<double>(args.get_int("disk-mibps", 700)) * 1024 * 1024;
+    base.cluster.compute_rate_bps =
+        static_cast<double>(args.get_int("compute-mibps", 450)) * 1024 * 1024;
+    base.cluster.job_startup =
+        das::sim::seconds(args.get_int("startup-s", 12));
+    base.cluster.disk_jitter =
+        static_cast<double>(args.get_int("jitter-pct", 0)) / 100.0;
+    base.cluster.straggler_count =
+        static_cast<std::uint32_t>(args.get_int("stragglers", 0));
+    base.cluster.straggler_slowdown =
+        static_cast<double>(args.get_int("slowdown", 1));
+    base.distribution.group_size =
+        static_cast<std::uint64_t>(args.get_int("group", 16));
+    base.distribution.max_capacity_overhead =
+        static_cast<double>(args.get_int("budget-pct", 25)) / 100.0;
+    base.pipeline_length =
+        static_cast<std::uint32_t>(args.get_int("pipeline", 1));
+    base.pre_distributed = args.get_bool("pre-distributed", true);
+    if (const std::string u = args.unused(); !u.empty()) {
+      std::cerr << "unknown flags: " << u << "\n";
+      return 2;
+    }
+
+    if (csv) std::printf("%s,trial\n", das::core::report_csv_header().c_str());
+
+    std::vector<RunReport> table;
+    for (const std::string& kernel : kernels) {
+      for (const das::core::Scheme scheme : schemes) {
+        double sum = 0.0, sum2 = 0.0;
+        RunReport last;
+        for (std::uint32_t trial = 0; trial < trials; ++trial) {
+          das::core::SchemeRunOptions o = base;
+          o.scheme = scheme;
+          o.workload.kernel_name = kernel;
+          o.cluster.seed = base.cluster.seed + trial * 1000003;
+          last = das::core::run_scheme(o);
+          sum += last.exec_seconds;
+          sum2 += last.exec_seconds * last.exec_seconds;
+          if (csv) {
+            std::printf("%s,%u\n", das::core::to_csv(last).c_str(), trial);
+          }
+        }
+        table.push_back(last);
+        if (trials > 1 && !csv) {
+          const double n = trials;
+          const double mean = sum / n;
+          const double var = std::max(0.0, sum2 / n - mean * mean);
+          std::printf("%s %-18s over %u trials: %.2f +- %.2f s\n",
+                      to_string(scheme), kernel.c_str(), trials, mean,
+                      std::sqrt(var));
+        }
+      }
+    }
+    if (!csv) std::printf("\n%s", das::core::format_report_table(table).c_str());
+    return 0;
+  } catch (const std::exception& error) {
+    std::cerr << "das_sim: " << error.what() << "\n";
+    return 2;
+  }
+}
