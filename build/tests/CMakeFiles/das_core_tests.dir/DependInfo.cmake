@@ -1,0 +1,43 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/as_client_test.cpp" "tests/CMakeFiles/das_core_tests.dir/core/as_client_test.cpp.o" "gcc" "tests/CMakeFiles/das_core_tests.dir/core/as_client_test.cpp.o.d"
+  "/root/repo/tests/core/bandwidth_model_test.cpp" "tests/CMakeFiles/das_core_tests.dir/core/bandwidth_model_test.cpp.o" "gcc" "tests/CMakeFiles/das_core_tests.dir/core/bandwidth_model_test.cpp.o.d"
+  "/root/repo/tests/core/cluster_test.cpp" "tests/CMakeFiles/das_core_tests.dir/core/cluster_test.cpp.o" "gcc" "tests/CMakeFiles/das_core_tests.dir/core/cluster_test.cpp.o.d"
+  "/root/repo/tests/core/completion_test.cpp" "tests/CMakeFiles/das_core_tests.dir/core/completion_test.cpp.o" "gcc" "tests/CMakeFiles/das_core_tests.dir/core/completion_test.cpp.o.d"
+  "/root/repo/tests/core/concurrency_test.cpp" "tests/CMakeFiles/das_core_tests.dir/core/concurrency_test.cpp.o" "gcc" "tests/CMakeFiles/das_core_tests.dir/core/concurrency_test.cpp.o.d"
+  "/root/repo/tests/core/decision_test.cpp" "tests/CMakeFiles/das_core_tests.dir/core/decision_test.cpp.o" "gcc" "tests/CMakeFiles/das_core_tests.dir/core/decision_test.cpp.o.d"
+  "/root/repo/tests/core/executor_test.cpp" "tests/CMakeFiles/das_core_tests.dir/core/executor_test.cpp.o" "gcc" "tests/CMakeFiles/das_core_tests.dir/core/executor_test.cpp.o.d"
+  "/root/repo/tests/core/forecast_vs_sim_test.cpp" "tests/CMakeFiles/das_core_tests.dir/core/forecast_vs_sim_test.cpp.o" "gcc" "tests/CMakeFiles/das_core_tests.dir/core/forecast_vs_sim_test.cpp.o.d"
+  "/root/repo/tests/core/ingest_test.cpp" "tests/CMakeFiles/das_core_tests.dir/core/ingest_test.cpp.o" "gcc" "tests/CMakeFiles/das_core_tests.dir/core/ingest_test.cpp.o.d"
+  "/root/repo/tests/core/metrics_test.cpp" "tests/CMakeFiles/das_core_tests.dir/core/metrics_test.cpp.o" "gcc" "tests/CMakeFiles/das_core_tests.dir/core/metrics_test.cpp.o.d"
+  "/root/repo/tests/core/pipeline_test.cpp" "tests/CMakeFiles/das_core_tests.dir/core/pipeline_test.cpp.o" "gcc" "tests/CMakeFiles/das_core_tests.dir/core/pipeline_test.cpp.o.d"
+  "/root/repo/tests/core/planner_test.cpp" "tests/CMakeFiles/das_core_tests.dir/core/planner_test.cpp.o" "gcc" "tests/CMakeFiles/das_core_tests.dir/core/planner_test.cpp.o.d"
+  "/root/repo/tests/core/reduction_test.cpp" "tests/CMakeFiles/das_core_tests.dir/core/reduction_test.cpp.o" "gcc" "tests/CMakeFiles/das_core_tests.dir/core/reduction_test.cpp.o.d"
+  "/root/repo/tests/core/scheme_test.cpp" "tests/CMakeFiles/das_core_tests.dir/core/scheme_test.cpp.o" "gcc" "tests/CMakeFiles/das_core_tests.dir/core/scheme_test.cpp.o.d"
+  "/root/repo/tests/core/straggler_test.cpp" "tests/CMakeFiles/das_core_tests.dir/core/straggler_test.cpp.o" "gcc" "tests/CMakeFiles/das_core_tests.dir/core/straggler_test.cpp.o.d"
+  "/root/repo/tests/core/window_test.cpp" "tests/CMakeFiles/das_core_tests.dir/core/window_test.cpp.o" "gcc" "tests/CMakeFiles/das_core_tests.dir/core/window_test.cpp.o.d"
+  "/root/repo/tests/core/workload_test.cpp" "tests/CMakeFiles/das_core_tests.dir/core/workload_test.cpp.o" "gcc" "tests/CMakeFiles/das_core_tests.dir/core/workload_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/das_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/runner/CMakeFiles/das_runner.dir/DependInfo.cmake"
+  "/root/repo/build/src/pfs/CMakeFiles/das_pfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/das_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/das_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/das_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/das_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/simkit/CMakeFiles/das_simkit.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/das_grid_tests.dir/grid/dem_test.cpp.o"
+  "CMakeFiles/das_grid_tests.dir/grid/dem_test.cpp.o.d"
+  "CMakeFiles/das_grid_tests.dir/grid/grid_test.cpp.o"
+  "CMakeFiles/das_grid_tests.dir/grid/grid_test.cpp.o.d"
+  "CMakeFiles/das_grid_tests.dir/grid/image_test.cpp.o"
+  "CMakeFiles/das_grid_tests.dir/grid/image_test.cpp.o.d"
+  "CMakeFiles/das_grid_tests.dir/grid/serialize_test.cpp.o"
+  "CMakeFiles/das_grid_tests.dir/grid/serialize_test.cpp.o.d"
+  "das_grid_tests"
+  "das_grid_tests.pdb"
+  "das_grid_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/das_grid_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

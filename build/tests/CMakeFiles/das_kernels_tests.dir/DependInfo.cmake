@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/kernels/catalog_test.cpp" "tests/CMakeFiles/das_kernels_tests.dir/kernels/catalog_test.cpp.o" "gcc" "tests/CMakeFiles/das_kernels_tests.dir/kernels/catalog_test.cpp.o.d"
+  "/root/repo/tests/kernels/features_test.cpp" "tests/CMakeFiles/das_kernels_tests.dir/kernels/features_test.cpp.o" "gcc" "tests/CMakeFiles/das_kernels_tests.dir/kernels/features_test.cpp.o.d"
+  "/root/repo/tests/kernels/flow_accumulation_test.cpp" "tests/CMakeFiles/das_kernels_tests.dir/kernels/flow_accumulation_test.cpp.o" "gcc" "tests/CMakeFiles/das_kernels_tests.dir/kernels/flow_accumulation_test.cpp.o.d"
+  "/root/repo/tests/kernels/flow_routing_test.cpp" "tests/CMakeFiles/das_kernels_tests.dir/kernels/flow_routing_test.cpp.o" "gcc" "tests/CMakeFiles/das_kernels_tests.dir/kernels/flow_routing_test.cpp.o.d"
+  "/root/repo/tests/kernels/gaussian_test.cpp" "tests/CMakeFiles/das_kernels_tests.dir/kernels/gaussian_test.cpp.o" "gcc" "tests/CMakeFiles/das_kernels_tests.dir/kernels/gaussian_test.cpp.o.d"
+  "/root/repo/tests/kernels/laplacian_test.cpp" "tests/CMakeFiles/das_kernels_tests.dir/kernels/laplacian_test.cpp.o" "gcc" "tests/CMakeFiles/das_kernels_tests.dir/kernels/laplacian_test.cpp.o.d"
+  "/root/repo/tests/kernels/median_test.cpp" "tests/CMakeFiles/das_kernels_tests.dir/kernels/median_test.cpp.o" "gcc" "tests/CMakeFiles/das_kernels_tests.dir/kernels/median_test.cpp.o.d"
+  "/root/repo/tests/kernels/registry_test.cpp" "tests/CMakeFiles/das_kernels_tests.dir/kernels/registry_test.cpp.o" "gcc" "tests/CMakeFiles/das_kernels_tests.dir/kernels/registry_test.cpp.o.d"
+  "/root/repo/tests/kernels/slope_test.cpp" "tests/CMakeFiles/das_kernels_tests.dir/kernels/slope_test.cpp.o" "gcc" "tests/CMakeFiles/das_kernels_tests.dir/kernels/slope_test.cpp.o.d"
+  "/root/repo/tests/kernels/statistics_test.cpp" "tests/CMakeFiles/das_kernels_tests.dir/kernels/statistics_test.cpp.o" "gcc" "tests/CMakeFiles/das_kernels_tests.dir/kernels/statistics_test.cpp.o.d"
+  "/root/repo/tests/kernels/tiling_test.cpp" "tests/CMakeFiles/das_kernels_tests.dir/kernels/tiling_test.cpp.o" "gcc" "tests/CMakeFiles/das_kernels_tests.dir/kernels/tiling_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/das_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/runner/CMakeFiles/das_runner.dir/DependInfo.cmake"
+  "/root/repo/build/src/pfs/CMakeFiles/das_pfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/das_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/das_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/das_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/das_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/simkit/CMakeFiles/das_simkit.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

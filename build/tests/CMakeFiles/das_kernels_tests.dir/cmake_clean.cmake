@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/das_kernels_tests.dir/kernels/catalog_test.cpp.o"
+  "CMakeFiles/das_kernels_tests.dir/kernels/catalog_test.cpp.o.d"
+  "CMakeFiles/das_kernels_tests.dir/kernels/features_test.cpp.o"
+  "CMakeFiles/das_kernels_tests.dir/kernels/features_test.cpp.o.d"
+  "CMakeFiles/das_kernels_tests.dir/kernels/flow_accumulation_test.cpp.o"
+  "CMakeFiles/das_kernels_tests.dir/kernels/flow_accumulation_test.cpp.o.d"
+  "CMakeFiles/das_kernels_tests.dir/kernels/flow_routing_test.cpp.o"
+  "CMakeFiles/das_kernels_tests.dir/kernels/flow_routing_test.cpp.o.d"
+  "CMakeFiles/das_kernels_tests.dir/kernels/gaussian_test.cpp.o"
+  "CMakeFiles/das_kernels_tests.dir/kernels/gaussian_test.cpp.o.d"
+  "CMakeFiles/das_kernels_tests.dir/kernels/laplacian_test.cpp.o"
+  "CMakeFiles/das_kernels_tests.dir/kernels/laplacian_test.cpp.o.d"
+  "CMakeFiles/das_kernels_tests.dir/kernels/median_test.cpp.o"
+  "CMakeFiles/das_kernels_tests.dir/kernels/median_test.cpp.o.d"
+  "CMakeFiles/das_kernels_tests.dir/kernels/registry_test.cpp.o"
+  "CMakeFiles/das_kernels_tests.dir/kernels/registry_test.cpp.o.d"
+  "CMakeFiles/das_kernels_tests.dir/kernels/slope_test.cpp.o"
+  "CMakeFiles/das_kernels_tests.dir/kernels/slope_test.cpp.o.d"
+  "CMakeFiles/das_kernels_tests.dir/kernels/statistics_test.cpp.o"
+  "CMakeFiles/das_kernels_tests.dir/kernels/statistics_test.cpp.o.d"
+  "CMakeFiles/das_kernels_tests.dir/kernels/tiling_test.cpp.o"
+  "CMakeFiles/das_kernels_tests.dir/kernels/tiling_test.cpp.o.d"
+  "das_kernels_tests"
+  "das_kernels_tests.pdb"
+  "das_kernels_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/das_kernels_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

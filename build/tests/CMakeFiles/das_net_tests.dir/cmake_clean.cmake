@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/das_net_tests.dir/net/network_test.cpp.o"
+  "CMakeFiles/das_net_tests.dir/net/network_test.cpp.o.d"
+  "CMakeFiles/das_net_tests.dir/net/nic_test.cpp.o"
+  "CMakeFiles/das_net_tests.dir/net/nic_test.cpp.o.d"
+  "das_net_tests"
+  "das_net_tests.pdb"
+  "das_net_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/das_net_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

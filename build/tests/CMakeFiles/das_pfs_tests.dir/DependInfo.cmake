@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/pfs/client_edge_test.cpp" "tests/CMakeFiles/das_pfs_tests.dir/pfs/client_edge_test.cpp.o" "gcc" "tests/CMakeFiles/das_pfs_tests.dir/pfs/client_edge_test.cpp.o.d"
+  "/root/repo/tests/pfs/file_test.cpp" "tests/CMakeFiles/das_pfs_tests.dir/pfs/file_test.cpp.o" "gcc" "tests/CMakeFiles/das_pfs_tests.dir/pfs/file_test.cpp.o.d"
+  "/root/repo/tests/pfs/layout_fuzz_test.cpp" "tests/CMakeFiles/das_pfs_tests.dir/pfs/layout_fuzz_test.cpp.o" "gcc" "tests/CMakeFiles/das_pfs_tests.dir/pfs/layout_fuzz_test.cpp.o.d"
+  "/root/repo/tests/pfs/layout_test.cpp" "tests/CMakeFiles/das_pfs_tests.dir/pfs/layout_test.cpp.o" "gcc" "tests/CMakeFiles/das_pfs_tests.dir/pfs/layout_test.cpp.o.d"
+  "/root/repo/tests/pfs/local_io_test.cpp" "tests/CMakeFiles/das_pfs_tests.dir/pfs/local_io_test.cpp.o" "gcc" "tests/CMakeFiles/das_pfs_tests.dir/pfs/local_io_test.cpp.o.d"
+  "/root/repo/tests/pfs/metadata_test.cpp" "tests/CMakeFiles/das_pfs_tests.dir/pfs/metadata_test.cpp.o" "gcc" "tests/CMakeFiles/das_pfs_tests.dir/pfs/metadata_test.cpp.o.d"
+  "/root/repo/tests/pfs/redistribute_test.cpp" "tests/CMakeFiles/das_pfs_tests.dir/pfs/redistribute_test.cpp.o" "gcc" "tests/CMakeFiles/das_pfs_tests.dir/pfs/redistribute_test.cpp.o.d"
+  "/root/repo/tests/pfs/server_client_test.cpp" "tests/CMakeFiles/das_pfs_tests.dir/pfs/server_client_test.cpp.o" "gcc" "tests/CMakeFiles/das_pfs_tests.dir/pfs/server_client_test.cpp.o.d"
+  "/root/repo/tests/pfs/store_test.cpp" "tests/CMakeFiles/das_pfs_tests.dir/pfs/store_test.cpp.o" "gcc" "tests/CMakeFiles/das_pfs_tests.dir/pfs/store_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/das_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/runner/CMakeFiles/das_runner.dir/DependInfo.cmake"
+  "/root/repo/build/src/pfs/CMakeFiles/das_pfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/das_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/das_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/das_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/das_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/simkit/CMakeFiles/das_simkit.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/das_pfs_tests.dir/pfs/client_edge_test.cpp.o"
+  "CMakeFiles/das_pfs_tests.dir/pfs/client_edge_test.cpp.o.d"
+  "CMakeFiles/das_pfs_tests.dir/pfs/file_test.cpp.o"
+  "CMakeFiles/das_pfs_tests.dir/pfs/file_test.cpp.o.d"
+  "CMakeFiles/das_pfs_tests.dir/pfs/layout_fuzz_test.cpp.o"
+  "CMakeFiles/das_pfs_tests.dir/pfs/layout_fuzz_test.cpp.o.d"
+  "CMakeFiles/das_pfs_tests.dir/pfs/layout_test.cpp.o"
+  "CMakeFiles/das_pfs_tests.dir/pfs/layout_test.cpp.o.d"
+  "CMakeFiles/das_pfs_tests.dir/pfs/local_io_test.cpp.o"
+  "CMakeFiles/das_pfs_tests.dir/pfs/local_io_test.cpp.o.d"
+  "CMakeFiles/das_pfs_tests.dir/pfs/metadata_test.cpp.o"
+  "CMakeFiles/das_pfs_tests.dir/pfs/metadata_test.cpp.o.d"
+  "CMakeFiles/das_pfs_tests.dir/pfs/redistribute_test.cpp.o"
+  "CMakeFiles/das_pfs_tests.dir/pfs/redistribute_test.cpp.o.d"
+  "CMakeFiles/das_pfs_tests.dir/pfs/server_client_test.cpp.o"
+  "CMakeFiles/das_pfs_tests.dir/pfs/server_client_test.cpp.o.d"
+  "CMakeFiles/das_pfs_tests.dir/pfs/store_test.cpp.o"
+  "CMakeFiles/das_pfs_tests.dir/pfs/store_test.cpp.o.d"
+  "das_pfs_tests"
+  "das_pfs_tests.pdb"
+  "das_pfs_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/das_pfs_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/das_runner_tests.dir/runner/args_test.cpp.o"
+  "CMakeFiles/das_runner_tests.dir/runner/args_test.cpp.o.d"
+  "CMakeFiles/das_runner_tests.dir/runner/paper_test.cpp.o"
+  "CMakeFiles/das_runner_tests.dir/runner/paper_test.cpp.o.d"
+  "das_runner_tests"
+  "das_runner_tests.pdb"
+  "das_runner_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/das_runner_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/das_simkit_tests.dir/simkit/event_queue_test.cpp.o"
+  "CMakeFiles/das_simkit_tests.dir/simkit/event_queue_test.cpp.o.d"
+  "CMakeFiles/das_simkit_tests.dir/simkit/log_test.cpp.o"
+  "CMakeFiles/das_simkit_tests.dir/simkit/log_test.cpp.o.d"
+  "CMakeFiles/das_simkit_tests.dir/simkit/random_test.cpp.o"
+  "CMakeFiles/das_simkit_tests.dir/simkit/random_test.cpp.o.d"
+  "CMakeFiles/das_simkit_tests.dir/simkit/simulator_test.cpp.o"
+  "CMakeFiles/das_simkit_tests.dir/simkit/simulator_test.cpp.o.d"
+  "CMakeFiles/das_simkit_tests.dir/simkit/stats_test.cpp.o"
+  "CMakeFiles/das_simkit_tests.dir/simkit/stats_test.cpp.o.d"
+  "CMakeFiles/das_simkit_tests.dir/simkit/time_test.cpp.o"
+  "CMakeFiles/das_simkit_tests.dir/simkit/time_test.cpp.o.d"
+  "das_simkit_tests"
+  "das_simkit_tests.pdb"
+  "das_simkit_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/das_simkit_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/das_storage_tests.dir/storage/compute_engine_test.cpp.o"
+  "CMakeFiles/das_storage_tests.dir/storage/compute_engine_test.cpp.o.d"
+  "CMakeFiles/das_storage_tests.dir/storage/disk_test.cpp.o"
+  "CMakeFiles/das_storage_tests.dir/storage/disk_test.cpp.o.d"
+  "CMakeFiles/das_storage_tests.dir/storage/jitter_test.cpp.o"
+  "CMakeFiles/das_storage_tests.dir/storage/jitter_test.cpp.o.d"
+  "das_storage_tests"
+  "das_storage_tests.pdb"
+  "das_storage_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/das_storage_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/das_simkit_tests[1]_include.cmake")
+include("/root/repo/build/tests/das_net_tests[1]_include.cmake")
+include("/root/repo/build/tests/das_storage_tests[1]_include.cmake")
+include("/root/repo/build/tests/das_grid_tests[1]_include.cmake")
+include("/root/repo/build/tests/das_pfs_tests[1]_include.cmake")
+include("/root/repo/build/tests/das_kernels_tests[1]_include.cmake")
+include("/root/repo/build/tests/das_core_tests[1]_include.cmake")
+include("/root/repo/build/tests/das_runner_tests[1]_include.cmake")
