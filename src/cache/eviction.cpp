@@ -1,0 +1,81 @@
+#include "cache/eviction.hpp"
+
+#include <stdexcept>
+
+#include "simkit/assert.hpp"
+
+namespace das::cache {
+
+void LruPolicy::on_insert(const CacheKey& key) {
+  DAS_REQUIRE(!index_.contains(key));
+  order_.push_front(key);
+  index_[key] = order_.begin();
+}
+
+void LruPolicy::on_hit(const CacheKey& key) { touch(key); }
+
+void LruPolicy::on_erase(const CacheKey& key) {
+  const auto it = index_.find(key);
+  DAS_REQUIRE(it != index_.end());
+  order_.erase(it->second);
+  index_.erase(it);
+}
+
+CacheKey LruPolicy::victim() const {
+  DAS_REQUIRE(!order_.empty());
+  return order_.back();
+}
+
+void LruPolicy::touch(const CacheKey& key) {
+  const auto it = index_.find(key);
+  DAS_REQUIRE(it != index_.end());
+  order_.splice(order_.begin(), order_, it->second);
+  it->second = order_.begin();
+}
+
+void LfuPolicy::on_insert(const CacheKey& key) {
+  DAS_REQUIRE(!index_.contains(key));
+  place(key, 1);
+}
+
+void LfuPolicy::on_hit(const CacheKey& key) {
+  const auto it = index_.find(key);
+  DAS_REQUIRE(it != index_.end());
+  const std::uint64_t next = it->second.frequency + 1;
+  buckets_[it->second.frequency].erase(it->second.position);
+  if (buckets_[it->second.frequency].empty()) {
+    buckets_.erase(it->second.frequency);
+  }
+  index_.erase(it);
+  place(key, next);
+}
+
+void LfuPolicy::on_erase(const CacheKey& key) {
+  const auto it = index_.find(key);
+  DAS_REQUIRE(it != index_.end());
+  buckets_[it->second.frequency].erase(it->second.position);
+  if (buckets_[it->second.frequency].empty()) {
+    buckets_.erase(it->second.frequency);
+  }
+  index_.erase(it);
+}
+
+CacheKey LfuPolicy::victim() const {
+  DAS_REQUIRE(!buckets_.empty());
+  // Lowest frequency bucket, most recently touched first (see header).
+  return buckets_.begin()->second.front();
+}
+
+void LfuPolicy::place(const CacheKey& key, std::uint64_t frequency) {
+  auto& bucket = buckets_[frequency];
+  bucket.push_front(key);
+  index_[key] = Entry{frequency, bucket.begin()};
+}
+
+std::unique_ptr<EvictionPolicy> make_policy(const std::string& name) {
+  if (name == "lru") return std::make_unique<LruPolicy>();
+  if (name == "lfu") return std::make_unique<LfuPolicy>();
+  throw std::invalid_argument("unknown cache eviction policy: " + name);
+}
+
+}  // namespace das::cache

@@ -1,0 +1,102 @@
+// Pluggable eviction policies for the remote-strip cache.
+//
+// A policy only ranks entries; the cache owns the bytes and drives the
+// policy through the on_* notifications. Two policies model the interesting
+// ends of the spectrum for active-storage halo traffic:
+//  * LRU — classic recency order. Degenerates on cyclic halo scans (every
+//    pass over a file touches the same strips in the same order, so with a
+//    cache smaller than the working set the next victim is always the next
+//    strip needed).
+//  * LFU — frequency order with most-recently-inserted-first tie-breaking,
+//    which keeps a stable frequent subset resident under cyclic scans (the
+//    churn stays confined to one probationary slot), so hit rate grows
+//    smoothly with capacity instead of jumping at working-set size.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <string>
+
+namespace das::cache {
+
+/// Identifies one cached strip: (file, strip index). File ids are plain
+/// integers so the cache layer stays independent of the PFS types.
+struct CacheKey {
+  std::uint64_t file = 0;
+  std::uint64_t strip = 0;
+
+  friend auto operator<=>(const CacheKey&, const CacheKey&) = default;
+};
+
+class EvictionPolicy {
+ public:
+  virtual ~EvictionPolicy() = default;
+
+  /// A new entry entered the cache (not previously tracked).
+  virtual void on_insert(const CacheKey& key) = 0;
+
+  /// A tracked entry was served from the cache.
+  virtual void on_hit(const CacheKey& key) = 0;
+
+  /// A tracked entry left the cache (eviction or invalidation).
+  virtual void on_erase(const CacheKey& key) = 0;
+
+  /// The entry to evict next. Requires at least one tracked entry.
+  [[nodiscard]] virtual CacheKey victim() const = 0;
+
+  [[nodiscard]] virtual std::size_t tracked() const = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Least-recently-used: victim is the entry untouched for longest.
+class LruPolicy final : public EvictionPolicy {
+ public:
+  void on_insert(const CacheKey& key) override;
+  void on_hit(const CacheKey& key) override;
+  void on_erase(const CacheKey& key) override;
+  [[nodiscard]] CacheKey victim() const override;
+  [[nodiscard]] std::size_t tracked() const override { return index_.size(); }
+  [[nodiscard]] std::string name() const override { return "lru"; }
+
+ private:
+  void touch(const CacheKey& key);
+
+  std::list<CacheKey> order_;  // front = most recent, back = victim
+  std::map<CacheKey, std::list<CacheKey>::iterator> index_;
+};
+
+/// Least-frequently-used, ties broken most-recently-inserted/used first.
+/// The MRU tie-break is deliberate: under a cyclic scan larger than the
+/// cache it sacrifices the just-inserted probationary entry instead of
+/// rotating the whole cache, so entries that survive long enough to be hit
+/// once are protected (scan resistance without a second queue).
+class LfuPolicy final : public EvictionPolicy {
+ public:
+  void on_insert(const CacheKey& key) override;
+  void on_hit(const CacheKey& key) override;
+  void on_erase(const CacheKey& key) override;
+  [[nodiscard]] CacheKey victim() const override;
+  [[nodiscard]] std::size_t tracked() const override { return index_.size(); }
+  [[nodiscard]] std::string name() const override { return "lfu"; }
+
+ private:
+  struct Entry {
+    std::uint64_t frequency = 1;
+    std::list<CacheKey>::iterator position;
+  };
+
+  void place(const CacheKey& key, std::uint64_t frequency);
+
+  /// frequency -> keys at that frequency, front = most recently touched.
+  std::map<std::uint64_t, std::list<CacheKey>> buckets_;
+  std::map<CacheKey, Entry> index_;
+};
+
+/// Factory over the policy names accepted in configs/CLI ("lru" | "lfu").
+/// Throws std::invalid_argument on unknown names.
+[[nodiscard]] std::unique_ptr<EvictionPolicy> make_policy(
+    const std::string& name);
+
+}  // namespace das::cache

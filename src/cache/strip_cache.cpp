@@ -1,0 +1,103 @@
+#include "cache/strip_cache.hpp"
+
+#include <utility>
+
+#include "simkit/assert.hpp"
+
+namespace das::cache {
+
+CacheStats& CacheStats::operator+=(const CacheStats& other) {
+  hits += other.hits;
+  misses += other.misses;
+  insertions += other.insertions;
+  evictions += other.evictions;
+  invalidations += other.invalidations;
+  hit_bytes += other.hit_bytes;
+  miss_bytes += other.miss_bytes;
+  evicted_bytes += other.evicted_bytes;
+  return *this;
+}
+
+StripCache::StripCache(const CacheConfig& config)
+    : config_(config), policy_(make_policy(config.policy)) {
+  DAS_REQUIRE(config.active());
+  DAS_REQUIRE(config.hit_bandwidth_bps > 0.0);
+}
+
+const CachedStrip* StripCache::lookup(const CacheKey& key) {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  ++stats_.hits;
+  stats_.hit_bytes += it->second.length;
+  policy_->on_hit(key);
+  return &it->second;
+}
+
+void StripCache::insert(const CacheKey& key, std::uint64_t length,
+                        std::vector<std::byte> bytes) {
+  DAS_REQUIRE(length > 0);
+  DAS_REQUIRE(bytes.empty() || bytes.size() == length);
+  stats_.miss_bytes += length;
+  if (length > config_.capacity_bytes) return;  // cannot ever fit
+  if (const auto it = entries_.find(key); it != entries_.end()) {
+    erase(key, /*count_as_eviction=*/false);
+  }
+  while (used_bytes_ + length > config_.capacity_bytes) {
+    erase(policy_->victim(), /*count_as_eviction=*/true);
+  }
+  entries_[key] = CachedStrip{length, std::move(bytes)};
+  used_bytes_ += length;
+  policy_->on_insert(key);
+  ++stats_.insertions;
+}
+
+void StripCache::invalidate(const CacheKey& key) {
+  if (!entries_.contains(key)) return;
+  erase(key, /*count_as_eviction=*/false);
+  ++stats_.invalidations;
+}
+
+void StripCache::invalidate_file(std::uint64_t file) {
+  auto it = entries_.lower_bound(CacheKey{file, 0});
+  while (it != entries_.end() && it->first.file == file) {
+    const CacheKey key = it->first;
+    ++it;
+    erase(key, /*count_as_eviction=*/false);
+    ++stats_.invalidations;
+  }
+}
+
+bool StripCache::contains(const CacheKey& key) const {
+  return entries_.contains(key);
+}
+
+void StripCache::erase(const CacheKey& key, bool count_as_eviction) {
+  const auto it = entries_.find(key);
+  DAS_REQUIRE(it != entries_.end());
+  DAS_REQUIRE(used_bytes_ >= it->second.length);
+  used_bytes_ -= it->second.length;
+  if (count_as_eviction) {
+    ++stats_.evictions;
+    stats_.evicted_bytes += it->second.length;
+  }
+  policy_->on_erase(key);
+  entries_.erase(it);
+}
+
+void InvalidationHub::attach(StripCache* cache) {
+  DAS_REQUIRE(cache != nullptr);
+  caches_.push_back(cache);
+}
+
+void InvalidationHub::invalidate(const CacheKey& key) {
+  for (StripCache* cache : caches_) cache->invalidate(key);
+}
+
+void InvalidationHub::invalidate_file(std::uint64_t file) {
+  for (StripCache* cache : caches_) cache->invalidate_file(file);
+}
+
+}  // namespace das::cache

@@ -1,0 +1,126 @@
+// Per-storage-server remote-strip cache.
+//
+// Under round-robin striping every active-storage run must fetch its
+// dependence halo from neighbouring servers — the server-to-server traffic
+// class the paper identifies as NAS's first penalty (§IV-B1). A server that
+// caches the remote strips it fetched can serve repeated requests over the
+// same file (recurring analyses of a hot dataset, iterative operators) from
+// local memory instead of the network: a hit costs a RAM-bandwidth copy, a
+// miss costs the full NIC transfer plus the peer's disk and NIC service
+// load.
+//
+// The cache holds whole strips keyed by (file, strip), bounded by a byte
+// capacity, with a pluggable eviction policy (eviction.hpp). Writes and
+// redistributions invalidate through the InvalidationHub so no server ever
+// serves stale halo bytes. In data-carrying mode the cache stores the real
+// payload; in timing mode entries are length-only, exactly like the store.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cache/eviction.hpp"
+
+namespace das::cache {
+
+struct CacheConfig {
+  /// Master switch; a disabled (or zero-capacity) cache is never attached,
+  /// so every byte flow reproduces the uncached system exactly.
+  bool enabled = false;
+  std::uint64_t capacity_bytes = 0;
+  /// Eviction policy name ("lru" | "lfu"); see eviction.hpp.
+  std::string policy = "lru";
+  /// Rate at which a hit is copied out of server RAM (the "local memory
+  /// time" a hit costs instead of the NIC transfer).
+  double hit_bandwidth_bps = 2.0 * 1024 * 1024 * 1024;
+
+  [[nodiscard]] bool active() const { return enabled && capacity_bytes > 0; }
+};
+
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t insertions = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t invalidations = 0;
+  std::uint64_t hit_bytes = 0;  // NIC bytes the cache absorbed
+  std::uint64_t miss_bytes = 0;
+  std::uint64_t evicted_bytes = 0;
+
+  [[nodiscard]] double hit_rate() const {
+    const std::uint64_t total = hits + misses;
+    return total == 0 ? 0.0
+                      : static_cast<double>(hits) / static_cast<double>(total);
+  }
+
+  CacheStats& operator+=(const CacheStats& other);
+};
+
+/// One cached strip as seen by a lookup.
+struct CachedStrip {
+  std::uint64_t length = 0;
+  std::vector<std::byte> bytes;  // empty in timing-only mode
+};
+
+class StripCache {
+ public:
+  explicit StripCache(const CacheConfig& config);
+
+  StripCache(const StripCache&) = delete;
+  StripCache& operator=(const StripCache&) = delete;
+
+  /// Look up a strip, recording a hit or miss. The returned pointer is
+  /// valid until the next mutating call; nullptr on miss.
+  [[nodiscard]] const CachedStrip* lookup(const CacheKey& key);
+
+  /// Cache a strip, evicting per policy until it fits. Replaces any
+  /// existing entry for the key. A strip larger than the whole capacity is
+  /// not cached. `bytes` may be empty (timing mode) — capacity accounting
+  /// always uses `length`.
+  void insert(const CacheKey& key, std::uint64_t length,
+              std::vector<std::byte> bytes);
+
+  /// Drop the strip if present (a write made it stale).
+  void invalidate(const CacheKey& key);
+
+  /// Drop every strip of `file` (redistribution moved its placement).
+  void invalidate_file(std::uint64_t file);
+
+  /// Peek without touching stats or recency (tests, assertions).
+  [[nodiscard]] bool contains(const CacheKey& key) const;
+
+  [[nodiscard]] const CacheStats& stats() const { return stats_; }
+  [[nodiscard]] std::uint64_t used_bytes() const { return used_bytes_; }
+  [[nodiscard]] std::size_t entry_count() const { return entries_.size(); }
+  [[nodiscard]] const CacheConfig& config() const { return config_; }
+
+ private:
+  void erase(const CacheKey& key, bool count_as_eviction);
+
+  CacheConfig config_;
+  std::unique_ptr<EvictionPolicy> policy_;
+  std::map<CacheKey, CachedStrip> entries_;
+  std::uint64_t used_bytes_ = 0;
+  CacheStats stats_;
+};
+
+/// Write/redistribution invalidation fan-out: every server's write makes
+/// the strip stale in EVERY server's cache (peers may have fetched it as
+/// halo), so the PFS broadcasts invalidations through one hub.
+class InvalidationHub {
+ public:
+  void attach(StripCache* cache);
+  void invalidate(const CacheKey& key);
+  void invalidate_file(std::uint64_t file);
+
+  [[nodiscard]] std::size_t attached() const { return caches_.size(); }
+
+ private:
+  std::vector<StripCache*> caches_;
+};
+
+}  // namespace das::cache

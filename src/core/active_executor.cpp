@@ -3,7 +3,9 @@
 #include <cstring>
 #include <utility>
 
+#include "cache/strip_cache.hpp"
 #include "simkit/assert.hpp"
+#include "simkit/time.hpp"
 
 namespace das::core {
 
@@ -128,6 +130,26 @@ void ActiveExecutor::start_run(const std::shared_ptr<ServerTask>& task,
                     bytes.data(), bytes.size());
       }
       simulator.schedule_at(done, input_arrived, "as.local_read");
+    } else if (const cache::CachedStrip* hit =
+                   self.strip_cache() == nullptr
+                       ? nullptr
+                       : self.strip_cache()->lookup(
+                             cache::CacheKey{task->input, s});
+               hit != nullptr) {
+      // Remote halo strip already cached from an earlier fetch: serve it
+      // from server RAM — no NIC transfer, no service load on the peer.
+      ++halo_cache_hits_;
+      halo_cache_hit_bytes_ += ref.length;
+      if (options_.data_mode) {
+        DAS_REQUIRE(hit->bytes.size() == ref.length);
+        std::memcpy(task->runs[index].buffer.data() + (ref.offset - base),
+                    hit->bytes.data(), hit->bytes.size());
+      }
+      const sim::SimTime copied =
+          simulator.now() +
+          sim::transfer_time(ref.length,
+                             self.strip_cache()->config().hit_bandwidth_bps);
+      simulator.schedule_at(copied, input_arrived, "as.cache_hit");
     } else {
       // Remote halo strip: request it from its primary server. This is the
       // dependence traffic (and the service load on the peer) that NAS pays.
@@ -142,13 +164,19 @@ void ActiveExecutor::start_run(const std::shared_ptr<ServerTask>& task,
             peer.serve_read(
                 task->input, s, 0, ref.length, task->node,
                 net::TrafficClass::kServerServer,
-                [this, task, index, ref, base,
+                [this, task, index, s, ref, base,
                  input_arrived](std::vector<std::byte> payload) {
                   if (options_.data_mode) {
                     DAS_REQUIRE(payload.size() == ref.length);
                     std::memcpy(
                         task->runs[index].buffer.data() + (ref.offset - base),
                         payload.data(), payload.size());
+                  }
+                  if (cache::StripCache* receiver = cluster_.pfs()
+                                                        .server(task->server)
+                                                        .strip_cache()) {
+                    receiver->insert(cache::CacheKey{task->input, s},
+                                     ref.length, std::move(payload));
                   }
                   input_arrived();
                 });

@@ -53,6 +53,15 @@ class ActiveExecutor {
     return halo_bytes_fetched_;
   }
 
+  /// Remote halo strips served from the server-side strip cache instead of
+  /// the network (always 0 when caching is disabled).
+  [[nodiscard]] std::uint64_t halo_cache_hits() const {
+    return halo_cache_hits_;
+  }
+  [[nodiscard]] std::uint64_t halo_cache_hit_bytes() const {
+    return halo_cache_hit_bytes_;
+  }
+
  private:
   struct ServerTask;
   struct RunState;
@@ -69,6 +78,8 @@ class ActiveExecutor {
   std::vector<std::shared_ptr<ServerTask>> tasks_;
   std::uint64_t halo_strips_fetched_ = 0;
   std::uint64_t halo_bytes_fetched_ = 0;
+  std::uint64_t halo_cache_hits_ = 0;
+  std::uint64_t halo_cache_hit_bytes_ = 0;
 };
 
 }  // namespace das::core

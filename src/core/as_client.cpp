@@ -10,7 +10,9 @@ namespace das::core {
 ActiveStorageClient::ActiveStorageClient(
     Cluster& cluster, const kernels::KernelRegistry& registry,
     const DistributionConfig& distribution)
-    : cluster_(cluster), registry_(registry), engine_(distribution) {}
+    : cluster_(cluster),
+      registry_(registry),
+      engine_(distribution, cluster.config().server_cache) {}
 
 const ActiveExecutor* ActiveStorageClient::last_active_executor() const {
   return last_active_;
@@ -38,8 +40,9 @@ SubmissionResult ActiveStorageClient::submit(const ActiveRequest& request,
   DAS_REQUIRE(kernel.is_reduction() || output_bytes == meta.size_bytes);
 
   SubmissionResult result;
-  result.decision = engine_.decide(meta, pfs.layout(request.input), features,
-                                   output_bytes, request.pipeline_length);
+  result.decision =
+      engine_.decide(meta, pfs.layout(request.input), features, output_bytes,
+                     request.pipeline_length, request.repeat_count);
   if (!request.allow_redistribution &&
       result.decision.action == OffloadAction::kOffloadAfterRedistribution) {
     // Without permission to move data, fall back to the cheaper of the two
@@ -73,10 +76,23 @@ SubmissionResult ActiveStorageClient::submit(const ActiveRequest& request,
   const std::uint64_t halo_strips =
       required_halo_strips(offsets, meta.element_size, meta.strip_size);
 
-  auto launch = [this, input = request.input, output = result.output,
-                 data_mode = request.data_mode, &kernel, halo_strips,
-                 offload = result.offloaded,
-                 on_done = std::move(on_done)]() mutable {
+  // Executors hold per-start state, so every repeat pass gets a fresh
+  // instance; passes run back to back, chained through their completions.
+  DAS_REQUIRE(request.repeat_count >= 1);
+  auto run_pass = std::make_shared<std::function<void(std::uint32_t)>>();
+  *run_pass = [this, input = request.input, output = result.output,
+               data_mode = request.data_mode, &kernel, halo_strips,
+               offload = result.offloaded, repeats = request.repeat_count,
+               on_done = std::move(on_done), run_pass](std::uint32_t pass) {
+    std::function<void()> pass_done;
+    if (pass + 1 < repeats) {
+      pass_done = [run_pass, pass]() { (*run_pass)(pass + 1); };
+    } else {
+      pass_done = [run_pass, on_done]() {
+        if (on_done) on_done();
+        *run_pass = nullptr;  // release the self-reference
+      };
+    }
     if (offload) {
       ActiveExecutor::Options opt;
       opt.kernel = &kernel;
@@ -85,7 +101,7 @@ SubmissionResult ActiveStorageClient::submit(const ActiveRequest& request,
       active_executors_.push_back(
           std::make_unique<ActiveExecutor>(cluster_, opt));
       last_active_ = active_executors_.back().get();
-      active_executors_.back()->start(input, output, std::move(on_done));
+      active_executors_.back()->start(input, output, std::move(pass_done));
     } else {
       TsExecutor::Options opt;
       opt.kernel = &kernel;
@@ -93,9 +109,10 @@ SubmissionResult ActiveStorageClient::submit(const ActiveRequest& request,
       opt.data_mode = data_mode;
       ts_executors_.push_back(std::make_unique<TsExecutor>(cluster_, opt));
       last_active_ = nullptr;
-      ts_executors_.back()->start(input, output, std::move(on_done));
+      ts_executors_.back()->start(input, output, std::move(pass_done));
     }
   };
+  auto launch = [run_pass]() { (*run_pass)(0); };
 
   // Fig. 3, first steps: fetch the file's distribution information from the
   // metadata service (one round trip, cached per client), then either move

@@ -32,6 +32,10 @@ struct ActiveRequest {
   /// Successive operations expected to reuse the dependence pattern
   /// (paper: flow-routing is always followed by flow-accumulation).
   std::uint32_t pipeline_length = 1;
+  /// How many times the whole request is re-run over the same input
+  /// (recurring analyses of a hot dataset). Repeats past the first can be
+  /// served from the servers' strip caches when those are enabled.
+  std::uint32_t repeat_count = 1;
   /// Permit the engine to re-lay-out the file before offloading.
   bool allow_redistribution = true;
   /// Carry real bytes end to end (correctness mode).

@@ -238,4 +238,19 @@ TrafficForecast forecast_traffic(const pfs::FileMeta& meta,
   return out;
 }
 
+double predicted_cache_hit_rate(const TrafficForecast& forecast,
+                                const PlacementSpec& placement,
+                                std::uint64_t capacity_bytes) {
+  if (capacity_bytes == 0 || forecast.active_strip_fetch_bytes == 0) {
+    return 0.0;
+  }
+  // Fetches are spread evenly over the servers (every group needs the same
+  // halo), so each server's steady-state working set is its share.
+  const double working_set =
+      static_cast<double>(forecast.active_strip_fetch_bytes) /
+      static_cast<double>(placement.num_servers);
+  if (working_set <= 0.0) return 0.0;
+  return std::min(1.0, static_cast<double>(capacity_bytes) / working_set);
+}
+
 }  // namespace das::core

@@ -129,4 +129,14 @@ struct TrafficForecast {
     const std::vector<std::int64_t>& offsets, std::uint32_t element_size,
     std::uint64_t strip_size);
 
+/// Predicted steady-state hit rate of the per-server remote-strip cache
+/// when the operator is re-run over the same file. Each server's working
+/// set is its share of the strip-fetch traffic (`forecast`); the cache
+/// retains min(capacity, working set) of it between passes, so repeated
+/// passes hit at capacity / working-set (clamped to 1). Returns 0 when the
+/// placement produces no remote fetches or the cache holds nothing.
+[[nodiscard]] double predicted_cache_hit_rate(const TrafficForecast& forecast,
+                                              const PlacementSpec& placement,
+                                              std::uint64_t capacity_bytes);
+
 }  // namespace das::core

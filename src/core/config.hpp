@@ -10,6 +10,7 @@
 
 #include <cstdint>
 
+#include "cache/strip_cache.hpp"
 #include "net/network.hpp"
 #include "simkit/time.hpp"
 #include "storage/compute_engine.hpp"
@@ -54,6 +55,12 @@ struct ClusterConfig {
   /// stream derived from `seed`.
   double disk_jitter = 0.0;
   std::uint64_t seed = 20120901;
+
+  /// Per-server remote-strip cache (off by default: byte flows then match
+  /// the uncached system bit for bit). When active, each storage server
+  /// caches the halo strips it fetched from peers, so repeated requests
+  /// over the same file pay RAM time instead of NIC transfers.
+  cache::CacheConfig server_cache;
 
   [[nodiscard]] std::uint32_t total_nodes() const {
     return storage_nodes + compute_nodes;

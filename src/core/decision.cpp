@@ -1,6 +1,7 @@
 #include "core/decision.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <sstream>
 
 #include "simkit/assert.hpp"
@@ -25,12 +26,40 @@ std::uint64_t redistribution_bytes(const pfs::FileMeta& meta,
   return moved;
 }
 
+namespace {
+
+/// Effective number of full-cost dependence passes out of `repeats`: the
+/// first pass is all misses (warmup); every later pass misses only the
+/// (1 - h) share the cache could not retain. h == 0 degenerates to
+/// `repeats` full passes — the exact uncached model.
+double warm_passes(std::uint32_t repeats, double hit_rate) {
+  return 1.0 + (static_cast<double>(repeats) - 1.0) * (1.0 - hit_rate);
+}
+
+/// Offload cost over the pipeline: strip fetches pay only the cache-miss
+/// passes, replica writes are invalidated by every pass's output and pay
+/// all of them. Exactly pipeline * active_total * repeats when h == 0.
+std::uint64_t offload_cost(const TrafficForecast& forecast,
+                           std::uint32_t pipeline, std::uint32_t repeats,
+                           double hit_rate) {
+  const double fetch = static_cast<double>(forecast.active_strip_fetch_bytes) *
+                       warm_passes(repeats, hit_rate);
+  const double replica = static_cast<double>(forecast.replica_write_bytes) *
+                         static_cast<double>(repeats);
+  return static_cast<std::uint64_t>(
+      std::llround(static_cast<double>(pipeline) * (fetch + replica)));
+}
+
+}  // namespace
+
 Decision DecisionEngine::decide(const pfs::FileMeta& meta,
                                 const pfs::Layout& current_layout,
                                 const kernels::KernelFeatures& features,
                                 std::uint64_t output_bytes,
-                                std::uint32_t pipeline_length) const {
+                                std::uint32_t pipeline_length,
+                                std::uint32_t repeat_count) const {
   DAS_REQUIRE(pipeline_length >= 1);
+  DAS_REQUIRE(repeat_count >= 1);
   DAS_REQUIRE(meta.raster_width > 0);
 
   Decision decision;
@@ -40,14 +69,23 @@ Decision DecisionEngine::decide(const pfs::FileMeta& meta,
       forecast_traffic(meta, offsets, current, output_bytes);
 
   // Costs are critical-path bytes per the comparison in
-  // TrafficForecast::offload_beneficial, totalled over the pipeline.
+  // TrafficForecast::offload_beneficial, totalled over the pipeline and the
+  // repeated invocations. With caching off (hit rate 0) and repeat_count 1
+  // every formula reduces to the original uncached model bit for bit.
   const std::uint64_t pipeline = pipeline_length;
+  const std::uint64_t repeats = repeat_count;
+  const double hit_current =
+      cache_.active() ? predicted_cache_hit_rate(decision.current_forecast,
+                                                 current,
+                                                 cache_.capacity_bytes)
+                      : 0.0;
   const std::uint64_t cost_normal =
-      decision.current_forecast.normal_critical_bytes * pipeline;
-  const std::uint64_t cost_offload_asis =
-      decision.current_forecast.active_total_bytes() * pipeline;
+      decision.current_forecast.normal_critical_bytes * pipeline * repeats;
+  const std::uint64_t cost_offload_asis = offload_cost(
+      decision.current_forecast, pipeline_length, repeat_count, hit_current);
 
   std::uint64_t cost_redistribute = UINT64_MAX;
+  double hit_target = 0.0;
   const auto target =
       planner_.plan(meta, offsets, current_layout.num_servers());
   if (target.has_value() && *target != current) {
@@ -56,9 +94,15 @@ Decision DecisionEngine::decide(const pfs::FileMeta& meta,
         forecast_traffic(meta, offsets, *target, output_bytes);
     decision.redistribution_bytes = redistribution_bytes(
         meta, current_layout, *target->make_layout());
+    hit_target =
+        cache_.active() ? predicted_cache_hit_rate(decision.target_forecast,
+                                                   *target,
+                                                   cache_.capacity_bytes)
+                        : 0.0;
     cost_redistribute =
         decision.redistribution_bytes +
-        decision.target_forecast.active_total_bytes() * pipeline;
+        offload_cost(decision.target_forecast, pipeline_length, repeat_count,
+                     hit_target);
   }
 
   std::ostringstream why;
@@ -72,17 +116,26 @@ Decision DecisionEngine::decide(const pfs::FileMeta& meta,
     why << cost_redistribute << "B";
   }
   why << " (pipeline x" << pipeline << ")";
+  if (repeats > 1) why << " (repeats x" << repeats << ")";
+  if (cache_.active()) {
+    why << " (cache hit-rate current=" << hit_current;
+    if (decision.target.has_value()) why << ", target=" << hit_target;
+    why << ")";
+  }
 
   if (cost_offload_asis <= cost_normal &&
       cost_offload_asis <= cost_redistribute) {
     decision.action = OffloadAction::kOffload;
     decision.predicted_bytes = cost_offload_asis;
+    decision.predicted_hit_rate = hit_current;
   } else if (cost_redistribute <= cost_normal) {
     decision.action = OffloadAction::kOffloadAfterRedistribution;
     decision.predicted_bytes = cost_redistribute;
+    decision.predicted_hit_rate = hit_target;
   } else {
     decision.action = OffloadAction::kServeNormal;
     decision.predicted_bytes = cost_normal;
+    decision.predicted_hit_rate = 0.0;
   }
   decision.rationale = why.str();
   return decision;

@@ -52,26 +52,37 @@ struct Decision {
   std::uint64_t redistribution_bytes = 0;
   /// Predicted total bytes moved by the chosen plan over the whole pipeline.
   std::uint64_t predicted_bytes = 0;
+  /// Predicted steady-state strip-cache hit rate under the chosen placement
+  /// (0 whenever server-side caching is disabled).
+  double predicted_hit_rate = 0.0;
   std::string rationale;
 };
 
 class DecisionEngine {
  public:
-  explicit DecisionEngine(const DistributionConfig& config)
-      : planner_(config) {}
+  /// `cache` describes the per-server strip caches (default: disabled, in
+  /// which case every prediction reduces exactly to the uncached model).
+  explicit DecisionEngine(const DistributionConfig& config,
+                          const cache::CacheConfig& cache = {})
+      : planner_(config), cache_(cache) {}
 
   /// Decide how to serve one operator (with `pipeline_length` successive
-  /// operations expected to reuse the same dependence pattern and layout).
+  /// operations expected to reuse the same dependence pattern and layout,
+  /// and the whole request repeated `repeat_count` times over the same
+  /// file — recurring analyses of a hot dataset). Repeats past the first
+  /// pay only the cache-miss share of the dependence traffic.
   [[nodiscard]] Decision decide(const pfs::FileMeta& meta,
                                 const pfs::Layout& current_layout,
                                 const kernels::KernelFeatures& features,
                                 std::uint64_t output_bytes,
-                                std::uint32_t pipeline_length = 1) const;
+                                std::uint32_t pipeline_length = 1,
+                                std::uint32_t repeat_count = 1) const;
 
   [[nodiscard]] const DistributionPlanner& planner() const { return planner_; }
 
  private:
   DistributionPlanner planner_;
+  cache::CacheConfig cache_;
 };
 
 /// Exact redistribution cost: bytes that must move to turn `from` into `to`

@@ -47,7 +47,8 @@ std::string report_csv_header() {
          "client_server_bytes,server_server_bytes,control_messages,"
          "redistribution_bytes,offloaded,redistributed,sustained_bw_bps,"
          "server_disk_util,server_nic_util,server_compute_util,"
-         "client_compute_util";
+         "client_compute_util,cache_hits,cache_misses,cache_evictions,"
+         "cache_hit_bytes,cache_hit_rate";
 }
 
 std::string to_csv(const RunReport& r) {
@@ -60,7 +61,9 @@ std::string to_csv(const RunReport& r) {
       << r.sustained_bandwidth_bps() << ',' << r.server_disk_utilization
       << ',' << r.server_nic_utilization << ','
       << r.server_compute_utilization << ','
-      << r.client_compute_utilization;
+      << r.client_compute_utilization << ',' << r.cache_hits << ','
+      << r.cache_misses << ',' << r.cache_evictions << ','
+      << r.cache_hit_bytes << ',' << r.cache_hit_rate();
   return out.str();
 }
 

@@ -34,6 +34,21 @@ struct RunReport {
   bool output_verified = false;
   double output_max_error = 0.0;
 
+  /// Server-side strip-cache counters, summed over all servers (all zero
+  /// when caching is disabled).
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_evictions = 0;
+  std::uint64_t cache_hit_bytes = 0;
+
+  [[nodiscard]] double cache_hit_rate() const {
+    const std::uint64_t lookups = cache_hits + cache_misses;
+    return lookups > 0
+               ? static_cast<double>(cache_hits) /
+                     static_cast<double>(lookups)
+               : 0.0;
+  }
+
   /// Mean busy fraction of each resource class over the whole run (0..1),
   /// averaged across the nodes of that class.
   double server_disk_utilization = 0.0;

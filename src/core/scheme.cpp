@@ -1,9 +1,11 @@
 #include "core/scheme.hpp"
 
+#include <functional>
 #include <memory>
 #include <optional>
 #include <utility>
 
+#include "cache/strip_cache.hpp"
 #include "core/as_client.hpp"
 #include "core/bandwidth_model.hpp"
 #include "core/cluster.hpp"
@@ -53,6 +55,38 @@ RunReport make_base_report(const SchemeRunOptions& options,
   report.compute_nodes = options.cluster.compute_nodes;
   report.data_mode = options.workload.with_data;
   return report;
+}
+
+void fill_cache_stats(RunReport& report, Cluster& cluster) {
+  const cache::CacheStats stats = cluster.pfs().cache_stats();
+  report.cache_hits = stats.hits;
+  report.cache_misses = stats.misses;
+  report.cache_evictions = stats.evictions;
+  report.cache_hit_bytes = stats.hit_bytes;
+}
+
+/// Start `repeats` back-to-back passes of one operation. `start_pass` must
+/// launch a fresh executor and invoke its argument when the pass completes
+/// (executors hold per-start state, so instances cannot be restarted).
+void run_repeated(std::uint32_t repeats,
+                  std::function<void(std::function<void()>)> start_pass,
+                  std::function<void()> on_done) {
+  DAS_REQUIRE(repeats >= 1);
+  auto run = std::make_shared<std::function<void(std::uint32_t)>>();
+  *run = [run, repeats, start_pass = std::move(start_pass),
+          on_done = std::move(on_done)](std::uint32_t pass) {
+    std::function<void()> pass_done;
+    if (pass + 1 < repeats) {
+      pass_done = [run, pass]() { (*run)(pass + 1); };
+    } else {
+      pass_done = [run, on_done]() {
+        if (on_done) on_done();
+        *run = nullptr;  // release the self-reference
+      };
+    }
+    start_pass(std::move(pass_done));
+  };
+  (*run)(0);
 }
 
 void fill_traffic(RunReport& report, const net::Network& network,
@@ -134,11 +168,12 @@ RunReport run_scheme(const SchemeRunOptions& options) {
   sim::SimTime finish = -1;
   auto on_done = [&cluster, &finish]() { finish = cluster.simulator().now(); };
 
-  std::unique_ptr<TsExecutor> ts;
-  std::unique_ptr<ActiveExecutor> active;
+  std::vector<std::unique_ptr<TsExecutor>> ts_execs;
+  std::vector<std::unique_ptr<ActiveExecutor>> active_execs;
   std::unique_ptr<ActiveStorageClient> asc;
   pfs::FileId output = pfs::kInvalidFile;
   SubmissionResult das_result;
+  const std::uint32_t repeats = options.repeat_count;
 
   switch (options.scheme) {
     case Scheme::kTS: {
@@ -152,13 +187,22 @@ RunReport run_scheme(const SchemeRunOptions& options) {
             nullptr);
       }
       TsExecutor::Options opt{kernel.get(), halo_strips, workload.with_data};
-      ts = std::make_unique<TsExecutor>(cluster, opt);
       cluster.simulator().schedule_at(
           options.cluster.job_startup,
-          [&cluster, &ts, input, output, on_done]() {
+          [&cluster, &ts_execs, opt, input, output, on_done, repeats]() {
             cluster.metadata_cache(0).lookup(
-                input, [&ts, input, output, on_done](pfs::FileInfo) {
-                  ts->start(input, output, on_done);
+                input, [&cluster, &ts_execs, opt, input, output, on_done,
+                        repeats](pfs::FileInfo) {
+                  run_repeated(
+                      repeats,
+                      [&cluster, &ts_execs, opt, input,
+                       output](std::function<void()> pass_done) {
+                        ts_execs.push_back(
+                            std::make_unique<TsExecutor>(cluster, opt));
+                        ts_execs.back()->start(input, output,
+                                               std::move(pass_done));
+                      },
+                      on_done);
                 });
           },
           "job.start");
@@ -174,13 +218,22 @@ RunReport run_scheme(const SchemeRunOptions& options) {
       }
       ActiveExecutor::Options opt{kernel.get(), halo_strips,
                                   workload.with_data};
-      active = std::make_unique<ActiveExecutor>(cluster, opt);
       cluster.simulator().schedule_at(
           options.cluster.job_startup,
-          [&cluster, &active, input, output, on_done]() {
+          [&cluster, &active_execs, opt, input, output, on_done, repeats]() {
             cluster.metadata_cache(0).lookup(
-                input, [&active, input, output, on_done](pfs::FileInfo) {
-                  active->start(input, output, on_done);
+                input, [&cluster, &active_execs, opt, input, output, on_done,
+                        repeats](pfs::FileInfo) {
+                  run_repeated(
+                      repeats,
+                      [&cluster, &active_execs, opt, input,
+                       output](std::function<void()> pass_done) {
+                        active_execs.push_back(
+                            std::make_unique<ActiveExecutor>(cluster, opt));
+                        active_execs.back()->start(input, output,
+                                                   std::move(pass_done));
+                      },
+                      on_done);
                 });
           },
           "job.start");
@@ -193,11 +246,12 @@ RunReport run_scheme(const SchemeRunOptions& options) {
       cluster.simulator().schedule_at(
           options.cluster.job_startup,
           [&asc, &das_result, &workload, input, on_done,
-           pipeline = options.pipeline_length]() {
+           pipeline = options.pipeline_length, repeats]() {
             ActiveRequest request;
             request.input = input;
             request.kernel_name = workload.kernel_name;
             request.pipeline_length = pipeline;
+            request.repeat_count = repeats;
             request.data_mode = workload.with_data;
             das_result = asc->submit(request, on_done);
           },
@@ -212,6 +266,7 @@ RunReport run_scheme(const SchemeRunOptions& options) {
   report.exec_seconds = sim::to_seconds(finish);
   fill_traffic(report, cluster.network(), before);
   fill_utilization(report, cluster, finish);
+  fill_cache_stats(report, cluster);
 
   if (options.scheme == Scheme::kDAS) {
     output = das_result.output;
@@ -302,6 +357,7 @@ std::vector<RunReport> run_pipeline(
       request.kernel_name = kernel.name();
       request.pipeline_length =
           static_cast<std::uint32_t>(stages->size() - i);
+      request.repeat_count = options.repeat_count;
       request.data_mode = workload.with_data;
       const SubmissionResult r = asc->submit(request, stage_done);
       stage.output = r.output;
@@ -318,14 +374,27 @@ std::vector<RunReport> run_pipeline(
       }
       if (options.scheme == Scheme::kNAS) {
         ActiveExecutor::Options opt{&kernel, halo, workload.with_data};
-        active_execs->push_back(
-            std::make_unique<ActiveExecutor>(cluster, opt));
-        active_execs->back()->start(in, stage.output, stage_done);
+        run_repeated(
+            options.repeat_count,
+            [&cluster, active_execs, opt, in,
+             out = stage.output](std::function<void()> pass_done) {
+              active_execs->push_back(
+                  std::make_unique<ActiveExecutor>(cluster, opt));
+              active_execs->back()->start(in, out, std::move(pass_done));
+            },
+            stage_done);
         stage.report.offloaded = true;
       } else {
         TsExecutor::Options opt{&kernel, halo, workload.with_data};
-        ts_execs->push_back(std::make_unique<TsExecutor>(cluster, opt));
-        ts_execs->back()->start(in, stage.output, stage_done);
+        run_repeated(
+            options.repeat_count,
+            [&cluster, ts_execs, opt, in,
+             out = stage.output](std::function<void()> pass_done) {
+              ts_execs->push_back(
+                  std::make_unique<TsExecutor>(cluster, opt));
+              ts_execs->back()->start(in, out, std::move(pass_done));
+            },
+            stage_done);
       }
     }
   };
@@ -369,6 +438,7 @@ std::vector<RunReport> run_pipeline(
     reports.push_back(stage.report);
   }
   combined.exec_seconds = sim::to_seconds(stages->back().finish);
+  fill_cache_stats(combined, cluster);
   reports.push_back(combined);
   return reports;
 }

@@ -34,6 +34,10 @@ struct SchemeRunOptions {
   bool pre_distributed = true;
   /// Successive operations sharing the dependence pattern (decision input).
   std::uint32_t pipeline_length = 1;
+  /// How many times the whole operation re-runs over the same input within
+  /// one simulation (recurring analyses of a hot dataset). Repeats past the
+  /// first can hit the servers' strip caches when those are enabled.
+  std::uint32_t repeat_count = 1;
 };
 
 /// Run one scheme on one workload and report the result.

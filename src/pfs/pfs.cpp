@@ -100,6 +100,10 @@ std::uint64_t Pfs::redistribute(FileId file,
   const std::uint64_t n = entry.meta.num_strips();
   std::uint64_t bytes_moved = 0;
 
+  // The file's placement is about to change wholesale: any cached copy of
+  // its strips may soon disagree with the authoritative holders.
+  cache_hub_.invalidate_file(file);
+
   // Completion bookkeeping shared by all in-flight transfers.
   auto outstanding = std::make_shared<std::uint64_t>(0);
   auto finished_issuing = std::make_shared<bool>(false);
@@ -188,6 +192,23 @@ std::vector<std::byte> Pfs::gather_bytes(FileId file) const {
 std::uint64_t Pfs::total_stored_bytes() const {
   std::uint64_t total = 0;
   for (const auto& s : servers_) total += s->store().stored_bytes();
+  return total;
+}
+
+void Pfs::enable_strip_caches(const cache::CacheConfig& config) {
+  DAS_REQUIRE(caches_.empty());
+  if (!config.active()) return;
+  caches_.reserve(servers_.size());
+  for (const auto& server : servers_) {
+    caches_.push_back(std::make_unique<cache::StripCache>(config));
+    cache_hub_.attach(caches_.back().get());
+    server->attach_cache(caches_.back().get(), &cache_hub_);
+  }
+}
+
+cache::CacheStats Pfs::cache_stats() const {
+  cache::CacheStats total;
+  for (const auto& c : caches_) total += c->stats();
   return total;
 }
 

@@ -11,6 +11,7 @@
 #include <memory>
 #include <vector>
 
+#include "cache/strip_cache.hpp"
 #include "net/network.hpp"
 #include "pfs/file.hpp"
 #include "pfs/layout.hpp"
@@ -76,6 +77,17 @@ class Pfs {
   /// replicas).
   [[nodiscard]] std::uint64_t total_stored_bytes() const;
 
+  /// Equip every server with a remote-strip cache of `config` and register
+  /// the caches on one invalidation hub. No-op when the config is inactive
+  /// (disabled or zero capacity), so byte flows stay bit-identical to the
+  /// uncached system. Call at most once, before any traffic.
+  void enable_strip_caches(const cache::CacheConfig& config);
+
+  [[nodiscard]] bool caching_enabled() const { return !caches_.empty(); }
+
+  /// Aggregate cache statistics over every server (zeroes when off).
+  [[nodiscard]] cache::CacheStats cache_stats() const;
+
  private:
   struct FileEntry {
     FileMeta meta;
@@ -87,6 +99,8 @@ class Pfs {
   std::vector<net::NodeId> server_nodes_;
   std::vector<std::unique_ptr<PfsServer>> servers_;
   std::vector<FileEntry> files_;
+  std::vector<std::unique_ptr<cache::StripCache>> caches_;
+  cache::InvalidationHub cache_hub_;
 };
 
 }  // namespace das::pfs

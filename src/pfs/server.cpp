@@ -71,6 +71,7 @@ sim::SimTime PfsServer::read_local(FileId file, std::uint64_t strip) {
 
 sim::SimTime PfsServer::write_local(FileId file, const StripRef& strip,
                                     std::vector<std::byte> data) {
+  if (hub_ != nullptr) hub_->invalidate(cache::CacheKey{file, strip.index});
   store_.put(file, strip.index, strip.length, std::move(data));
   return disk_.write(sim_.now(), store_.disk_offset(file, strip.index),
                      strip.length);

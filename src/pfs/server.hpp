@@ -12,6 +12,7 @@
 #include <functional>
 #include <vector>
 
+#include "cache/strip_cache.hpp"
 #include "net/network.hpp"
 #include "pfs/file.hpp"
 #include "pfs/store.hpp"
@@ -55,9 +56,22 @@ class PfsServer {
   /// Reserves the disk and returns the completion time.
   sim::SimTime read_local(FileId file, std::uint64_t strip);
 
-  /// Local strip write (creates the strip if new).
+  /// Local strip write (creates the strip if new). Invalidates the strip in
+  /// every attached remote-strip cache — peers may hold a stale halo copy.
   sim::SimTime write_local(FileId file, const StripRef& strip,
                            std::vector<std::byte> data);
+
+  /// Attach this server's remote-strip cache and the PFS-wide invalidation
+  /// hub (both owned by the Pfs; either may be null = caching off).
+  void attach_cache(cache::StripCache* strip_cache,
+                    cache::InvalidationHub* hub) {
+    cache_ = strip_cache;
+    hub_ = hub;
+  }
+
+  /// The remote-strip cache on this server, or nullptr when caching is off.
+  [[nodiscard]] cache::StripCache* strip_cache() { return cache_; }
+  [[nodiscard]] const cache::StripCache* strip_cache() const { return cache_; }
 
   /// Requests served on behalf of other nodes (the NAS service load).
   [[nodiscard]] std::uint64_t remote_reads_served() const {
@@ -75,6 +89,8 @@ class PfsServer {
   ServerStore store_;
   std::uint64_t remote_reads_served_ = 0;
   std::uint64_t remote_bytes_served_ = 0;
+  cache::StripCache* cache_ = nullptr;
+  cache::InvalidationHub* hub_ = nullptr;
 };
 
 }  // namespace das::pfs

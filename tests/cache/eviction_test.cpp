@@ -1,0 +1,97 @@
+#include "cache/eviction.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace das::cache {
+namespace {
+
+CacheKey key(std::uint64_t strip) { return CacheKey{0, strip}; }
+
+TEST(MakePolicyTest, KnownNamesAndUnknownNames) {
+  EXPECT_EQ(make_policy("lru")->name(), "lru");
+  EXPECT_EQ(make_policy("lfu")->name(), "lfu");
+  EXPECT_THROW((void)make_policy("arc"), std::invalid_argument);
+  EXPECT_THROW((void)make_policy(""), std::invalid_argument);
+}
+
+TEST(LruPolicyTest, VictimIsLeastRecentlyUsed) {
+  LruPolicy lru;
+  lru.on_insert(key(1));
+  lru.on_insert(key(2));
+  lru.on_insert(key(3));
+  EXPECT_EQ(lru.tracked(), 3U);
+  EXPECT_EQ(lru.victim(), key(1));
+
+  lru.on_hit(key(1));  // 2 is now the coldest
+  EXPECT_EQ(lru.victim(), key(2));
+}
+
+TEST(LruPolicyTest, EraseRemovesFromTheOrder) {
+  LruPolicy lru;
+  lru.on_insert(key(1));
+  lru.on_insert(key(2));
+  lru.on_erase(key(1));
+  EXPECT_EQ(lru.tracked(), 1U);
+  EXPECT_EQ(lru.victim(), key(2));
+}
+
+TEST(LruPolicyTest, ReinsertionOfAnErasedKeyStartsFresh) {
+  LruPolicy lru;
+  lru.on_insert(key(1));
+  lru.on_insert(key(2));
+  lru.on_erase(key(1));
+  lru.on_insert(key(1));  // now newer than 2
+  EXPECT_EQ(lru.victim(), key(2));
+}
+
+TEST(LfuPolicyTest, VictimHasTheLowestFrequency) {
+  LfuPolicy lfu;
+  lfu.on_insert(key(1));
+  lfu.on_insert(key(2));
+  lfu.on_hit(key(1));
+  lfu.on_hit(key(1));
+  lfu.on_hit(key(2));
+  lfu.on_insert(key(3));  // frequency 1, the only one
+  EXPECT_EQ(lfu.victim(), key(3));
+}
+
+TEST(LfuPolicyTest, TiesBreakTowardTheMostRecentEntry) {
+  // All at frequency 1: the newest entry is the probationary victim, so a
+  // cyclic scan larger than the cache churns one slot instead of rotating
+  // every resident entry out (scan resistance).
+  LfuPolicy lfu;
+  lfu.on_insert(key(1));
+  lfu.on_insert(key(2));
+  lfu.on_insert(key(3));
+  EXPECT_EQ(lfu.victim(), key(3));
+
+  lfu.on_hit(key(3));  // 3 leaves the tie; 1 and 2 remain at frequency 1
+  EXPECT_EQ(lfu.victim(), key(2));
+}
+
+TEST(LfuPolicyTest, EraseForgetsTheFrequency) {
+  LfuPolicy lfu;
+  lfu.on_insert(key(1));
+  lfu.on_hit(key(1));
+  lfu.on_hit(key(1));
+  lfu.on_erase(key(1));
+  EXPECT_EQ(lfu.tracked(), 0U);
+  lfu.on_insert(key(1));  // back to frequency 1
+  lfu.on_insert(key(2));
+  lfu.on_hit(key(2));
+  EXPECT_EQ(lfu.victim(), key(1));
+}
+
+TEST(LfuPolicyTest, KeysOnDifferentFilesAreDistinct) {
+  LfuPolicy lfu;
+  lfu.on_insert(CacheKey{1, 7});
+  lfu.on_insert(CacheKey{2, 7});
+  lfu.on_hit(CacheKey{1, 7});
+  EXPECT_EQ(lfu.tracked(), 2U);
+  EXPECT_EQ(lfu.victim(), (CacheKey{2, 7}));
+}
+
+}  // namespace
+}  // namespace das::cache

@@ -1,0 +1,179 @@
+#include "cache/strip_cache.hpp"
+
+#include <gtest/gtest.h>
+
+namespace das::cache {
+namespace {
+
+CacheConfig config_of(std::uint64_t capacity,
+                      const std::string& policy = "lru") {
+  CacheConfig config;
+  config.enabled = true;
+  config.capacity_bytes = capacity;
+  config.policy = policy;
+  return config;
+}
+
+CacheKey key(std::uint64_t strip) { return CacheKey{0, strip}; }
+
+TEST(CacheConfigTest, ActiveNeedsBothTheSwitchAndCapacity) {
+  CacheConfig config;
+  EXPECT_FALSE(config.active());
+  config.enabled = true;
+  EXPECT_FALSE(config.active());  // zero capacity
+  config.capacity_bytes = 1;
+  EXPECT_TRUE(config.active());
+  config.enabled = false;
+  EXPECT_FALSE(config.active());
+}
+
+TEST(StripCacheTest, LookupRecordsHitsAndMisses) {
+  StripCache cache(config_of(1024));
+  EXPECT_EQ(cache.lookup(key(1)), nullptr);
+  cache.insert(key(1), 100, {});
+  const CachedStrip* hit = cache.lookup(key(1));
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->length, 100U);
+  EXPECT_EQ(cache.stats().hits, 1U);
+  EXPECT_EQ(cache.stats().misses, 1U);
+  EXPECT_EQ(cache.stats().hit_bytes, 100U);
+  EXPECT_EQ(cache.stats().miss_bytes, 100U);
+}
+
+TEST(StripCacheTest, CapacityIsNeverExceeded) {
+  StripCache cache(config_of(250));
+  for (std::uint64_t s = 0; s < 10; ++s) {
+    cache.insert(key(s), 100, {});
+    EXPECT_LE(cache.used_bytes(), 250U);
+  }
+  EXPECT_EQ(cache.entry_count(), 2U);
+  EXPECT_EQ(cache.stats().evictions, 8U);
+  EXPECT_EQ(cache.stats().evicted_bytes, 800U);
+}
+
+TEST(StripCacheTest, LruEvictsTheColdestStrip) {
+  StripCache cache(config_of(300));
+  cache.insert(key(1), 100, {});
+  cache.insert(key(2), 100, {});
+  cache.insert(key(3), 100, {});
+  (void)cache.lookup(key(1));      // warm 1: the coldest is now 2
+  cache.insert(key(4), 100, {});
+  EXPECT_TRUE(cache.contains(key(1)));
+  EXPECT_FALSE(cache.contains(key(2)));
+  EXPECT_TRUE(cache.contains(key(3)));
+  EXPECT_TRUE(cache.contains(key(4)));
+}
+
+TEST(StripCacheTest, OversizedStripIsNotCachedAndEvictsNothing) {
+  StripCache cache(config_of(100));
+  cache.insert(key(1), 60, {});
+  cache.insert(key(2), 500, {});  // larger than the whole cache
+  EXPECT_FALSE(cache.contains(key(2)));
+  EXPECT_TRUE(cache.contains(key(1)));
+  EXPECT_EQ(cache.stats().evictions, 0U);
+}
+
+TEST(StripCacheTest, ReinsertingAKeyReplacesItsBytes) {
+  StripCache cache(config_of(1024));
+  cache.insert(key(1), 100,
+               std::vector<std::byte>(100, std::byte{0xAA}));
+  cache.insert(key(1), 200,
+               std::vector<std::byte>(200, std::byte{0xBB}));
+  EXPECT_EQ(cache.entry_count(), 1U);
+  EXPECT_EQ(cache.used_bytes(), 200U);
+  const CachedStrip* hit = cache.lookup(key(1));
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->length, 200U);
+  EXPECT_EQ(hit->bytes.front(), std::byte{0xBB});
+}
+
+TEST(StripCacheTest, InvalidationDropsTheStripWithoutCountingEviction) {
+  StripCache cache(config_of(1024));
+  cache.insert(key(1), 100, {});
+  cache.invalidate(key(1));
+  EXPECT_FALSE(cache.contains(key(1)));
+  EXPECT_EQ(cache.used_bytes(), 0U);
+  EXPECT_EQ(cache.stats().invalidations, 1U);
+  EXPECT_EQ(cache.stats().evictions, 0U);
+  cache.invalidate(key(1));  // absent: no double count
+  EXPECT_EQ(cache.stats().invalidations, 1U);
+}
+
+TEST(StripCacheTest, InvalidateFileDropsOnlyThatFile) {
+  StripCache cache(config_of(1024));
+  cache.insert(CacheKey{1, 0}, 50, {});
+  cache.insert(CacheKey{1, 9}, 50, {});
+  cache.insert(CacheKey{2, 0}, 50, {});
+  cache.invalidate_file(1);
+  EXPECT_FALSE(cache.contains(CacheKey{1, 0}));
+  EXPECT_FALSE(cache.contains(CacheKey{1, 9}));
+  EXPECT_TRUE(cache.contains(CacheKey{2, 0}));
+  EXPECT_EQ(cache.stats().invalidations, 2U);
+}
+
+TEST(StripCacheTest, LfuKeepsAFrequentSubsetResidentUnderCyclicScans) {
+  // Cyclic scan of 8 strips through a 4-strip cache, 8 passes. LRU always
+  // evicts exactly the strip it will need next, so it never hits; LFU's
+  // MRU tie-break confines the churn to one probationary slot and serves
+  // the resident strips from cache every pass.
+  StripCache lru(config_of(400, "lru"));
+  StripCache lfu(config_of(400, "lfu"));
+  for (int pass = 0; pass < 8; ++pass) {
+    for (std::uint64_t s = 0; s < 8; ++s) {
+      for (StripCache* cache : {&lru, &lfu}) {
+        if (cache->lookup(key(s)) == nullptr) {
+          cache->insert(key(s), 100, {});
+        }
+      }
+    }
+  }
+  EXPECT_EQ(lru.stats().hits, 0U);
+  EXPECT_GT(lfu.stats().hits, 0U);
+  EXPECT_GT(lfu.stats().hit_rate(), 0.3);
+}
+
+TEST(InvalidationHubTest, BroadcastsToEveryAttachedCache) {
+  StripCache a(config_of(1024));
+  StripCache b(config_of(1024));
+  InvalidationHub hub;
+  hub.attach(&a);
+  hub.attach(&b);
+  EXPECT_EQ(hub.attached(), 2U);
+
+  a.insert(key(1), 100, {});
+  b.insert(key(1), 100, {});
+  b.insert(CacheKey{7, 3}, 100, {});
+  hub.invalidate(key(1));
+  EXPECT_FALSE(a.contains(key(1)));
+  EXPECT_FALSE(b.contains(key(1)));
+  EXPECT_TRUE(b.contains(CacheKey{7, 3}));
+
+  hub.invalidate_file(7);
+  EXPECT_FALSE(b.contains(CacheKey{7, 3}));
+}
+
+TEST(CacheStatsTest, AccumulationSumsEveryCounter) {
+  CacheStats a;
+  a.hits = 1;
+  a.misses = 2;
+  a.insertions = 3;
+  a.evictions = 4;
+  a.invalidations = 5;
+  a.hit_bytes = 6;
+  a.miss_bytes = 7;
+  a.evicted_bytes = 8;
+  CacheStats b = a;
+  b += a;
+  EXPECT_EQ(b.hits, 2U);
+  EXPECT_EQ(b.misses, 4U);
+  EXPECT_EQ(b.insertions, 6U);
+  EXPECT_EQ(b.evictions, 8U);
+  EXPECT_EQ(b.invalidations, 10U);
+  EXPECT_EQ(b.hit_bytes, 12U);
+  EXPECT_EQ(b.miss_bytes, 14U);
+  EXPECT_EQ(b.evicted_bytes, 16U);
+  EXPECT_DOUBLE_EQ(b.hit_rate(), 2.0 / 6.0);
+}
+
+}  // namespace
+}  // namespace das::cache

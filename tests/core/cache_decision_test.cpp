@@ -1,0 +1,177 @@
+// Cache-aware offload decisions: a server-side strip cache big enough to
+// hold the steady-state halo working set makes repeated offloading under
+// the CURRENT layout cheaper than redistribution (or than normal I/O), so
+// the engine flips its verdict — and a disabled or zero-capacity cache
+// reproduces the uncached decisions exactly.
+#include <gtest/gtest.h>
+
+#include "cache/strip_cache.hpp"
+#include "core/decision.hpp"
+#include "kernels/features.hpp"
+
+namespace das::core {
+namespace {
+
+pfs::FileMeta raster_meta(std::uint64_t strips) {
+  pfs::FileMeta m;
+  m.name = "f";
+  m.strip_size = 64;
+  m.element_size = 4;
+  m.size_bytes = strips * m.strip_size;
+  m.raster_width = 15;  // (W+1)*E == strip: stencil reach = one strip
+  m.raster_height = static_cast<std::uint32_t>(strips * 64 /
+                                               ((15 + 1) * 4));
+  return m;
+}
+
+DistributionConfig dist_config() {
+  DistributionConfig cfg;
+  cfg.group_size = 16;
+  cfg.max_capacity_overhead = 0.25;
+  return cfg;
+}
+
+cache::CacheConfig cache_config(std::uint64_t capacity) {
+  cache::CacheConfig cfg;
+  cfg.enabled = true;
+  cfg.capacity_bytes = capacity;
+  return cfg;
+}
+
+TEST(CacheDecisionTest, LargeCacheFlipsRedistributionToOffloadAsIs) {
+  // Uncached, 16 repeats of a stencil on round-robin favour paying the
+  // one-time redistribution; with a cache that absorbs every repeat's halo
+  // fetches, offloading as-is only pays the first pass and wins.
+  const auto meta = raster_meta(1024);
+  const pfs::RoundRobinLayout rr(12);
+  const auto features = kernels::eight_neighbor_pattern("op");
+
+  const DecisionEngine uncached(dist_config());
+  const Decision before = uncached.decide(meta, rr, features, meta.size_bytes,
+                                          /*pipeline=*/1, /*repeats=*/16);
+  EXPECT_EQ(before.action, OffloadAction::kOffloadAfterRedistribution);
+  EXPECT_EQ(before.predicted_hit_rate, 0.0);
+
+  const DecisionEngine cached(dist_config(), cache_config(1ULL << 30));
+  const Decision after = cached.decide(meta, rr, features, meta.size_bytes,
+                                       /*pipeline=*/1, /*repeats=*/16);
+  EXPECT_EQ(after.action, OffloadAction::kOffload);
+  EXPECT_DOUBLE_EQ(after.predicted_hit_rate, 1.0);
+  EXPECT_LT(after.predicted_bytes, before.predicted_bytes);
+}
+
+TEST(CacheDecisionTest, LargeCacheFlipsNormalServiceToOffload) {
+  // No feasible target placement exists for this small file, so uncached
+  // repeats are served as normal I/O; the cache makes repeated offloading
+  // under round-robin cheaper than shipping the file every pass.
+  const auto meta = raster_meta(16);
+  const pfs::RoundRobinLayout rr(4);
+  const auto features = kernels::eight_neighbor_pattern("op");
+
+  const DecisionEngine uncached(dist_config());
+  const Decision before = uncached.decide(meta, rr, features, meta.size_bytes,
+                                          /*pipeline=*/1, /*repeats=*/8);
+  EXPECT_EQ(before.action, OffloadAction::kServeNormal);
+  EXPECT_FALSE(before.target.has_value());
+
+  const DecisionEngine cached(dist_config(), cache_config(1ULL << 30));
+  const Decision after = cached.decide(meta, rr, features, meta.size_bytes,
+                                       /*pipeline=*/1, /*repeats=*/8);
+  EXPECT_EQ(after.action, OffloadAction::kOffload);
+}
+
+TEST(CacheDecisionTest, DisabledAndZeroCapacityCachesMatchUncachedExactly) {
+  // Every (pipeline, repeats) combination must produce identical decisions,
+  // predicted bytes AND rationale text when the cache cannot hold anything.
+  const auto meta = raster_meta(1024);
+  const pfs::RoundRobinLayout rr(12);
+  const auto features = kernels::eight_neighbor_pattern("op");
+
+  const DecisionEngine uncached(dist_config());
+  cache::CacheConfig disabled;  // enabled == false
+  const DecisionEngine with_disabled(dist_config(), disabled);
+  cache::CacheConfig zero;
+  zero.enabled = true;  // switched on but sized to nothing
+  zero.capacity_bytes = 0;
+  const DecisionEngine with_zero(dist_config(), zero);
+
+  for (const std::uint32_t pipeline : {1U, 4U}) {
+    for (const std::uint32_t repeats : {1U, 16U}) {
+      const Decision a = uncached.decide(meta, rr, features, meta.size_bytes,
+                                         pipeline, repeats);
+      const Decision b = with_disabled.decide(meta, rr, features,
+                                              meta.size_bytes, pipeline,
+                                              repeats);
+      const Decision c = with_zero.decide(meta, rr, features, meta.size_bytes,
+                                          pipeline, repeats);
+      EXPECT_EQ(a.action, b.action);
+      EXPECT_EQ(a.action, c.action);
+      EXPECT_EQ(a.predicted_bytes, b.predicted_bytes);
+      EXPECT_EQ(a.predicted_bytes, c.predicted_bytes);
+      EXPECT_EQ(a.rationale, b.rationale);
+      EXPECT_EQ(a.rationale, c.rationale);
+      EXPECT_EQ(b.predicted_hit_rate, 0.0);
+      EXPECT_EQ(c.predicted_hit_rate, 0.0);
+    }
+  }
+}
+
+TEST(CacheDecisionTest, SingleInvocationIgnoresTheCache) {
+  // With repeat_count == 1 there is no steady state to exploit: the cached
+  // engine must reproduce the uncached verdict and predicted bytes.
+  const auto meta = raster_meta(1024);
+  const pfs::RoundRobinLayout rr(12);
+  const auto features = kernels::eight_neighbor_pattern("op");
+
+  const DecisionEngine uncached(dist_config());
+  const DecisionEngine cached(dist_config(), cache_config(1ULL << 30));
+  for (const std::uint32_t pipeline : {1U, 4U}) {
+    const Decision a =
+        uncached.decide(meta, rr, features, meta.size_bytes, pipeline);
+    const Decision b =
+        cached.decide(meta, rr, features, meta.size_bytes, pipeline);
+    EXPECT_EQ(a.action, b.action);
+    EXPECT_EQ(a.predicted_bytes, b.predicted_bytes);
+  }
+}
+
+TEST(CacheDecisionTest, HitRatePredictionGradesWithCapacity) {
+  const auto meta = raster_meta(1024);
+  const auto features = kernels::eight_neighbor_pattern("op");
+  const auto offsets = features.resolve(meta.raster_width);
+  PlacementSpec rr;
+  rr.num_servers = 12;
+  const TrafficForecast forecast =
+      forecast_traffic(meta, offsets, rr, meta.size_bytes);
+  ASSERT_GT(forecast.active_strip_fetch_bytes, 0U);
+
+  const std::uint64_t working_set =
+      forecast.active_strip_fetch_bytes / rr.num_servers;
+  EXPECT_EQ(predicted_cache_hit_rate(forecast, rr, 0), 0.0);
+  EXPECT_NEAR(predicted_cache_hit_rate(forecast, rr, working_set / 2), 0.5,
+              1e-9);
+  EXPECT_EQ(predicted_cache_hit_rate(forecast, rr, working_set * 2), 1.0);
+
+  // Monotone in capacity.
+  double last = 0.0;
+  for (std::uint64_t cap = 0; cap <= working_set * 2;
+       cap += working_set / 4) {
+    const double rate = predicted_cache_hit_rate(forecast, rr, cap);
+    EXPECT_GE(rate, last);
+    last = rate;
+  }
+
+  // A replicated layout that already satisfies the halo has nothing to
+  // cache.
+  PlacementSpec das;
+  das.num_servers = 12;
+  das.group_size = 16;
+  das.halo = 1;
+  const TrafficForecast quiet =
+      forecast_traffic(meta, offsets, das, meta.size_bytes);
+  EXPECT_EQ(quiet.active_strip_fetch_bytes, 0U);
+  EXPECT_EQ(predicted_cache_hit_rate(quiet, das, 1ULL << 30), 0.0);
+}
+
+}  // namespace
+}  // namespace das::core

@@ -1,0 +1,115 @@
+// End-to-end strip-cache behaviour through run_scheme: repeated NAS passes
+// over the same round-robin file hit the per-server caches, replacing
+// server-to-server halo traffic with local memory copies — while a
+// cache-off run reproduces the uncached byte flows exactly, and writes keep
+// the caches coherent (correctness mode stays bit-exact across repeats).
+#include <gtest/gtest.h>
+
+#include "core/scheme.hpp"
+
+namespace das::core {
+namespace {
+
+SchemeRunOptions nas_timing_options(std::uint32_t repeats,
+                                    std::uint64_t cache_capacity,
+                                    const std::string& policy = "lru") {
+  SchemeRunOptions o;
+  o.scheme = Scheme::kNAS;
+  o.workload.kernel_name = "flow-routing";
+  o.workload.data_bytes = 256ULL << 20;  // 256 strips of 1 MiB
+  o.workload.strip_size = 1ULL << 20;
+  o.workload.raster_width =
+      static_cast<std::uint32_t>(o.workload.strip_size / 4) - 1;
+  o.cluster.storage_nodes = 4;
+  o.cluster.compute_nodes = 4;
+  o.cluster.job_startup = 0;
+  o.repeat_count = repeats;
+  o.cluster.server_cache.enabled = cache_capacity > 0;
+  o.cluster.server_cache.capacity_bytes = cache_capacity;
+  o.cluster.server_cache.policy = policy;
+  return o;
+}
+
+TEST(CacheIntegrationTest, CacheOffMatchesTheSeedByteFlowsExactly) {
+  // A zero-capacity cache never attaches, so repeated and single runs with
+  // it must match runs that never heard of the cache config at all.
+  const RunReport off = run_scheme(nas_timing_options(1, 0));
+  SchemeRunOptions disabled = nas_timing_options(1, 64ULL << 20);
+  disabled.cluster.server_cache.enabled = false;
+  const RunReport off2 = run_scheme(disabled);
+  EXPECT_EQ(off.server_server_bytes, off2.server_server_bytes);
+  EXPECT_EQ(off.client_server_bytes, off2.client_server_bytes);
+  EXPECT_EQ(off.control_messages, off2.control_messages);
+  EXPECT_DOUBLE_EQ(off.exec_seconds, off2.exec_seconds);
+  EXPECT_EQ(off.cache_hits, 0U);
+  EXPECT_EQ(off.cache_misses, 0U);
+}
+
+TEST(CacheIntegrationTest, RepeatsHitTheCacheAndShedHaloTraffic) {
+  const std::uint32_t repeats = 4;
+  const RunReport uncached = run_scheme(nas_timing_options(repeats, 0));
+  const RunReport cached =
+      run_scheme(nas_timing_options(repeats, 1ULL << 30));
+
+  EXPECT_EQ(uncached.cache_hits, 0U);
+  EXPECT_GT(cached.cache_hits, 0U);
+  EXPECT_GT(cached.cache_hit_bytes, 0U);
+  EXPECT_GT(cached.cache_hit_rate(), 0.5);  // 3 of 4 passes fully cached
+  EXPECT_LT(cached.server_server_bytes, uncached.server_server_bytes);
+  EXPECT_LT(cached.exec_seconds, uncached.exec_seconds);
+}
+
+TEST(CacheIntegrationTest, FirstPassIsAllMissesSoSinglePassGainsNothing) {
+  const RunReport uncached = run_scheme(nas_timing_options(1, 0));
+  const RunReport cached = run_scheme(nas_timing_options(1, 1ULL << 30));
+  EXPECT_EQ(cached.cache_hits, 0U);
+  EXPECT_GT(cached.cache_misses, 0U);
+  EXPECT_EQ(cached.server_server_bytes, uncached.server_server_bytes);
+}
+
+TEST(CacheIntegrationTest, TinyCacheStillBoundsItself) {
+  // One strip of capacity: almost everything evicts, nothing breaks, and
+  // traffic is no worse than the uncached run.
+  const RunReport uncached = run_scheme(nas_timing_options(3, 0));
+  const RunReport cached =
+      run_scheme(nas_timing_options(3, 1ULL << 20, "lfu"));
+  EXPECT_GT(cached.cache_evictions, 0U);
+  EXPECT_LE(cached.server_server_bytes, uncached.server_server_bytes);
+}
+
+TEST(CacheIntegrationTest, RepeatedDataModeRunsStayBitExact) {
+  // Correctness mode with caching on: every pass rewrites the output file
+  // (write invalidations keep the caches coherent) and the final output
+  // still matches the sequential reference bit for bit.
+  SchemeRunOptions o;
+  o.scheme = Scheme::kNAS;
+  o.workload.kernel_name = "median-3x3";
+  o.workload.strip_size = 64;
+  o.workload.element_size = 4;
+  o.workload.data_bytes = 128 * 64;
+  o.workload.with_data = true;
+  o.cluster.storage_nodes = 4;
+  o.cluster.compute_nodes = 4;
+  o.cluster.job_startup = 0;
+  o.repeat_count = 3;
+  o.cluster.server_cache.enabled = true;
+  o.cluster.server_cache.capacity_bytes = 1ULL << 20;
+  const RunReport report = run_scheme(o);
+  EXPECT_TRUE(report.output_verified)
+      << "max error " << report.output_max_error;
+  EXPECT_GT(report.cache_hits, 0U);
+}
+
+TEST(CacheIntegrationTest, DasReplicatedLayoutHasNothingToCache) {
+  SchemeRunOptions o = nas_timing_options(4, 1ULL << 30);
+  o.scheme = Scheme::kDAS;
+  o.distribution.group_size = 16;
+  o.distribution.max_capacity_overhead = 1.0;
+  const RunReport report = run_scheme(o);
+  EXPECT_TRUE(report.offloaded);
+  // The halo is replicated locally: no remote fetches, so no cache traffic.
+  EXPECT_EQ(report.cache_hits + report.cache_misses, 0U);
+}
+
+}  // namespace
+}  // namespace das::core

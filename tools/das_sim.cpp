@@ -7,7 +7,8 @@
 //   das_sim [--scheme=all|TS|NAS|DAS] [--kernel=all|<name>]
 //           [--gib=24] [--nodes=24] [--trials=1] [--csv]
 //           [--strip-kib=1024] [--group=16] [--budget=0.25]
-//           [--pipeline=1] [--pre-distributed=true]
+//           [--pipeline=1] [--pre-distributed=true] [--repeats=1]
+//           [--cache-mib=0] [--cache-policy=lru]
 //           [--nic-mibps=110] [--disk-mibps=700] [--compute-mibps=450]
 //           [--startup-s=12] [--jitter=0] [--stragglers=0] [--slowdown=1]
 #include <cmath>
@@ -82,6 +83,14 @@ int main(int argc, char** argv) {
     base.pipeline_length =
         static_cast<std::uint32_t>(args.get_int("pipeline", 1));
     base.pre_distributed = args.get_bool("pre-distributed", true);
+    base.repeat_count =
+        static_cast<std::uint32_t>(args.get_int("repeats", 1));
+    // Server-side strip cache: off unless a capacity is given.
+    const auto cache_mib =
+        static_cast<std::uint64_t>(args.get_int("cache-mib", 0));
+    base.cluster.server_cache.enabled = cache_mib > 0;
+    base.cluster.server_cache.capacity_bytes = cache_mib << 20;
+    base.cluster.server_cache.policy = args.get("cache-policy", "lru");
     if (const std::string u = args.unused(); !u.empty()) {
       std::cerr << "unknown flags: " << u << "\n";
       return 2;
