@@ -1,0 +1,37 @@
+# Regression gate for the disabled==baseline invariant: a das_sim run with
+# the cache and prefetch explicitly switched off (--prefetch=off
+# --prefetch-depth=8 --cache-mib=0) must emit CSV byte-identical to a run
+# that never mentions either subsystem. Catches any code path where an
+# inactive config still perturbs event ordering, byte flows, or reporting.
+#
+# Invoked as: cmake -DDAS_SIM=<path-to-das_sim> -P prefetch_off_baseline.cmake
+if(NOT DEFINED DAS_SIM)
+  message(FATAL_ERROR "pass -DDAS_SIM=<path to das_sim>")
+endif()
+
+set(workload --scheme=NAS --kernel=flow-routing --gib=1 --nodes=8 --csv)
+
+execute_process(
+  COMMAND ${DAS_SIM} ${workload}
+  OUTPUT_VARIABLE baseline_csv
+  RESULT_VARIABLE baseline_rc)
+if(NOT baseline_rc EQUAL 0)
+  message(FATAL_ERROR "baseline das_sim run failed (exit ${baseline_rc})")
+endif()
+
+execute_process(
+  COMMAND ${DAS_SIM} ${workload} --cache-mib=0 --prefetch=off
+          --prefetch-depth=8
+  OUTPUT_VARIABLE disabled_csv
+  RESULT_VARIABLE disabled_rc)
+if(NOT disabled_rc EQUAL 0)
+  message(FATAL_ERROR "disabled-config das_sim run failed (exit ${disabled_rc})")
+endif()
+
+if(NOT baseline_csv STREQUAL disabled_csv)
+  message(FATAL_ERROR
+    "disabled cache+prefetch no longer reproduces the seed NAS CSV\n"
+    "--- baseline ---\n${baseline_csv}\n"
+    "--- disabled ---\n${disabled_csv}")
+endif()
+message(STATUS "disabled cache+prefetch reproduces the seed CSV byte for byte")

@@ -101,9 +101,8 @@ int main(int argc, char** argv) {
   std::printf("dependence reach: %llu strip(s) of halo per side\n",
               static_cast<unsigned long long>(reach));
   if (stride != 0) {
-    const bool eq17 = core::paper_locality_criterion(
-        static_cast<std::uint64_t>(stride < 0 ? -stride : stride), 4, strip,
-        1, servers);
+    const bool eq17 =
+        core::paper_locality_criterion(stride, 4, strip, 1, servers);
     std::printf("paper Eq. 17 on round-robin: %s\n",
                 eq17 ? "local" : "not local");
   }

@@ -15,6 +15,25 @@ CacheStats& CacheStats::operator+=(const CacheStats& other) {
   hit_bytes += other.hit_bytes;
   miss_bytes += other.miss_bytes;
   evicted_bytes += other.evicted_bytes;
+  prefetch_insertions += other.prefetch_insertions;
+  prefetch_hits += other.prefetch_hits;
+  prefetch_hit_bytes += other.prefetch_hit_bytes;
+  return *this;
+}
+
+CacheStats& CacheStats::operator-=(const CacheStats& other) {
+  DAS_REQUIRE(hits >= other.hits && misses >= other.misses);
+  hits -= other.hits;
+  misses -= other.misses;
+  insertions -= other.insertions;
+  evictions -= other.evictions;
+  invalidations -= other.invalidations;
+  hit_bytes -= other.hit_bytes;
+  miss_bytes -= other.miss_bytes;
+  evicted_bytes -= other.evicted_bytes;
+  prefetch_insertions -= other.prefetch_insertions;
+  prefetch_hits -= other.prefetch_hits;
+  prefetch_hit_bytes -= other.prefetch_hit_bytes;
   return *this;
 }
 
@@ -32,15 +51,30 @@ const CachedStrip* StripCache::lookup(const CacheKey& key) {
   }
   ++stats_.hits;
   stats_.hit_bytes += it->second.length;
+  if (it->second.prefetched) {
+    ++stats_.prefetch_hits;
+    stats_.prefetch_hit_bytes += it->second.length;
+    it->second.prefetched = false;  // consumed: later hits are reuse
+  }
   policy_->on_hit(key);
   return &it->second;
 }
 
 void StripCache::insert(const CacheKey& key, std::uint64_t length,
                         std::vector<std::byte> bytes) {
+  stats_.miss_bytes += length;
+  emplace(key, length, std::move(bytes), /*prefetched=*/false);
+}
+
+void StripCache::admit_prefetched(const CacheKey& key, std::uint64_t length,
+                                  std::vector<std::byte> bytes) {
+  emplace(key, length, std::move(bytes), /*prefetched=*/true);
+}
+
+void StripCache::emplace(const CacheKey& key, std::uint64_t length,
+                         std::vector<std::byte> bytes, bool prefetched) {
   DAS_REQUIRE(length > 0);
   DAS_REQUIRE(bytes.empty() || bytes.size() == length);
-  stats_.miss_bytes += length;
   if (length > config_.capacity_bytes) return;  // cannot ever fit
   if (const auto it = entries_.find(key); it != entries_.end()) {
     erase(key, /*count_as_eviction=*/false);
@@ -48,10 +82,14 @@ void StripCache::insert(const CacheKey& key, std::uint64_t length,
   while (used_bytes_ + length > config_.capacity_bytes) {
     erase(policy_->victim(), /*count_as_eviction=*/true);
   }
-  entries_[key] = CachedStrip{length, std::move(bytes)};
+  entries_[key] = CachedStrip{length, std::move(bytes), prefetched};
   used_bytes_ += length;
   policy_->on_insert(key);
-  ++stats_.insertions;
+  if (prefetched) {
+    ++stats_.prefetch_insertions;
+  } else {
+    ++stats_.insertions;
+  }
 }
 
 void StripCache::invalidate(const CacheKey& key) {
@@ -92,12 +130,19 @@ void InvalidationHub::attach(StripCache* cache) {
   caches_.push_back(cache);
 }
 
+void InvalidationHub::attach_listener(Listener listener) {
+  DAS_REQUIRE(listener.on_key != nullptr && listener.on_file != nullptr);
+  listeners_.push_back(std::move(listener));
+}
+
 void InvalidationHub::invalidate(const CacheKey& key) {
   for (StripCache* cache : caches_) cache->invalidate(key);
+  for (const Listener& listener : listeners_) listener.on_key(key);
 }
 
 void InvalidationHub::invalidate_file(std::uint64_t file) {
   for (StripCache* cache : caches_) cache->invalidate_file(file);
+  for (const Listener& listener : listeners_) listener.on_file(file);
 }
 
 }  // namespace das::cache

@@ -18,6 +18,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -51,6 +52,15 @@ struct CacheStats {
   std::uint64_t miss_bytes = 0;
   std::uint64_t evicted_bytes = 0;
 
+  /// Prefetch accounting. `prefetch_insertions` counts entries admitted via
+  /// admit_prefetched (disjoint from `insertions`, which stays demand-only).
+  /// `prefetch_hits` is the subset of `hits` whose entry arrived by prefetch
+  /// and had not been consumed yet — the first hit converts the entry to an
+  /// ordinary resident strip, so later hits count as reuse, not prefetch.
+  std::uint64_t prefetch_insertions = 0;
+  std::uint64_t prefetch_hits = 0;
+  std::uint64_t prefetch_hit_bytes = 0;
+
   [[nodiscard]] double hit_rate() const {
     const std::uint64_t total = hits + misses;
     return total == 0 ? 0.0
@@ -58,12 +68,15 @@ struct CacheStats {
   }
 
   CacheStats& operator+=(const CacheStats& other);
+  CacheStats& operator-=(const CacheStats& other);
 };
 
 /// One cached strip as seen by a lookup.
 struct CachedStrip {
   std::uint64_t length = 0;
   std::vector<std::byte> bytes;  // empty in timing-only mode
+  /// Arrived by prefetch and not yet consumed by a lookup.
+  bool prefetched = false;
 };
 
 class StripCache {
@@ -84,6 +97,13 @@ class StripCache {
   void insert(const CacheKey& key, std::uint64_t length,
               std::vector<std::byte> bytes);
 
+  /// Cache a strip that arrived by prefetch rather than a demand miss: same
+  /// capacity/eviction behaviour as insert, but counted separately (and no
+  /// miss_bytes charge — no lookup missed). The entry is marked so its
+  /// first hit is attributed to the prefetcher instead of cross-pass reuse.
+  void admit_prefetched(const CacheKey& key, std::uint64_t length,
+                        std::vector<std::byte> bytes);
+
   /// Drop the strip if present (a write made it stale).
   void invalidate(const CacheKey& key);
 
@@ -99,6 +119,8 @@ class StripCache {
   [[nodiscard]] const CacheConfig& config() const { return config_; }
 
  private:
+  void emplace(const CacheKey& key, std::uint64_t length,
+               std::vector<std::byte> bytes, bool prefetched);
   void erase(const CacheKey& key, bool count_as_eviction);
 
   CacheConfig config_;
@@ -113,7 +135,15 @@ class StripCache {
 /// halo), so the PFS broadcasts invalidations through one hub.
 class InvalidationHub {
  public:
+  /// Extra parties that must hear every invalidation (e.g. a prefetcher
+  /// with fetches in flight that would otherwise land stale strips).
+  struct Listener {
+    std::function<void(const CacheKey&)> on_key;
+    std::function<void(std::uint64_t)> on_file;
+  };
+
   void attach(StripCache* cache);
+  void attach_listener(Listener listener);
   void invalidate(const CacheKey& key);
   void invalidate_file(std::uint64_t file);
 
@@ -121,6 +151,7 @@ class InvalidationHub {
 
  private:
   std::vector<StripCache*> caches_;
+  std::vector<Listener> listeners_;
 };
 
 }  // namespace das::cache

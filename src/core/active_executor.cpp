@@ -1,9 +1,11 @@
 #include "core/active_executor.hpp"
 
 #include <cstring>
+#include <set>
 #include <utility>
 
 #include "cache/strip_cache.hpp"
+#include "pfs/prefetch.hpp"
 #include "simkit/assert.hpp"
 #include "simkit/time.hpp"
 
@@ -72,6 +74,33 @@ void ActiveExecutor::start_server(pfs::ServerIndex server, pfs::FileId input,
   }
   barrier->add(task->runs.size());
   tasks_.push_back(task);
+
+  // Hand the server's prefetcher the ordered list of remote strips this
+  // request will touch — the same buffer-coverage walk start_run performs,
+  // deduplicated (adjacent runs want the same halo strips) but order
+  // preserving so fetches land in sweep order.
+  if (pfs::HaloPrefetcher* prefetcher =
+          cluster_.pfs().server(server).prefetcher()) {
+    const pfs::FileMeta& meta = cluster_.pfs().meta(input);
+    const pfs::Layout& layout = cluster_.pfs().layout(input);
+    const pfs::PfsServer& self = cluster_.pfs().server(server);
+    const std::uint64_t num_strips = meta.num_strips();
+    const std::uint64_t wanted = options_.halo_strips;
+    std::vector<pfs::PrefetchItem> plan;
+    std::set<std::uint64_t> planned;
+    for (const pfs::LocalRun& run : lio.runs()) {
+      const std::uint64_t lo =
+          run.first_strip >= wanted ? run.first_strip - wanted : 0;
+      const std::uint64_t hi = std::min(num_strips - 1, run.last_strip + wanted);
+      for (std::uint64_t s = lo; s <= hi; ++s) {
+        if (self.store().has(input, s) || !planned.insert(s).second) continue;
+        plan.push_back(pfs::PrefetchItem{input, s, meta.strip(s).length,
+                                         layout.primary(s)});
+      }
+    }
+    prefetcher->enqueue(std::move(plan));
+  }
+
   pump(task);
 }
 
@@ -150,6 +179,27 @@ void ActiveExecutor::start_run(const std::shared_ptr<ServerTask>& task,
           sim::transfer_time(ref.length,
                              self.strip_cache()->config().hit_bandwidth_bps);
       simulator.schedule_at(copied, input_arrived, "as.cache_hit");
+    } else if (pfs::HaloPrefetcher* prefetcher = self.prefetcher()) {
+      // Remote halo strip with prefetching on: route through the
+      // prefetcher's in-flight table so a demand fetch and a prefetch of
+      // the same strip coalesce into one wire transfer.
+      const pfs::ServerIndex source = layout.primary(s);
+      DAS_REQUIRE(source != task->server);
+      const bool issued = prefetcher->demand_fetch(
+          pfs::PrefetchItem{task->input, s, ref.length, source},
+          [this, task, index, ref, base,
+           input_arrived](const std::vector<std::byte>& payload) {
+            if (options_.data_mode) {
+              DAS_REQUIRE(payload.size() == ref.length);
+              std::memcpy(task->runs[index].buffer.data() + (ref.offset - base),
+                          payload.data(), payload.size());
+            }
+            input_arrived();
+          });
+      if (issued) {
+        ++halo_strips_fetched_;
+        halo_bytes_fetched_ += ref.length;
+      }
     } else {
       // Remote halo strip: request it from its primary server. This is the
       // dependence traffic (and the service load on the peer) that NAS pays.

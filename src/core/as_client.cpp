@@ -12,7 +12,8 @@ ActiveStorageClient::ActiveStorageClient(
     const DistributionConfig& distribution)
     : cluster_(cluster),
       registry_(registry),
-      engine_(distribution, cluster.config().server_cache) {}
+      engine_(distribution, cluster.config().server_cache,
+              cluster.config().prefetch, cluster.config().nic_bandwidth_bps) {}
 
 const ActiveExecutor* ActiveStorageClient::last_active_executor() const {
   return last_active_;

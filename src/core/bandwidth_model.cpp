@@ -155,15 +155,22 @@ double bwcost_per_element(const std::vector<std::int64_t>& offsets,
   return cost;
 }
 
-bool paper_locality_criterion(std::uint64_t stride,
+bool paper_locality_criterion(std::int64_t stride,
                               std::uint32_t element_size,
                               std::uint64_t strip_size,
                               std::uint64_t group_size,
                               std::uint32_t num_servers) {
   DAS_REQUIRE(strip_size > 0 && group_size > 0 && num_servers > 0);
-  const std::uint64_t groups_away =
-      stride * element_size / (group_size * strip_size);
-  return groups_away % num_servers == 0;
+  const auto group_bytes =
+      static_cast<std::int64_t>(group_size * strip_size);
+  const std::int64_t z = stride * static_cast<std::int64_t>(element_size);
+  // Floored division: C++'s `/` truncates toward zero, which would place a
+  // dependent anywhere in the previous group "0 groups away" and pass the
+  // mod-D test on every (D, r) combination.
+  std::int64_t groups_away = z / group_bytes;
+  if (z % group_bytes != 0 && z < 0) --groups_away;
+  const auto servers = static_cast<std::int64_t>(num_servers);
+  return ((groups_away % servers) + servers) % servers == 0;
 }
 
 std::uint64_t required_halo_strips(const std::vector<std::int64_t>& offsets,
@@ -251,6 +258,11 @@ double predicted_cache_hit_rate(const TrafficForecast& forecast,
       static_cast<double>(placement.num_servers);
   if (working_set <= 0.0) return 0.0;
   return std::min(1.0, static_cast<double>(capacity_bytes) / working_set);
+}
+
+double prefetch_overlap_fraction(std::uint32_t depth) {
+  if (depth == 0) return 0.0;
+  return static_cast<double>(depth) / (static_cast<double>(depth) + 1.0);
 }
 
 }  // namespace das::core

@@ -77,11 +77,15 @@ struct PlacementSpec {
                                         std::uint64_t strip_size,
                                         const PlacementSpec& placement);
 
-/// Paper Eq. 17, literally: (stride*E) / (r*strip_size) mod D == 0.
-/// `stride` is in elements. The paper uses this as its offload criterion;
-/// remote_access_fraction is the exact version (Eq. 17 ignores the
-/// boundary-crossing fraction that the halo replication exists to absorb).
-[[nodiscard]] bool paper_locality_criterion(std::uint64_t stride,
+/// Paper Eq. 17: (stride*E) / (r*strip_size) mod D == 0.
+/// `stride` is in elements and may be negative (the -W family of stencil
+/// offsets). The division and modulus are *floored*, not C++-truncated: a
+/// dependent even one byte before its element's group sits one group away,
+/// so truncation toward zero would misclassify every backward offset
+/// shorter than a group as local. The paper uses this as its offload
+/// criterion; remote_access_fraction is the exact version (Eq. 17 ignores
+/// the boundary-crossing fraction that halo replication exists to absorb).
+[[nodiscard]] bool paper_locality_criterion(std::int64_t stride,
                                             std::uint32_t element_size,
                                             std::uint64_t strip_size,
                                             std::uint64_t group_size,
@@ -138,5 +142,12 @@ struct TrafficForecast {
 [[nodiscard]] double predicted_cache_hit_rate(const TrafficForecast& forecast,
                                               const PlacementSpec& placement,
                                               std::uint64_t capacity_bytes);
+
+/// Fraction of remote-fetch latency a halo prefetcher of the given depth
+/// hides from the critical path. With `depth` fetches in flight ahead of
+/// the sweep, depth of every depth+1 strip round-trips overlaps compute,
+/// so the exposed share is 1/(depth+1). Prefetched bytes still cost
+/// bandwidth — only their critical-path latency shrinks. 0 at depth 0.
+[[nodiscard]] double prefetch_overlap_fraction(std::uint32_t depth);
 
 }  // namespace das::core

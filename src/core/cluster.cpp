@@ -29,6 +29,7 @@ Cluster::Cluster(const ClusterConfig& config) : config_(config) {
   pfs_ = std::make_unique<pfs::Pfs>(sim_, *network_, std::move(server_nodes),
                                     std::move(disk_configs));
   pfs_->enable_strip_caches(config.server_cache);
+  pfs_->enable_prefetch(config.prefetch);
   metadata_ = std::make_unique<pfs::MetadataService>(sim_, *network_, *pfs_,
                                                      storage_node(0));
 

@@ -12,6 +12,7 @@
 
 #include "cache/strip_cache.hpp"
 #include "net/network.hpp"
+#include "pfs/prefetch.hpp"
 #include "simkit/time.hpp"
 #include "storage/compute_engine.hpp"
 #include "storage/disk.hpp"
@@ -61,6 +62,13 @@ struct ClusterConfig {
   /// caches the halo strips it fetched from peers, so repeated requests
   /// over the same file pay RAM time instead of NIC transfers.
   cache::CacheConfig server_cache;
+
+  /// Halo-strip prefetcher on every storage server (off by default, for the
+  /// same bit-for-bit reason). When active, an admitted NAS/DAS request's
+  /// remote-strip plan is fetched up to `depth` ahead of the compute sweep
+  /// and landed in the strip cache, hiding fetch latency on the first pass.
+  /// Requires an active server_cache.
+  pfs::PrefetchConfig prefetch;
 
   [[nodiscard]] std::uint32_t total_nodes() const {
     return storage_nodes + compute_nodes;

@@ -26,31 +26,23 @@ std::uint64_t redistribution_bytes(const pfs::FileMeta& meta,
   return moved;
 }
 
-namespace {
-
-/// Effective number of full-cost dependence passes out of `repeats`: the
-/// first pass is all misses (warmup); every later pass misses only the
-/// (1 - h) share the cache could not retain. h == 0 degenerates to
-/// `repeats` full passes — the exact uncached model.
 double warm_passes(std::uint32_t repeats, double hit_rate) {
   return 1.0 + (static_cast<double>(repeats) - 1.0) * (1.0 - hit_rate);
 }
 
-/// Offload cost over the pipeline: strip fetches pay only the cache-miss
-/// passes, replica writes are invalidated by every pass's output and pay
-/// all of them. Exactly pipeline * active_total * repeats when h == 0.
 std::uint64_t offload_cost(const TrafficForecast& forecast,
                            std::uint32_t pipeline, std::uint32_t repeats,
-                           double hit_rate) {
-  const double fetch = static_cast<double>(forecast.active_strip_fetch_bytes) *
-                       warm_passes(repeats, hit_rate);
+                           double hit_rate, double overlap,
+                           double hit_cost_ratio) {
+  const double fetch =
+      static_cast<double>(forecast.active_strip_fetch_bytes) *
+      (warm_passes(repeats, hit_rate) * (1.0 - overlap) +
+       (static_cast<double>(repeats) - 1.0) * hit_rate * hit_cost_ratio);
   const double replica = static_cast<double>(forecast.replica_write_bytes) *
                          static_cast<double>(repeats);
   return static_cast<std::uint64_t>(
       std::llround(static_cast<double>(pipeline) * (fetch + replica)));
 }
-
-}  // namespace
 
 Decision DecisionEngine::decide(const pfs::FileMeta& meta,
                                 const pfs::Layout& current_layout,
@@ -79,10 +71,14 @@ Decision DecisionEngine::decide(const pfs::FileMeta& meta,
                                                  current,
                                                  cache_.capacity_bytes)
                       : 0.0;
+  const double overlap = cache_.active() && prefetch_.active()
+                             ? prefetch_overlap_fraction(prefetch_.depth)
+                             : 0.0;
   const std::uint64_t cost_normal =
       decision.current_forecast.normal_critical_bytes * pipeline * repeats;
-  const std::uint64_t cost_offload_asis = offload_cost(
-      decision.current_forecast, pipeline_length, repeat_count, hit_current);
+  const std::uint64_t cost_offload_asis =
+      offload_cost(decision.current_forecast, pipeline_length, repeat_count,
+                   hit_current, overlap, hit_cost_ratio_);
 
   std::uint64_t cost_redistribute = UINT64_MAX;
   double hit_target = 0.0;
@@ -102,7 +98,7 @@ Decision DecisionEngine::decide(const pfs::FileMeta& meta,
     cost_redistribute =
         decision.redistribution_bytes +
         offload_cost(decision.target_forecast, pipeline_length, repeat_count,
-                     hit_target);
+                     hit_target, overlap, hit_cost_ratio_);
   }
 
   std::ostringstream why;
@@ -120,7 +116,12 @@ Decision DecisionEngine::decide(const pfs::FileMeta& meta,
   if (cache_.active()) {
     why << " (cache hit-rate current=" << hit_current;
     if (decision.target.has_value()) why << ", target=" << hit_target;
+    if (hit_cost_ratio_ > 0.0) why << ", hit-cost=" << hit_cost_ratio_;
     why << ")";
+  }
+  if (overlap > 0.0) {
+    why << " (prefetch depth=" << prefetch_.depth << " overlap=" << overlap
+        << ")";
   }
 
   if (cost_offload_asis <= cost_normal &&

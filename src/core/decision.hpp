@@ -60,11 +60,24 @@ struct Decision {
 
 class DecisionEngine {
  public:
-  /// `cache` describes the per-server strip caches (default: disabled, in
-  /// which case every prediction reduces exactly to the uncached model).
+  /// `cache` describes the per-server strip caches and `prefetch` the halo
+  /// prefetcher (defaults: disabled, in which case every prediction reduces
+  /// exactly to the uncached/unprefetched model). `network_bandwidth_bps`
+  /// (the NIC rate) prices cache hits honestly: a hit still costs the RAM
+  /// copy at the cache's hit bandwidth, so with a perfect hit rate the warm
+  /// passes cost fetch_bytes * (nic/hit_bw) instead of zero. Left at 0 the
+  /// hit cost vanishes, preserving the PR 1 cost model for callers that
+  /// never supply it.
   explicit DecisionEngine(const DistributionConfig& config,
-                          const cache::CacheConfig& cache = {})
-      : planner_(config), cache_(cache) {}
+                          const cache::CacheConfig& cache = {},
+                          const pfs::PrefetchConfig& prefetch = {},
+                          double network_bandwidth_bps = 0.0)
+      : planner_(config),
+        cache_(cache),
+        prefetch_(prefetch),
+        hit_cost_ratio_(cache.active() && network_bandwidth_bps > 0.0
+                            ? network_bandwidth_bps / cache.hit_bandwidth_bps
+                            : 0.0) {}
 
   /// Decide how to serve one operator (with `pipeline_length` successive
   /// operations expected to reuse the same dependence pattern and layout,
@@ -83,6 +96,8 @@ class DecisionEngine {
  private:
   DistributionPlanner planner_;
   cache::CacheConfig cache_;
+  pfs::PrefetchConfig prefetch_;
+  double hit_cost_ratio_ = 0.0;
 };
 
 /// Exact redistribution cost: bytes that must move to turn `from` into `to`
@@ -91,5 +106,26 @@ class DecisionEngine {
 [[nodiscard]] std::uint64_t redistribution_bytes(const pfs::FileMeta& meta,
                                                  const pfs::Layout& from,
                                                  const pfs::Layout& to);
+
+/// Effective number of full-cost dependence passes out of `repeats`: the
+/// first pass is all misses (warmup, so repeats == 1 contributes exactly one
+/// cold pass); every later pass misses only the (1 - h) share the cache
+/// could not retain. h == 0 degenerates to `repeats` full passes — the
+/// exact uncached model.
+[[nodiscard]] double warm_passes(std::uint32_t repeats, double hit_rate);
+
+/// Offload cost over the pipeline, in critical-path byte equivalents.
+/// Strip fetches pay the cache-miss passes, discounted by the prefetch
+/// `overlap` (prefetched bytes cost bandwidth, not critical-path latency);
+/// cache hits on the warm passes pay the RAM copy, priced at
+/// `hit_cost_ratio` NIC-byte equivalents per byte so a hit rate of 1.0
+/// never makes the later passes free. Replica writes are invalidated by
+/// every pass's output and pay all of them. Exactly
+/// pipeline * active_total * repeats when h == 0 and overlap == 0.
+[[nodiscard]] std::uint64_t offload_cost(const TrafficForecast& forecast,
+                                         std::uint32_t pipeline,
+                                         std::uint32_t repeats,
+                                         double hit_rate, double overlap,
+                                         double hit_cost_ratio);
 
 }  // namespace das::core

@@ -48,7 +48,9 @@ std::string report_csv_header() {
          "redistribution_bytes,offloaded,redistributed,sustained_bw_bps,"
          "server_disk_util,server_nic_util,server_compute_util,"
          "client_compute_util,cache_hits,cache_misses,cache_evictions,"
-         "cache_hit_bytes,cache_hit_rate";
+         "cache_hit_bytes,cache_hit_rate,prefetch_issued,"
+         "prefetch_issued_bytes,prefetch_coalesced,prefetch_dropped_stale,"
+         "prefetch_hits,prefetch_hit_bytes";
 }
 
 std::string to_csv(const RunReport& r) {
@@ -63,7 +65,10 @@ std::string to_csv(const RunReport& r) {
       << r.server_compute_utilization << ','
       << r.client_compute_utilization << ',' << r.cache_hits << ','
       << r.cache_misses << ',' << r.cache_evictions << ','
-      << r.cache_hit_bytes << ',' << r.cache_hit_rate();
+      << r.cache_hit_bytes << ',' << r.cache_hit_rate() << ','
+      << r.prefetch_issued << ',' << r.prefetch_issued_bytes << ','
+      << r.prefetch_coalesced << ',' << r.prefetch_dropped_stale << ','
+      << r.prefetch_hits << ',' << r.prefetch_hit_bytes;
   return out.str();
 }
 

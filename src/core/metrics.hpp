@@ -41,6 +41,17 @@ struct RunReport {
   std::uint64_t cache_evictions = 0;
   std::uint64_t cache_hit_bytes = 0;
 
+  /// Halo-prefetcher counters, summed over all servers (all zero when
+  /// prefetching is disabled). `prefetch_hits` is the subset of cache_hits
+  /// served out of a not-yet-consumed prefetched entry, as opposed to
+  /// cross-pass reuse hits.
+  std::uint64_t prefetch_issued = 0;
+  std::uint64_t prefetch_issued_bytes = 0;
+  std::uint64_t prefetch_coalesced = 0;
+  std::uint64_t prefetch_dropped_stale = 0;
+  std::uint64_t prefetch_hits = 0;
+  std::uint64_t prefetch_hit_bytes = 0;
+
   [[nodiscard]] double cache_hit_rate() const {
     const std::uint64_t lookups = cache_hits + cache_misses;
     return lookups > 0

@@ -57,12 +57,35 @@ RunReport make_base_report(const SchemeRunOptions& options,
   return report;
 }
 
-void fill_cache_stats(RunReport& report, Cluster& cluster) {
-  const cache::CacheStats stats = cluster.pfs().cache_stats();
+/// Snapshot of the cache + prefetch counters, for per-stage attribution
+/// (hub totals are cumulative, so stage rows must diff around each stage).
+struct CacheSnapshot {
+  cache::CacheStats cache;
+  pfs::PrefetchStats prefetch;
+
+  static CacheSnapshot take(Cluster& cluster) {
+    return CacheSnapshot{cluster.pfs().cache_stats(),
+                         cluster.pfs().prefetch_stats()};
+  }
+};
+
+void fill_cache_stats(RunReport& report, Cluster& cluster,
+                      const CacheSnapshot& before = {}) {
+  cache::CacheStats stats = cluster.pfs().cache_stats();
+  stats -= before.cache;
   report.cache_hits = stats.hits;
   report.cache_misses = stats.misses;
   report.cache_evictions = stats.evictions;
   report.cache_hit_bytes = stats.hit_bytes;
+  report.prefetch_hits = stats.prefetch_hits;
+  report.prefetch_hit_bytes = stats.prefetch_hit_bytes;
+
+  pfs::PrefetchStats prefetch = cluster.pfs().prefetch_stats();
+  prefetch -= before.prefetch;
+  report.prefetch_issued = prefetch.issued;
+  report.prefetch_issued_bytes = prefetch.issued_bytes;
+  report.prefetch_coalesced = prefetch.coalesced;
+  report.prefetch_dropped_stale = prefetch.dropped_stale;
 }
 
 /// Start `repeats` back-to-back passes of one operation. `start_pass` must
@@ -314,6 +337,7 @@ std::vector<RunReport> run_pipeline(
     pfs::FileId output = pfs::kInvalidFile;
     sim::SimTime finish = -1;
     TrafficSnapshot before;
+    CacheSnapshot cache_before;
   };
   auto stages = std::make_shared<std::vector<Stage>>(kernel_chain.size());
   for (std::size_t i = 0; i < kernel_chain.size(); ++i) {
@@ -334,6 +358,7 @@ std::vector<RunReport> run_pipeline(
                                                             pfs::FileId in) {
     Stage& stage = (*stages)[i];
     stage.before = TrafficSnapshot::take(cluster.network());
+    stage.cache_before = CacheSnapshot::take(cluster);
     const kernels::ProcessingKernel& kernel = *chain[i];
     const pfs::FileMeta in_meta = cluster.pfs().meta(in);
     const auto offs = kernel.features().resolve(in_meta.raster_width);
@@ -344,6 +369,9 @@ std::vector<RunReport> run_pipeline(
       Stage& st = (*stages)[i];
       st.finish = cluster.simulator().now();
       fill_traffic(st.report, cluster.network(), st.before);
+      // True per-stage deltas: the hub counters are cumulative, so without
+      // the diff stage N's row would include hits earned by stages 1..N-1.
+      fill_cache_stats(st.report, cluster, st.cache_before);
       st.report.exec_seconds =
           sim::to_seconds(st.finish) -
           (i == 0 ? sim::to_seconds(options.cluster.job_startup)

@@ -212,4 +212,37 @@ cache::CacheStats Pfs::cache_stats() const {
   return total;
 }
 
+void Pfs::enable_prefetch(const PrefetchConfig& config) {
+  DAS_REQUIRE(!prefetch_enabled_);
+  if (!config.active()) return;
+  DAS_REQUIRE(caching_enabled() &&
+              "halo prefetch requires active strip caches");
+  prefetch_enabled_ = true;
+  for (const auto& server : servers_) {
+    server->attach_prefetcher(std::make_unique<HaloPrefetcher>(
+        sim_, net_, *server, config,
+        [this](std::uint32_t index) -> PfsServer& {
+          return this->server(index);
+        }));
+    HaloPrefetcher* prefetcher = server->prefetcher();
+    cache_hub_.attach_listener(cache::InvalidationHub::Listener{
+        [prefetcher](const cache::CacheKey& key) {
+          prefetcher->invalidate(key);
+        },
+        [prefetcher](std::uint64_t file) {
+          prefetcher->invalidate_file(file);
+        }});
+  }
+}
+
+PrefetchStats Pfs::prefetch_stats() const {
+  PrefetchStats total;
+  for (const auto& server : servers_) {
+    if (const HaloPrefetcher* prefetcher = server->prefetcher()) {
+      total += prefetcher->stats();
+    }
+  }
+  return total;
+}
+
 }  // namespace das::pfs

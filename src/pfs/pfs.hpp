@@ -15,6 +15,7 @@
 #include "net/network.hpp"
 #include "pfs/file.hpp"
 #include "pfs/layout.hpp"
+#include "pfs/prefetch.hpp"
 #include "pfs/server.hpp"
 #include "simkit/simulator.hpp"
 #include "storage/disk.hpp"
@@ -88,6 +89,18 @@ class Pfs {
   /// Aggregate cache statistics over every server (zeroes when off).
   [[nodiscard]] cache::CacheStats cache_stats() const;
 
+  /// Equip every server with a halo prefetcher of `config`, registered on
+  /// the invalidation hub so in-flight fetches of a written/redistributed
+  /// strip are dropped on landing. No-op when the config is inactive;
+  /// requires active strip caches otherwise (prefetched strips land there).
+  /// Call at most once, before any traffic.
+  void enable_prefetch(const PrefetchConfig& config);
+
+  [[nodiscard]] bool prefetch_enabled() const { return prefetch_enabled_; }
+
+  /// Aggregate prefetch statistics over every server (zeroes when off).
+  [[nodiscard]] PrefetchStats prefetch_stats() const;
+
  private:
   struct FileEntry {
     FileMeta meta;
@@ -101,6 +114,7 @@ class Pfs {
   std::vector<FileEntry> files_;
   std::vector<std::unique_ptr<cache::StripCache>> caches_;
   cache::InvalidationHub cache_hub_;
+  bool prefetch_enabled_ = false;
 };
 
 }  // namespace das::pfs

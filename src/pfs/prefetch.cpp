@@ -1,0 +1,169 @@
+#include "pfs/prefetch.hpp"
+
+#include <utility>
+
+#include "net/network.hpp"
+#include "pfs/server.hpp"
+#include "simkit/assert.hpp"
+#include "simkit/simulator.hpp"
+
+namespace das::pfs {
+
+PrefetchStats& PrefetchStats::operator+=(const PrefetchStats& other) {
+  issued += other.issued;
+  issued_bytes += other.issued_bytes;
+  coalesced += other.coalesced;
+  coalesced_bytes += other.coalesced_bytes;
+  dropped_stale += other.dropped_stale;
+  skipped += other.skipped;
+  return *this;
+}
+
+PrefetchStats& PrefetchStats::operator-=(const PrefetchStats& other) {
+  DAS_REQUIRE(issued >= other.issued && issued_bytes >= other.issued_bytes);
+  issued -= other.issued;
+  issued_bytes -= other.issued_bytes;
+  coalesced -= other.coalesced;
+  coalesced_bytes -= other.coalesced_bytes;
+  dropped_stale -= other.dropped_stale;
+  skipped -= other.skipped;
+  return *this;
+}
+
+HaloPrefetcher::HaloPrefetcher(sim::Simulator& simulator,
+                               net::Network& network, PfsServer& owner,
+                               const PrefetchConfig& config, PeerResolver peer)
+    : sim_(simulator),
+      net_(network),
+      owner_(owner),
+      config_(config),
+      peer_(std::move(peer)) {
+  DAS_REQUIRE(config.active());
+  DAS_REQUIRE(peer_ != nullptr);
+}
+
+void HaloPrefetcher::enqueue(std::vector<PrefetchItem> plan) {
+  for (PrefetchItem& item : plan) queue_.push_back(item);
+  pump();
+}
+
+bool HaloPrefetcher::demand_fetch(const PrefetchItem& item,
+                                  DataHandler on_data) {
+  const cache::CacheKey key{item.file, item.strip};
+  if (const auto it = in_flight_.find(key); it != in_flight_.end()) {
+    ++stats_.coalesced;
+    stats_.coalesced_bytes += item.length;
+    DAS_REQUIRE(it->second.length == item.length);
+    it->second.waiters.push_back(std::move(on_data));
+    if (it->second.prefetch_initiated) {
+      // The sweep caught up with this prefetch: it is demand traffic now.
+      // Release its depth slot so the lookahead window stays ahead of the
+      // demand frontier instead of shrinking to meet it.
+      it->second.prefetch_initiated = false;
+      DAS_REQUIRE(prefetches_in_flight_ > 0);
+      --prefetches_in_flight_;
+      schedule_pump();
+    }
+    return false;
+  }
+  issue(item, /*prefetch_initiated=*/false, std::move(on_data));
+  return true;
+}
+
+void HaloPrefetcher::invalidate(const cache::CacheKey& key) {
+  if (const auto it = in_flight_.find(key); it != in_flight_.end()) {
+    it->second.stale = true;
+  }
+}
+
+void HaloPrefetcher::invalidate_file(std::uint64_t file) {
+  for (auto it = in_flight_.lower_bound(cache::CacheKey{file, 0});
+       it != in_flight_.end() && it->first.file == file; ++it) {
+    it->second.stale = true;
+  }
+}
+
+void HaloPrefetcher::schedule_pump() {
+  if (pump_scheduled_) return;
+  pump_scheduled_ = true;
+  sim_.schedule_at(sim_.now(),
+                   [this]() {
+                     pump_scheduled_ = false;
+                     pump();
+                   },
+                   "prefetch.pump");
+}
+
+void HaloPrefetcher::pump() {
+  while (prefetches_in_flight_ < config_.depth && !queue_.empty()) {
+    const PrefetchItem item = queue_.front();
+    queue_.pop_front();
+    const cache::CacheKey key{item.file, item.strip};
+    const cache::StripCache* cached = owner_.strip_cache();
+    if (in_flight_.contains(key) ||
+        owner_.store().has(static_cast<FileId>(item.file), item.strip) ||
+        (cached != nullptr && cached->contains(key))) {
+      ++stats_.skipped;
+      continue;
+    }
+    issue(item, /*prefetch_initiated=*/true, nullptr);
+  }
+}
+
+void HaloPrefetcher::issue(const PrefetchItem& item, bool prefetch_initiated,
+                           DataHandler waiter) {
+  const cache::CacheKey key{item.file, item.strip};
+  InFlight& flight = in_flight_[key];
+  flight.length = item.length;
+  flight.prefetch_initiated = prefetch_initiated;
+  if (waiter) flight.waiters.push_back(std::move(waiter));
+  if (prefetch_initiated) {
+    ++prefetches_in_flight_;
+    ++stats_.issued;
+    stats_.issued_bytes += item.length;
+  }
+
+  // Same wire protocol as the demand path: a control message to the strip's
+  // primary, which serves the read back over the server-server class.
+  PfsServer& source = peer_(item.source);
+  net_.send_control(
+      owner_.node(), source.node(), [this, item, key, &source]() {
+        source.serve_read(static_cast<FileId>(item.file), item.strip, 0,
+                          item.length, owner_.node(),
+                          net::TrafficClass::kServerServer,
+                          [this, key](std::vector<std::byte> payload) {
+                            land(key, std::move(payload));
+                          });
+      });
+}
+
+void HaloPrefetcher::land(const cache::CacheKey& key,
+                          std::vector<std::byte> payload) {
+  const auto it = in_flight_.find(key);
+  DAS_REQUIRE(it != in_flight_.end());
+  InFlight flight = std::move(it->second);
+  in_flight_.erase(it);
+  if (flight.prefetch_initiated) {
+    DAS_REQUIRE(prefetches_in_flight_ > 0);
+    --prefetches_in_flight_;
+  }
+
+  if (flight.stale) {
+    ++stats_.dropped_stale;
+  } else if (cache::StripCache* cached = owner_.strip_cache()) {
+    // Admit before waking waiters so anything they trigger sees the strip
+    // resident. A fetch the sweep never asked for is a true prefetch; one
+    // with demand waiters is accounted as an ordinary (miss-driven) insert.
+    std::vector<std::byte> copy = payload;
+    if (flight.prefetch_initiated && flight.waiters.empty()) {
+      cached->admit_prefetched(key, flight.length, std::move(copy));
+    } else {
+      cached->insert(key, flight.length, std::move(copy));
+    }
+  }
+
+  for (DataHandler& waiter : flight.waiters) waiter(payload);
+  schedule_pump();
+}
+
+}  // namespace das::pfs

@@ -1,0 +1,138 @@
+// Halo-strip prefetcher for the active-storage servers.
+//
+// PR 1's strip cache only amortizes remote halo fetches across *repeat*
+// passes; the first pass still serializes fetch-then-compute. A server that
+// is admitted a NAS/DAS request knows — from the kernel's dependence offsets
+// and the layout's location math — exactly which remote strips its compute
+// sweep will touch and in which order. The prefetcher walks that plan ahead
+// of the sweep with a bounded number of fetches in flight, lands the strips
+// in the existing StripCache (so InvalidationHub coherence applies
+// unchanged), and coalesces against demand fetches so no strip ever crosses
+// the wire twice. Prefetching moves the same server-to-server bytes as the
+// demand path — it hides latency, it does not reduce traffic.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "cache/eviction.hpp"
+
+namespace das::net {
+class Network;
+}
+namespace das::sim {
+class Simulator;
+}
+
+namespace das::pfs {
+
+class PfsServer;
+
+struct PrefetchConfig {
+  /// Master switch; an inactive prefetcher is never attached, so every
+  /// byte flow and event ordering reproduces the unprefetched system.
+  bool enabled = false;
+  /// Lookahead bound: how many strips the prefetcher keeps in flight ahead
+  /// of the demand sweep. A prefetch the sweep catches up with (coalesces
+  /// onto) stops counting against the bound, so depth measures lookahead
+  /// beyond the demand frontier, not total outstanding transfers.
+  std::uint32_t depth = 0;
+
+  [[nodiscard]] bool active() const { return enabled && depth > 0; }
+};
+
+struct PrefetchStats {
+  std::uint64_t issued = 0;        // prefetch fetches put on the wire
+  std::uint64_t issued_bytes = 0;
+  std::uint64_t coalesced = 0;     // fetches absorbed by an in-flight one
+  std::uint64_t coalesced_bytes = 0;
+  std::uint64_t dropped_stale = 0;  // landed after an invalidation
+  std::uint64_t skipped = 0;        // plan entries already local/cached
+
+  PrefetchStats& operator+=(const PrefetchStats& other);
+  PrefetchStats& operator-=(const PrefetchStats& other);
+};
+
+/// One remote strip the compute sweep will need, in sweep order.
+struct PrefetchItem {
+  std::uint64_t file = 0;
+  std::uint64_t strip = 0;
+  std::uint64_t length = 0;
+  std::uint32_t source = 0;  // ServerIndex of the strip's primary holder
+};
+
+/// Per-server prefetch engine. Owned by the PfsServer it serves; peers are
+/// resolved through a callback so the pfs facade stays the only component
+/// that knows every server.
+class HaloPrefetcher {
+ public:
+  using PeerResolver = std::function<PfsServer&(std::uint32_t)>;
+  using DataHandler = std::function<void(const std::vector<std::byte>&)>;
+
+  HaloPrefetcher(sim::Simulator& simulator, net::Network& network,
+                 PfsServer& owner, const PrefetchConfig& config,
+                 PeerResolver peer);
+
+  HaloPrefetcher(const HaloPrefetcher&) = delete;
+  HaloPrefetcher& operator=(const HaloPrefetcher&) = delete;
+
+  /// Append the ordered fetch plan of an admitted request and start pulling
+  /// it with up to `depth` fetches in flight. Entries that are already
+  /// local, cached, or in flight are skipped when they reach the head.
+  void enqueue(std::vector<PrefetchItem> plan);
+
+  /// Fetch `item` for the compute sweep right now. If the strip is already
+  /// in flight (prefetch or earlier demand), the request coalesces onto it
+  /// and `on_data` runs when that fetch lands — no second wire transfer.
+  /// Returns true when a new fetch was put on the wire.
+  bool demand_fetch(const PrefetchItem& item, DataHandler on_data);
+
+  /// A write or redistribution made `key` stale: any in-flight fetch of it
+  /// is marked so its payload is dropped on landing (demand waiters still
+  /// complete — the sweep that asked consumes pre-write data by design,
+  /// exactly as the unprefetched demand path would).
+  void invalidate(const cache::CacheKey& key);
+  void invalidate_file(std::uint64_t file);
+
+  [[nodiscard]] bool in_flight(const cache::CacheKey& key) const {
+    return in_flight_.contains(key);
+  }
+  [[nodiscard]] std::size_t queued() const { return queue_.size(); }
+  [[nodiscard]] const PrefetchStats& stats() const { return stats_; }
+  [[nodiscard]] const PrefetchConfig& config() const { return config_; }
+
+ private:
+  struct InFlight {
+    std::uint64_t length = 0;
+    bool prefetch_initiated = false;  // counts against the depth bound
+    bool stale = false;
+    std::vector<DataHandler> waiters;  // demand fetches coalesced onto this
+  };
+
+  void pump();
+  /// Refill the lookahead window on the next event-loop tick, after every
+  /// reservation made in the current callback. NIC bandwidth is granted in
+  /// send() order, so pumping synchronously from inside a demand sweep would
+  /// let lookahead strips cut in front of the sweep's own critical fetches.
+  void schedule_pump();
+  void issue(const PrefetchItem& item, bool prefetch_initiated,
+             DataHandler waiter);
+  void land(const cache::CacheKey& key, std::vector<std::byte> payload);
+
+  sim::Simulator& sim_;
+  net::Network& net_;
+  PfsServer& owner_;
+  PrefetchConfig config_;
+  PeerResolver peer_;
+  std::deque<PrefetchItem> queue_;
+  std::map<cache::CacheKey, InFlight> in_flight_;
+  std::uint32_t prefetches_in_flight_ = 0;
+  bool pump_scheduled_ = false;
+  PrefetchStats stats_;
+};
+
+}  // namespace das::pfs

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "pfs/prefetch.hpp"
 #include "simkit/assert.hpp"
 
 namespace das::pfs {
@@ -10,6 +11,15 @@ PfsServer::PfsServer(sim::Simulator& simulator, net::Network& network,
                      net::NodeId node,
                      const storage::DiskConfig& disk_config)
     : sim_(simulator), net_(network), node_(node), disk_(disk_config) {}
+
+PfsServer::~PfsServer() = default;
+
+void PfsServer::attach_prefetcher(std::unique_ptr<HaloPrefetcher> prefetcher) {
+  DAS_REQUIRE(prefetcher_ == nullptr);
+  DAS_REQUIRE(cache_ != nullptr &&
+              "prefetched strips land in the strip cache");
+  prefetcher_ = std::move(prefetcher);
+}
 
 void PfsServer::serve_read(
     FileId file, std::uint64_t strip, std::uint64_t offset_in_strip,

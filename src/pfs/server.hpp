@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "cache/strip_cache.hpp"
@@ -21,10 +22,13 @@
 
 namespace das::pfs {
 
+class HaloPrefetcher;
+
 class PfsServer {
  public:
   PfsServer(sim::Simulator& simulator, net::Network& network,
             net::NodeId node, const storage::DiskConfig& disk_config);
+  ~PfsServer();
 
   PfsServer(const PfsServer&) = delete;
   PfsServer& operator=(const PfsServer&) = delete;
@@ -73,6 +77,16 @@ class PfsServer {
   [[nodiscard]] cache::StripCache* strip_cache() { return cache_; }
   [[nodiscard]] const cache::StripCache* strip_cache() const { return cache_; }
 
+  /// Give this server a halo prefetcher (requires an attached cache for the
+  /// fetched strips to land in). Owned by the server; at most once.
+  void attach_prefetcher(std::unique_ptr<HaloPrefetcher> prefetcher);
+
+  /// The halo prefetcher, or nullptr when prefetching is off.
+  [[nodiscard]] HaloPrefetcher* prefetcher() { return prefetcher_.get(); }
+  [[nodiscard]] const HaloPrefetcher* prefetcher() const {
+    return prefetcher_.get();
+  }
+
   /// Requests served on behalf of other nodes (the NAS service load).
   [[nodiscard]] std::uint64_t remote_reads_served() const {
     return remote_reads_served_;
@@ -91,6 +105,7 @@ class PfsServer {
   std::uint64_t remote_bytes_served_ = 0;
   cache::StripCache* cache_ = nullptr;
   cache::InvalidationHub* hub_ = nullptr;
+  std::unique_ptr<HaloPrefetcher> prefetcher_;
 };
 
 }  // namespace das::pfs

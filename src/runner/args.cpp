@@ -45,7 +45,10 @@ bool Args::get_bool(const std::string& name, bool fallback) const {
   touched_[name] = true;
   const auto it = values_.find(name);
   if (it == values_.end()) return fallback;
-  return it->second == "true" || it->second == "1" || it->second == "yes";
+  const std::string& v = it->second;
+  if (v == "true" || v == "1" || v == "yes" || v == "on") return true;
+  if (v == "false" || v == "0" || v == "no" || v == "off") return false;
+  throw std::invalid_argument("--" + name + " expects a boolean, got: " + v);
 }
 
 std::string Args::unused() const {

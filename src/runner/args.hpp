@@ -15,7 +15,9 @@ class Args {
 
   [[nodiscard]] bool has(const std::string& name) const;
 
-  /// Value lookups with defaults.
+  /// Value lookups with defaults. get_bool accepts true/false, 1/0,
+  /// yes/no, and on/off; anything else throws (a typo like --prefetch=of
+  /// silently reading as false would defeat the disabled==baseline check).
   [[nodiscard]] std::string get(const std::string& name,
                                 const std::string& fallback) const;
   [[nodiscard]] std::int64_t get_int(const std::string& name,

@@ -132,6 +132,50 @@ TEST(StripCacheTest, LfuKeepsAFrequentSubsetResidentUnderCyclicScans) {
   EXPECT_GT(lfu.stats().hit_rate(), 0.3);
 }
 
+TEST(StripCacheTest, AdmitPrefetchedCountsApartFromDemandInserts) {
+  StripCache cache(config_of(1024));
+  cache.admit_prefetched(key(1), 100, {});
+  cache.insert(key(2), 100, {});
+  EXPECT_EQ(cache.entry_count(), 2U);
+  EXPECT_EQ(cache.stats().prefetch_insertions, 1U);
+  EXPECT_EQ(cache.stats().insertions, 1U);
+  // A prefetched strip was never demand-missed: no miss_bytes for it.
+  EXPECT_EQ(cache.stats().miss_bytes, 100U);
+}
+
+TEST(StripCacheTest, FirstHitOnAPrefetchedStripIsAPrefetchHit) {
+  StripCache cache(config_of(1024));
+  cache.admit_prefetched(key(1), 100, {});
+  ASSERT_NE(cache.lookup(key(1)), nullptr);
+  EXPECT_EQ(cache.stats().hits, 1U);
+  EXPECT_EQ(cache.stats().prefetch_hits, 1U);
+  EXPECT_EQ(cache.stats().prefetch_hit_bytes, 100U);
+  // The first hit consumes the prefetch: later hits are plain reuse.
+  ASSERT_NE(cache.lookup(key(1)), nullptr);
+  EXPECT_EQ(cache.stats().hits, 2U);
+  EXPECT_EQ(cache.stats().prefetch_hits, 1U);
+}
+
+TEST(StripCacheTest, PrefetchedStripsObeyCapacityAndEviction) {
+  StripCache cache(config_of(250));
+  for (std::uint64_t s = 0; s < 10; ++s) {
+    cache.admit_prefetched(key(s), 100, {});
+    EXPECT_LE(cache.used_bytes(), 250U);
+  }
+  EXPECT_EQ(cache.entry_count(), 2U);
+  EXPECT_EQ(cache.stats().evictions, 8U);
+  EXPECT_EQ(cache.stats().prefetch_insertions, 10U);
+}
+
+TEST(StripCacheTest, InvalidationDropsPrefetchedStripsToo) {
+  StripCache cache(config_of(1024));
+  cache.admit_prefetched(key(1), 100, {});
+  cache.invalidate(key(1));
+  EXPECT_FALSE(cache.contains(key(1)));
+  EXPECT_EQ(cache.lookup(key(1)), nullptr);
+  EXPECT_EQ(cache.stats().prefetch_hits, 0U);
+}
+
 TEST(InvalidationHubTest, BroadcastsToEveryAttachedCache) {
   StripCache a(config_of(1024));
   StripCache b(config_of(1024));
@@ -162,7 +206,21 @@ TEST(CacheStatsTest, AccumulationSumsEveryCounter) {
   a.hit_bytes = 6;
   a.miss_bytes = 7;
   a.evicted_bytes = 8;
+  a.prefetch_insertions = 9;
+  a.prefetch_hits = 10;
+  a.prefetch_hit_bytes = 11;
   CacheStats b = a;
+  b += a;
+  EXPECT_EQ(b.prefetch_insertions, 18U);
+  EXPECT_EQ(b.prefetch_hits, 20U);
+  EXPECT_EQ(b.prefetch_hit_bytes, 22U);
+  b -= a;
+  EXPECT_EQ(b.hits, 1U);
+  EXPECT_EQ(b.prefetch_insertions, 9U);
+  b -= a;
+  EXPECT_EQ(b.hits, 0U);
+  EXPECT_EQ(b.prefetch_hit_bytes, 0U);
+  b += a;
   b += a;
   EXPECT_EQ(b.hits, 2U);
   EXPECT_EQ(b.misses, 4U);

@@ -164,6 +164,22 @@ TEST(PaperCriterionTest, Equation17) {
   EXPECT_FALSE(paper_locality_criterion(96, 4, 64, 2, 4));   // 384/128 = 3
 }
 
+TEST(PaperCriterionTest, NegativeStridesUseFlooredGroupDistance) {
+  // An upward dependence that stays inside the previous group is one group
+  // away, not zero: truncating division would call every stride in
+  // (-group_bytes, 0) local and pass Eq. 17 for any server count.
+  EXPECT_FALSE(paper_locality_criterion(-10, 4, 64, 1, 4));  // -40/64 -> -1
+  EXPECT_FALSE(paper_locality_criterion(-16, 4, 64, 1, 4));  // exactly -1
+  EXPECT_FALSE(paper_locality_criterion(-17, 4, 64, 1, 4));  // -68/64 -> -2
+  // A full cycle of D groups up is local again, exactly like D groups down.
+  EXPECT_TRUE(paper_locality_criterion(-64, 4, 64, 1, 4));   // -256/64 = -4
+  EXPECT_TRUE(paper_locality_criterion(-128, 4, 64, 2, 4));  // -512/128 = -4
+  // Symmetric offsets agree only when both land on a multiple of D.
+  EXPECT_TRUE(paper_locality_criterion(64, 4, 64, 1, 4));
+  EXPECT_TRUE(paper_locality_criterion(-64, 4, 64, 1, 4));
+  EXPECT_TRUE(paper_locality_criterion(0, 4, 64, 1, 4));     // self
+}
+
 TEST(PaperCriterionTest, ExactModelExposesEq17Optimism) {
   // Eq. 17 calls a stride of one strip on a grouped layout "local"
   // (integer division truncates to 0 groups away), but without halo

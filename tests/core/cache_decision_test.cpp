@@ -135,6 +135,128 @@ TEST(CacheDecisionTest, SingleInvocationIgnoresTheCache) {
   }
 }
 
+TEST(CostModelTest, WarmPassBoundaries) {
+  // repeats == 1 is exactly one cold pass no matter how good the cache is;
+  // h == 0 degenerates to the full uncached pass count; h == 1 leaves only
+  // the warmup pass.
+  struct Case {
+    std::uint32_t repeats;
+    double hit_rate;
+    double expected;
+  };
+  const Case kCases[] = {
+      {1, 0.0, 1.0}, {1, 0.5, 1.0}, {1, 1.0, 1.0},  {4, 0.0, 4.0},
+      {4, 0.5, 2.5}, {4, 1.0, 1.0}, {16, 1.0, 1.0}, {16, 0.25, 12.25},
+  };
+  for (const Case& c : kCases) {
+    EXPECT_DOUBLE_EQ(warm_passes(c.repeats, c.hit_rate), c.expected)
+        << "repeats=" << c.repeats << " h=" << c.hit_rate;
+  }
+}
+
+TEST(CostModelTest, OffloadCostBoundaries) {
+  TrafficForecast forecast;
+  forecast.active_strip_fetch_bytes = 1000;
+  forecast.replica_write_bytes = 100;
+  // {pipeline, repeats, hit_rate, overlap, hit_cost_ratio, expected}
+  struct Case {
+    std::uint32_t pipeline;
+    std::uint32_t repeats;
+    double hit_rate;
+    double overlap;
+    double hit_cost_ratio;
+    std::uint64_t expected;
+  };
+  const Case kCases[] = {
+      // Uncached identity: pipeline * (fetch + replica) * repeats.
+      {1, 1, 0.0, 0.0, 0.0, 1100},
+      {1, 4, 0.0, 0.0, 0.0, 4400},
+      {2, 1, 0.0, 0.0, 0.0, 2200},
+      // Perfect cache without a hit cost: warm passes ride free (PR 1).
+      {1, 4, 1.0, 0.0, 0.0, 1400},
+      // Perfect cache with an honest hit cost: the three warm passes pay
+      // the RAM copy — 1000 * (1 + 3 * 0.05) + 4 * 100.
+      {1, 4, 1.0, 0.0, 0.05, 1550},
+      // Prefetch overlap discounts the critical-path fetch, never the
+      // replica writes: 1000 * 0.5 + 100.
+      {1, 1, 0.0, 0.5, 0.0, 600},
+      // Both terms together: 1000 * (2.5 * 0.25 + 3 * 0.5 * 0.05) + 400.
+      {1, 4, 0.5, 0.75, 0.05, 1100},
+  };
+  for (const Case& c : kCases) {
+    EXPECT_EQ(offload_cost(forecast, c.pipeline, c.repeats, c.hit_rate,
+                           c.overlap, c.hit_cost_ratio),
+              c.expected)
+        << "pipeline=" << c.pipeline << " repeats=" << c.repeats
+        << " h=" << c.hit_rate << " overlap=" << c.overlap
+        << " ratio=" << c.hit_cost_ratio;
+  }
+}
+
+TEST(CostModelTest, PrefetchOverlapFractionGrowsAndSaturates) {
+  EXPECT_DOUBLE_EQ(prefetch_overlap_fraction(0), 0.0);
+  EXPECT_DOUBLE_EQ(prefetch_overlap_fraction(1), 0.5);
+  EXPECT_DOUBLE_EQ(prefetch_overlap_fraction(3), 0.75);
+  double last = 0.0;
+  for (std::uint32_t depth = 0; depth <= 64; ++depth) {
+    const double f = prefetch_overlap_fraction(depth);
+    EXPECT_GE(f, last);
+    EXPECT_LT(f, 1.0);
+    last = f;
+  }
+}
+
+TEST(CacheDecisionTest, PrefetchLowersThePredictedOffloadCost) {
+  const auto meta = raster_meta(1024);
+  const pfs::RoundRobinLayout rr(12);
+  const auto features = kernels::eight_neighbor_pattern("op");
+  const cache::CacheConfig cache = cache_config(1ULL << 30);
+
+  pfs::PrefetchConfig prefetch;
+  prefetch.enabled = true;
+  prefetch.depth = 4;
+  const DecisionEngine cached(dist_config(), cache);
+  const DecisionEngine prefetching(dist_config(), cache, prefetch);
+  const Decision without = cached.decide(meta, rr, features, meta.size_bytes,
+                                         /*pipeline=*/1, /*repeats=*/4);
+  const Decision with = prefetching.decide(meta, rr, features,
+                                           meta.size_bytes,
+                                           /*pipeline=*/1, /*repeats=*/4);
+  EXPECT_LT(with.predicted_bytes, without.predicted_bytes);
+  EXPECT_NE(with.rationale.find("prefetch depth=4"), std::string::npos);
+  EXPECT_EQ(without.rationale.find("prefetch"), std::string::npos);
+
+  // An inactive prefetch config must not perturb the cached decision.
+  pfs::PrefetchConfig off;
+  off.depth = 4;  // enabled stays false
+  const DecisionEngine disabled(dist_config(), cache, off);
+  const Decision same = disabled.decide(meta, rr, features, meta.size_bytes,
+                                        /*pipeline=*/1, /*repeats=*/4);
+  EXPECT_EQ(same.predicted_bytes, without.predicted_bytes);
+  EXPECT_EQ(same.rationale, without.rationale);
+}
+
+TEST(CacheDecisionTest, HitCostPricingKeepsWarmPassesHonest) {
+  // With the NIC bandwidth supplied, a perfect hit rate prices warm passes
+  // at the RAM-copy cost instead of zero — predicted bytes go up, and the
+  // rationale says why.
+  const auto meta = raster_meta(1024);
+  const pfs::RoundRobinLayout rr(12);
+  const auto features = kernels::eight_neighbor_pattern("op");
+  const cache::CacheConfig cache = cache_config(1ULL << 30);
+
+  const DecisionEngine free_hits(dist_config(), cache);
+  const DecisionEngine priced(dist_config(), cache, {},
+                              /*network_bandwidth_bps=*/110.0 * 1024 * 1024);
+  const Decision cheap = free_hits.decide(meta, rr, features, meta.size_bytes,
+                                          /*pipeline=*/1, /*repeats=*/16);
+  const Decision honest = priced.decide(meta, rr, features, meta.size_bytes,
+                                        /*pipeline=*/1, /*repeats=*/16);
+  EXPECT_GT(honest.predicted_bytes, cheap.predicted_bytes);
+  EXPECT_NE(honest.rationale.find("hit-cost="), std::string::npos);
+  EXPECT_EQ(cheap.rationale.find("hit-cost="), std::string::npos);
+}
+
 TEST(CacheDecisionTest, HitRatePredictionGradesWithCapacity) {
   const auto meta = raster_meta(1024);
   const auto features = kernels::eight_neighbor_pattern("op");

@@ -97,6 +97,40 @@ TEST(PipelineTest, ChainOfThreeFiltersVerifiesEveryStage) {
   EXPECT_TRUE(reports[2].output_verified);
 }
 
+TEST(PipelineTest, StageReportsCarryPerStageCacheDeltas) {
+  // NAS pipeline on round-robin with caching: every stage fetches remote
+  // halo, so every stage report must show its OWN misses — snapshot deltas,
+  // not the cumulative hub counters — and the deltas sum to the combined
+  // report's totals.
+  SchemeRunOptions o = base_options(Scheme::kNAS);
+  o.workload.with_data = false;
+  o.workload.data_bytes = 64ULL << 20;
+  o.workload.strip_size = 1ULL << 20;
+  o.workload.raster_width =
+      static_cast<std::uint32_t>(o.workload.strip_size / 4) - 1;
+  o.cluster.server_cache.enabled = true;
+  o.cluster.server_cache.capacity_bytes = 1ULL << 30;
+  o.cluster.prefetch.enabled = true;
+  o.cluster.prefetch.depth = 4;
+  o.cluster.pipeline_window = 1;
+  const std::vector<std::string> chain{"gaussian-2d", "median-3x3",
+                                       "gaussian-2d"};
+  const auto reports = run_pipeline(o, chain);
+  ASSERT_EQ(reports.size(), 4U);
+
+  std::uint64_t miss_sum = 0, issued_sum = 0;
+  for (std::size_t stage = 0; stage < 3; ++stage) {
+    EXPECT_GT(reports[stage].cache_misses, 0U) << "stage " << stage;
+    miss_sum += reports[stage].cache_misses;
+    issued_sum += reports[stage].prefetch_issued;
+  }
+  // Each stage reads a different file, so no stage can recycle another's
+  // strips: per-stage deltas partition the combined totals exactly.
+  EXPECT_EQ(miss_sum, reports[3].cache_misses);
+  EXPECT_EQ(issued_sum, reports[3].prefetch_issued);
+  EXPECT_GT(issued_sum, 0U);
+}
+
 TEST(PipelineDeathTest, EmptyChainAborts) {
   EXPECT_DEATH(run_pipeline(base_options(Scheme::kTS), {}), "DAS_REQUIRE");
 }

@@ -1,0 +1,257 @@
+// Halo-strip prefetching: the lookahead window hides first-pass remote
+// fetch latency without moving a single extra server-to-server byte — a
+// demand fetch and a prefetch of the same strip coalesce onto one wire
+// transfer, an invalidation mid-flight drops the stale payload, and
+// switching prefetch off reproduces the cache-only byte flows exactly.
+#include <gtest/gtest.h>
+
+#include "core/scheme.hpp"
+#include "pfs/pfs.hpp"
+#include "pfs/prefetch.hpp"
+#include "simkit/simulator.hpp"
+
+namespace das::core {
+namespace {
+
+SchemeRunOptions nas_prefetch_options(std::uint32_t depth,
+                                      std::uint32_t window = 1) {
+  SchemeRunOptions o;
+  o.scheme = Scheme::kNAS;
+  o.workload.kernel_name = "flow-routing";
+  o.workload.data_bytes = 256ULL << 20;  // 256 strips of 1 MiB
+  o.workload.strip_size = 1ULL << 20;
+  o.workload.raster_width =
+      static_cast<std::uint32_t>(o.workload.strip_size / 4) - 1;
+  o.cluster.storage_nodes = 4;
+  o.cluster.compute_nodes = 4;
+  o.cluster.job_startup = 0;
+  o.cluster.pipeline_window = window;
+  o.cluster.server_cache.enabled = true;
+  o.cluster.server_cache.capacity_bytes = 1ULL << 30;
+  o.cluster.prefetch.enabled = depth > 0;
+  o.cluster.prefetch.depth = depth;
+  return o;
+}
+
+TEST(PrefetchIntegrationTest, OffReproducesTheCacheOnlyByteFlowsExactly) {
+  // enabled == false (whatever the depth says) must never attach a
+  // prefetcher, so timing and traffic match a run that never heard of the
+  // prefetch config at all.
+  const RunReport baseline = run_scheme(nas_prefetch_options(0));
+  SchemeRunOptions disabled = nas_prefetch_options(8);
+  disabled.cluster.prefetch.enabled = false;
+  const RunReport off = run_scheme(disabled);
+  EXPECT_DOUBLE_EQ(baseline.exec_seconds, off.exec_seconds);
+  EXPECT_EQ(baseline.server_server_bytes, off.server_server_bytes);
+  EXPECT_EQ(baseline.client_server_bytes, off.client_server_bytes);
+  EXPECT_EQ(baseline.control_messages, off.control_messages);
+  EXPECT_EQ(off.prefetch_issued, 0U);
+  EXPECT_EQ(off.prefetch_hits, 0U);
+}
+
+TEST(PrefetchIntegrationTest, LookaheadHidesFirstPassLatencyMonotonically) {
+  // Same strips cross the wire either way; pulling them ahead of the sweep
+  // overlaps fetch with compute, so makespan improves as depth grows.
+  const RunReport d0 = run_scheme(nas_prefetch_options(0));
+  const RunReport d2 = run_scheme(nas_prefetch_options(2));
+  const RunReport d8 = run_scheme(nas_prefetch_options(8));
+
+  EXPECT_EQ(d0.server_server_bytes, d2.server_server_bytes);
+  EXPECT_EQ(d0.server_server_bytes, d8.server_server_bytes);
+  EXPECT_GE(d0.exec_seconds, d2.exec_seconds);
+  EXPECT_GE(d2.exec_seconds, d8.exec_seconds);
+  EXPECT_GT(d0.exec_seconds, d8.exec_seconds);
+
+  EXPECT_GT(d8.prefetch_issued, 0U);
+  EXPECT_GT(d8.prefetch_issued_bytes, 0U);
+}
+
+TEST(PrefetchIntegrationTest, CoalescingNeverDoublesWireTraffic) {
+  // Under a deep demand window most prefetches are caught up with by the
+  // sweep mid-flight; every one of them must be absorbed, never re-fetched.
+  const RunReport off = run_scheme(nas_prefetch_options(0, /*window=*/4));
+  const RunReport on = run_scheme(nas_prefetch_options(8, /*window=*/4));
+  EXPECT_GT(on.prefetch_coalesced, 0U);
+  EXPECT_EQ(on.server_server_bytes, off.server_server_bytes);
+  // Every remote strip is either a demand miss or served by prefetch; the
+  // two partitions cover the same strip population.
+  EXPECT_EQ(on.cache_hits + on.cache_misses, off.cache_hits + off.cache_misses);
+}
+
+TEST(PrefetchIntegrationTest, ReductionKernelHasNothingToPrefetch) {
+  // raster-statistics has no dependence halo: the plan is empty and the
+  // prefetcher changes nothing.
+  SchemeRunOptions o = nas_prefetch_options(8);
+  o.workload.kernel_name = "raster-statistics";
+  const RunReport on = run_scheme(o);
+  SchemeRunOptions base = nas_prefetch_options(0);
+  base.workload.kernel_name = "raster-statistics";
+  const RunReport off = run_scheme(base);
+  EXPECT_EQ(on.prefetch_issued, 0U);
+  EXPECT_DOUBLE_EQ(on.exec_seconds, off.exec_seconds);
+}
+
+TEST(PrefetchIntegrationTest, DataModeStaysBitExactWithPrefetchOn) {
+  // Correctness mode: payloads delivered through the prefetcher (admitted
+  // strips and coalesced demand waiters alike) must assemble the same
+  // output as the sequential reference, across repeated passes whose
+  // writes invalidate in-flight fetches.
+  SchemeRunOptions o;
+  o.scheme = Scheme::kNAS;
+  o.workload.kernel_name = "median-3x3";
+  o.workload.strip_size = 64;
+  o.workload.element_size = 4;
+  o.workload.data_bytes = 128 * 64;
+  o.workload.with_data = true;
+  o.cluster.storage_nodes = 4;
+  o.cluster.compute_nodes = 4;
+  o.cluster.job_startup = 0;
+  o.cluster.pipeline_window = 1;
+  o.repeat_count = 3;
+  o.cluster.server_cache.enabled = true;
+  o.cluster.server_cache.capacity_bytes = 1ULL << 20;
+  o.cluster.prefetch.enabled = true;
+  o.cluster.prefetch.depth = 4;
+  const RunReport report = run_scheme(o);
+  EXPECT_TRUE(report.output_verified)
+      << "max error " << report.output_max_error;
+}
+
+/// Direct prefetcher harness: a 4-server Pfs with caches and prefetchers,
+/// one round-robin file, and hand-driven plans.
+class PrefetcherFixture : public ::testing::Test {
+ protected:
+  PrefetcherFixture() {
+    net::NetworkConfig ncfg;
+    ncfg.num_nodes = 4;
+    ncfg.nic_bandwidth_bps = 1024.0 * 1024;  // 1 KiB strip ~ 1 ms on the wire
+    ncfg.wire_latency = sim::microseconds(10);
+    network_ = std::make_unique<net::Network>(sim_, ncfg);
+    pfs_ = std::make_unique<pfs::Pfs>(sim_, *network_,
+                                      std::vector<net::NodeId>{0, 1, 2, 3},
+                                      storage::DiskConfig{});
+    cache::CacheConfig ccfg;
+    ccfg.enabled = true;
+    ccfg.capacity_bytes = 1ULL << 20;
+    pfs_->enable_strip_caches(ccfg);
+    pfs::PrefetchConfig pcfg;
+    pcfg.enabled = true;
+    pcfg.depth = 4;
+    pfs_->enable_prefetch(pcfg);
+
+    pfs::FileMeta meta;
+    meta.name = "halo";
+    meta.size_bytes = 16 * 1024;
+    meta.strip_size = 1024;
+    file_ = pfs_->create_file(meta,
+                              std::make_unique<pfs::RoundRobinLayout>(4));
+  }
+
+  /// Strip 1 lives on server 1 (round-robin over 4 servers); server 0
+  /// prefetching it crosses the wire.
+  pfs::PrefetchItem remote_strip(std::uint64_t strip) {
+    return pfs::PrefetchItem{file_, strip, 1024,
+                             pfs_->layout(file_).primary(strip)};
+  }
+
+  sim::Simulator sim_;
+  std::unique_ptr<net::Network> network_;
+  std::unique_ptr<pfs::Pfs> pfs_;
+  pfs::FileId file_ = pfs::kInvalidFile;
+};
+
+TEST_F(PrefetcherFixture, PrefetchLandsInTheCacheAsAPrefetchInsertion) {
+  pfs::HaloPrefetcher* p = pfs_->server(0).prefetcher();
+  ASSERT_NE(p, nullptr);
+  p->enqueue({remote_strip(1)});
+  EXPECT_TRUE(p->in_flight(cache::CacheKey{file_, 1}));
+  sim_.run();
+
+  EXPECT_EQ(p->stats().issued, 1U);
+  EXPECT_EQ(p->stats().issued_bytes, 1024U);
+  EXPECT_EQ(p->stats().dropped_stale, 0U);
+  const cache::StripCache* cache = pfs_->server(0).strip_cache();
+  ASSERT_NE(cache, nullptr);
+  EXPECT_TRUE(cache->contains(cache::CacheKey{file_, 1}));
+  EXPECT_EQ(cache->stats().prefetch_insertions, 1U);
+  EXPECT_EQ(cache->stats().insertions, 0U);
+}
+
+TEST_F(PrefetcherFixture, DemandCoalescesOntoAnInFlightPrefetch) {
+  pfs::HaloPrefetcher* p = pfs_->server(0).prefetcher();
+  p->enqueue({remote_strip(1)});
+
+  bool delivered = false;
+  const bool issued = p->demand_fetch(
+      remote_strip(1),
+      [&delivered](const std::vector<std::byte>&) { delivered = true; });
+  EXPECT_FALSE(issued);  // absorbed, not a second wire transfer
+  EXPECT_EQ(p->stats().coalesced, 1U);
+  EXPECT_EQ(p->stats().coalesced_bytes, 1024U);
+
+  sim_.run();
+  EXPECT_TRUE(delivered);
+  // A prefetch the sweep consumed mid-flight is demand traffic: it lands as
+  // an ordinary insert, and only one transfer ever crossed the wire.
+  const cache::StripCache* cache = pfs_->server(0).strip_cache();
+  EXPECT_EQ(cache->stats().insertions, 1U);
+  EXPECT_EQ(cache->stats().prefetch_insertions, 0U);
+  EXPECT_EQ(p->stats().issued, 1U);
+}
+
+TEST_F(PrefetcherFixture, MidFlightInvalidationDropsTheStalePayload) {
+  pfs::HaloPrefetcher* p = pfs_->server(0).prefetcher();
+  p->enqueue({remote_strip(1)});
+
+  // A write to the strip lands on its holder well before the ~1 ms
+  // transfer completes; the invalidation hub marks the in-flight fetch.
+  sim_.schedule_at(sim::microseconds(50),
+                   [this]() {
+                     const pfs::StripRef ref = pfs_->meta(file_).strip(1);
+                     pfs_->server(1).write_local(file_, ref, {});
+                   },
+                   "test.write");
+  sim_.run();
+
+  EXPECT_EQ(p->stats().issued, 1U);
+  EXPECT_EQ(p->stats().dropped_stale, 1U);
+  const cache::StripCache* cache = pfs_->server(0).strip_cache();
+  EXPECT_FALSE(cache->contains(cache::CacheKey{file_, 1}));
+  EXPECT_EQ(cache->stats().prefetch_insertions, 0U);
+}
+
+TEST_F(PrefetcherFixture, PlanSkipsLocalCachedAndInFlightStrips) {
+  pfs::HaloPrefetcher* p = pfs_->server(0).prefetcher();
+  // Strip 0 is server 0's own; strip 1 goes in flight on the first enqueue,
+  // so re-planning it (plus the local strip) only skips.
+  p->enqueue({remote_strip(1)});
+  p->enqueue({pfs::PrefetchItem{file_, 0, 1024, 0}, remote_strip(1)});
+  EXPECT_EQ(p->stats().skipped, 2U);
+  EXPECT_EQ(p->stats().issued, 1U);
+  sim_.run();
+  // Once cached, planning it again is also a skip, not a refetch.
+  p->enqueue({remote_strip(1)});
+  sim_.run();
+  EXPECT_EQ(p->stats().skipped, 3U);
+  EXPECT_EQ(p->stats().issued, 1U);
+}
+
+TEST_F(PrefetcherFixture, DepthBoundsTheLookaheadWindow) {
+  pfs::HaloPrefetcher* p = pfs_->server(0).prefetcher();
+  // 12 remote strips, depth 4: the queue drains in waves of four.
+  std::vector<pfs::PrefetchItem> plan;
+  for (std::uint64_t s = 0; s < 16; ++s) {
+    if (pfs_->layout(file_).primary(s) != 0) plan.push_back(remote_strip(s));
+  }
+  ASSERT_EQ(plan.size(), 12U);
+  p->enqueue(std::move(plan));
+  EXPECT_EQ(p->stats().issued, 4U);
+  EXPECT_EQ(p->queued(), 8U);
+  sim_.run();
+  EXPECT_EQ(p->stats().issued, 12U);
+  EXPECT_EQ(p->queued(), 0U);
+  EXPECT_EQ(pfs_->cache_stats().prefetch_insertions, 12U);
+}
+
+}  // namespace
+}  // namespace das::core

@@ -7,8 +7,9 @@
 //   das_sim [--scheme=all|TS|NAS|DAS] [--kernel=all|<name>]
 //           [--gib=24] [--nodes=24] [--trials=1] [--csv]
 //           [--strip-kib=1024] [--group=16] [--budget=0.25]
-//           [--pipeline=1] [--pre-distributed=true] [--repeats=1]
+//           [--pipeline=1] [--window=4] [--pre-distributed=true] [--repeats=1]
 //           [--cache-mib=0] [--cache-policy=lru]
+//           [--prefetch=on|off] [--prefetch-depth=0]
 //           [--nic-mibps=110] [--disk-mibps=700] [--compute-mibps=450]
 //           [--startup-s=12] [--jitter=0] [--stragglers=0] [--slowdown=1]
 #include <cmath>
@@ -82,6 +83,8 @@ int main(int argc, char** argv) {
         static_cast<double>(args.get_int("budget-pct", 25)) / 100.0;
     base.pipeline_length =
         static_cast<std::uint32_t>(args.get_int("pipeline", 1));
+    base.cluster.pipeline_window = static_cast<std::uint32_t>(
+        args.get_int("window", base.cluster.pipeline_window));
     base.pre_distributed = args.get_bool("pre-distributed", true);
     base.repeat_count =
         static_cast<std::uint32_t>(args.get_int("repeats", 1));
@@ -91,6 +94,19 @@ int main(int argc, char** argv) {
     base.cluster.server_cache.enabled = cache_mib > 0;
     base.cluster.server_cache.capacity_bytes = cache_mib << 20;
     base.cluster.server_cache.policy = args.get("cache-policy", "lru");
+    // Halo prefetch: off unless a depth is given; --prefetch=off forces the
+    // PR-1 demand-fetch path bit for bit regardless of depth.
+    const bool prefetch_on = args.get_bool("prefetch", true);
+    const auto prefetch_depth =
+        static_cast<std::uint32_t>(args.get_int("prefetch-depth", 0));
+    base.cluster.prefetch.enabled = prefetch_on && prefetch_depth > 0;
+    base.cluster.prefetch.depth = prefetch_depth;
+    if (base.cluster.prefetch.active() &&
+        !base.cluster.server_cache.active()) {
+      throw std::invalid_argument(
+          "--prefetch-depth requires --cache-mib > 0 (prefetched strips land "
+          "in the server strip cache)");
+    }
     if (const std::string u = args.unused(); !u.empty()) {
       std::cerr << "unknown flags: " << u << "\n";
       return 2;
