@@ -1,8 +1,10 @@
 # Regression gate for the disabled==baseline invariant: a das_sim run with
 # the cache and prefetch explicitly switched off (--prefetch=off
 # --prefetch-depth=8 --cache-mib=0) must emit CSV byte-identical to a run
-# that never mentions either subsystem. Catches any code path where an
-# inactive config still perturbs event ordering, byte flows, or reporting.
+# that never mentions either subsystem, and so must a run with tracing
+# enabled (tracing is observational only). Catches any code path where an
+# inactive config or the tracer still perturbs event ordering, byte flows,
+# or reporting.
 #
 # Invoked as: cmake -DDAS_SIM=<path-to-das_sim> -P prefetch_off_baseline.cmake
 if(NOT DEFINED DAS_SIM)
@@ -35,3 +37,23 @@ if(NOT baseline_csv STREQUAL disabled_csv)
     "--- disabled ---\n${disabled_csv}")
 endif()
 message(STATUS "disabled cache+prefetch reproduces the seed CSV byte for byte")
+
+# Tracing must be strictly observational: the same workload with --trace
+# emits the identical CSV to stdout.
+set(trace_file ${CMAKE_CURRENT_BINARY_DIR}/baseline_trace.json)
+execute_process(
+  COMMAND ${DAS_SIM} ${workload} --trace=${trace_file}
+  OUTPUT_VARIABLE traced_csv
+  RESULT_VARIABLE traced_rc)
+if(NOT traced_rc EQUAL 0)
+  message(FATAL_ERROR "traced das_sim run failed (exit ${traced_rc})")
+endif()
+file(REMOVE ${trace_file})
+
+if(NOT baseline_csv STREQUAL traced_csv)
+  message(FATAL_ERROR
+    "--trace perturbs the simulated results\n"
+    "--- baseline ---\n${baseline_csv}\n"
+    "--- traced ---\n${traced_csv}")
+endif()
+message(STATUS "tracing reproduces the seed CSV byte for byte")

@@ -1,0 +1,77 @@
+# Traced-sweep smoke gate: run a small cached+prefetched NAS sweep with
+# --trace and --audit, then validate the artifacts without any external
+# tooling — CMake's string(JSON) parses the trace (so a malformed document
+# fails the test, not just a missing file) and the audit CSV must carry a
+# header plus at least one row with a matching field count.
+#
+# Invoked as: cmake -DDAS_SIM=<path-to-das_sim> -P trace_validate.cmake
+if(NOT DEFINED DAS_SIM)
+  message(FATAL_ERROR "pass -DDAS_SIM=<path to das_sim>")
+endif()
+
+set(trace_file ${CMAKE_CURRENT_BINARY_DIR}/trace_validate.json)
+set(audit_file ${CMAKE_CURRENT_BINARY_DIR}/trace_validate_audit.csv)
+
+execute_process(
+  COMMAND ${DAS_SIM} --scheme=NAS --kernel=flow-routing --gib=1 --nodes=8
+          --repeats=2 --cache-mib=64 --prefetch-depth=2 --csv
+          --trace=${trace_file} --audit=${audit_file}
+  OUTPUT_VARIABLE run_csv
+  RESULT_VARIABLE run_rc)
+if(NOT run_rc EQUAL 0)
+  message(FATAL_ERROR "traced das_sim sweep failed (exit ${run_rc})")
+endif()
+
+# --- The trace must be a JSON document with a non-empty traceEvents array.
+file(READ ${trace_file} trace_json)
+string(JSON event_count ERROR_VARIABLE json_error LENGTH "${trace_json}" traceEvents)
+if(json_error)
+  message(FATAL_ERROR "trace is not valid JSON: ${json_error}")
+endif()
+if(event_count LESS 1)
+  message(FATAL_ERROR "trace has no events")
+endif()
+
+# Spot-check the first event's shape: a phase and a pid must be present.
+string(JSON first_event GET "${trace_json}" traceEvents 0)
+string(JSON first_ph ERROR_VARIABLE ph_error GET "${first_event}" ph)
+string(JSON first_pid ERROR_VARIABLE pid_error GET "${first_event}" pid)
+if(ph_error OR pid_error)
+  message(FATAL_ERROR "trace event 0 lacks ph/pid: ${first_event}")
+endif()
+
+# Every instrumented subsystem must appear somewhere in the timeline.
+foreach(marker "\"cat\":\"net\"" "\"cat\":\"disk\"" "\"cat\":\"compute\""
+               "\"cat\":\"cache\"" "\"cat\":\"prefetch\""
+               "\"cat\":\"request\"")
+  string(FIND "${trace_json}" "${marker}" marker_pos)
+  if(marker_pos EQUAL -1)
+    message(FATAL_ERROR "trace is missing events with ${marker}")
+  endif()
+endforeach()
+
+# --- The audit CSV must have a header and at least one data row, with the
+# same comma count on both lines.
+file(STRINGS ${audit_file} audit_lines)
+list(LENGTH audit_lines audit_line_count)
+if(audit_line_count LESS 2)
+  message(FATAL_ERROR "audit CSV has no data rows (${audit_line_count} lines)")
+endif()
+list(GET audit_lines 0 audit_header)
+list(GET audit_lines 1 audit_row)
+if(NOT audit_header MATCHES "predicted_halo_bytes_per_pass")
+  message(FATAL_ERROR "unexpected audit header: ${audit_header}")
+endif()
+string(REGEX MATCHALL "," header_commas "${audit_header}")
+string(REGEX MATCHALL "," row_commas "${audit_row}")
+list(LENGTH header_commas header_comma_count)
+list(LENGTH row_commas row_comma_count)
+if(NOT header_comma_count EQUAL row_comma_count)
+  message(FATAL_ERROR
+    "audit header/row field counts differ\n"
+    "header: ${audit_header}\nrow: ${audit_row}")
+endif()
+
+file(REMOVE ${trace_file} ${audit_file})
+message(STATUS "traced sweep emits valid trace JSON (${event_count} events) "
+               "and a well-formed audit CSV")

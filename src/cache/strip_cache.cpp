@@ -1,8 +1,10 @@
 #include "cache/strip_cache.hpp"
 
+#include <string>
 #include <utility>
 
 #include "simkit/assert.hpp"
+#include "simkit/trace.hpp"
 
 namespace das::cache {
 
@@ -43,13 +45,25 @@ StripCache::StripCache(const CacheConfig& config)
   DAS_REQUIRE(config.hit_bandwidth_bps > 0.0);
 }
 
+void StripCache::trace_event(const char* name, const CacheKey& key,
+                             std::uint64_t length) const {
+  sim::Tracer& tracer = sim::Tracer::global();
+  if (!tracer.enabled()) return;
+  tracer.instant_now(trace_node_, sim::TraceTrack::kCache, name, "cache",
+                     "{\"file\":" + std::to_string(key.file) +
+                         ",\"strip\":" + std::to_string(key.strip) +
+                         ",\"bytes\":" + std::to_string(length) + "}");
+}
+
 const CachedStrip* StripCache::lookup(const CacheKey& key) {
   const auto it = entries_.find(key);
   if (it == entries_.end()) {
     ++stats_.misses;
+    trace_event("cache.miss", key, 0);
     return nullptr;
   }
   ++stats_.hits;
+  trace_event("cache.hit", key, it->second.length);
   stats_.hit_bytes += it->second.length;
   if (it->second.prefetched) {
     ++stats_.prefetch_hits;
@@ -85,6 +99,7 @@ void StripCache::emplace(const CacheKey& key, std::uint64_t length,
   entries_[key] = CachedStrip{length, std::move(bytes), prefetched};
   used_bytes_ += length;
   policy_->on_insert(key);
+  trace_event("cache.insert", key, length);
   if (prefetched) {
     ++stats_.prefetch_insertions;
   } else {
@@ -120,6 +135,7 @@ void StripCache::erase(const CacheKey& key, bool count_as_eviction) {
   if (count_as_eviction) {
     ++stats_.evictions;
     stats_.evicted_bytes += it->second.length;
+    trace_event("cache.evict", key, it->second.length);
   }
   policy_->on_erase(key);
   entries_.erase(it);

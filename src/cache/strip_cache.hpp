@@ -118,15 +118,21 @@ class StripCache {
   [[nodiscard]] std::size_t entry_count() const { return entries_.size(); }
   [[nodiscard]] const CacheConfig& config() const { return config_; }
 
+  /// Node this cache lives on, for trace attribution (set by the PFS).
+  void set_trace_node(std::uint32_t node) { trace_node_ = node; }
+
  private:
   void emplace(const CacheKey& key, std::uint64_t length,
                std::vector<std::byte> bytes, bool prefetched);
   void erase(const CacheKey& key, bool count_as_eviction);
+  void trace_event(const char* name, const CacheKey& key,
+                   std::uint64_t length) const;
 
   CacheConfig config_;
   std::unique_ptr<EvictionPolicy> policy_;
   std::map<CacheKey, CachedStrip> entries_;
   std::uint64_t used_bytes_ = 0;
+  std::uint32_t trace_node_ = 0;
   CacheStats stats_;
 };
 

@@ -2,14 +2,24 @@
 
 #include <cstring>
 #include <set>
+#include <string>
 #include <utility>
 
 #include "cache/strip_cache.hpp"
 #include "pfs/prefetch.hpp"
 #include "simkit/assert.hpp"
 #include "simkit/time.hpp"
+#include "simkit/trace.hpp"
 
 namespace das::core {
+
+HaloFetchTotals& HaloFetchTotals::operator+=(const ActiveExecutor& executor) {
+  strips_fetched += executor.halo_strips_fetched();
+  bytes_fetched += executor.halo_bytes_fetched();
+  cache_hits += executor.halo_cache_hits();
+  cache_hit_bytes += executor.halo_cache_hit_bytes();
+  return *this;
+}
 
 struct ActiveExecutor::RunState {
   pfs::LocalRun run;
@@ -18,6 +28,7 @@ struct ActiveExecutor::RunState {
   std::uint64_t buf_lo = 0, buf_hi = 0;
   std::vector<std::byte> buffer;  // data mode only
   std::uint64_t inputs_pending = 0;
+  std::uint64_t trace_id = 0;  // async scope; 0 when tracing is off
   bool started = false;
   bool finished = false;
 };
@@ -140,6 +151,16 @@ void ActiveExecutor::start_run(const std::shared_ptr<ServerTask>& task,
   // One pending input per strip in the buffer.
   rs.inputs_pending = rs.buf_hi - rs.buf_lo + 1;
 
+  sim::Tracer& tracer = sim::Tracer::global();
+  if (tracer.enabled()) {
+    rs.trace_id = tracer.next_scope_id();
+    tracer.async_begin(simulator.now(), task->node, rs.trace_id, "as.run",
+                       "request",
+                       "{\"first\":" + std::to_string(run.first_strip) +
+                           ",\"last\":" + std::to_string(run.last_strip) +
+                           "}");
+  }
+
   auto input_arrived = [this, task, index]() {
     RunState& state = task->runs[index];
     DAS_REQUIRE(state.inputs_pending > 0);
@@ -261,6 +282,11 @@ void ActiveExecutor::compute_and_write(const std::shared_ptr<ServerTask>& task,
               net::TrafficClass::kClientServer, [this, task, &rs]() {
                 DAS_REQUIRE(!rs.finished);
                 rs.finished = true;
+                if (rs.trace_id != 0) {
+                  sim::Tracer::global().async_end(cluster_.simulator().now(),
+                                                  task->node, rs.trace_id,
+                                                  "as.run", "request");
+                }
                 DAS_REQUIRE(task->running > 0);
                 --task->running;
                 task->barrier->arrive();
@@ -315,6 +341,11 @@ void ActiveExecutor::compute_and_write(const std::shared_ptr<ServerTask>& task,
         auto run_done = make_barrier([this, task, &rs]() {
           DAS_REQUIRE(!rs.finished);
           rs.finished = true;
+          if (rs.trace_id != 0) {
+            sim::Tracer::global().async_end(cluster_.simulator().now(),
+                                            task->node, rs.trace_id, "as.run",
+                                            "request");
+          }
           rs.buffer.clear();
           rs.buffer.shrink_to_fit();
           DAS_REQUIRE(task->running > 0);

@@ -26,6 +26,19 @@
 
 namespace das::core {
 
+class ActiveExecutor;
+
+/// Sum of the halo-acquisition counters over a set of executors (one per
+/// pass of a repeated request) — the observed side of the decision audit.
+struct HaloFetchTotals {
+  std::uint64_t strips_fetched = 0;
+  std::uint64_t bytes_fetched = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_hit_bytes = 0;
+
+  HaloFetchTotals& operator+=(const ActiveExecutor& executor);
+};
+
 class ActiveExecutor {
  public:
   struct Options {

@@ -1,9 +1,11 @@
 #include "core/as_client.hpp"
 
+#include <string>
 #include <utility>
 
 #include "core/bandwidth_model.hpp"
 #include "simkit/assert.hpp"
+#include "simkit/trace.hpp"
 
 namespace das::core {
 
@@ -17,6 +19,12 @@ ActiveStorageClient::ActiveStorageClient(
 
 const ActiveExecutor* ActiveStorageClient::last_active_executor() const {
   return last_active_;
+}
+
+HaloFetchTotals ActiveStorageClient::halo_totals() const {
+  HaloFetchTotals totals;
+  for (const auto& executor : active_executors_) totals += *executor;
+  return totals;
 }
 
 SubmissionResult ActiveStorageClient::submit(const ActiveRequest& request,
@@ -57,6 +65,18 @@ SubmissionResult ActiveStorageClient::submit(const ActiveRequest& request,
   result.offloaded = action != OffloadAction::kServeNormal;
   result.redistributed =
       action == OffloadAction::kOffloadAfterRedistribution;
+
+  sim::Tracer& tracer = sim::Tracer::global();
+  if (tracer.enabled()) {
+    tracer.instant_now(
+        cluster_.compute_node(0), sim::TraceTrack::kRequest, "decision",
+        "request",
+        "{\"action\":\"" + std::string(to_string(action)) +
+            "\",\"predicted_bytes\":" +
+            std::to_string(result.decision.predicted_bytes) +
+            ",\"predicted_hit_rate\":" +
+            std::to_string(result.decision.predicted_hit_rate) + "}");
+  }
 
   // The output inherits the input's *final* layout, so successive
   // operations find their halos local (the paper's flow-routing ->

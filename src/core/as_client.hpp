@@ -66,6 +66,11 @@ class ActiveStorageClient {
   /// fetch statistics); nullptr if the last request was served as normal.
   [[nodiscard]] const ActiveExecutor* last_active_executor() const;
 
+  /// Halo-acquisition counters summed over every offloaded pass this client
+  /// has run (all passes of all submissions) — the observed side of the
+  /// decision audit.
+  [[nodiscard]] HaloFetchTotals halo_totals() const;
+
   [[nodiscard]] const DecisionEngine& engine() const { return engine_; }
 
   /// Install a Kernel Features catalog (paper §III-B). Records in the

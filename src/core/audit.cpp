@@ -1,0 +1,34 @@
+#include "core/audit.hpp"
+
+#include <sstream>
+
+#include "core/metrics.hpp"
+
+namespace das::core {
+
+std::string audit_csv_header() {
+  return "scheme,kernel,data_bytes,storage_nodes,repeats,action,"
+         "cache_capacity_bytes,prefetch_depth,exec_seconds,"
+         "predicted_halo_bytes_per_pass,observed_halo_bytes_per_pass,"
+         "halo_bytes_residual,predicted_cache_hit_rate,"
+         "observed_cache_hit_rate,observed_warm_cache_hit_rate,"
+         "cache_hit_rate_residual,predicted_overlap,observed_overlap,"
+         "overlap_residual";
+}
+
+std::string audit_to_csv(const RunReport& r) {
+  const DecisionAudit& a = r.audit;
+  std::ostringstream out;
+  out << r.scheme << ',' << r.kernel << ',' << r.data_bytes << ','
+      << r.storage_nodes << ',' << a.repeats << ',' << a.action << ','
+      << a.cache_capacity_bytes << ',' << a.prefetch_depth << ','
+      << r.exec_seconds << ',' << a.predicted_halo_bytes << ','
+      << a.observed_halo_bytes << ',' << a.halo_bytes_residual() << ','
+      << a.predicted_cache_hit_rate << ',' << a.observed_cache_hit_rate << ','
+      << a.observed_warm_cache_hit_rate << ',' << a.cache_hit_rate_residual()
+      << ',' << a.predicted_overlap << ',' << a.observed_overlap << ','
+      << a.overlap_residual();
+  return out.str();
+}
+
+}  // namespace das::core

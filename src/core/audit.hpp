@@ -1,0 +1,76 @@
+// Decision-audit record: predicted vs observed, per admitted request.
+//
+// The offload decision (DAS) and the static scheme configurations (TS/NAS)
+// rest on the analytical bandwidth model's predictions: how many halo bytes
+// a run will pull from peers, what fraction of halo lookups a warm strip
+// cache will absorb, and how much of the remaining fetch traffic the
+// prefetcher will overlap with compute. The audit closes the loop by
+// recording each prediction next to the value the simulated run actually
+// produced, with signed residuals (observed - predicted), so model drift is
+// measurable instead of anecdotal. `das_sim --audit=FILE` emits one CSV row
+// per run.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace das::core {
+
+struct RunReport;
+
+struct DecisionAudit {
+  /// False until a scheme run fills the record (keeps accidental zero rows
+  /// out of the audit CSV).
+  bool valid = false;
+
+  /// Decision taken: DAS's OffloadAction spelling ("offload",
+  /// "offload-after-redistribution", "serve-normal"), or "static-offload" /
+  /// "static-normal" for the fixed NAS / TS schemes.
+  std::string action;
+
+  /// Configuration the predictions were made against.
+  std::uint32_t repeats = 1;
+  std::uint32_t prefetch_depth = 0;
+  std::uint64_t cache_capacity_bytes = 0;
+
+  /// Halo traffic per pass over the input: the model's
+  /// active_strip_fetch_bytes vs the bytes the executors actually requested
+  /// from peers (network fetches + cache hits + coalesced demand waiters),
+  /// averaged over passes. Zero for schemes that fetch no halo (TS).
+  std::uint64_t predicted_halo_bytes = 0;
+  double observed_halo_bytes = 0.0;
+
+  /// Steady-state cache hit-rate prediction vs the run's observed rate.
+  /// `observed_warm` excludes the (necessarily cold) first pass from the
+  /// denominator — an estimate comparable to the steady-state prediction;
+  /// equal to the raw rate when repeats == 1.
+  double predicted_cache_hit_rate = 0.0;
+  double observed_cache_hit_rate = 0.0;
+  double observed_warm_cache_hit_rate = 0.0;
+
+  /// Fraction of halo fetches hidden from the demand path (prefetcher hits
+  /// plus coalesced waiters over all halo strip acquisitions) vs the
+  /// depth/(depth+1) pipeline-overlap model.
+  double predicted_overlap = 0.0;
+  double observed_overlap = 0.0;
+
+  /// Signed residuals, observed - predicted.
+  [[nodiscard]] double halo_bytes_residual() const {
+    return observed_halo_bytes - static_cast<double>(predicted_halo_bytes);
+  }
+  /// Compares the warm-adjusted rate: the prediction is steady-state, so
+  /// the cold first pass would otherwise bias every multi-pass residual.
+  [[nodiscard]] double cache_hit_rate_residual() const {
+    return observed_warm_cache_hit_rate - predicted_cache_hit_rate;
+  }
+  [[nodiscard]] double overlap_residual() const {
+    return observed_overlap - predicted_overlap;
+  }
+};
+
+/// Audit CSV emission (header + one line per report; fields never contain
+/// commas — action strings are fixed spellings).
+[[nodiscard]] std::string audit_csv_header();
+[[nodiscard]] std::string audit_to_csv(const RunReport& report);
+
+}  // namespace das::core

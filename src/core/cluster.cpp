@@ -1,6 +1,9 @@
 #include "core/cluster.hpp"
 
+#include <string>
+
 #include "simkit/assert.hpp"
+#include "simkit/trace.hpp"
 
 namespace das::core {
 
@@ -40,6 +43,26 @@ Cluster::Cluster(const ClusterConfig& config) : config_(config) {
       engine.rate_bps /= config.straggler_slowdown;
     }
     engines_.emplace_back(engine);
+    engines_.back().set_trace_node(i);
+  }
+
+  // Rebind the global tracer's clock to this cluster's simulator and name
+  // every node and track. The most recently constructed cluster owns the
+  // clock; only components driven by this simulator emit timestamped events
+  // while a run is in progress.
+  sim::Tracer& tracer = sim::Tracer::global();
+  if (tracer.enabled()) {
+    tracer.set_clock([this]() { return sim_.now(); });
+    for (std::uint32_t i = 0; i < config.total_nodes(); ++i) {
+      const bool is_server = i < config.storage_nodes;
+      tracer.set_process_name(
+          i, is_server ? "server" + std::to_string(i)
+                       : "client" + std::to_string(i - config.storage_nodes));
+      for (std::uint32_t t = 0; t < sim::kNumTraceTracks; ++t) {
+        tracer.set_track_name(i, static_cast<sim::TraceTrack>(t),
+                              sim::to_string(static_cast<sim::TraceTrack>(t)));
+      }
+    }
   }
 
   clients_.reserve(config.compute_nodes);

@@ -50,7 +50,11 @@ std::string report_csv_header() {
          "client_compute_util,cache_hits,cache_misses,cache_evictions,"
          "cache_hit_bytes,cache_hit_rate,prefetch_issued,"
          "prefetch_issued_bytes,prefetch_coalesced,prefetch_dropped_stale,"
-         "prefetch_hits,prefetch_hit_bytes";
+         "prefetch_hits,prefetch_hit_bytes,"
+         "net_queue_p50,net_queue_p95,net_queue_p99,"
+         "net_wire_p50,net_wire_p95,net_wire_p99,"
+         "disk_p50,disk_p95,disk_p99,"
+         "compute_p50,compute_p95,compute_p99";
 }
 
 std::string to_csv(const RunReport& r) {
@@ -68,7 +72,13 @@ std::string to_csv(const RunReport& r) {
       << r.cache_hit_bytes << ',' << r.cache_hit_rate() << ','
       << r.prefetch_issued << ',' << r.prefetch_issued_bytes << ','
       << r.prefetch_coalesced << ',' << r.prefetch_dropped_stale << ','
-      << r.prefetch_hits << ',' << r.prefetch_hit_bytes;
+      << r.prefetch_hits << ',' << r.prefetch_hit_bytes << ','
+      << r.net_queue_wait.p50 << ',' << r.net_queue_wait.p95 << ','
+      << r.net_queue_wait.p99 << ',' << r.net_wire.p50 << ','
+      << r.net_wire.p95 << ',' << r.net_wire.p99 << ','
+      << r.disk_service.p50 << ',' << r.disk_service.p95 << ','
+      << r.disk_service.p99 << ',' << r.compute_service.p50 << ','
+      << r.compute_service.p95 << ',' << r.compute_service.p99;
   return out.str();
 }
 

@@ -10,7 +10,16 @@
 #include <string>
 #include <vector>
 
+#include "core/audit.hpp"
+
 namespace das::core {
+
+/// p50/p95/p99 of one per-request latency component (seconds).
+struct LatencyQuantiles {
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
 
 struct RunReport {
   std::string scheme;       // "TS" / "NAS" / "DAS"
@@ -59,6 +68,20 @@ struct RunReport {
                      static_cast<double>(lookups)
                : 0.0;
   }
+
+  /// Per-request latency breakdown over the whole run: where a byte's
+  /// journey spends its time. `net_queue_wait` is time behind earlier
+  /// transfers in NIC queues, `net_wire` the serialization + propagation
+  /// remainder, `disk_service` and `compute_service` the reserved spans on
+  /// those resources (all in seconds, merged across every node).
+  LatencyQuantiles net_queue_wait;
+  LatencyQuantiles net_wire;
+  LatencyQuantiles disk_service;
+  LatencyQuantiles compute_service;
+
+  /// Predicted-vs-observed decision audit (valid only when a scheme run
+  /// filled it; emitted separately via audit_to_csv, not in to_csv).
+  DecisionAudit audit;
 
   /// Mean busy fraction of each resource class over the whole run (0..1),
   /// averaged across the nodes of that class.

@@ -1,5 +1,6 @@
 #include "core/scheme.hpp"
 
+#include <algorithm>
 #include <functional>
 #include <memory>
 #include <optional>
@@ -147,6 +148,132 @@ void fill_utilization(RunReport& report, Cluster& cluster,
   report.client_compute_utilization = client_compute / (span * clients);
 }
 
+LatencyQuantiles quantiles_of(const sim::Histogram& histogram) {
+  const sim::HistogramSummary s = histogram.summary();
+  return LatencyQuantiles{s.p50, s.p95, s.p99};
+}
+
+/// Merge the per-resource wait/service histograms across nodes and surface
+/// their quantiles: where a request's time went (NIC queue vs wire vs disk
+/// vs compute), over everything the run moved.
+void fill_latency_breakdown(RunReport& report, Cluster& cluster) {
+  report.net_queue_wait =
+      quantiles_of(cluster.network().queue_wait_histogram());
+  report.net_wire = quantiles_of(cluster.network().wire_histogram());
+
+  sim::Histogram disk;
+  sim::Histogram compute;
+  for (pfs::ServerIndex s = 0; s < cluster.config().storage_nodes; ++s) {
+    disk.merge(cluster.pfs().server(s).disk().service_histogram());
+  }
+  for (net::NodeId n = 0; n < cluster.config().total_nodes(); ++n) {
+    compute.merge(cluster.engine(n).service_histogram());
+  }
+  report.disk_service = quantiles_of(disk);
+  report.compute_service = quantiles_of(compute);
+}
+
+/// Fill the predicted-vs-observed decision audit for a single-operator run.
+/// DAS predictions come from the decision the engine actually took; NAS
+/// (static offload) is audited against the model's forecast under the
+/// file's layout, so the same residuals are comparable across schemes.
+void fill_audit(RunReport& report, const SchemeRunOptions& options,
+                Cluster& cluster, const pfs::FileMeta& meta,
+                const std::vector<std::int64_t>& offsets,
+                const kernels::ProcessingKernel& kernel, pfs::FileId input,
+                const SubmissionResult& das_result,
+                const ActiveStorageClient* asc,
+                const std::vector<std::unique_ptr<ActiveExecutor>>&
+                    nas_execs) {
+  DecisionAudit& audit = report.audit;
+  audit.valid = true;
+  audit.repeats = options.repeat_count;
+  const cache::CacheConfig& cache = options.cluster.server_cache;
+  const pfs::PrefetchConfig& prefetch_cfg = options.cluster.prefetch;
+  audit.cache_capacity_bytes = cache.active() ? cache.capacity_bytes : 0;
+  audit.prefetch_depth = prefetch_cfg.active() ? prefetch_cfg.depth : 0;
+  const bool prefetching = cache.active() && prefetch_cfg.active();
+
+  // Predicted side.
+  switch (options.scheme) {
+    case Scheme::kTS:
+      audit.action = "static-normal";
+      break;
+    case Scheme::kNAS: {
+      audit.action = "static-offload";
+      const PlacementSpec placement =
+          PlacementSpec::from_layout(cluster.pfs().layout(input));
+      const TrafficForecast forecast = forecast_traffic(
+          meta, offsets, placement, kernel.output_bytes(meta.size_bytes));
+      audit.predicted_halo_bytes = forecast.active_strip_fetch_bytes;
+      if (cache.active()) {
+        audit.predicted_cache_hit_rate = predicted_cache_hit_rate(
+            forecast, placement, cache.capacity_bytes);
+      }
+      if (prefetching) {
+        audit.predicted_overlap =
+            prefetch_overlap_fraction(prefetch_cfg.depth);
+      }
+      break;
+    }
+    case Scheme::kDAS: {
+      audit.action = to_string(das_result.decision.action);
+      if (das_result.offloaded) {
+        const TrafficForecast& forecast =
+            das_result.redistributed ? das_result.decision.target_forecast
+                                     : das_result.decision.current_forecast;
+        audit.predicted_halo_bytes = forecast.active_strip_fetch_bytes;
+        if (prefetching) {
+          audit.predicted_overlap =
+              prefetch_overlap_fraction(prefetch_cfg.depth);
+        }
+      }
+      audit.predicted_cache_hit_rate = das_result.decision.predicted_hit_rate;
+      break;
+    }
+  }
+
+  // Observed side. Halo acquisitions = network fetches + cache hits +
+  // demand waiters coalesced onto in-flight fetches, averaged per pass.
+  HaloFetchTotals totals;
+  if (options.scheme == Scheme::kDAS && asc != nullptr) {
+    totals = asc->halo_totals();
+  }
+  for (const auto& exec : nas_execs) totals += *exec;
+  const pfs::PrefetchStats prefetch = cluster.pfs().prefetch_stats();
+  audit.observed_halo_bytes =
+      static_cast<double>(totals.bytes_fetched + totals.cache_hit_bytes +
+                          prefetch.coalesced_bytes) /
+      static_cast<double>(audit.repeats);
+
+  const std::uint64_t lookups = report.cache_hits + report.cache_misses;
+  audit.observed_cache_hit_rate = report.cache_hit_rate();
+  if (audit.repeats <= 1 || lookups == 0) {
+    audit.observed_warm_cache_hit_rate = audit.observed_cache_hit_rate;
+  } else {
+    // Steady-state estimate: drop the (necessarily cold) first pass from
+    // the denominator and the prefetcher-served hits from the numerator,
+    // leaving cross-pass retention — what the prediction models.
+    const double warm_lookups =
+        static_cast<double>(lookups) -
+        static_cast<double>(lookups) / static_cast<double>(audit.repeats);
+    const double warm_hits = static_cast<double>(
+        report.cache_hits - std::min(report.cache_hits, report.prefetch_hits));
+    audit.observed_warm_cache_hit_rate =
+        warm_lookups > 0.0 ? std::clamp(warm_hits / warm_lookups, 0.0, 1.0)
+                           : 0.0;
+  }
+
+  const double overlap_denominator = static_cast<double>(
+      totals.strips_fetched + totals.cache_hits + prefetch.coalesced);
+  audit.observed_overlap =
+      overlap_denominator > 0.0
+          ? std::min(1.0, static_cast<double>(report.prefetch_hits +
+                                              prefetch.coalesced) /
+                              overlap_denominator)
+          : 0.0;
+}
+
 /// Verify a produced output file against the sequential reference.
 void verify_output(RunReport& report, Cluster& cluster, pfs::FileId output,
                    const WorkloadSpec& workload,
@@ -290,6 +417,7 @@ RunReport run_scheme(const SchemeRunOptions& options) {
   fill_traffic(report, cluster.network(), before);
   fill_utilization(report, cluster, finish);
   fill_cache_stats(report, cluster);
+  fill_latency_breakdown(report, cluster);
 
   if (options.scheme == Scheme::kDAS) {
     output = das_result.output;
@@ -298,6 +426,8 @@ RunReport run_scheme(const SchemeRunOptions& options) {
     report.redistribution_bytes = das_result.redistribution_bytes;
     report.decision_note = das_result.decision.rationale;
   }
+  fill_audit(report, options, cluster, meta, offsets, *kernel, input,
+             das_result, asc.get(), active_execs);
 
   verify_output(report, cluster, output, workload, *kernel);
   return report;
@@ -467,6 +597,7 @@ std::vector<RunReport> run_pipeline(
   }
   combined.exec_seconds = sim::to_seconds(stages->back().finish);
   fill_cache_stats(combined, cluster);
+  fill_latency_breakdown(combined, cluster);
   reports.push_back(combined);
   return reports;
 }

@@ -1,10 +1,12 @@
 #include "core/ts_executor.hpp"
 
 #include <cstring>
+#include <string>
 #include <utility>
 
 #include "core/completion.hpp"
 #include "simkit/assert.hpp"
+#include "simkit/trace.hpp"
 
 namespace das::core {
 
@@ -31,6 +33,11 @@ struct TsExecutor::NodeTask {
   // Per owned strip: gate of 2 in data mode (compute done + slab ready),
   // 1 otherwise; the write is issued when the gate reaches zero.
   std::vector<std::uint32_t> write_gate;
+
+  // Async trace scope over this node's whole share of the request;
+  // `acks_pending` counts the owned-strip completions left before it ends.
+  std::uint64_t trace_id = 0;
+  std::uint64_t acks_pending = 0;
 };
 
 TsExecutor::TsExecutor(Cluster& cluster, const Options& options)
@@ -81,6 +88,7 @@ void TsExecutor::start_node(std::uint32_t client_index, pfs::FileId input,
   }
 
   barrier->add(task->own_hi - task->own_lo);  // one write ack per owned strip
+  task->acks_pending = task->own_hi - task->own_lo;
 
   const double cost = options_.kernel->cost_factor();
   Cluster& cluster = cluster_;
@@ -88,15 +96,35 @@ void TsExecutor::start_node(std::uint32_t client_index, pfs::FileId input,
   const kernels::ProcessingKernel* kernel = options_.kernel;
   const bool data_mode = options_.data_mode;
 
+  sim::Tracer& tracer = sim::Tracer::global();
+  if (tracer.enabled()) {
+    task->trace_id = tracer.next_scope_id();
+    tracer.async_begin(cluster_.simulator().now(), task->node, task->trace_id,
+                       "ts.node", "request",
+                       "{\"own_lo\":" + std::to_string(task->own_lo) +
+                           ",\"own_hi\":" + std::to_string(task->own_hi) +
+                           "}");
+  }
+
+  // One owned-strip completion; ends the node's trace scope on the last.
+  auto node_ack = [task = task.get(), &cluster, barrier]() {
+    DAS_REQUIRE(task->acks_pending > 0);
+    if (--task->acks_pending == 0 && task->trace_id != 0) {
+      sim::Tracer::global().async_end(cluster.simulator().now(), task->node,
+                                      task->trace_id, "ts.node", "request");
+    }
+    barrier->arrive();
+  };
+
   // Issues the write of owned strip `s` once its gate reaches zero
   // (reductions skip the write: the partial result stays on this node).
-  auto gate_arrive = [task = task.get(), &client, output, out_meta, barrier,
+  auto gate_arrive = [task = task.get(), &client, output, out_meta, node_ack,
                       data_mode, reduction](std::uint64_t s) {
     auto& gate = task->write_gate[s - task->own_lo];
     DAS_REQUIRE(gate > 0);
     if (--gate != 0) return;
     if (reduction) {
-      barrier->arrive();
+      node_ack();
       return;
     }
     const pfs::StripRef ref = out_meta.strip(s);
@@ -113,7 +141,7 @@ void TsExecutor::start_node(std::uint32_t client_index, pfs::FileId input,
                                           ref.length));
     }
     client.write_range(output, ref.offset, ref.length, payload,
-                       [barrier]() { barrier->arrive(); });
+                       [node_ack]() { node_ack(); });
   };
 
   // Runs the kernel over the whole slab (host-level) once every input strip

@@ -1,8 +1,11 @@
 #include "net/network.hpp"
 
+#include <algorithm>
+#include <string>
 #include <utility>
 
 #include "simkit/assert.hpp"
+#include "simkit/trace.hpp"
 
 namespace das::net {
 
@@ -29,18 +32,38 @@ void Network::send(Message msg) {
   bytes_by_class_[cls_index] += msg.bytes;
   msgs_by_class_[cls_index] += 1;
 
+  sim::Tracer& tracer = sim::Tracer::global();
   sim::SimTime delivered_at;
+  sim::SimDuration queue_wait = 0;
   if (msg.src == msg.dst) {
     delivered_at = sent_at + config_.wire_latency;
   } else {
     const std::uint64_t wire_bytes = msg.bytes + config_.control_overhead_bytes;
+    // The spans each direction actually occupies: [max(now, free), done].
+    const sim::SimTime egress_start =
+        std::max(sent_at, nics_[msg.src].egress_free_at());
     const sim::SimTime egress_done =
         nics_[msg.src].reserve_egress(sent_at, wire_bytes);
     const sim::SimTime arrival = egress_done + config_.wire_latency;
+    const sim::SimTime ingress_start =
+        std::max(arrival, nics_[msg.dst].ingress_free_at());
     delivered_at = nics_[msg.dst].reserve_ingress(arrival, wire_bytes);
+    queue_wait = (egress_start - sent_at) + (ingress_start - arrival);
+    if (tracer.enabled()) {
+      const std::string args = "{\"bytes\":" + std::to_string(msg.bytes) +
+                               ",\"peer\":" + std::to_string(msg.dst) + "}";
+      tracer.complete(egress_start, egress_done, msg.src,
+                      sim::TraceTrack::kNicEgress, "net.tx", "net", args);
+      tracer.complete(ingress_start, delivered_at, msg.dst,
+                      sim::TraceTrack::kNicIngress, "net.rx", "net",
+                      "{\"bytes\":" + std::to_string(msg.bytes) +
+                          ",\"peer\":" + std::to_string(msg.src) + "}");
+    }
   }
 
   latency_.record(sim::to_seconds(delivered_at - sent_at));
+  queue_wait_.record(sim::to_seconds(queue_wait));
+  wire_.record(sim::to_seconds((delivered_at - sent_at) - queue_wait));
 
   if (msg.on_delivered) {
     sim_.schedule_at(delivered_at,

@@ -62,6 +62,16 @@ class Network {
     return latency_;
   }
 
+  /// Per-message NIC queue wait (seconds): time spent behind earlier
+  /// transfers at the sender's egress plus the receiver's ingress.
+  [[nodiscard]] const sim::Histogram& queue_wait_histogram() const {
+    return queue_wait_;
+  }
+
+  /// Per-message wire time (seconds): serialization both ends + latency,
+  /// i.e. end-to-end minus the queue wait.
+  [[nodiscard]] const sim::Histogram& wire_histogram() const { return wire_; }
+
  private:
   sim::Simulator& sim_;
   NetworkConfig config_;
@@ -69,6 +79,8 @@ class Network {
   std::uint64_t bytes_by_class_[kNumTrafficClasses] = {};
   std::uint64_t msgs_by_class_[kNumTrafficClasses] = {};
   sim::Histogram latency_;
+  sim::Histogram queue_wait_;
+  sim::Histogram wire_;
 };
 
 }  // namespace das::net

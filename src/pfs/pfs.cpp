@@ -201,6 +201,7 @@ void Pfs::enable_strip_caches(const cache::CacheConfig& config) {
   caches_.reserve(servers_.size());
   for (const auto& server : servers_) {
     caches_.push_back(std::make_unique<cache::StripCache>(config));
+    caches_.back()->set_trace_node(server->node());
     cache_hub_.attach(caches_.back().get());
     server->attach_cache(caches_.back().get(), &cache_hub_);
   }

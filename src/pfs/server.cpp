@@ -10,7 +10,9 @@ namespace das::pfs {
 PfsServer::PfsServer(sim::Simulator& simulator, net::Network& network,
                      net::NodeId node,
                      const storage::DiskConfig& disk_config)
-    : sim_(simulator), net_(network), node_(node), disk_(disk_config) {}
+    : sim_(simulator), net_(network), node_(node), disk_(disk_config) {
+  disk_.set_trace_node(node);
+}
 
 PfsServer::~PfsServer() = default;
 

@@ -17,6 +17,16 @@ std::string_view to_string(LogLevel level) {
   return "?";
 }
 
+std::optional<LogLevel> log_level_from_string(std::string_view name) {
+  if (name == "trace") return LogLevel::kTrace;
+  if (name == "debug") return LogLevel::kDebug;
+  if (name == "info") return LogLevel::kInfo;
+  if (name == "warn") return LogLevel::kWarn;
+  if (name == "error") return LogLevel::kError;
+  if (name == "off") return LogLevel::kOff;
+  return std::nullopt;
+}
+
 void Logger::log(LogLevel level, SimTime now, std::string_view component,
                  std::string_view message) {
   if (!enabled(level)) return;

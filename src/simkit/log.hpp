@@ -4,6 +4,7 @@
 // flow. Formatting cost is avoided entirely when the level is filtered.
 #pragma once
 
+#include <optional>
 #include <ostream>
 #include <sstream>
 #include <string_view>
@@ -52,5 +53,11 @@ class Logger {
 
 /// Human-readable level name ("TRACE", "DEBUG", ...).
 std::string_view to_string(LogLevel level);
+
+/// Parse "trace" | "debug" | "info" | "warn" | "error" | "off"
+/// (case-sensitive, the CLI spelling); nullopt on anything else so callers
+/// can reject typos instead of silently filtering everything.
+[[nodiscard]] std::optional<LogLevel> log_level_from_string(
+    std::string_view name);
 
 }  // namespace das::sim

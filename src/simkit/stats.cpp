@@ -57,10 +57,27 @@ double Histogram::quantile(double q) const {
   DAS_REQUIRE(q >= 0.0 && q <= 1.0);
   DAS_REQUIRE(!samples_.empty());
   ensure_sorted();
+  // Nearest-rank leaves q == 0 unspecified (rank 0); define it as the
+  // minimum so quantile() spans [min, max] over its whole domain.
+  if (q == 0.0) return samples_.front();
   const auto n = samples_.size();
   const auto rank = static_cast<std::size_t>(
       std::ceil(q * static_cast<double>(n)));
-  return samples_[rank == 0 ? 0 : rank - 1];
+  return samples_[rank - 1];
+}
+
+HistogramSummary Histogram::summary() const {
+  if (samples_.empty()) return HistogramSummary{};
+  return HistogramSummary{count(),        mean(),          quantile(0.5),
+                          quantile(0.95), quantile(0.99),  max()};
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (other.samples_.empty()) return;
+  samples_.insert(samples_.end(), other.samples_.begin(),
+                  other.samples_.end());
+  sorted_ = samples_.size() <= 1;
+  sum_ += other.sum_;
 }
 
 void Histogram::reset() {
@@ -102,9 +119,10 @@ std::string MetricsRegistry::report(SimTime now) const {
       out << name << " (no samples)\n";
       continue;
     }
-    out << name << " n=" << h.count() << " mean=" << h.mean()
-        << " p50=" << h.quantile(0.5) << " p99=" << h.quantile(0.99)
-        << " max=" << h.max() << '\n';
+    const HistogramSummary s = h.summary();
+    out << name << " n=" << s.count << " mean=" << s.mean
+        << " p50=" << s.p50 << " p95=" << s.p95 << " p99=" << s.p99
+        << " max=" << s.max << '\n';
   }
   return out.str();
 }

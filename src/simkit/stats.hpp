@@ -50,6 +50,16 @@ class TimeWeightedGauge {
   bool started_ = false;
 };
 
+/// One-line digest of a histogram; all zeros when the histogram is empty.
+struct HistogramSummary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+};
+
 /// Sample distribution with exact quantiles (stores all samples).
 ///
 /// Experiments in this repository record at most a few million samples per
@@ -64,8 +74,17 @@ class Histogram {
   [[nodiscard]] double min() const;
   [[nodiscard]] double max() const;
 
-  /// q in [0, 1]; nearest-rank quantile. Requires count() > 0.
+  /// q in [0, 1]; nearest-rank quantile, with q == 0 defined as the
+  /// minimum (nearest-rank alone would leave rank 0 unspecified).
+  /// Requires count() > 0.
   [[nodiscard]] double quantile(double q) const;
+
+  /// count/mean/p50/p95/p99/max in one call; safe on an empty histogram.
+  [[nodiscard]] HistogramSummary summary() const;
+
+  /// Fold another histogram's samples into this one (per-node resource
+  /// histograms aggregate into one cluster-wide distribution).
+  void merge(const Histogram& other);
 
   void reset();
 

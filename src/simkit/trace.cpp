@@ -1,0 +1,196 @@
+#include "simkit/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <utility>
+
+#include "simkit/assert.hpp"
+
+namespace das::sim {
+
+const char* to_string(TraceTrack track) {
+  switch (track) {
+    case TraceTrack::kRequest: return "request";
+    case TraceTrack::kCompute: return "compute";
+    case TraceTrack::kDisk: return "disk";
+    case TraceTrack::kNicEgress: return "nic.egress";
+    case TraceTrack::kNicIngress: return "nic.ingress";
+    case TraceTrack::kCache: return "cache";
+    case TraceTrack::kPrefetch: return "prefetch";
+  }
+  return "?";
+}
+
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+Tracer& Tracer::global() {
+  static Tracer tracer;
+  return tracer;
+}
+
+void Tracer::complete(SimTime start, SimTime end, std::uint32_t node,
+                      TraceTrack track, std::string name, std::string cat,
+                      std::string args) {
+  if (!enabled_) return;
+  DAS_REQUIRE(end >= start);
+  events_.push_back(TraceEvent{start, end - start, node,
+                               static_cast<std::uint32_t>(track), 'X', 0,
+                               std::move(name), std::move(cat),
+                               std::move(args)});
+}
+
+void Tracer::instant(SimTime t, std::uint32_t node, TraceTrack track,
+                     std::string name, std::string cat, std::string args) {
+  if (!enabled_) return;
+  events_.push_back(TraceEvent{t, 0, node, static_cast<std::uint32_t>(track),
+                               'i', 0, std::move(name), std::move(cat),
+                               std::move(args)});
+}
+
+void Tracer::instant_now(std::uint32_t node, TraceTrack track,
+                         std::string name, std::string cat,
+                         std::string args) {
+  if (!enabled_) return;
+  instant(now(), node, track, std::move(name), std::move(cat),
+          std::move(args));
+}
+
+void Tracer::async_begin(SimTime t, std::uint32_t node, std::uint64_t id,
+                         std::string name, std::string cat,
+                         std::string args) {
+  if (!enabled_) return;
+  events_.push_back(TraceEvent{
+      t, 0, node, static_cast<std::uint32_t>(TraceTrack::kRequest), 'b', id,
+      std::move(name), std::move(cat), std::move(args)});
+}
+
+void Tracer::async_end(SimTime t, std::uint32_t node, std::uint64_t id,
+                       std::string name, std::string cat) {
+  if (!enabled_) return;
+  events_.push_back(TraceEvent{
+      t, 0, node, static_cast<std::uint32_t>(TraceTrack::kRequest), 'e', id,
+      std::move(name), std::move(cat), {}});
+}
+
+void Tracer::set_process_name(std::uint32_t node, const std::string& name) {
+  if (!enabled_) return;
+  const std::string args = "{\"name\":\"" + json_escape(name) + "\"}";
+  for (TraceEvent& event : metadata_) {
+    if (event.name == "process_name" && event.pid == node) {
+      event.args = args;
+      return;
+    }
+  }
+  metadata_.push_back(
+      TraceEvent{0, 0, node, 0, 'M', 0, "process_name", "__metadata", args});
+}
+
+void Tracer::set_track_name(std::uint32_t node, TraceTrack track,
+                            const std::string& name) {
+  if (!enabled_) return;
+  const auto tid = static_cast<std::uint32_t>(track);
+  const std::string args = "{\"name\":\"" + json_escape(name) + "\"}";
+  for (TraceEvent& event : metadata_) {
+    if (event.name == "thread_name" && event.pid == node &&
+        event.tid == tid) {
+      event.args = args;
+      return;
+    }
+  }
+  metadata_.push_back(
+      TraceEvent{0, 0, node, tid, 'M', 0, "thread_name", "__metadata", args});
+}
+
+std::vector<TraceEvent> Tracer::sorted_events() const {
+  std::vector<TraceEvent> sorted = events_;
+  std::stable_sort(
+      sorted.begin(), sorted.end(),
+      [](const TraceEvent& a, const TraceEvent& b) { return a.ts < b.ts; });
+  return sorted;
+}
+
+namespace {
+
+void append_event(std::string& out, const TraceEvent& event, bool& first) {
+  if (!first) out += ",\n";
+  first = false;
+  char buf[160];
+  // Chrome trace timestamps are microseconds; SimTime is nanoseconds.
+  std::snprintf(buf, sizeof buf,
+                "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"%c\",\"ts\":%.3f",
+                json_escape(event.name).c_str(),
+                json_escape(event.cat).c_str(), event.ph,
+                static_cast<double>(event.ts) / 1e3);
+  out += buf;
+  if (event.ph == 'X') {
+    std::snprintf(buf, sizeof buf, ",\"dur\":%.3f",
+                  static_cast<double>(event.dur) / 1e3);
+    out += buf;
+  }
+  if (event.ph == 'b' || event.ph == 'e') {
+    std::snprintf(buf, sizeof buf, ",\"id\":\"0x%llx\"",
+                  static_cast<unsigned long long>(event.id));
+    out += buf;
+  }
+  if (event.ph == 'i') out += ",\"s\":\"t\"";
+  std::snprintf(buf, sizeof buf, ",\"pid\":%u,\"tid\":%u", event.pid,
+                event.tid);
+  out += buf;
+  if (!event.args.empty()) {
+    out += ",\"args\":";
+    out += event.args;
+  }
+  out += '}';
+}
+
+}  // namespace
+
+std::string Tracer::to_json() const {
+  std::string out = "{\"traceEvents\":[\n";
+  bool first = true;
+  for (const TraceEvent& event : metadata_) append_event(out, event, first);
+  for (const TraceEvent& event : sorted_events()) {
+    append_event(out, event, first);
+  }
+  out += "\n],\"displayTimeUnit\":\"ms\"}\n";
+  return out;
+}
+
+bool Tracer::write_json(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  const std::string json = to_json();
+  out.write(json.data(), static_cast<std::streamsize>(json.size()));
+  return static_cast<bool>(out);
+}
+
+void Tracer::clear() {
+  events_.clear();
+  metadata_.clear();
+  last_scope_id_ = 0;
+}
+
+}  // namespace das::sim

@@ -1,0 +1,139 @@
+// Span-based tracing with simulated timestamps.
+//
+// Components record complete spans (a disk access, a NIC serialization, a
+// compute reservation), instant events (cache hit, prefetch issue), and
+// async request scopes (one NAS/DAS run from first input to last write) on
+// per-node tracks. The buffer exports Chrome trace-event JSON, loadable in
+// Perfetto / chrome://tracing, so one traced run yields a complete
+// per-server timeline of where a sweep's time went.
+//
+// Tracing is strictly observational and zero-cost when disabled: every
+// recording call returns after one branch, and call sites must guard any
+// argument formatting behind enabled(). Components never change simulated
+// behaviour based on the tracer, so a traced run's results are
+// byte-identical to an untraced one.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "simkit/time.hpp"
+
+namespace das::sim {
+
+/// Per-node resource tracks. Track ids are stable across runs so tooling
+/// can rely on (pid=node, tid=track) identifying one resource timeline.
+enum class TraceTrack : std::uint32_t {
+  kRequest = 0,  // request/run scopes and decisions
+  kCompute = 1,
+  kDisk = 2,
+  kNicEgress = 3,
+  kNicIngress = 4,
+  kCache = 5,
+  kPrefetch = 6,
+};
+
+inline constexpr std::uint32_t kNumTraceTracks = 7;
+
+[[nodiscard]] const char* to_string(TraceTrack track);
+
+/// One buffered trace event (Chrome trace-event model).
+struct TraceEvent {
+  SimTime ts = 0;
+  SimDuration dur = 0;    // complete ('X') events only
+  std::uint32_t pid = 0;  // cluster node id
+  std::uint32_t tid = 0;  // TraceTrack
+  char ph = 'X';          // 'X' complete, 'i' instant, 'b'/'e' async, 'M' meta
+  std::uint64_t id = 0;   // async scope id ('b'/'e' only)
+  std::string name;
+  std::string cat;
+  std::string args;  // preformatted JSON object ("{...}"), or empty
+};
+
+/// Escape `text` for embedding inside a JSON string literal.
+[[nodiscard]] std::string json_escape(std::string_view text);
+
+class Tracer {
+ public:
+  using Clock = std::function<SimTime()>;
+
+  Tracer() = default;
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// The process-wide tracer every component records into (mirrors
+  /// Logger::global()). Disabled until a driver enables it.
+  static Tracer& global();
+
+  void enable() { enabled_ = true; }
+  void disable() { enabled_ = false; }
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+  /// Bind the simulation clock so components without direct time access
+  /// (the strip cache) can stamp instants. Rebound by every Cluster; only
+  /// valid while that simulator is alive.
+  void set_clock(Clock clock) { clock_ = std::move(clock); }
+  [[nodiscard]] SimTime now() const { return clock_ ? clock_() : 0; }
+
+  /// A finished span [start, end] on node `node`'s `track`.
+  void complete(SimTime start, SimTime end, std::uint32_t node,
+                TraceTrack track, std::string name, std::string cat,
+                std::string args = {});
+
+  /// A point event at `t`.
+  void instant(SimTime t, std::uint32_t node, TraceTrack track,
+               std::string name, std::string cat, std::string args = {});
+
+  /// A point event stamped with the bound clock.
+  void instant_now(std::uint32_t node, TraceTrack track, std::string name,
+                   std::string cat, std::string args = {});
+
+  /// Async scope for long-lived, overlapping work (one executor run). The
+  /// begin/end pair is matched by (cat, id); scopes on one track may nest
+  /// and interleave freely.
+  void async_begin(SimTime t, std::uint32_t node, std::uint64_t id,
+                   std::string name, std::string cat, std::string args = {});
+  void async_end(SimTime t, std::uint32_t node, std::uint64_t id,
+                 std::string name, std::string cat);
+
+  /// Fresh id for an async scope (never 0, so 0 can mean "no scope").
+  [[nodiscard]] std::uint64_t next_scope_id() { return ++last_scope_id_; }
+
+  /// Metadata naming for the viewer ("server3", "disk"). Deduplicated, so
+  /// repeated runs in one process do not bloat the buffer.
+  void set_process_name(std::uint32_t node, const std::string& name);
+  void set_track_name(std::uint32_t node, TraceTrack track,
+                      const std::string& name);
+
+  [[nodiscard]] const std::vector<TraceEvent>& events() const {
+    return events_;
+  }
+  [[nodiscard]] std::size_t event_count() const {
+    return events_.size() + metadata_.size();
+  }
+
+  /// Events stably sorted by timestamp (the order to_json emits), so every
+  /// track's begin timestamps are monotone.
+  [[nodiscard]] std::vector<TraceEvent> sorted_events() const;
+
+  /// Render the whole buffer as a Chrome trace-event JSON document.
+  [[nodiscard]] std::string to_json() const;
+
+  /// Write to_json() to `path`; false on I/O failure.
+  [[nodiscard]] bool write_json(const std::string& path) const;
+
+  /// Drop all buffered events and scope ids (keeps enabled state + clock).
+  void clear();
+
+ private:
+  bool enabled_ = false;
+  Clock clock_;
+  std::uint64_t last_scope_id_ = 0;
+  std::vector<TraceEvent> events_;
+  std::vector<TraceEvent> metadata_;  // ph 'M', emitted before the timeline
+};
+
+}  // namespace das::sim

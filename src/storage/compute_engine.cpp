@@ -1,8 +1,10 @@
 #include "storage/compute_engine.hpp"
 
 #include <algorithm>
+#include <string>
 
 #include "simkit/assert.hpp"
+#include "simkit/trace.hpp"
 
 namespace das::storage {
 
@@ -22,6 +24,14 @@ sim::SimTime ComputeEngine::execute(sim::SimTime now, std::uint64_t bytes,
   free_at_ = start + span;
   busy_ += span;
   bytes_processed_ += bytes;
+  wait_.record(sim::to_seconds(start - now));
+  service_.record(sim::to_seconds(span));
+  sim::Tracer& tracer = sim::Tracer::global();
+  if (tracer.enabled()) {
+    tracer.complete(start, free_at_, trace_node_, sim::TraceTrack::kCompute,
+                    "compute", "compute",
+                    "{\"bytes\":" + std::to_string(bytes) + "}");
+  }
   return free_at_;
 }
 

@@ -11,6 +11,7 @@
 
 #include <cstdint>
 
+#include "simkit/stats.hpp"
 #include "simkit/time.hpp"
 
 namespace das::storage {
@@ -38,12 +39,24 @@ class ComputeEngine {
   [[nodiscard]] sim::SimDuration busy_time() const { return busy_; }
   [[nodiscard]] sim::SimTime free_at() const { return free_at_; }
 
+  /// Node this engine belongs to, for trace attribution (set by the cluster).
+  void set_trace_node(std::uint32_t node) { trace_node_ = node; }
+
+  /// Per-execution wait behind earlier work / service time (seconds).
+  [[nodiscard]] const sim::Histogram& wait_histogram() const { return wait_; }
+  [[nodiscard]] const sim::Histogram& service_histogram() const {
+    return service_;
+  }
+
  private:
   ComputeConfig config_;
   double effective_rate_bps_;
+  std::uint32_t trace_node_ = 0;
   sim::SimTime free_at_ = 0;
   std::uint64_t bytes_processed_ = 0;
   sim::SimDuration busy_ = 0;
+  sim::Histogram wait_;
+  sim::Histogram service_;
 };
 
 }  // namespace das::storage

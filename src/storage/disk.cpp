@@ -1,8 +1,10 @@
 #include "storage/disk.hpp"
 
 #include <algorithm>
+#include <string>
 
 #include "simkit/assert.hpp"
+#include "simkit/trace.hpp"
 
 namespace das::storage {
 
@@ -14,7 +16,7 @@ Disk::Disk(const DiskConfig& config)
 }
 
 sim::SimTime Disk::access(sim::SimTime now, std::uint64_t offset,
-                          std::uint64_t bytes) {
+                          std::uint64_t bytes, const char* op) {
   const sim::SimTime start = std::max(now, free_at_);
   sim::SimDuration span = sim::transfer_time(bytes, config_.bandwidth_bps);
   if (offset != next_sequential_offset_) {
@@ -30,19 +32,26 @@ sim::SimTime Disk::access(sim::SimTime now, std::uint64_t offset,
   next_sequential_offset_ = offset + bytes;
   free_at_ = start + span;
   busy_ += span;
+  wait_.record(sim::to_seconds(start - now));
+  service_.record(sim::to_seconds(span));
+  sim::Tracer& tracer = sim::Tracer::global();
+  if (tracer.enabled()) {
+    tracer.complete(start, free_at_, trace_node_, sim::TraceTrack::kDisk, op,
+                    "disk", "{\"bytes\":" + std::to_string(bytes) + "}");
+  }
   return free_at_;
 }
 
 sim::SimTime Disk::read(sim::SimTime now, std::uint64_t offset,
                         std::uint64_t bytes) {
   bytes_read_ += bytes;
-  return access(now, offset, bytes);
+  return access(now, offset, bytes, "disk.read");
 }
 
 sim::SimTime Disk::write(sim::SimTime now, std::uint64_t offset,
                          std::uint64_t bytes) {
   bytes_written_ += bytes;
-  return access(now, offset, bytes);
+  return access(now, offset, bytes, "disk.write");
 }
 
 }  // namespace das::storage

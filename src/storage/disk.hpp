@@ -9,6 +9,7 @@
 #include <cstdint>
 
 #include "simkit/random.hpp"
+#include "simkit/stats.hpp"
 #include "simkit/time.hpp"
 
 namespace das::storage {
@@ -43,11 +44,23 @@ class Disk {
   [[nodiscard]] sim::SimDuration busy_time() const { return busy_; }
   [[nodiscard]] sim::SimTime free_at() const { return free_at_; }
 
+  /// Node this disk belongs to, for trace attribution (set by the server).
+  void set_trace_node(std::uint32_t node) { trace_node_ = node; }
+
+  /// Per-request wait behind earlier accesses / service time (seconds).
+  [[nodiscard]] const sim::Histogram& wait_histogram() const { return wait_; }
+  [[nodiscard]] const sim::Histogram& service_histogram() const {
+    return service_;
+  }
+
  private:
   sim::SimTime access(sim::SimTime now, std::uint64_t offset,
-                      std::uint64_t bytes);
+                      std::uint64_t bytes, const char* op);
 
   DiskConfig config_;
+  std::uint32_t trace_node_ = 0;
+  sim::Histogram wait_;
+  sim::Histogram service_;
   sim::SimTime free_at_ = 0;
   std::uint64_t next_sequential_offset_ = UINT64_MAX;
   std::uint64_t bytes_read_ = 0;

@@ -1,0 +1,111 @@
+// Decision-audit records through run_scheme: every scheme fills a valid
+// predicted-vs-observed record, rates stay in [0, 1], residuals are the
+// signed observed-minus-predicted differences, and the overlap prediction
+// follows the depth/(depth+1) pipeline model.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/scheme.hpp"
+
+namespace das::core {
+namespace {
+
+SchemeRunOptions mini_options(Scheme scheme) {
+  SchemeRunOptions o;
+  o.scheme = scheme;
+  o.workload.kernel_name = "flow-routing";
+  o.workload.data_bytes = 128ULL << 20;
+  o.workload.strip_size = 1ULL << 20;
+  o.workload.raster_width =
+      static_cast<std::uint32_t>(o.workload.strip_size / 4) - 1;
+  o.cluster.storage_nodes = 4;
+  o.cluster.compute_nodes = 4;
+  o.cluster.job_startup = 0;
+  return o;
+}
+
+// Mini A8: repeated NAS passes against a warm strip cache.
+TEST(AuditIntegrationTest, CachedNasRunReportsHitRateResidual) {
+  SchemeRunOptions o = mini_options(Scheme::kNAS);
+  o.repeat_count = 3;
+  o.cluster.server_cache.enabled = true;
+  o.cluster.server_cache.capacity_bytes = 64ULL << 20;
+  const RunReport r = run_scheme(o);
+
+  ASSERT_TRUE(r.audit.valid);
+  EXPECT_EQ(r.audit.action, "static-offload");
+  EXPECT_EQ(r.audit.repeats, 3U);
+  EXPECT_EQ(r.audit.cache_capacity_bytes, 64ULL << 20);
+  EXPECT_GT(r.audit.predicted_halo_bytes, 0U);
+  EXPECT_GT(r.audit.observed_halo_bytes, 0.0);
+  EXPECT_GE(r.audit.predicted_cache_hit_rate, 0.0);
+  EXPECT_LE(r.audit.predicted_cache_hit_rate, 1.0);
+  EXPECT_GE(r.audit.observed_cache_hit_rate, 0.0);
+  EXPECT_LE(r.audit.observed_cache_hit_rate, 1.0);
+  EXPECT_GE(r.audit.observed_warm_cache_hit_rate, 0.0);
+  EXPECT_LE(r.audit.observed_warm_cache_hit_rate, 1.0);
+  // A 64 MiB cache holds the whole halo: warm passes hit every lookup.
+  EXPECT_GT(r.audit.observed_warm_cache_hit_rate, 0.9);
+  EXPECT_DOUBLE_EQ(r.audit.cache_hit_rate_residual(),
+                   r.audit.observed_warm_cache_hit_rate -
+                       r.audit.predicted_cache_hit_rate);
+  EXPECT_DOUBLE_EQ(
+      r.audit.halo_bytes_residual(),
+      r.audit.observed_halo_bytes -
+          static_cast<double>(r.audit.predicted_halo_bytes));
+}
+
+// Mini A9: halo prefetching on top of the cache.
+TEST(AuditIntegrationTest, PrefetchedRunPredictsDepthOverDepthPlusOne) {
+  SchemeRunOptions o = mini_options(Scheme::kNAS);
+  o.repeat_count = 2;
+  o.cluster.server_cache.enabled = true;
+  o.cluster.server_cache.capacity_bytes = 64ULL << 20;
+  o.cluster.prefetch.enabled = true;
+  o.cluster.prefetch.depth = 2;
+  const RunReport r = run_scheme(o);
+
+  ASSERT_TRUE(r.audit.valid);
+  EXPECT_EQ(r.audit.prefetch_depth, 2U);
+  EXPECT_DOUBLE_EQ(r.audit.predicted_overlap, 2.0 / 3.0);
+  EXPECT_GE(r.audit.observed_overlap, 0.0);
+  EXPECT_LE(r.audit.observed_overlap, 1.0);
+  EXPECT_GT(r.audit.observed_overlap, 0.0);
+  EXPECT_DOUBLE_EQ(r.audit.overlap_residual(),
+                   r.audit.observed_overlap - r.audit.predicted_overlap);
+}
+
+TEST(AuditIntegrationTest, TsRunIsStaticNormalWithNoHalo) {
+  SchemeRunOptions o = mini_options(Scheme::kTS);
+  const RunReport r = run_scheme(o);
+  ASSERT_TRUE(r.audit.valid);
+  EXPECT_EQ(r.audit.action, "static-normal");
+  EXPECT_EQ(r.audit.predicted_halo_bytes, 0U);
+  EXPECT_DOUBLE_EQ(r.audit.observed_halo_bytes, 0.0);
+  EXPECT_EQ(r.audit.cache_capacity_bytes, 0U);
+}
+
+TEST(AuditIntegrationTest, DasRunRecordsTheDecisionSpelling) {
+  SchemeRunOptions o = mini_options(Scheme::kDAS);
+  o.distribution.group_size = 16;
+  o.distribution.max_capacity_overhead = 0.25;
+  const RunReport r = run_scheme(o);
+  ASSERT_TRUE(r.audit.valid);
+  const bool known = r.audit.action == "offload" ||
+                     r.audit.action == "offload-after-redistribution" ||
+                     r.audit.action == "serve-normal";
+  EXPECT_TRUE(known) << "unknown action spelling: " << r.audit.action;
+}
+
+TEST(AuditIntegrationTest, UncachedRunPredictsZeroHitRate) {
+  SchemeRunOptions o = mini_options(Scheme::kNAS);
+  const RunReport r = run_scheme(o);
+  ASSERT_TRUE(r.audit.valid);
+  EXPECT_DOUBLE_EQ(r.audit.predicted_cache_hit_rate, 0.0);
+  EXPECT_DOUBLE_EQ(r.audit.observed_cache_hit_rate, 0.0);
+  EXPECT_DOUBLE_EQ(r.audit.predicted_overlap, 0.0);
+}
+
+}  // namespace
+}  // namespace das::core

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 namespace das::core {
 namespace {
 
@@ -46,14 +48,62 @@ TEST(TableTest, ContainsHeaderAndRows) {
   EXPECT_NE(table.find("24 GiB"), std::string::npos);
 }
 
+long comma_count(const std::string& s) {
+  return std::count(s.begin(), s.end(), ',');
+}
+
 TEST(CsvTest, HeaderFieldCountMatchesRow) {
   const std::string header = report_csv_header();
   const std::string row = to_csv(sample_report());
-  const auto count = [](const std::string& s) {
-    return std::count(s.begin(), s.end(), ',');
-  };
-  EXPECT_EQ(count(header), count(row));
+  EXPECT_EQ(comma_count(header), comma_count(row));
   EXPECT_NE(row.find("DAS,flow-routing"), std::string::npos);
+}
+
+// Drift guard: anyone adding a RunReport column must update header and row
+// together, for every scheme spelling the CSV can carry.
+TEST(CsvTest, HeaderFieldCountMatchesRowForEveryScheme) {
+  const long header_fields = comma_count(report_csv_header());
+  for (const char* scheme : {"TS", "NAS", "DAS"}) {
+    RunReport r = sample_report();
+    r.scheme = scheme;
+    r.net_queue_wait = {0.001, 0.002, 0.003};
+    r.disk_service = {0.004, 0.005, 0.006};
+    EXPECT_EQ(comma_count(to_csv(r)), header_fields) << scheme;
+  }
+}
+
+TEST(AuditCsvTest, HeaderFieldCountMatchesRow) {
+  RunReport r = sample_report();
+  r.audit.valid = true;
+  r.audit.action = "offload";
+  r.audit.repeats = 2;
+  r.audit.prefetch_depth = 2;
+  r.audit.cache_capacity_bytes = 64ULL << 20;
+  r.audit.predicted_halo_bytes = 1 << 20;
+  r.audit.observed_halo_bytes = 1.5 * (1 << 20);
+  r.audit.predicted_cache_hit_rate = 0.5;
+  r.audit.observed_cache_hit_rate = 0.4;
+  r.audit.observed_warm_cache_hit_rate = 0.6;
+  r.audit.predicted_overlap = 2.0 / 3.0;
+  r.audit.observed_overlap = 0.7;
+  const std::string header = audit_csv_header();
+  const std::string row = audit_to_csv(r);
+  EXPECT_EQ(comma_count(header), comma_count(row));
+  EXPECT_NE(row.find("DAS,flow-routing"), std::string::npos);
+  EXPECT_NE(row.find("offload"), std::string::npos);
+}
+
+TEST(AuditTest, ResidualsAreObservedMinusPredicted) {
+  DecisionAudit a;
+  a.predicted_halo_bytes = 100;
+  a.observed_halo_bytes = 140.0;
+  a.predicted_cache_hit_rate = 0.5;
+  a.observed_warm_cache_hit_rate = 0.8;
+  a.predicted_overlap = 0.75;
+  a.observed_overlap = 0.5;
+  EXPECT_DOUBLE_EQ(a.halo_bytes_residual(), 40.0);
+  EXPECT_DOUBLE_EQ(a.cache_hit_rate_residual(), 0.3);
+  EXPECT_DOUBLE_EQ(a.overlap_residual(), -0.25);
 }
 
 }  // namespace

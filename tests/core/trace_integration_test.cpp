@@ -1,0 +1,138 @@
+// End-to-end tracing through run_scheme: a traced NAS run with cache and
+// prefetch covers every resource category, emits well-formed async scopes
+// (each begin matched by an end), keeps per-track span timestamps monotone,
+// and — the load-bearing invariant — produces byte-identical results to the
+// same run untraced.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <utility>
+
+#include "core/scheme.hpp"
+#include "simkit/trace.hpp"
+
+namespace das::core {
+namespace {
+
+SchemeRunOptions traced_nas_options() {
+  SchemeRunOptions o;
+  o.scheme = Scheme::kNAS;
+  o.workload.kernel_name = "flow-routing";
+  o.workload.data_bytes = 128ULL << 20;
+  o.workload.strip_size = 1ULL << 20;
+  o.workload.raster_width =
+      static_cast<std::uint32_t>(o.workload.strip_size / 4) - 1;
+  o.cluster.storage_nodes = 4;
+  o.cluster.compute_nodes = 4;
+  o.cluster.job_startup = 0;
+  o.repeat_count = 2;
+  o.cluster.server_cache.enabled = true;
+  o.cluster.server_cache.capacity_bytes = 64ULL << 20;
+  o.cluster.prefetch.enabled = true;
+  o.cluster.prefetch.depth = 2;
+  return o;
+}
+
+// The global tracer is process-wide state: always leave it the way the
+// other tests expect it (disabled, empty).
+class TraceIntegrationTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    sim::Tracer& tracer = sim::Tracer::global();
+    tracer.disable();
+    tracer.clear();
+  }
+};
+
+TEST_F(TraceIntegrationTest, TracedRunCoversEveryResourceCategory) {
+  sim::Tracer& tracer = sim::Tracer::global();
+  tracer.clear();
+  tracer.enable();
+  static_cast<void>(run_scheme(traced_nas_options()));
+  tracer.disable();
+
+  std::set<std::string> cats;
+  for (const sim::TraceEvent& e : tracer.events()) cats.insert(e.cat);
+  for (const char* expected :
+       {"net", "disk", "compute", "cache", "prefetch", "request"}) {
+    EXPECT_TRUE(cats.count(expected)) << "missing category " << expected;
+  }
+}
+
+TEST_F(TraceIntegrationTest, EveryAsyncScopeOpensAndCloses) {
+  sim::Tracer& tracer = sim::Tracer::global();
+  tracer.clear();
+  tracer.enable();
+  static_cast<void>(run_scheme(traced_nas_options()));
+  tracer.disable();
+
+  // (cat, id) identifies a scope; every 'b' needs exactly one 'e'.
+  std::map<std::pair<std::string, std::uint64_t>, int> open;
+  std::size_t scopes = 0;
+  for (const sim::TraceEvent& e : tracer.sorted_events()) {
+    if (e.ph == 'b') {
+      ++open[{e.cat, e.id}];
+      ++scopes;
+    } else if (e.ph == 'e') {
+      --open[{e.cat, e.id}];
+    }
+  }
+  EXPECT_GT(scopes, 0U);
+  for (const auto& [key, balance] : open) {
+    EXPECT_EQ(balance, 0) << key.first << " id " << key.second;
+  }
+}
+
+TEST_F(TraceIntegrationTest, SpanTimestampsAreMonotonePerTrack) {
+  sim::Tracer& tracer = sim::Tracer::global();
+  tracer.clear();
+  tracer.enable();
+  static_cast<void>(run_scheme(traced_nas_options()));
+  tracer.disable();
+
+  std::map<std::pair<std::uint32_t, std::uint32_t>, sim::SimTime> last_ts;
+  std::size_t spans = 0;
+  for (const sim::TraceEvent& e : tracer.sorted_events()) {
+    if (e.ph != 'X') continue;
+    ++spans;
+    EXPECT_GE(e.ts, 0);
+    EXPECT_GE(e.dur, 0);
+    auto [it, inserted] = last_ts.try_emplace({e.pid, e.tid}, e.ts);
+    if (!inserted) {
+      EXPECT_GE(e.ts, it->second) << "track (" << e.pid << "," << e.tid
+                                  << ") went backwards";
+      it->second = e.ts;
+    }
+  }
+  EXPECT_GT(spans, 0U);
+}
+
+TEST_F(TraceIntegrationTest, TracingDoesNotChangeResults) {
+  const SchemeRunOptions o = traced_nas_options();
+  const RunReport untraced = run_scheme(o);
+
+  sim::Tracer& tracer = sim::Tracer::global();
+  tracer.clear();
+  tracer.enable();
+  const RunReport traced = run_scheme(o);
+  tracer.disable();
+
+  EXPECT_EQ(to_csv(traced), to_csv(untraced));
+}
+
+TEST_F(TraceIntegrationTest, BufferRendersAsATraceEventDocument) {
+  sim::Tracer& tracer = sim::Tracer::global();
+  tracer.clear();
+  tracer.enable();
+  static_cast<void>(run_scheme(traced_nas_options()));
+  tracer.disable();
+
+  const std::string json = tracer.to_json();
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace das::core

@@ -83,6 +83,60 @@ TEST(HistogramTest, ResetClears) {
   EXPECT_DOUBLE_EQ(h.sum(), 0.0);
 }
 
+TEST(HistogramTest, QuantileZeroIsMinimum) {
+  Histogram h;
+  h.record(9.0);
+  h.record(4.0);
+  h.record(7.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 4.0);
+}
+
+TEST(HistogramTest, SummaryMatchesQuantiles) {
+  Histogram h;
+  for (int i = 1; i <= 200; ++i) h.record(i);
+  const HistogramSummary s = h.summary();
+  EXPECT_EQ(s.count, 200U);
+  EXPECT_DOUBLE_EQ(s.mean, h.mean());
+  EXPECT_DOUBLE_EQ(s.p50, h.quantile(0.5));
+  EXPECT_DOUBLE_EQ(s.p95, h.quantile(0.95));
+  EXPECT_DOUBLE_EQ(s.p99, h.quantile(0.99));
+  EXPECT_DOUBLE_EQ(s.max, h.max());
+}
+
+TEST(HistogramTest, SummaryOfEmptyIsAllZero) {
+  const Histogram h;
+  const HistogramSummary s = h.summary();
+  EXPECT_EQ(s.count, 0U);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+  EXPECT_DOUBLE_EQ(s.p50, 0.0);
+  EXPECT_DOUBLE_EQ(s.p99, 0.0);
+  EXPECT_DOUBLE_EQ(s.max, 0.0);
+}
+
+TEST(HistogramTest, MergeCombinesSamples) {
+  Histogram a;
+  a.record(1.0);
+  a.record(3.0);
+  Histogram b;
+  b.record(2.0);
+  b.record(4.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 4U);
+  EXPECT_DOUBLE_EQ(a.sum(), 10.0);
+  EXPECT_DOUBLE_EQ(a.quantile(0.5), 2.0);
+  EXPECT_DOUBLE_EQ(a.max(), 4.0);
+  a.merge(Histogram{});  // merging an empty histogram is a no-op
+  EXPECT_EQ(a.count(), 4U);
+}
+
+TEST(GaugeTest, SameInstantUpdateReplacesValue) {
+  TimeWeightedGauge g;
+  g.set(5, 10.0);
+  g.set(5, 20.0);  // zero-width interval: no time at 10 accrues
+  EXPECT_DOUBLE_EQ(g.current(), 20.0);
+  EXPECT_DOUBLE_EQ(g.average(10), 20.0);
+}
+
 TEST(HistogramDeathTest, QuantileOfEmptyAborts) {
   Histogram h;
   EXPECT_DEATH(h.quantile(0.5), "DAS_REQUIRE");

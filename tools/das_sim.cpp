@@ -12,15 +12,28 @@
 //           [--prefetch=on|off] [--prefetch-depth=0]
 //           [--nic-mibps=110] [--disk-mibps=700] [--compute-mibps=450]
 //           [--startup-s=12] [--jitter=0] [--stragglers=0] [--slowdown=1]
+//           [--trace=FILE] [--audit=FILE] [--log-level=LEVEL]
+//
+// --trace=FILE writes a Chrome trace-event / Perfetto-loadable JSON
+// timeline of every NIC, disk, compute, cache and prefetch event. Multiple
+// runs in one invocation share the buffer and each restarts simulated time
+// at zero, so the flag is most useful with a single scheme/kernel/trial.
+// --audit=FILE writes one predicted-vs-observed decision-audit CSV row per
+// run. --log-level=trace|debug|info|warn|error|off sets the global logger.
 #include <cmath>
 #include <cstdio>
+#include <fstream>
 #include <iostream>
+#include <stdexcept>
 #include <vector>
 
+#include "core/audit.hpp"
 #include "core/scheme.hpp"
 #include "kernels/registry.hpp"
 #include "runner/args.hpp"
 #include "runner/paper.hpp"
+#include "simkit/log.hpp"
+#include "simkit/trace.hpp"
 
 namespace {
 
@@ -107,10 +120,26 @@ int main(int argc, char** argv) {
           "--prefetch-depth requires --cache-mib > 0 (prefetched strips land "
           "in the server strip cache)");
     }
+    const std::string trace_path = args.get("trace", "");
+    const std::string audit_path = args.get("audit", "");
+    if (const std::string level = args.get("log-level", ""); !level.empty()) {
+      const auto parsed = das::sim::log_level_from_string(level);
+      if (!parsed) {
+        throw std::invalid_argument("unknown --log-level: " + level);
+      }
+      das::sim::Logger::global().set_level(*parsed);
+    }
     if (const std::string u = args.unused(); !u.empty()) {
       std::cerr << "unknown flags: " << u << "\n";
       return 2;
     }
+
+    das::sim::Tracer& tracer = das::sim::Tracer::global();
+    if (!trace_path.empty()) {
+      tracer.clear();
+      tracer.enable();
+    }
+    std::vector<std::string> audit_rows;
 
     if (csv) std::printf("%s,trial\n", das::core::report_csv_header().c_str());
 
@@ -130,6 +159,10 @@ int main(int argc, char** argv) {
           if (csv) {
             std::printf("%s,%u\n", das::core::to_csv(last).c_str(), trial);
           }
+          if (!audit_path.empty() && last.audit.valid) {
+            audit_rows.push_back(das::core::audit_to_csv(last) + "," +
+                                 std::to_string(trial));
+          }
         }
         table.push_back(last);
         if (trials > 1 && !csv) {
@@ -143,6 +176,18 @@ int main(int argc, char** argv) {
       }
     }
     if (!csv) std::printf("\n%s", das::core::format_report_table(table).c_str());
+
+    if (!trace_path.empty() && !tracer.write_json(trace_path)) {
+      throw std::runtime_error("cannot write trace file: " + trace_path);
+    }
+    if (!audit_path.empty()) {
+      std::ofstream out(audit_path, std::ios::trunc);
+      if (!out) {
+        throw std::runtime_error("cannot write audit file: " + audit_path);
+      }
+      out << das::core::audit_csv_header() << ",trial\n";
+      for (const std::string& row : audit_rows) out << row << "\n";
+    }
     return 0;
   } catch (const std::exception& error) {
     std::cerr << "das_sim: " << error.what() << "\n";
