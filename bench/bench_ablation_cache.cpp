@@ -27,6 +27,7 @@ das::core::SchemeRunOptions base_options(const std::string& kernel) {
 int main(int argc, char** argv) {
   using das::core::RunReport;
   namespace bench = das::bench;
+  const unsigned jobs = bench::parse_jobs(&argc, argv);
 
   bench::print_banner(
       "Ablation A8: remote-strip cache capacity x policy x kernel "
@@ -42,14 +43,35 @@ int main(int argc, char** argv) {
   const std::vector<std::string> policies = {"lru", "lfu"};
   const std::vector<std::string> kernels = {"flow-routing", "median-3x3"};
 
+  // Every cell (including each kernel's uncached reference) is an
+  // independent scheme run; enumerate them all, sweep on the pool, then
+  // print and check in enumeration order.
+  std::vector<bench::CellSpec> specs;
+  for (const std::string& kernel : kernels) {
+    specs.push_back({"A8/" + kernel + "/reference", base_options(kernel)});
+    for (const std::string& policy : policies) {
+      for (const std::uint64_t capacity : capacities) {
+        das::core::SchemeRunOptions o = base_options(kernel);
+        o.cluster.server_cache.enabled = capacity > 0;
+        o.cluster.server_cache.capacity_bytes = capacity;
+        o.cluster.server_cache.policy = policy;
+        specs.push_back({"A8/" + kernel + "/" + policy + "/cap" +
+                             std::to_string(capacity / mib) + "MiB",
+                         std::move(o)});
+      }
+    }
+  }
+  const std::vector<bench::Cell> runs = bench::run_cells(jobs, specs);
+
   std::vector<bench::Cell> cells;
   std::vector<das::runner::ShapeCheck> checks;
 
   std::printf("\n%-14s %-6s %10s %14s %9s %10s\n", "kernel", "policy",
               "cache", "srv-srv", "hit-rate", "time(s)");
+  std::size_t next = 0;
   for (const std::string& kernel : kernels) {
     // Uncached reference: the seed's NAS numbers for this repeat count.
-    const RunReport reference = das::core::run_scheme(base_options(kernel));
+    const RunReport reference = runs[next++].report;
 
     for (const std::string& policy : policies) {
       std::uint64_t last_bytes = UINT64_MAX;
@@ -58,19 +80,14 @@ int main(int argc, char** argv) {
       double best_hit_rate = 0.0;
 
       for (const std::uint64_t capacity : capacities) {
-        das::core::SchemeRunOptions o = base_options(kernel);
-        o.cluster.server_cache.enabled = capacity > 0;
-        o.cluster.server_cache.capacity_bytes = capacity;
-        o.cluster.server_cache.policy = policy;
-        const RunReport report = das::core::run_scheme(o);
+        const bench::Cell& cell = runs[next++];
+        const RunReport& report = cell.report;
 
         std::printf("%-14s %-6s %10s %14s %9.2f %10.2f\n", kernel.c_str(),
                     policy.c_str(), das::core::format_bytes(capacity).c_str(),
                     das::core::format_bytes(report.server_server_bytes).c_str(),
                     report.cache_hit_rate(), report.exec_seconds);
-        cells.push_back({"A8/" + kernel + "/" + policy + "/cap" +
-                             std::to_string(capacity / mib) + "MiB",
-                         report});
+        cells.push_back(cell);
 
         monotone = monotone && report.server_server_bytes <= last_bytes;
         last_bytes = report.server_server_bytes;

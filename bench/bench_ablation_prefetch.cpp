@@ -36,6 +36,7 @@ das::core::SchemeRunOptions base_options(const std::string& kernel,
 int main(int argc, char** argv) {
   using das::core::RunReport;
   namespace bench = das::bench;
+  const unsigned jobs = bench::parse_jobs(&argc, argv);
 
   bench::print_banner(
       "Ablation A9: halo prefetch depth x kernel x strip size "
@@ -49,17 +50,39 @@ int main(int argc, char** argv) {
   const std::vector<std::uint32_t> depths = {0, 1, 2, 4, 8};
   const std::vector<std::string> kernels = {"flow-routing", "gaussian-2d"};
 
+  // Enumerate every run (each strip size's cache-only reference plus the
+  // depth sweep) as an independent cell, execute the whole grid on the
+  // pool, then print and check in enumeration order.
+  std::vector<bench::CellSpec> specs;
+  for (const std::string& kernel : kernels) {
+    for (const std::uint64_t strip : strip_sizes) {
+      specs.push_back({"A9/" + kernel + "/strip" +
+                           std::to_string(strip / kib) + "KiB/reference",
+                       base_options(kernel, strip)});
+      for (const std::uint32_t depth : depths) {
+        das::core::SchemeRunOptions o = base_options(kernel, strip);
+        o.cluster.prefetch.enabled = depth > 0;
+        o.cluster.prefetch.depth = depth;
+        specs.push_back({"A9/" + kernel + "/strip" +
+                             std::to_string(strip / kib) + "KiB/depth" +
+                             std::to_string(depth),
+                         std::move(o)});
+      }
+    }
+  }
+  const std::vector<bench::Cell> runs = bench::run_cells(jobs, specs);
+
   std::vector<bench::Cell> cells;
   std::vector<das::runner::ShapeCheck> checks;
 
   std::printf("\n%-14s %9s %6s %10s %14s %9s %10s\n", "kernel", "strip",
               "depth", "issued", "srv-srv", "pf-hits", "time(s)");
+  std::size_t next = 0;
   for (const std::string& kernel : kernels) {
     for (const std::uint64_t strip : strip_sizes) {
       // Cache-only reference: what the system does when it never heard of
       // the prefetch config at all.
-      const RunReport reference =
-          das::core::run_scheme(base_options(kernel, strip));
+      const RunReport reference = runs[next++].report;
 
       double last_seconds = 0.0;
       bool monotone = true;
@@ -67,10 +90,8 @@ int main(int argc, char** argv) {
       RunReport at_zero, deepest;
 
       for (const std::uint32_t depth : depths) {
-        das::core::SchemeRunOptions o = base_options(kernel, strip);
-        o.cluster.prefetch.enabled = depth > 0;
-        o.cluster.prefetch.depth = depth;
-        const RunReport report = das::core::run_scheme(o);
+        const bench::Cell& cell = runs[next++];
+        const RunReport& report = cell.report;
 
         std::printf("%-14s %9s %6u %10llu %14s %9llu %10.2f\n",
                     kernel.c_str(), das::core::format_bytes(strip).c_str(),
@@ -79,10 +100,7 @@ int main(int argc, char** argv) {
                     das::core::format_bytes(report.server_server_bytes).c_str(),
                     static_cast<unsigned long long>(report.prefetch_hits),
                     report.exec_seconds);
-        cells.push_back({"A9/" + kernel + "/strip" +
-                             std::to_string(strip / kib) + "KiB/depth" +
-                             std::to_string(depth),
-                         report});
+        cells.push_back(cell);
 
         if (depth == 0) {
           at_zero = report;

@@ -5,22 +5,40 @@
 // registers one google-benchmark entry per cell whose manual time is the
 // *simulated* execution time (iterations = 1, nothing is re-run), so the
 // standard benchmark output tabulates the same numbers.
+//
+// Benches whose cells are independent scheme runs can build a CellSpec
+// list and hand it to run_cells(), which executes the sweep on a thread
+// pool (--jobs=N, stripped from argv by parse_jobs before google-benchmark
+// parses the rest). Results come back in spec order, so printed output is
+// byte-identical for any job count.
 #pragma once
 
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstdlib>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/metrics.hpp"
+#include "core/scheme.hpp"
 #include "runner/paper.hpp"
+#include "runner/sweep.hpp"
+#include "simkit/context.hpp"
 
 namespace das::bench {
 
 struct Cell {
   std::string label;
   core::RunReport report;
+};
+
+/// One independent simulation cell: run_scheme(options) under `label`.
+struct CellSpec {
+  std::string label;
+  core::SchemeRunOptions options;
 };
 
 inline void print_banner(const char* figure, const char* claim) {
@@ -30,12 +48,48 @@ inline void print_banner(const char* figure, const char* claim) {
   std::printf("=====================================================\n");
 }
 
+/// Strip a `--jobs=N` flag out of argv (google-benchmark rejects flags it
+/// does not know) and return the job count: absent -> 1, `--jobs=0` ->
+/// one job per hardware thread.
+inline unsigned parse_jobs(int* argc, char** argv) {
+  unsigned jobs = 1;
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--jobs=", 0) == 0) {
+      jobs = static_cast<unsigned>(
+          std::strtoul(arg.c_str() + 7, nullptr, 10));
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  *argc = out;
+  return jobs == 0 ? runner::default_jobs() : jobs;
+}
+
+/// Run every spec on up to `jobs` threads. Each cell gets its own
+/// sim::RunContext, so concurrent runs share no logger/tracer/rng state;
+/// the returned cells are in spec order regardless of completion order.
+inline std::vector<Cell> run_cells(unsigned jobs,
+                                   std::vector<CellSpec> specs) {
+  std::vector<Cell> cells(specs.size());
+  std::vector<std::unique_ptr<sim::RunContext>> contexts(specs.size());
+  for (auto& context : contexts) {
+    context = std::make_unique<sim::RunContext>();
+  }
+  runner::parallel_for_indexed(jobs, specs.size(), [&](std::size_t i) {
+    specs[i].options.context = contexts[i].get();
+    cells[i] = Cell{std::move(specs[i].label),
+                    core::run_scheme(specs[i].options)};
+  });
+  return cells;
+}
+
 inline void register_cells(const std::vector<Cell>& cells) {
   for (const Cell& cell : cells) {
-    const core::RunReport report = cell.report;
     benchmark::RegisterBenchmark(
         cell.label.c_str(),
-        [report](benchmark::State& state) {
+        [report = cell.report](benchmark::State& state) {
           for (auto _ : state) {
           }
           state.SetIterationTime(report.exec_seconds);
@@ -46,6 +100,12 @@ inline void register_cells(const std::vector<Cell>& cells) {
               static_cast<double>(report.server_server_bytes) / (1 << 30);
           state.counters["bw_MiBps"] =
               report.sustained_bandwidth_bps() / (1 << 20);
+          state.counters["wall_ms"] = report.wall_seconds * 1e3;
+          state.counters["events_per_sec"] =
+              report.wall_seconds > 0.0
+                  ? static_cast<double>(report.sim_events) /
+                        report.wall_seconds
+                  : 0.0;
         })
         ->UseManualTime()
         ->Iterations(1);

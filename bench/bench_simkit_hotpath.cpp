@@ -1,0 +1,221 @@
+// Microbench for the simulator's event-queue hot path.
+//
+// Replays the same seeded push / cancel / pop churn against the indexed
+// 4-ary heap (sim::EventQueue) and against a faithful replica of the
+// pre-overhaul queue (std::function callbacks, std::priority_queue with an
+// unordered_set of live ids, lazy cancellation with a dead-event scan in
+// both next_time() and pop()). Callbacks capture three pointers so they
+// exceed std::function's typical small-buffer size — matching the
+// simulator's real callbacks, which capture `this` plus request state.
+//
+// Deliberately not a google-benchmark binary: it emits one JSON document
+// (BENCH_simkit.json by default) with events/sec for both engines and the
+// speedup ratio, which CI uploads as an artifact.
+//
+// Usage: bench_simkit_hotpath [--events=N] [--out=FILE]
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <queue>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "simkit/event_queue.hpp"
+#include "simkit/random.hpp"
+#include "simkit/time.hpp"
+
+namespace {
+
+// The event engine as it existed before the indexed-heap overhaul, kept
+// here verbatim (minus tracing hooks) so the comparison never drifts.
+class LegacyEventQueue {
+ public:
+  struct Event {
+    das::sim::SimTime when = 0;
+    std::uint64_t id = 0;
+    std::function<void()> action;
+    const char* tag = "";
+  };
+
+  std::uint64_t push(das::sim::SimTime when, std::function<void()> action,
+                     const char* tag) {
+    const std::uint64_t id = next_id_++;
+    heap_.push(Event{when, id, std::move(action), tag});
+    pending_.insert(id);
+    return id;
+  }
+
+  bool cancel(std::uint64_t id) { return pending_.erase(id) > 0; }
+
+  [[nodiscard]] bool empty() const { return pending_.empty(); }
+
+  [[nodiscard]] das::sim::SimTime next_time() const {
+    drop_dead();
+    return heap_.top().when;
+  }
+
+  Event pop() {
+    drop_dead();
+    Event ev = heap_.top();
+    heap_.pop();
+    pending_.erase(ev.id);
+    return ev;
+  }
+
+ private:
+  struct Order {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.id > b.id;
+    }
+  };
+
+  void drop_dead() const {
+    while (!heap_.empty() && !pending_.contains(heap_.top().id)) {
+      heap_.pop();
+    }
+  }
+
+  mutable std::priority_queue<Event, std::vector<Event>, Order> heap_;
+  std::unordered_set<std::uint64_t> pending_;
+  std::uint64_t next_id_ = 0;
+};
+
+struct ChurnResult {
+  std::uint64_t delivered = 0;
+  std::uint64_t checksum = 0;
+  double seconds = 0.0;
+};
+
+// One simulator-shaped workload step: keep a backlog of scheduled events,
+// deliver the earliest, and from inside the callback schedule a few more
+// and cancel a recent one — the schedule/cancel/reschedule pattern the
+// NIC and disk models follow. Identical sequence for both queues.
+template <typename Queue, typename MakeAction>
+ChurnResult run_churn(std::uint64_t total_events, MakeAction make_action) {
+  Queue queue;
+  das::sim::Rng rng(0xC0FFEE);
+  std::uint64_t checksum = 0;
+  std::uint64_t scheduled = 0;
+  std::vector<std::uint64_t> recent_ids;
+  das::sim::SimTime now = 0;
+
+  const auto schedule = [&](das::sim::SimTime at) {
+    const std::uint64_t id =
+        queue.push(at, make_action(&checksum, &scheduled, &now), "churn");
+    ++scheduled;
+    recent_ids.push_back(id);
+    if (recent_ids.size() > 64) {
+      recent_ids.erase(recent_ids.begin(), recent_ids.begin() + 32);
+    }
+  };
+
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < 256; ++i) {
+    schedule(static_cast<das::sim::SimTime>(rng.uniform_int(0, 1000)));
+  }
+  std::uint64_t delivered = 0;
+  while (delivered < total_events && !queue.empty()) {
+    now = queue.next_time();
+    auto ev = queue.pop();
+    ev.action();
+    ++delivered;
+    // Refill and churn: two fresh events (some at the current timestamp to
+    // exercise FIFO ties) and one cancellation of a recent id.
+    schedule(now + static_cast<das::sim::SimTime>(rng.uniform_int(0, 500)));
+    if (rng.bernoulli(0.5)) {
+      schedule(now);
+    }
+    if (!recent_ids.empty() && rng.bernoulli(0.25)) {
+      queue.cancel(recent_ids[static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<std::int64_t>(recent_ids.size()) - 1))]);
+    }
+  }
+  const auto stop = std::chrono::steady_clock::now();
+
+  ChurnResult result;
+  result.delivered = delivered;
+  result.checksum = checksum;
+  result.seconds = std::chrono::duration<double>(stop - start).count();
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint64_t events = 2'000'000;
+  std::string out_path = "BENCH_simkit.json";
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--events=", 9) == 0) {
+      events = std::strtoull(arg + 9, nullptr, 10);
+    } else if (std::strncmp(arg, "--out=", 6) == 0) {
+      out_path = arg + 6;
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--events=N] [--out=FILE]\n", argv[0]);
+      return 1;
+    }
+  }
+
+  // Three captured pointers (24 bytes) defeat std::function's small-buffer
+  // storage on common ABIs but fit InplaceFn's 64-byte inline slot.
+  const auto make_action = [](std::uint64_t* checksum,
+                              std::uint64_t* scheduled,
+                              das::sim::SimTime* now) {
+    return [checksum, scheduled, now]() {
+      *checksum += *scheduled + static_cast<std::uint64_t>(*now);
+    };
+  };
+
+  // Warm-up pass (untimed) so the allocator and caches settle, then the
+  // measured passes, legacy first.
+  run_churn<LegacyEventQueue>(events / 10, make_action);
+  run_churn<das::sim::EventQueue>(events / 10, make_action);
+
+  const ChurnResult legacy = run_churn<LegacyEventQueue>(events, make_action);
+  const ChurnResult fresh = run_churn<das::sim::EventQueue>(events,
+                                                            make_action);
+
+  if (legacy.checksum != fresh.checksum ||
+      legacy.delivered != fresh.delivered) {
+    std::fprintf(stderr,
+                 "FAIL: engines diverged (legacy %llu/%llu, new %llu/%llu)\n",
+                 static_cast<unsigned long long>(legacy.delivered),
+                 static_cast<unsigned long long>(legacy.checksum),
+                 static_cast<unsigned long long>(fresh.delivered),
+                 static_cast<unsigned long long>(fresh.checksum));
+    return 1;
+  }
+
+  const double legacy_eps =
+      static_cast<double>(legacy.delivered) / legacy.seconds;
+  const double fresh_eps =
+      static_cast<double>(fresh.delivered) / fresh.seconds;
+  const double speedup = fresh_eps / legacy_eps;
+
+  char json[1024];
+  std::snprintf(
+      json, sizeof(json),
+      "{\n"
+      "  \"bench\": \"simkit_hotpath\",\n"
+      "  \"events\": %llu,\n"
+      "  \"checksum\": %llu,\n"
+      "  \"new\": {\"events_per_sec\": %.0f, \"ns_per_event\": %.2f},\n"
+      "  \"legacy\": {\"events_per_sec\": %.0f, \"ns_per_event\": %.2f},\n"
+      "  \"speedup\": %.3f\n"
+      "}\n",
+      static_cast<unsigned long long>(fresh.delivered),
+      static_cast<unsigned long long>(fresh.checksum), fresh_eps,
+      1e9 / fresh_eps, legacy_eps, 1e9 / legacy_eps, speedup);
+
+  std::printf("%s", json);
+  std::ofstream out(out_path);
+  out << json;
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}

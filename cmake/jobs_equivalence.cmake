@@ -1,0 +1,39 @@
+# Regression gate for sweep-runner determinism: a multi-scheme x
+# multi-trial das_sim sweep must emit byte-identical CSV
+# whether the cells run serially (--jobs=1) or on eight worker threads
+# (--jobs=8, oversubscribed on small CI machines — which is exactly the
+# interleaving stress we want). Catches any shared mutable state between
+# cells (logger, tracer, rng, caches) and any ordering dependence in how
+# results are collected and printed.
+#
+# Invoked as: cmake -DDAS_SIM=<path-to-das_sim> -P jobs_equivalence.cmake
+if(NOT DEFINED DAS_SIM)
+  message(FATAL_ERROR "pass -DDAS_SIM=<path to das_sim>")
+endif()
+
+set(sweep --scheme=all --kernel=flow-routing --gib=1 --nodes=8
+    --trials=2 --repeats=2 --cache-mib=64 --csv)
+
+execute_process(
+  COMMAND ${DAS_SIM} ${sweep} --jobs=1
+  OUTPUT_VARIABLE serial_csv
+  RESULT_VARIABLE serial_rc)
+if(NOT serial_rc EQUAL 0)
+  message(FATAL_ERROR "--jobs=1 das_sim run failed (exit ${serial_rc})")
+endif()
+
+execute_process(
+  COMMAND ${DAS_SIM} ${sweep} --jobs=8
+  OUTPUT_VARIABLE parallel_csv
+  RESULT_VARIABLE parallel_rc)
+if(NOT parallel_rc EQUAL 0)
+  message(FATAL_ERROR "--jobs=8 das_sim run failed (exit ${parallel_rc})")
+endif()
+
+if(NOT serial_csv STREQUAL parallel_csv)
+  message(FATAL_ERROR
+    "parallel sweep diverges from the serial sweep\n"
+    "--- jobs=1 ---\n${serial_csv}\n"
+    "--- jobs=8 ---\n${parallel_csv}")
+endif()
+message(STATUS "--jobs=8 reproduces the --jobs=1 sweep CSV byte for byte")

@@ -57,3 +57,24 @@ if(NOT baseline_csv STREQUAL traced_csv)
     "--- traced ---\n${traced_csv}")
 endif()
 message(STATUS "tracing reproduces the seed CSV byte for byte")
+
+# And so must a traced *parallel* sweep: per-cell tracers merged in cell
+# order plus the thread-pool runner may not perturb results either.
+set(jobs_trace_file ${CMAKE_CURRENT_BINARY_DIR}/baseline_trace_jobs.json)
+execute_process(
+  COMMAND ${DAS_SIM} ${workload} --jobs=4 --trace=${jobs_trace_file}
+  OUTPUT_VARIABLE jobs_traced_csv
+  RESULT_VARIABLE jobs_traced_rc)
+if(NOT jobs_traced_rc EQUAL 0)
+  message(FATAL_ERROR
+    "traced --jobs=4 das_sim run failed (exit ${jobs_traced_rc})")
+endif()
+file(REMOVE ${jobs_trace_file})
+
+if(NOT baseline_csv STREQUAL jobs_traced_csv)
+  message(FATAL_ERROR
+    "--jobs=4 --trace perturbs the simulated results\n"
+    "--- baseline ---\n${baseline_csv}\n"
+    "--- traced jobs=4 ---\n${jobs_traced_csv}")
+endif()
+message(STATUS "traced parallel sweep reproduces the seed CSV byte for byte")

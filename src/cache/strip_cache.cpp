@@ -47,12 +47,11 @@ StripCache::StripCache(const CacheConfig& config)
 
 void StripCache::trace_event(const char* name, const CacheKey& key,
                              std::uint64_t length) const {
-  sim::Tracer& tracer = sim::Tracer::global();
-  if (!tracer.enabled()) return;
-  tracer.instant_now(trace_node_, sim::TraceTrack::kCache, name, "cache",
-                     "{\"file\":" + std::to_string(key.file) +
-                         ",\"strip\":" + std::to_string(key.strip) +
-                         ",\"bytes\":" + std::to_string(length) + "}");
+  if (tracer_ == nullptr || !tracer_->enabled()) return;
+  tracer_->instant_now(trace_node_, sim::TraceTrack::kCache, name, "cache",
+                       "{\"file\":" + std::to_string(key.file) +
+                           ",\"strip\":" + std::to_string(key.strip) +
+                           ",\"bytes\":" + std::to_string(length) + "}");
 }
 
 const CachedStrip* StripCache::lookup(const CacheKey& key) {

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "cache/eviction.hpp"
+#include "simkit/trace.hpp"
 
 namespace das::cache {
 
@@ -121,6 +122,9 @@ class StripCache {
   /// Node this cache lives on, for trace attribution (set by the PFS).
   void set_trace_node(std::uint32_t node) { trace_node_ = node; }
 
+  /// Tracer to record instants into (set by the PFS; null disables tracing).
+  void set_tracer(sim::Tracer* tracer) { tracer_ = tracer; }
+
  private:
   void emplace(const CacheKey& key, std::uint64_t length,
                std::vector<std::byte> bytes, bool prefetched);
@@ -133,6 +137,7 @@ class StripCache {
   std::map<CacheKey, CachedStrip> entries_;
   std::uint64_t used_bytes_ = 0;
   std::uint32_t trace_node_ = 0;
+  sim::Tracer* tracer_ = nullptr;
   CacheStats stats_;
 };
 

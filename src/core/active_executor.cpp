@@ -151,7 +151,7 @@ void ActiveExecutor::start_run(const std::shared_ptr<ServerTask>& task,
   // One pending input per strip in the buffer.
   rs.inputs_pending = rs.buf_hi - rs.buf_lo + 1;
 
-  sim::Tracer& tracer = sim::Tracer::global();
+  sim::Tracer& tracer = cluster_.simulator().tracer();
   if (tracer.enabled()) {
     rs.trace_id = tracer.next_scope_id();
     tracer.async_begin(simulator.now(), task->node, rs.trace_id, "as.run",
@@ -283,9 +283,9 @@ void ActiveExecutor::compute_and_write(const std::shared_ptr<ServerTask>& task,
                 DAS_REQUIRE(!rs.finished);
                 rs.finished = true;
                 if (rs.trace_id != 0) {
-                  sim::Tracer::global().async_end(cluster_.simulator().now(),
-                                                  task->node, rs.trace_id,
-                                                  "as.run", "request");
+                  cluster_.simulator().tracer().async_end(
+                      cluster_.simulator().now(), task->node, rs.trace_id,
+                      "as.run", "request");
                 }
                 DAS_REQUIRE(task->running > 0);
                 --task->running;
@@ -342,9 +342,9 @@ void ActiveExecutor::compute_and_write(const std::shared_ptr<ServerTask>& task,
           DAS_REQUIRE(!rs.finished);
           rs.finished = true;
           if (rs.trace_id != 0) {
-            sim::Tracer::global().async_end(cluster_.simulator().now(),
-                                            task->node, rs.trace_id, "as.run",
-                                            "request");
+            cluster_.simulator().tracer().async_end(cluster_.simulator().now(),
+                                                    task->node, rs.trace_id,
+                                                    "as.run", "request");
           }
           rs.buffer.clear();
           rs.buffer.shrink_to_fit();

@@ -66,7 +66,7 @@ SubmissionResult ActiveStorageClient::submit(const ActiveRequest& request,
   result.redistributed =
       action == OffloadAction::kOffloadAfterRedistribution;
 
-  sim::Tracer& tracer = sim::Tracer::global();
+  sim::Tracer& tracer = cluster_.simulator().tracer();
   if (tracer.enabled()) {
     tracer.instant_now(
         cluster_.compute_node(0), sim::TraceTrack::kRequest, "decision",

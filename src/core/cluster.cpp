@@ -7,11 +7,15 @@
 
 namespace das::core {
 
-Cluster::Cluster(const ClusterConfig& config) : config_(config) {
+Cluster::Cluster(const ClusterConfig& config, sim::RunContext* context)
+    : config_(config) {
   DAS_REQUIRE(config.storage_nodes > 0);
   DAS_REQUIRE(config.compute_nodes > 0);
   DAS_REQUIRE(config.straggler_count <= config.storage_nodes);
   DAS_REQUIRE(config.straggler_slowdown >= 1.0);
+
+  // Attach the run context before any component captures &sim_.tracer().
+  sim_.set_context(context);
 
   network_ = std::make_unique<net::Network>(sim_, config.network_config());
 
@@ -44,15 +48,15 @@ Cluster::Cluster(const ClusterConfig& config) : config_(config) {
     }
     engines_.emplace_back(engine);
     engines_.back().set_trace_node(i);
+    engines_.back().set_tracer(&sim_.tracer());
   }
 
-  // Rebind the global tracer's clock to this cluster's simulator and name
-  // every node and track. The most recently constructed cluster owns the
-  // clock; only components driven by this simulator emit timestamped events
-  // while a run is in progress.
-  sim::Tracer& tracer = sim::Tracer::global();
+  // Bind the run tracer's clock to this cluster's simulator and name every
+  // node and track. The tracer belongs to the run context, so concurrent
+  // clusters in one process each stamp against their own clock.
+  sim::Tracer& tracer = sim_.tracer();
+  tracer.set_clock([this]() { return sim_.now(); });
   if (tracer.enabled()) {
-    tracer.set_clock([this]() { return sim_.now(); });
     for (std::uint32_t i = 0; i < config.total_nodes(); ++i) {
       const bool is_server = i < config.storage_nodes;
       tracer.set_process_name(

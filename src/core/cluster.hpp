@@ -19,7 +19,11 @@ namespace das::core {
 
 class Cluster {
  public:
-  explicit Cluster(const ClusterConfig& config);
+  /// `context` is the run's logger/tracer/rng bundle; null gives the
+  /// cluster's simulator its private default context. The context must
+  /// outlive the cluster.
+  explicit Cluster(const ClusterConfig& config,
+                   sim::RunContext* context = nullptr);
 
   Cluster(const Cluster&) = delete;
   Cluster& operator=(const Cluster&) = delete;

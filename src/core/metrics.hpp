@@ -30,6 +30,12 @@ struct RunReport {
 
   double exec_seconds = 0.0;
 
+  /// Host-side cost of producing this report: real (wall-clock) seconds the
+  /// simulation took and discrete events it delivered. Diagnostics only —
+  /// machine-dependent, so deliberately excluded from to_csv().
+  double wall_seconds = 0.0;
+  std::uint64_t sim_events = 0;
+
   std::uint64_t client_server_bytes = 0;
   std::uint64_t server_server_bytes = 0;
   std::uint64_t control_messages = 0;

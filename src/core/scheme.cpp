@@ -1,6 +1,7 @@
 #include "core/scheme.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <functional>
 #include <memory>
 #include <optional>
@@ -292,7 +293,7 @@ void verify_output(RunReport& report, Cluster& cluster, pfs::FileId output,
 }  // namespace
 
 RunReport run_scheme(const SchemeRunOptions& options) {
-  Cluster cluster(options.cluster);
+  Cluster cluster(options.cluster, options.context);
   const kernels::KernelRegistry registry = kernels::standard_registry();
   const kernels::KernelPtr kernel =
       registry.create(options.workload.kernel_name);
@@ -410,10 +411,15 @@ RunReport run_scheme(const SchemeRunOptions& options) {
     }
   }
 
+  const auto wall_start = std::chrono::steady_clock::now();
   cluster.simulator().run();
+  const auto wall_end = std::chrono::steady_clock::now();
   DAS_REQUIRE(finish >= 0 && "scheme run did not complete");
 
   report.exec_seconds = sim::to_seconds(finish);
+  report.wall_seconds =
+      std::chrono::duration<double>(wall_end - wall_start).count();
+  report.sim_events = cluster.simulator().events_delivered();
   fill_traffic(report, cluster.network(), before);
   fill_utilization(report, cluster, finish);
   fill_cache_stats(report, cluster);
@@ -437,7 +443,7 @@ std::vector<RunReport> run_pipeline(
     const SchemeRunOptions& options,
     const std::vector<std::string>& kernel_chain) {
   DAS_REQUIRE(!kernel_chain.empty());
-  Cluster cluster(options.cluster);
+  Cluster cluster(options.cluster, options.context);
   const kernels::KernelRegistry registry = kernels::standard_registry();
   const WorkloadSpec& workload = options.workload;
 
@@ -560,7 +566,9 @@ std::vector<RunReport> run_pipeline(
   cluster.simulator().schedule_at(
       options.cluster.job_startup,
       [launch, input]() { (*launch)(0, input); }, "pipeline.start");
+  const auto wall_start = std::chrono::steady_clock::now();
   cluster.simulator().run();
+  const auto wall_end = std::chrono::steady_clock::now();
 
   std::vector<RunReport> reports;
   RunReport combined = make_base_report(options, "pipeline");
@@ -596,6 +604,9 @@ std::vector<RunReport> run_pipeline(
     reports.push_back(stage.report);
   }
   combined.exec_seconds = sim::to_seconds(stages->back().finish);
+  combined.wall_seconds =
+      std::chrono::duration<double>(wall_end - wall_start).count();
+  combined.sim_events = cluster.simulator().events_delivered();
   fill_cache_stats(combined, cluster);
   fill_latency_breakdown(combined, cluster);
   reports.push_back(combined);

@@ -9,6 +9,7 @@
 #include "core/config.hpp"
 #include "core/metrics.hpp"
 #include "core/workload.hpp"
+#include "simkit/context.hpp"
 
 namespace das::core {
 
@@ -38,6 +39,10 @@ struct SchemeRunOptions {
   /// one simulation (recurring analyses of a hot dataset). Repeats past the
   /// first can hit the servers' strip caches when those are enabled.
   std::uint32_t repeat_count = 1;
+  /// Run context (logger/tracer/rng) for this run; null gives the cluster's
+  /// simulator its private default. Parallel sweeps give every run its own
+  /// context so concurrent simulations never share mutable state.
+  sim::RunContext* context = nullptr;
 };
 
 /// Run one scheme on one workload and report the result.

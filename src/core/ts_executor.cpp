@@ -96,7 +96,7 @@ void TsExecutor::start_node(std::uint32_t client_index, pfs::FileId input,
   const kernels::ProcessingKernel* kernel = options_.kernel;
   const bool data_mode = options_.data_mode;
 
-  sim::Tracer& tracer = sim::Tracer::global();
+  sim::Tracer& tracer = cluster_.simulator().tracer();
   if (tracer.enabled()) {
     task->trace_id = tracer.next_scope_id();
     tracer.async_begin(cluster_.simulator().now(), task->node, task->trace_id,
@@ -110,8 +110,9 @@ void TsExecutor::start_node(std::uint32_t client_index, pfs::FileId input,
   auto node_ack = [task = task.get(), &cluster, barrier]() {
     DAS_REQUIRE(task->acks_pending > 0);
     if (--task->acks_pending == 0 && task->trace_id != 0) {
-      sim::Tracer::global().async_end(cluster.simulator().now(), task->node,
-                                      task->trace_id, "ts.node", "request");
+      cluster.simulator().tracer().async_end(cluster.simulator().now(),
+                                             task->node, task->trace_id,
+                                             "ts.node", "request");
     }
     barrier->arrive();
   };

@@ -60,6 +60,15 @@ class TileView {
     return at(cx, cy);
   }
 
+  /// Raw pointer to logical row `y` (must be in the grid and covered by the
+  /// buffer). Interior sweeps read through this to skip the per-cell bounds
+  /// and clamp logic that only boundary cells need.
+  [[nodiscard]] const float* row(std::uint32_t y) const {
+    DAS_ASSERT(y < grid_height_);
+    DAS_ASSERT(y >= row0_ && y - row0_ < buffer_.height());
+    return buffer_.row(y - row0_);
+  }
+
  private:
   const grid::Grid<float>& buffer_;
   std::uint32_t row0_;

@@ -1,5 +1,7 @@
 #include "kernels/laplacian.hpp"
 
+#include <algorithm>
+
 namespace das::kernels {
 
 std::string LaplacianKernel::description() const {
@@ -27,16 +29,36 @@ void LaplacianKernel::run_tile(const grid::Grid<float>& buffer,
   check_tile_args(buffer, buffer_row0, grid_height, out_row_begin,
                   out_row_end, out);
   const TileView view(buffer, buffer_row0, grid_height);
+  const std::uint32_t width = buffer.width();
+
+  const auto edge_cell = [&](std::uint32_t x, std::uint32_t y) {
+    const auto ix = static_cast<std::int64_t>(x);
+    const auto iy = static_cast<std::int64_t>(y);
+    const float centre = view.at(ix, iy);
+    out.at(x, y - out_row_begin) =
+        view.at_clamped(ix - 1, iy) + view.at_clamped(ix + 1, iy) +
+        view.at_clamped(ix, iy - 1) + view.at_clamped(ix, iy + 1) -
+        4.0F * centre;
+  };
+
+  // Interior sweep sums in the same left, right, up, down order as the
+  // clamped path, so outputs are bit-identical.
+  const std::uint32_t interior_lo = std::max(out_row_begin, 1U);
+  const std::uint32_t interior_hi = std::min(out_row_end, grid_height - 1);
   for (std::uint32_t y = out_row_begin; y < out_row_end; ++y) {
-    for (std::uint32_t x = 0; x < buffer.width(); ++x) {
-      const auto ix = static_cast<std::int64_t>(x);
-      const auto iy = static_cast<std::int64_t>(y);
-      const float centre = view.at(ix, iy);
-      out.at(x, y - out_row_begin) =
-          view.at_clamped(ix - 1, iy) + view.at_clamped(ix + 1, iy) +
-          view.at_clamped(ix, iy - 1) + view.at_clamped(ix, iy + 1) -
-          4.0F * centre;
+    if (y < interior_lo || y >= interior_hi || width <= 2) {
+      for (std::uint32_t x = 0; x < width; ++x) edge_cell(x, y);
+      continue;
     }
+    const float* up = view.row(y - 1);
+    const float* mid = view.row(y);
+    const float* down = view.row(y + 1);
+    float* dst = out.row(y - out_row_begin);
+    edge_cell(0, y);
+    for (std::uint32_t x = 1; x + 1 < width; ++x) {
+      dst[x] = mid[x - 1] + mid[x + 1] + up[x] + down[x] - 4.0F * mid[x];
+    }
+    edge_cell(width - 1, y);
   }
 }
 

@@ -1,5 +1,6 @@
 #include "kernels/slope.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 namespace das::kernels {
@@ -29,28 +30,61 @@ void SlopeKernel::run_tile(const grid::Grid<float>& buffer,
   check_tile_args(buffer, buffer_row0, grid_height, out_row_begin,
                   out_row_end, out);
   const TileView view(buffer, buffer_row0, grid_height);
+  const std::uint32_t width = buffer.width();
+
+  const auto edge_cell = [&](std::uint32_t x, std::uint32_t y) {
+    const auto ix = static_cast<std::int64_t>(x);
+    const auto iy = static_cast<std::int64_t>(y);
+    // Horn 1981: weighted central differences over the 3x3 window with
+    // clamp-to-edge sampling.
+    const double a = view.at_clamped(ix - 1, iy - 1);
+    const double b = view.at_clamped(ix, iy - 1);
+    const double c = view.at_clamped(ix + 1, iy - 1);
+    const double d = view.at_clamped(ix - 1, iy);
+    const double f = view.at_clamped(ix + 1, iy);
+    const double g = view.at_clamped(ix - 1, iy + 1);
+    const double h = view.at_clamped(ix, iy + 1);
+    const double i = view.at_clamped(ix + 1, iy + 1);
+
+    const double dzdx = ((c + 2 * f + i) - (a + 2 * d + g)) /
+                        (8.0 * cell_size_);
+    const double dzdy = ((g + 2 * h + i) - (a + 2 * b + c)) /
+                        (8.0 * cell_size_);
+    out.at(x, y - out_row_begin) =
+        static_cast<float>(std::sqrt(dzdx * dzdx + dzdy * dzdy));
+  };
+
+  // Interior sweep: same reads, same expressions, no clamping — outputs
+  // are bit-identical to the clamped path.
+  const std::uint32_t interior_lo = std::max(out_row_begin, 1U);
+  const std::uint32_t interior_hi = std::min(out_row_end, grid_height - 1);
   for (std::uint32_t y = out_row_begin; y < out_row_end; ++y) {
-    for (std::uint32_t x = 0; x < buffer.width(); ++x) {
-      const auto ix = static_cast<std::int64_t>(x);
-      const auto iy = static_cast<std::int64_t>(y);
-      // Horn 1981: weighted central differences over the 3x3 window with
-      // clamp-to-edge sampling.
-      const double a = view.at_clamped(ix - 1, iy - 1);
-      const double b = view.at_clamped(ix, iy - 1);
-      const double c = view.at_clamped(ix + 1, iy - 1);
-      const double d = view.at_clamped(ix - 1, iy);
-      const double f = view.at_clamped(ix + 1, iy);
-      const double g = view.at_clamped(ix - 1, iy + 1);
-      const double h = view.at_clamped(ix, iy + 1);
-      const double i = view.at_clamped(ix + 1, iy + 1);
+    if (y < interior_lo || y >= interior_hi || width <= 2) {
+      for (std::uint32_t x = 0; x < width; ++x) edge_cell(x, y);
+      continue;
+    }
+    const float* up = view.row(y - 1);
+    const float* mid = view.row(y);
+    const float* down = view.row(y + 1);
+    float* dst = out.row(y - out_row_begin);
+    edge_cell(0, y);
+    for (std::uint32_t x = 1; x + 1 < width; ++x) {
+      const double a = up[x - 1];
+      const double b = up[x];
+      const double c = up[x + 1];
+      const double d = mid[x - 1];
+      const double f = mid[x + 1];
+      const double g = down[x - 1];
+      const double h = down[x];
+      const double i = down[x + 1];
 
       const double dzdx = ((c + 2 * f + i) - (a + 2 * d + g)) /
                           (8.0 * cell_size_);
       const double dzdy = ((g + 2 * h + i) - (a + 2 * b + c)) /
                           (8.0 * cell_size_);
-      out.at(x, y - out_row_begin) =
-          static_cast<float>(std::sqrt(dzdx * dzdx + dzdy * dzdy));
+      dst[x] = static_cast<float>(std::sqrt(dzdx * dzdx + dzdy * dzdy));
     }
+    edge_cell(width - 1, y);
   }
 }
 

@@ -32,7 +32,7 @@ void Network::send(Message msg) {
   bytes_by_class_[cls_index] += msg.bytes;
   msgs_by_class_[cls_index] += 1;
 
-  sim::Tracer& tracer = sim::Tracer::global();
+  sim::Tracer& tracer = sim_.tracer();
   sim::SimTime delivered_at;
   sim::SimDuration queue_wait = 0;
   if (msg.src == msg.dst) {

@@ -202,6 +202,7 @@ void Pfs::enable_strip_caches(const cache::CacheConfig& config) {
   for (const auto& server : servers_) {
     caches_.push_back(std::make_unique<cache::StripCache>(config));
     caches_.back()->set_trace_node(server->node());
+    caches_.back()->set_tracer(&sim_.tracer());
     cache_hub_.attach(caches_.back().get());
     server->attach_cache(caches_.back().get(), &cache_hub_);
   }

@@ -13,9 +13,8 @@ namespace das::pfs {
 
 namespace {
 
-void trace_prefetch(net::NodeId node, const char* name,
+void trace_prefetch(sim::Tracer& tracer, net::NodeId node, const char* name,
                     const cache::CacheKey& key, std::uint64_t length) {
-  sim::Tracer& tracer = sim::Tracer::global();
   if (!tracer.enabled()) return;
   tracer.instant_now(node, sim::TraceTrack::kPrefetch, name, "prefetch",
                      "{\"file\":" + std::to_string(key.file) +
@@ -69,7 +68,8 @@ bool HaloPrefetcher::demand_fetch(const PrefetchItem& item,
   if (const auto it = in_flight_.find(key); it != in_flight_.end()) {
     ++stats_.coalesced;
     stats_.coalesced_bytes += item.length;
-    trace_prefetch(owner_.node(), "prefetch.coalesce", key, item.length);
+    trace_prefetch(sim_.tracer(), owner_.node(), "prefetch.coalesce", key,
+                   item.length);
     DAS_REQUIRE(it->second.length == item.length);
     it->second.waiters.push_back(std::move(on_data));
     if (it->second.prefetch_initiated) {
@@ -138,7 +138,8 @@ void HaloPrefetcher::issue(const PrefetchItem& item, bool prefetch_initiated,
     ++prefetches_in_flight_;
     ++stats_.issued;
     stats_.issued_bytes += item.length;
-    trace_prefetch(owner_.node(), "prefetch.issue", key, item.length);
+    trace_prefetch(sim_.tracer(), owner_.node(), "prefetch.issue", key,
+                   item.length);
   }
 
   // Same wire protocol as the demand path: a control message to the strip's
@@ -168,7 +169,8 @@ void HaloPrefetcher::land(const cache::CacheKey& key,
 
   if (flight.stale) {
     ++stats_.dropped_stale;
-    trace_prefetch(owner_.node(), "prefetch.stale_drop", key, flight.length);
+    trace_prefetch(sim_.tracer(), owner_.node(), "prefetch.stale_drop", key,
+                   flight.length);
   } else if (cache::StripCache* cached = owner_.strip_cache()) {
     // Admit before waking waiters so anything they trigger sees the strip
     // resident. A fetch the sweep never asked for is a true prefetch; one

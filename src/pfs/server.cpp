@@ -12,6 +12,7 @@ PfsServer::PfsServer(sim::Simulator& simulator, net::Network& network,
                      const storage::DiskConfig& disk_config)
     : sim_(simulator), net_(network), node_(node), disk_(disk_config) {
   disk_.set_trace_node(node);
+  disk_.set_tracer(&sim_.tracer());
 }
 
 PfsServer::~PfsServer() = default;

@@ -1,0 +1,51 @@
+#include "runner/sweep.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace das::runner {
+
+unsigned default_jobs() {
+  return std::max(1U, std::thread::hardware_concurrency());
+}
+
+void parallel_for_indexed(unsigned jobs, std::size_t count,
+                          const std::function<void(std::size_t)>& body) {
+  if (count == 0) return;
+  if (jobs <= 1 || count == 1) {
+    for (std::size_t i = 0; i < count; ++i) body(i);
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  auto worker = [&]() {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) return;
+      try {
+        body(i);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+  };
+
+  const std::size_t threads =
+      std::min<std::size_t>(jobs, count);
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (std::size_t t = 0; t < threads; ++t) pool.emplace_back(worker);
+  for (std::thread& t : pool) t.join();
+
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace das::runner

@@ -1,0 +1,33 @@
+// Thread-pool sweep runner: execute N independent simulation cells
+// concurrently.
+//
+// A parameter sweep (kernels x schemes x trials) is embarrassingly parallel:
+// every cell builds its own Cluster, its own Simulator, and — via
+// sim::RunContext — its own logger/tracer/rng, so cells share no mutable
+// state. The runner hands cell indices to a fixed pool of worker threads;
+// the caller stores results into a pre-sized vector slot per index and
+// prints everything afterwards in index order, which keeps sweep output
+// byte-identical for any --jobs value.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace das::runner {
+
+/// Run `body(0) .. body(count-1)`, each exactly once, on up to `jobs`
+/// threads. jobs <= 1 runs everything inline on the calling thread (the
+/// serial path — no threads are created). Blocks until all calls return.
+/// If any call throws, the first exception (in thread-observation order) is
+/// rethrown on the calling thread after every worker has drained.
+///
+/// `body` must be safe to call concurrently from different threads for
+/// different indices; indices are claimed in order but may complete in any
+/// order, so bodies must not depend on each other.
+void parallel_for_indexed(unsigned jobs, std::size_t count,
+                          const std::function<void(std::size_t)>& body);
+
+/// Hardware concurrency with a floor of 1 (the --jobs=0 "auto" value).
+[[nodiscard]] unsigned default_jobs();
+
+}  // namespace das::runner

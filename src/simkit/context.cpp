@@ -1,0 +1,9 @@
+#include "simkit/context.hpp"
+
+#include <iostream>
+
+namespace das::sim {
+
+RunContext::RunContext() : log(&std::cerr, LogLevel::kWarn) {}
+
+}  // namespace das::sim

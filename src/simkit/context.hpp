@@ -1,0 +1,38 @@
+// Per-run observability and randomness bundle.
+//
+// The logger, tracer and a scratch RNG stream used to be process-wide
+// singletons, which made two Simulators in one process share mutable state —
+// harmless while every experiment ran serially, fatal once the sweep runner
+// executes independent Simulator instances on a thread pool. A RunContext
+// owns one private copy of each channel; the driver that launches a run
+// decides whether runs share a context (legacy serial behaviour) or get one
+// each (parallel sweeps), and components reach it through their Simulator.
+//
+// A Simulator that is never given a context falls back to a default one it
+// owns, so standalone simulators (unit tests, examples) stay isolated and
+// race-free without any setup.
+#pragma once
+
+#include "simkit/log.hpp"
+#include "simkit/random.hpp"
+#include "simkit/trace.hpp"
+
+namespace das::sim {
+
+struct RunContext {
+  /// Leveled log for this run. Defaults to warnings on stderr, mirroring
+  /// the old global logger.
+  Logger log;
+  /// Trace buffer for this run; disabled until a driver enables it.
+  Tracer tracer;
+  /// Scratch random stream for drivers that need per-run randomness not
+  /// tied to a model component (components keep their explicit seeds).
+  Rng rng;
+
+  RunContext();
+
+  RunContext(const RunContext&) = delete;
+  RunContext& operator=(const RunContext&) = delete;
+};
+
+}  // namespace das::sim

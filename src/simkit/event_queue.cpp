@@ -1,40 +1,133 @@
 #include "simkit/event_queue.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "simkit/assert.hpp"
 
 namespace das::sim {
+namespace {
 
-EventId EventQueue::push(SimTime when, std::function<void()> action,
-                         const char* tag) {
-  const EventId id = next_id_++;
-  heap_.push(Event{when, id, std::move(action), tag});
-  pending_.insert(id);
-  return id;
+constexpr std::uint32_t kArity = 4;
+
+constexpr EventId make_handle(std::uint32_t generation, std::uint32_t slot) {
+  return (static_cast<EventId>(generation) << 32) | slot;
 }
 
-bool EventQueue::cancel(EventId id) { return pending_.erase(id) > 0; }
+constexpr std::uint32_t handle_slot(EventId id) {
+  return static_cast<std::uint32_t>(id & 0xFFFFFFFFULL);
+}
 
-void EventQueue::drop_dead() const {
-  while (!heap_.empty() && !pending_.contains(heap_.top().id)) {
-    heap_.pop();
+constexpr std::uint32_t handle_generation(EventId id) {
+  return static_cast<std::uint32_t>(id >> 32);
+}
+
+}  // namespace
+
+EventId EventQueue::push(SimTime when, InplaceFn<void()> action,
+                         const char* tag) {
+  std::uint32_t slot;
+  if (free_head_ != kNone) {
+    slot = free_head_;
+    free_head_ = nodes_[slot].next_free;
+  } else {
+    slot = static_cast<std::uint32_t>(nodes_.size());
+    DAS_REQUIRE(slot != kNone && "event pool exhausted");
+    nodes_.emplace_back();
   }
+  Node& node = nodes_[slot];
+  node.when = when;
+  node.seq = next_seq_++;
+  node.action = std::move(action);
+  node.tag = tag;
+  node.next_free = kNone;
+
+  const auto heap_index = static_cast<std::uint32_t>(heap_.size());
+  heap_.push_back(slot);
+  node.heap_index = heap_index;
+  sift_up(heap_index);
+  return make_handle(node.generation, slot);
+}
+
+bool EventQueue::cancel(EventId id) {
+  const std::uint32_t slot = handle_slot(id);
+  if (slot >= nodes_.size()) return false;
+  Node& node = nodes_[slot];
+  if (node.generation != handle_generation(id) || node.heap_index == kNone) {
+    return false;  // already fired or already cancelled
+  }
+  remove_from_heap(node.heap_index);
+  release(slot);
+  return true;
 }
 
 SimTime EventQueue::next_time() const {
   DAS_REQUIRE(!empty());
-  drop_dead();
-  return heap_.top().when;
+  return nodes_[heap_.front()].when;
 }
 
 Event EventQueue::pop() {
   DAS_REQUIRE(!empty());
-  drop_dead();
-  Event ev = heap_.top();
-  heap_.pop();
-  pending_.erase(ev.id);
+  const std::uint32_t slot = heap_.front();
+  Node& node = nodes_[slot];
+  Event ev{node.when, make_handle(node.generation, slot),
+           std::move(node.action), node.tag};
+  remove_from_heap(0);
+  release(slot);
   return ev;
+}
+
+void EventQueue::sift_up(std::uint32_t heap_index) {
+  const std::uint32_t slot = heap_[heap_index];
+  while (heap_index > 0) {
+    const std::uint32_t parent = (heap_index - 1) / kArity;
+    if (!before(slot, heap_[parent])) break;
+    place(heap_index, heap_[parent]);
+    heap_index = parent;
+  }
+  place(heap_index, slot);
+}
+
+void EventQueue::sift_down(std::uint32_t heap_index) {
+  const auto count = static_cast<std::uint32_t>(heap_.size());
+  const std::uint32_t slot = heap_[heap_index];
+  for (;;) {
+    const std::uint64_t first_child =
+        static_cast<std::uint64_t>(heap_index) * kArity + 1;
+    if (first_child >= count) break;
+    const std::uint32_t last_child = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(first_child + kArity - 1, count - 1));
+    std::uint32_t best = static_cast<std::uint32_t>(first_child);
+    for (std::uint32_t c = best + 1; c <= last_child; ++c) {
+      if (before(heap_[c], heap_[best])) best = c;
+    }
+    if (!before(heap_[best], slot)) break;
+    place(heap_index, heap_[best]);
+    heap_index = best;
+  }
+  place(heap_index, slot);
+}
+
+void EventQueue::remove_from_heap(std::uint32_t heap_index) {
+  DAS_ASSERT(heap_index < heap_.size());
+  const std::uint32_t last = heap_.back();
+  heap_.pop_back();
+  if (heap_index == heap_.size()) return;  // removed the tail entry
+  place(heap_index, last);
+  // The swapped-in tail may violate the heap property in either direction
+  // relative to its new neighbourhood; one of the two sifts is a no-op.
+  sift_up(heap_index);
+  sift_down(nodes_[last].heap_index);
+}
+
+void EventQueue::release(std::uint32_t slot) {
+  Node& node = nodes_[slot];
+  node.action.reset();
+  node.tag = "";
+  ++node.generation;  // invalidates every outstanding handle to this slot
+  node.heap_index = kNone;
+  node.next_free = free_head_;
+  free_head_ = slot;
 }
 
 }  // namespace das::sim

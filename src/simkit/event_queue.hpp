@@ -3,71 +3,107 @@
 // Events at equal timestamps are delivered in insertion order (FIFO), which
 // makes every simulation in this repository fully deterministic: the same
 // inputs always produce the same event trace.
+//
+// The implementation is an indexed 4-ary min-heap over a pool of event
+// nodes. Each node records its heap position, so cancellation locates the
+// event in O(1) (no hash set) and removes it with one localized sift —
+// the heap never holds dead events, which also removes the old
+// double drop-dead scan that next_time() + pop() used to pay per step.
+// Slots are recycled through a free list and tagged with a generation
+// counter; an EventId packs (generation, slot) so a stale handle (already
+// fired or cancelled) is rejected in O(1). Callbacks are
+// small-buffer-optimized InplaceFn values stored inside the node, so the
+// common scheduling path performs no heap allocation at all.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_set>
 #include <vector>
 
+#include "simkit/inplace_fn.hpp"
 #include "simkit/time.hpp"
 
 namespace das::sim {
 
 /// Opaque handle identifying a scheduled event; used for cancellation.
+/// Packs the pool slot in the low 32 bits and its generation in the high 32
+/// so handles from earlier occupancies of a slot never alias live events.
 using EventId = std::uint64_t;
 
-/// A scheduled callback. `tag` is a static string used only for tracing.
+/// A delivered callback as returned by pop(). `tag` is a static string used
+/// only for tracing. Move-only (the action is an InplaceFn).
 struct Event {
   SimTime when = 0;
-  EventId id = 0;  // monotonically increasing; breaks timestamp ties FIFO
-  std::function<void()> action;
+  EventId id = 0;
+  InplaceFn<void()> action;
   const char* tag = "";
 };
 
-/// Min-heap of events ordered by (when, id).
-///
-/// Cancellation is lazy: a cancelled event stays in the heap and is dropped
-/// when it reaches the top, but it no longer counts as live.
+/// Min-heap of events ordered by (when, push sequence).
 class EventQueue {
  public:
   /// Insert an event; returns its id for later cancellation.
-  EventId push(SimTime when, std::function<void()> action, const char* tag);
+  EventId push(SimTime when, InplaceFn<void()> action, const char* tag);
 
-  /// Mark an event dead. Returns false if the id already fired or was
-  /// already cancelled.
+  /// Remove an event in O(1) lookup + one localized sift. Returns false if
+  /// the id already fired or was already cancelled.
   bool cancel(EventId id);
 
   /// True when no live event remains.
-  [[nodiscard]] bool empty() const { return pending_.empty(); }
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
 
-  /// Timestamp of the next live event. Requires !empty().
+  /// Timestamp of the next live event. Requires !empty(). O(1): the heap
+  /// holds live events only, so no dead-event scan happens here or in pop().
   [[nodiscard]] SimTime next_time() const;
 
   /// Remove and return the next live event. Requires !empty().
   Event pop();
 
-  /// Number of live events (cancelled-but-unpopped events excluded).
-  [[nodiscard]] std::size_t size() const { return pending_.size(); }
+  /// Number of live events.
+  [[nodiscard]] std::size_t size() const { return heap_.size(); }
 
   /// Total events ever pushed (diagnostic).
-  [[nodiscard]] std::uint64_t total_pushed() const { return next_id_; }
+  [[nodiscard]] std::uint64_t total_pushed() const { return next_seq_; }
 
  private:
-  struct Order {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.when != b.when) return a.when > b.when;
-      return a.id > b.id;
-    }
+  static constexpr std::uint32_t kNone = UINT32_MAX;
+
+  struct Node {
+    SimTime when = 0;
+    std::uint64_t seq = 0;  // monotonically increasing; breaks ties FIFO
+    InplaceFn<void()> action;
+    const char* tag = "";
+    std::uint32_t generation = 0;
+    std::uint32_t heap_index = kNone;  // position in heap_, kNone when free
+    std::uint32_t next_free = kNone;   // free-list link while unoccupied
   };
 
-  /// Pop cancelled events off the top of the heap.
-  void drop_dead() const;
+  /// True when the node in `slot_a` must be delivered before `slot_b`.
+  [[nodiscard]] bool before(std::uint32_t slot_a, std::uint32_t slot_b) const {
+    const Node& a = nodes_[slot_a];
+    const Node& b = nodes_[slot_b];
+    if (a.when != b.when) return a.when < b.when;
+    return a.seq < b.seq;
+  }
 
-  mutable std::priority_queue<Event, std::vector<Event>, Order> heap_;
-  std::unordered_set<EventId> pending_;  // ids pushed, not yet popped/cancelled
-  EventId next_id_ = 0;
+  void place(std::uint32_t heap_index, std::uint32_t slot) {
+    heap_[heap_index] = slot;
+    nodes_[slot].heap_index = heap_index;
+  }
+
+  void sift_up(std::uint32_t heap_index);
+  void sift_down(std::uint32_t heap_index);
+
+  /// Detach the node at `heap_index` from the heap, keeping the heap
+  /// property (swap in the last element and sift it into place).
+  void remove_from_heap(std::uint32_t heap_index);
+
+  /// Return `slot` to the free list and invalidate outstanding handles.
+  void release(std::uint32_t slot);
+
+  std::vector<Node> nodes_;         // slot pool
+  std::vector<std::uint32_t> heap_;  // 4-ary min-heap of slot indices
+  std::uint32_t free_head_ = kNone;
+  std::uint64_t next_seq_ = 0;
 };
 
 }  // namespace das::sim

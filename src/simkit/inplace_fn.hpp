@@ -1,0 +1,142 @@
+// Small-buffer-optimized move-only callable, the event engine's callback
+// type.
+//
+// Every scheduled event used to carry a std::function<void()>, whose capture
+// state lives on the heap once it outgrows the library's tiny inline buffer
+// (16 bytes on libstdc++ — two captured pointers). Simulation callbacks
+// routinely capture five to ten pointers, so the old hot path paid one
+// malloc/free pair per scheduled event. InplaceFn keeps captures up to
+// kInplaceFnStorage bytes inline in the event node itself; only outsized
+// callables fall back to one heap cell. It is move-only (no copy), which is
+// all the event queue needs and what lets it hold move-only captures that
+// std::function rejects.
+#pragma once
+
+#include <cstddef>
+#include <type_traits>
+#include <utility>
+
+#include "simkit/assert.hpp"
+
+namespace das::sim {
+
+/// Inline capture capacity. Sized for the repository's common scheduling
+/// lambdas (up to eight captured words); bigger callables still work via a
+/// single heap allocation.
+inline constexpr std::size_t kInplaceFnStorage = 64;
+
+template <typename Signature>
+class InplaceFn;
+
+template <typename R, typename... Args>
+class InplaceFn<R(Args...)> {
+ public:
+  InplaceFn() = default;
+  InplaceFn(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+
+  template <typename F,
+            typename D = std::decay_t<F>,
+            typename = std::enable_if_t<
+                !std::is_same_v<D, InplaceFn> &&
+                std::is_invocable_r_v<R, D&, Args...>>>
+  InplaceFn(F&& callable) {  // NOLINT(google-explicit-constructor)
+    if constexpr (fits_inline<D>()) {
+      ::new (static_cast<void*>(storage_)) D(std::forward<F>(callable));
+      ops_ = &kInlineOps<D>;
+    } else {
+      *reinterpret_cast<D**>(storage_) = new D(std::forward<F>(callable));
+      ops_ = &kHeapOps<D>;
+    }
+  }
+
+  InplaceFn(InplaceFn&& other) noexcept : ops_(other.ops_) {
+    if (ops_ != nullptr) {
+      ops_->relocate(other.storage_, storage_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  InplaceFn& operator=(InplaceFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      ops_ = other.ops_;
+      if (ops_ != nullptr) {
+        ops_->relocate(other.storage_, storage_);
+        other.ops_ = nullptr;
+      }
+    }
+    return *this;
+  }
+
+  InplaceFn(const InplaceFn&) = delete;
+  InplaceFn& operator=(const InplaceFn&) = delete;
+
+  ~InplaceFn() { reset(); }
+
+  /// Drop the held callable (back to empty).
+  void reset() {
+    if (ops_ != nullptr) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+  [[nodiscard]] explicit operator bool() const { return ops_ != nullptr; }
+
+  R operator()(Args... args) {
+    DAS_ASSERT(ops_ != nullptr);
+    return ops_->invoke(storage_, std::forward<Args>(args)...);
+  }
+
+  /// True when the held callable lives inline (diagnostics and tests).
+  [[nodiscard]] bool is_inline() const {
+    return ops_ != nullptr && ops_->inline_storage;
+  }
+
+  template <typename F>
+  [[nodiscard]] static constexpr bool fits_inline() {
+    return sizeof(F) <= kInplaceFnStorage &&
+           alignof(F) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<F>;
+  }
+
+ private:
+  struct Ops {
+    R (*invoke)(unsigned char* obj, Args&&... args);
+    /// Move-construct into `dst` from `src`, then destroy `src`.
+    void (*relocate)(unsigned char* src, unsigned char* dst) noexcept;
+    void (*destroy)(unsigned char* obj) noexcept;
+    bool inline_storage;
+  };
+
+  template <typename F>
+  static constexpr Ops kInlineOps = {
+      [](unsigned char* obj, Args&&... args) -> R {
+        return (*reinterpret_cast<F*>(obj))(std::forward<Args>(args)...);
+      },
+      [](unsigned char* src, unsigned char* dst) noexcept {
+        F* from = reinterpret_cast<F*>(src);
+        ::new (static_cast<void*>(dst)) F(std::move(*from));
+        from->~F();
+      },
+      [](unsigned char* obj) noexcept { reinterpret_cast<F*>(obj)->~F(); },
+      true,
+  };
+
+  template <typename F>
+  static constexpr Ops kHeapOps = {
+      [](unsigned char* obj, Args&&... args) -> R {
+        return (**reinterpret_cast<F**>(obj))(std::forward<Args>(args)...);
+      },
+      [](unsigned char* src, unsigned char* dst) noexcept {
+        *reinterpret_cast<F**>(dst) = *reinterpret_cast<F**>(src);
+      },
+      [](unsigned char* obj) noexcept { delete *reinterpret_cast<F**>(obj); },
+      false,
+  };
+
+  alignas(std::max_align_t) unsigned char storage_[kInplaceFnStorage]{};
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace das::sim

@@ -29,11 +29,14 @@ std::optional<LogLevel> log_level_from_string(std::string_view name) {
 
 void Logger::log(LogLevel level, SimTime now, std::string_view component,
                  std::string_view message) {
-  if (!enabled(level)) return;
+  std::ostream* sink = sink_.load(std::memory_order_relaxed);
+  if (sink == nullptr || level < level_.load(std::memory_order_relaxed)) {
+    return;
+  }
   char stamp[32];
   std::snprintf(stamp, sizeof stamp, "[%12.6fs]", to_seconds(now));
-  *sink_ << stamp << ' ' << to_string(level) << ' ' << component << ": "
-         << message << '\n';
+  *sink << stamp << ' ' << to_string(level) << ' ' << component << ": "
+        << message << '\n';
 }
 
 Logger& Logger::global() {

@@ -4,6 +4,7 @@
 // flow. Formatting cost is avoided entirely when the level is filtered.
 #pragma once
 
+#include <atomic>
 #include <optional>
 #include <ostream>
 #include <sstream>
@@ -22,11 +23,21 @@ class Logger {
                   LogLevel level = LogLevel::kWarn)
       : sink_(sink), level_(level) {}
 
-  void set_level(LogLevel level) { level_ = level; }
-  void set_sink(std::ostream* sink) { sink_ = sink; }
-  [[nodiscard]] LogLevel level() const { return level_; }
+  // Level and sink are atomics so a driver thread may adjust filtering
+  // while worker threads run simulations that consult enabled(). Relaxed
+  // ordering suffices: filtering is advisory, not a synchronization point.
+  void set_level(LogLevel level) {
+    level_.store(level, std::memory_order_relaxed);
+  }
+  void set_sink(std::ostream* sink) {
+    sink_.store(sink, std::memory_order_relaxed);
+  }
+  [[nodiscard]] LogLevel level() const {
+    return level_.load(std::memory_order_relaxed);
+  }
   [[nodiscard]] bool enabled(LogLevel level) const {
-    return sink_ != nullptr && level >= level_;
+    return sink_.load(std::memory_order_relaxed) != nullptr &&
+           level >= level_.load(std::memory_order_relaxed);
   }
 
   /// Emit one line: "[  1.234567s] component: message".
@@ -47,8 +58,8 @@ class Logger {
   static Logger& global();
 
  private:
-  std::ostream* sink_;
-  LogLevel level_;
+  std::atomic<std::ostream*> sink_;
+  std::atomic<LogLevel> level_;
 };
 
 /// Human-readable level name ("TRACE", "DEBUG", ...).

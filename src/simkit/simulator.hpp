@@ -7,16 +7,19 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 
+#include "simkit/context.hpp"
 #include "simkit/event_queue.hpp"
+#include "simkit/inplace_fn.hpp"
 #include "simkit/time.hpp"
 
 namespace das::sim {
 
 class Simulator {
  public:
-  using Callback = std::function<void()>;
+  /// Scheduled-callback type. Small-buffer optimized: captures up to
+  /// kInplaceFnStorage bytes schedule without heap allocation.
+  using Callback = InplaceFn<void()>;
 
   /// Current simulated time. Starts at 0.
   [[nodiscard]] SimTime now() const { return now_; }
@@ -55,11 +58,24 @@ class Simulator {
   /// Number of events currently pending.
   [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
 
+  /// Attach this simulator to a run context (logger/tracer/rng bundle).
+  /// Pass nullptr to fall back to the simulator's private default context.
+  /// The context must outlive the simulator's use of it.
+  void set_context(RunContext* context) {
+    context_ = context != nullptr ? context : &default_context_;
+  }
+
+  [[nodiscard]] RunContext& context() { return *context_; }
+  [[nodiscard]] Tracer& tracer() { return context_->tracer; }
+  [[nodiscard]] Logger& log() { return context_->log; }
+
  private:
   EventQueue queue_;
   SimTime now_ = kTimeZero;
   std::uint64_t delivered_ = 0;
   bool stopped_ = false;
+  RunContext default_context_;
+  RunContext* context_ = &default_context_;
 };
 
 }  // namespace das::sim

@@ -46,11 +46,6 @@ std::string json_escape(std::string_view text) {
   return out;
 }
 
-Tracer& Tracer::global() {
-  static Tracer tracer;
-  return tracer;
-}
-
 void Tracer::complete(SimTime start, SimTime end, std::uint32_t node,
                       TraceTrack track, std::string name, std::string cat,
                       std::string args) {
@@ -191,6 +186,32 @@ void Tracer::clear() {
   events_.clear();
   metadata_.clear();
   last_scope_id_ = 0;
+}
+
+void Tracer::merge_from(const Tracer& other) {
+  // Shift incoming async scope ids past every id this tracer has handed out,
+  // then absorb the donor's id space, so ids stay unique across any number
+  // of merges and match what serial accumulation would have produced.
+  const std::uint64_t offset = last_scope_id_;
+  events_.reserve(events_.size() + other.events_.size());
+  for (const TraceEvent& event : other.events_) {
+    events_.push_back(event);
+    if (event.ph == 'b' || event.ph == 'e') events_.back().id += offset;
+  }
+  last_scope_id_ += other.last_scope_id_;
+
+  for (const TraceEvent& incoming : other.metadata_) {
+    bool found = false;
+    for (TraceEvent& existing : metadata_) {
+      if (existing.name == incoming.name && existing.pid == incoming.pid &&
+          existing.tid == incoming.tid) {
+        existing.args = incoming.args;
+        found = true;
+        break;
+      }
+    }
+    if (!found) metadata_.push_back(incoming);
+  }
 }
 
 }  // namespace das::sim

@@ -64,10 +64,6 @@ class Tracer {
   Tracer(const Tracer&) = delete;
   Tracer& operator=(const Tracer&) = delete;
 
-  /// The process-wide tracer every component records into (mirrors
-  /// Logger::global()). Disabled until a driver enables it.
-  static Tracer& global();
-
   void enable() { enabled_ = true; }
   void disable() { enabled_ = false; }
   [[nodiscard]] bool enabled() const { return enabled_; }
@@ -124,6 +120,14 @@ class Tracer {
 
   /// Write to_json() to `path`; false on I/O failure.
   [[nodiscard]] bool write_json(const std::string& path) const;
+
+  /// Append everything `other` recorded to this buffer. Async scope ids are
+  /// shifted past this tracer's id space so merged scopes never collide, and
+  /// metadata entries are re-deduplicated. Merging per-run tracers in a fixed
+  /// cell order reproduces exactly the buffer a single shared tracer would
+  /// have accumulated serially, which is what keeps traced sweep output
+  /// independent of --jobs.
+  void merge_from(const Tracer& other);
 
   /// Drop all buffered events and scope ids (keeps enabled state + clock).
   void clear();

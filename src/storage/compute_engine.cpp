@@ -26,11 +26,10 @@ sim::SimTime ComputeEngine::execute(sim::SimTime now, std::uint64_t bytes,
   bytes_processed_ += bytes;
   wait_.record(sim::to_seconds(start - now));
   service_.record(sim::to_seconds(span));
-  sim::Tracer& tracer = sim::Tracer::global();
-  if (tracer.enabled()) {
-    tracer.complete(start, free_at_, trace_node_, sim::TraceTrack::kCompute,
-                    "compute", "compute",
-                    "{\"bytes\":" + std::to_string(bytes) + "}");
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    tracer_->complete(start, free_at_, trace_node_, sim::TraceTrack::kCompute,
+                      "compute", "compute",
+                      "{\"bytes\":" + std::to_string(bytes) + "}");
   }
   return free_at_;
 }

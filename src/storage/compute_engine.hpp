@@ -13,6 +13,7 @@
 
 #include "simkit/stats.hpp"
 #include "simkit/time.hpp"
+#include "simkit/trace.hpp"
 
 namespace das::storage {
 
@@ -42,6 +43,9 @@ class ComputeEngine {
   /// Node this engine belongs to, for trace attribution (set by the cluster).
   void set_trace_node(std::uint32_t node) { trace_node_ = node; }
 
+  /// Tracer to record spans into (set by the cluster; null disables tracing).
+  void set_tracer(sim::Tracer* tracer) { tracer_ = tracer; }
+
   /// Per-execution wait behind earlier work / service time (seconds).
   [[nodiscard]] const sim::Histogram& wait_histogram() const { return wait_; }
   [[nodiscard]] const sim::Histogram& service_histogram() const {
@@ -52,6 +56,7 @@ class ComputeEngine {
   ComputeConfig config_;
   double effective_rate_bps_;
   std::uint32_t trace_node_ = 0;
+  sim::Tracer* tracer_ = nullptr;
   sim::SimTime free_at_ = 0;
   std::uint64_t bytes_processed_ = 0;
   sim::SimDuration busy_ = 0;

@@ -34,10 +34,9 @@ sim::SimTime Disk::access(sim::SimTime now, std::uint64_t offset,
   busy_ += span;
   wait_.record(sim::to_seconds(start - now));
   service_.record(sim::to_seconds(span));
-  sim::Tracer& tracer = sim::Tracer::global();
-  if (tracer.enabled()) {
-    tracer.complete(start, free_at_, trace_node_, sim::TraceTrack::kDisk, op,
-                    "disk", "{\"bytes\":" + std::to_string(bytes) + "}");
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    tracer_->complete(start, free_at_, trace_node_, sim::TraceTrack::kDisk, op,
+                      "disk", "{\"bytes\":" + std::to_string(bytes) + "}");
   }
   return free_at_;
 }

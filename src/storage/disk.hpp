@@ -11,6 +11,7 @@
 #include "simkit/random.hpp"
 #include "simkit/stats.hpp"
 #include "simkit/time.hpp"
+#include "simkit/trace.hpp"
 
 namespace das::storage {
 
@@ -47,6 +48,9 @@ class Disk {
   /// Node this disk belongs to, for trace attribution (set by the server).
   void set_trace_node(std::uint32_t node) { trace_node_ = node; }
 
+  /// Tracer to record spans into (set by the server; null disables tracing).
+  void set_tracer(sim::Tracer* tracer) { tracer_ = tracer; }
+
   /// Per-request wait behind earlier accesses / service time (seconds).
   [[nodiscard]] const sim::Histogram& wait_histogram() const { return wait_; }
   [[nodiscard]] const sim::Histogram& service_histogram() const {
@@ -59,6 +63,7 @@ class Disk {
 
   DiskConfig config_;
   std::uint32_t trace_node_ = 0;
+  sim::Tracer* tracer_ = nullptr;
   sim::Histogram wait_;
   sim::Histogram service_;
   sim::SimTime free_at_ = 0;

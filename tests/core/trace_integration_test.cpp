@@ -2,7 +2,9 @@
 // prefetch covers every resource category, emits well-formed async scopes
 // (each begin matched by an end), keeps per-track span timestamps monotone,
 // and — the load-bearing invariant — produces byte-identical results to the
-// same run untraced.
+// same run untraced. Tracers are per-run (sim::RunContext), so each test
+// simply builds a fresh context; merge_from is checked to reproduce serial
+// accumulation across runs.
 #include <gtest/gtest.h>
 
 #include <map>
@@ -10,6 +12,7 @@
 #include <utility>
 
 #include "core/scheme.hpp"
+#include "simkit/context.hpp"
 #include "simkit/trace.hpp"
 
 namespace das::core {
@@ -34,43 +37,34 @@ SchemeRunOptions traced_nas_options() {
   return o;
 }
 
-// The global tracer is process-wide state: always leave it the way the
-// other tests expect it (disabled, empty).
-class TraceIntegrationTest : public ::testing::Test {
- protected:
-  void TearDown() override {
-    sim::Tracer& tracer = sim::Tracer::global();
-    tracer.disable();
-    tracer.clear();
-  }
-};
+/// Run the canonical traced NAS workload against `context`'s tracer.
+void run_traced(sim::RunContext& context) {
+  context.tracer.enable();
+  SchemeRunOptions o = traced_nas_options();
+  o.context = &context;
+  static_cast<void>(run_scheme(o));
+}
 
-TEST_F(TraceIntegrationTest, TracedRunCoversEveryResourceCategory) {
-  sim::Tracer& tracer = sim::Tracer::global();
-  tracer.clear();
-  tracer.enable();
-  static_cast<void>(run_scheme(traced_nas_options()));
-  tracer.disable();
+TEST(TraceIntegrationTest, TracedRunCoversEveryResourceCategory) {
+  sim::RunContext context;
+  run_traced(context);
 
   std::set<std::string> cats;
-  for (const sim::TraceEvent& e : tracer.events()) cats.insert(e.cat);
+  for (const sim::TraceEvent& e : context.tracer.events()) cats.insert(e.cat);
   for (const char* expected :
        {"net", "disk", "compute", "cache", "prefetch", "request"}) {
     EXPECT_TRUE(cats.count(expected)) << "missing category " << expected;
   }
 }
 
-TEST_F(TraceIntegrationTest, EveryAsyncScopeOpensAndCloses) {
-  sim::Tracer& tracer = sim::Tracer::global();
-  tracer.clear();
-  tracer.enable();
-  static_cast<void>(run_scheme(traced_nas_options()));
-  tracer.disable();
+TEST(TraceIntegrationTest, EveryAsyncScopeOpensAndCloses) {
+  sim::RunContext context;
+  run_traced(context);
 
   // (cat, id) identifies a scope; every 'b' needs exactly one 'e'.
   std::map<std::pair<std::string, std::uint64_t>, int> open;
   std::size_t scopes = 0;
-  for (const sim::TraceEvent& e : tracer.sorted_events()) {
+  for (const sim::TraceEvent& e : context.tracer.sorted_events()) {
     if (e.ph == 'b') {
       ++open[{e.cat, e.id}];
       ++scopes;
@@ -84,16 +78,13 @@ TEST_F(TraceIntegrationTest, EveryAsyncScopeOpensAndCloses) {
   }
 }
 
-TEST_F(TraceIntegrationTest, SpanTimestampsAreMonotonePerTrack) {
-  sim::Tracer& tracer = sim::Tracer::global();
-  tracer.clear();
-  tracer.enable();
-  static_cast<void>(run_scheme(traced_nas_options()));
-  tracer.disable();
+TEST(TraceIntegrationTest, SpanTimestampsAreMonotonePerTrack) {
+  sim::RunContext context;
+  run_traced(context);
 
   std::map<std::pair<std::uint32_t, std::uint32_t>, sim::SimTime> last_ts;
   std::size_t spans = 0;
-  for (const sim::TraceEvent& e : tracer.sorted_events()) {
+  for (const sim::TraceEvent& e : context.tracer.sorted_events()) {
     if (e.ph != 'X') continue;
     ++spans;
     EXPECT_GE(e.ts, 0);
@@ -108,30 +99,50 @@ TEST_F(TraceIntegrationTest, SpanTimestampsAreMonotonePerTrack) {
   EXPECT_GT(spans, 0U);
 }
 
-TEST_F(TraceIntegrationTest, TracingDoesNotChangeResults) {
-  const SchemeRunOptions o = traced_nas_options();
-  const RunReport untraced = run_scheme(o);
+TEST(TraceIntegrationTest, TracingDoesNotChangeResults) {
+  const RunReport untraced = run_scheme(traced_nas_options());
 
-  sim::Tracer& tracer = sim::Tracer::global();
-  tracer.clear();
-  tracer.enable();
+  sim::RunContext context;
+  context.tracer.enable();
+  SchemeRunOptions o = traced_nas_options();
+  o.context = &context;
   const RunReport traced = run_scheme(o);
-  tracer.disable();
 
   EXPECT_EQ(to_csv(traced), to_csv(untraced));
 }
 
-TEST_F(TraceIntegrationTest, BufferRendersAsATraceEventDocument) {
-  sim::Tracer& tracer = sim::Tracer::global();
-  tracer.clear();
-  tracer.enable();
-  static_cast<void>(run_scheme(traced_nas_options()));
-  tracer.disable();
+TEST(TraceIntegrationTest, BufferRendersAsATraceEventDocument) {
+  sim::RunContext context;
+  run_traced(context);
 
-  const std::string json = tracer.to_json();
+  const std::string json = context.tracer.to_json();
   EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
   EXPECT_NE(json.find("\"process_name\""), std::string::npos);
   EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+}
+
+TEST(TraceIntegrationTest, MergingPerRunTracersMatchesSerialAccumulation) {
+  // Two runs into one shared tracer (the old serial behaviour)...
+  sim::RunContext shared;
+  run_traced(shared);
+  {
+    SchemeRunOptions o = traced_nas_options();
+    o.context = &shared;
+    static_cast<void>(run_scheme(o));
+  }
+
+  // ...must render identically to two per-run tracers merged in run order.
+  sim::RunContext first;
+  sim::RunContext second;
+  run_traced(first);
+  run_traced(second);
+  sim::Tracer merged;
+  merged.enable();
+  merged.merge_from(first.tracer);
+  merged.merge_from(second.tracer);
+
+  EXPECT_EQ(merged.event_count(), shared.tracer.event_count());
+  EXPECT_EQ(merged.to_json(), shared.tracer.to_json());
 }
 
 }  // namespace

@@ -1,0 +1,82 @@
+#include "runner/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace das::runner {
+namespace {
+
+TEST(SweepTest, RunsEveryIndexExactlyOnceSerially) {
+  std::vector<int> hits(100, 0);
+  parallel_for_indexed(1, hits.size(),
+                       [&](std::size_t i) { hits[i] += 1; });
+  for (const int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(SweepTest, RunsEveryIndexExactlyOnceInParallel) {
+  // Atomic per-slot counters: any double-execution or skip shows up as a
+  // count != 1 regardless of interleaving.
+  std::vector<std::atomic<int>> hits(257);
+  parallel_for_indexed(8, hits.size(), [&](std::size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(SweepTest, ZeroCountIsANoOp) {
+  int calls = 0;
+  parallel_for_indexed(4, 0, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(SweepTest, ResultsLandInTheCallersSlots) {
+  // The sweep-runner contract: workers write to disjoint pre-sized slots,
+  // and the caller reads them in index order afterwards.
+  std::vector<std::size_t> out(64, 0);
+  parallel_for_indexed(4, out.size(),
+                       [&](std::size_t i) { out[i] = i * i; });
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], i * i);
+}
+
+TEST(SweepTest, FirstExceptionPropagatesAfterAllWorkersDrain) {
+  std::atomic<int> completed{0};
+  try {
+    parallel_for_indexed(4, 32, [&](std::size_t i) {
+      if (i == 7) throw std::runtime_error("cell 7 failed");
+      completed.fetch_add(1, std::memory_order_relaxed);
+    });
+    FAIL() << "expected the cell exception to propagate";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "cell 7 failed");
+  }
+  // Everything that ran to completion did so fully; no use-after-join.
+  EXPECT_LE(completed.load(), 31);
+}
+
+TEST(SweepTest, SerialPathPropagatesExceptionsToo) {
+  EXPECT_THROW(parallel_for_indexed(1, 4,
+                                    [](std::size_t i) {
+                                      if (i == 2) throw std::logic_error("x");
+                                    }),
+               std::logic_error);
+}
+
+TEST(SweepTest, MoreJobsThanWorkStillCoversEveryIndex) {
+  std::vector<std::atomic<int>> hits(3);
+  parallel_for_indexed(16, hits.size(), [&](std::size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(SweepTest, DefaultJobsIsAtLeastOne) {
+  EXPECT_GE(default_jobs(), 1U);
+}
+
+}  // namespace
+}  // namespace das::runner

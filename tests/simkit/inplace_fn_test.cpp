@@ -1,0 +1,120 @@
+#include "simkit/inplace_fn.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace das::sim {
+namespace {
+
+TEST(InplaceFnTest, DefaultConstructedIsEmpty) {
+  InplaceFn<void()> fn;
+  EXPECT_FALSE(static_cast<bool>(fn));
+  InplaceFn<void()> null_fn = nullptr;
+  EXPECT_FALSE(static_cast<bool>(null_fn));
+}
+
+TEST(InplaceFnTest, SmallCapturesStayInline) {
+  // Eight captured words — the upper end of the simulator's scheduling
+  // lambdas — must not allocate.
+  std::array<std::uint64_t, 8> words{};
+  words.fill(7);
+  InplaceFn<std::uint64_t()> fn = [words]() {
+    std::uint64_t sum = 0;
+    for (const auto w : words) sum += w;
+    return sum;
+  };
+  EXPECT_TRUE(fn.is_inline());
+  EXPECT_EQ(fn(), 56U);
+}
+
+TEST(InplaceFnTest, OutsizedCapturesFallBackToHeap) {
+  std::array<std::uint64_t, 32> big{};
+  big[31] = 42;
+  InplaceFn<std::uint64_t()> fn = [big]() { return big[31]; };
+  EXPECT_FALSE(fn.is_inline());
+  EXPECT_EQ(fn(), 42U);
+}
+
+TEST(InplaceFnTest, HoldsMoveOnlyCapturesThatStdFunctionRejects) {
+  auto owned = std::make_unique<int>(11);
+  InplaceFn<int()> fn = [owned = std::move(owned)]() { return *owned; };
+  EXPECT_EQ(fn(), 11);
+}
+
+TEST(InplaceFnTest, MoveTransfersTheCallableAndEmptiesTheSource) {
+  int calls = 0;
+  InplaceFn<void()> a = [&calls]() { ++calls; };
+  InplaceFn<void()> b = std::move(a);
+  EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move)
+  ASSERT_TRUE(static_cast<bool>(b));
+  b();
+  EXPECT_EQ(calls, 1);
+
+  InplaceFn<void()> c;
+  c = std::move(b);
+  c();
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(InplaceFnTest, MoveAssignDestroysThePreviousCallable) {
+  auto counter = std::make_shared<int>(0);
+  struct Probe {
+    std::shared_ptr<int> count;
+    ~Probe() {
+      if (count != nullptr) ++*count;
+    }
+    Probe(std::shared_ptr<int> c) : count(std::move(c)) {}
+    Probe(Probe&& other) noexcept : count(std::move(other.count)) {}
+    void operator()() const {}
+  };
+  InplaceFn<void()> fn = Probe(counter);
+  const int destroyed_before = *counter;
+  fn = []() {};
+  EXPECT_EQ(*counter, destroyed_before + 1);
+}
+
+TEST(InplaceFnTest, ResetDestroysAndEmpties) {
+  auto owned = std::make_shared<int>(5);
+  InplaceFn<void()> fn = [owned]() {};
+  const long uses = owned.use_count();
+  fn.reset();
+  EXPECT_FALSE(static_cast<bool>(fn));
+  EXPECT_EQ(owned.use_count(), uses - 1);
+}
+
+TEST(InplaceFnTest, ForwardsArgumentsAndReturnValues) {
+  InplaceFn<int(int, int)> add = [](int a, int b) { return a + b; };
+  EXPECT_EQ(add(2, 3), 5);
+
+  // Move-only arguments must be forwarded, not copied.
+  InplaceFn<int(std::unique_ptr<int>)> take =
+      [](std::unique_ptr<int> p) { return *p; };
+  EXPECT_EQ(take(std::make_unique<int>(9)), 9);
+}
+
+TEST(InplaceFnTest, AcceptsAStdFunction) {
+  // The simulator's public schedule() API accepts anything callable,
+  // including std::function values built elsewhere.
+  std::function<int()> wrapped = []() { return 3; };
+  InplaceFn<int()> fn = wrapped;
+  EXPECT_EQ(fn(), 3);
+}
+
+TEST(InplaceFnTest, ManyMovesPreserveTheCallable) {
+  std::vector<InplaceFn<int()>> fns;
+  for (int i = 0; i < 100; ++i) {
+    fns.push_back([i]() { return i; });  // reallocation forces moves
+  }
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(fns[static_cast<std::size_t>(i)](), i);
+  }
+}
+
+}  // namespace
+}  // namespace das::sim

@@ -5,7 +5,7 @@
 // and reporting mean +- stddev, and optionally emitting CSV for plotting.
 //
 //   das_sim [--scheme=all|TS|NAS|DAS] [--kernel=all|<name>]
-//           [--gib=24] [--nodes=24] [--trials=1] [--csv]
+//           [--gib=24] [--nodes=24] [--trials=1] [--csv] [--jobs=1]
 //           [--strip-kib=1024] [--group=16] [--budget=0.25]
 //           [--pipeline=1] [--window=4] [--pre-distributed=true] [--repeats=1]
 //           [--cache-mib=0] [--cache-policy=lru]
@@ -14,16 +14,23 @@
 //           [--startup-s=12] [--jitter=0] [--stragglers=0] [--slowdown=1]
 //           [--trace=FILE] [--audit=FILE] [--log-level=LEVEL]
 //
+// --jobs=N runs the sweep's independent (kernel, scheme, trial) cells on N
+// worker threads (0 = all hardware threads). Every cell simulates in its
+// own run context, and all output is printed after the sweep in cell order,
+// so stdout, CSV, trace and audit files are byte-identical for any N.
 // --trace=FILE writes a Chrome trace-event / Perfetto-loadable JSON
 // timeline of every NIC, disk, compute, cache and prefetch event. Multiple
-// runs in one invocation share the buffer and each restarts simulated time
-// at zero, so the flag is most useful with a single scheme/kernel/trial.
-// --audit=FILE writes one predicted-vs-observed decision-audit CSV row per
-// run. --log-level=trace|debug|info|warn|error|off sets the global logger.
+// runs in one invocation merge into one buffer and each restarts simulated
+// time at zero, so the flag is most useful with a single
+// scheme/kernel/trial. --audit=FILE writes one predicted-vs-observed
+// decision-audit CSV row per run.
+// --log-level=trace|debug|info|warn|error|off sets every run's logger.
 #include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <memory>
+#include <optional>
 #include <stdexcept>
 #include <vector>
 
@@ -32,6 +39,8 @@
 #include "kernels/registry.hpp"
 #include "runner/args.hpp"
 #include "runner/paper.hpp"
+#include "runner/sweep.hpp"
+#include "simkit/context.hpp"
 #include "simkit/log.hpp"
 #include "simkit/trace.hpp"
 
@@ -122,49 +131,77 @@ int main(int argc, char** argv) {
     }
     const std::string trace_path = args.get("trace", "");
     const std::string audit_path = args.get("audit", "");
+    std::optional<das::sim::LogLevel> log_level;
     if (const std::string level = args.get("log-level", ""); !level.empty()) {
-      const auto parsed = das::sim::log_level_from_string(level);
-      if (!parsed) {
+      log_level = das::sim::log_level_from_string(level);
+      if (!log_level) {
         throw std::invalid_argument("unknown --log-level: " + level);
       }
-      das::sim::Logger::global().set_level(*parsed);
     }
+    auto jobs = static_cast<unsigned>(args.get_int("jobs", 1));
+    if (jobs == 0) jobs = das::runner::default_jobs();
     if (const std::string u = args.unused(); !u.empty()) {
       std::cerr << "unknown flags: " << u << "\n";
       return 2;
     }
 
-    das::sim::Tracer& tracer = das::sim::Tracer::global();
-    if (!trace_path.empty()) {
-      tracer.clear();
-      tracer.enable();
+    // One cell per (kernel, scheme, trial), in output order. Cells simulate
+    // independently — possibly concurrently — and all printing happens
+    // afterwards in this order, so output never depends on --jobs.
+    struct Cell {
+      std::string kernel;
+      das::core::Scheme scheme;
+      std::uint32_t trial = 0;
+    };
+    std::vector<Cell> cells;
+    for (const std::string& kernel : kernels) {
+      for (const das::core::Scheme scheme : schemes) {
+        for (std::uint32_t trial = 0; trial < trials; ++trial) {
+          cells.push_back(Cell{kernel, scheme, trial});
+        }
+      }
     }
-    std::vector<std::string> audit_rows;
 
+    std::vector<std::unique_ptr<das::sim::RunContext>> contexts;
+    contexts.reserve(cells.size());
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      contexts.push_back(std::make_unique<das::sim::RunContext>());
+      if (!trace_path.empty()) contexts.back()->tracer.enable();
+      if (log_level) contexts.back()->log.set_level(*log_level);
+    }
+
+    std::vector<RunReport> reports(cells.size());
+    das::runner::parallel_for_indexed(
+        jobs, cells.size(), [&](std::size_t i) {
+          das::core::SchemeRunOptions o = base;
+          o.scheme = cells[i].scheme;
+          o.workload.kernel_name = cells[i].kernel;
+          o.cluster.seed = base.cluster.seed + cells[i].trial * 1000003;
+          o.context = contexts[i].get();
+          reports[i] = das::core::run_scheme(o);
+        });
+
+    std::vector<std::string> audit_rows;
     if (csv) std::printf("%s,trial\n", das::core::report_csv_header().c_str());
 
     std::vector<RunReport> table;
+    std::size_t cell = 0;
     for (const std::string& kernel : kernels) {
       for (const das::core::Scheme scheme : schemes) {
         double sum = 0.0, sum2 = 0.0;
-        RunReport last;
-        for (std::uint32_t trial = 0; trial < trials; ++trial) {
-          das::core::SchemeRunOptions o = base;
-          o.scheme = scheme;
-          o.workload.kernel_name = kernel;
-          o.cluster.seed = base.cluster.seed + trial * 1000003;
-          last = das::core::run_scheme(o);
-          sum += last.exec_seconds;
-          sum2 += last.exec_seconds * last.exec_seconds;
+        for (std::uint32_t trial = 0; trial < trials; ++trial, ++cell) {
+          const RunReport& report = reports[cell];
+          sum += report.exec_seconds;
+          sum2 += report.exec_seconds * report.exec_seconds;
           if (csv) {
-            std::printf("%s,%u\n", das::core::to_csv(last).c_str(), trial);
+            std::printf("%s,%u\n", das::core::to_csv(report).c_str(), trial);
           }
-          if (!audit_path.empty() && last.audit.valid) {
-            audit_rows.push_back(das::core::audit_to_csv(last) + "," +
+          if (!audit_path.empty() && report.audit.valid) {
+            audit_rows.push_back(das::core::audit_to_csv(report) + "," +
                                  std::to_string(trial));
           }
         }
-        table.push_back(last);
+        table.push_back(reports[cell - 1]);
         if (trials > 1 && !csv) {
           const double n = trials;
           const double mean = sum / n;
@@ -177,8 +214,17 @@ int main(int argc, char** argv) {
     }
     if (!csv) std::printf("\n%s", das::core::format_report_table(table).c_str());
 
-    if (!trace_path.empty() && !tracer.write_json(trace_path)) {
-      throw std::runtime_error("cannot write trace file: " + trace_path);
+    if (!trace_path.empty()) {
+      // Merging in cell order reproduces the buffer one shared tracer would
+      // have accumulated running the cells serially.
+      das::sim::Tracer merged;
+      merged.enable();
+      for (const auto& context : contexts) {
+        merged.merge_from(context->tracer);
+      }
+      if (!merged.write_json(trace_path)) {
+        throw std::runtime_error("cannot write trace file: " + trace_path);
+      }
     }
     if (!audit_path.empty()) {
       std::ofstream out(audit_path, std::ios::trunc);
