@@ -1,6 +1,7 @@
 #include "cache/eviction.hpp"
 
 #include <stdexcept>
+#include <utility>
 
 #include "simkit/assert.hpp"
 
@@ -8,8 +9,21 @@ namespace das::cache {
 
 void LruPolicy::on_insert(const CacheKey& key) {
   DAS_REQUIRE(!index_.contains(key));
-  order_.push_front(key);
-  index_[key] = order_.begin();
+  if (spare_.empty()) {
+    order_.push_front(key);
+  } else {
+    spare_.front() = key;
+    order_.splice(order_.begin(), spare_, spare_.begin());
+  }
+  if (spare_index_.empty()) {
+    index_.emplace(key, order_.begin());
+  } else {
+    auto nh = std::move(spare_index_.back());
+    spare_index_.pop_back();
+    nh.key() = key;
+    nh.mapped() = order_.begin();
+    index_.insert(std::move(nh));
+  }
 }
 
 void LruPolicy::on_hit(const CacheKey& key) { touch(key); }
@@ -17,8 +31,8 @@ void LruPolicy::on_hit(const CacheKey& key) { touch(key); }
 void LruPolicy::on_erase(const CacheKey& key) {
   const auto it = index_.find(key);
   DAS_REQUIRE(it != index_.end());
-  order_.erase(it->second);
-  index_.erase(it);
+  spare_.splice(spare_.begin(), order_, it->second);
+  spare_index_.push_back(index_.extract(it));
 }
 
 CacheKey LruPolicy::victim() const {
@@ -33,43 +47,75 @@ void LruPolicy::touch(const CacheKey& key) {
   it->second = order_.begin();
 }
 
+LfuPolicy::Buckets::iterator LfuPolicy::bucket_of(std::uint64_t frequency) {
+  auto it = buckets_.lower_bound(frequency);
+  if (it != buckets_.end() && it->first == frequency) return it;
+  if (spare_buckets_.empty()) {
+    return buckets_.emplace_hint(it, frequency, std::list<CacheKey>{});
+  }
+  auto nh = std::move(spare_buckets_.back());
+  spare_buckets_.pop_back();
+  nh.key() = frequency;  // the recycled node carries an (empty) key list
+  return buckets_.insert(it, std::move(nh));
+}
+
+void LfuPolicy::remove_from_bucket(Buckets::iterator it,
+                                   std::list<CacheKey>::iterator pos) {
+  spare_keys_.splice(spare_keys_.begin(), it->second, pos);
+  if (it->second.empty()) spare_buckets_.push_back(buckets_.extract(it));
+}
+
 void LfuPolicy::on_insert(const CacheKey& key) {
   DAS_REQUIRE(!index_.contains(key));
-  place(key, 1);
+  const auto bucket = bucket_of(1);
+  if (spare_keys_.empty()) {
+    bucket->second.push_front(key);
+  } else {
+    spare_keys_.front() = key;
+    bucket->second.splice(bucket->second.begin(), spare_keys_,
+                          spare_keys_.begin());
+  }
+  if (spare_index_.empty()) {
+    index_.emplace(key, Entry{1, bucket->second.begin()});
+  } else {
+    auto nh = std::move(spare_index_.back());
+    spare_index_.pop_back();
+    nh.key() = key;
+    nh.mapped() = Entry{1, bucket->second.begin()};
+    index_.insert(std::move(nh));
+  }
 }
 
 void LfuPolicy::on_hit(const CacheKey& key) {
   const auto it = index_.find(key);
   DAS_REQUIRE(it != index_.end());
-  const std::uint64_t next = it->second.frequency + 1;
-  buckets_[it->second.frequency].erase(it->second.position);
-  if (buckets_[it->second.frequency].empty()) {
-    buckets_.erase(it->second.frequency);
+  // Move the key's list node straight from the old frequency bucket to the
+  // front of the next one — no node is freed or allocated.
+  const auto old_bucket = buckets_.find(it->second.frequency);
+  DAS_REQUIRE(old_bucket != buckets_.end());
+  const auto new_bucket = bucket_of(it->second.frequency + 1);
+  new_bucket->second.splice(new_bucket->second.begin(), old_bucket->second,
+                            it->second.position);
+  if (old_bucket->second.empty()) {
+    spare_buckets_.push_back(buckets_.extract(old_bucket));
   }
-  index_.erase(it);
-  place(key, next);
+  it->second.frequency += 1;
+  it->second.position = new_bucket->second.begin();
 }
 
 void LfuPolicy::on_erase(const CacheKey& key) {
   const auto it = index_.find(key);
   DAS_REQUIRE(it != index_.end());
-  buckets_[it->second.frequency].erase(it->second.position);
-  if (buckets_[it->second.frequency].empty()) {
-    buckets_.erase(it->second.frequency);
-  }
-  index_.erase(it);
+  const auto bucket = buckets_.find(it->second.frequency);
+  DAS_REQUIRE(bucket != buckets_.end());
+  remove_from_bucket(bucket, it->second.position);
+  spare_index_.push_back(index_.extract(it));
 }
 
 CacheKey LfuPolicy::victim() const {
   DAS_REQUIRE(!buckets_.empty());
   // Lowest frequency bucket, most recently touched first (see header).
   return buckets_.begin()->second.front();
-}
-
-void LfuPolicy::place(const CacheKey& key, std::uint64_t frequency) {
-  auto& bucket = buckets_[frequency];
-  bucket.push_front(key);
-  index_[key] = Entry{frequency, bucket.begin()};
 }
 
 std::unique_ptr<EvictionPolicy> make_policy(const std::string& name) {

@@ -11,6 +11,10 @@
 //    which keeps a stable frequent subset resident under cyclic scans (the
 //    churn stays confined to one probationary slot), so hit rate grows
 //    smoothly with capacity instead of jumping at working-set size.
+//
+// Both policies recycle their bookkeeping nodes (list nodes via splice onto
+// a free list, map nodes via extract/reinsert), so the insert/evict churn of
+// a warmed-up cache performs no heap allocation.
 #pragma once
 
 #include <cstdint>
@@ -18,6 +22,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
 namespace das::cache {
 
@@ -61,10 +66,14 @@ class LruPolicy final : public EvictionPolicy {
   [[nodiscard]] std::string name() const override { return "lru"; }
 
  private:
+  using Index = std::map<CacheKey, std::list<CacheKey>::iterator>;
+
   void touch(const CacheKey& key);
 
   std::list<CacheKey> order_;  // front = most recent, back = victim
-  std::map<CacheKey, std::list<CacheKey>::iterator> index_;
+  std::list<CacheKey> spare_;  // recycled list nodes
+  Index index_;
+  std::vector<Index::node_type> spare_index_;  // recycled map nodes
 };
 
 /// Least-frequently-used, ties broken most-recently-inserted/used first.
@@ -87,11 +96,23 @@ class LfuPolicy final : public EvictionPolicy {
     std::list<CacheKey>::iterator position;
   };
 
-  void place(const CacheKey& key, std::uint64_t frequency);
+  using Buckets = std::map<std::uint64_t, std::list<CacheKey>>;
+  using Index = std::map<CacheKey, Entry>;
+
+  /// The bucket for `frequency`, reusing a recycled bucket node if the
+  /// bucket does not exist yet.
+  [[nodiscard]] Buckets::iterator bucket_of(std::uint64_t frequency);
+  /// Remove `pos` from the bucket at `it`, recycling both the list node and
+  /// (if the bucket empties) the bucket node.
+  void remove_from_bucket(Buckets::iterator it,
+                          std::list<CacheKey>::iterator pos);
 
   /// frequency -> keys at that frequency, front = most recently touched.
-  std::map<std::uint64_t, std::list<CacheKey>> buckets_;
-  std::map<CacheKey, Entry> index_;
+  Buckets buckets_;
+  Index index_;
+  std::list<CacheKey> spare_keys_;  // recycled list nodes
+  std::vector<Buckets::node_type> spare_buckets_;
+  std::vector<Index::node_type> spare_index_;
 };
 
 /// Factory over the policy names accepted in configs/CLI ("lru" | "lfu").

@@ -54,48 +54,69 @@ void StripCache::trace_event(const char* name, const CacheKey& key,
                            ",\"bytes\":" + std::to_string(length) + "}");
 }
 
+const StripCache::Slot* StripCache::find(const CacheKey& key) const {
+  if (key.file >= files_.size()) return nullptr;
+  const auto& table = files_[key.file];
+  if (key.strip >= table.size()) return nullptr;
+  const Slot& slot = table[key.strip];
+  return slot.present ? &slot : nullptr;
+}
+
+StripCache::Slot& StripCache::slot_for(const CacheKey& key) {
+  if (key.file >= files_.size()) files_.resize(key.file + 1);
+  auto& table = files_[key.file];
+  if (key.strip >= table.size()) table.resize(key.strip + 1);
+  return table[key.strip];
+}
+
 const CachedStrip* StripCache::lookup(const CacheKey& key) {
-  const auto it = entries_.find(key);
-  if (it == entries_.end()) {
+  Slot* slot = find(key);
+  if (slot == nullptr) {
     ++stats_.misses;
     trace_event("cache.miss", key, 0);
     return nullptr;
   }
+  CachedStrip& entry = slot->strip;
   ++stats_.hits;
-  trace_event("cache.hit", key, it->second.length);
-  stats_.hit_bytes += it->second.length;
-  if (it->second.prefetched) {
+  trace_event("cache.hit", key, entry.length);
+  stats_.hit_bytes += entry.length;
+  if (entry.prefetched) {
     ++stats_.prefetch_hits;
-    stats_.prefetch_hit_bytes += it->second.length;
-    it->second.prefetched = false;  // consumed: later hits are reuse
+    stats_.prefetch_hit_bytes += entry.length;
+    entry.prefetched = false;  // consumed: later hits are reuse
   }
   policy_->on_hit(key);
-  return &it->second;
+  return &entry;
 }
 
 void StripCache::insert(const CacheKey& key, std::uint64_t length,
-                        std::vector<std::byte> bytes) {
+                        pfs::StripBuffer bytes) {
   stats_.miss_bytes += length;
   emplace(key, length, std::move(bytes), /*prefetched=*/false);
 }
 
 void StripCache::admit_prefetched(const CacheKey& key, std::uint64_t length,
-                                  std::vector<std::byte> bytes) {
+                                  pfs::StripBuffer bytes) {
   emplace(key, length, std::move(bytes), /*prefetched=*/true);
 }
 
 void StripCache::emplace(const CacheKey& key, std::uint64_t length,
-                         std::vector<std::byte> bytes, bool prefetched) {
+                         pfs::StripBuffer bytes, bool prefetched) {
   DAS_REQUIRE(length > 0);
   DAS_REQUIRE(bytes.empty() || bytes.size() == length);
   if (length > config_.capacity_bytes) return;  // cannot ever fit
-  if (const auto it = entries_.find(key); it != entries_.end()) {
+  if (find(key) != nullptr) {
     erase(key, /*count_as_eviction=*/false);
   }
   while (used_bytes_ + length > config_.capacity_bytes) {
     erase(policy_->victim(), /*count_as_eviction=*/true);
   }
-  entries_[key] = CachedStrip{length, std::move(bytes), prefetched};
+  Slot& slot = slot_for(key);
+  slot.strip.length = length;
+  slot.strip.bytes = std::move(bytes);
+  slot.strip.prefetched = prefetched;
+  slot.present = true;
+  ++entry_count_;
   used_bytes_ += length;
   policy_->on_insert(key);
   trace_event("cache.insert", key, length);
@@ -107,37 +128,39 @@ void StripCache::emplace(const CacheKey& key, std::uint64_t length,
 }
 
 void StripCache::invalidate(const CacheKey& key) {
-  if (!entries_.contains(key)) return;
+  if (find(key) == nullptr) return;
   erase(key, /*count_as_eviction=*/false);
   ++stats_.invalidations;
 }
 
 void StripCache::invalidate_file(std::uint64_t file) {
-  auto it = entries_.lower_bound(CacheKey{file, 0});
-  while (it != entries_.end() && it->first.file == file) {
-    const CacheKey key = it->first;
-    ++it;
-    erase(key, /*count_as_eviction=*/false);
+  if (file >= files_.size()) return;
+  auto& table = files_[file];
+  for (std::uint64_t strip = 0; strip < table.size(); ++strip) {
+    if (!table[strip].present) continue;
+    erase(CacheKey{file, strip}, /*count_as_eviction=*/false);
     ++stats_.invalidations;
   }
 }
 
 bool StripCache::contains(const CacheKey& key) const {
-  return entries_.contains(key);
+  return find(key) != nullptr;
 }
 
 void StripCache::erase(const CacheKey& key, bool count_as_eviction) {
-  const auto it = entries_.find(key);
-  DAS_REQUIRE(it != entries_.end());
-  DAS_REQUIRE(used_bytes_ >= it->second.length);
-  used_bytes_ -= it->second.length;
+  Slot* slot = find(key);
+  DAS_REQUIRE(slot != nullptr);
+  DAS_REQUIRE(used_bytes_ >= slot->strip.length);
+  used_bytes_ -= slot->strip.length;
   if (count_as_eviction) {
     ++stats_.evictions;
-    stats_.evicted_bytes += it->second.length;
-    trace_event("cache.evict", key, it->second.length);
+    stats_.evicted_bytes += slot->strip.length;
+    trace_event("cache.evict", key, slot->strip.length);
   }
   policy_->on_erase(key);
-  entries_.erase(it);
+  slot->present = false;
+  slot->strip.bytes.reset();  // return the payload to its pool promptly
+  --entry_count_;
 }
 
 void InvalidationHub::attach(StripCache* cache) {

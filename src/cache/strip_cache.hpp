@@ -12,19 +12,26 @@
 // The cache holds whole strips keyed by (file, strip), bounded by a byte
 // capacity, with a pluggable eviction policy (eviction.hpp). Writes and
 // redistributions invalidate through the InvalidationHub so no server ever
-// serves stale halo bytes. In data-carrying mode the cache stores the real
-// payload; in timing mode entries are length-only, exactly like the store.
+// serves stale halo bytes. In data-carrying mode the cache stores a shared
+// StripBuffer handle on the same payload the store/network delivered (no
+// copy on admit, no copy on hit); in timing mode entries are length-only,
+// exactly like the store.
+//
+// Entries live in flat per-file strip tables (vector indexed by strip id)
+// rather than an ordered map: lookup on the halo hot path is two vector
+// indexes, and the only per-entry state is the slot itself.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "cache/eviction.hpp"
+#include "pfs/strip_buffer.hpp"
 #include "simkit/trace.hpp"
 
 namespace das::cache {
@@ -72,10 +79,11 @@ struct CacheStats {
   CacheStats& operator-=(const CacheStats& other);
 };
 
-/// One cached strip as seen by a lookup.
+/// One cached strip as seen by a lookup. `bytes` shares the payload block
+/// with whoever produced it (store, network delivery, prefetcher).
 struct CachedStrip {
   std::uint64_t length = 0;
-  std::vector<std::byte> bytes;  // empty in timing-only mode
+  pfs::StripBuffer bytes;  // empty in timing-only mode
   /// Arrived by prefetch and not yet consumed by a lookup.
   bool prefetched = false;
 };
@@ -96,14 +104,14 @@ class StripCache {
   /// not cached. `bytes` may be empty (timing mode) — capacity accounting
   /// always uses `length`.
   void insert(const CacheKey& key, std::uint64_t length,
-              std::vector<std::byte> bytes);
+              pfs::StripBuffer bytes);
 
   /// Cache a strip that arrived by prefetch rather than a demand miss: same
   /// capacity/eviction behaviour as insert, but counted separately (and no
   /// miss_bytes charge — no lookup missed). The entry is marked so its
   /// first hit is attributed to the prefetcher instead of cross-pass reuse.
   void admit_prefetched(const CacheKey& key, std::uint64_t length,
-                        std::vector<std::byte> bytes);
+                        pfs::StripBuffer bytes);
 
   /// Drop the strip if present (a write made it stale).
   void invalidate(const CacheKey& key);
@@ -116,7 +124,7 @@ class StripCache {
 
   [[nodiscard]] const CacheStats& stats() const { return stats_; }
   [[nodiscard]] std::uint64_t used_bytes() const { return used_bytes_; }
-  [[nodiscard]] std::size_t entry_count() const { return entries_.size(); }
+  [[nodiscard]] std::size_t entry_count() const { return entry_count_; }
   [[nodiscard]] const CacheConfig& config() const { return config_; }
 
   /// Node this cache lives on, for trace attribution (set by the PFS).
@@ -126,15 +134,35 @@ class StripCache {
   void set_tracer(sim::Tracer* tracer) { tracer_ = tracer; }
 
  private:
+  /// Flat-table slot; `present` distinguishes an empty slot from a cached
+  /// zero-length strip (which cannot exist — lengths are positive — but the
+  /// flag keeps occupancy explicit instead of encoded in `length`).
+  struct Slot {
+    CachedStrip strip;
+    bool present = false;
+  };
+
+  /// Slot lookup without growing; nullptr when the indexes are out of range
+  /// or the slot is empty.
+  [[nodiscard]] const Slot* find(const CacheKey& key) const;
+  [[nodiscard]] Slot* find(const CacheKey& key) {
+    return const_cast<Slot*>(std::as_const(*this).find(key));
+  }
+  /// Slot reference, growing the per-file table on demand.
+  [[nodiscard]] Slot& slot_for(const CacheKey& key);
+
   void emplace(const CacheKey& key, std::uint64_t length,
-               std::vector<std::byte> bytes, bool prefetched);
+               pfs::StripBuffer bytes, bool prefetched);
   void erase(const CacheKey& key, bool count_as_eviction);
   void trace_event(const char* name, const CacheKey& key,
                    std::uint64_t length) const;
 
   CacheConfig config_;
   std::unique_ptr<EvictionPolicy> policy_;
-  std::map<CacheKey, CachedStrip> entries_;
+  /// files_[file][strip]; grown on demand, never shrunk (empty slots cost a
+  /// few words each and file/strip ids are small and dense).
+  std::vector<std::vector<Slot>> files_;
+  std::size_t entry_count_ = 0;
   std::uint64_t used_bytes_ = 0;
   std::uint32_t trace_node_ = 0;
   sim::Tracer* tracer_ = nullptr;

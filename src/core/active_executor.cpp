@@ -1,5 +1,6 @@
 #include "core/active_executor.hpp"
 
+#include <algorithm>
 #include <cstring>
 #include <set>
 #include <string>
@@ -26,7 +27,12 @@ struct ActiveExecutor::RunState {
   /// Strip coverage of the assembled buffer, inclusive: the run's strips,
   /// its locally stored halo, plus whatever halo was fetched remotely.
   std::uint64_t buf_lo = 0, buf_hi = 0;
-  std::vector<std::byte> buffer;  // data mode only
+  /// Input slab incl. halo rows, assembled in place as strips arrive and
+  /// read directly by the kernel (data mode only; empty otherwise).
+  grid::Grid<float> buffer;
+  /// Kernel output slab; local writes and replica messages carry views of
+  /// this one block (data mode only).
+  pfs::StripBuffer out;
   std::uint64_t inputs_pending = 0;
   std::uint64_t trace_id = 0;  // async scope; 0 when tracing is off
   bool started = false;
@@ -44,11 +50,22 @@ struct ActiveExecutor::ServerTask {
   BarrierPtr barrier;  // one arrival per completed run
 };
 
+namespace {
+
+/// Byte pointer `rel` bytes into a run's input slab.
+std::byte* slab_at(grid::Grid<float>& buffer, std::uint64_t rel) {
+  return reinterpret_cast<std::byte*>(buffer.data()) + rel;
+}
+
+}  // namespace
+
 ActiveExecutor::ActiveExecutor(Cluster& cluster, const Options& options)
     : cluster_(cluster), options_(options) {
   DAS_REQUIRE(options.kernel != nullptr);
   DAS_REQUIRE(!(options.data_mode && options.kernel->is_reduction()));
 }
+
+ActiveExecutor::~ActiveExecutor() = default;
 
 void ActiveExecutor::start(pfs::FileId input, pfs::FileId output,
                            std::function<void()> on_done) {
@@ -57,7 +74,7 @@ void ActiveExecutor::start(pfs::FileId input, pfs::FileId output,
   DAS_REQUIRE(options_.kernel->is_reduction() ||
               cluster_.pfs().meta(output).size_bytes ==
                   cluster_.pfs().meta(input).size_bytes);
-  const BarrierPtr barrier = make_barrier(std::move(on_done));
+  const BarrierPtr barrier = make_barrier(as_callback(std::move(on_done)));
   for (pfs::ServerIndex s = 0; s < cluster_.pfs().num_servers(); ++s) {
     start_server(s, input, output, barrier);
   }
@@ -71,7 +88,8 @@ void ActiveExecutor::start_server(pfs::ServerIndex server, pfs::FileId input,
                          options_.halo_strips);
   if (lio.runs().empty()) return;
 
-  auto task = std::make_shared<ServerTask>();
+  auto owned = std::make_unique<ServerTask>();
+  ServerTask* task = owned.get();
   task->server = server;
   task->node = cluster_.storage_node(server);
   task->input = input;
@@ -84,7 +102,7 @@ void ActiveExecutor::start_server(pfs::ServerIndex server, pfs::FileId input,
     task->runs.push_back(std::move(rs));
   }
   barrier->add(task->runs.size());
-  tasks_.push_back(task);
+  tasks_.push_back(std::move(owned));
 
   // Hand the server's prefetcher the ordered list of remote strips this
   // request will touch — the same buffer-coverage walk start_run performs,
@@ -115,15 +133,20 @@ void ActiveExecutor::start_server(pfs::ServerIndex server, pfs::FileId input,
   pump(task);
 }
 
-void ActiveExecutor::pump(const std::shared_ptr<ServerTask>& task) {
+void ActiveExecutor::pump(ServerTask* task) {
   const std::uint32_t window = cluster_.config().pipeline_window;
   while (task->running < window && task->next_run < task->runs.size()) {
     start_run(task, task->next_run++);
   }
 }
 
-void ActiveExecutor::start_run(const std::shared_ptr<ServerTask>& task,
-                               std::size_t index) {
+void ActiveExecutor::on_input(ServerTask* task, std::size_t index) {
+  RunState& rs = task->runs[index];
+  DAS_REQUIRE(rs.inputs_pending > 0);
+  if (--rs.inputs_pending == 0) compute_and_write(task, index);
+}
+
+void ActiveExecutor::start_run(ServerTask* task, std::size_t index) {
   RunState& rs = task->runs[index];
   DAS_REQUIRE(!rs.started);
   rs.started = true;
@@ -142,10 +165,18 @@ void ActiveExecutor::start_run(const std::shared_ptr<ServerTask>& task,
   rs.buf_lo = run.first_strip >= wanted ? run.first_strip - wanted : 0;
   rs.buf_hi = std::min(num_strips - 1, run.last_strip + wanted);
 
+  const std::uint64_t base = meta.strip(rs.buf_lo).offset;
   if (options_.data_mode) {
-    const std::uint64_t base = meta.strip(rs.buf_lo).offset;
-    const pfs::StripRef last = meta.strip(rs.buf_hi);
-    rs.buffer.assign(last.offset + last.length - base, std::byte{0});
+    const pfs::StripRef buf_last = meta.strip(rs.buf_hi);
+    const std::uint64_t buf_bytes = buf_last.offset + buf_last.length - base;
+    const std::uint64_t row_bytes =
+        static_cast<std::uint64_t>(meta.raster_width) * meta.element_size;
+    DAS_REQUIRE(base % row_bytes == 0);
+    DAS_REQUIRE(buf_bytes % row_bytes == 0);
+    // The slab the kernel will read, zero-filled like any fresh grid;
+    // arriving strips are copied straight into it.
+    rs.buffer = grid::Grid<float>(
+        meta.raster_width, static_cast<std::uint32_t>(buf_bytes / row_bytes));
   }
 
   // One pending input per strip in the buffer.
@@ -161,25 +192,20 @@ void ActiveExecutor::start_run(const std::shared_ptr<ServerTask>& task,
                            "}");
   }
 
-  auto input_arrived = [this, task, index]() {
-    RunState& state = task->runs[index];
-    DAS_REQUIRE(state.inputs_pending > 0);
-    if (--state.inputs_pending == 0) compute_and_write(task, state);
-  };
-
-  const std::uint64_t base = meta.strip(rs.buf_lo).offset;
   for (std::uint64_t s = rs.buf_lo; s <= rs.buf_hi; ++s) {
     const pfs::StripRef ref = meta.strip(s);
     if (self.store().has(task->input, s)) {
       // Local strip (own or replica): one disk read.
       const sim::SimTime done = self.read_local(task->input, s);
       if (options_.data_mode) {
-        const auto& bytes = self.store().bytes(task->input, s);
+        const auto bytes = self.store().bytes(task->input, s);
         DAS_REQUIRE(bytes.size() == ref.length);
-        std::memcpy(task->runs[index].buffer.data() + (ref.offset - base),
-                    bytes.data(), bytes.size());
+        std::memcpy(slab_at(rs.buffer, ref.offset - base), bytes.data(),
+                    bytes.size());
       }
-      simulator.schedule_at(done, input_arrived, "as.local_read");
+      simulator.schedule_at(
+          done, [this, task, index]() { on_input(task, index); },
+          "as.local_read");
     } else if (const cache::CachedStrip* hit =
                    self.strip_cache() == nullptr
                        ? nullptr
@@ -192,14 +218,16 @@ void ActiveExecutor::start_run(const std::shared_ptr<ServerTask>& task,
       halo_cache_hit_bytes_ += ref.length;
       if (options_.data_mode) {
         DAS_REQUIRE(hit->bytes.size() == ref.length);
-        std::memcpy(task->runs[index].buffer.data() + (ref.offset - base),
-                    hit->bytes.data(), hit->bytes.size());
+        std::memcpy(slab_at(rs.buffer, ref.offset - base), hit->bytes.data(),
+                    hit->bytes.size());
       }
       const sim::SimTime copied =
           simulator.now() +
           sim::transfer_time(ref.length,
                              self.strip_cache()->config().hit_bandwidth_bps);
-      simulator.schedule_at(copied, input_arrived, "as.cache_hit");
+      simulator.schedule_at(
+          copied, [this, task, index]() { on_input(task, index); },
+          "as.cache_hit");
     } else if (pfs::HaloPrefetcher* prefetcher = self.prefetcher()) {
       // Remote halo strip with prefetching on: route through the
       // prefetcher's in-flight table so a demand fetch and a prefetch of
@@ -208,14 +236,18 @@ void ActiveExecutor::start_run(const std::shared_ptr<ServerTask>& task,
       DAS_REQUIRE(source != task->server);
       const bool issued = prefetcher->demand_fetch(
           pfs::PrefetchItem{task->input, s, ref.length, source},
-          [this, task, index, ref, base,
-           input_arrived](const std::vector<std::byte>& payload) {
+          [this, task, index, s](const pfs::StripBuffer& payload) {
             if (options_.data_mode) {
-              DAS_REQUIRE(payload.size() == ref.length);
-              std::memcpy(task->runs[index].buffer.data() + (ref.offset - base),
-                          payload.data(), payload.size());
+              const pfs::FileMeta& in_meta = cluster_.pfs().meta(task->input);
+              const pfs::StripRef strip = in_meta.strip(s);
+              RunState& state = task->runs[index];
+              DAS_REQUIRE(payload.size() == strip.length);
+              std::memcpy(
+                  slab_at(state.buffer,
+                          strip.offset - in_meta.strip(state.buf_lo).offset),
+                  payload.data(), payload.size());
             }
-            input_arrived();
+            on_input(task, index);
           });
       if (issued) {
         ++halo_strips_fetched_;
@@ -230,36 +262,41 @@ void ActiveExecutor::start_run(const std::shared_ptr<ServerTask>& task,
       DAS_REQUIRE(source != task->server);
       pfs::PfsServer& peer = cluster_.pfs().server(source);
       cluster_.network().send_control(
-          task->node, peer.node(),
-          [this, task, index, &peer, s, ref, base, input_arrived]() {
+          task->node, peer.node(), [this, task, index, &peer, s]() {
+            const pfs::StripRef request =
+                cluster_.pfs().meta(task->input).strip(s);
             peer.serve_read(
-                task->input, s, 0, ref.length, task->node,
+                task->input, s, 0, request.length, task->node,
                 net::TrafficClass::kServerServer,
-                [this, task, index, s, ref, base,
-                 input_arrived](std::vector<std::byte> payload) {
+                [this, task, index, s](const pfs::StripBuffer& payload) {
+                  const pfs::FileMeta& in_meta =
+                      cluster_.pfs().meta(task->input);
+                  const pfs::StripRef strip = in_meta.strip(s);
                   if (options_.data_mode) {
-                    DAS_REQUIRE(payload.size() == ref.length);
-                    std::memcpy(
-                        task->runs[index].buffer.data() + (ref.offset - base),
-                        payload.data(), payload.size());
+                    RunState& state = task->runs[index];
+                    DAS_REQUIRE(payload.size() == strip.length);
+                    std::memcpy(slab_at(state.buffer,
+                                        strip.offset -
+                                            in_meta.strip(state.buf_lo).offset),
+                                payload.data(), payload.size());
                   }
                   if (cache::StripCache* receiver = cluster_.pfs()
                                                         .server(task->server)
                                                         .strip_cache()) {
+                    // The cache shares the delivered block — no copy.
                     receiver->insert(cache::CacheKey{task->input, s},
-                                     ref.length, std::move(payload));
+                                     strip.length, pfs::StripBuffer(payload));
                   }
-                  input_arrived();
+                  on_input(task, index);
                 });
           });
     }
   }
 }
 
-void ActiveExecutor::compute_and_write(const std::shared_ptr<ServerTask>& task,
-                                       RunState& rs) {
+void ActiveExecutor::compute_and_write(ServerTask* task, std::size_t index) {
+  RunState& rs = task->runs[index];
   const pfs::FileMeta& meta = cluster_.pfs().meta(task->input);
-  pfs::PfsServer& self = cluster_.pfs().server(task->server);
   sim::Simulator& simulator = cluster_.simulator();
 
   // Processing cost covers the run's own strips.
@@ -275,137 +312,122 @@ void ActiveExecutor::compute_and_write(const std::shared_ptr<ServerTask>& task,
     // the run completes when it arrives.
     simulator.schedule_at(
         computed,
-        [this, task, &rs]() {
+        [this, task, index]() {
           cluster_.network().send(net::Message{
               task->node, cluster_.compute_node(0),
               options_.kernel->reduction_result_bytes(),
-              net::TrafficClass::kClientServer, [this, task, &rs]() {
-                DAS_REQUIRE(!rs.finished);
-                rs.finished = true;
-                if (rs.trace_id != 0) {
-                  cluster_.simulator().tracer().async_end(
-                      cluster_.simulator().now(), task->node, rs.trace_id,
-                      "as.run", "request");
-                }
-                DAS_REQUIRE(task->running > 0);
-                --task->running;
-                task->barrier->arrive();
-                pump(task);
-              }});
+              net::TrafficClass::kClientServer,
+              [this, task, index]() { finish_run(task, index); }});
         },
         "as.reduce_result");
     return;
   }
 
+  simulator.schedule_at(
+      computed, [this, task, index]() { write_output(task, index); },
+      "as.compute");
+}
+
+void ActiveExecutor::write_output(ServerTask* task, std::size_t index) {
+  RunState& rs = task->runs[index];
+  const pfs::FileMeta& meta = cluster_.pfs().meta(task->input);
   const pfs::FileMeta& out_meta = cluster_.pfs().meta(task->output);
   const pfs::Layout& out_layout = cluster_.pfs().layout(task->output);
   const std::uint64_t out_strips = out_meta.num_strips();
+  pfs::PfsServer& self = cluster_.pfs().server(task->server);
+  const std::uint64_t own_begin = out_meta.strip(rs.run.first_strip).offset;
 
-  simulator.schedule_at(
-      computed,
-      [this, task, &rs, &self, out_meta, &out_layout, out_strips, meta]() {
-        // Produce the output slab (host-level) in data mode.
-        std::vector<std::byte> out_bytes;
-        const std::uint64_t own_begin =
-            out_meta.strip(rs.run.first_strip).offset;
-        if (options_.data_mode) {
-          const std::uint64_t row_bytes =
-              static_cast<std::uint64_t>(meta.raster_width) *
-              meta.element_size;
-          const std::uint64_t base = meta.strip(rs.buf_lo).offset;
-          const pfs::StripRef own_last = meta.strip(rs.run.last_strip);
-          DAS_REQUIRE(base % row_bytes == 0);
-          DAS_REQUIRE(own_begin % row_bytes == 0);
-          DAS_REQUIRE((own_last.offset + own_last.length) % row_bytes == 0);
-          DAS_REQUIRE(rs.buffer.size() % row_bytes == 0);
+  // Produce the output slab in data mode: the kernel reads the assembled
+  // input grid in place and its result is copied once into a pooled buffer
+  // that every write below slices by view.
+  if (options_.data_mode) {
+    const std::uint64_t row_bytes =
+        static_cast<std::uint64_t>(meta.raster_width) * meta.element_size;
+    const std::uint64_t base = meta.strip(rs.buf_lo).offset;
+    const pfs::StripRef own_last = meta.strip(rs.run.last_strip);
+    DAS_REQUIRE(own_begin % row_bytes == 0);
+    DAS_REQUIRE((own_last.offset + own_last.length) % row_bytes == 0);
 
-          const auto buf_row0 =
-              static_cast<std::uint32_t>(base / row_bytes);
-          const auto out_row0 =
-              static_cast<std::uint32_t>(own_begin / row_bytes);
-          const auto out_row1 = static_cast<std::uint32_t>(
-              (own_last.offset + own_last.length) / row_bytes);
-          const auto buf_rows =
-              static_cast<std::uint32_t>(rs.buffer.size() / row_bytes);
+    const auto buf_row0 = static_cast<std::uint32_t>(base / row_bytes);
+    const auto out_row0 = static_cast<std::uint32_t>(own_begin / row_bytes);
+    const auto out_row1 = static_cast<std::uint32_t>(
+        (own_last.offset + own_last.length) / row_bytes);
 
-          grid::Grid<float> buf(meta.raster_width, buf_rows);
-          std::memcpy(buf.data(), rs.buffer.data(), rs.buffer.size());
-          grid::Grid<float> out(meta.raster_width, out_row1 - out_row0);
-          options_.kernel->run_tile(buf, buf_row0, meta.raster_height,
-                                    out_row0, out_row1, out);
-          out_bytes.resize(out.size() * sizeof(float));
-          std::memcpy(out_bytes.data(), out.data(), out_bytes.size());
-        }
+    grid::Grid<float> out(meta.raster_width, out_row1 - out_row0);
+    options_.kernel->run_tile(rs.buffer, buf_row0, meta.raster_height,
+                              out_row0, out_row1, out);
+    const std::uint64_t out_len = out.size() * sizeof(float);
+    rs.out = pfs::StripBuffer::allocate(out_len);
+    std::memcpy(rs.out.mutable_data(), out.data(), out_len);
+  }
 
-        // Completion of this run: local writes + every replica propagation.
-        auto run_done = make_barrier([this, task, &rs]() {
-          DAS_REQUIRE(!rs.finished);
-          rs.finished = true;
-          if (rs.trace_id != 0) {
-            cluster_.simulator().tracer().async_end(cluster_.simulator().now(),
-                                                    task->node, rs.trace_id,
-                                                    "as.run", "request");
-          }
-          rs.buffer.clear();
-          rs.buffer.shrink_to_fit();
-          DAS_REQUIRE(task->running > 0);
-          --task->running;
-          task->barrier->arrive();
-          pump(task);
-        });
+  // Completion of this run: local writes + every replica propagation.
+  auto run_done = make_barrier([this, task, index]() {
+    finish_run(task, index);
+  });
 
-        sim::SimTime last_local_write = cluster_.simulator().now();
-        for (std::uint64_t s = rs.run.first_strip; s <= rs.run.last_strip;
-             ++s) {
-          const pfs::StripRef ref = out_meta.strip(s);
-          std::vector<std::byte> payload;
-          if (options_.data_mode) {
-            payload.assign(
-                out_bytes.begin() +
-                    static_cast<std::ptrdiff_t>(ref.offset - own_begin),
-                out_bytes.begin() +
-                    static_cast<std::ptrdiff_t>(ref.offset - own_begin +
-                                                ref.length));
-          }
-          last_local_write = std::max(
-              last_local_write,
-              self.write_local(task->output, ref, std::move(payload)));
+  sim::SimTime last_local_write = cluster_.simulator().now();
+  for (std::uint64_t s = rs.run.first_strip; s <= rs.run.last_strip; ++s) {
+    const pfs::StripRef ref = out_meta.strip(s);
+    pfs::StripBuffer payload;
+    if (!rs.out.empty()) {
+      payload = rs.out.view(ref.offset - own_begin, ref.length);
+    }
+    last_local_write =
+        std::max(last_local_write,
+                 self.write_local(task->output, ref, std::move(payload)));
 
-          // Output halo replicas travel to the neighbouring servers.
-          for (const pfs::ServerIndex rep : out_layout.replicas(s, out_strips)) {
-            if (rep == task->server) continue;
-            pfs::PfsServer& peer = cluster_.pfs().server(rep);
-            std::vector<std::byte> copy;
-            if (options_.data_mode) {
-              copy.assign(out_bytes.begin() + static_cast<std::ptrdiff_t>(
-                                                  ref.offset - own_begin),
-                          out_bytes.begin() +
-                              static_cast<std::ptrdiff_t>(ref.offset -
-                                                          own_begin +
-                                                          ref.length));
+    // Output halo replicas travel to the neighbouring servers.
+    for (const pfs::ServerIndex rep : out_layout.replicas(s, out_strips)) {
+      if (rep == task->server) continue;
+      pfs::PfsServer& peer = cluster_.pfs().server(rep);
+      run_done->add();
+      cluster_.network().send(net::Message{
+          task->node, peer.node(), ref.length,
+          net::TrafficClass::kServerServer,
+          [this, &peer, task, index, s, run_done]() {
+            const pfs::FileMeta& om = cluster_.pfs().meta(task->output);
+            const pfs::StripRef strip = om.strip(s);
+            RunState& state = task->runs[index];
+            pfs::StripBuffer copy;
+            if (!state.out.empty()) {
+              // Another view of the run's output block (state.out lives
+              // until run_done fires, which waits for this very write).
+              copy = state.out.view(
+                  strip.offset - om.strip(state.run.first_strip).offset,
+                  strip.length);
             }
-            run_done->add();
-            cluster_.network().send(net::Message{
-                task->node, peer.node(), ref.length,
-                net::TrafficClass::kServerServer,
-                [this, &peer, task, ref, copy = std::move(copy),
-                 run_done]() mutable {
-                  const sim::SimTime written = peer.write_local(
-                      task->output, ref, std::move(copy));
-                  cluster_.simulator().schedule_at(
-                      written, [run_done]() { run_done->arrive(); },
-                      "as.replica_write");
-                }});
-          }
-        }
+            const sim::SimTime written =
+                peer.write_local(task->output, strip, std::move(copy));
+            cluster_.simulator().schedule_at(
+                written, [run_done]() { run_done->arrive(); },
+                "as.replica_write");
+          }});
+    }
+  }
 
-        run_done->add();
-        cluster_.simulator().schedule_at(
-            last_local_write, [run_done]() { run_done->arrive(); },
-            "as.local_write");
-        run_done->seal();
-      },
-      "as.compute");
+  run_done->add();
+  cluster_.simulator().schedule_at(
+      last_local_write, [run_done]() { run_done->arrive(); },
+      "as.local_write");
+  run_done->seal();
+}
+
+void ActiveExecutor::finish_run(ServerTask* task, std::size_t index) {
+  RunState& rs = task->runs[index];
+  DAS_REQUIRE(!rs.finished);
+  rs.finished = true;
+  if (rs.trace_id != 0) {
+    cluster_.simulator().tracer().async_end(cluster_.simulator().now(),
+                                            task->node, rs.trace_id, "as.run",
+                                            "request");
+  }
+  rs.buffer = grid::Grid<float>();  // release the input slab
+  rs.out.reset();                   // return the output block to its pool
+  DAS_REQUIRE(task->running > 0);
+  --task->running;
+  task->barrier->arrive();
+  pump(task);
 }
 
 }  // namespace das::core

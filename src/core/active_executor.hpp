@@ -11,6 +11,12 @@
 // Output strips are written locally; output halo replicas are propagated to
 // the neighbouring servers (honest accounting of the DAS layout's write
 // cost).
+//
+// Data-plane shape (data mode): each run assembles its input slab directly
+// into the Grid the kernel reads (one copy per strip, from the shared
+// delivery buffer), and the kernel's output lands in one pooled StripBuffer
+// whose per-strip views feed every local write and replica message — so a
+// run costs two slab copies total regardless of strip or replica count.
 #pragma once
 
 #include <cstdint>
@@ -20,9 +26,11 @@
 
 #include "core/cluster.hpp"
 #include "core/completion.hpp"
+#include "grid/grid.hpp"
 #include "kernels/kernel.hpp"
 #include "pfs/file.hpp"
 #include "pfs/local_io.hpp"
+#include "pfs/strip_buffer.hpp"
 
 namespace das::core {
 
@@ -50,6 +58,10 @@ class ActiveExecutor {
   };
 
   ActiveExecutor(Cluster& cluster, const Options& options);
+  ~ActiveExecutor();  // out of line: ServerTask is incomplete here
+
+  ActiveExecutor(const ActiveExecutor&) = delete;
+  ActiveExecutor& operator=(const ActiveExecutor&) = delete;
 
   /// Offload the kernel over `input`, writing `output` (same size, already
   /// created with its layout). `on_done` fires when every server has
@@ -81,14 +93,19 @@ class ActiveExecutor {
 
   void start_server(pfs::ServerIndex server, pfs::FileId input,
                     pfs::FileId output, const BarrierPtr& barrier);
-  void pump(const std::shared_ptr<ServerTask>& task);
-  void start_run(const std::shared_ptr<ServerTask>& task, std::size_t index);
-  void compute_and_write(const std::shared_ptr<ServerTask>& task,
-                         RunState& run);
+  // The per-run pipeline. Tasks are owned by tasks_ for the executor's
+  // lifetime, so event callbacks carry only {this, task, index} — a few
+  // words, always inline in the event node.
+  void pump(ServerTask* task);
+  void start_run(ServerTask* task, std::size_t index);
+  void on_input(ServerTask* task, std::size_t index);
+  void compute_and_write(ServerTask* task, std::size_t index);
+  void write_output(ServerTask* task, std::size_t index);
+  void finish_run(ServerTask* task, std::size_t index);
 
   Cluster& cluster_;
   Options options_;
-  std::vector<std::shared_ptr<ServerTask>> tasks_;
+  std::vector<std::unique_ptr<ServerTask>> tasks_;
   std::uint64_t halo_strips_fetched_ = 0;
   std::uint64_t halo_bytes_fetched_ = 0;
   std::uint64_t halo_cache_hits_ = 0;

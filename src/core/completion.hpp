@@ -12,12 +12,13 @@
 #include <utility>
 
 #include "simkit/assert.hpp"
+#include "simkit/inplace_fn.hpp"
 
 namespace das::core {
 
 class CompletionBarrier {
  public:
-  explicit CompletionBarrier(std::function<void()> on_done)
+  explicit CompletionBarrier(sim::InplaceFn<void()> on_done)
       : on_done_(std::move(on_done)) {}
 
   /// Register `n` more expected completions.
@@ -51,15 +52,22 @@ class CompletionBarrier {
     }
   }
 
-  std::function<void()> on_done_;
+  sim::InplaceFn<void()> on_done_;
   std::uint64_t outstanding_ = 0;
   bool sealed_ = false;
 };
 
 using BarrierPtr = std::shared_ptr<CompletionBarrier>;
 
-inline BarrierPtr make_barrier(std::function<void()> on_done) {
+inline BarrierPtr make_barrier(sim::InplaceFn<void()> on_done) {
   return std::make_shared<CompletionBarrier>(std::move(on_done));
+}
+
+/// An empty std::function means "no callback"; translate it to a null
+/// InplaceFn instead of wrapping a callable that throws bad_function_call.
+[[nodiscard]] inline sim::InplaceFn<void()> as_callback(
+    std::function<void()> fn) {
+  return fn ? sim::InplaceFn<void()>(std::move(fn)) : sim::InplaceFn<void()>();
 }
 
 }  // namespace das::core

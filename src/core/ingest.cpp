@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "core/completion.hpp"
+#include "pfs/strip_buffer.hpp"
 #include "simkit/assert.hpp"
 
 namespace das::core {
@@ -30,7 +31,12 @@ pfs::FileId Ingestor::ingest(pfs::FileMeta meta,
 
   const std::uint64_t num_strips = file_meta.num_strips();
   const std::uint32_t num_clients = cluster_.config().compute_nodes;
-  const BarrierPtr barrier = make_barrier(std::move(on_done));
+  const BarrierPtr barrier = make_barrier(as_callback(std::move(on_done)));
+
+  // One payload block for the dataset; every strip write carries a shared
+  // view of it (empty handle in timing-only mode).
+  pfs::StripBuffer contents;
+  if (data != nullptr) contents = pfs::StripBuffer::copy_of(*data);
 
   for (std::uint32_t c = 0; c < num_clients; ++c) {
     auto task = std::make_shared<ClientTask>();
@@ -42,26 +48,21 @@ pfs::FileId Ingestor::ingest(pfs::FileMeta meta,
     tasks_.push_back(task);
 
     pfs::PfsClient& client = cluster_.client(c);
-    task->issue = [this, task = task.get(), &client, file, file_meta, data,
-                   barrier]() {
+    task->issue = [this, task = task.get(), &client, file, file_meta,
+                   contents, barrier]() {
       const std::uint32_t window = cluster_.config().pipeline_window;
       while (task->in_flight < window && task->next_strip < task->end_strip) {
         const pfs::StripRef ref = file_meta.strip(task->next_strip++);
         ++task->in_flight;
-        std::vector<std::byte> payload;
-        if (data != nullptr) {
-          payload.assign(
-              data->begin() + static_cast<std::ptrdiff_t>(ref.offset),
-              data->begin() +
-                  static_cast<std::ptrdiff_t>(ref.offset + ref.length));
-        }
-        client.write_range(file, ref.offset, ref.length, payload,
-                           [task, barrier]() {
+        pfs::StripBuffer payload;
+        if (!contents.empty()) payload = contents.view(ref.offset, ref.length);
+        client.write_range(file, ref.offset, ref.length, std::move(payload),
+                           pfs::RangeDoneFn([task, barrier]() {
                              DAS_REQUIRE(task->in_flight > 0);
                              --task->in_flight;
                              task->issue();
                              barrier->arrive();
-                           });
+                           }));
       }
     };
     task->issue();

@@ -1,10 +1,11 @@
 #include "core/ts_executor.hpp"
 
+#include <algorithm>
 #include <cstring>
 #include <string>
 #include <utility>
 
-#include "core/completion.hpp"
+#include "grid/grid.hpp"
 #include "simkit/assert.hpp"
 #include "simkit/trace.hpp"
 
@@ -13,22 +14,25 @@ namespace das::core {
 struct TsExecutor::NodeTask {
   std::uint32_t client_index = 0;
   net::NodeId node = net::kInvalidNode;
+  pfs::FileId input = pfs::kInvalidFile;
+  pfs::FileId output = pfs::kInvalidFile;
   std::uint64_t own_lo = 0, own_hi = 0;    // owned strips [lo, hi)
   std::uint64_t read_lo = 0, read_hi = 0;  // owned + halo strips [lo, hi)
+  std::uint64_t buf_begin = 0;             // file offset of the slab buffer
 
-  // Data mode: contiguous buffer over the read strips and the computed
-  // output slab (filled once all input strips have arrived).
-  std::vector<std::byte> buffer;
-  std::vector<std::byte> output_bytes;
+  // Data mode: the slab the kernel reads (assembled in place as strips
+  // arrive) and the computed output block (sliced into per-strip views for
+  // the write-back).
+  grid::Grid<float> buffer;
+  pfs::StripBuffer out;
   std::uint64_t strips_pending = 0;
   bool slab_ready = false;
 
   // Bounded-outstanding read issuance (a real PFS client pipelines a few
   // strip reads, it does not flood the servers with the whole slab's
   // requests at once — and flooding would serialize service per client).
-  std::uint64_t next_read = 0;   // next strip index to request
+  std::uint64_t next_read = 0;  // next strip index to request
   std::uint32_t in_flight = 0;
-  std::function<void()> issue_reads;
 
   // Per owned strip: gate of 2 in data mode (compute done + slab ready),
   // 1 otherwise; the write is issued when the gate reaches zero.
@@ -38,6 +42,7 @@ struct TsExecutor::NodeTask {
   // `acks_pending` counts the owned-strip completions left before it ends.
   std::uint64_t trace_id = 0;
   std::uint64_t acks_pending = 0;
+  BarrierPtr barrier;
 };
 
 TsExecutor::TsExecutor(Cluster& cluster, const Options& options)
@@ -46,9 +51,11 @@ TsExecutor::TsExecutor(Cluster& cluster, const Options& options)
   DAS_REQUIRE(!(options.data_mode && options.kernel->is_reduction()));
 }
 
+TsExecutor::~TsExecutor() = default;
+
 void TsExecutor::start(pfs::FileId input, pfs::FileId output,
                        std::function<void()> on_done) {
-  const BarrierPtr barrier = make_barrier(std::move(on_done));
+  const BarrierPtr barrier = make_barrier(as_callback(std::move(on_done)));
   for (std::uint32_t c = 0; c < cluster_.config().compute_nodes; ++c) {
     start_node(c, input, output, barrier);
   }
@@ -60,15 +67,18 @@ void TsExecutor::start_node(std::uint32_t client_index, pfs::FileId input,
   const pfs::FileMeta& meta = cluster_.pfs().meta(input);
   const bool reduction = options_.kernel->is_reduction();
   // Reductions keep their (tiny) result on the compute node: no output file.
-  const pfs::FileMeta out_meta =
-      reduction ? meta : cluster_.pfs().meta(output);
-  DAS_REQUIRE(out_meta.size_bytes == meta.size_bytes);
+  if (!reduction) {
+    DAS_REQUIRE(cluster_.pfs().meta(output).size_bytes == meta.size_bytes);
+  }
   const std::uint64_t num_strips = meta.num_strips();
   const std::uint32_t num_clients = cluster_.config().compute_nodes;
 
-  auto task = std::make_shared<NodeTask>();
+  auto owned = std::make_unique<NodeTask>();
+  NodeTask* task = owned.get();
   task->client_index = client_index;
   task->node = cluster_.compute_node(client_index);
+  task->input = input;
+  task->output = output;
   task->own_lo = client_index * num_strips / num_clients;
   task->own_hi = (client_index + 1) * num_strips / num_clients;
   if (task->own_lo >= task->own_hi) return;  // more nodes than strips
@@ -79,22 +89,25 @@ void TsExecutor::start_node(std::uint32_t client_index, pfs::FileId input,
   task->strips_pending = task->read_hi - task->read_lo;
   task->write_gate.assign(task->own_hi - task->own_lo,
                           options_.data_mode ? 2U : 1U);
-  tasks_.push_back(task);
+  task->barrier = barrier;
+  tasks_.push_back(std::move(owned));
 
-  const std::uint64_t buf_begin = meta.strip(task->read_lo).offset;
+  task->buf_begin = meta.strip(task->read_lo).offset;
   if (options_.data_mode) {
     const pfs::StripRef last = meta.strip(task->read_hi - 1);
-    task->buffer.assign(last.offset + last.length - buf_begin, std::byte{0});
+    const std::uint64_t buf_bytes =
+        last.offset + last.length - task->buf_begin;
+    const std::uint64_t row_bytes =
+        static_cast<std::uint64_t>(meta.raster_width) * meta.element_size;
+    DAS_REQUIRE(task->buf_begin % row_bytes == 0);
+    DAS_REQUIRE(buf_bytes % row_bytes == 0);
+    // The slab the kernel will read, zero-filled like any fresh grid.
+    task->buffer = grid::Grid<float>(
+        meta.raster_width, static_cast<std::uint32_t>(buf_bytes / row_bytes));
   }
 
   barrier->add(task->own_hi - task->own_lo);  // one write ack per owned strip
   task->acks_pending = task->own_hi - task->own_lo;
-
-  const double cost = options_.kernel->cost_factor();
-  Cluster& cluster = cluster_;
-  pfs::PfsClient& client = cluster_.client(client_index);
-  const kernels::ProcessingKernel* kernel = options_.kernel;
-  const bool data_mode = options_.data_mode;
 
   sim::Tracer& tracer = cluster_.simulator().tracer();
   if (tracer.enabled()) {
@@ -106,119 +119,114 @@ void TsExecutor::start_node(std::uint32_t client_index, pfs::FileId input,
                            "}");
   }
 
-  // One owned-strip completion; ends the node's trace scope on the last.
-  auto node_ack = [task = task.get(), &cluster, barrier]() {
-    DAS_REQUIRE(task->acks_pending > 0);
-    if (--task->acks_pending == 0 && task->trace_id != 0) {
-      cluster.simulator().tracer().async_end(cluster.simulator().now(),
-                                             task->node, task->trace_id,
-                                             "ts.node", "request");
-    }
-    barrier->arrive();
-  };
-
-  // Issues the write of owned strip `s` once its gate reaches zero
-  // (reductions skip the write: the partial result stays on this node).
-  auto gate_arrive = [task = task.get(), &client, output, out_meta, node_ack,
-                      data_mode, reduction](std::uint64_t s) {
-    auto& gate = task->write_gate[s - task->own_lo];
-    DAS_REQUIRE(gate > 0);
-    if (--gate != 0) return;
-    if (reduction) {
-      node_ack();
-      return;
-    }
-    const pfs::StripRef ref = out_meta.strip(s);
-    std::vector<std::byte> payload;
-    if (data_mode) {
-      DAS_REQUIRE(task->slab_ready);
-      const std::uint64_t own_begin =
-          out_meta.strip(task->own_lo).offset;
-      payload.assign(
-          task->output_bytes.begin() +
-              static_cast<std::ptrdiff_t>(ref.offset - own_begin),
-          task->output_bytes.begin() +
-              static_cast<std::ptrdiff_t>(ref.offset - own_begin +
-                                          ref.length));
-    }
-    client.write_range(output, ref.offset, ref.length, payload,
-                       [node_ack]() { node_ack(); });
-  };
-
-  // Runs the kernel over the whole slab (host-level) once every input strip
-  // has arrived, then releases the slab gate of every owned strip.
-  auto complete_slab = [task = task.get(), kernel, meta, gate_arrive]() {
-    const std::uint64_t row_bytes =
-        static_cast<std::uint64_t>(meta.raster_width) * meta.element_size;
-    const std::uint64_t slab_begin = meta.strip(task->read_lo).offset;
-    const std::uint64_t own_begin = meta.strip(task->own_lo).offset;
-    const pfs::StripRef own_last = meta.strip(task->own_hi - 1);
-    DAS_REQUIRE(slab_begin % row_bytes == 0);
-    DAS_REQUIRE(own_begin % row_bytes == 0);
-    DAS_REQUIRE((own_last.offset + own_last.length) % row_bytes == 0);
-    DAS_REQUIRE(task->buffer.size() % row_bytes == 0);
-
-    const auto buf_row0 = static_cast<std::uint32_t>(slab_begin / row_bytes);
-    const auto out_row0 = static_cast<std::uint32_t>(own_begin / row_bytes);
-    const auto out_row1 = static_cast<std::uint32_t>(
-        (own_last.offset + own_last.length) / row_bytes);
-    const auto buf_rows =
-        static_cast<std::uint32_t>(task->buffer.size() / row_bytes);
-
-    grid::Grid<float> buf(meta.raster_width, buf_rows);
-    std::memcpy(buf.data(), task->buffer.data(), task->buffer.size());
-    grid::Grid<float> out(meta.raster_width, out_row1 - out_row0);
-    kernel->run_tile(buf, buf_row0, meta.raster_height, out_row0, out_row1,
-                     out);
-    task->output_bytes.resize(out.size() * sizeof(float));
-    std::memcpy(task->output_bytes.data(), out.data(),
-                task->output_bytes.size());
-    task->slab_ready = true;
-    for (std::uint64_t s = task->own_lo; s < task->own_hi; ++s) {
-      gate_arrive(s);
-    }
-  };
-
   task->next_read = task->read_lo;
+  issue_reads(task);
+}
 
-  // Issue up to pipeline_window single-strip reads; each completion pulls
-  // the next request, so requests from all clients interleave at the
-  // servers instead of arriving as one per-client burst.
-  auto on_strip = [task = task.get(), &cluster, cost, data_mode, gate_arrive,
-                   complete_slab, buf_begin](
-                      pfs::StripRef ref, std::vector<std::byte> payload) {
-    if (data_mode) {
-      DAS_REQUIRE(payload.size() == ref.length);
-      std::memcpy(task->buffer.data() + (ref.offset - buf_begin),
-                  payload.data(), payload.size());
-    }
-    const bool owned = ref.index >= task->own_lo && ref.index < task->own_hi;
-    if (owned) {
-      // The processing cost of this strip, on this compute node.
-      const sim::SimTime done = cluster.engine(task->node).execute(
-          cluster.simulator().now(), ref.length, cost);
-      cluster.simulator().schedule_at(
-          done, [gate_arrive, s = ref.index]() { gate_arrive(s); },
-          "ts.compute");
-    }
-    DAS_REQUIRE(task->in_flight > 0);
-    --task->in_flight;
-    task->issue_reads();
-    DAS_REQUIRE(task->strips_pending > 0);
-    if (--task->strips_pending == 0 && data_mode) complete_slab();
-  };
+// Issue up to pipeline_window single-strip reads; each completion pulls
+// the next request, so requests from all clients interleave at the
+// servers instead of arriving as one per-client burst.
+void TsExecutor::issue_reads(NodeTask* task) {
+  const std::uint32_t window = cluster_.config().pipeline_window;
+  const pfs::FileMeta& meta = cluster_.pfs().meta(task->input);
+  pfs::PfsClient& client = cluster_.client(task->client_index);
+  while (task->in_flight < window && task->next_read < task->read_hi) {
+    const pfs::StripRef ref = meta.strip(task->next_read++);
+    ++task->in_flight;
+    client.read_range(task->input, ref.offset, ref.length, nullptr,
+                      [this, task](pfs::StripRef strip,
+                                   const pfs::StripBuffer& payload) {
+                        on_strip(task, strip, payload);
+                      });
+  }
+}
 
-  const pfs::FileMeta in_meta = meta;
-  task->issue_reads = [task = task.get(), &client, &cluster, input, in_meta,
-                       on_strip]() {
-    const std::uint32_t window = cluster.config().pipeline_window;
-    while (task->in_flight < window && task->next_read < task->read_hi) {
-      const pfs::StripRef ref = in_meta.strip(task->next_read++);
-      ++task->in_flight;
-      client.read_range(input, ref.offset, ref.length, nullptr, on_strip);
-    }
-  };
-  task->issue_reads();
+void TsExecutor::on_strip(NodeTask* task, pfs::StripRef ref,
+                          const pfs::StripBuffer& payload) {
+  if (options_.data_mode) {
+    DAS_REQUIRE(payload.size() == ref.length);
+    std::memcpy(reinterpret_cast<std::byte*>(task->buffer.data()) +
+                    (ref.offset - task->buf_begin),
+                payload.data(), payload.size());
+  }
+  const bool owned = ref.index >= task->own_lo && ref.index < task->own_hi;
+  if (owned) {
+    // The processing cost of this strip, on this compute node.
+    const sim::SimTime done = cluster_.engine(task->node).execute(
+        cluster_.simulator().now(), ref.length,
+        options_.kernel->cost_factor());
+    cluster_.simulator().schedule_at(
+        done, [this, task, s = ref.index]() { gate_arrive(task, s); },
+        "ts.compute");
+  }
+  DAS_REQUIRE(task->in_flight > 0);
+  --task->in_flight;
+  issue_reads(task);
+  DAS_REQUIRE(task->strips_pending > 0);
+  if (--task->strips_pending == 0 && options_.data_mode) complete_slab(task);
+}
+
+// Runs the kernel over the whole slab (host-level) once every input strip
+// has arrived, then releases the slab gate of every owned strip.
+void TsExecutor::complete_slab(NodeTask* task) {
+  const pfs::FileMeta& meta = cluster_.pfs().meta(task->input);
+  const std::uint64_t row_bytes =
+      static_cast<std::uint64_t>(meta.raster_width) * meta.element_size;
+  const std::uint64_t own_begin = meta.strip(task->own_lo).offset;
+  const pfs::StripRef own_last = meta.strip(task->own_hi - 1);
+  DAS_REQUIRE(own_begin % row_bytes == 0);
+  DAS_REQUIRE((own_last.offset + own_last.length) % row_bytes == 0);
+
+  const auto buf_row0 =
+      static_cast<std::uint32_t>(task->buf_begin / row_bytes);
+  const auto out_row0 = static_cast<std::uint32_t>(own_begin / row_bytes);
+  const auto out_row1 = static_cast<std::uint32_t>(
+      (own_last.offset + own_last.length) / row_bytes);
+
+  grid::Grid<float> out(meta.raster_width, out_row1 - out_row0);
+  options_.kernel->run_tile(task->buffer, buf_row0, meta.raster_height,
+                            out_row0, out_row1, out);
+  const std::uint64_t out_len = out.size() * sizeof(float);
+  task->out = pfs::StripBuffer::allocate(out_len);
+  std::memcpy(task->out.mutable_data(), out.data(), out_len);
+  task->slab_ready = true;
+  for (std::uint64_t s = task->own_lo; s < task->own_hi; ++s) {
+    gate_arrive(task, s);
+  }
+}
+
+// Issues the write of owned strip `s` once its gate reaches zero
+// (reductions skip the write: the partial result stays on this node).
+void TsExecutor::gate_arrive(NodeTask* task, std::uint64_t strip) {
+  auto& gate = task->write_gate[strip - task->own_lo];
+  DAS_REQUIRE(gate > 0);
+  if (--gate != 0) return;
+  if (options_.kernel->is_reduction()) {
+    node_ack(task);
+    return;
+  }
+  const pfs::FileMeta& out_meta = cluster_.pfs().meta(task->output);
+  const pfs::StripRef ref = out_meta.strip(strip);
+  pfs::StripBuffer payload;
+  if (options_.data_mode) {
+    DAS_REQUIRE(task->slab_ready);
+    const std::uint64_t own_begin = out_meta.strip(task->own_lo).offset;
+    payload = task->out.view(ref.offset - own_begin, ref.length);
+  }
+  cluster_.client(task->client_index)
+      .write_range(task->output, ref.offset, ref.length, std::move(payload),
+                   [this, task]() { node_ack(task); });
+}
+
+// One owned-strip completion; ends the node's trace scope on the last.
+void TsExecutor::node_ack(NodeTask* task) {
+  DAS_REQUIRE(task->acks_pending > 0);
+  if (--task->acks_pending == 0 && task->trace_id != 0) {
+    cluster_.simulator().tracer().async_end(cluster_.simulator().now(),
+                                            task->node, task->trace_id,
+                                            "ts.node", "request");
+  }
+  task->barrier->arrive();
 }
 
 }  // namespace das::core

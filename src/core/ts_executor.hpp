@@ -5,6 +5,11 @@
 // contiguous slab of strips, reads it (plus the dependence halo) through the
 // PFS client, processes it, and writes the output slab back — so the whole
 // dataset crosses the client-server links twice.
+//
+// Data-plane shape (data mode): arriving strips are copied once into the
+// Grid the kernel reads in place, and the computed output lands in one
+// pooled StripBuffer whose per-strip views feed the write-back — callbacks
+// capture only {executor, task}, so the strip churn allocates nothing.
 #pragma once
 
 #include <cstdint>
@@ -16,6 +21,7 @@
 #include "core/completion.hpp"
 #include "kernels/kernel.hpp"
 #include "pfs/file.hpp"
+#include "pfs/strip_buffer.hpp"
 
 namespace das::core {
 
@@ -30,6 +36,10 @@ class TsExecutor {
   };
 
   TsExecutor(Cluster& cluster, const Options& options);
+  ~TsExecutor();  // out of line: NodeTask is incomplete here
+
+  TsExecutor(const TsExecutor&) = delete;
+  TsExecutor& operator=(const TsExecutor&) = delete;
 
   /// Run the scheme over `input`, writing `output` (same size, already
   /// created). `on_done` fires when every output strip has been acked.
@@ -41,10 +51,18 @@ class TsExecutor {
 
   void start_node(std::uint32_t client_index, pfs::FileId input,
                   pfs::FileId output, const BarrierPtr& barrier);
+  // Per-node pipeline steps; tasks are owned by tasks_ for the executor's
+  // lifetime, so callbacks carry only {this, task}.
+  void issue_reads(NodeTask* task);
+  void on_strip(NodeTask* task, pfs::StripRef ref,
+                const pfs::StripBuffer& payload);
+  void complete_slab(NodeTask* task);
+  void gate_arrive(NodeTask* task, std::uint64_t strip);
+  void node_ack(NodeTask* task);
 
   Cluster& cluster_;
   Options options_;
-  std::vector<std::shared_ptr<NodeTask>> tasks_;
+  std::vector<std::unique_ptr<NodeTask>> tasks_;
 };
 
 }  // namespace das::core

@@ -2,7 +2,8 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
+
+#include "simkit/inplace_fn.hpp"
 
 namespace das::net {
 
@@ -32,6 +33,11 @@ constexpr const char* to_string(TrafficClass c) {
   return "?";
 }
 
+/// Callback type carried by messages and the PFS data plane. Inline up to
+/// kInplaceFnStorage bytes, so a delivery callback costs no heap allocation;
+/// move-only, which makes Message move-only too.
+using DeliveryFn = sim::InplaceFn<void()>;
+
 /// One message in flight. `on_delivered` runs at the receiver once the last
 /// byte has cleared the receiving NIC.
 struct Message {
@@ -39,7 +45,7 @@ struct Message {
   NodeId dst = kInvalidNode;
   std::uint64_t bytes = 0;
   TrafficClass cls = TrafficClass::kControl;
-  std::function<void()> on_delivered;
+  DeliveryFn on_delivered;
 };
 
 }  // namespace das::net

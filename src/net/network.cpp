@@ -66,14 +66,13 @@ void Network::send(Message msg) {
   wire_.record(sim::to_seconds((delivered_at - sent_at) - queue_wait));
 
   if (msg.on_delivered) {
-    sim_.schedule_at(delivered_at,
-                     [cb = std::move(msg.on_delivered)]() { cb(); },
-                     "net.deliver");
+    // The callback is already the event engine's callable type: hand it to
+    // the queue as-is instead of wrapping it in another capturing closure.
+    sim_.schedule_at(delivered_at, std::move(msg.on_delivered), "net.deliver");
   }
 }
 
-void Network::send_control(NodeId src, NodeId dst,
-                           std::function<void()> on_delivered) {
+void Network::send_control(NodeId src, NodeId dst, DeliveryFn on_delivered) {
   send(Message{src, dst, 0, TrafficClass::kControl, std::move(on_delivered)});
 }
 

@@ -8,7 +8,6 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <vector>
 
 #include "net/message.hpp"
@@ -39,7 +38,7 @@ class Network {
   void send(Message msg);
 
   /// Convenience: send a small control message (request/ack).
-  void send_control(NodeId src, NodeId dst, std::function<void()> on_delivered);
+  void send_control(NodeId src, NodeId dst, DeliveryFn on_delivered);
 
   [[nodiscard]] std::uint32_t num_nodes() const {
     return static_cast<std::uint32_t>(nics_.size());

@@ -1,7 +1,6 @@
 #include "pfs/client.hpp"
 
 #include <algorithm>
-#include <memory>
 #include <utility>
 
 #include "simkit/assert.hpp"
@@ -12,10 +11,39 @@ PfsClient::PfsClient(sim::Simulator& simulator, net::Network& network,
                      Pfs& pfs, net::NodeId node)
     : sim_(simulator), net_(network), pfs_(pfs), node_(node) {}
 
-void PfsClient::read_range(
-    FileId file, std::uint64_t offset, std::uint64_t length,
-    std::function<void()> on_complete,
-    std::function<void(StripRef, std::vector<std::byte>)> on_strip) {
+PfsClient::RangeOp* PfsClient::acquire_range_op() {
+  if (free_range_ops_.empty()) {
+    range_ops_.push_back(std::make_unique<RangeOp>());
+    return range_ops_.back().get();
+  }
+  RangeOp* op = free_range_ops_.back();
+  free_range_ops_.pop_back();
+  return op;
+}
+
+void PfsClient::release_range_op(RangeOp* op) {
+  op->data.reset();
+  op->on_complete.reset();
+  op->on_strip.reset();
+  op->outstanding = 0;
+  op->issuing = false;
+  free_range_ops_.push_back(op);
+}
+
+void PfsClient::finish_range_op(RangeOp* op) {
+  RangeDoneFn done = std::move(op->on_complete);
+  release_range_op(op);
+  if (done) done();
+}
+
+void PfsClient::write_ack(RangeOp* op) {
+  DAS_REQUIRE(op->outstanding > 0);
+  if (--op->outstanding == 0 && !op->issuing) finish_range_op(op);
+}
+
+void PfsClient::read_range(FileId file, std::uint64_t offset,
+                           std::uint64_t length, RangeDoneFn on_complete,
+                           RangeStripFn on_strip) {
   const FileMeta& meta = pfs_.meta(file);
   const Layout& layout = pfs_.layout(file);
   DAS_REQUIRE(length > 0);
@@ -23,11 +51,12 @@ void PfsClient::read_range(
 
   const std::uint64_t first = meta.strip_of_byte(offset);
   const std::uint64_t last = meta.strip_of_byte(offset + length - 1);
-  auto outstanding = std::make_shared<std::uint64_t>(last - first + 1);
-  auto done = std::make_shared<std::function<void()>>(std::move(on_complete));
-  auto strip_cb = std::make_shared<
-      std::function<void(StripRef, std::vector<std::byte>)>>(
-      std::move(on_strip));
+
+  RangeOp* op = acquire_range_op();
+  op->file = file;
+  op->outstanding = last - first + 1;
+  op->on_complete = std::move(on_complete);
+  op->on_strip = std::move(on_strip);
 
   bytes_read_ += length;
 
@@ -44,28 +73,22 @@ void PfsClient::read_range(
     // Request message travels to the server, then the server reads and ships
     // the payload back.
     net_.send_control(
-        node_, server.node(),
-        [this, &server, file, s, within, want, ref, lo, outstanding, done,
-         strip_cb]() {
+        node_, server.node(), [this, &server, op, s, within, want, lo]() {
           server.serve_read(
-              file, s, within, want, node_, net::TrafficClass::kClientServer,
-              [ref, lo, want, outstanding, done,
-               strip_cb](std::vector<std::byte> payload) {
-                if (*strip_cb) {
-                  (*strip_cb)(StripRef{ref.index, lo, want},
-                              std::move(payload));
-                }
-                DAS_REQUIRE(*outstanding > 0);
-                if (--*outstanding == 0 && *done) (*done)();
+              op->file, s, within, want, node_,
+              net::TrafficClass::kClientServer,
+              [this, op, s, lo, want](const StripBuffer& payload) {
+                if (op->on_strip) op->on_strip(StripRef{s, lo, want}, payload);
+                DAS_REQUIRE(op->outstanding > 0);
+                if (--op->outstanding == 0) finish_range_op(op);
               });
         });
   }
 }
 
 void PfsClient::write_range(FileId file, std::uint64_t offset,
-                            std::uint64_t length,
-                            const std::vector<std::byte>& data,
-                            std::function<void()> on_complete) {
+                            std::uint64_t length, StripBuffer data,
+                            RangeDoneFn on_complete) {
   const FileMeta& meta = pfs_.meta(file);
   const Layout& layout = pfs_.layout(file);
   DAS_REQUIRE(length > 0);
@@ -79,43 +102,54 @@ void PfsClient::write_range(FileId file, std::uint64_t offset,
   const std::uint64_t last = meta.strip_of_byte(offset + length - 1);
   const std::uint64_t num_strips = meta.num_strips();
 
-  auto outstanding = std::make_shared<std::uint64_t>(0);
-  auto issuing = std::make_shared<bool>(true);
-  auto done = std::make_shared<std::function<void()>>(std::move(on_complete));
-  auto ack = [outstanding, issuing, done]() {
-    DAS_REQUIRE(*outstanding > 0);
-    if (--*outstanding == 0 && !*issuing && *done) (*done)();
-  };
+  RangeOp* op = acquire_range_op();
+  op->file = file;
+  op->base_offset = offset;
+  op->data = std::move(data);
+  op->issuing = true;
+  op->on_complete = std::move(on_complete);
 
   bytes_written_ += length;
 
   for (std::uint64_t s = first; s <= last; ++s) {
     const StripRef ref = meta.strip(s);
-    std::vector<std::byte> payload;
-    if (!data.empty()) {
-      const std::uint64_t rel = ref.offset - offset;
-      payload.assign(data.begin() + static_cast<std::ptrdiff_t>(rel),
-                     data.begin() +
-                         static_cast<std::ptrdiff_t>(rel + ref.length));
-    }
-
     for (const ServerIndex holder : layout.holders(s, num_strips)) {
       PfsServer& server = pfs_.server(holder);
-      ++*outstanding;
+      ++op->outstanding;
       net_.send(net::Message{
           node_, server.node(), ref.length, net::TrafficClass::kClientServer,
-          [&server, file, ref, payload, this, ack]() mutable {
-            server.serve_write(file, ref, std::move(payload), node_,
-                               net::TrafficClass::kControl, ack);
+          [this, &server, op, ref]() {
+            StripBuffer payload;
+            if (!op->data.empty()) {
+              payload = op->data.view(ref.offset - op->base_offset, ref.length);
+            }
+            server.serve_write(op->file, ref, std::move(payload), node_,
+                               net::TrafficClass::kControl,
+                               [this, op]() { write_ack(op); });
           }});
     }
   }
 
-  *issuing = false;
-  if (*outstanding == 0 && *done) {
-    sim_.schedule_after(net_.config().wire_latency, [done]() { (*done)(); },
-                        "pfs.write_noop");
+  op->issuing = false;
+  if (op->outstanding == 0) {
+    if (op->on_complete) {
+      // Same no-op completion event as always (keeps event counts, and
+      // therefore traces, identical whether or not anything was written).
+      sim_.schedule_after(net_.config().wire_latency,
+                          [this, op]() { finish_range_op(op); },
+                          "pfs.write_noop");
+    } else {
+      release_range_op(op);
+    }
   }
+}
+
+void PfsClient::write_range(FileId file, std::uint64_t offset,
+                            std::uint64_t length,
+                            const std::vector<std::byte>& data,
+                            RangeDoneFn on_complete) {
+  write_range(file, offset, length, StripBuffer::copy_of(data),
+              std::move(on_complete));
 }
 
 }  // namespace das::pfs

@@ -5,16 +5,32 @@
 // request out to every server holding an affected strip, gathering the
 // responses. Active-storage requests bypass this path (they are handled by
 // the Active Storage Client in src/core).
+//
+// Hot-path plumbing: each in-flight range is a pooled RangeOp record, so
+// the request/response callbacks capture a handful of words (always inline
+// in the event node) and a write's payload is sliced into shared
+// StripBuffer views — one payload block for the whole range, zero copies.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
-#include <functional>
+#include <memory>
+#include <vector>
 
 #include "net/network.hpp"
 #include "pfs/pfs.hpp"
+#include "pfs/strip_buffer.hpp"
+#include "simkit/inplace_fn.hpp"
 #include "simkit/simulator.hpp"
 
 namespace das::pfs {
+
+/// Range-completion callback.
+using RangeDoneFn = sim::InplaceFn<void()>;
+/// Per-strip delivery callback: the StripRef describes the delivered slice
+/// (index, byte offset in the file, length); the buffer is a shared view of
+/// the server's stored bytes (empty in timing-only mode).
+using RangeStripFn = sim::InplaceFn<void(StripRef, const StripBuffer&)>;
 
 class PfsClient {
  public:
@@ -22,37 +38,65 @@ class PfsClient {
   PfsClient(sim::Simulator& simulator, net::Network& network, Pfs& pfs,
             net::NodeId node);
 
+  PfsClient(const PfsClient&) = delete;
+  PfsClient& operator=(const PfsClient&) = delete;
+
   [[nodiscard]] net::NodeId node() const { return node_; }
 
   /// Read [offset, offset+length) of `file`. `on_strip` (optional) runs at
   /// this node as each strip's payload arrives; `on_complete` runs once all
   /// data has arrived. Partial strips at the range edges are read exactly
   /// (no over-read).
-  void read_range(
-      FileId file, std::uint64_t offset, std::uint64_t length,
-      std::function<void()> on_complete,
-      std::function<void(StripRef, std::vector<std::byte>)> on_strip = {});
+  void read_range(FileId file, std::uint64_t offset, std::uint64_t length,
+                  RangeDoneFn on_complete, RangeStripFn on_strip = {});
 
-  /// Write [offset, offset+data.size()) of `file`. Writes must be
-  /// strip-aligned (offset and length multiples of the strip size, except
-  /// the final strip). Every holder of a strip (primary + replicas)
-  /// receives the update. `data` may be empty in timing-only mode, in which
-  /// case `length` gives the logical size.
+  /// Write [offset, offset+length) of `file`. Writes must be strip-aligned
+  /// (offset and length multiples of the strip size, except the final
+  /// strip). Every holder of a strip (primary + replicas) receives the
+  /// update as a shared view of `data`. `data` may be empty in timing-only
+  /// mode, in which case `length` gives the logical size.
+  void write_range(FileId file, std::uint64_t offset, std::uint64_t length,
+                   StripBuffer data, RangeDoneFn on_complete);
+
+  /// Convenience for callers holding a plain byte vector: copies `data`
+  /// into a pooled StripBuffer once, then writes as above.
   void write_range(FileId file, std::uint64_t offset, std::uint64_t length,
                    const std::vector<std::byte>& data,
-                   std::function<void()> on_complete);
+                   RangeDoneFn on_complete);
 
   /// Total payload bytes this client has received / sent.
   [[nodiscard]] std::uint64_t bytes_read() const { return bytes_read_; }
   [[nodiscard]] std::uint64_t bytes_written() const { return bytes_written_; }
 
  private:
+  /// One in-flight read_range/write_range: completion state and (for
+  /// writes) the whole-range payload the per-strip views slice. Pooled so
+  /// the per-strip callbacks capture only {this, op, strip geometry}.
+  struct RangeOp {
+    FileId file{};
+    std::uint64_t base_offset = 0;
+    StripBuffer data;  // write payload; empty for reads / timing mode
+    std::uint64_t outstanding = 0;
+    bool issuing = false;
+    RangeDoneFn on_complete;
+    RangeStripFn on_strip;
+  };
+
+  [[nodiscard]] RangeOp* acquire_range_op();
+  void release_range_op(RangeOp* op);
+  /// Run the op's completion (if any) after recycling the record, so the
+  /// callback may start a new range without growing the pool.
+  void finish_range_op(RangeOp* op);
+  void write_ack(RangeOp* op);
+
   sim::Simulator& sim_;
   net::Network& net_;
   Pfs& pfs_;
   net::NodeId node_;
   std::uint64_t bytes_read_ = 0;
   std::uint64_t bytes_written_ = 0;
+  std::vector<std::unique_ptr<RangeOp>> range_ops_;
+  std::vector<RangeOp*> free_range_ops_;
 };
 
 }  // namespace das::pfs

@@ -48,8 +48,11 @@ struct FileMeta {
     return (size_bytes + strip_size - 1) / strip_size;
   }
 
-  /// Paper Eq. 1: the strip holding element `i`.
+  /// Paper Eq. 1: the strip holding element `i`. The product is 64-bit but
+  /// only meaningful for elements inside the file, so out-of-range indexes
+  /// (which would silently map past EOF) are rejected.
   [[nodiscard]] std::uint64_t strip_of_element(std::uint64_t i) const {
+    DAS_REQUIRE(i < num_elements());
     return i * element_size / strip_size;
   }
 

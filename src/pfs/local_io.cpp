@@ -77,7 +77,7 @@ std::vector<std::byte> LocalIo::read_run(const LocalRun& run) const {
 
   for (std::uint64_t s = lo; s <= hi; ++s) {
     const StripRef ref = meta.strip(s);
-    const auto& bytes = store.bytes(file_, s);
+    const auto bytes = store.bytes(file_, s);
     DAS_REQUIRE(bytes.size() == ref.length);
     std::copy(bytes.begin(), bytes.end(),
               out.begin() + static_cast<std::ptrdiff_t>(ref.offset - base));

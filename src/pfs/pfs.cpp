@@ -63,15 +63,17 @@ FileId Pfs::create_file(FileMeta meta, std::unique_ptr<Layout> layout,
 
   const auto file = static_cast<FileId>(files_.size());
   const std::uint64_t n = meta.num_strips();
+  // One payload block for the whole file; every holder's strip is a shared
+  // view into it (replicas share bytes with the primary — loading a
+  // data-bearing file costs one copy total, not one per placed strip).
+  StripBuffer contents;
+  if (data != nullptr) contents = StripBuffer::copy_of(*data);
+  for (const auto& server : servers_) server->store().reserve_file(file, n);
   for (std::uint64_t s = 0; s < n; ++s) {
     const StripRef ref = meta.strip(s);
     for (const ServerIndex holder : layout->holders(s, n)) {
-      std::vector<std::byte> bytes;
-      if (data != nullptr) {
-        bytes.assign(
-            data->begin() + static_cast<std::ptrdiff_t>(ref.offset),
-            data->begin() + static_cast<std::ptrdiff_t>(ref.offset + ref.length));
-      }
+      StripBuffer bytes;
+      if (!contents.empty()) bytes = contents.view(ref.offset, ref.length);
       servers_[holder]->store().put(file, s, ref.length, std::move(bytes));
     }
   }
@@ -128,9 +130,9 @@ std::uint64_t Pfs::redistribute(FileId file,
       bytes_moved += ref.length;
       ++*outstanding;
 
-      // Copy the payload now so later erases cannot drop it.
-      std::vector<std::byte> payload =
-          servers_[source]->store().bytes(file, s);
+      // Take a shared handle on the payload now: a later erase drops only
+      // the store's reference, not the block this transfer carries.
+      StripBuffer payload = servers_[source]->store().buffer(file, s);
       const net::NodeId src_node = server_nodes_[source];
       const net::NodeId dst_node = server_nodes_[target];
       PfsServer& src_server = *servers_[source];
@@ -181,7 +183,7 @@ std::vector<std::byte> Pfs::gather_bytes(FileId file) const {
   for (std::uint64_t s = 0; s < n; ++s) {
     const StripRef ref = entry.meta.strip(s);
     const ServerIndex holder = entry.layout->primary(s);
-    const auto& bytes = servers_[holder]->store().bytes(file, s);
+    const auto bytes = servers_[holder]->store().bytes(file, s);
     DAS_REQUIRE(bytes.size() == ref.length);
     std::copy(bytes.begin(), bytes.end(),
               out.begin() + static_cast<std::ptrdiff_t>(ref.offset));

@@ -127,10 +127,24 @@ void HaloPrefetcher::pump() {
   }
 }
 
+HaloPrefetcher::InFlight& HaloPrefetcher::track(const cache::CacheKey& key) {
+  if (spare_flights_.empty()) {
+    const auto [it, inserted] = in_flight_.try_emplace(key);
+    DAS_REQUIRE(inserted);
+    return it->second;
+  }
+  auto nh = std::move(spare_flights_.back());
+  spare_flights_.pop_back();
+  nh.key() = key;
+  const auto result = in_flight_.insert(std::move(nh));
+  DAS_REQUIRE(result.inserted);
+  return result.position->second;
+}
+
 void HaloPrefetcher::issue(const PrefetchItem& item, bool prefetch_initiated,
                            DataHandler waiter) {
   const cache::CacheKey key{item.file, item.strip};
-  InFlight& flight = in_flight_[key];
+  InFlight& flight = track(key);
   flight.length = item.length;
   flight.prefetch_initiated = prefetch_initiated;
   if (waiter) flight.waiters.push_back(std::move(waiter));
@@ -150,18 +164,20 @@ void HaloPrefetcher::issue(const PrefetchItem& item, bool prefetch_initiated,
         source.serve_read(static_cast<FileId>(item.file), item.strip, 0,
                           item.length, owner_.node(),
                           net::TrafficClass::kServerServer,
-                          [this, key](std::vector<std::byte> payload) {
-                            land(key, std::move(payload));
+                          [this, key](const StripBuffer& payload) {
+                            land(key, payload);
                           });
       });
 }
 
 void HaloPrefetcher::land(const cache::CacheKey& key,
-                          std::vector<std::byte> payload) {
+                          const StripBuffer& payload) {
   const auto it = in_flight_.find(key);
   DAS_REQUIRE(it != in_flight_.end());
-  InFlight flight = std::move(it->second);
-  in_flight_.erase(it);
+  // Detach the record before touching the cache or waiters (either may
+  // re-enter the prefetcher); the node is recycled at the end.
+  auto nh = in_flight_.extract(it);
+  InFlight& flight = nh.mapped();
   if (flight.prefetch_initiated) {
     DAS_REQUIRE(prefetches_in_flight_ > 0);
     --prefetches_in_flight_;
@@ -175,15 +191,21 @@ void HaloPrefetcher::land(const cache::CacheKey& key,
     // Admit before waking waiters so anything they trigger sees the strip
     // resident. A fetch the sweep never asked for is a true prefetch; one
     // with demand waiters is accounted as an ordinary (miss-driven) insert.
-    std::vector<std::byte> copy = payload;
+    // The cache shares the landed payload block — no copy either way.
     if (flight.prefetch_initiated && flight.waiters.empty()) {
-      cached->admit_prefetched(key, flight.length, std::move(copy));
+      cached->admit_prefetched(key, flight.length, StripBuffer(payload));
     } else {
-      cached->insert(key, flight.length, std::move(copy));
+      cached->insert(key, flight.length, StripBuffer(payload));
     }
   }
 
   for (DataHandler& waiter : flight.waiters) waiter(payload);
+
+  flight.waiters.clear();  // keeps capacity for the node's next flight
+  flight.stale = false;
+  flight.prefetch_initiated = false;
+  flight.length = 0;
+  spare_flights_.push_back(std::move(nh));
   schedule_pump();
 }
 

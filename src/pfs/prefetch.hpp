@@ -20,6 +20,8 @@
 #include <vector>
 
 #include "cache/eviction.hpp"
+#include "pfs/strip_buffer.hpp"
+#include "simkit/inplace_fn.hpp"
 
 namespace das::net {
 class Network;
@@ -71,7 +73,10 @@ struct PrefetchItem {
 class HaloPrefetcher {
  public:
   using PeerResolver = std::function<PfsServer&(std::uint32_t)>;
-  using DataHandler = std::function<void(const std::vector<std::byte>&)>;
+  /// Demand-waiter callback; receives a shared view of the landed strip
+  /// (empty in timing-only mode). Move-only and inline-stored — a waiter
+  /// costs no allocation beyond its slot in the in-flight record.
+  using DataHandler = sim::InplaceFn<void(const StripBuffer&)>;
 
   HaloPrefetcher(sim::Simulator& simulator, net::Network& network,
                  PfsServer& owner, const PrefetchConfig& config,
@@ -113,6 +118,8 @@ class HaloPrefetcher {
     std::vector<DataHandler> waiters;  // demand fetches coalesced onto this
   };
 
+  using FlightMap = std::map<cache::CacheKey, InFlight>;
+
   void pump();
   /// Refill the lookahead window on the next event-loop tick, after every
   /// reservation made in the current callback. NIC bandwidth is granted in
@@ -121,7 +128,10 @@ class HaloPrefetcher {
   void schedule_pump();
   void issue(const PrefetchItem& item, bool prefetch_initiated,
              DataHandler waiter);
-  void land(const cache::CacheKey& key, std::vector<std::byte> payload);
+  void land(const cache::CacheKey& key, const StripBuffer& payload);
+  /// Insert a fresh in-flight record for `key`, reusing a recycled map node
+  /// (and its waiters vector's capacity) when one is available.
+  [[nodiscard]] InFlight& track(const cache::CacheKey& key);
 
   sim::Simulator& sim_;
   net::Network& net_;
@@ -129,7 +139,8 @@ class HaloPrefetcher {
   PrefetchConfig config_;
   PeerResolver peer_;
   std::deque<PrefetchItem> queue_;
-  std::map<cache::CacheKey, InFlight> in_flight_;
+  FlightMap in_flight_;
+  std::vector<FlightMap::node_type> spare_flights_;  // recycled map nodes
   std::uint32_t prefetches_in_flight_ = 0;
   bool pump_scheduled_ = false;
   PrefetchStats stats_;

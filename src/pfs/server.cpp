@@ -24,10 +24,41 @@ void PfsServer::attach_prefetcher(std::unique_ptr<HaloPrefetcher> prefetcher) {
   prefetcher_ = std::move(prefetcher);
 }
 
-void PfsServer::serve_read(
-    FileId file, std::uint64_t strip, std::uint64_t offset_in_strip,
-    std::uint64_t length, net::NodeId requester, net::TrafficClass cls,
-    std::function<void(std::vector<std::byte>)> on_data) {
+PfsServer::ReadOp* PfsServer::acquire_read_op() {
+  if (free_read_ops_.empty()) {
+    read_ops_.push_back(std::make_unique<ReadOp>());
+    return read_ops_.back().get();
+  }
+  ReadOp* op = free_read_ops_.back();
+  free_read_ops_.pop_back();
+  return op;
+}
+
+void PfsServer::release_read_op(ReadOp* op) {
+  op->payload.reset();
+  op->handler.reset();
+  free_read_ops_.push_back(op);
+}
+
+PfsServer::AckOp* PfsServer::acquire_ack_op() {
+  if (free_ack_ops_.empty()) {
+    ack_ops_.push_back(std::make_unique<AckOp>());
+    return ack_ops_.back().get();
+  }
+  AckOp* op = free_ack_ops_.back();
+  free_ack_ops_.pop_back();
+  return op;
+}
+
+void PfsServer::release_ack_op(AckOp* op) {
+  op->on_ack.reset();
+  free_ack_ops_.push_back(op);
+}
+
+void PfsServer::serve_read(FileId file, std::uint64_t strip,
+                           std::uint64_t offset_in_strip, std::uint64_t length,
+                           net::NodeId requester, net::TrafficClass cls,
+                           StripDataFn on_data) {
   DAS_REQUIRE(store_.has(file, strip));
   DAS_REQUIRE(offset_in_strip + length <= store_.length(file, strip));
 
@@ -38,40 +69,53 @@ void PfsServer::serve_read(
   const sim::SimTime read_done =
       disk_.read(sim_.now(), disk_off + offset_in_strip, length);
 
-  // Slice out the payload now (store contents may change later).
-  std::vector<std::byte> payload;
-  const auto& stored = store_.bytes(file, strip);
+  // Slice a shared view of the payload now (a later put would swap in a new
+  // payload block; this handle keeps the bytes the read observed). No copy.
+  ReadOp* op = acquire_read_op();
+  const StripBuffer& stored = store_.buffer(file, strip);
   if (!stored.empty()) {
-    payload.assign(stored.begin() + static_cast<std::ptrdiff_t>(offset_in_strip),
-                   stored.begin() +
-                       static_cast<std::ptrdiff_t>(offset_in_strip + length));
+    op->payload = stored.view(offset_in_strip, length);
   }
+  op->handler = std::move(on_data);
+  op->length = length;
+  op->requester = requester;
+  op->cls = cls;
 
   sim_.schedule_at(
       read_done,
-      [this, length, requester, cls, payload = std::move(payload),
-       on_data = std::move(on_data)]() mutable {
-        net_.send(net::Message{
-            node_, requester, length, cls,
-            on_data ? std::function<void()>(
-                          [payload = std::move(payload),
-                           on_data = std::move(on_data)]() mutable {
-                            on_data(std::move(payload));
-                          })
-                    : std::function<void()>()});
+      [this, op]() {
+        if (op->handler) {
+          net_.send(net::Message{node_, op->requester, op->length, op->cls,
+                                 [this, op]() {
+                                   op->handler(op->payload);
+                                   release_read_op(op);
+                                 }});
+        } else {
+          // No receiver-side handler: same message on the wire, but no
+          // delivery event is scheduled (Network::send skips empty
+          // callbacks), exactly like the pre-buffer code path.
+          net_.send(net::Message{node_, op->requester, op->length, op->cls,
+                                 nullptr});
+          release_read_op(op);
+        }
       },
       "pfs.read_done");
 }
 
 void PfsServer::serve_write(FileId file, const StripRef& strip,
-                            std::vector<std::byte> data,
-                            net::NodeId requester, net::TrafficClass cls,
-                            std::function<void()> on_ack) {
+                            StripBuffer data, net::NodeId requester,
+                            net::TrafficClass cls, net::DeliveryFn on_ack) {
   const sim::SimTime write_done = write_local(file, strip, std::move(data));
+  AckOp* op = acquire_ack_op();
+  op->on_ack = std::move(on_ack);
+  op->requester = requester;
+  op->cls = cls;
   sim_.schedule_at(
       write_done,
-      [this, requester, cls, on_ack = std::move(on_ack)]() mutable {
-        net_.send(net::Message{node_, requester, 0, cls, std::move(on_ack)});
+      [this, op]() {
+        net_.send(net::Message{node_, op->requester, 0, op->cls,
+                               std::move(op->on_ack)});
+        release_ack_op(op);
       },
       "pfs.write_done");
 }
@@ -83,7 +127,7 @@ sim::SimTime PfsServer::read_local(FileId file, std::uint64_t strip) {
 }
 
 sim::SimTime PfsServer::write_local(FileId file, const StripRef& strip,
-                                    std::vector<std::byte> data) {
+                                    StripBuffer data) {
   if (hub_ != nullptr) hub_->invalidate(cache::CacheKey{file, strip.index});
   store_.put(file, strip.index, strip.length, std::move(data));
   return disk_.write(sim_.now(), store_.disk_offset(file, strip.index),

@@ -6,10 +6,14 @@
 // server takes on when *other* servers fetch dependent strips from it (the
 // first NAS penalty identified in the paper, §IV-B1) shows up here as disk
 // and NIC reservations that delay the node's own work.
+//
+// Hot-path plumbing: read/write completions are pooled operation records
+// (ReadOp/AckOp) so the event callbacks capture only {this, op} — 16 bytes,
+// always inline in the event node — and the payload travels as a shared
+// StripBuffer view of the store's bytes, never a copy.
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <vector>
 
@@ -17,12 +21,17 @@
 #include "net/network.hpp"
 #include "pfs/file.hpp"
 #include "pfs/store.hpp"
+#include "pfs/strip_buffer.hpp"
 #include "simkit/simulator.hpp"
 #include "storage/disk.hpp"
 
 namespace das::pfs {
 
 class HaloPrefetcher;
+
+/// Callback delivering a strip payload at the requester (empty buffer in
+/// timing-only mode).
+using StripDataFn = sim::InplaceFn<void(const StripBuffer&)>;
 
 class PfsServer {
  public:
@@ -42,19 +51,19 @@ class PfsServer {
   /// Serve a read request that has already arrived at this server: read
   /// `length` bytes starting `offset_in_strip` into the strip from disk,
   /// then ship them to `requester`. `on_data` (optional) runs at the
-  /// requester when the data has fully arrived, receiving the bytes (empty
-  /// in timing-only mode).
+  /// requester when the data has fully arrived, receiving a shared view of
+  /// the stored bytes (empty in timing-only mode).
   void serve_read(FileId file, std::uint64_t strip,
                   std::uint64_t offset_in_strip, std::uint64_t length,
                   net::NodeId requester, net::TrafficClass cls,
-                  std::function<void(std::vector<std::byte>)> on_data);
+                  StripDataFn on_data);
 
   /// Serve a write whose payload has already arrived: write to disk, store
   /// the bytes, then deliver a zero-payload ack to `requester`.
   /// `on_ack` (optional) runs at the requester when the ack arrives.
-  void serve_write(FileId file, const StripRef& strip,
-                   std::vector<std::byte> data, net::NodeId requester,
-                   net::TrafficClass cls, std::function<void()> on_ack);
+  void serve_write(FileId file, const StripRef& strip, StripBuffer data,
+                   net::NodeId requester, net::TrafficClass cls,
+                   net::DeliveryFn on_ack);
 
   /// Local (no-network) strip read for the active-storage path.
   /// Reserves the disk and returns the completion time.
@@ -63,7 +72,7 @@ class PfsServer {
   /// Local strip write (creates the strip if new). Invalidates the strip in
   /// every attached remote-strip cache — peers may hold a stale halo copy.
   sim::SimTime write_local(FileId file, const StripRef& strip,
-                           std::vector<std::byte> data);
+                           StripBuffer data);
 
   /// Attach this server's remote-strip cache and the PFS-wide invalidation
   /// hub (both owned by the Pfs; either may be null = caching off).
@@ -96,6 +105,30 @@ class PfsServer {
   }
 
  private:
+  /// One in-flight remote read: the sliced payload view and the requester's
+  /// handler, parked here so the disk-done and delivery events capture only
+  /// {this, op}. Recycled through a free list — steady state allocates
+  /// nothing.
+  struct ReadOp {
+    StripBuffer payload;
+    StripDataFn handler;
+    std::uint64_t length = 0;
+    net::NodeId requester = net::kInvalidNode;
+    net::TrafficClass cls = net::TrafficClass::kControl;
+  };
+
+  /// One pending write ack (same pooling idea as ReadOp).
+  struct AckOp {
+    net::DeliveryFn on_ack;
+    net::NodeId requester = net::kInvalidNode;
+    net::TrafficClass cls = net::TrafficClass::kControl;
+  };
+
+  [[nodiscard]] ReadOp* acquire_read_op();
+  void release_read_op(ReadOp* op);
+  [[nodiscard]] AckOp* acquire_ack_op();
+  void release_ack_op(AckOp* op);
+
   sim::Simulator& sim_;
   net::Network& net_;
   net::NodeId node_;
@@ -106,6 +139,10 @@ class PfsServer {
   cache::StripCache* cache_ = nullptr;
   cache::InvalidationHub* hub_ = nullptr;
   std::unique_ptr<HaloPrefetcher> prefetcher_;
+  std::vector<std::unique_ptr<ReadOp>> read_ops_;
+  std::vector<ReadOp*> free_read_ops_;
+  std::vector<std::unique_ptr<AckOp>> ack_ops_;
+  std::vector<AckOp*> free_ack_ops_;
 };
 
 }  // namespace das::pfs

@@ -6,39 +6,62 @@
 
 namespace das::pfs {
 
+void ServerStore::reserve_file(FileId file, std::uint64_t num_strips) {
+  if (file >= files_.size()) files_.resize(file + 1);
+  if (files_[file].size() < num_strips) files_[file].resize(num_strips);
+}
+
+ServerStore::StripSlot& ServerStore::slot_for(FileId file,
+                                              std::uint64_t strip) {
+  if (file >= files_.size()) files_.resize(file + 1);
+  auto& table = files_[file];
+  if (strip >= table.size()) table.resize(strip + 1);
+  return table[strip];
+}
+
 void ServerStore::put(FileId file, std::uint64_t strip, std::uint64_t length,
-                      std::vector<std::byte> bytes) {
-  DAS_REQUIRE(bytes.empty() || bytes.size() == length);
-  const auto key = std::make_pair(file, strip);
-  auto it = strips_.find(key);
-  if (it == strips_.end()) {
-    StripData data;
-    data.length = length;
-    data.disk_offset = next_disk_offset_;
-    data.bytes = std::move(bytes);
-    next_disk_offset_ += length;
+                      StripBuffer payload) {
+  DAS_REQUIRE(payload.empty() || payload.size() == length);
+  StripSlot& slot = slot_for(file, strip);
+  if (!slot.present) {
+    // A slot that held this strip before keeps its disk position (stable
+    // across erase/re-put); a genuinely new strip is appended to the disk.
+    if (!slot.placed) {
+      slot.disk_offset = next_disk_offset_;
+      next_disk_offset_ += length;
+      slot.placed = true;
+    } else {
+      DAS_REQUIRE(slot.length == length);
+    }
+    slot.length = length;
+    slot.present = true;
     stored_bytes_ += length;
-    strips_.emplace(key, std::move(data));
+    ++strip_count_;
   } else {
-    DAS_REQUIRE(it->second.length == length);
-    it->second.bytes = std::move(bytes);
+    DAS_REQUIRE(slot.length == length);
   }
+  slot.payload = std::move(payload);
 }
 
 bool ServerStore::has(FileId file, std::uint64_t strip) const {
-  return strips_.contains(std::make_pair(file, strip));
+  return file < files_.size() && strip < files_[file].size() &&
+         files_[file][strip].present;
 }
 
-const ServerStore::StripData& ServerStore::find(FileId file,
+const ServerStore::StripSlot& ServerStore::find(FileId file,
                                                 std::uint64_t strip) const {
-  const auto it = strips_.find(std::make_pair(file, strip));
-  DAS_REQUIRE(it != strips_.end());
-  return it->second;
+  DAS_REQUIRE(has(file, strip));
+  return files_[file][strip];
 }
 
-const std::vector<std::byte>& ServerStore::bytes(FileId file,
-                                                 std::uint64_t strip) const {
-  return find(file, strip).bytes;
+const StripBuffer& ServerStore::buffer(FileId file,
+                                       std::uint64_t strip) const {
+  return find(file, strip).payload;
+}
+
+std::span<const std::byte> ServerStore::bytes(FileId file,
+                                              std::uint64_t strip) const {
+  return find(file, strip).payload.span();
 }
 
 std::uint64_t ServerStore::disk_offset(FileId file,
@@ -51,12 +74,14 @@ std::uint64_t ServerStore::length(FileId file, std::uint64_t strip) const {
 }
 
 void ServerStore::erase(FileId file, std::uint64_t strip) {
-  const auto it = strips_.find(std::make_pair(file, strip));
-  DAS_REQUIRE(it != strips_.end());
-  stored_bytes_ -= it->second.length;
-  strips_.erase(it);
+  DAS_REQUIRE(has(file, strip));
+  StripSlot& slot = files_[file][strip];
+  DAS_REQUIRE(stored_bytes_ >= slot.length);
+  stored_bytes_ -= slot.length;
+  --strip_count_;
+  slot.present = false;
+  slot.payload.reset();
+  // length/disk_offset stay: a re-put of the same strip reuses them.
 }
-
-std::size_t ServerStore::strip_count() const { return strips_.size(); }
 
 }  // namespace das::pfs

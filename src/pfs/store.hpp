@@ -5,31 +5,54 @@
 // Strips are placed on disk in the order they are created, so a server
 // scanning its strips in ascending order streams sequentially — matching how
 // a PFS server lays out stripe data in practice.
+//
+// The index is a per-file flat strip table (vector indexed by strip id,
+// presized from FileMeta::num_strips() via reserve_file), so the hot
+// has/buffer/disk_offset lookups are two array indexings instead of a
+// red-black-tree walk over (FileId, strip) pairs. Payloads are shared
+// StripBuffer handles: put() publishes a buffer, readers refcount it, and a
+// replacement put() swaps the handle without copying bytes.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
-#include <map>
+#include <span>
 #include <vector>
 
 #include "pfs/file.hpp"
+#include "pfs/strip_buffer.hpp"
 
 namespace das::pfs {
 
 class ServerStore {
  public:
-  /// Create-or-replace strip data. Assigns a disk position on first insert.
-  /// `bytes` may be empty in timing-only simulations; `length` is the strip's
-  /// logical length either way.
+  /// Presize the strip table of `file` (idempotent; called by the Pfs when
+  /// the file is created). put() grows tables on demand for callers that
+  /// use a bare store.
+  void reserve_file(FileId file, std::uint64_t num_strips);
+
+  /// Create-or-replace strip data. Assigns a disk position on first insert;
+  /// an erased strip that is re-put with its original length gets its old
+  /// disk position back (offsets are stable across erase/re-put, so a
+  /// re-layout round trip cannot silently defragment the disk model).
+  /// `payload` may be empty in timing-only simulations; `length` is the
+  /// strip's logical length either way.
   void put(FileId file, std::uint64_t strip, std::uint64_t length,
-           std::vector<std::byte> bytes);
+           StripBuffer payload);
 
   /// True if this server stores the strip.
   [[nodiscard]] bool has(FileId file, std::uint64_t strip) const;
 
-  /// The stored bytes (empty in timing-only mode). Requires has().
-  [[nodiscard]] const std::vector<std::byte>& bytes(FileId file,
-                                                    std::uint64_t strip) const;
+  /// Shared handle onto the stored payload (empty in timing-only mode).
+  /// The handle stays valid — and immutable — even if the strip is later
+  /// replaced or erased. Requires has().
+  [[nodiscard]] const StripBuffer& buffer(FileId file,
+                                          std::uint64_t strip) const;
+
+  /// The stored bytes as a view (empty in timing-only mode). Requires
+  /// has(). Valid until the strip is replaced or erased.
+  [[nodiscard]] std::span<const std::byte> bytes(FileId file,
+                                                 std::uint64_t strip) const;
 
   /// Disk byte position of the strip on this server. Requires has().
   [[nodiscard]] std::uint64_t disk_offset(FileId file,
@@ -45,20 +68,24 @@ class ServerStore {
   [[nodiscard]] std::uint64_t stored_bytes() const { return stored_bytes_; }
 
   /// Number of strips stored.
-  [[nodiscard]] std::size_t strip_count() const;
+  [[nodiscard]] std::size_t strip_count() const { return strip_count_; }
 
  private:
-  struct StripData {
+  struct StripSlot {
     std::uint64_t length = 0;
     std::uint64_t disk_offset = 0;
-    std::vector<std::byte> bytes;
+    StripBuffer payload;
+    bool present = false;
+    bool placed = false;  // had a disk offset in an earlier life
   };
 
-  [[nodiscard]] const StripData& find(FileId file, std::uint64_t strip) const;
+  [[nodiscard]] const StripSlot& find(FileId file, std::uint64_t strip) const;
+  [[nodiscard]] StripSlot& slot_for(FileId file, std::uint64_t strip);
 
-  std::map<std::pair<FileId, std::uint64_t>, StripData> strips_;
+  std::vector<std::vector<StripSlot>> files_;  // [file][strip]
   std::uint64_t next_disk_offset_ = 0;
   std::uint64_t stored_bytes_ = 0;
+  std::size_t strip_count_ = 0;
 };
 
 }  // namespace das::pfs

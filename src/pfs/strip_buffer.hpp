@@ -1,0 +1,291 @@
+// Ref-counted immutable strip payload with a size-classed recycling pool.
+//
+// Every strip that flows server -> cache -> prefetcher -> client used to be
+// a fresh std::vector<std::byte> copy at each hop, so one halo fetch in
+// correctness mode touched the same bytes three or four times in host RAM —
+// the data-movement tax the paper argues against, paid a second time by the
+// simulator itself. A StripBuffer is a cheap handle (pointer + offset +
+// length) onto a shared immutable payload: handing a strip to the cache, a
+// demand waiter, and the wire message refcounts one allocation instead of
+// copying it. Payload allocations come from a thread-local size-classed
+// pool that recycles freed payloads, so the steady-state halo path performs
+// no heap allocation at all.
+//
+// Concurrency model: one simulation runs entirely on one thread (the sweep
+// runner gives each cell a worker thread), so refcounts are plain integers
+// and the pool is thread_local. A buffer must not be shared across threads.
+//
+// Ownership rule (DESIGN §10): any component may hold a StripBuffer across
+// simulated time; the payload stays alive and immutable until the last
+// handle drops. Writers never mutate a published payload — ServerStore::put
+// swaps in a new buffer, and readers holding the old handle keep the bytes
+// they observed (exactly the snapshot semantics the old copy-out gave).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <new>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "simkit/assert.hpp"
+
+namespace das::pfs {
+
+/// Allocation statistics of the thread-local payload pool. `fresh_allocs`
+/// counts real heap allocations; a steady-state halo path must drive it to
+/// zero (the bench_dataplane regression gate).
+struct BufferPoolStats {
+  std::uint64_t fresh_allocs = 0;    // payloads obtained from operator new
+  std::uint64_t pool_hits = 0;       // payloads recycled from a free list
+  std::uint64_t recycles = 0;        // payloads returned to a free list
+  std::uint64_t oversize_allocs = 0; // payloads too large for any class
+  std::uint64_t live_payloads = 0;   // currently referenced payloads
+};
+
+namespace detail {
+
+/// Payload header; the bytes follow it in the same allocation.
+struct PayloadBlock {
+  std::uint32_t refs = 1;
+  std::int32_t size_class = -1;  // -1: oversize, freed directly
+  std::uint64_t capacity = 0;
+
+  [[nodiscard]] std::byte* data() {
+    return reinterpret_cast<std::byte*>(this + 1);
+  }
+  [[nodiscard]] const std::byte* data() const {
+    return reinterpret_cast<const std::byte*>(this + 1);
+  }
+};
+
+/// Thread-local size-classed free lists. Classes are powers of two from
+/// kMinClassBytes up to kMaxClassBytes; a request is rounded up to its
+/// class so a 64 KiB strip and its short EOF tail recycle the same slabs.
+class BufferPool {
+ public:
+  static constexpr std::uint64_t kMinClassBytes = 4 * 1024;
+  static constexpr std::uint64_t kMaxClassBytes = 64ULL * 1024 * 1024;
+  static constexpr int kNumClasses = 15;  // 4 KiB .. 64 MiB
+
+  static BufferPool& local() {
+    thread_local BufferPool pool;
+    return pool;
+  }
+
+  [[nodiscard]] static int class_of(std::uint64_t bytes) {
+    std::uint64_t cap = kMinClassBytes;
+    for (int c = 0; c < kNumClasses; ++c, cap <<= 1) {
+      if (bytes <= cap) return c;
+    }
+    return -1;  // oversize
+  }
+
+  [[nodiscard]] PayloadBlock* acquire(std::uint64_t length) {
+    const int cls = class_of(length);
+    ++stats_.live_payloads;
+    if (cls >= 0 && !free_[static_cast<std::size_t>(cls)].empty()) {
+      PayloadBlock* block = free_[static_cast<std::size_t>(cls)].back();
+      free_[static_cast<std::size_t>(cls)].pop_back();
+      block->refs = 1;
+      ++stats_.pool_hits;
+      return block;
+    }
+    const std::uint64_t capacity =
+        cls >= 0 ? (kMinClassBytes << cls) : length;
+    auto* block = static_cast<PayloadBlock*>(
+        ::operator new(sizeof(PayloadBlock) + capacity));
+    block->refs = 1;
+    block->size_class = cls;
+    block->capacity = capacity;
+    if (cls >= 0) {
+      ++stats_.fresh_allocs;
+    } else {
+      ++stats_.oversize_allocs;
+    }
+    return block;
+  }
+
+  void release(PayloadBlock* block) {
+    DAS_ASSERT(stats_.live_payloads > 0);
+    --stats_.live_payloads;
+    if (block->size_class < 0) {
+      ::operator delete(block);
+      return;
+    }
+    ++stats_.recycles;
+    free_[static_cast<std::size_t>(block->size_class)].push_back(block);
+  }
+
+  /// Free every pooled payload (tests / RSS trimming).
+  void trim() {
+    for (auto& list : free_) {
+      for (PayloadBlock* block : list) ::operator delete(block);
+      list.clear();
+    }
+  }
+
+  [[nodiscard]] const BufferPoolStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = BufferPoolStats{.live_payloads = stats_.live_payloads}; }
+
+  ~BufferPool() { trim(); }
+
+ private:
+  std::vector<PayloadBlock*> free_[kNumClasses];
+  BufferPoolStats stats_;
+};
+
+}  // namespace detail
+
+/// Shared immutable view of a strip payload: payload pointer + byte offset
+/// + length. Copying a StripBuffer bumps a refcount; the payload returns to
+/// the pool when the last handle drops. An empty (default) buffer carries
+/// no payload — the timing-only mode of the stores and caches.
+class StripBuffer {
+ public:
+  StripBuffer() = default;
+
+  /// A writable payload of `length` bytes (zero-filled). Fill through
+  /// mutable_data() before sharing; once a second handle exists the
+  /// contents are frozen by convention.
+  [[nodiscard]] static StripBuffer allocate(std::uint64_t length) {
+    DAS_REQUIRE(length > 0);
+    detail::PayloadBlock* block = detail::BufferPool::local().acquire(length);
+    std::memset(block->data(), 0, length);
+    return StripBuffer(block, 0, length);
+  }
+
+  /// A payload holding a copy of `bytes`. Empty input gives an empty buffer.
+  [[nodiscard]] static StripBuffer copy_of(std::span<const std::byte> bytes) {
+    if (bytes.empty()) return StripBuffer{};
+    StripBuffer buffer = allocate(bytes.size());
+    std::memcpy(buffer.payload_->data(), bytes.data(), bytes.size());
+    return buffer;
+  }
+
+  [[nodiscard]] static StripBuffer copy_of(
+      const std::vector<std::byte>& bytes) {
+    return copy_of(std::span<const std::byte>(bytes));
+  }
+
+  StripBuffer(const StripBuffer& other) noexcept
+      : payload_(other.payload_),
+        offset_(other.offset_),
+        length_(other.length_) {
+    if (payload_ != nullptr) ++payload_->refs;
+  }
+
+  StripBuffer& operator=(const StripBuffer& other) noexcept {
+    if (this != &other) {
+      StripBuffer copy(other);
+      swap(copy);
+    }
+    return *this;
+  }
+
+  StripBuffer(StripBuffer&& other) noexcept
+      : payload_(std::exchange(other.payload_, nullptr)),
+        offset_(std::exchange(other.offset_, 0)),
+        length_(std::exchange(other.length_, 0)) {}
+
+  StripBuffer& operator=(StripBuffer&& other) noexcept {
+    if (this != &other) {
+      reset();
+      payload_ = std::exchange(other.payload_, nullptr);
+      offset_ = std::exchange(other.offset_, 0);
+      length_ = std::exchange(other.length_, 0);
+    }
+    return *this;
+  }
+
+  ~StripBuffer() { reset(); }
+
+  void reset() {
+    if (payload_ != nullptr) {
+      if (--payload_->refs == 0) detail::BufferPool::local().release(payload_);
+      payload_ = nullptr;
+    }
+    offset_ = 0;
+    length_ = 0;
+  }
+
+  void swap(StripBuffer& other) noexcept {
+    std::swap(payload_, other.payload_);
+    std::swap(offset_, other.offset_);
+    std::swap(length_, other.length_);
+  }
+
+  /// True when a payload is attached (data-carrying mode).
+  [[nodiscard]] explicit operator bool() const { return payload_ != nullptr; }
+  [[nodiscard]] bool empty() const { return payload_ == nullptr; }
+
+  [[nodiscard]] std::uint64_t size() const { return length_; }
+
+  [[nodiscard]] const std::byte* data() const {
+    DAS_ASSERT(payload_ != nullptr);
+    return payload_->data() + offset_;
+  }
+
+  [[nodiscard]] std::span<const std::byte> span() const {
+    return payload_ == nullptr
+               ? std::span<const std::byte>{}
+               : std::span<const std::byte>(data(), length_);
+  }
+
+  /// Writable pointer; only legal while this handle is the sole owner of
+  /// the payload (fill-before-publish).
+  [[nodiscard]] std::byte* mutable_data() {
+    DAS_ASSERT(payload_ != nullptr);
+    DAS_ASSERT(payload_->refs == 1);
+    return payload_->data() + offset_;
+  }
+
+  /// A sub-view [view_offset, view_offset + view_length) of this buffer,
+  /// sharing the payload. No bytes move.
+  [[nodiscard]] StripBuffer view(std::uint64_t view_offset,
+                                 std::uint64_t view_length) const {
+    DAS_REQUIRE(view_offset + view_length <= length_);
+    if (payload_ == nullptr) return StripBuffer{};
+    ++payload_->refs;
+    return StripBuffer(payload_, offset_ + view_offset, view_length);
+  }
+
+  /// Handles (including views) currently sharing the payload; 0 when empty.
+  [[nodiscard]] std::uint32_t use_count() const {
+    return payload_ == nullptr ? 0 : payload_->refs;
+  }
+
+  /// Materialize the view into an owned vector (tests, gather paths).
+  [[nodiscard]] std::vector<std::byte> to_vector() const {
+    const auto bytes = span();
+    return std::vector<std::byte>(bytes.begin(), bytes.end());
+  }
+
+  /// Payload-pool statistics of this thread (see BufferPoolStats).
+  [[nodiscard]] static const BufferPoolStats& pool_stats() {
+    return detail::BufferPool::local().stats();
+  }
+  static void reset_pool_stats() { detail::BufferPool::local().reset_stats(); }
+  static void trim_pool() { detail::BufferPool::local().trim(); }
+
+  /// Byte-wise equality of the viewed contents (tests).
+  friend bool operator==(const StripBuffer& a, const StripBuffer& b) {
+    const auto sa = a.span();
+    const auto sb = b.span();
+    return sa.size() == sb.size() &&
+           (sa.empty() || std::memcmp(sa.data(), sb.data(), sa.size()) == 0);
+  }
+
+ private:
+  StripBuffer(detail::PayloadBlock* payload, std::uint64_t offset,
+              std::uint64_t length)
+      : payload_(payload), offset_(offset), length_(length) {}
+
+  detail::PayloadBlock* payload_ = nullptr;
+  std::uint64_t offset_ = 0;
+  std::uint64_t length_ = 0;
+};
+
+}  // namespace das::pfs

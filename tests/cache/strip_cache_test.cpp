@@ -76,15 +76,28 @@ TEST(StripCacheTest, OversizedStripIsNotCachedAndEvictsNothing) {
 TEST(StripCacheTest, ReinsertingAKeyReplacesItsBytes) {
   StripCache cache(config_of(1024));
   cache.insert(key(1), 100,
-               std::vector<std::byte>(100, std::byte{0xAA}));
+               pfs::StripBuffer::copy_of(
+                   std::vector<std::byte>(100, std::byte{0xAA})));
   cache.insert(key(1), 200,
-               std::vector<std::byte>(200, std::byte{0xBB}));
+               pfs::StripBuffer::copy_of(
+                   std::vector<std::byte>(200, std::byte{0xBB})));
   EXPECT_EQ(cache.entry_count(), 1U);
   EXPECT_EQ(cache.used_bytes(), 200U);
   const CachedStrip* hit = cache.lookup(key(1));
   ASSERT_NE(hit, nullptr);
   EXPECT_EQ(hit->length, 200U);
-  EXPECT_EQ(hit->bytes.front(), std::byte{0xBB});
+  EXPECT_EQ(hit->bytes.span().front(), std::byte{0xBB});
+}
+
+TEST(StripCacheTest, InsertedBufferIsSharedNotCopied) {
+  StripCache cache(config_of(1024));
+  const pfs::StripBuffer payload =
+      pfs::StripBuffer::copy_of(std::vector<std::byte>(64, std::byte{0x5A}));
+  cache.insert(key(1), 64, payload);
+  const CachedStrip* hit = cache.lookup(key(1));
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->bytes.data(), payload.data());  // same payload block
+  EXPECT_EQ(payload.use_count(), 2U);
 }
 
 TEST(StripCacheTest, InvalidationDropsTheStripWithoutCountingEviction) {

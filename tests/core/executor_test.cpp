@@ -136,11 +136,11 @@ TEST_F(ExecutorFixture, DasReplicaPropagationKeepsCopiesCoherent) {
   const std::uint64_t n = out_meta.num_strips();
   for (std::uint64_t s = 0; s < n; ++s) {
     const auto holders = layout.holders(s, n);
-    const auto& primary_bytes =
-        cluster_->pfs().server(holders.front()).store().bytes(output_, s);
+    const auto primary_bytes =
+        cluster_->pfs().server(holders.front()).store().buffer(output_, s);
     EXPECT_FALSE(primary_bytes.empty());
     for (const pfs::ServerIndex h : holders) {
-      EXPECT_EQ(cluster_->pfs().server(h).store().bytes(output_, s),
+      EXPECT_EQ(cluster_->pfs().server(h).store().buffer(output_, s),
                 primary_bytes);
     }
   }

@@ -184,7 +184,7 @@ TEST_F(PrefetcherFixture, DemandCoalescesOntoAnInFlightPrefetch) {
   bool delivered = false;
   const bool issued = p->demand_fetch(
       remote_strip(1),
-      [&delivered](const std::vector<std::byte>&) { delivered = true; });
+      [&delivered](const pfs::StripBuffer&) { delivered = true; });
   EXPECT_FALSE(issued);  // absorbed, not a second wire transfer
   EXPECT_EQ(p->stats().coalesced, 1U);
   EXPECT_EQ(p->stats().coalesced_bytes, 1024U);

@@ -37,8 +37,9 @@ class ClientEdgeFixture : public ::testing::Test {
     bool complete = false;
     client_->read_range(
         file_, offset, length, [&] { complete = true; },
-        [&](StripRef ref, std::vector<std::byte> payload) {
-          std::copy(payload.begin(), payload.end(),
+        [&](StripRef ref, const StripBuffer& payload) {
+          const auto bytes = payload.span();
+          std::copy(bytes.begin(), bytes.end(),
                     got.begin() +
                         static_cast<std::ptrdiff_t>(ref.offset - offset));
         });
@@ -83,7 +84,7 @@ TEST_F(ClientEdgeFixture, PartialTailStripHasShortLength) {
   // Strip 9 covers [936, 1000): only 64 bytes.
   std::uint64_t seen = 0;
   client_->read_range(file_, 936, 64, nullptr,
-                      [&](StripRef ref, std::vector<std::byte>) {
+                      [&](StripRef ref, const StripBuffer&) {
                         seen = ref.length;
                       });
   sim_.run();

@@ -45,6 +45,25 @@ TEST(FileMetaTest, StripOfElementMatchesPaperEq1) {
   EXPECT_EQ(m.strip_of_element(1000), 1000U * 4 / 256);
 }
 
+TEST(FileMetaTest, StripOfElementSurvivesThe4GiBByteBoundary) {
+  // The element whose byte offset is exactly 4 GiB: i * element_size
+  // overflows 32-bit arithmetic, so the mapping must run in 64-bit.
+  const FileMeta m = meta_of(8ULL << 30, 64 * 1024, 4);
+  const std::uint64_t boundary = (4ULL << 30) / 4;
+  EXPECT_EQ(m.strip_of_element(boundary), (4ULL << 30) / (64 * 1024));
+  EXPECT_EQ(m.strip_of_element(boundary - 1),
+            (4ULL << 30) / (64 * 1024) - 1);
+  EXPECT_EQ(m.strip_of_element(m.num_elements() - 1), m.num_strips() - 1);
+}
+
+TEST(FileMetaDeathTest, StripOfElementRejectsOutOfRangeIndexes) {
+  const FileMeta m = meta_of(4096, 256, 4);
+  EXPECT_DEATH(m.strip_of_element(m.num_elements()), "DAS_REQUIRE");
+  EXPECT_DEATH(meta_of(8ULL << 30, 64 * 1024, 4)
+                   .strip_of_element((8ULL << 30) / 4),
+               "DAS_REQUIRE");
+}
+
 TEST(FileMetaTest, ElementCounts) {
   const FileMeta m = meta_of(1000, 256, 4);
   EXPECT_EQ(m.num_elements(), 250U);

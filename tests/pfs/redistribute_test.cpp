@@ -57,7 +57,7 @@ TEST_F(RedistributeFixture, NewHoldersHaveTheStrips) {
   for (std::uint64_t s = 0; s < 16; ++s) {
     for (const ServerIndex holder : layout.holders(s, 16)) {
       EXPECT_TRUE(pfs_->server(holder).store().has(f, s));
-      EXPECT_EQ(pfs_->server(holder).store().bytes(f, s),
+      EXPECT_EQ(pfs_->server(holder).store().buffer(f, s).to_vector(),
                 std::vector<std::byte>(data_.begin() + static_cast<long>(s * 64),
                                        data_.begin() +
                                            static_cast<long>((s + 1) * 64)));

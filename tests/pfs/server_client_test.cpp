@@ -66,9 +66,10 @@ TEST_F(PfsFixture, ReadRangeDeliversExactBytes) {
   bool complete = false;
   client_->read_range(
       f, 150, 350, [&] { complete = true; },
-      [&](StripRef ref, std::vector<std::byte> payload) {
+      [&](StripRef ref, const StripBuffer& payload) {
         ASSERT_EQ(payload.size(), ref.length);
-        std::copy(payload.begin(), payload.end(),
+        const auto bytes = payload.span();
+        std::copy(bytes.begin(), bytes.end(),
                   got.begin() + static_cast<std::ptrdiff_t>(ref.offset - 150));
       });
   sim_.run();
@@ -105,7 +106,7 @@ TEST_F(PfsFixture, WriteRangeUpdatesAllHolders) {
   const std::uint64_t n = pfs_->meta(f).num_strips();
   for (std::uint64_t s = 2; s <= 3; ++s) {
     for (const ServerIndex holder : pfs_->layout(f).holders(s, n)) {
-      EXPECT_EQ(pfs_->server(holder).store().bytes(f, s),
+      EXPECT_EQ(pfs_->server(holder).store().buffer(f, s).to_vector(),
                 std::vector<std::byte>(100, std::byte{0xAB}));
     }
   }
@@ -147,7 +148,7 @@ TEST_F(PfsFixture, TimingOnlyFileReadsDeliverEmptyPayload) {
       meta, std::make_unique<RoundRobinLayout>(4), nullptr);
   std::size_t strips = 0;
   client_->read_range(f, 0, 500, nullptr,
-                      [&](StripRef, std::vector<std::byte> payload) {
+                      [&](StripRef, const StripBuffer& payload) {
                         EXPECT_TRUE(payload.empty());
                         ++strips;
                       });

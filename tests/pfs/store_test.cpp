@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "pfs/strip_buffer.hpp"
+
 namespace das::pfs {
 namespace {
 
@@ -11,13 +13,23 @@ std::vector<std::byte> bytes_of(std::initializer_list<int> values) {
   return out;
 }
 
+StripBuffer buffer_of(std::initializer_list<int> values) {
+  return StripBuffer::copy_of(bytes_of(values));
+}
+
+std::vector<std::byte> stored(const ServerStore& store, FileId file,
+                              std::uint64_t strip) {
+  const auto bytes = store.bytes(file, strip);
+  return std::vector<std::byte>(bytes.begin(), bytes.end());
+}
+
 TEST(ServerStoreTest, PutThenGet) {
   ServerStore store;
-  store.put(0, 3, 4, bytes_of({1, 2, 3, 4}));
+  store.put(0, 3, 4, buffer_of({1, 2, 3, 4}));
   EXPECT_TRUE(store.has(0, 3));
   EXPECT_FALSE(store.has(0, 4));
   EXPECT_FALSE(store.has(1, 3));
-  EXPECT_EQ(store.bytes(0, 3), bytes_of({1, 2, 3, 4}));
+  EXPECT_EQ(stored(store, 0, 3), bytes_of({1, 2, 3, 4}));
   EXPECT_EQ(store.length(0, 3), 4U);
 }
 
@@ -42,11 +54,11 @@ TEST(ServerStoreTest, DiskOffsetsAreSequentialByInsertion) {
 
 TEST(ServerStoreTest, OverwriteKeepsOffsetAndLength) {
   ServerStore store;
-  store.put(0, 0, 4, bytes_of({1, 1, 1, 1}));
+  store.put(0, 0, 4, buffer_of({1, 1, 1, 1}));
   const auto offset = store.disk_offset(0, 0);
-  store.put(0, 0, 4, bytes_of({2, 2, 2, 2}));
+  store.put(0, 0, 4, buffer_of({2, 2, 2, 2}));
   EXPECT_EQ(store.disk_offset(0, 0), offset);
-  EXPECT_EQ(store.bytes(0, 0), bytes_of({2, 2, 2, 2}));
+  EXPECT_EQ(stored(store, 0, 0), bytes_of({2, 2, 2, 2}));
   EXPECT_EQ(store.stored_bytes(), 4U);  // not double counted
 }
 
@@ -60,10 +72,85 @@ TEST(ServerStoreTest, EraseFreesAccounting) {
   EXPECT_EQ(store.strip_count(), 1U);
 }
 
+// Re-laying out a file erases and re-puts strips; the disk model must not
+// silently defragment across that round trip.
+TEST(ServerStoreTest, EraseThenRePutKeepsDiskOffsetStable) {
+  ServerStore store;
+  store.put(0, 0, 64, {});
+  store.put(0, 1, 64, {});
+  store.put(0, 2, 64, {});
+  const auto offset0 = store.disk_offset(0, 0);
+  const auto offset1 = store.disk_offset(0, 1);
+
+  store.erase(0, 1);
+  store.put(0, 3, 64, {});  // new strip lands past the old high-water mark
+  store.put(0, 1, 64, {});  // re-put gets its original position back
+
+  EXPECT_EQ(store.disk_offset(0, 0), offset0);
+  EXPECT_EQ(store.disk_offset(0, 1), offset1);
+  EXPECT_EQ(store.disk_offset(0, 3), 192U);
+}
+
+TEST(ServerStoreTest, StoredBytesExactAcrossReplacePut) {
+  ServerStore store;
+  store.put(0, 0, 100, {});
+  store.put(0, 1, 50, {});
+  EXPECT_EQ(store.stored_bytes(), 150U);
+  store.put(0, 0, 100, {});  // replace: same length, counted once
+  EXPECT_EQ(store.stored_bytes(), 150U);
+  store.erase(0, 1);
+  EXPECT_EQ(store.stored_bytes(), 100U);
+  store.put(0, 1, 50, {});  // re-put restores the accounting exactly
+  EXPECT_EQ(store.stored_bytes(), 150U);
+}
+
+// Timing-only and data-carrying stores must agree on every length-derived
+// quantity; only the payload presence differs.
+TEST(ServerStoreTest, TimingAndDataModesAgreeOnLengths) {
+  ServerStore timing;
+  ServerStore data;
+  const std::vector<std::byte> strip0 = bytes_of({1, 2, 3, 4});
+  const std::vector<std::byte> strip1 = bytes_of({5, 6});
+  timing.put(0, 0, strip0.size(), {});
+  timing.put(0, 1, strip1.size(), {});
+  data.put(0, 0, strip0.size(), StripBuffer::copy_of(strip0));
+  data.put(0, 1, strip1.size(), StripBuffer::copy_of(strip1));
+
+  EXPECT_EQ(timing.length(0, 0), data.length(0, 0));
+  EXPECT_EQ(timing.length(0, 1), data.length(0, 1));
+  EXPECT_EQ(timing.disk_offset(0, 0), data.disk_offset(0, 0));
+  EXPECT_EQ(timing.disk_offset(0, 1), data.disk_offset(0, 1));
+  EXPECT_EQ(timing.stored_bytes(), data.stored_bytes());
+  EXPECT_EQ(timing.strip_count(), data.strip_count());
+  EXPECT_TRUE(timing.bytes(0, 0).empty());
+  EXPECT_EQ(stored(data, 0, 0), strip0);
+}
+
+TEST(ServerStoreTest, BufferHandleSurvivesReplaceAndErase) {
+  ServerStore store;
+  store.put(0, 0, 4, buffer_of({1, 2, 3, 4}));
+  const StripBuffer snapshot = store.buffer(0, 0);
+  store.put(0, 0, 4, buffer_of({9, 9, 9, 9}));
+  EXPECT_EQ(snapshot.to_vector(), bytes_of({1, 2, 3, 4}));
+  EXPECT_EQ(stored(store, 0, 0), bytes_of({9, 9, 9, 9}));
+  store.erase(0, 0);
+  EXPECT_EQ(snapshot.to_vector(), bytes_of({1, 2, 3, 4}));
+}
+
+TEST(ServerStoreTest, ReserveFilePresizesWithoutStoring) {
+  ServerStore store;
+  store.reserve_file(2, 16);
+  EXPECT_FALSE(store.has(2, 0));
+  EXPECT_EQ(store.strip_count(), 0U);
+  store.put(2, 15, 8, {});
+  EXPECT_TRUE(store.has(2, 15));
+  EXPECT_EQ(store.strip_count(), 1U);
+}
+
 TEST(ServerStoreDeathTest, LengthMismatchAborts) {
   ServerStore store;
-  EXPECT_DEATH(store.put(0, 0, 3, bytes_of({1, 2})), "DAS_REQUIRE");
-  store.put(0, 0, 2, bytes_of({1, 2}));
+  EXPECT_DEATH(store.put(0, 0, 3, buffer_of({1, 2})), "DAS_REQUIRE");
+  store.put(0, 0, 2, buffer_of({1, 2}));
   EXPECT_DEATH(store.put(0, 0, 5, {}), "DAS_REQUIRE");
 }
 

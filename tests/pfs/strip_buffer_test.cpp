@@ -1,0 +1,143 @@
+#include "pfs/strip_buffer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+namespace das::pfs {
+namespace {
+
+std::vector<std::byte> bytes_of(std::initializer_list<int> values) {
+  std::vector<std::byte> out;
+  for (const int v : values) out.push_back(static_cast<std::byte>(v));
+  return out;
+}
+
+TEST(StripBufferTest, DefaultIsEmpty) {
+  StripBuffer buffer;
+  EXPECT_TRUE(buffer.empty());
+  EXPECT_FALSE(buffer);
+  EXPECT_EQ(buffer.size(), 0U);
+  EXPECT_EQ(buffer.use_count(), 0U);
+  EXPECT_TRUE(buffer.span().empty());
+  EXPECT_TRUE(buffer.to_vector().empty());
+}
+
+TEST(StripBufferTest, AllocateIsZeroFilledAndWritable) {
+  StripBuffer buffer = StripBuffer::allocate(8);
+  ASSERT_EQ(buffer.size(), 8U);
+  for (const std::byte b : buffer.span()) {
+    EXPECT_EQ(b, std::byte{0});
+  }
+  buffer.mutable_data()[3] = std::byte{42};
+  EXPECT_EQ(buffer.span()[3], std::byte{42});
+}
+
+TEST(StripBufferTest, CopyOfMatchesSource) {
+  const auto source = bytes_of({1, 2, 3, 4, 5});
+  const StripBuffer buffer = StripBuffer::copy_of(source);
+  EXPECT_EQ(buffer.to_vector(), source);
+  // Copying an empty span gives an empty handle, not a zero-length payload.
+  EXPECT_TRUE(StripBuffer::copy_of(std::vector<std::byte>{}).empty());
+}
+
+TEST(StripBufferTest, CopySharesPayloadWithoutCopyingBytes) {
+  const StripBuffer a = StripBuffer::copy_of(bytes_of({1, 2, 3, 4}));
+  EXPECT_EQ(a.use_count(), 1U);
+  const StripBuffer b = a;  // NOLINT(performance-unnecessary-copy-*)
+  EXPECT_EQ(a.use_count(), 2U);
+  EXPECT_EQ(b.use_count(), 2U);
+  EXPECT_EQ(a.data(), b.data());  // same payload, no byte copy
+  EXPECT_EQ(a, b);
+}
+
+TEST(StripBufferTest, MoveTransfersOwnership) {
+  StripBuffer a = StripBuffer::copy_of(bytes_of({1, 2}));
+  StripBuffer b = std::move(a);
+  EXPECT_TRUE(a.empty());  // NOLINT(bugprone-use-after-move)
+  EXPECT_EQ(b.use_count(), 1U);
+  EXPECT_EQ(b.to_vector(), bytes_of({1, 2}));
+}
+
+TEST(StripBufferTest, ViewSelectsSubrangeAndSharesPayload) {
+  const StripBuffer whole = StripBuffer::copy_of(bytes_of({0, 1, 2, 3, 4, 5}));
+  const StripBuffer middle = whole.view(2, 3);
+  EXPECT_EQ(middle.size(), 3U);
+  EXPECT_EQ(middle.to_vector(), bytes_of({2, 3, 4}));
+  EXPECT_EQ(whole.use_count(), 2U);
+  EXPECT_EQ(middle.data(), whole.data() + 2);
+
+  // Views compose: a view of a view offsets against the outer view.
+  const StripBuffer inner = middle.view(1, 2);
+  EXPECT_EQ(inner.to_vector(), bytes_of({3, 4}));
+  EXPECT_EQ(whole.use_count(), 3U);
+}
+
+TEST(StripBufferTest, ViewOfEmptyBufferIsEmpty) {
+  const StripBuffer empty;
+  EXPECT_TRUE(empty.view(0, 0).empty());
+}
+
+TEST(StripBufferTest, PayloadOutlivesOriginalHandle) {
+  StripBuffer view;
+  {
+    StripBuffer whole = StripBuffer::copy_of(bytes_of({9, 8, 7, 6}));
+    view = whole.view(1, 2);
+  }
+  EXPECT_EQ(view.use_count(), 1U);
+  EXPECT_EQ(view.to_vector(), bytes_of({8, 7}));
+}
+
+TEST(StripBufferTest, EqualityComparesContentsNotIdentity) {
+  const StripBuffer a = StripBuffer::copy_of(bytes_of({1, 2, 3}));
+  const StripBuffer b = StripBuffer::copy_of(bytes_of({1, 2, 3}));
+  const StripBuffer c = StripBuffer::copy_of(bytes_of({1, 2, 4}));
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+  EXPECT_EQ(StripBuffer{}, StripBuffer{});
+}
+
+TEST(StripBufferTest, PoolRecyclesFreedPayloads) {
+  StripBuffer::trim_pool();
+  StripBuffer::reset_pool_stats();
+  {
+    const StripBuffer first = StripBuffer::allocate(4096);
+    (void)first;
+  }
+  EXPECT_EQ(StripBuffer::pool_stats().fresh_allocs, 1U);
+  EXPECT_EQ(StripBuffer::pool_stats().recycles, 1U);
+  {
+    // Same size class: must come from the free list, not the heap.
+    const StripBuffer second = StripBuffer::allocate(100);
+    (void)second;
+  }
+  EXPECT_EQ(StripBuffer::pool_stats().fresh_allocs, 1U);
+  EXPECT_EQ(StripBuffer::pool_stats().pool_hits, 1U);
+  EXPECT_EQ(StripBuffer::pool_stats().live_payloads, 0U);
+  StripBuffer::trim_pool();
+}
+
+TEST(StripBufferTest, OversizePayloadsBypassThePool) {
+  StripBuffer::trim_pool();
+  StripBuffer::reset_pool_stats();
+  {
+    const StripBuffer huge = StripBuffer::allocate(65ULL * 1024 * 1024);
+    EXPECT_EQ(huge.size(), 65ULL * 1024 * 1024);
+  }
+  EXPECT_EQ(StripBuffer::pool_stats().oversize_allocs, 1U);
+  EXPECT_EQ(StripBuffer::pool_stats().recycles, 0U);
+  EXPECT_EQ(StripBuffer::pool_stats().live_payloads, 0U);
+}
+
+TEST(StripBufferDeathTest, ViewBeyondLengthAborts) {
+  const StripBuffer buffer = StripBuffer::copy_of(bytes_of({1, 2, 3}));
+  EXPECT_DEATH((void)buffer.view(2, 2), "DAS_REQUIRE");
+}
+
+TEST(StripBufferDeathTest, ZeroLengthAllocateAborts) {
+  EXPECT_DEATH((void)StripBuffer::allocate(0), "DAS_REQUIRE");
+}
+
+}  // namespace
+}  // namespace das::pfs
