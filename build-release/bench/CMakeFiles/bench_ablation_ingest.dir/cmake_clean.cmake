@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_ingest.dir/bench_ablation_ingest.cpp.o"
+  "CMakeFiles/bench_ablation_ingest.dir/bench_ablation_ingest.cpp.o.d"
+  "bench_ablation_ingest"
+  "bench_ablation_ingest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_ingest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_rounds.dir/bench_ablation_rounds.cpp.o"
+  "CMakeFiles/bench_ablation_rounds.dir/bench_ablation_rounds.cpp.o.d"
+  "bench_ablation_rounds"
+  "bench_ablation_rounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_rounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

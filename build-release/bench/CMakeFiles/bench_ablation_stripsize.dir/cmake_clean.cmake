@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_stripsize.dir/bench_ablation_stripsize.cpp.o"
+  "CMakeFiles/bench_ablation_stripsize.dir/bench_ablation_stripsize.cpp.o.d"
+  "bench_ablation_stripsize"
+  "bench_ablation_stripsize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_stripsize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

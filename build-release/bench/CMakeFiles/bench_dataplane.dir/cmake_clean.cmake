@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dataplane.dir/bench_dataplane.cpp.o"
+  "CMakeFiles/bench_dataplane.dir/bench_dataplane.cpp.o.d"
+  "bench_dataplane"
+  "bench_dataplane.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dataplane.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_extension_interference.dir/bench_extension_interference.cpp.o"
+  "CMakeFiles/bench_extension_interference.dir/bench_extension_interference.cpp.o.d"
+  "bench_extension_interference"
+  "bench_extension_interference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_extension_interference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

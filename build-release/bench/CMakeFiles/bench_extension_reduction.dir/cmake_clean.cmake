@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_extension_reduction.dir/bench_extension_reduction.cpp.o"
+  "CMakeFiles/bench_extension_reduction.dir/bench_extension_reduction.cpp.o.d"
+  "bench_extension_reduction"
+  "bench_extension_reduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_extension_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

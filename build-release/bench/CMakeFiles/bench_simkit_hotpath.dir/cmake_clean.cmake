@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_simkit_hotpath.dir/bench_simkit_hotpath.cpp.o"
+  "CMakeFiles/bench_simkit_hotpath.dir/bench_simkit_hotpath.cpp.o.d"
+  "bench_simkit_hotpath"
+  "bench_simkit_hotpath.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_simkit_hotpath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

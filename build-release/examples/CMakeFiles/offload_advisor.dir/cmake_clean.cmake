@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/offload_advisor.dir/offload_advisor.cpp.o"
+  "CMakeFiles/offload_advisor.dir/offload_advisor.cpp.o.d"
+  "offload_advisor"
+  "offload_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/offload_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

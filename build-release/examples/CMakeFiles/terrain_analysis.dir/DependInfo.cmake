@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/terrain_analysis.cpp" "examples/CMakeFiles/terrain_analysis.dir/terrain_analysis.cpp.o" "gcc" "examples/CMakeFiles/terrain_analysis.dir/terrain_analysis.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-release/src/core/CMakeFiles/das_core.dir/DependInfo.cmake"
+  "/root/repo/build-release/src/runner/CMakeFiles/das_runner.dir/DependInfo.cmake"
+  "/root/repo/build-release/src/pfs/CMakeFiles/das_pfs.dir/DependInfo.cmake"
+  "/root/repo/build-release/src/net/CMakeFiles/das_net.dir/DependInfo.cmake"
+  "/root/repo/build-release/src/storage/CMakeFiles/das_storage.dir/DependInfo.cmake"
+  "/root/repo/build-release/src/cache/CMakeFiles/das_cache.dir/DependInfo.cmake"
+  "/root/repo/build-release/src/kernels/CMakeFiles/das_kernels.dir/DependInfo.cmake"
+  "/root/repo/build-release/src/grid/CMakeFiles/das_grid.dir/DependInfo.cmake"
+  "/root/repo/build-release/src/simkit/CMakeFiles/das_simkit.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/terrain_analysis.dir/terrain_analysis.cpp.o"
+  "CMakeFiles/terrain_analysis.dir/terrain_analysis.cpp.o.d"
+  "terrain_analysis"
+  "terrain_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/terrain_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

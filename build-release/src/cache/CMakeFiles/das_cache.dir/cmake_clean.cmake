@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/das_cache.dir/eviction.cpp.o"
+  "CMakeFiles/das_cache.dir/eviction.cpp.o.d"
+  "CMakeFiles/das_cache.dir/strip_cache.cpp.o"
+  "CMakeFiles/das_cache.dir/strip_cache.cpp.o.d"
+  "libdas_cache.a"
+  "libdas_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/das_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

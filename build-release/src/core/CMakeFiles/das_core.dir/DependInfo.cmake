@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/active_executor.cpp" "src/core/CMakeFiles/das_core.dir/active_executor.cpp.o" "gcc" "src/core/CMakeFiles/das_core.dir/active_executor.cpp.o.d"
+  "/root/repo/src/core/as_client.cpp" "src/core/CMakeFiles/das_core.dir/as_client.cpp.o" "gcc" "src/core/CMakeFiles/das_core.dir/as_client.cpp.o.d"
+  "/root/repo/src/core/audit.cpp" "src/core/CMakeFiles/das_core.dir/audit.cpp.o" "gcc" "src/core/CMakeFiles/das_core.dir/audit.cpp.o.d"
+  "/root/repo/src/core/bandwidth_model.cpp" "src/core/CMakeFiles/das_core.dir/bandwidth_model.cpp.o" "gcc" "src/core/CMakeFiles/das_core.dir/bandwidth_model.cpp.o.d"
+  "/root/repo/src/core/cluster.cpp" "src/core/CMakeFiles/das_core.dir/cluster.cpp.o" "gcc" "src/core/CMakeFiles/das_core.dir/cluster.cpp.o.d"
+  "/root/repo/src/core/decision.cpp" "src/core/CMakeFiles/das_core.dir/decision.cpp.o" "gcc" "src/core/CMakeFiles/das_core.dir/decision.cpp.o.d"
+  "/root/repo/src/core/distribution_planner.cpp" "src/core/CMakeFiles/das_core.dir/distribution_planner.cpp.o" "gcc" "src/core/CMakeFiles/das_core.dir/distribution_planner.cpp.o.d"
+  "/root/repo/src/core/ingest.cpp" "src/core/CMakeFiles/das_core.dir/ingest.cpp.o" "gcc" "src/core/CMakeFiles/das_core.dir/ingest.cpp.o.d"
+  "/root/repo/src/core/metrics.cpp" "src/core/CMakeFiles/das_core.dir/metrics.cpp.o" "gcc" "src/core/CMakeFiles/das_core.dir/metrics.cpp.o.d"
+  "/root/repo/src/core/scheme.cpp" "src/core/CMakeFiles/das_core.dir/scheme.cpp.o" "gcc" "src/core/CMakeFiles/das_core.dir/scheme.cpp.o.d"
+  "/root/repo/src/core/ts_executor.cpp" "src/core/CMakeFiles/das_core.dir/ts_executor.cpp.o" "gcc" "src/core/CMakeFiles/das_core.dir/ts_executor.cpp.o.d"
+  "/root/repo/src/core/workload.cpp" "src/core/CMakeFiles/das_core.dir/workload.cpp.o" "gcc" "src/core/CMakeFiles/das_core.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-release/src/simkit/CMakeFiles/das_simkit.dir/DependInfo.cmake"
+  "/root/repo/build-release/src/net/CMakeFiles/das_net.dir/DependInfo.cmake"
+  "/root/repo/build-release/src/storage/CMakeFiles/das_storage.dir/DependInfo.cmake"
+  "/root/repo/build-release/src/grid/CMakeFiles/das_grid.dir/DependInfo.cmake"
+  "/root/repo/build-release/src/pfs/CMakeFiles/das_pfs.dir/DependInfo.cmake"
+  "/root/repo/build-release/src/kernels/CMakeFiles/das_kernels.dir/DependInfo.cmake"
+  "/root/repo/build-release/src/cache/CMakeFiles/das_cache.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

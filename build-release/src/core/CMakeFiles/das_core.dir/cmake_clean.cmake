@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/das_core.dir/active_executor.cpp.o"
+  "CMakeFiles/das_core.dir/active_executor.cpp.o.d"
+  "CMakeFiles/das_core.dir/as_client.cpp.o"
+  "CMakeFiles/das_core.dir/as_client.cpp.o.d"
+  "CMakeFiles/das_core.dir/audit.cpp.o"
+  "CMakeFiles/das_core.dir/audit.cpp.o.d"
+  "CMakeFiles/das_core.dir/bandwidth_model.cpp.o"
+  "CMakeFiles/das_core.dir/bandwidth_model.cpp.o.d"
+  "CMakeFiles/das_core.dir/cluster.cpp.o"
+  "CMakeFiles/das_core.dir/cluster.cpp.o.d"
+  "CMakeFiles/das_core.dir/decision.cpp.o"
+  "CMakeFiles/das_core.dir/decision.cpp.o.d"
+  "CMakeFiles/das_core.dir/distribution_planner.cpp.o"
+  "CMakeFiles/das_core.dir/distribution_planner.cpp.o.d"
+  "CMakeFiles/das_core.dir/ingest.cpp.o"
+  "CMakeFiles/das_core.dir/ingest.cpp.o.d"
+  "CMakeFiles/das_core.dir/metrics.cpp.o"
+  "CMakeFiles/das_core.dir/metrics.cpp.o.d"
+  "CMakeFiles/das_core.dir/scheme.cpp.o"
+  "CMakeFiles/das_core.dir/scheme.cpp.o.d"
+  "CMakeFiles/das_core.dir/ts_executor.cpp.o"
+  "CMakeFiles/das_core.dir/ts_executor.cpp.o.d"
+  "CMakeFiles/das_core.dir/workload.cpp.o"
+  "CMakeFiles/das_core.dir/workload.cpp.o.d"
+  "libdas_core.a"
+  "libdas_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/das_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdas_core.a"
+)

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/grid/dem.cpp" "src/grid/CMakeFiles/das_grid.dir/dem.cpp.o" "gcc" "src/grid/CMakeFiles/das_grid.dir/dem.cpp.o.d"
+  "/root/repo/src/grid/image.cpp" "src/grid/CMakeFiles/das_grid.dir/image.cpp.o" "gcc" "src/grid/CMakeFiles/das_grid.dir/image.cpp.o.d"
+  "/root/repo/src/grid/serialize.cpp" "src/grid/CMakeFiles/das_grid.dir/serialize.cpp.o" "gcc" "src/grid/CMakeFiles/das_grid.dir/serialize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-release/src/simkit/CMakeFiles/das_simkit.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/das_grid.dir/dem.cpp.o"
+  "CMakeFiles/das_grid.dir/dem.cpp.o.d"
+  "CMakeFiles/das_grid.dir/image.cpp.o"
+  "CMakeFiles/das_grid.dir/image.cpp.o.d"
+  "CMakeFiles/das_grid.dir/serialize.cpp.o"
+  "CMakeFiles/das_grid.dir/serialize.cpp.o.d"
+  "libdas_grid.a"
+  "libdas_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/das_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernels/catalog.cpp" "src/kernels/CMakeFiles/das_kernels.dir/catalog.cpp.o" "gcc" "src/kernels/CMakeFiles/das_kernels.dir/catalog.cpp.o.d"
+  "/root/repo/src/kernels/features.cpp" "src/kernels/CMakeFiles/das_kernels.dir/features.cpp.o" "gcc" "src/kernels/CMakeFiles/das_kernels.dir/features.cpp.o.d"
+  "/root/repo/src/kernels/flow_accumulation.cpp" "src/kernels/CMakeFiles/das_kernels.dir/flow_accumulation.cpp.o" "gcc" "src/kernels/CMakeFiles/das_kernels.dir/flow_accumulation.cpp.o.d"
+  "/root/repo/src/kernels/flow_routing.cpp" "src/kernels/CMakeFiles/das_kernels.dir/flow_routing.cpp.o" "gcc" "src/kernels/CMakeFiles/das_kernels.dir/flow_routing.cpp.o.d"
+  "/root/repo/src/kernels/gaussian.cpp" "src/kernels/CMakeFiles/das_kernels.dir/gaussian.cpp.o" "gcc" "src/kernels/CMakeFiles/das_kernels.dir/gaussian.cpp.o.d"
+  "/root/repo/src/kernels/laplacian.cpp" "src/kernels/CMakeFiles/das_kernels.dir/laplacian.cpp.o" "gcc" "src/kernels/CMakeFiles/das_kernels.dir/laplacian.cpp.o.d"
+  "/root/repo/src/kernels/median.cpp" "src/kernels/CMakeFiles/das_kernels.dir/median.cpp.o" "gcc" "src/kernels/CMakeFiles/das_kernels.dir/median.cpp.o.d"
+  "/root/repo/src/kernels/registry.cpp" "src/kernels/CMakeFiles/das_kernels.dir/registry.cpp.o" "gcc" "src/kernels/CMakeFiles/das_kernels.dir/registry.cpp.o.d"
+  "/root/repo/src/kernels/slope.cpp" "src/kernels/CMakeFiles/das_kernels.dir/slope.cpp.o" "gcc" "src/kernels/CMakeFiles/das_kernels.dir/slope.cpp.o.d"
+  "/root/repo/src/kernels/statistics.cpp" "src/kernels/CMakeFiles/das_kernels.dir/statistics.cpp.o" "gcc" "src/kernels/CMakeFiles/das_kernels.dir/statistics.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-release/src/grid/CMakeFiles/das_grid.dir/DependInfo.cmake"
+  "/root/repo/build-release/src/simkit/CMakeFiles/das_simkit.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

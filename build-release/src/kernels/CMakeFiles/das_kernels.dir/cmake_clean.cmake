@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/das_kernels.dir/catalog.cpp.o"
+  "CMakeFiles/das_kernels.dir/catalog.cpp.o.d"
+  "CMakeFiles/das_kernels.dir/features.cpp.o"
+  "CMakeFiles/das_kernels.dir/features.cpp.o.d"
+  "CMakeFiles/das_kernels.dir/flow_accumulation.cpp.o"
+  "CMakeFiles/das_kernels.dir/flow_accumulation.cpp.o.d"
+  "CMakeFiles/das_kernels.dir/flow_routing.cpp.o"
+  "CMakeFiles/das_kernels.dir/flow_routing.cpp.o.d"
+  "CMakeFiles/das_kernels.dir/gaussian.cpp.o"
+  "CMakeFiles/das_kernels.dir/gaussian.cpp.o.d"
+  "CMakeFiles/das_kernels.dir/laplacian.cpp.o"
+  "CMakeFiles/das_kernels.dir/laplacian.cpp.o.d"
+  "CMakeFiles/das_kernels.dir/median.cpp.o"
+  "CMakeFiles/das_kernels.dir/median.cpp.o.d"
+  "CMakeFiles/das_kernels.dir/registry.cpp.o"
+  "CMakeFiles/das_kernels.dir/registry.cpp.o.d"
+  "CMakeFiles/das_kernels.dir/slope.cpp.o"
+  "CMakeFiles/das_kernels.dir/slope.cpp.o.d"
+  "CMakeFiles/das_kernels.dir/statistics.cpp.o"
+  "CMakeFiles/das_kernels.dir/statistics.cpp.o.d"
+  "libdas_kernels.a"
+  "libdas_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/das_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

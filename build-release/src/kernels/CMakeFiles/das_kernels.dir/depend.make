@@ -1,0 +1,2 @@
+# Empty dependencies file for das_kernels.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/das_net.dir/network.cpp.o"
+  "CMakeFiles/das_net.dir/network.cpp.o.d"
+  "CMakeFiles/das_net.dir/nic.cpp.o"
+  "CMakeFiles/das_net.dir/nic.cpp.o.d"
+  "libdas_net.a"
+  "libdas_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/das_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

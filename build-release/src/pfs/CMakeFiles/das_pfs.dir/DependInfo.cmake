@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pfs/client.cpp" "src/pfs/CMakeFiles/das_pfs.dir/client.cpp.o" "gcc" "src/pfs/CMakeFiles/das_pfs.dir/client.cpp.o.d"
+  "/root/repo/src/pfs/layout.cpp" "src/pfs/CMakeFiles/das_pfs.dir/layout.cpp.o" "gcc" "src/pfs/CMakeFiles/das_pfs.dir/layout.cpp.o.d"
+  "/root/repo/src/pfs/local_io.cpp" "src/pfs/CMakeFiles/das_pfs.dir/local_io.cpp.o" "gcc" "src/pfs/CMakeFiles/das_pfs.dir/local_io.cpp.o.d"
+  "/root/repo/src/pfs/metadata.cpp" "src/pfs/CMakeFiles/das_pfs.dir/metadata.cpp.o" "gcc" "src/pfs/CMakeFiles/das_pfs.dir/metadata.cpp.o.d"
+  "/root/repo/src/pfs/pfs.cpp" "src/pfs/CMakeFiles/das_pfs.dir/pfs.cpp.o" "gcc" "src/pfs/CMakeFiles/das_pfs.dir/pfs.cpp.o.d"
+  "/root/repo/src/pfs/prefetch.cpp" "src/pfs/CMakeFiles/das_pfs.dir/prefetch.cpp.o" "gcc" "src/pfs/CMakeFiles/das_pfs.dir/prefetch.cpp.o.d"
+  "/root/repo/src/pfs/server.cpp" "src/pfs/CMakeFiles/das_pfs.dir/server.cpp.o" "gcc" "src/pfs/CMakeFiles/das_pfs.dir/server.cpp.o.d"
+  "/root/repo/src/pfs/store.cpp" "src/pfs/CMakeFiles/das_pfs.dir/store.cpp.o" "gcc" "src/pfs/CMakeFiles/das_pfs.dir/store.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-release/src/simkit/CMakeFiles/das_simkit.dir/DependInfo.cmake"
+  "/root/repo/build-release/src/net/CMakeFiles/das_net.dir/DependInfo.cmake"
+  "/root/repo/build-release/src/storage/CMakeFiles/das_storage.dir/DependInfo.cmake"
+  "/root/repo/build-release/src/cache/CMakeFiles/das_cache.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/das_pfs.dir/client.cpp.o"
+  "CMakeFiles/das_pfs.dir/client.cpp.o.d"
+  "CMakeFiles/das_pfs.dir/layout.cpp.o"
+  "CMakeFiles/das_pfs.dir/layout.cpp.o.d"
+  "CMakeFiles/das_pfs.dir/local_io.cpp.o"
+  "CMakeFiles/das_pfs.dir/local_io.cpp.o.d"
+  "CMakeFiles/das_pfs.dir/metadata.cpp.o"
+  "CMakeFiles/das_pfs.dir/metadata.cpp.o.d"
+  "CMakeFiles/das_pfs.dir/pfs.cpp.o"
+  "CMakeFiles/das_pfs.dir/pfs.cpp.o.d"
+  "CMakeFiles/das_pfs.dir/prefetch.cpp.o"
+  "CMakeFiles/das_pfs.dir/prefetch.cpp.o.d"
+  "CMakeFiles/das_pfs.dir/server.cpp.o"
+  "CMakeFiles/das_pfs.dir/server.cpp.o.d"
+  "CMakeFiles/das_pfs.dir/store.cpp.o"
+  "CMakeFiles/das_pfs.dir/store.cpp.o.d"
+  "libdas_pfs.a"
+  "libdas_pfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/das_pfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

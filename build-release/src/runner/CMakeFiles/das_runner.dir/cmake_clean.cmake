@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/das_runner.dir/args.cpp.o"
+  "CMakeFiles/das_runner.dir/args.cpp.o.d"
+  "CMakeFiles/das_runner.dir/paper.cpp.o"
+  "CMakeFiles/das_runner.dir/paper.cpp.o.d"
+  "CMakeFiles/das_runner.dir/sweep.cpp.o"
+  "CMakeFiles/das_runner.dir/sweep.cpp.o.d"
+  "libdas_runner.a"
+  "libdas_runner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/das_runner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

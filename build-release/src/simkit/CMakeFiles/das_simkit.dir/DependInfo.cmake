@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simkit/context.cpp" "src/simkit/CMakeFiles/das_simkit.dir/context.cpp.o" "gcc" "src/simkit/CMakeFiles/das_simkit.dir/context.cpp.o.d"
+  "/root/repo/src/simkit/event_queue.cpp" "src/simkit/CMakeFiles/das_simkit.dir/event_queue.cpp.o" "gcc" "src/simkit/CMakeFiles/das_simkit.dir/event_queue.cpp.o.d"
+  "/root/repo/src/simkit/log.cpp" "src/simkit/CMakeFiles/das_simkit.dir/log.cpp.o" "gcc" "src/simkit/CMakeFiles/das_simkit.dir/log.cpp.o.d"
+  "/root/repo/src/simkit/random.cpp" "src/simkit/CMakeFiles/das_simkit.dir/random.cpp.o" "gcc" "src/simkit/CMakeFiles/das_simkit.dir/random.cpp.o.d"
+  "/root/repo/src/simkit/simulator.cpp" "src/simkit/CMakeFiles/das_simkit.dir/simulator.cpp.o" "gcc" "src/simkit/CMakeFiles/das_simkit.dir/simulator.cpp.o.d"
+  "/root/repo/src/simkit/stats.cpp" "src/simkit/CMakeFiles/das_simkit.dir/stats.cpp.o" "gcc" "src/simkit/CMakeFiles/das_simkit.dir/stats.cpp.o.d"
+  "/root/repo/src/simkit/trace.cpp" "src/simkit/CMakeFiles/das_simkit.dir/trace.cpp.o" "gcc" "src/simkit/CMakeFiles/das_simkit.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

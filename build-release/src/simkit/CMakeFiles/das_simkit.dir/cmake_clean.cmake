@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/das_simkit.dir/context.cpp.o"
+  "CMakeFiles/das_simkit.dir/context.cpp.o.d"
+  "CMakeFiles/das_simkit.dir/event_queue.cpp.o"
+  "CMakeFiles/das_simkit.dir/event_queue.cpp.o.d"
+  "CMakeFiles/das_simkit.dir/log.cpp.o"
+  "CMakeFiles/das_simkit.dir/log.cpp.o.d"
+  "CMakeFiles/das_simkit.dir/random.cpp.o"
+  "CMakeFiles/das_simkit.dir/random.cpp.o.d"
+  "CMakeFiles/das_simkit.dir/simulator.cpp.o"
+  "CMakeFiles/das_simkit.dir/simulator.cpp.o.d"
+  "CMakeFiles/das_simkit.dir/stats.cpp.o"
+  "CMakeFiles/das_simkit.dir/stats.cpp.o.d"
+  "CMakeFiles/das_simkit.dir/trace.cpp.o"
+  "CMakeFiles/das_simkit.dir/trace.cpp.o.d"
+  "libdas_simkit.a"
+  "libdas_simkit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/das_simkit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/compute_engine.cpp" "src/storage/CMakeFiles/das_storage.dir/compute_engine.cpp.o" "gcc" "src/storage/CMakeFiles/das_storage.dir/compute_engine.cpp.o.d"
+  "/root/repo/src/storage/disk.cpp" "src/storage/CMakeFiles/das_storage.dir/disk.cpp.o" "gcc" "src/storage/CMakeFiles/das_storage.dir/disk.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-release/src/simkit/CMakeFiles/das_simkit.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

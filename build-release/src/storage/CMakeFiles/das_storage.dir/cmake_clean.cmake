@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/das_storage.dir/compute_engine.cpp.o"
+  "CMakeFiles/das_storage.dir/compute_engine.cpp.o.d"
+  "CMakeFiles/das_storage.dir/disk.cpp.o"
+  "CMakeFiles/das_storage.dir/disk.cpp.o.d"
+  "libdas_storage.a"
+  "libdas_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/das_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/das_sim.dir/das_sim.cpp.o"
+  "CMakeFiles/das_sim.dir/das_sim.cpp.o.d"
+  "das_sim"
+  "das_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/das_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
