@@ -1,0 +1,219 @@
+// Contention-scaling + straggler-mitigation bench for the traffic engine.
+//
+// Two experiments, both fully deterministic in simulated time:
+//
+//  1. Contention scaling: the same per-tenant open-loop workload (Poisson
+//     arrivals, mixed raw/kernel jobs) run at 1 -> 10^4 concurrent tenants
+//     against one fixed-size cluster. As the offered load crosses the
+//     cluster's service capacity, per-tenant sojourn quantiles collapse
+//     from flat (~isolated latency) to queueing-dominated — the open-loop
+//     behaviour a closed-loop sweep can never show.
+//
+//  2. Straggler mitigation A/B: a 64-tenant run with two storage servers
+//     slowed 32x (ClusterConfig straggler injection), measured with the
+//     straggler-aware client scheduler off, with hedged requests, and with
+//     hedging + re-routing. Hedging must cut the aggregate p99 sojourn to
+//     at most kHedgeP99Budget of the unmitigated p99 — the binary exits
+//     nonzero otherwise, making this the traffic perf-smoke gate in CI.
+//
+// Deliberately not a google-benchmark binary: it emits one JSON document
+// (BENCH_traffic.json by default) that CI uploads as an artifact.
+//
+// Usage: bench_traffic [--max-tenants=10000] [--out=FILE]
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "traffic/engine.hpp"
+
+namespace {
+
+using das::traffic::TrafficConfig;
+using das::traffic::TrafficReport;
+
+/// Mitigation must cut p99 to at most this fraction of the baseline.
+constexpr double kHedgeP99Budget = 0.7;
+
+struct ScalePoint {
+  std::uint32_t tenants = 0;
+  TrafficReport report;
+  double wall_seconds = 0.0;
+};
+
+TrafficConfig scaling_config(std::uint32_t tenants) {
+  TrafficConfig config;  // default cluster: 12 storage + 12 compute nodes
+  config.arrivals.tenants = tenants;
+  config.arrivals.jobs_per_tenant = 4;
+  config.arrivals.rate_hz = 2.0;
+  config.arrivals.job_bytes = 2ULL << 20;
+  config.arrivals.strip_bytes = 1ULL << 20;
+  config.arrivals.datasets = 4;
+  config.arrivals.dataset_strips = 4096;
+  config.replication = 2;
+  return config;
+}
+
+TrafficConfig straggler_config(bool hedge, bool reroute) {
+  TrafficConfig config;
+  config.cluster.straggler_count = 2;
+  config.cluster.straggler_slowdown = 32.0;
+  config.arrivals.tenants = 64;
+  config.arrivals.jobs_per_tenant = 12;
+  config.arrivals.rate_hz = 3.0;
+  config.arrivals.job_bytes = 4ULL << 20;
+  config.arrivals.strip_bytes = 1ULL << 20;
+  config.arrivals.datasets = 2;
+  config.arrivals.dataset_strips = 2048;
+  config.replication = 3;  // replica holders to hedge/re-route to
+  config.straggler.hedge = hedge;
+  config.straggler.reroute = reroute;
+  return config;
+}
+
+ScalePoint run_point(const TrafficConfig& config) {
+  ScalePoint point;
+  point.tenants = config.arrivals.tenants;
+  const auto start = std::chrono::steady_clock::now();
+  point.report = das::traffic::run_traffic(config);
+  const auto stop = std::chrono::steady_clock::now();
+  point.wall_seconds = std::chrono::duration<double>(stop - start).count();
+  return point;
+}
+
+/// Smallest and largest per-tenant p99 sojourn (fairness spread).
+void tenant_p99_range(const TrafficReport& report, double* lo, double* hi) {
+  *lo = 0.0;
+  *hi = 0.0;
+  bool first = true;
+  for (const das::traffic::TenantStats& t : report.tenants) {
+    if (t.sojourn.count() == 0) continue;
+    const double p99 = t.sojourn.summary().p99;
+    if (first || p99 < *lo) *lo = p99;
+    if (first || p99 > *hi) *hi = p99;
+    first = false;
+  }
+}
+
+std::string point_json(const ScalePoint& point) {
+  double lo = 0.0, hi = 0.0;
+  tenant_p99_range(point.report, &lo, &hi);
+  const das::sim::HistogramSummary s = point.report.total.sojourn.summary();
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "    {\"tenants\": %u, \"jobs\": %llu, \"makespan_s\": %.6f,\n"
+      "     \"sojourn_p50_s\": %.6f, \"sojourn_p95_s\": %.6f, "
+      "\"sojourn_p99_s\": %.6f,\n"
+      "     \"tenant_p99_min_s\": %.6f, \"tenant_p99_max_s\": %.6f,\n"
+      "     \"sim_events\": %llu, \"wall_s\": %.3f}",
+      point.tenants,
+      static_cast<unsigned long long>(point.report.total.jobs_completed),
+      point.report.makespan_s, s.p50, s.p95, s.p99, lo, hi,
+      static_cast<unsigned long long>(point.report.events),
+      point.wall_seconds);
+  return buf;
+}
+
+std::string mitigation_json(const char* label, const TrafficReport& report) {
+  const das::sim::HistogramSummary s = report.total.sojourn.summary();
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "    \"%s\": {\"sojourn_p50_s\": %.6f, \"sojourn_p95_s\": %.6f, "
+      "\"sojourn_p99_s\": %.6f,\n"
+      "     \"reroutes\": %llu, \"hedges_issued\": %llu, "
+      "\"hedges_won\": %llu, \"wasted_bytes\": %llu}",
+      label, s.p50, s.p95, s.p99,
+      static_cast<unsigned long long>(report.reroutes),
+      static_cast<unsigned long long>(report.hedges_issued),
+      static_cast<unsigned long long>(report.hedges_won),
+      static_cast<unsigned long long>(report.wasted_bytes));
+  return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint32_t max_tenants = 10'000;
+  std::string out_path = "BENCH_traffic.json";
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--max-tenants=", 14) == 0) {
+      max_tenants =
+          static_cast<std::uint32_t>(std::strtoul(arg + 14, nullptr, 10));
+    } else if (std::strncmp(arg, "--out=", 6) == 0) {
+      out_path = arg + 6;
+    } else {
+      std::fprintf(stderr, "usage: %s [--max-tenants=N] [--out=FILE]\n",
+                   argv[0]);
+      return 1;
+    }
+  }
+
+  // Experiment 1: contention scaling, decade steps up to max_tenants.
+  std::vector<ScalePoint> points;
+  for (std::uint32_t tenants = 1; tenants <= max_tenants; tenants *= 10) {
+    points.push_back(run_point(scaling_config(tenants)));
+    const das::sim::HistogramSummary s =
+        points.back().report.total.sojourn.summary();
+    std::printf("tenants=%5u  jobs=%6llu  p50=%8.3fs  p99=%8.3fs  "
+                "makespan=%9.3fs  wall=%.2fs\n",
+                tenants,
+                static_cast<unsigned long long>(
+                    points.back().report.total.jobs_completed),
+                s.p50, s.p99, points.back().report.makespan_s,
+                points.back().wall_seconds);
+  }
+
+  // Experiment 2: injected slow servers, mitigation off / hedge / both.
+  const TrafficReport baseline =
+      run_point(straggler_config(false, false)).report;
+  const TrafficReport hedged = run_point(straggler_config(true, false)).report;
+  const TrafficReport both = run_point(straggler_config(true, true)).report;
+
+  const double base_p99 = baseline.total.sojourn.summary().p99;
+  const double hedge_p99 = hedged.total.sojourn.summary().p99;
+  const double both_p99 = both.total.sojourn.summary().p99;
+  std::printf("\nstraggler A/B (2 servers 32x slow): p99 %.3fs -> %.3fs "
+              "(hedge) -> %.3fs (hedge+reroute)\n",
+              base_p99, hedge_p99, both_p99);
+
+  std::string json = "{\n  \"bench\": \"traffic\",\n  \"scaling\": [\n";
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    json += point_json(points[i]);
+    json += i + 1 < points.size() ? ",\n" : "\n";
+  }
+  json += "  ],\n  \"straggler_mitigation\": {\n";
+  json += mitigation_json("baseline", baseline) + ",\n";
+  json += mitigation_json("hedge", hedged) + ",\n";
+  json += mitigation_json("hedge_reroute", both) + "\n";
+  char tail[128];
+  std::snprintf(tail, sizeof(tail),
+                "  },\n  \"hedge_p99_ratio\": %.4f\n}\n",
+                base_p99 > 0.0 ? hedge_p99 / base_p99 : 0.0);
+  json += tail;
+
+  std::printf("%s", json.c_str());
+  {
+    std::ofstream out(out_path);
+    out << json;
+  }
+  std::printf("wrote %s\n", out_path.c_str());
+
+  if (hedge_p99 >= kHedgeP99Budget * base_p99) {
+    std::fprintf(stderr,
+                 "FAIL: hedged p99 %.3fs is not < %.0f%% of baseline p99 "
+                 "%.3fs under 32x slow servers\n",
+                 hedge_p99, kHedgeP99Budget * 100.0, base_p99);
+    return 1;
+  }
+  if (hedged.hedges_won == 0) {
+    std::fprintf(stderr, "FAIL: hedging never won a single read\n");
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,62 @@
+# Regression gate for traffic-engine determinism: the same seed and tenant
+# count must produce byte-identical output — the run summary, straggler
+# counters, and the full per-tenant SLO CSV — regardless of --jobs. The
+# traffic engine runs one single-threaded simulation (arrivals are
+# precomputed from per-tenant forked RNG streams, service points break ties
+# by sequence number), so worker count may not leak into results any more
+# than it may for the classic sweep.
+#
+# Invoked as: cmake -DDAS_SIM=<path-to-das_sim> -P traffic_determinism.cmake
+if(NOT DEFINED DAS_SIM)
+  message(FATAL_ERROR "pass -DDAS_SIM=<path to das_sim>")
+endif()
+
+# Every traffic feature on at once: admission, fair queueing with uneven
+# weights, hedging and re-routing against injected stragglers.
+set(run --tenants=8 --tenant-jobs=6 --arrival-rate=2 --job-mib=4
+    --gib=1 --nodes=8 --replicas=3 --stragglers=1 --slowdown=8
+    --admission-mib=32 --fair-queue=on --weights=3,1 --hedge=on --reroute=on)
+
+execute_process(
+  COMMAND ${DAS_SIM} ${run} --jobs=1
+  OUTPUT_VARIABLE serial_out
+  RESULT_VARIABLE serial_rc)
+if(NOT serial_rc EQUAL 0)
+  message(FATAL_ERROR "--jobs=1 traffic run failed (exit ${serial_rc})")
+endif()
+
+execute_process(
+  COMMAND ${DAS_SIM} ${run} --jobs=8
+  OUTPUT_VARIABLE parallel_out
+  RESULT_VARIABLE parallel_rc)
+if(NOT parallel_rc EQUAL 0)
+  message(FATAL_ERROR "--jobs=8 traffic run failed (exit ${parallel_rc})")
+endif()
+
+if(NOT serial_out STREQUAL parallel_out)
+  message(FATAL_ERROR
+    "traffic run output depends on --jobs\n"
+    "--- jobs=1 ---\n${serial_out}\n"
+    "--- jobs=8 ---\n${parallel_out}")
+endif()
+
+# And a second identical invocation must reproduce the first exactly.
+execute_process(
+  COMMAND ${DAS_SIM} ${run} --jobs=1
+  OUTPUT_VARIABLE repeat_out
+  RESULT_VARIABLE repeat_rc)
+if(NOT repeat_rc EQUAL 0)
+  message(FATAL_ERROR "repeat traffic run failed (exit ${repeat_rc})")
+endif()
+if(NOT serial_out STREQUAL repeat_out)
+  message(FATAL_ERROR
+    "traffic run is not reproducible across invocations\n"
+    "--- first ---\n${serial_out}\n"
+    "--- repeat ---\n${repeat_out}")
+endif()
+
+# The SLO CSV must actually be present and per-tenant.
+if(NOT serial_out MATCHES "tenant,jobs,bytes,deferred")
+  message(FATAL_ERROR "SLO CSV header missing from traffic output:\n${serial_out}")
+endif()
+message(STATUS "traffic run is byte-identical across --jobs and invocations")

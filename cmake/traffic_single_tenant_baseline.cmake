@@ -1,0 +1,42 @@
+# Regression gate for the traffic engine's disabled==baseline invariant:
+# `--tenants=1` with every traffic feature off (no admission, no fair
+# queueing, no hedging or re-routing, no trace file) must reproduce the
+# classic sweep CSV byte for byte — das_sim deliberately routes that case
+# through the original single-workload path, mirroring the --prefetch=off
+# discipline. Catches any accidental coupling where merely linking or
+# configuring the traffic subsystem perturbs the seed results.
+#
+# Invoked as:
+#   cmake -DDAS_SIM=<path-to-das_sim> -P traffic_single_tenant_baseline.cmake
+if(NOT DEFINED DAS_SIM)
+  message(FATAL_ERROR "pass -DDAS_SIM=<path to das_sim>")
+endif()
+
+set(workload --scheme=NAS --kernel=flow-routing --gib=1 --nodes=8 --csv)
+
+execute_process(
+  COMMAND ${DAS_SIM} ${workload}
+  OUTPUT_VARIABLE baseline_csv
+  RESULT_VARIABLE baseline_rc)
+if(NOT baseline_rc EQUAL 0)
+  message(FATAL_ERROR "baseline das_sim run failed (exit ${baseline_rc})")
+endif()
+
+execute_process(
+  COMMAND ${DAS_SIM} ${workload} --tenants=1 --arrival-rate=1.0
+          --admission-mib=0 --fair-queue=off --hedge=off --reroute=off
+  OUTPUT_VARIABLE single_tenant_csv
+  RESULT_VARIABLE single_tenant_rc)
+if(NOT single_tenant_rc EQUAL 0)
+  message(FATAL_ERROR
+    "--tenants=1 das_sim run failed (exit ${single_tenant_rc})")
+endif()
+
+if(NOT baseline_csv STREQUAL single_tenant_csv)
+  message(FATAL_ERROR
+    "--tenants=1 with traffic features off no longer reproduces the classic "
+    "sweep CSV\n"
+    "--- baseline ---\n${baseline_csv}\n"
+    "--- tenants=1 ---\n${single_tenant_csv}")
+endif()
+message(STATUS "--tenants=1 (features off) reproduces the classic CSV byte for byte")

@@ -1,5 +1,7 @@
 #include "core/workload.hpp"
 
+#include <stdexcept>
+
 #include "grid/dem.hpp"
 #include "grid/image.hpp"
 #include "kernels/flow_routing.hpp"
@@ -12,6 +14,27 @@ bool WorkloadSpec::geometry_aligned() const {
       static_cast<std::uint64_t>(width()) * element_size;
   if (data_bytes % row_bytes != 0) return false;
   return strip_size % row_bytes == 0 || row_bytes % strip_size == 0;
+}
+
+void WorkloadSpec::require_aligned() const {
+  const std::uint64_t row_bytes =
+      static_cast<std::uint64_t>(width()) * element_size;
+  if (data_bytes % row_bytes != 0) {
+    throw std::invalid_argument(
+        "workload geometry misaligned: data_bytes=" +
+        std::to_string(data_bytes) + " is not a whole number of rows (" +
+        std::to_string(width()) + " elements x " +
+        std::to_string(element_size) + " B = " + std::to_string(row_bytes) +
+        " B/row, remainder " + std::to_string(data_bytes % row_bytes) +
+        " B would be silently dropped)");
+  }
+  if (!geometry_aligned()) {
+    throw std::invalid_argument(
+        "workload geometry misaligned: row length " +
+        std::to_string(row_bytes) + " B does not align with strip_size " +
+        std::to_string(strip_size) +
+        " B (one must divide the other for strips to cover whole rows)");
+  }
 }
 
 pfs::FileMeta WorkloadSpec::make_meta(std::string name) const {
@@ -30,7 +53,7 @@ pfs::FileMeta WorkloadSpec::make_meta(std::string name) const {
 
 grid::Grid<float> make_input(const WorkloadSpec& spec,
                              const kernels::ProcessingKernel& kernel) {
-  DAS_REQUIRE(spec.geometry_aligned());
+  spec.require_aligned();
   const std::uint32_t w = spec.width();
   const std::uint32_t h = spec.height();
 

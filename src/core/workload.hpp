@@ -44,6 +44,13 @@ struct WorkloadSpec {
   /// strips (required for correctness mode).
   [[nodiscard]] bool geometry_aligned() const;
 
+  /// Throw std::invalid_argument with the offending numbers when the
+  /// geometry is misaligned. Correctness-mode entry points call this so a
+  /// bad size fails loudly instead of height() silently dropping the
+  /// trailing partial row. (Timing-only runs never call it: paper-scale
+  /// sweeps legitimately truncate.)
+  void require_aligned() const;
+
   [[nodiscard]] pfs::FileMeta make_meta(std::string name) const;
 };
 

@@ -12,6 +12,14 @@ using NodeId = std::uint32_t;
 
 inline constexpr NodeId kInvalidNode = UINT32_MAX;
 
+/// Identifies a traffic-engine tenant. Messages issued by the classic
+/// single-job paths carry kNoTenant and are invisible to any installed
+/// tenant scheduler, so those paths stay bit-identical to the untagged
+/// system.
+using TenantId = std::uint32_t;
+
+inline constexpr TenantId kNoTenant = UINT32_MAX;
+
 /// Traffic accounting categories. The DAS paper's argument is entirely about
 /// which of these categories bytes fall into, so the network attributes every
 /// byte to one of them.
@@ -46,6 +54,8 @@ struct Message {
   std::uint64_t bytes = 0;
   TrafficClass cls = TrafficClass::kControl;
   DeliveryFn on_delivered;
+  /// Tenant the bytes are moved for (traffic engine); kNoTenant otherwise.
+  TenantId tenant = kNoTenant;
 };
 
 }  // namespace das::net

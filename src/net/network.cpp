@@ -24,6 +24,15 @@ const Nic& Network::nic(NodeId node) const {
 }
 
 void Network::send(Message msg) {
+  // Loopback never contends for a NIC, so it is not worth scheduling.
+  if (scheduler_ != nullptr && msg.tenant != kNoTenant &&
+      msg.src != msg.dst && scheduler_->intercept(msg)) {
+    return;
+  }
+  transmit(std::move(msg));
+}
+
+void Network::transmit(Message msg) {
   DAS_REQUIRE(msg.src < nics_.size());
   DAS_REQUIRE(msg.dst < nics_.size());
 

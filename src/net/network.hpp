@@ -25,6 +25,23 @@ struct NetworkConfig {
   std::uint64_t control_overhead_bytes = 256;
 };
 
+/// Egress scheduling hook (traffic engine's weighted fair queue).
+///
+/// When installed, tenant-tagged messages are offered to the scheduler
+/// before touching the sender's NIC; the scheduler either declines (the
+/// message transmits immediately) or takes ownership and releases it later
+/// through Network::transmit(). Untagged messages always bypass the hook,
+/// so the classic single-job paths are bit-identical with or without an
+/// installed scheduler.
+class SendScheduler {
+ public:
+  virtual ~SendScheduler() = default;
+
+  /// Return true to take ownership of `msg` (release it via transmit()
+  /// later); false to let the network transmit it now.
+  virtual bool intercept(Message& msg) = 0;
+};
+
 class Network {
  public:
   Network(sim::Simulator& simulator, const NetworkConfig& config);
@@ -34,8 +51,20 @@ class Network {
 
   /// Queue `msg` for transmission at the current simulated time.
   /// Messages between a node and itself are delivered after the wire latency
-  /// only (loopback does not consume NIC bandwidth).
+  /// only (loopback does not consume NIC bandwidth). Tenant-tagged messages
+  /// are offered to the installed SendScheduler first (see above).
   void send(Message msg);
+
+  /// Transmit `msg` now, bypassing any installed scheduler: reserve the
+  /// sender egress / receiver ingress and schedule delivery. Schedulers call
+  /// this to release messages they queued; everyone else calls send().
+  void transmit(Message msg);
+
+  /// Install (or remove, with nullptr) the egress scheduling hook. The
+  /// scheduler must outlive the network's use of it.
+  void set_send_scheduler(SendScheduler* scheduler) {
+    scheduler_ = scheduler;
+  }
 
   /// Convenience: send a small control message (request/ack).
   void send_control(NodeId src, NodeId dst, DeliveryFn on_delivered);
@@ -74,6 +103,7 @@ class Network {
  private:
   sim::Simulator& sim_;
   NetworkConfig config_;
+  SendScheduler* scheduler_ = nullptr;
   std::vector<Nic> nics_;
   std::uint64_t bytes_by_class_[kNumTrafficClasses] = {};
   std::uint64_t msgs_by_class_[kNumTrafficClasses] = {};

@@ -73,6 +73,35 @@ std::unique_ptr<Layout> RoundRobinLayout::clone() const {
   return std::make_unique<RoundRobinLayout>(*this);
 }
 
+ReplicatedRoundRobinLayout::ReplicatedRoundRobinLayout(
+    std::uint32_t num_servers, std::uint32_t copies)
+    : d_(num_servers), copies_(std::max(1u, std::min(copies, num_servers))) {
+  DAS_REQUIRE(num_servers > 0);
+}
+
+ServerIndex ReplicatedRoundRobinLayout::primary(std::uint64_t strip) const {
+  return static_cast<ServerIndex>(strip % d_);
+}
+
+std::vector<ServerIndex> ReplicatedRoundRobinLayout::replicas(
+    std::uint64_t strip, std::uint64_t /*num_strips*/) const {
+  std::vector<ServerIndex> out;
+  out.reserve(copies_ - 1);
+  for (std::uint32_t k = 1; k < copies_; ++k) {
+    out.push_back(static_cast<ServerIndex>((strip + k) % d_));
+  }
+  return out;
+}
+
+std::string ReplicatedRoundRobinLayout::name() const {
+  return "replicated-rr(D=" + std::to_string(d_) +
+         ",copies=" + std::to_string(copies_) + ")";
+}
+
+std::unique_ptr<Layout> ReplicatedRoundRobinLayout::clone() const {
+  return std::make_unique<ReplicatedRoundRobinLayout>(*this);
+}
+
 GroupedLayout::GroupedLayout(std::uint32_t num_servers,
                              std::uint64_t group_size)
     : d_(num_servers), r_(group_size) {

@@ -95,6 +95,31 @@ class GroupedLayout : public Layout {
   std::uint64_t r_;
 };
 
+/// Round-robin placement with `copies` full replicas of every strip on the
+/// following servers: strip s lives on (s + k) mod D for k in [0, copies).
+/// This is the layout the multi-tenant traffic engine gives its shared
+/// datasets so a straggler-aware client can re-route or hedge a slow strip
+/// read to a healthy holder (Tavakoli et al., client-side straggler-aware
+/// scheduling). Capacity overhead is (copies - 1)x.
+class ReplicatedRoundRobinLayout final : public Layout {
+ public:
+  /// `copies` = total holders per strip (primary included); clamped to D.
+  ReplicatedRoundRobinLayout(std::uint32_t num_servers, std::uint32_t copies);
+
+  [[nodiscard]] std::uint32_t num_servers() const override { return d_; }
+  [[nodiscard]] ServerIndex primary(std::uint64_t strip) const override;
+  [[nodiscard]] std::vector<ServerIndex> replicas(
+      std::uint64_t strip, std::uint64_t num_strips) const override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::unique_ptr<Layout> clone() const override;
+
+  [[nodiscard]] std::uint32_t copies() const { return copies_; }
+
+ private:
+  std::uint32_t d_;
+  std::uint32_t copies_;
+};
+
 /// GroupedLayout + halo replication onto neighbouring servers (DAS layout).
 class DasReplicatedLayout final : public GroupedLayout {
  public:

@@ -58,28 +58,42 @@ void PfsServer::release_ack_op(AckOp* op) {
 void PfsServer::serve_read(FileId file, std::uint64_t strip,
                            std::uint64_t offset_in_strip, std::uint64_t length,
                            net::NodeId requester, net::TrafficClass cls,
-                           StripDataFn on_data) {
+                           StripDataFn on_data, net::TenantId tenant) {
+  ReadRequest request{file,      strip, offset_in_strip,    length,
+                      requester, cls,   tenant,             std::move(on_data)};
+  if (read_scheduler_ != nullptr && tenant != net::kNoTenant &&
+      read_scheduler_->intercept_read(*this, request)) {
+    return;
+  }
+  serve_read_now(std::move(request));
+}
+
+void PfsServer::serve_read_now(ReadRequest request) {
+  const FileId file = request.file;
+  const std::uint64_t strip = request.strip;
   DAS_REQUIRE(store_.has(file, strip));
-  DAS_REQUIRE(offset_in_strip + length <= store_.length(file, strip));
+  DAS_REQUIRE(request.offset_in_strip + request.length <=
+              store_.length(file, strip));
 
   ++remote_reads_served_;
-  remote_bytes_served_ += length;
+  remote_bytes_served_ += request.length;
 
   const std::uint64_t disk_off = store_.disk_offset(file, strip);
-  const sim::SimTime read_done =
-      disk_.read(sim_.now(), disk_off + offset_in_strip, length);
+  const sim::SimTime read_done = disk_.read(
+      sim_.now(), disk_off + request.offset_in_strip, request.length);
 
   // Slice a shared view of the payload now (a later put would swap in a new
   // payload block; this handle keeps the bytes the read observed). No copy.
   ReadOp* op = acquire_read_op();
   const StripBuffer& stored = store_.buffer(file, strip);
   if (!stored.empty()) {
-    op->payload = stored.view(offset_in_strip, length);
+    op->payload = stored.view(request.offset_in_strip, request.length);
   }
-  op->handler = std::move(on_data);
-  op->length = length;
-  op->requester = requester;
-  op->cls = cls;
+  op->handler = std::move(request.on_data);
+  op->length = request.length;
+  op->requester = request.requester;
+  op->cls = request.cls;
+  op->tenant = request.tenant;
 
   sim_.schedule_at(
       read_done,
@@ -89,13 +103,14 @@ void PfsServer::serve_read(FileId file, std::uint64_t strip,
                                  [this, op]() {
                                    op->handler(op->payload);
                                    release_read_op(op);
-                                 }});
+                                 },
+                                 op->tenant});
         } else {
           // No receiver-side handler: same message on the wire, but no
           // delivery event is scheduled (Network::send skips empty
           // callbacks), exactly like the pre-buffer code path.
           net_.send(net::Message{node_, op->requester, op->length, op->cls,
-                                 nullptr});
+                                 nullptr, op->tenant});
           release_read_op(op);
         }
       },

@@ -33,6 +33,36 @@ class HaloPrefetcher;
 /// timing-only mode).
 using StripDataFn = sim::InplaceFn<void(const StripBuffer&)>;
 
+class PfsServer;
+
+/// A remote strip read that has arrived at a server but not yet reserved
+/// the disk — the unit a disk scheduler reorders.
+struct ReadRequest {
+  FileId file = kInvalidFile;
+  std::uint64_t strip = 0;
+  std::uint64_t offset_in_strip = 0;
+  std::uint64_t length = 0;
+  net::NodeId requester = net::kInvalidNode;
+  net::TrafficClass cls = net::TrafficClass::kControl;
+  net::TenantId tenant = net::kNoTenant;
+  StripDataFn on_data;
+};
+
+/// Disk scheduling hook at the server's read service point (traffic
+/// engine's weighted fair queue). Tenant-tagged reads are offered to the
+/// scheduler before reserving the disk; the scheduler either declines (the
+/// read is served immediately) or takes ownership and releases it later
+/// through PfsServer::serve_read_now(). Untagged reads always bypass the
+/// hook, keeping the classic paths bit-identical.
+class ReadScheduler {
+ public:
+  virtual ~ReadScheduler() = default;
+
+  /// Return true to take ownership of `request` (serve it later via
+  /// serve_read_now()); false to let the server serve it now.
+  virtual bool intercept_read(PfsServer& server, ReadRequest& request) = 0;
+};
+
 class PfsServer {
  public:
   PfsServer(sim::Simulator& simulator, net::Network& network,
@@ -53,10 +83,24 @@ class PfsServer {
   /// then ship them to `requester`. `on_data` (optional) runs at the
   /// requester when the data has fully arrived, receiving a shared view of
   /// the stored bytes (empty in timing-only mode).
+  /// Tenant-tagged reads (`tenant != net::kNoTenant`) are offered to an
+  /// installed ReadScheduler first and carry the tag on the payload reply.
   void serve_read(FileId file, std::uint64_t strip,
                   std::uint64_t offset_in_strip, std::uint64_t length,
                   net::NodeId requester, net::TrafficClass cls,
-                  StripDataFn on_data);
+                  StripDataFn on_data,
+                  net::TenantId tenant = net::kNoTenant);
+
+  /// Serve `request` now, bypassing any installed read scheduler: reserve
+  /// the disk and ship the payload. Schedulers call this to release reads
+  /// they queued; everyone else calls serve_read().
+  void serve_read_now(ReadRequest request);
+
+  /// Install (or remove, with nullptr) the disk scheduling hook. The
+  /// scheduler must outlive the server's use of it.
+  void set_read_scheduler(ReadScheduler* scheduler) {
+    read_scheduler_ = scheduler;
+  }
 
   /// Serve a write whose payload has already arrived: write to disk, store
   /// the bytes, then deliver a zero-payload ack to `requester`.
@@ -115,6 +159,7 @@ class PfsServer {
     std::uint64_t length = 0;
     net::NodeId requester = net::kInvalidNode;
     net::TrafficClass cls = net::TrafficClass::kControl;
+    net::TenantId tenant = net::kNoTenant;
   };
 
   /// One pending write ack (same pooling idea as ReadOp).
@@ -138,6 +183,7 @@ class PfsServer {
   std::uint64_t remote_bytes_served_ = 0;
   cache::StripCache* cache_ = nullptr;
   cache::InvalidationHub* hub_ = nullptr;
+  ReadScheduler* read_scheduler_ = nullptr;
   std::unique_ptr<HaloPrefetcher> prefetcher_;
   std::vector<std::unique_ptr<ReadOp>> read_ops_;
   std::vector<ReadOp*> free_read_ops_;

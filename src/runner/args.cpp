@@ -41,6 +41,12 @@ std::int64_t Args::get_int(const std::string& name,
   return it == values_.end() ? fallback : std::stoll(it->second);
 }
 
+double Args::get_double(const std::string& name, double fallback) const {
+  touched_[name] = true;
+  const auto it = values_.find(name);
+  return it == values_.end() ? fallback : std::stod(it->second);
+}
+
 bool Args::get_bool(const std::string& name, bool fallback) const {
   touched_[name] = true;
   const auto it = values_.find(name);

@@ -22,6 +22,8 @@ class Args {
                                 const std::string& fallback) const;
   [[nodiscard]] std::int64_t get_int(const std::string& name,
                                      std::int64_t fallback) const;
+  [[nodiscard]] double get_double(const std::string& name,
+                                  double fallback) const;
   [[nodiscard]] bool get_bool(const std::string& name, bool fallback) const;
 
   /// Names that were parsed but never looked up (typo detection).

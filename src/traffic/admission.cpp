@@ -1,0 +1,43 @@
+#include "traffic/admission.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "simkit/assert.hpp"
+
+namespace das::traffic {
+
+void TokenBucket::take(std::uint64_t bytes) {
+  tokens_ -= std::min(bytes, tokens_);
+  max_inflight_ = std::max(max_inflight_, inflight_bytes());
+}
+
+bool TokenBucket::submit(std::uint64_t bytes, AdmitFn on_admit) {
+  DAS_REQUIRE(bytes > 0);
+  if (!config_.active()) {
+    if (on_admit) on_admit();
+    return true;
+  }
+  if (waiters_.empty() && fits(bytes)) {
+    take(bytes);
+    if (on_admit) on_admit();
+    return true;
+  }
+  ++deferred_;
+  waiters_.push_back(Waiter{bytes, std::move(on_admit)});
+  max_queued_ = std::max(max_queued_, waiters_.size());
+  return false;
+}
+
+void TokenBucket::release(std::uint64_t bytes) {
+  if (!config_.active()) return;
+  tokens_ = std::min(config_.capacity_bytes, tokens_ + bytes);
+  while (!waiters_.empty() && fits(waiters_.front().bytes)) {
+    Waiter next = std::move(waiters_.front());
+    waiters_.pop_front();
+    take(next.bytes);
+    if (next.on_admit) next.on_admit();
+  }
+}
+
+}  // namespace das::traffic

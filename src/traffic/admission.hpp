@@ -1,0 +1,83 @@
+// Per-tenant admission control: a token bucket on in-flight bytes.
+//
+// An open-loop workload keeps submitting no matter how loaded the system
+// is; without admission control one aggressive tenant can fill every NIC
+// and disk queue and blow up everyone's tail latency. Each tenant owns a
+// bucket of `capacity_bytes` tokens: starting a job consumes its byte size,
+// completing it returns the tokens, and jobs that do not fit wait in the
+// tenant's FIFO. A job larger than the whole bucket is admitted only when
+// the bucket is completely full (it can never "fit", but must not starve).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "simkit/inplace_fn.hpp"
+#include "simkit/stats.hpp"
+#include "simkit/time.hpp"
+
+namespace das::traffic {
+
+struct AdmissionConfig {
+  bool enabled = false;
+  /// Token capacity: the most bytes one tenant may have in flight.
+  std::uint64_t capacity_bytes = 64ULL << 20;
+
+  [[nodiscard]] bool active() const {
+    return enabled && capacity_bytes > 0;
+  }
+};
+
+/// Runs when a queued job is finally admitted.
+using AdmitFn = sim::InplaceFn<void()>;
+
+class TokenBucket {
+ public:
+  explicit TokenBucket(const AdmissionConfig& config)
+      : config_(config), tokens_(config.capacity_bytes) {}
+
+  /// Admit a job of `bytes` now if it fits (or the bucket is disabled);
+  /// otherwise queue `on_admit` until enough completions return tokens.
+  /// Returns true when the job was admitted immediately.
+  bool submit(std::uint64_t bytes, AdmitFn on_admit);
+
+  /// Return a completed job's tokens and admit as many waiters as now fit,
+  /// in FIFO order.
+  void release(std::uint64_t bytes);
+
+  [[nodiscard]] std::uint64_t tokens() const { return tokens_; }
+  [[nodiscard]] std::uint64_t inflight_bytes() const {
+    return config_.capacity_bytes - tokens_;
+  }
+  [[nodiscard]] std::size_t queued() const { return waiters_.size(); }
+
+  /// Peak in-flight bytes and queue depth seen (reporting).
+  [[nodiscard]] std::uint64_t max_inflight_bytes() const {
+    return max_inflight_;
+  }
+  [[nodiscard]] std::size_t max_queued() const { return max_queued_; }
+  [[nodiscard]] std::uint64_t deferred_jobs() const { return deferred_; }
+
+ private:
+  struct Waiter {
+    std::uint64_t bytes = 0;
+    AdmitFn on_admit;
+  };
+
+  [[nodiscard]] bool fits(std::uint64_t bytes) const {
+    // Oversize jobs run alone: they need the full (idle) bucket.
+    return bytes <= tokens_ ||
+           (bytes > config_.capacity_bytes &&
+            tokens_ == config_.capacity_bytes);
+  }
+  void take(std::uint64_t bytes);
+
+  AdmissionConfig config_;
+  std::uint64_t tokens_ = 0;
+  std::uint64_t max_inflight_ = 0;
+  std::uint64_t deferred_ = 0;
+  std::size_t max_queued_ = 0;
+  std::deque<Waiter> waiters_;
+};
+
+}  // namespace das::traffic

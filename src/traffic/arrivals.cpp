@@ -1,0 +1,166 @@
+#include "traffic/arrivals.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "simkit/assert.hpp"
+
+namespace das::traffic {
+namespace {
+
+/// Strips a job of `job_bytes` covers (at least one).
+std::uint64_t strips_per_job(const ArrivalConfig& config) {
+  DAS_REQUIRE(config.strip_bytes > 0);
+  return std::max<std::uint64_t>(
+      1, (config.job_bytes + config.strip_bytes - 1) / config.strip_bytes);
+}
+
+/// Draw a kind index from the mix weights; falls back to raw reads when
+/// every weight is zero.
+JobKind pick_kind(sim::Rng& rng, const double (&mix)[kNumJobKinds]) {
+  double total = 0.0;
+  for (const double w : mix) {
+    DAS_REQUIRE(w >= 0.0);
+    total += w;
+  }
+  if (total <= 0.0) return JobKind::kRawRead;
+  double x = rng.next_double() * total;
+  for (std::size_t k = 0; k < kNumJobKinds; ++k) {
+    x -= mix[k];
+    if (x < 0.0) return static_cast<JobKind>(k);
+  }
+  return static_cast<JobKind>(kNumJobKinds - 1);
+}
+
+/// Fill dataset + offset from the tenant stream; shared by both sources so
+/// a trace replay reads the same strips a Poisson run would.
+void pick_placement(sim::Rng& rng, const ArrivalConfig& config,
+                    std::uint32_t tenant, JobArrival& job) {
+  job.dataset = config.datasets > 0
+                    ? (tenant + static_cast<std::uint32_t>(rng.uniform_int(
+                                    0, config.datasets - 1))) %
+                          config.datasets
+                    : 0;
+  const std::uint64_t span = strips_per_job(config);
+  const std::uint64_t last_start =
+      config.dataset_strips > span ? config.dataset_strips - span : 0;
+  job.first_strip = static_cast<std::uint64_t>(
+      rng.uniform_int(0, static_cast<std::int64_t>(last_start)));
+}
+
+/// Stable merge order: time, then tenant, then per-tenant sequence (the
+/// generators emit per-tenant lists already in sequence order).
+void sort_schedule(std::vector<JobArrival>& schedule) {
+  std::stable_sort(schedule.begin(), schedule.end(),
+                   [](const JobArrival& a, const JobArrival& b) {
+                     if (a.at != b.at) return a.at < b.at;
+                     return a.tenant < b.tenant;
+                   });
+}
+
+}  // namespace
+
+std::vector<JobArrival> generate_poisson(const ArrivalConfig& config) {
+  DAS_REQUIRE(config.tenants > 0);
+  DAS_REQUIRE(config.rate_hz > 0.0);
+  DAS_REQUIRE(config.job_bytes > 0);
+
+  const sim::Rng master(config.seed);
+  const std::uint64_t job_bytes =
+      strips_per_job(config) * config.strip_bytes;
+
+  std::vector<JobArrival> schedule;
+  schedule.reserve(static_cast<std::size_t>(config.tenants) *
+                   config.jobs_per_tenant);
+  for (std::uint32_t t = 0; t < config.tenants; ++t) {
+    sim::Rng rng = master.fork("tenant" + std::to_string(t));
+    double clock_s = 0.0;
+    for (std::uint32_t j = 0; j < config.jobs_per_tenant; ++j) {
+      // Exponential inter-arrival; 1 - u keeps the argument of log nonzero.
+      clock_s += -std::log(1.0 - rng.next_double()) / config.rate_hz;
+      JobArrival job;
+      job.tenant = t;
+      job.at = sim::seconds(clock_s);
+      job.kind = pick_kind(rng, config.mix);
+      job.bytes = job_bytes;
+      pick_placement(rng, config, t, job);
+      schedule.push_back(job);
+    }
+  }
+  sort_schedule(schedule);
+  return schedule;
+}
+
+std::vector<JobArrival> load_trace(const std::string& path,
+                                   const ArrivalConfig& config) {
+  DAS_REQUIRE(config.tenants > 0);
+  std::ifstream in(path);
+  if (!in) {
+    throw std::invalid_argument("cannot open trace file: " + path);
+  }
+
+  const sim::Rng master(config.seed);
+  std::vector<sim::Rng> streams;
+  streams.reserve(config.tenants);
+  for (std::uint32_t t = 0; t < config.tenants; ++t) {
+    streams.push_back(master.fork("tenant" + std::to_string(t)));
+  }
+
+  std::vector<JobArrival> schedule;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    if (line_no == 1 && line.rfind("time", 0) == 0) continue;  // header
+
+    std::istringstream row(line);
+    std::string time_s, tenant_s, kind_s, bytes_s;
+    if (!std::getline(row, time_s, ',') || !std::getline(row, tenant_s, ',') ||
+        !std::getline(row, kind_s, ',') || !std::getline(row, bytes_s)) {
+      throw std::invalid_argument("trace line " + std::to_string(line_no) +
+                                  ": expected time_s,tenant,kind,bytes");
+    }
+    JobArrival job;
+    try {
+      job.at = sim::seconds(std::stod(time_s));
+      job.tenant = static_cast<std::uint32_t>(std::stoul(tenant_s));
+      job.bytes = std::stoull(bytes_s);
+    } catch (const std::exception&) {
+      throw std::invalid_argument("trace line " + std::to_string(line_no) +
+                                  ": malformed number");
+    }
+    if (job.at < 0 || job.tenant >= config.tenants || job.bytes == 0) {
+      throw std::invalid_argument(
+          "trace line " + std::to_string(line_no) +
+          ": time must be >= 0, bytes > 0, tenant < " +
+          std::to_string(config.tenants));
+    }
+    bool known = false;
+    for (std::size_t k = 0; k < kNumJobKinds; ++k) {
+      if (kind_s == to_string(static_cast<JobKind>(k))) {
+        job.kind = static_cast<JobKind>(k);
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
+      throw std::invalid_argument("trace line " + std::to_string(line_no) +
+                                  ": unknown kind: " + kind_s);
+    }
+    // Round to whole strips, like the generator.
+    job.bytes = std::max<std::uint64_t>(
+                    1, (job.bytes + config.strip_bytes - 1) /
+                           config.strip_bytes) *
+                config.strip_bytes;
+    pick_placement(streams[job.tenant], config, job.tenant, job);
+    schedule.push_back(job);
+  }
+  sort_schedule(schedule);
+  return schedule;
+}
+
+}  // namespace das::traffic

@@ -1,0 +1,87 @@
+// Open-loop arrival processes for the multi-tenant traffic engine.
+//
+// Arrivals are generated up front, before the simulation starts: an
+// open-loop workload submits on its own schedule no matter how slow the
+// system is, which is what exposes queueing collapse under overload.
+// Every tenant draws from its own deterministic RNG substream (forked from
+// the master seed by tenant id), so the schedule for tenant t is identical
+// no matter how many other tenants run, what the admission/hedging knobs
+// are, or how the host executes the sweep.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "simkit/random.hpp"
+#include "simkit/time.hpp"
+
+namespace das::traffic {
+
+/// Job kinds a tenant submits. Raw strip reads move bytes only; the kernel
+/// kinds additionally charge client compute at the kernel's cost factor
+/// (the paper's Table-I mix under multi-tenant contention).
+enum class JobKind : std::uint8_t {
+  kRawRead = 0,
+  kFlowRouting = 1,
+  kGaussian = 2,
+  kFlowAccumulation = 3,
+};
+
+inline constexpr std::size_t kNumJobKinds = 4;
+
+[[nodiscard]] constexpr const char* to_string(JobKind kind) {
+  switch (kind) {
+    case JobKind::kRawRead: return "raw-read";
+    case JobKind::kFlowRouting: return "flow-routing";
+    case JobKind::kGaussian: return "gaussian-2d";
+    case JobKind::kFlowAccumulation: return "flow-accumulation";
+  }
+  return "?";
+}
+
+/// One scheduled submission: what a tenant asks for and when.
+struct JobArrival {
+  std::uint32_t tenant = 0;
+  sim::SimTime at = 0;
+  JobKind kind = JobKind::kRawRead;
+  /// Dataset index the job reads (the engine maps it to a FileId).
+  std::uint32_t dataset = 0;
+  /// First strip of the contiguous range the job reads.
+  std::uint64_t first_strip = 0;
+  /// Bytes the job reads (strip-aligned by construction).
+  std::uint64_t bytes = 0;
+};
+
+struct ArrivalConfig {
+  std::uint32_t tenants = 1;
+  std::uint32_t jobs_per_tenant = 8;
+  /// Mean submissions per second per tenant (Poisson process).
+  double rate_hz = 1.0;
+  /// Bytes each job reads; rounded up to whole strips by the generator.
+  std::uint64_t job_bytes = 16ULL << 20;
+  /// Dataset pool the jobs draw from (round-robin base + random pick).
+  std::uint32_t datasets = 1;
+  std::uint64_t dataset_strips = 256;
+  std::uint64_t strip_bytes = 1ULL << 20;
+  /// Relative weight of each JobKind in the mix (zero disables a kind).
+  double mix[kNumJobKinds] = {1.0, 1.0, 1.0, 1.0};
+  std::uint64_t seed = 20120901;
+};
+
+/// Generate the full open-loop schedule: per-tenant Poisson arrivals with
+/// kinds, datasets and offsets drawn from the tenant's private substream,
+/// merged into one list sorted by (time, tenant, sequence).
+[[nodiscard]] std::vector<JobArrival> generate_poisson(
+    const ArrivalConfig& config);
+
+/// Load a schedule from a trace file: one `time_s,tenant,kind,bytes` row
+/// per job (header and '#' comment lines are skipped; kind is one of
+/// raw-read, flow-routing, gaussian-2d, flow-accumulation). Dataset and
+/// offset are derived deterministically from `config` exactly as the
+/// Poisson generator derives them. Throws std::invalid_argument on
+/// malformed rows or tenant ids >= config.tenants.
+[[nodiscard]] std::vector<JobArrival> load_trace(
+    const std::string& path, const ArrivalConfig& config);
+
+}  // namespace das::traffic

@@ -1,0 +1,230 @@
+#include "traffic/engine.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <utility>
+
+#include "kernels/registry.hpp"
+#include "pfs/layout.hpp"
+#include "simkit/assert.hpp"
+
+namespace das::traffic {
+namespace {
+
+/// Per-byte compute cost charged at the client for each job kind (raw reads
+/// charge nothing). Resolved once from the kernel registry so the traffic
+/// engine and the classic executors price a kernel identically.
+struct KindCosts {
+  double factor[kNumJobKinds] = {};
+
+  KindCosts() {
+    const kernels::KernelRegistry registry = kernels::standard_registry();
+    factor[static_cast<std::size_t>(JobKind::kRawRead)] = 0.0;
+    factor[static_cast<std::size_t>(JobKind::kFlowRouting)] =
+        registry.create("flow-routing")->cost_factor();
+    factor[static_cast<std::size_t>(JobKind::kGaussian)] =
+        registry.create("gaussian-2d")->cost_factor();
+    factor[static_cast<std::size_t>(JobKind::kFlowAccumulation)] =
+        registry.create("flow-accumulation")->cost_factor();
+  }
+
+  [[nodiscard]] double of(JobKind kind) const {
+    return factor[static_cast<std::size_t>(kind)];
+  }
+};
+
+/// One traffic run: owns the cluster, the control-plane state machines and
+/// the per-job bookkeeping. Local to run_traffic().
+class TrafficEngine {
+ public:
+  explicit TrafficEngine(const TrafficConfig& config)
+      : config_(config),
+        cluster_(config.cluster, config.context),
+        straggler_(cluster_.simulator(), cluster_.network(), cluster_.pfs(),
+                   config.straggler) {
+    DAS_REQUIRE(config.arrivals.tenants > 0);
+    DAS_REQUIRE(config.arrivals.strip_bytes > 0);
+    DAS_REQUIRE(config.arrivals.datasets > 0);
+    DAS_REQUIRE(config.cluster.compute_nodes > 0);
+    build_datasets();
+    build_schedulers();
+    build_tenants();
+  }
+
+  TrafficReport run();
+
+ private:
+  struct Job {
+    JobArrival arrival;
+    sim::SimTime admitted_at = 0;
+    std::uint64_t strips_left = 0;
+  };
+
+  void build_datasets() {
+    const ArrivalConfig& a = config_.arrivals;
+    const std::uint64_t span = std::max<std::uint64_t>(
+        1, (a.job_bytes + a.strip_bytes - 1) / a.strip_bytes);
+    DAS_REQUIRE(a.dataset_strips >= span);
+    for (std::uint32_t d = 0; d < a.datasets; ++d) {
+      pfs::FileMeta meta;
+      meta.name = "traffic-" + std::to_string(d);
+      meta.size_bytes = a.dataset_strips * a.strip_bytes;
+      meta.strip_size = a.strip_bytes;
+      files_.push_back(cluster_.pfs().create_file(
+          std::move(meta),
+          std::make_unique<pfs::ReplicatedRoundRobinLayout>(
+              cluster_.pfs().num_servers(), config_.replication)));
+    }
+  }
+
+  void build_schedulers() {
+    if (!config_.fair_queue) return;
+    nic_wfq_ = std::make_unique<NicFairQueue>(cluster_.simulator(),
+                                              cluster_.network());
+    disk_wfq_ = std::make_unique<DiskFairQueue>(cluster_.simulator());
+    if (!config_.weights.empty()) {
+      for (std::uint32_t t = 0; t < config_.arrivals.tenants; ++t) {
+        const double w = config_.weights[t % config_.weights.size()];
+        nic_wfq_->set_weight(t, w);
+        disk_wfq_->set_weight(t, w);
+      }
+    }
+    cluster_.network().set_send_scheduler(nic_wfq_.get());
+    for (pfs::ServerIndex s = 0; s < cluster_.pfs().num_servers(); ++s) {
+      cluster_.pfs().server(s).set_read_scheduler(disk_wfq_.get());
+    }
+  }
+
+  void build_tenants() {
+    stats_.resize(config_.arrivals.tenants);
+    for (std::uint32_t t = 0; t < config_.arrivals.tenants; ++t) {
+      buckets_.emplace_back(config_.admission);
+    }
+  }
+
+  /// Client node a tenant runs on (tenants cycle over the compute nodes).
+  [[nodiscard]] net::NodeId client_of(std::uint32_t tenant) const {
+    return cluster_.compute_node(tenant %
+                                 config_.cluster.compute_nodes);
+  }
+
+  void submit(std::uint32_t j) {
+    Job& job = jobs_[j];
+    const std::uint32_t t = job.arrival.tenant;
+    ++stats_[t].jobs_submitted;
+    const bool immediate =
+        buckets_[t].submit(job.arrival.bytes, [this, j]() { start(j); });
+    if (!immediate) ++stats_[t].jobs_deferred;
+  }
+
+  void start(std::uint32_t j) {
+    Job& job = jobs_[j];
+    const std::uint32_t t = job.arrival.tenant;
+    job.admitted_at = cluster_.simulator().now();
+    stats_[t].admission_wait.record(
+        sim::to_seconds(job.admitted_at - job.arrival.at));
+    job.strips_left = job.arrival.bytes / config_.arrivals.strip_bytes;
+    DAS_REQUIRE(job.strips_left > 0);
+    const pfs::FileId file = files_[job.arrival.dataset];
+    const net::NodeId client = client_of(t);
+    for (std::uint64_t s = 0; s < job.strips_left; ++s) {
+      straggler_.read_strip(client, t, file, job.arrival.first_strip + s,
+                            [this, j]() { strip_done(j); });
+    }
+  }
+
+  void strip_done(std::uint32_t j) {
+    Job& job = jobs_[j];
+    DAS_REQUIRE(job.strips_left > 0);
+    if (--job.strips_left > 0) return;
+    const double cost = costs_.of(job.arrival.kind);
+    if (cost <= 0.0) {
+      finish(j);
+      return;
+    }
+    // Kernel jobs process the bytes on the client; the engine is a serial
+    // per-node resource, so co-located tenants contend here too.
+    sim::Simulator& sim = cluster_.simulator();
+    const sim::SimTime done_at =
+        cluster_.engine(client_of(job.arrival.tenant))
+            .execute(sim.now(), job.arrival.bytes, cost);
+    sim.schedule_at(done_at, [this, j]() { finish(j); }, "traffic.compute");
+  }
+
+  void finish(std::uint32_t j) {
+    Job& job = jobs_[j];
+    const std::uint32_t t = job.arrival.tenant;
+    const sim::SimTime now = cluster_.simulator().now();
+    TenantStats& stats = stats_[t];
+    ++stats.jobs_completed;
+    stats.bytes_read += job.arrival.bytes;
+    stats.sojourn.record(sim::to_seconds(now - job.arrival.at));
+    stats.service.record(sim::to_seconds(now - job.admitted_at));
+    last_finish_ = std::max(last_finish_, now);
+    buckets_[t].release(job.arrival.bytes);
+  }
+
+  TrafficConfig config_;
+  core::Cluster cluster_;
+  StragglerScheduler straggler_;
+  KindCosts costs_;
+  std::vector<pfs::FileId> files_;
+  std::vector<TenantStats> stats_;
+  std::deque<TokenBucket> buckets_;
+  std::unique_ptr<NicFairQueue> nic_wfq_;
+  std::unique_ptr<DiskFairQueue> disk_wfq_;
+  std::vector<Job> jobs_;
+  sim::SimTime last_finish_ = 0;
+};
+
+TrafficReport TrafficEngine::run() {
+  const std::vector<JobArrival> schedule =
+      config_.trace_file.empty()
+          ? generate_poisson(config_.arrivals)
+          : load_trace(config_.trace_file, config_.arrivals);
+
+  jobs_.reserve(schedule.size());
+  for (const JobArrival& arrival : schedule) {
+    jobs_.push_back(Job{arrival, 0, 0});
+  }
+  sim::Simulator& sim = cluster_.simulator();
+  for (std::uint32_t j = 0; j < jobs_.size(); ++j) {
+    sim.schedule_at(jobs_[j].arrival.at, [this, j]() { submit(j); },
+                    "traffic.arrival");
+  }
+  sim.run();
+
+  TrafficReport report;
+  report.tenants = stats_;
+  for (const TenantStats& s : stats_) report.total.merge(s);
+  DAS_REQUIRE(report.total.jobs_completed == jobs_.size());
+  report.makespan_s = sim::to_seconds(last_finish_);
+  report.events = sim.events_delivered();
+  report.reads_issued = straggler_.reads_issued();
+  report.reroutes = straggler_.reroutes();
+  report.hedges_issued = straggler_.hedges_issued();
+  report.hedges_won = straggler_.hedges_won();
+  report.wasted_bytes = straggler_.wasted_bytes();
+  if (nic_wfq_) report.nic_scheduled = nic_wfq_->messages_scheduled();
+  if (disk_wfq_) report.disk_scheduled = disk_wfq_->reads_scheduled();
+  report.read_latency = straggler_.latency_histogram().summary();
+  return report;
+}
+
+}  // namespace
+
+std::string TrafficReport::slo_csv() const {
+  std::string csv = slo_csv_header();
+  for (std::size_t t = 0; t < tenants.size(); ++t) {
+    csv += slo_csv_row(std::to_string(t), tenants[t]);
+  }
+  csv += slo_csv_row("all", total);
+  return csv;
+}
+
+TrafficReport run_traffic(const TrafficConfig& config) {
+  TrafficEngine engine(config);
+  return engine.run();
+}
+
+}  // namespace das::traffic

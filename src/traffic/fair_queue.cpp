@@ -1,0 +1,101 @@
+#include "traffic/fair_queue.hpp"
+
+#include <utility>
+
+namespace das::traffic {
+namespace {
+
+/// Cost charged to a tenant for one message/read: its payload bytes, floor 1
+/// so zero-byte control messages still advance the tenant's finish tag.
+std::uint64_t cost_of(std::uint64_t bytes) {
+  return std::max<std::uint64_t>(1, bytes);
+}
+
+}  // namespace
+
+NicFairQueue::NodeQueue& NicFairQueue::node_queue(net::NodeId node) {
+  auto [it, inserted] = queues_.try_emplace(node);
+  if (inserted) {
+    for (const auto& [tenant, weight] : weights_) {
+      it->second.queue.set_weight(tenant, weight);
+    }
+  }
+  return it->second;
+}
+
+bool NicFairQueue::intercept(net::Message& msg) {
+  const net::NodeId node = msg.src;
+  NodeQueue& nq = node_queue(node);
+  nq.queue.push(msg.tenant, cost_of(msg.bytes), std::move(msg));
+  ++scheduled_;
+  max_depth_ = std::max(max_depth_, nq.queue.size());
+  if (!nq.pump_pending) {
+    nq.pump_pending = true;
+    const sim::SimTime when =
+        std::max(sim_.now(), net_.nic(node).egress_free_at());
+    sim_.schedule_at(when, [this, node]() { pump(node); }, "traffic.nic_wfq");
+  }
+  return true;
+}
+
+void NicFairQueue::pump(net::NodeId node) {
+  NodeQueue& nq = node_queue(node);
+  if (nq.queue.empty()) {
+    nq.pump_pending = false;
+    return;
+  }
+  net_.transmit(nq.queue.pop());
+  if (nq.queue.empty()) {
+    nq.pump_pending = false;
+    return;
+  }
+  // The transmit above advanced the egress reservation; release the next
+  // message the moment the NIC frees up.
+  const sim::SimTime when =
+      std::max(sim_.now(), net_.nic(node).egress_free_at());
+  sim_.schedule_at(when, [this, node]() { pump(node); }, "traffic.nic_wfq");
+}
+
+DiskFairQueue::ServerQueue& DiskFairQueue::server_queue(
+    pfs::PfsServer& server) {
+  auto [it, inserted] = queues_.try_emplace(&server);
+  if (inserted) {
+    for (const auto& [tenant, weight] : weights_) {
+      it->second.queue.set_weight(tenant, weight);
+    }
+  }
+  return it->second;
+}
+
+bool DiskFairQueue::intercept_read(pfs::PfsServer& server,
+                                   pfs::ReadRequest& request) {
+  ServerQueue& sq = server_queue(server);
+  sq.queue.push(request.tenant, cost_of(request.length), std::move(request));
+  ++scheduled_;
+  max_depth_ = std::max(max_depth_, sq.queue.size());
+  if (!sq.pump_pending) {
+    sq.pump_pending = true;
+    const sim::SimTime when = std::max(sim_.now(), server.disk().free_at());
+    sim_.schedule_at(when, [this, &server]() { pump(server); },
+                     "traffic.disk_wfq");
+  }
+  return true;
+}
+
+void DiskFairQueue::pump(pfs::PfsServer& server) {
+  ServerQueue& sq = server_queue(server);
+  if (sq.queue.empty()) {
+    sq.pump_pending = false;
+    return;
+  }
+  server.serve_read_now(sq.queue.pop());
+  if (sq.queue.empty()) {
+    sq.pump_pending = false;
+    return;
+  }
+  const sim::SimTime when = std::max(sim_.now(), server.disk().free_at());
+  sim_.schedule_at(when, [this, &server]() { pump(server); },
+                   "traffic.disk_wfq");
+}
+
+}  // namespace das::traffic

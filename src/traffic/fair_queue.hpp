@@ -1,0 +1,150 @@
+// Weighted fair queueing at the cluster's two contended service points.
+//
+// WeightedFairQueue implements classic virtual-time WFQ: an item from
+// tenant t with cost c gets start tag S = max(V, F_t) and finish tag
+// F = S + c / weight_t; pop() serves the smallest finish tag (FIFO among
+// equal tags via a sequence number) and advances V. A tenant with weight 2
+// drains twice the bytes per unit of contention as a weight-1 tenant,
+// regardless of how aggressively either submits.
+//
+// NicFairQueue installs the discipline at every node's egress NIC (via
+// net::SendScheduler) and DiskFairQueue at every storage server's read
+// service point (via pfs::ReadScheduler). Both hold back queued work and
+// release exactly one item per dispatch event, timed to the resource's
+// "next free time", so the underlying reservation model is unchanged —
+// only the order in which tenants reach it.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "net/network.hpp"
+#include "pfs/server.hpp"
+#include "simkit/assert.hpp"
+#include "simkit/simulator.hpp"
+
+namespace das::traffic {
+
+template <typename T>
+class WeightedFairQueue {
+ public:
+  /// Weight for `tenant` (default 1.0). Applies to later pushes.
+  void set_weight(std::uint32_t tenant, double weight) {
+    DAS_REQUIRE(weight > 0.0);
+    weights_[tenant] = weight;
+  }
+
+  void push(std::uint32_t tenant, std::uint64_t cost, T item) {
+    const auto w = weights_.find(tenant);
+    const double weight = w != weights_.end() ? w->second : 1.0;
+    double& last_finish = last_finish_[tenant];
+    const double start = std::max(virtual_time_, last_finish);
+    const double finish = start + static_cast<double>(cost) / weight;
+    last_finish = finish;
+    heap_.push_back(Entry{finish, next_seq_++, std::move(item)});
+    std::push_heap(heap_.begin(), heap_.end(), later);
+  }
+
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const { return heap_.size(); }
+
+  /// Remove and return the item with the smallest finish tag.
+  T pop() {
+    DAS_REQUIRE(!heap_.empty());
+    std::pop_heap(heap_.begin(), heap_.end(), later);
+    Entry entry = std::move(heap_.back());
+    heap_.pop_back();
+    virtual_time_ = std::max(virtual_time_, entry.finish);
+    return std::move(entry.item);
+  }
+
+ private:
+  struct Entry {
+    double finish = 0.0;
+    std::uint64_t seq = 0;
+    T item;
+  };
+
+  /// Heap comparator: true when `a` should be served after `b`.
+  static bool later(const Entry& a, const Entry& b) {
+    if (a.finish != b.finish) return a.finish > b.finish;
+    return a.seq > b.seq;
+  }
+
+  std::vector<Entry> heap_;
+  std::map<std::uint32_t, double> weights_;
+  std::map<std::uint32_t, double> last_finish_;
+  double virtual_time_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+};
+
+/// WFQ at every node's egress NIC. One queue per sending node; a dispatch
+/// event releases one message whenever the node's egress falls idle.
+class NicFairQueue : public net::SendScheduler {
+ public:
+  NicFairQueue(sim::Simulator& simulator, net::Network& network)
+      : sim_(simulator), net_(network) {}
+
+  void set_weight(std::uint32_t tenant, double weight) {
+    weights_.emplace_back(tenant, weight);
+  }
+
+  bool intercept(net::Message& msg) override;
+
+  [[nodiscard]] std::uint64_t messages_scheduled() const { return scheduled_; }
+  [[nodiscard]] std::size_t max_queue_depth() const { return max_depth_; }
+
+ private:
+  struct NodeQueue {
+    WeightedFairQueue<net::Message> queue;
+    bool pump_pending = false;
+  };
+
+  NodeQueue& node_queue(net::NodeId node);
+  void pump(net::NodeId node);
+
+  sim::Simulator& sim_;
+  net::Network& net_;
+  std::vector<std::pair<std::uint32_t, double>> weights_;
+  std::unordered_map<net::NodeId, NodeQueue> queues_;
+  std::uint64_t scheduled_ = 0;
+  std::size_t max_depth_ = 0;
+};
+
+/// WFQ at every storage server's read service point. One queue per server;
+/// a dispatch event releases one read whenever the server's disk falls idle.
+class DiskFairQueue : public pfs::ReadScheduler {
+ public:
+  explicit DiskFairQueue(sim::Simulator& simulator) : sim_(simulator) {}
+
+  void set_weight(std::uint32_t tenant, double weight) {
+    weights_.emplace_back(tenant, weight);
+  }
+
+  bool intercept_read(pfs::PfsServer& server,
+                      pfs::ReadRequest& request) override;
+
+  [[nodiscard]] std::uint64_t reads_scheduled() const { return scheduled_; }
+  [[nodiscard]] std::size_t max_queue_depth() const { return max_depth_; }
+
+ private:
+  struct ServerQueue {
+    WeightedFairQueue<pfs::ReadRequest> queue;
+    bool pump_pending = false;
+  };
+
+  ServerQueue& server_queue(pfs::PfsServer& server);
+  void pump(pfs::PfsServer& server);
+
+  sim::Simulator& sim_;
+  std::vector<std::pair<std::uint32_t, double>> weights_;
+  std::unordered_map<pfs::PfsServer*, ServerQueue> queues_;
+  std::uint64_t scheduled_ = 0;
+  std::size_t max_depth_ = 0;
+};
+
+}  // namespace das::traffic

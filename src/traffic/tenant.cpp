@@ -1,0 +1,52 @@
+#include "traffic/tenant.hpp"
+
+#include <cstdio>
+
+namespace das::traffic {
+namespace {
+
+/// Fixed-precision seconds — CSV rows must be byte-identical across runs
+/// and hosts, so never go through ostream locale/format state.
+std::string fixed(double seconds) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.9f", seconds);
+  return buf;
+}
+
+}  // namespace
+
+void TenantStats::merge(const TenantStats& other) {
+  jobs_submitted += other.jobs_submitted;
+  jobs_completed += other.jobs_completed;
+  bytes_read += other.bytes_read;
+  jobs_deferred += other.jobs_deferred;
+  admission_wait.merge(other.admission_wait);
+  service.merge(other.service);
+  sojourn.merge(other.sojourn);
+}
+
+std::string slo_csv_header() {
+  return "tenant,jobs,bytes,deferred,"
+         "sojourn_p50_s,sojourn_p95_s,sojourn_p99_s,sojourn_mean_s,"
+         "service_p50_s,service_p95_s,service_p99_s,service_mean_s,"
+         "admission_wait_p95_s\n";
+}
+
+std::string slo_csv_row(const std::string& label, const TenantStats& stats) {
+  const sim::HistogramSummary sojourn = stats.sojourn.summary();
+  const sim::HistogramSummary service = stats.service.summary();
+  const sim::HistogramSummary wait = stats.admission_wait.summary();
+  std::string row = label;
+  row += ',' + std::to_string(stats.jobs_completed);
+  row += ',' + std::to_string(stats.bytes_read);
+  row += ',' + std::to_string(stats.jobs_deferred);
+  row += ',' + fixed(sojourn.p50) + ',' + fixed(sojourn.p95) + ',' +
+         fixed(sojourn.p99) + ',' + fixed(sojourn.mean);
+  row += ',' + fixed(service.p50) + ',' + fixed(service.p95) + ',' +
+         fixed(service.p99) + ',' + fixed(service.mean);
+  row += ',' + fixed(wait.p95);
+  row += '\n';
+  return row;
+}
+
+}  // namespace das::traffic

@@ -1,0 +1,44 @@
+// Per-tenant accounting for the traffic engine.
+//
+// Every job contributes three latency samples: how long admission held it
+// back, how long it ran once admitted (service), and the end-to-end sojourn
+// the tenant actually experiences (arrival to completion — the SLO metric).
+// The CSV renderer emits one row per tenant plus an "all" aggregate row,
+// with fixed-precision fields so equal runs produce byte-identical reports.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "simkit/stats.hpp"
+
+namespace das::traffic {
+
+struct TenantStats {
+  std::uint64_t jobs_submitted = 0;
+  std::uint64_t jobs_completed = 0;
+  std::uint64_t bytes_read = 0;
+  /// Jobs that had to wait in the admission queue.
+  std::uint64_t jobs_deferred = 0;
+
+  /// Seconds each job waited for admission (0 when admitted immediately).
+  sim::Histogram admission_wait;
+  /// Seconds from admission to completion.
+  sim::Histogram service;
+  /// Seconds from scheduled arrival to completion (the SLO metric).
+  sim::Histogram sojourn;
+
+  void merge(const TenantStats& other);
+};
+
+/// Column header for slo_csv_row(); ends with '\n'.
+[[nodiscard]] std::string slo_csv_header();
+
+/// One CSV row: `label,jobs,bytes,deferred,` followed by p50/p95/p99/mean
+/// for sojourn and service and p95 admission wait, all in seconds with
+/// fixed precision; ends with '\n'.
+[[nodiscard]] std::string slo_csv_row(const std::string& label,
+                                      const TenantStats& stats);
+
+}  // namespace das::traffic

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+#include <string>
+
 #include "kernels/registry.hpp"
 
 namespace das::core {
@@ -111,15 +114,47 @@ TEST(WorkloadTest, ReferenceOutputMatchesKernelReference) {
             kernel->run_reference(make_input(spec, *kernel)));
 }
 
-TEST(WorkloadDeathTest, MisalignedDataModeAborts) {
+TEST(WorkloadTest, MisalignedRowStripGeometryThrowsWithNumbers) {
   const auto registry = kernels::standard_registry();
   WorkloadSpec spec;
   spec.strip_size = 1024;
   spec.element_size = 4;
-  spec.raster_width = 300;
+  spec.raster_width = 300;  // 1200 B rows: whole rows, but not vs 1024 strips
   spec.data_bytes = 300 * 4 * 10;
-  EXPECT_DEATH(make_input(spec, *registry.create("gaussian-2d")),
-               "DAS_REQUIRE");
+  try {
+    (void)make_input(spec, *registry.create("gaussian-2d"));
+    FAIL() << "misaligned row/strip geometry was accepted";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("row length 1200"),
+              std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find("strip_size 1024"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(WorkloadTest, PartialTrailingRowThrowsWithRemainder) {
+  const auto registry = kernels::standard_registry();
+  WorkloadSpec spec;
+  spec.strip_size = 1024;
+  spec.element_size = 4;
+  spec.data_bytes = 64 * 1024 + 100;  // 100 B past the last whole row
+  try {
+    (void)make_input(spec, *registry.create("gaussian-2d"));
+    FAIL() << "partial trailing row was accepted";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("remainder 100"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(WorkloadTest, RequireAlignedAcceptsAlignedGeometry) {
+  WorkloadSpec spec;
+  spec.strip_size = 1024;
+  spec.element_size = 4;
+  spec.data_bytes = 64 * 1024;
+  EXPECT_NO_THROW(spec.require_aligned());
 }
 
 }  // namespace

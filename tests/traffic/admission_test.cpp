@@ -1,0 +1,101 @@
+#include "traffic/admission.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace das::traffic {
+namespace {
+
+AdmissionConfig capacity(std::uint64_t bytes) {
+  AdmissionConfig config;
+  config.enabled = true;
+  config.capacity_bytes = bytes;
+  return config;
+}
+
+TEST(AdmissionTest, DisabledBucketAdmitsEverythingImmediately) {
+  TokenBucket bucket{AdmissionConfig{}};  // enabled = false
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_TRUE(bucket.submit(1ULL << 30, [] {}));
+  }
+  EXPECT_EQ(bucket.queued(), 0u);
+  EXPECT_EQ(bucket.deferred_jobs(), 0u);
+}
+
+TEST(AdmissionTest, AdmitsUntilFullThenQueuesFifo) {
+  TokenBucket bucket{capacity(100)};
+  std::vector<int> admitted;
+
+  EXPECT_TRUE(bucket.submit(60, [&] { admitted.push_back(0); }));
+  EXPECT_TRUE(bucket.submit(40, [&] { admitted.push_back(1); }));
+  EXPECT_EQ(bucket.tokens(), 0u);
+  EXPECT_EQ(bucket.inflight_bytes(), 100u);
+
+  EXPECT_FALSE(bucket.submit(30, [&] { admitted.push_back(2); }));
+  EXPECT_FALSE(bucket.submit(10, [&] { admitted.push_back(3); }));
+  EXPECT_EQ(bucket.queued(), 2u);
+  EXPECT_EQ(bucket.deferred_jobs(), 2u);
+  EXPECT_EQ(admitted, (std::vector<int>{0, 1}));  // immediate admits ran
+
+  bucket.release(40);
+  // FIFO: the 30 B waiter goes first, and the 10 B one also fits.
+  EXPECT_EQ(admitted, (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(bucket.queued(), 0u);
+  EXPECT_EQ(bucket.tokens(), 0u);
+}
+
+TEST(AdmissionTest, FifoHeadBlocksSmallerWaitersBehindIt) {
+  TokenBucket bucket{capacity(100)};
+  std::vector<int> admitted;
+  EXPECT_TRUE(bucket.submit(90, [&] { admitted.push_back(0); }));
+  EXPECT_FALSE(bucket.submit(50, [&] { admitted.push_back(1); }));
+  EXPECT_FALSE(bucket.submit(5, [&] { admitted.push_back(2); }));
+
+  bucket.release(90);
+  // Head (50) fits and drains; 5 fits behind it. No reordering happened
+  // before the release though: strict FIFO, no small-job overtaking.
+  EXPECT_EQ(admitted, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(AdmissionTest, OversizeJobRunsAloneWhenBucketIsIdle) {
+  TokenBucket bucket{capacity(100)};
+  // An idle bucket must admit a job larger than its whole capacity
+  // (otherwise it could never run at all).
+  bool ran = false;
+  EXPECT_TRUE(bucket.submit(250, [&] { ran = true; }));
+  EXPECT_EQ(bucket.tokens(), 0u);
+
+  // While it is in flight nothing else gets in.
+  bool second = false;
+  EXPECT_FALSE(bucket.submit(1, [&] { second = true; }));
+  bucket.release(250);
+  EXPECT_TRUE(second);
+  EXPECT_EQ(bucket.tokens(), 99u);
+}
+
+TEST(AdmissionTest, OversizeJobWaitsForFullBucket) {
+  TokenBucket bucket{capacity(100)};
+  EXPECT_TRUE(bucket.submit(10, [] {}));
+  bool ran = false;
+  EXPECT_FALSE(bucket.submit(250, [&] { ran = true; }));
+  bucket.release(10);  // bucket completely full again -> oversize admitted
+  EXPECT_TRUE(ran);
+}
+
+TEST(AdmissionTest, TracksPeaks) {
+  TokenBucket bucket{capacity(100)};
+  EXPECT_TRUE(bucket.submit(80, [] {}));
+  EXPECT_FALSE(bucket.submit(80, [] {}));
+  EXPECT_FALSE(bucket.submit(80, [] {}));
+  EXPECT_EQ(bucket.max_inflight_bytes(), 80u);
+  EXPECT_EQ(bucket.max_queued(), 2u);
+  bucket.release(80);
+  bucket.release(80);
+  bucket.release(80);
+  EXPECT_EQ(bucket.tokens(), 100u);
+  EXPECT_EQ(bucket.max_queued(), 2u);
+}
+
+}  // namespace
+}  // namespace das::traffic

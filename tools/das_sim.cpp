@@ -13,11 +13,27 @@
 //           [--nic-mibps=110] [--disk-mibps=700] [--compute-mibps=450]
 //           [--startup-s=12] [--jitter=0] [--stragglers=0] [--slowdown=1]
 //           [--trace=FILE] [--audit=FILE] [--log-level=LEVEL]
+//           [--tenants=1] [--arrival-rate=1.0] [--tenant-jobs=8]
+//           [--job-mib=16] [--datasets=1] [--replicas=2]
+//           [--admission-mib=0] [--fair-queue=off] [--weights=1,...]
+//           [--hedge=off] [--reroute=off] [--trace-file=FILE] [--slo=FILE]
 //
 // --jobs=N runs the sweep's independent (kernel, scheme, trial) cells on N
-// worker threads (0 = all hardware threads). Every cell simulates in its
-// own run context, and all output is printed after the sweep in cell order,
-// so stdout, CSV, trace and audit files are byte-identical for any N.
+// worker threads; --jobs=0 means one worker per hardware thread
+// (runner::default_jobs(), the same mapping the bench binaries use). Every
+// cell simulates in its own run context, and all output is printed after
+// the sweep in cell order, so stdout, CSV, trace and audit files are
+// byte-identical for any N.
+//
+// Traffic mode (multi-tenant open-loop workload, src/traffic/) engages when
+// --tenants > 1, a --trace-file is given, or any traffic feature
+// (--admission-mib/--fair-queue/--hedge/--reroute) is enabled. N tenants
+// then submit Poisson (--arrival-rate jobs/s each, --tenant-jobs each,
+// --job-mib per job) or trace-replayed jobs against one shared cluster, and
+// the per-tenant SLO table (p50/p95/p99 sojourn/service) goes to --slo=FILE
+// or stdout. --tenants=1 with every feature off deliberately routes through
+// the classic sweep path above, so the single-tenant system is byte-for-byte
+// the pre-traffic simulator (like --prefetch=off).
 // --trace=FILE writes a Chrome trace-event / Perfetto-loadable JSON
 // timeline of every NIC, disk, compute, cache and prefetch event. Multiple
 // runs in one invocation merge into one buffer and each restarts simulated
@@ -25,6 +41,7 @@
 // scheme/kernel/trial. --audit=FILE writes one predicted-vs-observed
 // decision-audit CSV row per run.
 // --log-level=trace|debug|info|warn|error|off sets every run's logger.
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <fstream>
@@ -43,6 +60,7 @@
 #include "simkit/context.hpp"
 #include "simkit/log.hpp"
 #include "simkit/trace.hpp"
+#include "traffic/engine.hpp"
 
 namespace {
 
@@ -140,9 +158,88 @@ int main(int argc, char** argv) {
     }
     auto jobs = static_cast<unsigned>(args.get_int("jobs", 1));
     if (jobs == 0) jobs = das::runner::default_jobs();
+
+    // Traffic mode (see header comment). All its flags are parsed here —
+    // before the unknown-flag check — whether or not the mode engages.
+    das::traffic::TrafficConfig traffic;
+    traffic.cluster = base.cluster;
+    traffic.arrivals.tenants =
+        static_cast<std::uint32_t>(args.get_int("tenants", 1));
+    traffic.arrivals.jobs_per_tenant =
+        static_cast<std::uint32_t>(args.get_int("tenant-jobs", 8));
+    traffic.arrivals.rate_hz = args.get_double("arrival-rate", 1.0);
+    traffic.arrivals.job_bytes =
+        static_cast<std::uint64_t>(args.get_int("job-mib", 16)) << 20;
+    traffic.arrivals.strip_bytes = base.workload.strip_size;
+    traffic.arrivals.datasets =
+        static_cast<std::uint32_t>(args.get_int("datasets", 1));
+    traffic.arrivals.dataset_strips = std::max<std::uint64_t>(
+        1, (gib << 30) / base.workload.strip_size /
+               std::max(1u, traffic.arrivals.datasets));
+    traffic.arrivals.seed = base.cluster.seed;
+    traffic.trace_file = args.get("trace-file", "");
+    traffic.replication =
+        static_cast<std::uint32_t>(args.get_int("replicas", 2));
+    const auto admission_mib =
+        static_cast<std::uint64_t>(args.get_int("admission-mib", 0));
+    traffic.admission.enabled = admission_mib > 0;
+    traffic.admission.capacity_bytes = admission_mib << 20;
+    traffic.fair_queue = args.get_bool("fair-queue", false);
+    if (const std::string w = args.get("weights", ""); !w.empty()) {
+      for (std::size_t pos = 0; pos < w.size();) {
+        const std::size_t comma = std::min(w.find(',', pos), w.size());
+        traffic.weights.push_back(std::stod(w.substr(pos, comma - pos)));
+        pos = comma + 1;
+      }
+    }
+    traffic.straggler.hedge = args.get_bool("hedge", false);
+    traffic.straggler.reroute = args.get_bool("reroute", false);
+    const std::string slo_path = args.get("slo", "");
+    const bool traffic_mode =
+        traffic.arrivals.tenants > 1 || !traffic.trace_file.empty() ||
+        traffic.admission.enabled || traffic.fair_queue ||
+        traffic.straggler.active();
+
     if (const std::string u = args.unused(); !u.empty()) {
       std::cerr << "unknown flags: " << u << "\n";
       return 2;
+    }
+
+    if (traffic_mode) {
+      das::sim::RunContext context;
+      if (!trace_path.empty()) context.tracer.enable();
+      if (log_level) context.log.set_level(*log_level);
+      traffic.context = &context;
+
+      const das::traffic::TrafficReport report =
+          das::traffic::run_traffic(traffic);
+
+      std::string summary;
+      summary += "traffic: tenants=" +
+                 std::to_string(traffic.arrivals.tenants) +
+                 " jobs=" + std::to_string(report.total.jobs_completed) +
+                 " makespan_s=" + std::to_string(report.makespan_s) +
+                 " events=" + std::to_string(report.events) + "\n";
+      summary += "straggler: reads=" + std::to_string(report.reads_issued) +
+                 " reroutes=" + std::to_string(report.reroutes) +
+                 " hedges=" + std::to_string(report.hedges_issued) + "/" +
+                 std::to_string(report.hedges_won) +
+                 " wasted_bytes=" + std::to_string(report.wasted_bytes) +
+                 "\n";
+      std::printf("%s", summary.c_str());
+      if (slo_path.empty()) {
+        std::printf("%s", report.slo_csv().c_str());
+      } else {
+        std::ofstream out(slo_path, std::ios::trunc);
+        if (!out) {
+          throw std::runtime_error("cannot write SLO file: " + slo_path);
+        }
+        out << report.slo_csv();
+      }
+      if (!trace_path.empty() && !context.tracer.write_json(trace_path)) {
+        throw std::runtime_error("cannot write trace file: " + trace_path);
+      }
+      return 0;
     }
 
     // One cell per (kernel, scheme, trial), in output order. Cells simulate
