@@ -1,0 +1,193 @@
+// Phase-change / online-migration bench: what background re-striping buys
+// when a file's access pattern stops matching its layout.
+//
+// Scenario: a raster ingested round-robin (the streaming-optimal layout)
+// is then hit by repeated flow-routing passes — a 3x3 stencil whose
+// vertical neighbours live on adjacent servers under round-robin, so every
+// pass pays near-total halo traffic. With migration enabled the planner
+// notices the divergence after its hysteresis streak and the layout
+// migrator re-stripes the file into the grouped+halo placement strip-group
+// by strip-group, while the remaining passes keep reading it.
+//
+// Two experiments, both deterministic in simulated time:
+//
+//  1. Traffic A/B: the same 6-pass NAS run with migration off and on.
+//     Gate: migration fired exactly once, and the migrated run's
+//     server-to-server bytes net of the one-time move come in under
+//     kSteadyStateBudget of the baseline (the post-migration passes run at
+//     grouped-layout halo cost). A DAS pre-distributed run of the same
+//     workload is reported as the oracle floor.
+//
+//  2. Mid-migration bit-identity: a small data-mode run sized so the
+//     migration launches right as the final pass starts (hysteresis 2,
+//     repeats 3, one strip per round), so that pass computes over a file
+//     whose strips are actively moving. Gate: the output still matches the
+//     sequential reference bit for bit.
+//
+// Deliberately not a google-benchmark binary: it emits one JSON document
+// (BENCH_migration.json by default) that CI uploads as an artifact, and
+// exits nonzero when either gate fails — the migration perf-smoke gate.
+//
+// Usage: bench_migration [--out=FILE]
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "core/scheme.hpp"
+#include "runner/paper.hpp"
+
+namespace {
+
+using das::core::RunReport;
+using das::core::Scheme;
+using das::core::SchemeRunOptions;
+
+/// Migrated run's srv-srv bytes, net of the move itself, must come in
+/// under this fraction of the unmigrated baseline.
+constexpr double kSteadyStateBudget = 0.85;
+
+SchemeRunOptions phase_change_options() {
+  SchemeRunOptions o;
+  o.scheme = Scheme::kNAS;  // static offload: layout stays as ingested
+  o.workload.kernel_name = "flow-routing";
+  o.workload.data_bytes = 1ULL << 30;
+  o.workload.strip_size = 1ULL << 20;
+  o.workload.raster_width = static_cast<std::uint32_t>(
+      o.workload.strip_size / o.workload.element_size - 1);
+  o.cluster = das::runner::paper_cluster(8);
+  o.repeat_count = 6;
+  return o;
+}
+
+struct TimedRun {
+  RunReport report;
+  double wall_seconds = 0.0;
+};
+
+TimedRun run(const SchemeRunOptions& options) {
+  TimedRun result;
+  const auto start = std::chrono::steady_clock::now();
+  result.report = run_scheme(options);
+  const auto stop = std::chrono::steady_clock::now();
+  result.wall_seconds = std::chrono::duration<double>(stop - start).count();
+  return result;
+}
+
+std::string run_json(const char* name, const TimedRun& r) {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "    \"%s\": {\"exec_s\": %.6f, \"server_server_bytes\": %llu,\n"
+      "     \"migrations\": %llu, \"migration_bytes\": %llu,\n"
+      "     \"sustained_bw_bps\": %.0f, \"sim_events\": %llu, "
+      "\"wall_s\": %.3f}",
+      name, r.report.exec_seconds,
+      static_cast<unsigned long long>(r.report.server_server_bytes),
+      static_cast<unsigned long long>(r.report.migrations),
+      static_cast<unsigned long long>(r.report.migration_bytes),
+      r.report.sustained_bandwidth_bps(),
+      static_cast<unsigned long long>(r.report.sim_events), r.wall_seconds);
+  return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_migration.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--out=", 6) == 0) out_path = argv[i] + 6;
+  }
+
+  // Experiment 1: traffic A/B on the phase-change workload.
+  const SchemeRunOptions off = phase_change_options();
+  SchemeRunOptions on = phase_change_options();
+  on.migration.enabled = true;
+
+  // Oracle floor: the same passes with the input already in the planned
+  // grouped+halo placement (what a prescient ingest would have chosen).
+  SchemeRunOptions oracle = phase_change_options();
+  oracle.scheme = Scheme::kDAS;
+  oracle.pre_distributed = true;
+
+  const TimedRun base = run(off);
+  const TimedRun migrated = run(on);
+  const TimedRun floor = run(oracle);
+
+  const std::uint64_t moved = migrated.report.migration_bytes;
+  const std::uint64_t net =
+      migrated.report.server_server_bytes > moved
+          ? migrated.report.server_server_bytes - moved
+          : 0;
+  const double steady_ratio =
+      base.report.server_server_bytes > 0
+          ? static_cast<double>(net) /
+                static_cast<double>(base.report.server_server_bytes)
+          : 1.0;
+  const bool fired_once = migrated.report.migrations == 1;
+  const bool steady_ok = steady_ratio <= kSteadyStateBudget;
+
+  // Experiment 2: mid-migration bit-identity. One strip per round keeps the
+  // migration in flight well into the final (verified) pass.
+  SchemeRunOptions exact;
+  exact.scheme = Scheme::kNAS;
+  exact.workload.kernel_name = "flow-routing";
+  exact.workload.strip_size = 64;
+  exact.workload.element_size = 4;
+  exact.workload.data_bytes = 256 * 64;
+  exact.workload.with_data = true;
+  exact.cluster.storage_nodes = 4;
+  exact.cluster.compute_nodes = 4;
+  exact.cluster.job_startup = 0;
+  exact.repeat_count = 3;
+  exact.migration.enabled = true;
+  exact.migration.min_observed_bytes = 1;
+  exact.migration.hysteresis_passes = 2;
+  exact.migration.strips_per_round = 1;
+  const TimedRun verified = run(exact);
+  const bool exact_fired = verified.report.migrations == 1;
+  const bool exact_ok = verified.report.output_verified;
+
+  const bool pass = fired_once && steady_ok && exact_fired && exact_ok;
+
+  std::string json = "{\n  \"migration\": {\n";
+  json += run_json("baseline", base) + ",\n";
+  json += run_json("migrated", migrated) + ",\n";
+  json += run_json("oracle", floor) + ",\n";
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "    \"net_server_server_bytes\": %llu, \"steady_ratio\": %.4f,\n"
+      "    \"steady_budget\": %.2f, \"data_mode_migrations\": %llu,\n"
+      "    \"data_mode_verified\": %s, \"pass\": %s\n  }\n}\n",
+      static_cast<unsigned long long>(net), steady_ratio, kSteadyStateBudget,
+      static_cast<unsigned long long>(verified.report.migrations),
+      exact_ok ? "true" : "false", pass ? "true" : "false");
+  json += buf;
+
+  std::ofstream(out_path) << json;
+  std::fputs(json.c_str(), stdout);
+
+  if (!fired_once) {
+    std::fprintf(stderr, "FAIL: expected exactly one migration, got %llu\n",
+                 static_cast<unsigned long long>(migrated.report.migrations));
+  }
+  if (!steady_ok) {
+    std::fprintf(stderr,
+                 "FAIL: net srv-srv ratio %.4f exceeds budget %.2f\n",
+                 steady_ratio, kSteadyStateBudget);
+  }
+  if (!exact_fired) {
+    std::fprintf(stderr,
+                 "FAIL: data-mode run expected one migration, got %llu\n",
+                 static_cast<unsigned long long>(verified.report.migrations));
+  }
+  if (!exact_ok) {
+    std::fprintf(stderr,
+                 "FAIL: mid-migration output diverged (max error %g)\n",
+                 verified.report.output_max_error);
+  }
+  return pass ? 0 : 1;
+}

@@ -1,0 +1,61 @@
+# Regression gate for the migration disabled==baseline invariant: a das_sim
+# run with migration explicitly switched off (--migrate=false, with a
+# threshold still supplied) must emit CSV byte-identical to a run that never
+# mentions the subsystem — including on the repeated-pass path where the
+# migration hook actually lives. Catches any code path where the inactive
+# planner, the per-pass observation wrapper, or the Pfs migration plumbing
+# perturbs event ordering, byte flows, or reporting.
+#
+# Invoked as: cmake -DDAS_SIM=<path-to-das_sim> -P migration_off_baseline.cmake
+if(NOT DEFINED DAS_SIM)
+  message(FATAL_ERROR "pass -DDAS_SIM=<path to das_sim>")
+endif()
+
+set(workload --scheme=NAS --kernel=flow-routing --gib=1 --nodes=8
+    --repeats=3 --csv)
+
+execute_process(
+  COMMAND ${DAS_SIM} ${workload}
+  OUTPUT_VARIABLE baseline_csv
+  RESULT_VARIABLE baseline_rc)
+if(NOT baseline_rc EQUAL 0)
+  message(FATAL_ERROR "baseline das_sim run failed (exit ${baseline_rc})")
+endif()
+
+execute_process(
+  COMMAND ${DAS_SIM} ${workload} --migrate=false --migrate-threshold=2.0
+  OUTPUT_VARIABLE disabled_csv
+  RESULT_VARIABLE disabled_rc)
+if(NOT disabled_rc EQUAL 0)
+  message(FATAL_ERROR
+    "migration-off das_sim run failed (exit ${disabled_rc})")
+endif()
+
+if(NOT baseline_csv STREQUAL disabled_csv)
+  message(FATAL_ERROR
+    "disabled migration no longer reproduces the baseline CSV\n"
+    "--- baseline ---\n${baseline_csv}\n"
+    "--- disabled ---\n${disabled_csv}")
+endif()
+message(STATUS "disabled migration reproduces the baseline CSV byte for byte")
+
+# The migration-enabled run must differ only in the migration columns'
+# effects, never crash, and still report through the same CSV schema.
+execute_process(
+  COMMAND ${DAS_SIM} ${workload} --migrate=true
+  OUTPUT_VARIABLE enabled_csv
+  RESULT_VARIABLE enabled_rc)
+if(NOT enabled_rc EQUAL 0)
+  message(FATAL_ERROR
+    "migration-on das_sim run failed (exit ${enabled_rc})")
+endif()
+
+string(REGEX MATCH "[^\n]*\n" baseline_header "${baseline_csv}")
+string(REGEX MATCH "[^\n]*\n" enabled_header "${enabled_csv}")
+if(NOT baseline_header STREQUAL enabled_header)
+  message(FATAL_ERROR
+    "migration-on run changed the CSV header\n"
+    "--- baseline ---\n${baseline_header}\n"
+    "--- enabled ---\n${enabled_header}")
+endif()
+message(STATUS "migration-on run reports through the unchanged CSV schema")

@@ -71,6 +71,12 @@ StripCache::Slot& StripCache::slot_for(const CacheKey& key) {
 
 const CachedStrip* StripCache::lookup(const CacheKey& key) {
   Slot* slot = find(key);
+  if (slot != nullptr && slot->epoch != file_epoch(key.file)) {
+    // Inserted under a prior layout generation; drop it now.
+    erase(key, /*count_as_eviction=*/false);
+    ++stats_.invalidations;
+    slot = nullptr;
+  }
   if (slot == nullptr) {
     ++stats_.misses;
     trace_event("cache.miss", key, 0);
@@ -115,6 +121,7 @@ void StripCache::emplace(const CacheKey& key, std::uint64_t length,
   slot.strip.length = length;
   slot.strip.bytes = std::move(bytes);
   slot.strip.prefetched = prefetched;
+  slot.epoch = file_epoch(key.file);
   slot.present = true;
   ++entry_count_;
   used_bytes_ += length;
@@ -144,7 +151,13 @@ void StripCache::invalidate_file(std::uint64_t file) {
 }
 
 bool StripCache::contains(const CacheKey& key) const {
-  return find(key) != nullptr;
+  const Slot* slot = find(key);
+  return slot != nullptr && slot->epoch == file_epoch(key.file);
+}
+
+void StripCache::set_file_epoch(std::uint64_t file, std::uint32_t epoch) {
+  if (file >= file_epochs_.size()) file_epochs_.resize(file + 1, 0);
+  file_epochs_[file] = epoch;
 }
 
 void StripCache::erase(const CacheKey& key, bool count_as_eviction) {
@@ -180,6 +193,12 @@ void InvalidationHub::invalidate(const CacheKey& key) {
 
 void InvalidationHub::invalidate_file(std::uint64_t file) {
   for (StripCache* cache : caches_) cache->invalidate_file(file);
+  for (const Listener& listener : listeners_) listener.on_file(file);
+}
+
+void InvalidationHub::advance_file_epoch(std::uint64_t file,
+                                         std::uint32_t epoch) {
+  for (StripCache* cache : caches_) cache->set_file_epoch(file, epoch);
   for (const Listener& listener : listeners_) listener.on_file(file);
 }
 

@@ -119,6 +119,12 @@ class StripCache {
   /// Drop every strip of `file` (redistribution moved its placement).
   void invalidate_file(std::uint64_t file);
 
+  /// Advance the layout epoch of `file`. Entries inserted under an older
+  /// epoch are dropped lazily at their next lookup (counted as
+  /// invalidations), so a fill that raced with a per-strip invalidation
+  /// cannot outlive the migration that made its placement stale.
+  void set_file_epoch(std::uint64_t file, std::uint32_t epoch);
+
   /// Peek without touching stats or recency (tests, assertions).
   [[nodiscard]] bool contains(const CacheKey& key) const;
 
@@ -139,6 +145,7 @@ class StripCache {
   /// flag keeps occupancy explicit instead of encoded in `length`).
   struct Slot {
     CachedStrip strip;
+    std::uint32_t epoch = 0;  // file layout epoch at insert time
     bool present = false;
   };
 
@@ -151,6 +158,11 @@ class StripCache {
   /// Slot reference, growing the per-file table on demand.
   [[nodiscard]] Slot& slot_for(const CacheKey& key);
 
+  /// Current layout epoch of `file` (0 until advanced).
+  [[nodiscard]] std::uint32_t file_epoch(std::uint64_t file) const {
+    return file < file_epochs_.size() ? file_epochs_[file] : 0;
+  }
+
   void emplace(const CacheKey& key, std::uint64_t length,
                pfs::StripBuffer bytes, bool prefetched);
   void erase(const CacheKey& key, bool count_as_eviction);
@@ -162,6 +174,7 @@ class StripCache {
   /// files_[file][strip]; grown on demand, never shrunk (empty slots cost a
   /// few words each and file/strip ids are small and dense).
   std::vector<std::vector<Slot>> files_;
+  std::vector<std::uint32_t> file_epochs_;
   std::size_t entry_count_ = 0;
   std::uint64_t used_bytes_ = 0;
   std::uint32_t trace_node_ = 0;
@@ -185,6 +198,11 @@ class InvalidationHub {
   void attach_listener(Listener listener);
   void invalidate(const CacheKey& key);
   void invalidate_file(std::uint64_t file);
+
+  /// A layout migration of `file` completed: advance the epoch in every
+  /// attached cache (older-epoch entries drop lazily) and tell listeners
+  /// to treat the whole file as stale (in-flight prefetches are dropped).
+  void advance_file_epoch(std::uint64_t file, std::uint32_t epoch);
 
   [[nodiscard]] std::size_t attached() const { return caches_.size(); }
 

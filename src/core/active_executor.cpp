@@ -111,7 +111,6 @@ void ActiveExecutor::start_server(pfs::ServerIndex server, pfs::FileId input,
   if (pfs::HaloPrefetcher* prefetcher =
           cluster_.pfs().server(server).prefetcher()) {
     const pfs::FileMeta& meta = cluster_.pfs().meta(input);
-    const pfs::Layout& layout = cluster_.pfs().layout(input);
     const pfs::PfsServer& self = cluster_.pfs().server(server);
     const std::uint64_t num_strips = meta.num_strips();
     const std::uint64_t wanted = options_.halo_strips;
@@ -123,8 +122,11 @@ void ActiveExecutor::start_server(pfs::ServerIndex server, pfs::FileId input,
       const std::uint64_t hi = std::min(num_strips - 1, run.last_strip + wanted);
       for (std::uint64_t s = lo; s <= hi; ++s) {
         if (self.store().has(input, s) || !planned.insert(s).second) continue;
-        plan.push_back(pfs::PrefetchItem{input, s, meta.strip(s).length,
-                                         layout.primary(s)});
+        // read_primary, not layout().primary: under an in-progress
+        // migration the strip is fetched from whoever serves it right now.
+        plan.push_back(
+            pfs::PrefetchItem{input, s, meta.strip(s).length,
+                              cluster_.pfs().read_primary(input, s)});
       }
     }
     prefetcher->enqueue(std::move(plan));
@@ -153,7 +155,6 @@ void ActiveExecutor::start_run(ServerTask* task, std::size_t index) {
   ++task->running;
 
   const pfs::FileMeta& meta = cluster_.pfs().meta(task->input);
-  const pfs::Layout& layout = cluster_.pfs().layout(task->input);
   const std::uint64_t num_strips = meta.num_strips();
   pfs::PfsServer& self = cluster_.pfs().server(task->server);
   sim::Simulator& simulator = cluster_.simulator();
@@ -232,7 +233,8 @@ void ActiveExecutor::start_run(ServerTask* task, std::size_t index) {
       // Remote halo strip with prefetching on: route through the
       // prefetcher's in-flight table so a demand fetch and a prefetch of
       // the same strip coalesce into one wire transfer.
-      const pfs::ServerIndex source = layout.primary(s);
+      const pfs::ServerIndex source =
+          cluster_.pfs().read_primary(task->input, s);
       DAS_REQUIRE(source != task->server);
       const bool issued = prefetcher->demand_fetch(
           pfs::PrefetchItem{task->input, s, ref.length, source},
@@ -258,7 +260,8 @@ void ActiveExecutor::start_run(ServerTask* task, std::size_t index) {
       // dependence traffic (and the service load on the peer) that NAS pays.
       ++halo_strips_fetched_;
       halo_bytes_fetched_ += ref.length;
-      const pfs::ServerIndex source = layout.primary(s);
+      const pfs::ServerIndex source =
+          cluster_.pfs().read_primary(task->input, s);
       DAS_REQUIRE(source != task->server);
       pfs::PfsServer& peer = cluster_.pfs().server(source);
       cluster_.network().send_control(

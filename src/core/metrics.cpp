@@ -54,7 +54,8 @@ std::string report_csv_header() {
          "net_queue_p50,net_queue_p95,net_queue_p99,"
          "net_wire_p50,net_wire_p95,net_wire_p99,"
          "disk_p50,disk_p95,disk_p99,"
-         "compute_p50,compute_p95,compute_p99";
+         "compute_p50,compute_p95,compute_p99,"
+         "migrations,migration_bytes";
 }
 
 std::string to_csv(const RunReport& r) {
@@ -78,7 +79,8 @@ std::string to_csv(const RunReport& r) {
       << r.net_wire.p95 << ',' << r.net_wire.p99 << ','
       << r.disk_service.p50 << ',' << r.disk_service.p95 << ','
       << r.disk_service.p99 << ',' << r.compute_service.p50 << ','
-      << r.compute_service.p95 << ',' << r.compute_service.p99;
+      << r.compute_service.p95 << ',' << r.compute_service.p99 << ','
+      << r.migrations << ',' << r.migration_bytes;
   return out.str();
 }
 

@@ -67,6 +67,11 @@ struct RunReport {
   std::uint64_t prefetch_hits = 0;
   std::uint64_t prefetch_hit_bytes = 0;
 
+  /// Online layout migrations the run launched, and the one-time bytes they
+  /// moved server-to-server (zero unless migration is enabled and fired).
+  std::uint64_t migrations = 0;
+  std::uint64_t migration_bytes = 0;
+
   [[nodiscard]] double cache_hit_rate() const {
     const std::uint64_t lookups = cache_hits + cache_misses;
     return lookups > 0

@@ -1,0 +1,94 @@
+#include "core/migration_planner.hpp"
+
+#include <string>
+
+#include "core/decision.hpp"
+#include "simkit/assert.hpp"
+
+namespace das::core {
+namespace {
+
+/// PlacementSpec of `layout` when it is expressible as one; nullopt for
+/// layout families the bandwidth model does not parameterise (e.g. the
+/// traffic engine's ReplicatedRoundRobinLayout).
+std::optional<PlacementSpec> spec_of(const pfs::Layout& layout) {
+  if (dynamic_cast<const pfs::DasReplicatedLayout*>(&layout) != nullptr ||
+      dynamic_cast<const pfs::GroupedLayout*>(&layout) != nullptr ||
+      dynamic_cast<const pfs::RoundRobinLayout*>(&layout) != nullptr) {
+    return PlacementSpec::from_layout(layout);
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<MigrationPlan> MigrationPlanner::observe(
+    const pfs::FileMeta& meta, const pfs::Layout& current_layout,
+    const std::vector<std::int64_t>& offsets,
+    std::uint64_t observed_halo_bytes, std::uint32_t remaining_passes) {
+  if (!config_.enabled || launched_) return std::nullopt;
+  if (observed_halo_bytes < config_.min_observed_bytes) {
+    streak_ = 0;
+    return std::nullopt;
+  }
+
+  const std::optional<PlacementSpec> best =
+      planner_.plan(meta, offsets, current_layout.num_servers());
+  if (!best) {
+    // No placement makes this pattern local within budget; nothing to
+    // migrate toward.
+    streak_ = 0;
+    return std::nullopt;
+  }
+  if (const std::optional<PlacementSpec> current = spec_of(current_layout);
+      current && *current == *best) {
+    // Already on the best placement: the observed traffic is what this
+    // pattern costs, not a layout mismatch.
+    streak_ = 0;
+    return std::nullopt;
+  }
+
+  const TrafficForecast forecast =
+      forecast_traffic(meta, offsets, *best, /*output_bytes=*/0);
+  const std::uint64_t predicted = forecast.active_strip_fetch_bytes;
+  if (static_cast<double>(observed_halo_bytes) <=
+      config_.divergence_threshold * static_cast<double>(predicted)) {
+    streak_ = 0;
+    return std::nullopt;
+  }
+
+  // Divergent pass: the layout is demonstrably wrong for the observed
+  // pattern. Require a streak before acting.
+  ++streak_;
+  if (streak_ < config_.hysteresis_passes) return std::nullopt;
+
+  // Cost model: the one-time move must pay for itself over the remaining
+  // passes. Savings per pass is what the mismatch costs above the best
+  // placement's own traffic.
+  const std::unique_ptr<pfs::Layout> target = best->make_layout();
+  const std::uint64_t move_bytes =
+      redistribution_bytes(meta, current_layout, *target);
+  const double savings_per_pass =
+      static_cast<double>(observed_halo_bytes - predicted);
+  if (savings_per_pass * static_cast<double>(remaining_passes) <=
+      static_cast<double>(move_bytes)) {
+    // Streak is kept: remaining_passes only shrinks from here, so if the
+    // move does not pay now it will not pay later — but a caller with a
+    // longer horizon (new request over the same file) may re-observe.
+    return std::nullopt;
+  }
+
+  MigrationPlan plan;
+  plan.target = *best;
+  plan.predicted_halo_bytes = predicted;
+  plan.move_bytes = move_bytes;
+  plan.rationale =
+      "observed " + std::to_string(observed_halo_bytes) + " B/pass vs " +
+      std::to_string(predicted) + " B/pass under r=" +
+      std::to_string(best->group_size) + ",halo=" +
+      std::to_string(best->halo) + "; move " + std::to_string(move_bytes) +
+      " B pays back over " + std::to_string(remaining_passes) + " passes";
+  return plan;
+}
+
+}  // namespace das::core

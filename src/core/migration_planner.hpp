@@ -1,0 +1,87 @@
+// Migration trigger and cost model (the online counterpart of the Fig. 3
+// decision workflow).
+//
+// The decision-audit records (audit.hpp) already measure, per pass, the
+// server-to-server halo bytes a file's layout actually caused. This planner
+// watches those observations: when the observed traffic diverges from what
+// the *best* placement for the file's dependence pattern would cost — by a
+// hysteresis-filtered factor — and the projected savings over the remaining
+// passes exceed the one-time cost of moving the strips, it recommends an
+// online migration (pfs::LayoutMigrator executes it).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/bandwidth_model.hpp"
+#include "core/distribution_planner.hpp"
+#include "pfs/file.hpp"
+#include "pfs/layout.hpp"
+
+namespace das::core {
+
+struct MigrationConfig {
+  /// Master switch: disabled planners never recommend anything, so every
+  /// byte flow reproduces the migration-free system exactly.
+  bool enabled = false;
+  /// Trigger when observed halo bytes exceed this multiple of the best
+  /// placement's prediction (per pass).
+  double divergence_threshold = 4.0;
+  /// Consecutive divergent passes required before recommending (guards
+  /// against one-off spikes: a cold cache, a straggler burst).
+  std::uint32_t hysteresis_passes = 2;
+  /// Ignore passes that moved less than this (noise floor: a file whose
+  /// halo traffic is tiny is not worth re-striping, whatever the ratio).
+  std::uint64_t min_observed_bytes = 1 << 20;
+  /// Strips committed per frontier advance of the executed migration.
+  std::uint64_t strips_per_round = 16;
+
+  [[nodiscard]] bool active() const { return enabled; }
+};
+
+/// A recommended migration: the target placement and the numbers that
+/// justified it.
+struct MigrationPlan {
+  PlacementSpec target;
+  /// Predicted per-pass halo bytes under `target`.
+  std::uint64_t predicted_halo_bytes = 0;
+  /// One-time bytes the migration must move.
+  std::uint64_t move_bytes = 0;
+  std::string rationale;
+};
+
+class MigrationPlanner {
+ public:
+  MigrationPlanner(const DistributionConfig& distribution,
+                   const MigrationConfig& config)
+      : planner_(distribution), config_(config) {}
+
+  /// Feed one completed pass over `meta` (currently laid out as
+  /// `current_layout`, accessed with dependence `offsets`): the pass moved
+  /// `observed_halo_bytes` server-to-server for dependence fetches, and
+  /// `remaining_passes` more passes over the same file are expected.
+  /// Returns a plan when migration is warranted, nullopt otherwise.
+  [[nodiscard]] std::optional<MigrationPlan> observe(
+      const pfs::FileMeta& meta, const pfs::Layout& current_layout,
+      const std::vector<std::int64_t>& offsets,
+      std::uint64_t observed_halo_bytes, std::uint32_t remaining_passes);
+
+  /// Tell the planner its last plan was launched, so it does not recommend
+  /// again while (or right after) the migration runs.
+  void notify_launched() { streak_ = 0; launched_ = true; }
+
+  /// Divergent-pass streak accumulated so far (test/diagnostic hook).
+  [[nodiscard]] std::uint32_t streak() const { return streak_; }
+  [[nodiscard]] bool launched() const { return launched_; }
+  [[nodiscard]] const MigrationConfig& config() const { return config_; }
+
+ private:
+  DistributionPlanner planner_;
+  MigrationConfig config_;
+  std::uint32_t streak_ = 0;
+  bool launched_ = false;
+};
+
+}  // namespace das::core

@@ -14,6 +14,7 @@
 #include "core/distribution_planner.hpp"
 #include "grid/serialize.hpp"
 #include "kernels/registry.hpp"
+#include "pfs/migrate.hpp"
 #include "simkit/assert.hpp"
 
 namespace das::core {
@@ -89,6 +90,58 @@ void fill_cache_stats(RunReport& report, Cluster& cluster,
   report.prefetch_coalesced = prefetch.coalesced;
   report.prefetch_dropped_stale = prefetch.dropped_stale;
 }
+
+/// Per-pass migration hook for the NAS repeated-pass path. After each pass
+/// the just-finished executor's halo counters are the observed side of the
+/// planner's divergence test; on a recommendation the layout migrator
+/// re-stripes the input in the background while subsequent passes keep
+/// reading it (per-strip frontier resolution in Pfs). At most one migration
+/// per run.
+class MigrationDriver {
+ public:
+  MigrationDriver(Cluster& cluster, const MigrationConfig& config,
+                  const DistributionConfig& distribution, pfs::FileId input,
+                  std::vector<std::int64_t> offsets, std::uint32_t repeats)
+      : cluster_(cluster),
+        planner_(distribution, config),
+        migrator_(cluster.simulator(), cluster.pfs()),
+        input_(input),
+        offsets_(std::move(offsets)),
+        repeats_(repeats) {}
+
+  /// Feed the pass that just completed. Launches the migrator when the
+  /// planner recommends; later passes then resolve reads per strip against
+  /// the advancing frontier.
+  void on_pass_done(const ActiveExecutor& exec) {
+    ++pass_;
+    if (pass_ >= repeats_ || migrator_.busy() || planner_.launched()) return;
+    HaloFetchTotals totals;
+    totals += exec;
+    const std::uint64_t observed =
+        totals.bytes_fetched + totals.cache_hit_bytes;
+    const std::optional<MigrationPlan> plan = planner_.observe(
+        cluster_.pfs().meta(input_), cluster_.pfs().layout(input_), offsets_,
+        observed, repeats_ - pass_);
+    if (!plan) return;
+    planner_.notify_launched();
+    pfs::MigrateOptions opt;
+    opt.strips_per_round = planner_.config().strips_per_round;
+    migrator_.migrate(input_, plan->target.make_layout(), opt, nullptr);
+  }
+
+  [[nodiscard]] const pfs::LayoutMigrator& migrator() const {
+    return migrator_;
+  }
+
+ private:
+  Cluster& cluster_;
+  MigrationPlanner planner_;
+  pfs::LayoutMigrator migrator_;
+  pfs::FileId input_;
+  std::vector<std::int64_t> offsets_;
+  std::uint32_t repeats_;
+  std::uint32_t pass_ = 0;
+};
 
 /// Start `repeats` back-to-back passes of one operation. `start_pass` must
 /// launch a fresh executor and invoke its argument when the pass completes
@@ -322,6 +375,12 @@ RunReport run_scheme(const SchemeRunOptions& options) {
   std::vector<std::unique_ptr<TsExecutor>> ts_execs;
   std::vector<std::unique_ptr<ActiveExecutor>> active_execs;
   std::unique_ptr<ActiveStorageClient> asc;
+  std::unique_ptr<MigrationDriver> migration;
+  if (options.migration.active() && options.scheme == Scheme::kNAS) {
+    migration = std::make_unique<MigrationDriver>(
+        cluster, options.migration, options.distribution, input, offsets,
+        options.repeat_count);
+  }
   pfs::FileId output = pfs::kInvalidFile;
   SubmissionResult das_result;
   const std::uint32_t repeats = options.repeat_count;
@@ -371,18 +430,26 @@ RunReport run_scheme(const SchemeRunOptions& options) {
                                   workload.with_data};
       cluster.simulator().schedule_at(
           options.cluster.job_startup,
-          [&cluster, &active_execs, opt, input, output, on_done, repeats]() {
+          [&cluster, &active_execs, opt, input, output, on_done, repeats,
+           mig = migration.get()]() {
             cluster.metadata_cache(0).lookup(
                 input, [&cluster, &active_execs, opt, input, output, on_done,
-                        repeats](pfs::FileInfo) {
+                        repeats, mig](pfs::FileInfo) {
                   run_repeated(
                       repeats,
-                      [&cluster, &active_execs, opt, input,
-                       output](std::function<void()> pass_done) {
+                      [&cluster, &active_execs, opt, input, output,
+                       mig](std::function<void()> pass_done) {
                         active_execs.push_back(
                             std::make_unique<ActiveExecutor>(cluster, opt));
-                        active_execs.back()->start(input, output,
-                                                   std::move(pass_done));
+                        ActiveExecutor* exec = active_execs.back().get();
+                        if (mig != nullptr) {
+                          pass_done = [mig, exec,
+                                       pass_done = std::move(pass_done)]() {
+                            mig->on_pass_done(*exec);
+                            pass_done();
+                          };
+                        }
+                        exec->start(input, output, std::move(pass_done));
                       },
                       on_done);
                 });
@@ -431,6 +498,10 @@ RunReport run_scheme(const SchemeRunOptions& options) {
     report.redistributed = das_result.redistributed;
     report.redistribution_bytes = das_result.redistribution_bytes;
     report.decision_note = das_result.decision.rationale;
+  }
+  if (migration != nullptr) {
+    report.migrations = migration->migrator().total_migrations();
+    report.migration_bytes = migration->migrator().total_bytes_moved();
   }
   fill_audit(report, options, cluster, meta, offsets, *kernel, input,
              das_result, asc.get(), active_execs);

@@ -8,6 +8,7 @@
 
 #include "core/config.hpp"
 #include "core/metrics.hpp"
+#include "core/migration_planner.hpp"
 #include "core/workload.hpp"
 #include "simkit/context.hpp"
 
@@ -39,6 +40,11 @@ struct SchemeRunOptions {
   /// one simulation (recurring analyses of a hot dataset). Repeats past the
   /// first can hit the servers' strip caches when those are enabled.
   std::uint32_t repeat_count = 1;
+  /// Online layout migration (NAS repeated passes): watch per-pass halo
+  /// traffic and re-stripe the input in the background when the layout is
+  /// demonstrably wrong for the observed pattern. Disabled by default —
+  /// every byte flow then reproduces the migration-free system exactly.
+  MigrationConfig migration;
   /// Run context (logger/tracer/rng) for this run; null gives the cluster's
   /// simulator its private default. Parallel sweeps give every run its own
   /// context so concurrent simulations never share mutable state.

@@ -45,7 +45,6 @@ void PfsClient::read_range(FileId file, std::uint64_t offset,
                            std::uint64_t length, RangeDoneFn on_complete,
                            RangeStripFn on_strip) {
   const FileMeta& meta = pfs_.meta(file);
-  const Layout& layout = pfs_.layout(file);
   DAS_REQUIRE(length > 0);
   DAS_REQUIRE(offset + length <= meta.size_bytes);
 
@@ -67,7 +66,9 @@ void PfsClient::read_range(FileId file, std::uint64_t offset,
     const std::uint64_t within = lo - ref.offset;
     const std::uint64_t want = hi - lo;
 
-    const ServerIndex holder = layout.primary(s);
+    // Per-strip resolution: during an online migration the strip's primary
+    // is whoever currently serves it (prior layout past the frontier).
+    const ServerIndex holder = pfs_.read_primary(file, s);
     PfsServer& server = pfs_.server(holder);
 
     // Request message travels to the server, then the server reads and ships
@@ -113,7 +114,19 @@ void PfsClient::write_range(FileId file, std::uint64_t offset,
 
   for (std::uint64_t s = first; s <= last; ++s) {
     const StripRef ref = meta.strip(s);
-    for (const ServerIndex holder : layout.holders(s, num_strips)) {
+    // Under an online migration a strip past the frontier is still *served*
+    // from its old holders, so a write must land on the union of both
+    // holder sets or readers would see stale bytes until the frontier
+    // passes.
+    std::vector<ServerIndex> holders = layout.holders(s, num_strips);
+    if (pfs_.migrating(file)) {
+      for (const ServerIndex h : pfs_.read_holders(file, s)) {
+        if (std::find(holders.begin(), holders.end(), h) == holders.end()) {
+          holders.push_back(h);
+        }
+      }
+    }
+    for (const ServerIndex holder : holders) {
       PfsServer& server = pfs_.server(holder);
       ++op->outstanding;
       net_.send(net::Message{

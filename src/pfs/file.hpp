@@ -38,6 +38,12 @@ struct FileMeta {
   std::uint32_t raster_width = 0;
   std::uint32_t raster_height = 0;
 
+  /// Layout generation, bumped each time an online migration of this file
+  /// completes. Caches tag entries with the epoch they were inserted under,
+  /// so anything cached against a prior placement drops out lazily even if
+  /// a per-strip invalidation raced with an in-flight fill.
+  std::uint32_t layout_epoch = 0;
+
   [[nodiscard]] std::uint64_t num_elements() const {
     DAS_REQUIRE(element_size > 0);
     return size_bytes / element_size;

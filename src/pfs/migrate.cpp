@@ -1,0 +1,125 @@
+#include "pfs/migrate.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "simkit/assert.hpp"
+
+namespace das::pfs {
+
+void LayoutMigrator::migrate(FileId file, std::unique_ptr<Layout> target,
+                             const MigrateOptions& options, DoneFn on_done) {
+  DAS_REQUIRE(!busy_);
+  DAS_REQUIRE(options.strips_per_round > 0);
+  DAS_REQUIRE(options.tenant != net::kNoTenant &&
+              "untagged transfers would bypass the fair queues");
+
+  busy_ = true;
+  file_ = file;
+  options_ = options;
+  on_done_ = std::move(on_done);
+  stats_ = MigrationStats{};
+  stats_.strips_total = pfs_.meta(file).num_strips();
+  stats_.started_at = sim_.now();
+
+  pfs_.begin_migration(file, std::move(target));
+  start_round();
+}
+
+void LayoutMigrator::start_round() {
+  const FileMeta& meta = pfs_.meta(file_);
+  const std::uint64_t n = meta.num_strips();
+  const Layout& target = pfs_.layout(file_);
+
+  // Rounds whose strips are already in place commit immediately; loop
+  // instead of recursing so a mostly-in-place file cannot grow the stack.
+  for (;;) {
+    const std::uint64_t frontier = pfs_.migrate_frontier(file_);
+    round_end_ = std::min(frontier + options_.strips_per_round, n);
+    ++stats_.rounds;
+    issuing_ = true;
+
+    for (std::uint64_t s = frontier; s < round_end_; ++s) {
+      const StripRef ref = meta.strip(s);
+      bool moved = false;
+      for (const ServerIndex holder : target.holders(s, n)) {
+        ServerStore& dst_store = pfs_.server(holder).store();
+        if (dst_store.has(file_, s)) continue;  // already authoritative
+        if (dst_store.readable(file_, s)) {
+          // A retired leftover of an earlier migration: reinstate the local
+          // copy instead of shipping it across the network again.
+          dst_store.put(file_, s, ref.length, dst_store.buffer(file_, s));
+          ++stats_.strips_reinstated;
+          continue;
+        }
+        // Ship from the strip's current primary (still resolved under the
+        // prior layout — the frontier has not passed this strip yet).
+        const ServerIndex source = pfs_.read_primary(file_, s);
+        DAS_REQUIRE(source != holder);
+        PfsServer& src_server = pfs_.server(source);
+        PfsServer& dst_server = pfs_.server(holder);
+
+        moved = true;
+        ++stats_.transfers;
+        stats_.bytes_moved += ref.length;
+        ++outstanding_;
+
+        // Ordinary read-then-write traffic: source disk + both NICs are
+        // charged, installed fair queues see the migration tenant, and the
+        // destination write invalidates caches through the hub.
+        src_server.serve_read(
+            file_, s, 0, ref.length, dst_server.node(),
+            net::TrafficClass::kServerServer,
+            [this, &dst_server, ref](const StripBuffer& payload) {
+              const sim::SimTime write_done =
+                  dst_server.write_local(file_, ref, StripBuffer(payload));
+              sim_.schedule_at(
+                  write_done, [this]() { round_transfer_done(); },
+                  "pfs.migrate_write");
+            },
+            options_.tenant);
+      }
+      if (moved) ++stats_.strips_moved;
+    }
+
+    issuing_ = false;
+    if (outstanding_ > 0) return;  // finish_migration fires on the last landing
+
+    pfs_.commit_migrated(file_, round_end_);
+    if (round_end_ == n) {
+      finish_migration();
+      return;
+    }
+  }
+}
+
+void LayoutMigrator::round_transfer_done() {
+  DAS_REQUIRE(outstanding_ > 0);
+  --outstanding_;
+  if (outstanding_ == 0 && !issuing_) {
+    pfs_.commit_migrated(file_, round_end_);
+    if (round_end_ == pfs_.meta(file_).num_strips()) {
+      finish_migration();
+    } else {
+      start_round();
+    }
+  }
+}
+
+void LayoutMigrator::finish_migration() {
+  pfs_.end_migration(file_);
+  stats_.finished_at = sim_.now();
+  ++migrations_;
+  total_bytes_moved_ += stats_.bytes_moved;
+  busy_ = false;
+  if (on_done_) {
+    // Move out first: the callback may start the next migration.
+    DoneFn done = std::move(on_done_);
+    on_done_ = nullptr;
+    done(stats_);
+  }
+}
+
+}  // namespace das::pfs

@@ -1,0 +1,103 @@
+// Online layout migration: re-stripe a live file group by group.
+//
+// The migrator drives the Pfs migration protocol (begin/commit/end, see
+// pfs.hpp): it copies every strip the target layout places on a new holder
+// from the strip's current primary, as ordinary serve_read/write_local
+// traffic — the bytes ride the source's disk, both NICs, any installed
+// fair-queue scheduler, and the invalidation hub, so migration competes for
+// (and is charged to) the same resources as everything else. The frontier
+// advances one strip group at a time; reads keep flowing throughout,
+// resolving against the layout each strip is currently served under.
+//
+// Transfers carry kMigrationTenant so a weighted fair queue can deprioritise
+// them below tenant traffic (low-weight background class). Without a
+// scheduler installed the tag is inert and the transfers are plain
+// server-to-server messages.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "net/network.hpp"
+#include "pfs/pfs.hpp"
+#include "simkit/simulator.hpp"
+#include "simkit/time.hpp"
+
+namespace das::pfs {
+
+/// Tenant tag carried by migration transfers. Distinct from net::kNoTenant
+/// so the transfers DO ride installed NIC/disk fair queues (where a low
+/// weight keeps them in the background); reserved here so no tenant
+/// generator ever collides with it.
+inline constexpr net::TenantId kMigrationTenant = UINT32_MAX - 1;
+
+struct MigrateOptions {
+  /// Strips committed per frontier advance. Smaller rounds bound how much
+  /// of the file is ever double-resident; larger rounds amortise commit
+  /// overhead.
+  std::uint64_t strips_per_round = 16;
+  net::TenantId tenant = kMigrationTenant;
+};
+
+struct MigrationStats {
+  std::uint64_t strips_total = 0;
+  /// Strips that needed at least one network transfer.
+  std::uint64_t strips_moved = 0;
+  /// Strips whose target copy was a retired local leftover, reinstated
+  /// without network traffic (a migration moving back).
+  std::uint64_t strips_reinstated = 0;
+  std::uint64_t transfers = 0;
+  std::uint64_t bytes_moved = 0;
+  std::uint64_t rounds = 0;
+  sim::SimTime started_at = 0;
+  sim::SimTime finished_at = 0;
+};
+
+class LayoutMigrator {
+ public:
+  using DoneFn = std::function<void(const MigrationStats&)>;
+
+  LayoutMigrator(sim::Simulator& simulator, Pfs& pfs)
+      : sim_(simulator), pfs_(pfs) {}
+
+  LayoutMigrator(const LayoutMigrator&) = delete;
+  LayoutMigrator& operator=(const LayoutMigrator&) = delete;
+
+  /// Re-stripe `file` onto `target` while it keeps serving reads. One
+  /// migration at a time per migrator. `on_done` (optional) fires after
+  /// end_migration, when every copy has landed and the epoch has advanced.
+  void migrate(FileId file, std::unique_ptr<Layout> target,
+               const MigrateOptions& options, DoneFn on_done);
+
+  [[nodiscard]] bool busy() const { return busy_; }
+
+  /// Stats of the migration in progress, or of the last completed one.
+  [[nodiscard]] const MigrationStats& stats() const { return stats_; }
+
+  /// Totals across every migration this migrator has run.
+  [[nodiscard]] std::uint64_t total_migrations() const { return migrations_; }
+  [[nodiscard]] std::uint64_t total_bytes_moved() const {
+    return total_bytes_moved_;
+  }
+
+ private:
+  void start_round();
+  void round_transfer_done();
+  void finish_migration();
+
+  sim::Simulator& sim_;
+  Pfs& pfs_;
+
+  FileId file_ = kInvalidFile;
+  MigrateOptions options_;
+  DoneFn on_done_;
+  std::uint64_t round_end_ = 0;
+  std::uint64_t outstanding_ = 0;
+  bool issuing_ = false;
+  bool busy_ = false;
+  MigrationStats stats_;
+  std::uint64_t migrations_ = 0;
+  std::uint64_t total_bytes_moved_ = 0;
+};
+
+}  // namespace das::pfs

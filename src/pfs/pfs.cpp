@@ -77,7 +77,10 @@ FileId Pfs::create_file(FileMeta meta, std::unique_ptr<Layout> layout,
       servers_[holder]->store().put(file, s, ref.length, std::move(bytes));
     }
   }
-  files_.push_back(FileEntry{std::move(meta), std::move(layout)});
+  FileEntry entry;
+  entry.meta = std::move(meta);
+  entry.layout = std::move(layout);
+  files_.push_back(std::move(entry));
   return file;
 }
 
@@ -91,6 +94,98 @@ const Layout& Pfs::layout(FileId file) const {
   return *files_[file].layout;
 }
 
+const Layout& Pfs::read_layout(FileId file, std::uint64_t strip) const {
+  DAS_REQUIRE(file < files_.size());
+  const FileEntry& entry = files_[file];
+  if (entry.migrating && strip >= entry.migrate_frontier) {
+    return *entry.prior_layout;
+  }
+  return *entry.layout;
+}
+
+ServerIndex Pfs::read_primary(FileId file, std::uint64_t strip) const {
+  return read_layout(file, strip).primary(strip);
+}
+
+std::vector<ServerIndex> Pfs::read_holders(FileId file,
+                                           std::uint64_t strip) const {
+  return read_layout(file, strip)
+      .holders(strip, files_[file].meta.num_strips());
+}
+
+bool Pfs::migrating(FileId file) const {
+  DAS_REQUIRE(file < files_.size());
+  return files_[file].migrating;
+}
+
+std::uint64_t Pfs::migrate_frontier(FileId file) const {
+  DAS_REQUIRE(file < files_.size());
+  return files_[file].migrate_frontier;
+}
+
+std::uint32_t Pfs::layout_epoch(FileId file) const {
+  DAS_REQUIRE(file < files_.size());
+  return files_[file].meta.layout_epoch;
+}
+
+void Pfs::begin_migration(FileId file, std::unique_ptr<Layout> target) {
+  DAS_REQUIRE(file < files_.size());
+  DAS_REQUIRE(target != nullptr);
+  DAS_REQUIRE(target->num_servers() == num_servers());
+  FileEntry& entry = files_[file];
+  DAS_REQUIRE(!entry.migrating);
+  entry.prior_layout = std::move(entry.layout);
+  entry.layout = std::move(target);
+  entry.migrate_frontier = 0;
+  entry.migrating = true;
+}
+
+void Pfs::commit_migrated(FileId file, std::uint64_t new_frontier) {
+  DAS_REQUIRE(file < files_.size());
+  FileEntry& entry = files_[file];
+  DAS_REQUIRE(entry.migrating);
+  DAS_REQUIRE(new_frontier >= entry.migrate_frontier);
+  const std::uint64_t n = entry.meta.num_strips();
+  DAS_REQUIRE(new_frontier <= n);
+
+  for (std::uint64_t s = entry.migrate_frontier; s < new_frontier; ++s) {
+    // From this point reads of strip s resolve under the target layout;
+    // any cached copy is invalidated so no cache serves across the flip.
+    cache_hub_.invalidate(cache::CacheKey{file, s});
+    const auto old_holders = entry.prior_layout->holders(s, n);
+    const auto new_holders = entry.layout->holders(s, n);
+    for (const ServerIndex holder : old_holders) {
+      if (std::find(new_holders.begin(), new_holders.end(), holder) !=
+          new_holders.end()) {
+        continue;  // still a holder under the target layout
+      }
+      // Demote, don't erase: reads already in flight toward this holder
+      // (issued under the prior layout) must still find the bytes.
+      ServerStore& store = servers_[holder]->store();
+      if (store.has(file, s)) store.retire(file, s);
+    }
+    for (const ServerIndex holder : new_holders) {
+      DAS_REQUIRE(servers_[holder]->store().has(file, s) &&
+                  "commit_migrated before the target copy landed");
+    }
+  }
+  entry.migrate_frontier = new_frontier;
+}
+
+void Pfs::end_migration(FileId file) {
+  DAS_REQUIRE(file < files_.size());
+  FileEntry& entry = files_[file];
+  DAS_REQUIRE(entry.migrating);
+  DAS_REQUIRE(entry.migrate_frontier == entry.meta.num_strips());
+  // Into the graveyard, not destroyed: holder snapshots and layout
+  // references captured before the migration stay valid.
+  entry.retired_layouts.push_back(std::move(entry.prior_layout));
+  entry.migrating = false;
+  entry.migrate_frontier = 0;
+  ++entry.meta.layout_epoch;
+  cache_hub_.advance_file_epoch(file, entry.meta.layout_epoch);
+}
+
 std::uint64_t Pfs::redistribute(FileId file,
                                 std::unique_ptr<Layout> new_layout,
                                 std::function<void()> on_complete) {
@@ -99,6 +194,8 @@ std::uint64_t Pfs::redistribute(FileId file,
   DAS_REQUIRE(new_layout->num_servers() == num_servers());
 
   FileEntry& entry = files_[file];
+  DAS_REQUIRE(!entry.migrating &&
+              "offline redistribute during an online migration");
   const std::uint64_t n = entry.meta.num_strips();
   std::uint64_t bytes_moved = 0;
 
@@ -182,7 +279,9 @@ std::vector<std::byte> Pfs::gather_bytes(FileId file) const {
   const std::uint64_t n = entry.meta.num_strips();
   for (std::uint64_t s = 0; s < n; ++s) {
     const StripRef ref = entry.meta.strip(s);
-    const ServerIndex holder = entry.layout->primary(s);
+    // Per-strip resolution: during a migration the primary of a strip the
+    // frontier has not passed is still the prior layout's.
+    const ServerIndex holder = read_layout(file, s).primary(s);
     const auto bytes = servers_[holder]->store().bytes(file, s);
     DAS_REQUIRE(bytes.size() == ref.length);
     std::copy(bytes.begin(), bytes.end(),

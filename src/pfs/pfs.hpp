@@ -61,12 +61,69 @@ class Pfs {
                      const std::vector<std::byte>* data = nullptr);
 
   [[nodiscard]] const FileMeta& meta(FileId file) const;
+
+  /// The file's authoritative layout. While an online migration is in
+  /// progress this is already the *target* layout (placement decisions and
+  /// capacity planning see where the file is going); per-strip read
+  /// resolution must go through read_layout()/read_primary()/read_holders()
+  /// instead, which honour the migration frontier.
   [[nodiscard]] const Layout& layout(FileId file) const;
 
-  /// Replace the layout of `file`, physically moving/copying strips between
-  /// servers over the network (server-server traffic + disk on both ends).
-  /// `on_complete` fires when every transfer has finished. Returns the
-  /// number of bytes that had to move.
+  /// The layout strip `strip` of `file` is currently *served* under: the
+  /// prior layout while an in-progress migration's frontier has not yet
+  /// passed the strip, the authoritative layout otherwise.
+  [[nodiscard]] const Layout& read_layout(FileId file,
+                                          std::uint64_t strip) const;
+
+  /// Primary holder of `strip` under read_layout(). Guaranteed to be able
+  /// to serve the strip's bytes right now.
+  [[nodiscard]] ServerIndex read_primary(FileId file,
+                                         std::uint64_t strip) const;
+
+  /// Holder set of `strip` under read_layout(), primary first.
+  [[nodiscard]] std::vector<ServerIndex> read_holders(
+      FileId file, std::uint64_t strip) const;
+
+  /// True while an online migration of `file` is in progress.
+  [[nodiscard]] bool migrating(FileId file) const;
+
+  /// Strips below this index resolve under the authoritative layout; at or
+  /// above it, under the prior layout. Only meaningful while migrating().
+  [[nodiscard]] std::uint64_t migrate_frontier(FileId file) const;
+
+  /// Current layout generation of `file` (see FileMeta::layout_epoch).
+  [[nodiscard]] std::uint32_t layout_epoch(FileId file) const;
+
+  // --- Online migration protocol, driven by pfs::LayoutMigrator. ---
+  //
+  // begin_migration() installs `target` as the authoritative layout and
+  // keeps the old one as the read-resolution layout for strips the frontier
+  // has not passed. The migrator then copies strips group by group (plain
+  // serve_read/write_local traffic) and calls commit_migrated() as each
+  // contiguous prefix lands: cached copies of the committed strips are
+  // invalidated and copies held only under the prior layout are *retired* —
+  // readable for reads already in flight, but no longer authoritative.
+  // end_migration() (frontier == num_strips) drops the prior layout into a
+  // graveyard (references captured before the migration stay valid for the
+  // run's lifetime) and bumps the file's layout epoch through every cache.
+
+  /// Requires no migration in progress. No data moves here.
+  void begin_migration(FileId file, std::unique_ptr<Layout> target);
+
+  /// Advance the frontier to `new_frontier` (monotonic): strips in
+  /// [frontier, new_frontier) are now served under the target layout.
+  /// Requires the target copies of those strips to be in place.
+  void commit_migrated(FileId file, std::uint64_t new_frontier);
+
+  /// Requires the frontier to have reached num_strips.
+  void end_migration(FileId file);
+
+  /// Replace the layout of `file` offline, physically moving/copying strips
+  /// between servers over the network (server-server traffic + disk on both
+  /// ends); reads issued while it runs race with the swap, so callers
+  /// quiesce the file first (the online path above is the alternative).
+  /// Requires no migration in progress. `on_complete` fires when every
+  /// transfer has finished. Returns the number of bytes that had to move.
   std::uint64_t redistribute(FileId file, std::unique_ptr<Layout> new_layout,
                              std::function<void()> on_complete);
 
@@ -105,6 +162,15 @@ class Pfs {
   struct FileEntry {
     FileMeta meta;
     std::unique_ptr<Layout> layout;
+    /// Read-resolution layout for strips at or past the migration frontier;
+    /// null when no migration is in progress.
+    std::unique_ptr<Layout> prior_layout;
+    /// First strip still served under prior_layout.
+    std::uint64_t migrate_frontier = 0;
+    bool migrating = false;
+    /// Layouts replaced by completed migrations. Kept alive so `const
+    /// Layout&` references captured before a migration never dangle.
+    std::vector<std::unique_ptr<Layout>> retired_layouts;
   };
 
   sim::Simulator& sim_;

@@ -39,18 +39,41 @@ void ServerStore::put(FileId file, std::uint64_t strip, std::uint64_t length,
     ++strip_count_;
   } else {
     DAS_REQUIRE(slot.length == length);
+    if (slot.retired) {
+      // A retired migration leftover written again is authoritative once
+      // more (the strip migrated back); restore its accounting.
+      slot.retired = false;
+      stored_bytes_ += length;
+      ++strip_count_;
+    }
   }
   slot.payload = std::move(payload);
 }
 
 bool ServerStore::has(FileId file, std::uint64_t strip) const {
   return file < files_.size() && strip < files_[file].size() &&
+         files_[file][strip].present && !files_[file][strip].retired;
+}
+
+bool ServerStore::readable(FileId file, std::uint64_t strip) const {
+  return file < files_.size() && strip < files_[file].size() &&
          files_[file][strip].present;
+}
+
+void ServerStore::retire(FileId file, std::uint64_t strip) {
+  DAS_REQUIRE(has(file, strip));
+  StripSlot& slot = files_[file][strip];
+  DAS_REQUIRE(stored_bytes_ >= slot.length);
+  stored_bytes_ -= slot.length;
+  --strip_count_;
+  slot.retired = true;
+  // payload stays: in-flight reads that resolved here under the old layout
+  // must still find the bytes.
 }
 
 const ServerStore::StripSlot& ServerStore::find(FileId file,
                                                 std::uint64_t strip) const {
-  DAS_REQUIRE(has(file, strip));
+  DAS_REQUIRE(readable(file, strip));
   return files_[file][strip];
 }
 
@@ -74,12 +97,15 @@ std::uint64_t ServerStore::length(FileId file, std::uint64_t strip) const {
 }
 
 void ServerStore::erase(FileId file, std::uint64_t strip) {
-  DAS_REQUIRE(has(file, strip));
+  DAS_REQUIRE(readable(file, strip));
   StripSlot& slot = files_[file][strip];
-  DAS_REQUIRE(stored_bytes_ >= slot.length);
-  stored_bytes_ -= slot.length;
-  --strip_count_;
+  if (!slot.retired) {
+    DAS_REQUIRE(stored_bytes_ >= slot.length);
+    stored_bytes_ -= slot.length;
+    --strip_count_;
+  }
   slot.present = false;
+  slot.retired = false;
   slot.payload.reset();
   // length/disk_offset stay: a re-put of the same strip reuses them.
 }

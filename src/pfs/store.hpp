@@ -40,28 +40,43 @@ class ServerStore {
   void put(FileId file, std::uint64_t strip, std::uint64_t length,
            StripBuffer payload);
 
-  /// True if this server stores the strip.
+  /// True if this server authoritatively stores the strip (retired copies
+  /// excluded — this is the post-migration truth planners and executors
+  /// place work against).
   [[nodiscard]] bool has(FileId file, std::uint64_t strip) const;
+
+  /// True if this server can still serve the strip's bytes: authoritative
+  /// OR retired by a layout migration. In-flight reads that resolved their
+  /// holder under the old layout land here after the frontier has passed,
+  /// so retired copies stay readable until the slot is erased or re-put.
+  [[nodiscard]] bool readable(FileId file, std::uint64_t strip) const;
+
+  /// Demote an authoritative copy to a read-only leftover of a migration:
+  /// drops it from stored_bytes()/strip_count() (and from has()) but keeps
+  /// the payload readable. A later put() with the same length reinstates
+  /// it. Requires has(). Costs no memory of its own — the payload is a
+  /// shared StripBuffer view.
+  void retire(FileId file, std::uint64_t strip);
 
   /// Shared handle onto the stored payload (empty in timing-only mode).
   /// The handle stays valid — and immutable — even if the strip is later
-  /// replaced or erased. Requires has().
+  /// replaced or erased. Requires readable().
   [[nodiscard]] const StripBuffer& buffer(FileId file,
                                           std::uint64_t strip) const;
 
   /// The stored bytes as a view (empty in timing-only mode). Requires
-  /// has(). Valid until the strip is replaced or erased.
+  /// readable(). Valid until the strip is replaced or erased.
   [[nodiscard]] std::span<const std::byte> bytes(FileId file,
                                                  std::uint64_t strip) const;
 
-  /// Disk byte position of the strip on this server. Requires has().
+  /// Disk byte position of the strip on this server. Requires readable().
   [[nodiscard]] std::uint64_t disk_offset(FileId file,
                                           std::uint64_t strip) const;
 
-  /// Logical length of the stored strip. Requires has().
+  /// Logical length of the stored strip. Requires readable().
   [[nodiscard]] std::uint64_t length(FileId file, std::uint64_t strip) const;
 
-  /// Remove a strip (used when re-laying out a file). Requires has().
+  /// Remove a strip (used when re-laying out a file). Requires readable().
   void erase(FileId file, std::uint64_t strip);
 
   /// Total logical bytes stored (capacity accounting).
@@ -76,7 +91,8 @@ class ServerStore {
     std::uint64_t disk_offset = 0;
     StripBuffer payload;
     bool present = false;
-    bool placed = false;  // had a disk offset in an earlier life
+    bool placed = false;   // had a disk offset in an earlier life
+    bool retired = false;  // migration leftover: readable, not authoritative
   };
 
   [[nodiscard]] const StripSlot& find(FileId file, std::uint64_t strip) const;

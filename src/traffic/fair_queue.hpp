@@ -89,8 +89,11 @@ class NicFairQueue : public net::SendScheduler {
   NicFairQueue(sim::Simulator& simulator, net::Network& network)
       : sim_(simulator), net_(network) {}
 
+  /// Weight for `tenant` on every node queue, current and future. Safe to
+  /// call mid-run: live queues re-tag from the next push onward.
   void set_weight(std::uint32_t tenant, double weight) {
-    weights_.emplace_back(tenant, weight);
+    weights_[tenant] = weight;
+    for (auto& [node, nq] : queues_) nq.queue.set_weight(tenant, weight);
   }
 
   bool intercept(net::Message& msg) override;
@@ -109,7 +112,7 @@ class NicFairQueue : public net::SendScheduler {
 
   sim::Simulator& sim_;
   net::Network& net_;
-  std::vector<std::pair<std::uint32_t, double>> weights_;
+  std::map<std::uint32_t, double> weights_;
   std::unordered_map<net::NodeId, NodeQueue> queues_;
   std::uint64_t scheduled_ = 0;
   std::size_t max_depth_ = 0;
@@ -121,8 +124,11 @@ class DiskFairQueue : public pfs::ReadScheduler {
  public:
   explicit DiskFairQueue(sim::Simulator& simulator) : sim_(simulator) {}
 
+  /// Weight for `tenant` on every server queue, current and future. Safe to
+  /// call mid-run: live queues re-tag from the next push onward.
   void set_weight(std::uint32_t tenant, double weight) {
-    weights_.emplace_back(tenant, weight);
+    weights_[tenant] = weight;
+    for (auto& [server, sq] : queues_) sq.queue.set_weight(tenant, weight);
   }
 
   bool intercept_read(pfs::PfsServer& server,
@@ -141,7 +147,7 @@ class DiskFairQueue : public pfs::ReadScheduler {
   void pump(pfs::PfsServer& server);
 
   sim::Simulator& sim_;
-  std::vector<std::pair<std::uint32_t, double>> weights_;
+  std::map<std::uint32_t, double> weights_;
   std::unordered_map<pfs::PfsServer*, ServerQueue> queues_;
   std::uint64_t scheduled_ = 0;
   std::size_t max_depth_ = 0;

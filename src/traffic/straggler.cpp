@@ -33,6 +33,7 @@ StragglerScheduler::Op* StragglerScheduler::acquire_op() {
 
 void StragglerScheduler::release_op(Op* op) {
   op->on_done.reset();
+  op->holders.clear();  // keeps capacity for the next read
   op->hedge_armed = false;
   op->done = false;
   op->outstanding = 0;
@@ -54,11 +55,17 @@ void StragglerScheduler::record_latency(pfs::ServerIndex server,
 pfs::ServerIndex StragglerScheduler::pick_fastest(
     const std::vector<pfs::ServerIndex>& holders,
     pfs::ServerIndex exclude) const {
+  // A never-sampled holder must not score 0.0: it would win every pick, so
+  // a cold replica (exactly what layout migration creates) would absorb all
+  // rerouted and hedged traffic until its first reply landed. Score unknown
+  // servers at the global median instead — competitive, but only chosen
+  // over servers measured slower than the cluster norm.
+  const double unsampled = latency_.count() > 0 ? latency_.quantile(0.5) : 0.0;
   pfs::ServerIndex best = kNoServer;
   double best_score = 0.0;
   for (const pfs::ServerIndex h : holders) {
     if (h == exclude) continue;
-    const double score = samples_[h] > 0 ? ewma_[h] : 0.0;
+    const double score = samples_[h] > 0 ? ewma_[h] : unsampled;
     if (best == kNoServer || score < best_score) {
       best = h;
       best_score = score;
@@ -71,9 +78,9 @@ void StragglerScheduler::read_strip(net::NodeId client, net::TenantId tenant,
                                     pfs::FileId file, std::uint64_t strip,
                                     DoneFn on_done) {
   const pfs::FileMeta& meta = pfs_.meta(file);
-  const pfs::Layout& layout = pfs_.layout(file);
-  const std::vector<pfs::ServerIndex> holders =
-      layout.holders(strip, meta.num_strips());
+  // Resolve against the layout this strip is currently served under (the
+  // prior layout while a migration's frontier has not yet passed the strip).
+  std::vector<pfs::ServerIndex> holders = pfs_.read_holders(file, strip);
   DAS_REQUIRE(!holders.empty());
 
   pfs::ServerIndex target = holders[0];
@@ -95,11 +102,15 @@ void StragglerScheduler::read_strip(net::NodeId client, net::TenantId tenant,
   op->client = client;
   op->tenant = tenant;
   op->first_server = target;
+  // Snapshot the holder set at issue time: under migration the live layout
+  // can change between issue and hedge-fire, and a hedge resolved against
+  // the new layout could target a server that never held this strip.
+  op->holders = std::move(holders);
   op->on_done = std::move(on_done);
 
   ++reads_issued_;
   issue(op, target, /*is_hedge=*/false);
-  if (config_.hedge && holders.size() > 1) arm_hedge(op);
+  if (config_.hedge && op->holders.size() > 1) arm_hedge(op);
 }
 
 void StragglerScheduler::issue(Op* op, pfs::ServerIndex target,
@@ -171,10 +182,10 @@ void StragglerScheduler::arm_hedge(Op* op) {
 void StragglerScheduler::fire_hedge(Op* op) {
   op->hedge_armed = false;
   if (op->done) return;
-  const pfs::FileMeta& meta = pfs_.meta(op->file);
-  const std::vector<pfs::ServerIndex> holders =
-      pfs_.layout(op->file).holders(op->strip, meta.num_strips());
-  const pfs::ServerIndex target = pick_fastest(holders, op->first_server);
+  // Use the holder set snapshotted at issue time, not the live layout: those
+  // servers are guaranteed to still serve the strip (migration retires old
+  // copies without deleting them until the file's epoch advances).
+  const pfs::ServerIndex target = pick_fastest(op->holders, op->first_server);
   if (target == kNoServer) return;
   ++hedges_issued_;
   issue(op, target, /*is_hedge=*/true);

@@ -91,6 +91,9 @@ class StragglerScheduler {
     net::NodeId client = net::kInvalidNode;
     net::TenantId tenant = net::kNoTenant;
     pfs::ServerIndex first_server = 0;
+    /// Holder set snapshotted at issue time, so a later hedge never targets
+    /// a server the strip migrated away from mid-flight.
+    std::vector<pfs::ServerIndex> holders;
     sim::SimTime first_issued_at = 0;
     sim::SimTime hedge_issued_at = 0;
     sim::EventId hedge_timer = 0;
@@ -110,7 +113,8 @@ class StragglerScheduler {
   void record_latency(pfs::ServerIndex server, double seconds);
 
   /// The holder with the lowest EWMA, skipping `exclude`; never-sampled
-  /// holders count as fastest (exploration). kInvalidServer when none.
+  /// holders score the global median latency so a cold server is tried
+  /// only over measured-slow ones. kNoServer when none.
   [[nodiscard]] pfs::ServerIndex pick_fastest(
       const std::vector<pfs::ServerIndex>& holders,
       pfs::ServerIndex exclude) const;

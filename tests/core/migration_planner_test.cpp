@@ -1,0 +1,155 @@
+// Migration trigger + cost model: divergence threshold, hysteresis streak,
+// noise floor, payback gate, and the one-shot launch latch.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/bandwidth_model.hpp"
+#include "core/decision.hpp"
+#include "core/distribution_planner.hpp"
+#include "core/migration_planner.hpp"
+#include "pfs/layout.hpp"
+
+namespace das::core {
+namespace {
+
+class MigrationPlannerFixture : public ::testing::Test {
+ protected:
+  MigrationPlannerFixture() {
+    meta_.name = "f";
+    meta_.strip_size = 64;
+    meta_.element_size = 4;
+    meta_.raster_width = 16;  // one row per strip
+    meta_.size_bytes = 64 * 64;
+    offsets_ = {-16, 16};  // vertical stencil: +-1 strip
+    distribution_.group_size = 16;
+    distribution_.halo = 1;
+    distribution_.max_capacity_overhead = 0.25;
+  }
+
+  MigrationConfig enabled_config() const {
+    MigrationConfig config;
+    config.enabled = true;
+    config.divergence_threshold = 2.0;
+    config.hysteresis_passes = 2;
+    config.min_observed_bytes = 1;
+    return config;
+  }
+
+  /// The placement the planner will recommend, and its predicted per-pass
+  /// halo bytes (the divergence baseline).
+  std::uint64_t predicted_halo(PlacementSpec* spec_out = nullptr) const {
+    const DistributionPlanner planner(distribution_);
+    const auto spec = planner.plan(meta_, offsets_, 4);
+    EXPECT_TRUE(spec.has_value());
+    if (spec_out != nullptr) *spec_out = *spec;
+    return forecast_traffic(meta_, offsets_, *spec, 0)
+        .active_strip_fetch_bytes;
+  }
+
+  pfs::FileMeta meta_;
+  std::vector<std::int64_t> offsets_;
+  DistributionConfig distribution_;
+  pfs::RoundRobinLayout current_{4};
+};
+
+TEST_F(MigrationPlannerFixture, DisabledNeverRecommends) {
+  MigrationConfig config;  // enabled defaults to false
+  MigrationPlanner planner(distribution_, config);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_FALSE(
+        planner.observe(meta_, current_, offsets_, 1ULL << 30, 100));
+  }
+  EXPECT_EQ(planner.streak(), 0U);
+}
+
+TEST_F(MigrationPlannerFixture, HysteresisRequiresConsecutivePasses) {
+  MigrationPlanner planner(distribution_, enabled_config());
+  EXPECT_FALSE(planner.observe(meta_, current_, offsets_, 1ULL << 20, 100));
+  EXPECT_EQ(planner.streak(), 1U);
+  const auto plan = planner.observe(meta_, current_, offsets_, 1ULL << 20, 99);
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_GT(plan->move_bytes, 0U);
+  PlacementSpec expected;
+  predicted_halo(&expected);
+  EXPECT_EQ(plan->target, expected);
+  EXPECT_FALSE(plan->rationale.empty());
+}
+
+TEST_F(MigrationPlannerFixture, QuietPassResetsTheStreak) {
+  MigrationPlanner planner(distribution_, enabled_config());
+  EXPECT_FALSE(planner.observe(meta_, current_, offsets_, 1ULL << 20, 100));
+  EXPECT_EQ(planner.streak(), 1U);
+  // A pass at exactly the predicted cost is not divergent.
+  EXPECT_FALSE(
+      planner.observe(meta_, current_, offsets_, predicted_halo(), 99));
+  EXPECT_EQ(planner.streak(), 0U);
+  // The count starts over afterwards.
+  EXPECT_FALSE(planner.observe(meta_, current_, offsets_, 1ULL << 20, 98));
+  EXPECT_EQ(planner.streak(), 1U);
+}
+
+TEST_F(MigrationPlannerFixture, NoiseFloorIgnoresTinyTraffic) {
+  MigrationConfig config = enabled_config();
+  config.min_observed_bytes = 1ULL << 30;
+  MigrationPlanner planner(distribution_, config);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_FALSE(planner.observe(meta_, current_, offsets_, 1ULL << 20, 100));
+  }
+  EXPECT_EQ(planner.streak(), 0U);
+}
+
+TEST_F(MigrationPlannerFixture, AlreadyOnBestPlacementDoesNothing) {
+  MigrationPlanner planner(distribution_, enabled_config());
+  PlacementSpec best;
+  predicted_halo(&best);
+  const std::unique_ptr<pfs::Layout> layout = best.make_layout();
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_FALSE(planner.observe(meta_, *layout, offsets_, 1ULL << 20, 100));
+  }
+  EXPECT_EQ(planner.streak(), 0U);
+}
+
+TEST_F(MigrationPlannerFixture, PaybackGateBlocksUnprofitableMoves) {
+  MigrationPlanner planner(distribution_, enabled_config());
+  // Divergent by a hair: savings per pass is ~one byte, never worth the
+  // move even over many passes.
+  const std::uint64_t barely =
+      static_cast<std::uint64_t>(2.0 * static_cast<double>(predicted_halo())) +
+      1;
+  EXPECT_FALSE(planner.observe(meta_, current_, offsets_, barely, 100));
+  EXPECT_FALSE(planner.observe(meta_, current_, offsets_, barely, 99));
+  // The streak survives the failed payback test (the divergence is real).
+  EXPECT_GE(planner.streak(), 2U);
+}
+
+TEST_F(MigrationPlannerFixture, ZeroRemainingPassesNeverPaysBack) {
+  MigrationPlanner planner(distribution_, enabled_config());
+  EXPECT_FALSE(planner.observe(meta_, current_, offsets_, 1ULL << 20, 100));
+  EXPECT_FALSE(planner.observe(meta_, current_, offsets_, 1ULL << 20, 0));
+}
+
+TEST_F(MigrationPlannerFixture, LaunchLatchStopsFurtherRecommendations) {
+  MigrationPlanner planner(distribution_, enabled_config());
+  EXPECT_FALSE(planner.observe(meta_, current_, offsets_, 1ULL << 20, 100));
+  ASSERT_TRUE(planner.observe(meta_, current_, offsets_, 1ULL << 20, 99));
+  planner.notify_launched();
+  EXPECT_TRUE(planner.launched());
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_FALSE(planner.observe(meta_, current_, offsets_, 1ULL << 20, 98));
+  }
+}
+
+TEST_F(MigrationPlannerFixture, UnknownLayoutFamilyStillMigratable) {
+  // The traffic engine's replicated round-robin is outside the bandwidth
+  // model's parameter space; the planner must not crash on it and may still
+  // recommend moving off it.
+  MigrationPlanner planner(distribution_, enabled_config());
+  const pfs::ReplicatedRoundRobinLayout rrr(4, 2);
+  EXPECT_FALSE(planner.observe(meta_, rrr, offsets_, 1ULL << 20, 100));
+  EXPECT_TRUE(planner.observe(meta_, rrr, offsets_, 1ULL << 20, 99));
+}
+
+}  // namespace
+}  // namespace das::core

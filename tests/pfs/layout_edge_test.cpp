@@ -1,0 +1,145 @@
+// Layout edge cases: partial last groups, halo replication at the file
+// boundaries, replica-count clamping, and the degenerate single-server
+// placement.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "pfs/layout.hpp"
+
+namespace das::pfs {
+namespace {
+
+TEST(LayoutEdgeTest, GroupedPartialLastGroupStaysOnItsServer) {
+  // 4 servers, groups of 4, but only 14 strips: the last group is partial
+  // (strips 12, 13) and must land on server 3 like a full group would.
+  const GroupedLayout layout(4, 4);
+  EXPECT_EQ(layout.primary(12), 3U);
+  EXPECT_EQ(layout.primary(13), 3U);
+  EXPECT_EQ(layout.primary_strips(3, 14),
+            (std::vector<std::uint64_t>{12, 13}));
+  // And nothing past the end is ever attributed to anyone.
+  for (ServerIndex server = 0; server < 4; ++server) {
+    for (const std::uint64_t s : layout.primary_strips(server, 14)) {
+      EXPECT_LT(s, 14U);
+    }
+  }
+}
+
+TEST(LayoutEdgeTest, DasReplicatedNoHaloPastTheFileEnds) {
+  // Group 0's first strips have no previous group to serve; the last
+  // group's final strips have no next group. Neither may replicate.
+  const DasReplicatedLayout layout(4, 4, 1);
+  EXPECT_TRUE(layout.replicas(0, 16).empty());
+  EXPECT_TRUE(layout.replicas(15, 16).empty());
+  // Interior group edges do replicate, onto the adjacent server.
+  EXPECT_EQ(layout.replicas(4, 16), (std::vector<ServerIndex>{0}));
+  EXPECT_EQ(layout.replicas(3, 16), (std::vector<ServerIndex>{1}));
+}
+
+TEST(LayoutEdgeTest, DasReplicatedPartialLastGroupBoundary) {
+  // 14 strips: the last group holds only strips 12-13. Strip 12 is a
+  // group-first strip (halo for server 2); strip 13 is the file's last
+  // strip — `pos + halo >= r` is false for it (pos 1, r 4), so it gains no
+  // next-server copy, and there is no next group anyway.
+  const DasReplicatedLayout layout(4, 4, 1);
+  EXPECT_EQ(layout.replicas(12, 14), (std::vector<ServerIndex>{2}));
+  EXPECT_TRUE(layout.replicas(13, 14).empty());
+  // Strip 11 ends group 2; its next-group copy must still appear because
+  // group 3 exists (even partial).
+  EXPECT_EQ(layout.replicas(11, 14), (std::vector<ServerIndex>{3}));
+}
+
+TEST(LayoutEdgeTest, DasReplicatedWideHaloMergesDuplicateNeighbours) {
+  // d=2, r=4, halo=2: a strip can be both group-first (previous server)
+  // and group-last (next server) material, and with two servers previous
+  // == next. Holders must stay deduplicated.
+  const DasReplicatedLayout layout(2, 4, 2);
+  for (std::uint64_t s = 0; s < 12; ++s) {
+    const auto holders = layout.holders(s, 12);
+    std::vector<ServerIndex> sorted = holders;
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_EQ(std::unique(sorted.begin(), sorted.end()), sorted.end())
+        << "duplicate holder for strip " << s;
+    EXPECT_EQ(holders.front(), layout.primary(s));
+  }
+}
+
+TEST(LayoutEdgeTest, DasReplicatedSingleServerHasNoReplicas) {
+  // d_ == 1: every strip lives on server 0; halo copies would be the same
+  // physical server, so replicas must vanish.
+  const DasReplicatedLayout layout(1, 4, 1);
+  for (std::uint64_t s = 0; s < 8; ++s) {
+    EXPECT_EQ(layout.primary(s), 0U);
+    EXPECT_TRUE(layout.replicas(s, 8).empty());
+    EXPECT_EQ(layout.holders(s, 8), (std::vector<ServerIndex>{0}));
+  }
+}
+
+TEST(LayoutEdgeTest, ReplicatedRoundRobinClampsCopiesToServers) {
+  // Requesting more copies than servers must clamp to one holder per
+  // server, and zero copies must clamp up to one (the primary).
+  const ReplicatedRoundRobinLayout over(3, 8);
+  EXPECT_EQ(over.copies(), 3U);
+  for (std::uint64_t s = 0; s < 6; ++s) {
+    const auto holders = over.holders(s, 6);
+    EXPECT_EQ(holders.size(), 3U);
+    std::vector<ServerIndex> sorted = holders;
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_EQ(sorted, (std::vector<ServerIndex>{0, 1, 2}));
+  }
+
+  const ReplicatedRoundRobinLayout zero(3, 0);
+  EXPECT_EQ(zero.copies(), 1U);
+  EXPECT_TRUE(zero.replicas(0, 6).empty());
+}
+
+TEST(LayoutEdgeTest, HoldsAgreesWithHoldersEverywhere) {
+  const DasReplicatedLayout layout(4, 4, 1);
+  for (std::uint64_t s = 0; s < 14; ++s) {
+    const auto holders = layout.holders(s, 14);
+    for (ServerIndex server = 0; server < 4; ++server) {
+      const bool listed =
+          std::find(holders.begin(), holders.end(), server) != holders.end();
+      EXPECT_EQ(layout.holds(server, s, 14), listed)
+          << "server " << server << " strip " << s;
+    }
+  }
+}
+
+TEST(LayoutEdgeTest, StoredBytesCountsThePartialLastStrip) {
+  // 5 strips of 64 plus a 16-byte tail on one server: stored_bytes must
+  // sum true strip lengths, not num_strips * strip_size.
+  FileMeta meta;
+  meta.name = "f";
+  meta.strip_size = 64;
+  meta.size_bytes = 5 * 64 + 16;
+  const RoundRobinLayout layout(1);
+  EXPECT_EQ(layout.stored_bytes(0, meta), meta.size_bytes);
+
+  // Across servers the totals partition the file exactly (no replication).
+  const RoundRobinLayout spread(4);
+  std::uint64_t total = 0;
+  for (ServerIndex server = 0; server < 4; ++server) {
+    total += spread.stored_bytes(server, meta);
+  }
+  EXPECT_EQ(total, meta.size_bytes);
+}
+
+TEST(LayoutEdgeTest, DasReplicatedStoredBytesIncludesHaloCopies) {
+  // 16 strips of 64 on 4 servers, groups of 4, halo 1. Server 1 stores its
+  // own group (strips 4-7) plus strip 3 (previous group's last) and strip
+  // 8 (next group's first): 6 strips.
+  FileMeta meta;
+  meta.name = "f";
+  meta.strip_size = 64;
+  meta.size_bytes = 16 * 64;
+  const DasReplicatedLayout layout(4, 4, 1);
+  EXPECT_EQ(layout.stored_bytes(1, meta), 6U * 64);
+  // Server 0 has no previous group: 5 strips only.
+  EXPECT_EQ(layout.stored_bytes(0, meta), 5U * 64);
+}
+
+}  // namespace
+}  // namespace das::pfs

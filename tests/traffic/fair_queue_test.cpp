@@ -2,8 +2,17 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
+
+#include "net/message.hpp"
+#include "net/network.hpp"
+#include "pfs/layout.hpp"
+#include "pfs/pfs.hpp"
+#include "simkit/simulator.hpp"
+#include "simkit/time.hpp"
 
 namespace das::traffic {
 namespace {
@@ -66,6 +75,114 @@ TEST(WeightedFairQueueTest, IdleTenantGetsNoBackloggedCredit) {
   EXPECT_EQ(queue.pop(), "late");  // one fair slot, not 8 slots of credit
   EXPECT_EQ(queue.pop(), "a8");
   EXPECT_TRUE(queue.empty());
+}
+
+TEST(WeightedFairQueueTest, MidRunReweightAppliesToLaterPushes) {
+  WeightedFairQueue<std::string> queue;
+  queue.push(0, 10, "a0");
+  queue.push(1, 10, "b0");
+  EXPECT_EQ(queue.pop(), "a0");
+  EXPECT_EQ(queue.pop(), "b0");
+
+  // Reweighting between bursts must shape the next burst: tenant 0's new
+  // pushes earn half-cost finish tags from the current virtual time.
+  queue.set_weight(0, 2.0);
+  for (int i = 0; i < 4; ++i) {
+    queue.push(0, 10, "A" + std::to_string(i));
+    queue.push(1, 10, "B" + std::to_string(i));
+  }
+  EXPECT_EQ(drain(queue), (std::vector<std::string>{"A0", "B0", "A1", "A2",
+                                                    "B1", "A3", "B2", "B3"}));
+}
+
+TEST(NicFairQueueTest, ReweightReachesLiveNodeQueues) {
+  // The regression: set_weight() after a node queue already exists must
+  // propagate into it, not only into queues created later. One tenant-tagged
+  // message materializes node 0's queue; the reweight lands afterwards; the
+  // following burst must drain at the new 4:1 ratio.
+  sim::Simulator sim;
+  net::NetworkConfig ncfg;
+  ncfg.num_nodes = 2;
+  net::Network network(sim, ncfg);
+  NicFairQueue nic(sim, network);
+  network.set_send_scheduler(&nic);
+
+  std::vector<std::string> delivered;
+  const auto send = [&](net::TenantId tenant, const std::string& label) {
+    network.send(net::Message{0, 1, 1000, net::TrafficClass::kClientServer,
+                              [&delivered, label]() {
+                                delivered.push_back(label);
+                              },
+                              tenant});
+  };
+
+  sim.schedule_at(sim::milliseconds(1), [&]() { send(0, "warm"); },
+                  "test.warm");
+  sim.schedule_at(sim::milliseconds(5), [&]() { nic.set_weight(0, 4.0); },
+                  "test.reweight");
+  sim.schedule_at(
+      sim::milliseconds(10),
+      [&]() {
+        for (int i = 0; i < 4; ++i) {
+          send(0, "a" + std::to_string(i));
+          send(1, "b" + std::to_string(i));
+        }
+      },
+      "test.burst");
+  sim.run();
+
+  EXPECT_EQ(delivered,
+            (std::vector<std::string>{"warm", "a0", "a1", "a2", "b0", "a3",
+                                      "b1", "b2", "b3"}));
+  EXPECT_EQ(nic.messages_scheduled(), 9U);
+}
+
+TEST(DiskFairQueueTest, ReweightReachesLiveServerQueues) {
+  // Same regression at the disk service point: a warm-up read creates
+  // server 0's live queue, the reweight follows, and the burst of equal-cost
+  // reads must serve weight-4 tenant 7 ahead of tenant 8.
+  sim::Simulator sim;
+  net::NetworkConfig ncfg;
+  ncfg.num_nodes = 2;  // server node 0, client node 1
+  net::Network network(sim, ncfg);
+  pfs::Pfs pfs(sim, network, std::vector<net::NodeId>{0},
+               storage::DiskConfig{});
+  DiskFairQueue disk(sim);
+  pfs.server(0).set_read_scheduler(&disk);
+
+  pfs::FileMeta meta;
+  meta.name = "f";
+  meta.strip_size = 64;
+  meta.size_bytes = 8 * 64;
+  std::vector<std::byte> data(meta.size_bytes, std::byte{0x5a});
+  const pfs::FileId f =
+      pfs.create_file(meta, std::make_unique<pfs::RoundRobinLayout>(1), &data);
+
+  std::vector<std::uint64_t> served;
+  const auto read = [&](net::TenantId tenant, std::uint64_t strip) {
+    pfs.server(0).serve_read(
+        f, strip, 0, 64, /*requester=*/1, net::TrafficClass::kClientServer,
+        [&served, strip](const pfs::StripBuffer&) { served.push_back(strip); },
+        tenant);
+  };
+
+  sim.schedule_at(sim::milliseconds(1), [&]() { read(7, 0); }, "test.warm");
+  sim.schedule_at(sim::milliseconds(5), [&]() { disk.set_weight(7, 4.0); },
+                  "test.reweight");
+  sim.schedule_at(
+      sim::milliseconds(10),
+      [&]() {
+        // Tenant 7 reads strips 0-3, tenant 8 strips 4-7, interleaved.
+        for (std::uint64_t i = 0; i < 4; ++i) {
+          read(7, i);
+          read(8, 4 + i);
+        }
+      },
+      "test.burst");
+  sim.run();
+
+  EXPECT_EQ(served, (std::vector<std::uint64_t>{0, 0, 1, 2, 4, 3, 5, 6, 7}));
+  EXPECT_EQ(disk.reads_scheduled(), 9U);
 }
 
 TEST(WeightedFairQueueTest, MoveOnlyItemsSupported) {

@@ -10,6 +10,7 @@
 //           [--pipeline=1] [--window=4] [--pre-distributed=true] [--repeats=1]
 //           [--cache-mib=0] [--cache-policy=lru]
 //           [--prefetch=on|off] [--prefetch-depth=0]
+//           [--migrate=off] [--migrate-threshold=4.0]
 //           [--nic-mibps=110] [--disk-mibps=700] [--compute-mibps=450]
 //           [--startup-s=12] [--jitter=0] [--stragglers=0] [--slowdown=1]
 //           [--trace=FILE] [--audit=FILE] [--log-level=LEVEL]
@@ -147,6 +148,12 @@ int main(int argc, char** argv) {
           "--prefetch-depth requires --cache-mib > 0 (prefetched strips land "
           "in the server strip cache)");
     }
+    // Online layout migration (NAS repeated passes): off by default, so the
+    // classic byte flows reproduce the migration-free system exactly.
+    base.migration.enabled = args.get_bool("migrate", false);
+    base.migration.divergence_threshold =
+        args.get_double("migrate-threshold",
+                        base.migration.divergence_threshold);
     const std::string trace_path = args.get("trace", "");
     const std::string audit_path = args.get("audit", "");
     std::optional<das::sim::LogLevel> log_level;
