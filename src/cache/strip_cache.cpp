@@ -5,6 +5,7 @@
 
 #include "simkit/assert.hpp"
 #include "simkit/trace.hpp"
+#include "telemetry/registry.hpp"
 
 namespace das::cache {
 
@@ -174,6 +175,17 @@ void StripCache::erase(const CacheKey& key, bool count_as_eviction) {
   slot->present = false;
   slot->strip.bytes.reset();  // return the payload to its pool promptly
   --entry_count_;
+}
+
+void StripCache::enroll(telemetry::Registry& registry,
+                        std::uint32_t server) const {
+  const telemetry::Labels labels{telemetry::label("server", server)};
+  registry.enroll_counter("cache.hits", labels, &stats_.hits);
+  registry.enroll_counter("cache.misses", labels, &stats_.misses);
+  registry.enroll_counter("cache.hit_bytes", labels, &stats_.hit_bytes);
+  registry.enroll_counter("cache.evictions", labels, &stats_.evictions);
+  registry.enroll_gauge("cache.used_bytes", labels,
+                        [this]() { return static_cast<double>(used_bytes_); });
 }
 
 void InvalidationHub::attach(StripCache* cache) {

@@ -34,6 +34,10 @@
 #include "pfs/strip_buffer.hpp"
 #include "simkit/trace.hpp"
 
+namespace das::telemetry {
+class Registry;
+}  // namespace das::telemetry
+
 namespace das::cache {
 
 struct CacheConfig {
@@ -138,6 +142,11 @@ class StripCache {
 
   /// Tracer to record instants into (set by the PFS; null disables tracing).
   void set_tracer(sim::Tracer* tracer) { tracer_ = tracer; }
+
+  /// Enroll hit/miss/eviction counters and an occupancy gauge, labelled
+  /// with the owning server. Stats fields stay plain uint64 (reports diff
+  /// them with CacheStats arithmetic); the registry reads them in place.
+  void enroll(telemetry::Registry& registry, std::uint32_t server) const;
 
  private:
   /// Flat-table slot; `present` distinguishes an empty slot from a cached

@@ -9,8 +9,10 @@
 #include "cache/strip_cache.hpp"
 #include "pfs/prefetch.hpp"
 #include "simkit/assert.hpp"
+#include "simkit/context.hpp"
 #include "simkit/time.hpp"
 #include "simkit/trace.hpp"
+#include "telemetry/plane.hpp"
 
 namespace das::core {
 
@@ -226,8 +228,25 @@ void ActiveExecutor::start_run(ServerTask* task, std::size_t index) {
           simulator.now() +
           sim::transfer_time(ref.length,
                              self.strip_cache()->config().hit_bandwidth_bps);
+      // Span the RAM copy so cache-served halo shows up under the cache hop
+      // instead of silently vanishing from critical-path attribution.
+      std::uint64_t span = 0;
+      if (telemetry::Plane* plane = simulator.context().telemetry) {
+        span =
+            plane->spans().begin(net::kNoTenant, simulator.now(), task->node);
+        plane->spans().add(span, telemetry::Hop::kCache,
+                           copied - simulator.now());
+      }
       simulator.schedule_at(
-          copied, [this, task, index]() { on_input(task, index); },
+          copied,
+          [this, task, index, span]() {
+            if (span != 0) {
+              sim::Simulator& sim = cluster_.simulator();
+              sim.context().telemetry->spans().end(span, sim.now(),
+                                                   task->node);
+            }
+            on_input(task, index);
+          },
           "as.cache_hit");
     } else if (pfs::HaloPrefetcher* prefetcher = self.prefetcher()) {
       // Remote halo strip with prefetching on: route through the
@@ -264,14 +283,22 @@ void ActiveExecutor::start_run(ServerTask* task, std::size_t index) {
           cluster_.pfs().read_primary(task->input, s);
       DAS_REQUIRE(source != task->server);
       pfs::PfsServer& peer = cluster_.pfs().server(source);
+      // Span the request → disk → payload chain; the network and the peer's
+      // disk charge their hops, this side closes the span on delivery.
+      std::uint64_t span = 0;
+      if (telemetry::Plane* plane = simulator.context().telemetry) {
+        span =
+            plane->spans().begin(net::kNoTenant, simulator.now(), task->node);
+      }
       cluster_.network().send_control(
-          task->node, peer.node(), [this, task, index, &peer, s]() {
+          task->node, peer.node(), [this, task, index, &peer, s, span]() {
             const pfs::StripRef request =
                 cluster_.pfs().meta(task->input).strip(s);
             peer.serve_read(
                 task->input, s, 0, request.length, task->node,
                 net::TrafficClass::kServerServer,
-                [this, task, index, s](const pfs::StripBuffer& payload) {
+                [this, task, index, s,
+                 span](const pfs::StripBuffer& payload) {
                   const pfs::FileMeta& in_meta =
                       cluster_.pfs().meta(task->input);
                   const pfs::StripRef strip = in_meta.strip(s);
@@ -290,8 +317,14 @@ void ActiveExecutor::start_run(ServerTask* task, std::size_t index) {
                     receiver->insert(cache::CacheKey{task->input, s},
                                      strip.length, pfs::StripBuffer(payload));
                   }
+                  if (span != 0) {
+                    sim::Simulator& sim = cluster_.simulator();
+                    sim.context().telemetry->spans().end(span, sim.now(),
+                                                         task->node);
+                  }
                   on_input(task, index);
-                });
+                },
+                net::kNoTenant, span);
           });
     }
   }

@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "core/metrics.hpp"
+#include "telemetry/plane.hpp"
 
 namespace das::core {
 
@@ -13,7 +14,7 @@ std::string audit_csv_header() {
          "halo_bytes_residual,predicted_cache_hit_rate,"
          "observed_cache_hit_rate,observed_warm_cache_hit_rate,"
          "cache_hit_rate_residual,predicted_overlap,observed_overlap,"
-         "overlap_residual";
+         "overlap_residual,session";
 }
 
 std::string audit_to_csv(const RunReport& r) {
@@ -27,7 +28,8 @@ std::string audit_to_csv(const RunReport& r) {
       << a.predicted_cache_hit_rate << ',' << a.observed_cache_hit_rate << ','
       << a.observed_warm_cache_hit_rate << ',' << a.cache_hit_rate_residual()
       << ',' << a.predicted_overlap << ',' << a.observed_overlap << ','
-      << a.overlap_residual();
+      << a.overlap_residual() << ','
+      << telemetry::session_hex(r.session_id);
   return out.str();
 }
 

@@ -69,7 +69,8 @@ struct DecisionAudit {
 };
 
 /// Audit CSV emission (header + one line per report; fields never contain
-/// commas — action strings are fixed spellings).
+/// commas — action strings are fixed spellings). The trailing `session`
+/// column joins audit rows with traces, SLO CSVs and metrics files.
 [[nodiscard]] std::string audit_csv_header();
 [[nodiscard]] std::string audit_to_csv(const RunReport& report);
 

@@ -39,6 +39,26 @@ std::string format_report_table(const std::vector<RunReport>& reports) {
                   r.sustained_bandwidth_bps() / (1 << 20));
     out << line;
   }
+  // Critical-path attribution, only when a run actually tracked spans (the
+  // table stays byte-identical for untracked runs).
+  static const char* kHopNames[7] = {"admission", "control", "net-queue",
+                                     "net-wire",  "disk",    "cache",
+                                     "compute"};
+  for (const RunReport& r : reports) {
+    if (r.spans_finished == 0) continue;
+    std::snprintf(line, sizeof line,
+                  "%s/%s spans: %llu finished; per-hop seconds:",
+                  r.scheme.c_str(), r.kernel.c_str(),
+                  static_cast<unsigned long long>(r.spans_finished));
+    out << line;
+    for (std::size_t h = 0; h < 7; ++h) {
+      if (r.span_hop_seconds[h] <= 0.0) continue;
+      std::snprintf(line, sizeof line, " %s=%.3f", kHopNames[h],
+                    r.span_hop_seconds[h]);
+      out << line;
+    }
+    out << '\n';
+  }
   return out.str();
 }
 

@@ -32,9 +32,21 @@ struct RunReport {
 
   /// Host-side cost of producing this report: real (wall-clock) seconds the
   /// simulation took and discrete events it delivered. Diagnostics only —
-  /// machine-dependent, so deliberately excluded from to_csv().
+  /// machine-dependent, so deliberately excluded from to_csv(). Trended
+  /// across PRs via the --diag sidecar instead.
   double wall_seconds = 0.0;
   std::uint64_t sim_events = 0;
+
+  /// Run session id (0 when the driver minted none). Stamped into traces,
+  /// audits, SLO CSVs, metrics and diag files; excluded from to_csv() so
+  /// the scheme CSV schema is unchanged.
+  std::uint64_t session_id = 0;
+
+  /// Causal-span critical-path attribution: total seconds charged to each
+  /// hop across finished request spans, and the span count. All zero unless
+  /// the run tracked spans (--spans).
+  std::uint64_t spans_finished = 0;
+  double span_hop_seconds[7] = {};  // indexed by telemetry::Hop
 
   std::uint64_t client_server_bytes = 0;
   std::uint64_t server_server_bytes = 0;

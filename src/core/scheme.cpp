@@ -16,6 +16,8 @@
 #include "kernels/registry.hpp"
 #include "pfs/migrate.hpp"
 #include "simkit/assert.hpp"
+#include "simkit/context.hpp"
+#include "telemetry/plane.hpp"
 
 namespace das::core {
 namespace {
@@ -385,6 +387,24 @@ RunReport run_scheme(const SchemeRunOptions& options) {
   SubmissionResult das_result;
   const std::uint32_t repeats = options.repeat_count;
 
+  // Enroll every component's counters with the telemetry plane before any
+  // event runs, so the first sample already has the full column set.
+  telemetry::Plane* plane =
+      options.context != nullptr ? options.context->telemetry : nullptr;
+  if (plane != nullptr) {
+    cluster.network().enroll(plane->registry());
+    for (pfs::ServerIndex s = 0; s < cluster.pfs().num_servers(); ++s) {
+      cluster.pfs().server(s).enroll(plane->registry());
+    }
+    for (std::uint32_t c = 0; c < options.cluster.compute_nodes; ++c) {
+      cluster.client(c).enroll(plane->registry());
+    }
+    if (migration != nullptr) {
+      migration->migrator().enroll(plane->registry());
+    }
+    plane->start(cluster.simulator());
+  }
+
   switch (options.scheme) {
     case Scheme::kTS: {
       if (!kernel->is_reduction()) {
@@ -482,11 +502,24 @@ RunReport run_scheme(const SchemeRunOptions& options) {
   cluster.simulator().run();
   const auto wall_end = std::chrono::steady_clock::now();
   DAS_REQUIRE(finish >= 0 && "scheme run did not complete");
+  if (plane != nullptr) plane->finish(cluster.simulator().now());
 
   report.exec_seconds = sim::to_seconds(finish);
   report.wall_seconds =
       std::chrono::duration<double>(wall_end - wall_start).count();
-  report.sim_events = cluster.simulator().events_delivered();
+  // Sampler ticks are observational scaffolding, not workload events; netting
+  // them out keeps the reported event count identical with telemetry on/off.
+  report.sim_events =
+      cluster.simulator().events_delivered() -
+      (plane != nullptr ? plane->sampler_ticks() : 0);
+  if (options.context != nullptr) report.session_id = options.context->session;
+  if (plane != nullptr) {
+    report.spans_finished = plane->spans().spans_finished();
+    for (std::size_t h = 0; h < telemetry::kNumHops; ++h) {
+      report.span_hop_seconds[h] = sim::to_seconds(
+          plane->spans().hop_total(static_cast<telemetry::Hop>(h)));
+    }
+  }
   fill_traffic(report, cluster.network(), before);
   fill_utilization(report, cluster, finish);
   fill_cache_stats(report, cluster);
@@ -681,6 +714,9 @@ std::vector<RunReport> run_pipeline(
   fill_cache_stats(combined, cluster);
   fill_latency_breakdown(combined, cluster);
   reports.push_back(combined);
+  if (options.context != nullptr) {
+    for (RunReport& r : reports) r.session_id = options.context->session;
+  }
   return reports;
 }
 

@@ -56,6 +56,9 @@ struct Message {
   DeliveryFn on_delivered;
   /// Tenant the bytes are moved for (traffic engine); kNoTenant otherwise.
   TenantId tenant = kNoTenant;
+  /// Causal span the message belongs to; 0 when the request is untracked.
+  /// The network charges queue wait and wire time to this span.
+  std::uint64_t span = 0;
 };
 
 }  // namespace das::net

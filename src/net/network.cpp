@@ -6,6 +6,7 @@
 
 #include "simkit/assert.hpp"
 #include "simkit/trace.hpp"
+#include "telemetry/plane.hpp"
 
 namespace das::net {
 
@@ -74,6 +75,21 @@ void Network::transmit(Message msg) {
   queue_wait_.record(sim::to_seconds(queue_wait));
   wire_.record(sim::to_seconds((delivered_at - sent_at) - queue_wait));
 
+  if (msg.span != 0) {
+    if (telemetry::Plane* plane = sim_.context().telemetry) {
+      if (msg.cls == TrafficClass::kControl) {
+        // Request/ack RPC legs are charged whole to the control hop; the
+        // queue/wire split only matters for payload transfers.
+        plane->spans().add(msg.span, telemetry::Hop::kControl,
+                           delivered_at - sent_at);
+      } else {
+        plane->spans().add(msg.span, telemetry::Hop::kNetQueue, queue_wait);
+        plane->spans().add(msg.span, telemetry::Hop::kNetWire,
+                           (delivered_at - sent_at) - queue_wait);
+      }
+    }
+  }
+
   if (msg.on_delivered) {
     // The callback is already the event engine's callable type: hand it to
     // the queue as-is instead of wrapping it in another capturing closure.
@@ -83,6 +99,18 @@ void Network::transmit(Message msg) {
 
 void Network::send_control(NodeId src, NodeId dst, DeliveryFn on_delivered) {
   send(Message{src, dst, 0, TrafficClass::kControl, std::move(on_delivered)});
+}
+
+void Network::enroll(telemetry::Registry& registry) const {
+  for (std::size_t c = 0; c < kNumTrafficClasses; ++c) {
+    const char* cls = to_string(static_cast<TrafficClass>(c));
+    registry.enroll_counter("net.bytes", {telemetry::label("class", cls)},
+                            bytes_by_class_[c]);
+    registry.enroll_counter("net.msgs", {telemetry::label("class", cls)},
+                            msgs_by_class_[c]);
+  }
+  registry.enroll_histogram("net.latency_s", {}, &latency_);
+  registry.enroll_histogram("net.queue_wait_s", {}, &queue_wait_);
 }
 
 }  // namespace das::net

@@ -14,6 +14,11 @@
 #include "net/nic.hpp"
 #include "simkit/simulator.hpp"
 #include "simkit/stats.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace das::telemetry {
+class Registry;
+}  // namespace das::telemetry
 
 namespace das::net {
 
@@ -100,13 +105,17 @@ class Network {
   /// i.e. end-to-end minus the queue wait.
   [[nodiscard]] const sim::Histogram& wire_histogram() const { return wire_; }
 
+  /// Enroll per-class byte/message counters and the latency histograms in
+  /// the run's telemetry registry.
+  void enroll(telemetry::Registry& registry) const;
+
  private:
   sim::Simulator& sim_;
   NetworkConfig config_;
   SendScheduler* scheduler_ = nullptr;
   std::vector<Nic> nics_;
-  std::uint64_t bytes_by_class_[kNumTrafficClasses] = {};
-  std::uint64_t msgs_by_class_[kNumTrafficClasses] = {};
+  telemetry::Counter bytes_by_class_[kNumTrafficClasses];
+  telemetry::Counter msgs_by_class_[kNumTrafficClasses];
   sim::Histogram latency_;
   sim::Histogram queue_wait_;
   sim::Histogram wire_;

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "simkit/assert.hpp"
+#include "telemetry/plane.hpp"
 
 namespace das::pfs {
 
@@ -27,10 +28,16 @@ void PfsClient::release_range_op(RangeOp* op) {
   op->on_strip.reset();
   op->outstanding = 0;
   op->issuing = false;
+  op->span = 0;
   free_range_ops_.push_back(op);
 }
 
 void PfsClient::finish_range_op(RangeOp* op) {
+  if (op->span != 0) {
+    if (telemetry::Plane* plane = sim_.context().telemetry) {
+      plane->spans().end(op->span, sim_.now(), node_);
+    }
+  }
   RangeDoneFn done = std::move(op->on_complete);
   release_range_op(op);
   if (done) done();
@@ -56,6 +63,9 @@ void PfsClient::read_range(FileId file, std::uint64_t offset,
   op->outstanding = last - first + 1;
   op->on_complete = std::move(on_complete);
   op->on_strip = std::move(on_strip);
+  if (telemetry::Plane* plane = sim_.context().telemetry) {
+    op->span = plane->spans().begin(net::kNoTenant, sim_.now(), node_);
+  }
 
   bytes_read_ += length;
 
@@ -73,8 +83,9 @@ void PfsClient::read_range(FileId file, std::uint64_t offset,
 
     // Request message travels to the server, then the server reads and ships
     // the payload back.
-    net_.send_control(
-        node_, server.node(), [this, &server, op, s, within, want, lo]() {
+    net_.send(net::Message{
+        node_, server.node(), 0, net::TrafficClass::kControl,
+        [this, &server, op, s, within, want, lo]() {
           server.serve_read(
               op->file, s, within, want, node_,
               net::TrafficClass::kClientServer,
@@ -82,8 +93,10 @@ void PfsClient::read_range(FileId file, std::uint64_t offset,
                 if (op->on_strip) op->on_strip(StripRef{s, lo, want}, payload);
                 DAS_REQUIRE(op->outstanding > 0);
                 if (--op->outstanding == 0) finish_range_op(op);
-              });
-        });
+              },
+              net::kNoTenant, op->span);
+        },
+        net::kNoTenant, op->span});
   }
 }
 
@@ -109,6 +122,9 @@ void PfsClient::write_range(FileId file, std::uint64_t offset,
   op->data = std::move(data);
   op->issuing = true;
   op->on_complete = std::move(on_complete);
+  if (telemetry::Plane* plane = sim_.context().telemetry) {
+    op->span = plane->spans().begin(net::kNoTenant, sim_.now(), node_);
+  }
 
   bytes_written_ += length;
 
@@ -139,7 +155,8 @@ void PfsClient::write_range(FileId file, std::uint64_t offset,
             server.serve_write(op->file, ref, std::move(payload), node_,
                                net::TrafficClass::kControl,
                                [this, op]() { write_ack(op); });
-          }});
+          },
+          net::kNoTenant, op->span});
     }
   }
 
@@ -155,6 +172,12 @@ void PfsClient::write_range(FileId file, std::uint64_t offset,
       release_range_op(op);
     }
   }
+}
+
+void PfsClient::enroll(telemetry::Registry& registry) const {
+  const telemetry::Labels labels{telemetry::label("node", node_)};
+  registry.enroll_counter("client.bytes_read", labels, bytes_read_);
+  registry.enroll_counter("client.bytes_written", labels, bytes_written_);
 }
 
 void PfsClient::write_range(FileId file, std::uint64_t offset,

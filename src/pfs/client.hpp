@@ -22,6 +22,11 @@
 #include "pfs/strip_buffer.hpp"
 #include "simkit/inplace_fn.hpp"
 #include "simkit/simulator.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace das::telemetry {
+class Registry;
+}  // namespace das::telemetry
 
 namespace das::pfs {
 
@@ -68,6 +73,9 @@ class PfsClient {
   [[nodiscard]] std::uint64_t bytes_read() const { return bytes_read_; }
   [[nodiscard]] std::uint64_t bytes_written() const { return bytes_written_; }
 
+  /// Enroll this client's byte counters, labelled with its node.
+  void enroll(telemetry::Registry& registry) const;
+
  private:
   /// One in-flight read_range/write_range: completion state and (for
   /// writes) the whole-range payload the per-strip views slice. Pooled so
@@ -80,6 +88,7 @@ class PfsClient {
     bool issuing = false;
     RangeDoneFn on_complete;
     RangeStripFn on_strip;
+    std::uint64_t span = 0;  // causal span for the whole range; 0 untracked
   };
 
   [[nodiscard]] RangeOp* acquire_range_op();
@@ -93,8 +102,8 @@ class PfsClient {
   net::Network& net_;
   Pfs& pfs_;
   net::NodeId node_;
-  std::uint64_t bytes_read_ = 0;
-  std::uint64_t bytes_written_ = 0;
+  telemetry::Counter bytes_read_;
+  telemetry::Counter bytes_written_;
   std::vector<std::unique_ptr<RangeOp>> range_ops_;
   std::vector<RangeOp*> free_range_ops_;
 };

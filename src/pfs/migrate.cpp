@@ -6,8 +6,14 @@
 #include <vector>
 
 #include "simkit/assert.hpp"
+#include "telemetry/registry.hpp"
 
 namespace das::pfs {
+
+void LayoutMigrator::enroll(telemetry::Registry& registry) const {
+  registry.enroll_counter("migrate.migrations", {}, migrations_);
+  registry.enroll_counter("migrate.bytes_moved", {}, total_bytes_moved_);
+}
 
 void LayoutMigrator::migrate(FileId file, std::unique_ptr<Layout> target,
                              const MigrateOptions& options, DoneFn on_done) {

@@ -22,6 +22,11 @@
 #include "pfs/pfs.hpp"
 #include "simkit/simulator.hpp"
 #include "simkit/time.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace das::telemetry {
+class Registry;
+}  // namespace das::telemetry
 
 namespace das::pfs {
 
@@ -80,6 +85,10 @@ class LayoutMigrator {
     return total_bytes_moved_;
   }
 
+  /// Enroll migration totals so the time series shows when rounds move
+  /// bytes (the srv-srv byte-rate shift during a phase change).
+  void enroll(telemetry::Registry& registry) const;
+
  private:
   void start_round();
   void round_transfer_done();
@@ -96,8 +105,8 @@ class LayoutMigrator {
   bool issuing_ = false;
   bool busy_ = false;
   MigrationStats stats_;
-  std::uint64_t migrations_ = 0;
-  std::uint64_t total_bytes_moved_ = 0;
+  telemetry::Counter migrations_;
+  telemetry::Counter total_bytes_moved_;
 };
 
 }  // namespace das::pfs

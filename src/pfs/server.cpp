@@ -4,6 +4,7 @@
 
 #include "pfs/prefetch.hpp"
 #include "simkit/assert.hpp"
+#include "telemetry/plane.hpp"
 
 namespace das::pfs {
 
@@ -58,9 +59,11 @@ void PfsServer::release_ack_op(AckOp* op) {
 void PfsServer::serve_read(FileId file, std::uint64_t strip,
                            std::uint64_t offset_in_strip, std::uint64_t length,
                            net::NodeId requester, net::TrafficClass cls,
-                           StripDataFn on_data, net::TenantId tenant) {
+                           StripDataFn on_data, net::TenantId tenant,
+                           std::uint64_t span) {
   ReadRequest request{file,      strip, offset_in_strip,    length,
-                      requester, cls,   tenant,             std::move(on_data)};
+                      requester, cls,   tenant,             std::move(on_data),
+                      span};
   if (read_scheduler_ != nullptr && tenant != net::kNoTenant &&
       read_scheduler_->intercept_read(*this, request)) {
     return;
@@ -85,6 +88,13 @@ void PfsServer::serve_read_now(ReadRequest request) {
   const sim::SimTime read_done = disk_.read(
       sim_.now(), disk_off + request.offset_in_strip, request.length);
 
+  if (request.span != 0) {
+    if (telemetry::Plane* plane = sim_.context().telemetry) {
+      plane->spans().add(request.span, telemetry::Hop::kDisk,
+                         read_done - sim_.now());
+    }
+  }
+
   // Slice a shared view of the payload now (a later put would swap in a new
   // payload block; this handle keeps the bytes the read observed). No copy.
   ReadOp* op = acquire_read_op();
@@ -97,6 +107,7 @@ void PfsServer::serve_read_now(ReadRequest request) {
   op->requester = request.requester;
   op->cls = request.cls;
   op->tenant = request.tenant;
+  op->span = request.span;
 
   sim_.schedule_at(
       read_done,
@@ -107,13 +118,13 @@ void PfsServer::serve_read_now(ReadRequest request) {
                                    op->handler(op->payload);
                                    release_read_op(op);
                                  },
-                                 op->tenant});
+                                 op->tenant, op->span});
         } else {
           // No receiver-side handler: same message on the wire, but no
           // delivery event is scheduled (Network::send skips empty
           // callbacks), exactly like the pre-buffer code path.
           net_.send(net::Message{node_, op->requester, op->length, op->cls,
-                                 nullptr, op->tenant});
+                                 nullptr, op->tenant, op->span});
           release_read_op(op);
         }
       },
@@ -136,6 +147,27 @@ void PfsServer::serve_write(FileId file, const StripRef& strip,
         release_ack_op(op);
       },
       "pfs.write_done");
+}
+
+void PfsServer::enroll(telemetry::Registry& registry) const {
+  const telemetry::Labels labels{telemetry::label("server", node_)};
+  registry.enroll_counter("pfs.remote_reads", labels, remote_reads_served_);
+  registry.enroll_counter("pfs.remote_bytes", labels, remote_bytes_served_);
+  registry.enroll_gauge("disk.bytes_read", labels, [this]() {
+    return static_cast<double>(disk_.bytes_read());
+  });
+  registry.enroll_gauge("disk.busy_s", labels, [this]() {
+    return sim::to_seconds(disk_.busy_time());
+  });
+  if (cache_ != nullptr) cache_->enroll(registry, node_);
+  if (prefetcher_ != nullptr) {
+    const PrefetchStats& stats = prefetcher_->stats();
+    registry.enroll_counter("prefetch.issued", labels, &stats.issued);
+    registry.enroll_counter("prefetch.issued_bytes", labels,
+                            &stats.issued_bytes);
+    registry.enroll_counter("prefetch.dropped_stale", labels,
+                            &stats.dropped_stale);
+  }
 }
 
 sim::SimTime PfsServer::read_local(FileId file, std::uint64_t strip) {

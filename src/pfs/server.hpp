@@ -24,6 +24,11 @@
 #include "pfs/strip_buffer.hpp"
 #include "simkit/simulator.hpp"
 #include "storage/disk.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace das::telemetry {
+class Registry;
+}  // namespace das::telemetry
 
 namespace das::pfs {
 
@@ -46,6 +51,9 @@ struct ReadRequest {
   net::TrafficClass cls = net::TrafficClass::kControl;
   net::TenantId tenant = net::kNoTenant;
   StripDataFn on_data;
+  /// Causal span the read belongs to; 0 when untracked. Disk service time
+  /// is charged to it, and the payload reply carries it onto the wire.
+  std::uint64_t span = 0;
 };
 
 /// Disk scheduling hook at the server's read service point (traffic
@@ -89,7 +97,8 @@ class PfsServer {
                   std::uint64_t offset_in_strip, std::uint64_t length,
                   net::NodeId requester, net::TrafficClass cls,
                   StripDataFn on_data,
-                  net::TenantId tenant = net::kNoTenant);
+                  net::TenantId tenant = net::kNoTenant,
+                  std::uint64_t span = 0);
 
   /// Serve `request` now, bypassing any installed read scheduler: reserve
   /// the disk and ship the payload. Schedulers call this to release reads
@@ -148,6 +157,10 @@ class PfsServer {
     return remote_bytes_served_;
   }
 
+  /// Enroll this server's instruments (served reads/bytes, disk queue,
+  /// cache and prefetcher stats when attached) in the telemetry registry.
+  void enroll(telemetry::Registry& registry) const;
+
  private:
   /// One in-flight remote read: the sliced payload view and the requester's
   /// handler, parked here so the disk-done and delivery events capture only
@@ -160,6 +173,7 @@ class PfsServer {
     net::NodeId requester = net::kInvalidNode;
     net::TrafficClass cls = net::TrafficClass::kControl;
     net::TenantId tenant = net::kNoTenant;
+    std::uint64_t span = 0;
   };
 
   /// One pending write ack (same pooling idea as ReadOp).
@@ -179,8 +193,8 @@ class PfsServer {
   net::NodeId node_;
   storage::Disk disk_;
   ServerStore store_;
-  std::uint64_t remote_reads_served_ = 0;
-  std::uint64_t remote_bytes_served_ = 0;
+  telemetry::Counter remote_reads_served_;
+  telemetry::Counter remote_bytes_served_;
   cache::StripCache* cache_ = nullptr;
   cache::InvalidationHub* hub_ = nullptr;
   ReadScheduler* read_scheduler_ = nullptr;

@@ -13,9 +13,15 @@
 // race-free without any setup.
 #pragma once
 
+#include <cstdint>
+
 #include "simkit/log.hpp"
 #include "simkit/random.hpp"
 #include "simkit/trace.hpp"
+
+namespace das::telemetry {
+class Plane;
+}  // namespace das::telemetry
 
 namespace das::sim {
 
@@ -28,6 +34,13 @@ struct RunContext {
   /// Scratch random stream for drivers that need per-run randomness not
   /// tied to a model component (components keep their explicit seeds).
   Rng rng;
+  /// Telemetry plane for this run, or nullptr when the driver runs without
+  /// one. Non-owning (the driver owns the plane); forward-declared so simkit
+  /// does not depend on the telemetry library.
+  telemetry::Plane* telemetry = nullptr;
+  /// Session id stamped on every output of this run (traces, audits, SLO
+  /// CSVs, metrics) so they join on one key. 0 when the driver minted none.
+  std::uint64_t session = 0;
 
   RunContext();
 

@@ -170,7 +170,11 @@ std::string Tracer::to_json() const {
   for (const TraceEvent& event : sorted_events()) {
     append_event(out, event, first);
   }
-  out += "\n],\"displayTimeUnit\":\"ms\"}\n";
+  out += "\n],\"displayTimeUnit\":\"ms\"";
+  if (!session_.empty()) {
+    out += ",\"session\":\"" + json_escape(session_) + "\"";
+  }
+  out += "}\n";
   return out;
 }
 

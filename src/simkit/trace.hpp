@@ -98,6 +98,12 @@ class Tracer {
   /// Fresh id for an async scope (never 0, so 0 can mean "no scope").
   [[nodiscard]] std::uint64_t next_scope_id() { return ++last_scope_id_; }
 
+  /// Run session id stamped as a top-level key of the exported JSON so the
+  /// trace joins audits/SLO CSVs/metrics on one key. Empty emits no key
+  /// (pre-session traces stay byte-identical).
+  void set_session(std::string session) { session_ = std::move(session); }
+  [[nodiscard]] const std::string& session() const { return session_; }
+
   /// Metadata naming for the viewer ("server3", "disk"). Deduplicated, so
   /// repeated runs in one process do not bloat the buffer.
   void set_process_name(std::uint32_t node, const std::string& name);
@@ -135,6 +141,7 @@ class Tracer {
  private:
   bool enabled_ = false;
   Clock clock_;
+  std::string session_;
   std::uint64_t last_scope_id_ = 0;
   std::vector<TraceEvent> events_;
   std::vector<TraceEvent> metadata_;  // ph 'M', emitted before the timeline

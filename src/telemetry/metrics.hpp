@@ -1,0 +1,63 @@
+// Instrument primitives for the unified telemetry plane.
+//
+// A telemetry::Counter is a drop-in replacement for the raw `uint64_t`
+// counters the subsystems used to own: the hot path still executes a single
+// integer increment (no branch, no indirection, no atomics — simulations
+// are single-threaded per run), but the cell's address can be enrolled in a
+// Registry so the sampler reads it over time. Labels identify one series of
+// a named instrument (tenant, server, traffic class, scheme); they are
+// formatted once at enrollment, never on the sample path.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace das::telemetry {
+
+/// Monotone event/byte count. Layout-compatible with the raw uint64_t it
+/// replaces; the implicit conversion keeps existing read sites
+/// (`report.x = server.remote_reads_served();`) compiling unchanged.
+class Counter {
+ public:
+  constexpr Counter() = default;
+
+  Counter& operator++() {
+    ++value_;
+    return *this;
+  }
+  Counter& operator+=(std::uint64_t delta) {
+    value_ += delta;
+    return *this;
+  }
+
+  // NOLINTNEXTLINE(google-explicit-constructor): reads as a plain integer.
+  constexpr operator std::uint64_t() const { return value_; }
+  [[nodiscard]] constexpr std::uint64_t value() const { return value_; }
+
+  /// Address of the underlying cell, for Registry enrollment. Stable for
+  /// the counter's lifetime (instruments outlive the registry's last read).
+  [[nodiscard]] const std::uint64_t* cell() const { return &value_; }
+
+  void reset() { value_ = 0; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// One series label, e.g. {"tenant", "3"} or {"class", "server-server"}.
+/// Values never contain commas, quotes or braces (numeric ids and fixed
+/// enum spellings), which keeps every exporter quoting-free.
+using Label = std::pair<std::string, std::string>;
+using Labels = std::vector<Label>;
+
+/// Convenience label builders.
+[[nodiscard]] inline Label label(std::string key, std::string value) {
+  return {std::move(key), std::move(value)};
+}
+[[nodiscard]] inline Label label(std::string key, std::uint64_t value) {
+  return {std::move(key), std::to_string(value)};
+}
+
+}  // namespace das::telemetry

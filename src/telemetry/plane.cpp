@@ -1,0 +1,92 @@
+#include "telemetry/plane.hpp"
+
+#include <cstdio>
+
+#include "simkit/simulator.hpp"
+
+namespace das::telemetry {
+
+std::uint64_t session_hash(std::string_view canonical) {
+  // FNV-1a, 64-bit. Deterministic across platforms and runs by design.
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (const char c : canonical) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+std::string session_hex(std::uint64_t session) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(session));
+  return buf;
+}
+
+Plane::Plane(PlaneConfig config)
+    : config_(config),
+      sampler_(registry_, config.sample_period),
+      spans_(config.flight_capacity),
+      slo_(config.slo) {
+  spans_.set_enabled(config_.spans);
+  sampler_.set_pre_sample_hook([this](sim::SimTime now) { slo_.refresh(now); });
+  slo_.set_alert_hook(
+      [this](std::uint32_t tenant, sim::SimTime now, double burn) {
+        // Cap stored alerts: the flight recorder explains the first breaches;
+        // a run melting down across every tenant should not balloon memory.
+        if (alerts_.size() >= 16) return;
+        Alert alert;
+        alert.tenant = tenant;
+        alert.at = now;
+        alert.burn_rate = burn;
+        alert.spans_json = spans_.ring_json();
+        alerts_.push_back(std::move(alert));
+      });
+}
+
+void Plane::enroll_slo_gauges(std::uint32_t tenants) {
+  if (!slo_.enabled()) return;
+  // Cap enrolled tenants: gauge evaluation is per-sample work, and runs with
+  // thousands of tenants only chart the first few anyway.
+  const std::uint32_t n = tenants < 32 ? tenants : 32;
+  for (std::uint32_t t = 0; t < n; ++t) {
+    registry_.enroll_gauge("slo.burn_rate", {label("tenant", t)},
+                           [this, t]() { return slo_.burn_rate(t); });
+    registry_.enroll_gauge("slo.window_p99_s", {label("tenant", t)},
+                           [this, t]() { return slo_.window_p99_s(t); });
+  }
+}
+
+void Plane::start(sim::Simulator& sim) {
+  if (config_.spans) spans_.set_tracer(&sim.tracer());
+  if (config_.metrics) sampler_.start(sim);
+}
+
+void Plane::finish(sim::SimTime now) {
+  if (config_.metrics) sampler_.finish(now);
+  if (config_.prometheus) prometheus_snapshot_ = registry_.prometheus_text();
+}
+
+std::string Plane::flight_json(std::uint64_t session) const {
+  std::string out = "{\n\"session\": \"" + session_hex(session) + "\",\n";
+  char buf[128];
+  std::snprintf(buf, sizeof buf,
+                "\"spans_finished\": %llu,\n\"alerts\": [",
+                static_cast<unsigned long long>(spans_.spans_finished()));
+  out += buf;
+  for (std::size_t i = 0; i < alerts_.size(); ++i) {
+    const Alert& a = alerts_[i];
+    if (i > 0) out += ',';
+    std::snprintf(buf, sizeof buf,
+                  "\n {\"tenant\": %u, \"at_s\": %.6f, \"burn_rate\": %.4f, "
+                  "\"spans\": ",
+                  a.tenant, sim::to_seconds(a.at), a.burn_rate);
+    out += buf;
+    out += a.spans_json;
+    out += "}";
+  }
+  out += alerts_.empty() ? "]\n}\n" : "\n]\n}\n";
+  return out;
+}
+
+}  // namespace das::telemetry

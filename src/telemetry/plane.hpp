@@ -1,0 +1,121 @@
+// The unified telemetry plane: one object bundling the metrics registry,
+// the time-series sampler, the causal span tracker, and the SLO monitor.
+//
+// A driver (das_sim, a test, a bench) builds one Plane per run, hands its
+// address to the RunContext, and components self-enroll their instruments
+// during cluster construction. The plane is strictly observational: with
+// every feature disabled, components see a null plane pointer (or disabled
+// sub-objects) and their hot paths are exactly the pre-telemetry code.
+//
+// The SLO monitor's alert hook is wired here: the first burn-rate breach per
+// tenant snapshots the span flight-recorder ring, and flight_json() renders
+// the alerts plus their captured spans for --flight-record=FILE.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "simkit/time.hpp"
+#include "telemetry/registry.hpp"
+#include "telemetry/sampler.hpp"
+#include "telemetry/slo.hpp"
+#include "telemetry/span.hpp"
+
+namespace das::sim {
+class Simulator;
+}  // namespace das::sim
+
+namespace das::telemetry {
+
+/// FNV-1a hash of the run's canonical configuration string. The canonical
+/// string is built from *semantic* options only — never --jobs, output file
+/// paths, or telemetry flags — so the session id is stable across worker
+/// counts and across telemetry on/off reruns of the same experiment.
+[[nodiscard]] std::uint64_t session_hash(std::string_view canonical);
+
+/// Render a session id the way every output stamps it: 16 hex digits.
+[[nodiscard]] std::string session_hex(std::uint64_t session);
+
+struct PlaneConfig {
+  bool metrics = false;  // sample the registry into a time series
+  /// Freeze a Prometheus exposition at finish(). Opt-in separately from
+  /// `metrics` because rendering it computes exact quantiles over every
+  /// enrolled histogram — a full sort of each sample vector, easily many
+  /// milliseconds on a long run — which a CSV-only run never needs.
+  bool prometheus = false;
+  bool spans = false;  // mint + track causal request spans
+  sim::SimDuration sample_period = sim::milliseconds(50);
+  SloConfig slo;  // slo.target_s <= 0 leaves the monitor off
+  std::size_t flight_capacity = 256;
+};
+
+class Plane {
+ public:
+  struct Alert {
+    std::uint32_t tenant = 0;
+    sim::SimTime at = 0;
+    double burn_rate = 0.0;
+    std::string spans_json;  // flight ring captured at alert time
+  };
+
+  explicit Plane(PlaneConfig config);
+
+  Plane(const Plane&) = delete;
+  Plane& operator=(const Plane&) = delete;
+
+  [[nodiscard]] const PlaneConfig& config() const { return config_; }
+  [[nodiscard]] bool metrics_enabled() const { return config_.metrics; }
+  [[nodiscard]] bool spans_enabled() const { return config_.spans; }
+
+  [[nodiscard]] Registry& registry() { return registry_; }
+  [[nodiscard]] Sampler& sampler() { return sampler_; }
+  [[nodiscard]] SpanTracker& spans() { return spans_; }
+  [[nodiscard]] SloMonitor& slo() { return slo_; }
+  [[nodiscard]] const SpanTracker& spans() const { return spans_; }
+  [[nodiscard]] const SloMonitor& slo() const { return slo_; }
+
+  /// Enroll slo.burn_rate / slo.window_p99_s gauges for tenants [0, n).
+  /// Called by the traffic engine once the tenant count is known.
+  void enroll_slo_gauges(std::uint32_t tenants);
+
+  /// Bind the run's tracer (spans mirror into it as async scopes) and begin
+  /// periodic sampling when metrics are enabled.
+  void start(sim::Simulator& sim);
+
+  /// Closing snapshot after the simulation drains. When config.prometheus
+  /// is set this also freezes the Prometheus exposition: gauges may
+  /// reference components that die with the run, so the text is rendered
+  /// now, not at file-write time.
+  void finish(sim::SimTime now);
+
+  /// Prometheus exposition captured by finish(). Empty before finish()
+  /// and empty unless config.prometheus was set.
+  [[nodiscard]] const std::string& prometheus_snapshot() const {
+    return prometheus_snapshot_;
+  }
+
+  /// Sampler tick events added to the queue (0 when metrics are off);
+  /// subtract from reported event counts.
+  [[nodiscard]] std::uint64_t sampler_ticks() const {
+    return config_.metrics ? sampler_.ticks() : 0;
+  }
+
+  [[nodiscard]] const std::vector<Alert>& alerts() const { return alerts_; }
+
+  /// The --flight-record document: session id, fired alerts, and the span
+  /// ring captured when each alert fired.
+  [[nodiscard]] std::string flight_json(std::uint64_t session) const;
+
+ private:
+  PlaneConfig config_;
+  Registry registry_;
+  Sampler sampler_;
+  SpanTracker spans_;
+  SloMonitor slo_;
+  std::vector<Alert> alerts_;
+  std::string prometheus_snapshot_;
+};
+
+}  // namespace das::telemetry

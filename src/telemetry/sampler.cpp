@@ -1,0 +1,62 @@
+#include "telemetry/sampler.hpp"
+
+#include <cstdio>
+
+#include "simkit/assert.hpp"
+#include "simkit/simulator.hpp"
+
+namespace das::telemetry {
+
+void Sampler::start(sim::Simulator& sim) {
+  DAS_REQUIRE(period_ > 0);
+  ++ticks_;
+  sim.schedule_after(
+      period_, [this, &sim]() { tick(sim); }, "telemetry.sample");
+}
+
+void Sampler::tick(sim::Simulator& sim) {
+  sample(sim.now());
+  // Reschedule only while real work remains: a drained queue means the run
+  // is over, and finish() takes the closing snapshot.
+  if (sim.pending_events() > 0) {
+    ++ticks_;
+    sim.schedule_after(
+        period_, [this, &sim]() { tick(sim); }, "telemetry.sample");
+  }
+}
+
+void Sampler::finish(sim::SimTime now) { sample(now); }
+
+void Sampler::sample(sim::SimTime now) {
+  if (pre_sample_) pre_sample_(now);
+  times_.push_back(now);
+  registry_.sample_into(values_);
+}
+
+std::string Sampler::csv() const {
+  std::string out = "time_s";
+  const std::size_t n = registry_.series_count();
+  for (std::size_t i = 0; i < n; ++i) {
+    out += ',';
+    out += registry_.series_name(i);
+  }
+  out += '\n';
+  char buf[64];
+  for (std::size_t row = 0; row < times_.size(); ++row) {
+    std::snprintf(buf, sizeof buf, "%.6f", sim::to_seconds(times_[row]));
+    out += buf;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double v = values_[row * n + i];
+      if (registry_.series_kind(i) == SeriesKind::kGauge) {
+        std::snprintf(buf, sizeof buf, ",%.9g", v);
+      } else {
+        std::snprintf(buf, sizeof buf, ",%.0f", v);
+      }
+      out += buf;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace das::telemetry

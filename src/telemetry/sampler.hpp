@@ -1,0 +1,81 @@
+// TelemetrySampler: turns the registry's instruments into a time series.
+//
+// The sampler is an ordinary simulation component: it schedules itself on
+// the event queue every `period` of simulated time and snapshots every
+// registry series into an in-memory columnar table. The tick only
+// reschedules while other events are still pending, so the sampler never
+// keeps a drained simulation alive; `finish()` takes one last sample at the
+// run's end so the series always covers the full run.
+//
+// Sampling adds events to the queue, and several reports print the
+// simulator's delivered-event count — callers subtract `ticks()` from those
+// counts so enabling telemetry never changes a reported number.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "simkit/time.hpp"
+#include "telemetry/registry.hpp"
+
+namespace das::sim {
+class Simulator;
+}  // namespace das::sim
+
+namespace das::telemetry {
+
+class Sampler {
+ public:
+  using PreSampleFn = std::function<void(sim::SimTime)>;
+
+  explicit Sampler(const Registry& registry,
+                   sim::SimDuration period = sim::milliseconds(50))
+      : registry_(registry), period_(period) {}
+
+  Sampler(const Sampler&) = delete;
+  Sampler& operator=(const Sampler&) = delete;
+
+  [[nodiscard]] sim::SimDuration period() const { return period_; }
+
+  /// Called just before each snapshot (the Plane prunes SLO windows here so
+  /// exported burn rates reflect the window ending at the sample time).
+  void set_pre_sample_hook(PreSampleFn hook) { pre_sample_ = std::move(hook); }
+
+  /// Begin periodic sampling: first snapshot lands one period after start.
+  void start(sim::Simulator& sim);
+
+  /// Take the closing snapshot (call once, after the simulation drains).
+  void finish(sim::SimTime now);
+
+  /// Snapshot immediately at `now` (also used by the periodic tick).
+  void sample(sim::SimTime now);
+
+  /// Number of tick events the sampler added to the queue so far.
+  [[nodiscard]] std::uint64_t ticks() const { return ticks_; }
+
+  [[nodiscard]] std::size_t rows() const { return times_.size(); }
+  [[nodiscard]] sim::SimTime row_time(std::size_t row) const {
+    return times_[row];
+  }
+  [[nodiscard]] double value(std::size_t row, std::size_t series) const {
+    return values_[row * registry_.series_count() + series];
+  }
+
+  /// Columnar CSV: `time_s,<series...>` header then one row per snapshot.
+  /// Counter-family values print as integers, gauges with %.9g.
+  [[nodiscard]] std::string csv() const;
+
+ private:
+  void tick(sim::Simulator& sim);
+
+  const Registry& registry_;
+  sim::SimDuration period_;
+  PreSampleFn pre_sample_;
+  std::uint64_t ticks_ = 0;
+  std::vector<sim::SimTime> times_;
+  std::vector<double> values_;  // rows * series_count, row-major
+};
+
+}  // namespace das::telemetry

@@ -1,0 +1,93 @@
+// Per-tenant SLO burn-rate monitoring over sliding windows.
+//
+// Each completed request reports its end-to-end latency to the monitor. Over
+// a sliding window of simulated time, the monitor computes the fraction of
+// requests that violated the latency target; dividing that fraction by the
+// error budget gives the burn rate (burn 1.0 = consuming budget exactly as
+// fast as allotted, >1.0 = on pace to exhaust it early). When a tenant's
+// burn rate first crosses 1.0 with enough window samples to be meaningful,
+// the monitor fires its alert hook once — the telemetry Plane uses that to
+// snapshot the span flight recorder.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "simkit/time.hpp"
+
+namespace das::telemetry {
+
+struct SloConfig {
+  /// Latency target in seconds; <= 0 disables the monitor entirely.
+  double target_s = 0.0;
+  /// Error budget: allowed violation fraction (0.01 = 99% of requests in
+  /// target).
+  double budget = 0.01;
+  /// Sliding window length in simulated seconds.
+  double window_s = 1.0;
+  /// Upper bound on tracked tenants (runs size this from --tenants).
+  std::uint32_t max_tenants = 64;
+};
+
+class SloMonitor {
+ public:
+  using AlertFn = std::function<void(std::uint32_t tenant, sim::SimTime now,
+                                     double burn_rate)>;
+
+  explicit SloMonitor(SloConfig config);
+
+  SloMonitor(const SloMonitor&) = delete;
+  SloMonitor& operator=(const SloMonitor&) = delete;
+
+  [[nodiscard]] bool enabled() const { return config_.target_s > 0.0; }
+  [[nodiscard]] const SloConfig& config() const { return config_; }
+
+  /// Invoked at most once per tenant, when its burn rate first reaches 1.0.
+  void set_alert_hook(AlertFn hook) { on_alert_ = std::move(hook); }
+
+  /// Record one completed request for `tenant`. May fire the alert hook.
+  void record(std::uint32_t tenant, sim::SimTime now, double latency_s);
+
+  /// Drop window entries older than `now - window`. Called before each
+  /// telemetry sample so exported burn rates reflect the current window.
+  void refresh(sim::SimTime now);
+
+  /// Current burn rate for `tenant` (violation fraction / budget).
+  [[nodiscard]] double burn_rate(std::uint32_t tenant) const;
+
+  /// p99 latency over the tenant's current window, 0 when empty.
+  [[nodiscard]] double window_p99_s(std::uint32_t tenant) const;
+
+  [[nodiscard]] std::uint32_t tenants() const {
+    return static_cast<std::uint32_t>(windows_.size());
+  }
+  [[nodiscard]] std::uint64_t alerts_fired() const { return alerts_fired_; }
+  [[nodiscard]] bool alerted(std::uint32_t tenant) const {
+    return tenant < alerted_.size() && alerted_[tenant];
+  }
+
+ private:
+  struct Sample {
+    sim::SimTime at = 0;
+    double latency_s = 0.0;
+  };
+  using Window = std::deque<Sample>;
+
+  /// Minimum window samples before the burn rate is trusted enough to alert
+  /// (a single slow request in a near-empty window is noise, not a breach).
+  static constexpr std::size_t kMinAlertSamples = 8;
+
+  Window& window_for(std::uint32_t tenant);
+  void prune(Window& window, sim::SimTime now) const;
+
+  SloConfig config_;
+  sim::SimDuration window_ns_ = 0;
+  AlertFn on_alert_;
+  std::vector<Window> windows_;  // indexed by tenant, grown on demand
+  std::vector<bool> alerted_;
+  std::uint64_t alerts_fired_ = 0;
+};
+
+}  // namespace das::telemetry

@@ -1,0 +1,152 @@
+#include "telemetry/span.hpp"
+
+#include <cstdio>
+#include <utility>
+
+#include "simkit/assert.hpp"
+#include "simkit/trace.hpp"
+
+namespace das::telemetry {
+
+namespace {
+// Rendered as -1 in JSON so tooling can tell "no tenant" from tenant 0.
+constexpr std::uint32_t kNoTenantSentinel = UINT32_MAX;
+}  // namespace
+
+const char* to_string(Hop hop) {
+  switch (hop) {
+    case Hop::kAdmission: return "admission";
+    case Hop::kControl: return "control";
+    case Hop::kNetQueue: return "net-queue";
+    case Hop::kNetWire: return "net-wire";
+    case Hop::kDisk: return "disk";
+    case Hop::kCache: return "cache";
+    case Hop::kCompute: return "compute";
+  }
+  return "unknown";
+}
+
+void SpanTracker::grow() {
+  // Double until every open entry lands in a private slot under the new
+  // mask (open ids span a bounded range, so a large enough table is always
+  // collision-free).
+  std::size_t size = slots_.size();
+  for (;;) {
+    size *= 2;
+    std::vector<OpenSpan> bigger(size);
+    bool clean = true;
+    for (const OpenSpan& open : slots_) {
+      if (open.record.id == 0) continue;
+      OpenSpan& slot = bigger[open.record.id & (size - 1)];
+      if (slot.record.id != 0) {
+        clean = false;
+        break;
+      }
+      slot = open;
+    }
+    if (clean) {
+      slots_ = std::move(bigger);
+      return;
+    }
+  }
+}
+
+std::uint64_t SpanTracker::begin(std::uint32_t tenant, sim::SimTime now,
+                                 std::uint32_t node) {
+  if (!enabled_) return 0;
+  const std::uint64_t id = ++next_id_;
+  while (slots_[id & (slots_.size() - 1)].record.id != 0) grow();
+  OpenSpan& open = slots_[id & (slots_.size() - 1)];
+  open.record = SpanRecord{};
+  open.record.id = id;
+  open.record.tenant = tenant;
+  open.record.begin = now;
+  open.node = node;
+  ++open_count_;
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    tracer_->async_begin(now, node, id, "request", "span");
+  }
+  return id;
+}
+
+void SpanTracker::add(std::uint64_t span, Hop hop, sim::SimDuration elapsed) {
+  if (span == 0) return;
+  OpenSpan* open = find_open(span);
+  if (open == nullptr) return;  // already retired (late ack, hedge loser)
+  DAS_ASSERT(elapsed >= 0);
+  const auto h = static_cast<std::size_t>(hop);
+  open->record.hop_ns[h] += elapsed;
+  ++open->record.hop_count[h];
+}
+
+void SpanTracker::end(std::uint64_t span, sim::SimTime now,
+                      std::uint32_t node) {
+  if (span == 0) return;
+  OpenSpan* open = find_open(span);
+  if (open == nullptr) return;
+  open->record.end = now;
+  for (std::size_t h = 0; h < kNumHops; ++h) {
+    hop_totals_[h] += open->record.hop_ns[h];
+    hop_events_[h] += open->record.hop_count[h];
+  }
+  ++finished_;
+  if (ring_capacity_ > 0) {
+    if (ring_.size() < ring_capacity_) {
+      ring_.push_back(open->record);
+    } else {
+      ring_[ring_next_] = open->record;
+      ring_next_ = (ring_next_ + 1) % ring_capacity_;
+    }
+  }
+  open->record.id = 0;  // free the slot
+  --open_count_;
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    tracer_->async_end(now, node, span, "request", "span");
+  }
+}
+
+std::vector<SpanRecord> SpanTracker::recent() const {
+  std::vector<SpanRecord> out;
+  out.reserve(ring_.size());
+  // Oldest first: once full, the overwrite cursor points at the oldest.
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(ring_next_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+std::string SpanTracker::ring_json() const {
+  std::string out = "[";
+  bool first = true;
+  for (const SpanRecord& r : recent()) {
+    if (!first) out += ",";
+    first = false;
+    char head[160];
+    const long long tenant =
+        r.tenant == kNoTenantSentinel ? -1LL
+                                      : static_cast<long long>(r.tenant);
+    std::snprintf(head, sizeof head,
+                  "\n  {\"span\": %llu, \"tenant\": %lld, \"begin_ns\": %lld, "
+                  "\"end_ns\": %lld, \"hops\": {",
+                  static_cast<unsigned long long>(r.id), tenant,
+                  static_cast<long long>(r.begin),
+                  static_cast<long long>(r.end));
+    out += head;
+    bool first_hop = true;
+    for (std::size_t h = 0; h < kNumHops; ++h) {
+      if (r.hop_count[h] == 0) continue;
+      if (!first_hop) out += ", ";
+      first_hop = false;
+      char hop[96];
+      std::snprintf(hop, sizeof hop, "\"%s\": {\"ns\": %lld, \"n\": %u}",
+                    to_string(static_cast<Hop>(h)),
+                    static_cast<long long>(r.hop_ns[h]), r.hop_count[h]);
+      out += hop;
+    }
+    out += "}}";
+  }
+  out += first ? "]" : "\n]";
+  return out;
+}
+
+}  // namespace das::telemetry

@@ -1,0 +1,135 @@
+// Causal request spans with per-hop latency attribution.
+//
+// A span is minted when a request is issued (client read, traffic job,
+// server-server halo fetch) and its id rides along the request through every
+// component it touches: admission control, network queues and wires, disks,
+// caches, compute reservations. Each component charges the time the request
+// spent in it to a Hop bucket, so when the span ends the tracker knows not
+// just the end-to-end latency but *where* it went — the critical-path
+// attribution rolled into RunReport and the flight recorder.
+//
+// Span id 0 means "not tracked": every record call takes one branch and
+// returns, so untracked runs pay nothing beyond carrying a zero uint64.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "simkit/time.hpp"
+
+namespace das::sim {
+class Tracer;
+}  // namespace das::sim
+
+namespace das::telemetry {
+
+/// Where a request's wall time can be charged. One bucket per hop class the
+/// simulated data path distinguishes.
+enum class Hop : std::uint8_t {
+  kAdmission = 0,  // waiting in the token-bucket admission queue
+  kControl = 1,    // control-message RPC issue latency
+  kNetQueue = 2,   // NIC fair-queue / serialization wait
+  kNetWire = 3,    // wire propagation + ingress
+  kDisk = 4,       // storage service time
+  kCache = 5,      // cache-hit copy service
+  kCompute = 6,    // compute reservation on the strip kernel
+};
+
+inline constexpr std::size_t kNumHops = 7;
+
+[[nodiscard]] const char* to_string(Hop hop);
+
+/// One finished span, as kept in the flight-recorder ring.
+struct SpanRecord {
+  std::uint64_t id = 0;
+  std::uint32_t tenant = 0;  // net::kNoTenant when the run is tenant-less
+  sim::SimTime begin = 0;
+  sim::SimTime end = 0;
+  std::array<sim::SimDuration, kNumHops> hop_ns{};
+  std::array<std::uint32_t, kNumHops> hop_count{};
+};
+
+/// Mints span ids, accumulates per-hop charges while spans are open, and
+/// retires finished spans into a bounded ring plus running per-hop totals.
+class SpanTracker {
+ public:
+  explicit SpanTracker(std::size_t ring_capacity = 256)
+      : ring_capacity_(ring_capacity) {}
+
+  SpanTracker(const SpanTracker&) = delete;
+  SpanTracker& operator=(const SpanTracker&) = delete;
+
+  void set_enabled(bool enabled) { enabled_ = enabled; }
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+  /// Mirror spans into this tracer as linked async scopes (cat "span").
+  /// Optional; spans accumulate attribution either way.
+  void set_tracer(sim::Tracer* tracer) { tracer_ = tracer; }
+
+  /// Open a span. Returns 0 (the "untracked" id) when spans are disabled.
+  [[nodiscard]] std::uint64_t begin(std::uint32_t tenant, sim::SimTime now,
+                                    std::uint32_t node);
+
+  /// Charge `elapsed` on `hop` to an open span. No-op for span id 0.
+  void add(std::uint64_t span, Hop hop, sim::SimDuration elapsed);
+
+  /// Close a span: retire it into the ring and the per-hop totals.
+  void end(std::uint64_t span, sim::SimTime now, std::uint32_t node);
+
+  [[nodiscard]] std::uint64_t spans_started() const { return next_id_; }
+  [[nodiscard]] std::uint64_t spans_finished() const { return finished_; }
+  [[nodiscard]] std::size_t open_spans() const { return open_count_; }
+
+  /// Total time charged to `hop` across all *finished* spans.
+  [[nodiscard]] sim::SimDuration hop_total(Hop hop) const {
+    return hop_totals_[static_cast<std::size_t>(hop)];
+  }
+  [[nodiscard]] std::uint64_t hop_events(Hop hop) const {
+    return hop_events_[static_cast<std::size_t>(hop)];
+  }
+
+  /// The flight-recorder ring: the most recent finished spans, oldest
+  /// first. Materializes a copy — export/debug use, not hot-path.
+  [[nodiscard]] std::vector<SpanRecord> recent() const;
+
+  /// Render the ring as a JSON array of span objects (used by the flight
+  /// recorder dump). Tenant net::kNoTenant renders as -1.
+  [[nodiscard]] std::string ring_json() const;
+
+ private:
+  struct OpenSpan {
+    SpanRecord record;  // record.id == 0 marks a free slot
+    std::uint32_t node = 0;
+  };
+
+  /// Open spans live in a direct-mapped slot table indexed by
+  /// `id & (slots_.size() - 1)`: span ids are sequential and spans are
+  /// short-lived, so the table stays collision-free at a modest size and
+  /// every add/end is one array access instead of a hash lookup — the
+  /// charge calls sit on the per-message hot path. The table doubles (and
+  /// rehashes the open entries) on the rare insert collision.
+  [[nodiscard]] OpenSpan* find_open(std::uint64_t span) {
+    OpenSpan& slot = slots_[span & (slots_.size() - 1)];
+    return slot.record.id == span ? &slot : nullptr;
+  }
+  void grow();
+
+  bool enabled_ = false;
+  sim::Tracer* tracer_ = nullptr;
+  std::uint64_t next_id_ = 0;
+  std::uint64_t finished_ = 0;
+  std::size_t ring_capacity_;
+  std::size_t open_count_ = 0;
+  std::vector<OpenSpan> slots_{64};
+  /// Circular buffer of the most recent finished spans: grows to
+  /// ring_capacity_ then overwrites in place (no per-span allocation or
+  /// shifting — retirement is on the request completion path).
+  std::vector<SpanRecord> ring_;
+  std::size_t ring_next_ = 0;  // overwrite cursor once the ring is full
+  std::array<sim::SimDuration, kNumHops> hop_totals_{};
+  std::array<std::uint64_t, kNumHops> hop_events_{};
+};
+
+}  // namespace das::telemetry

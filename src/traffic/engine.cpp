@@ -7,6 +7,7 @@
 #include "kernels/registry.hpp"
 #include "pfs/layout.hpp"
 #include "simkit/assert.hpp"
+#include "telemetry/plane.hpp"
 
 namespace das::traffic {
 namespace {
@@ -46,9 +47,11 @@ class TrafficEngine {
     DAS_REQUIRE(config.arrivals.strip_bytes > 0);
     DAS_REQUIRE(config.arrivals.datasets > 0);
     DAS_REQUIRE(config.cluster.compute_nodes > 0);
+    plane_ = config.context != nullptr ? config.context->telemetry : nullptr;
     build_datasets();
     build_schedulers();
     build_tenants();
+    if (plane_ != nullptr) enroll_instruments();
   }
 
   TrafficReport run();
@@ -58,6 +61,7 @@ class TrafficEngine {
     JobArrival arrival;
     sim::SimTime admitted_at = 0;
     std::uint64_t strips_left = 0;
+    std::uint64_t span = 0;  // causal span minted at submit; 0 untracked
   };
 
   void build_datasets() {
@@ -102,6 +106,36 @@ class TrafficEngine {
     }
   }
 
+  /// Enroll every subsystem's instruments in the run's telemetry plane.
+  /// Tenant-labelled series are capped at 32 tenants so huge fleets do not
+  /// explode the column count; the cap is logged nowhere because the
+  /// aggregate series (net, straggler, servers) still cover every tenant.
+  void enroll_instruments() {
+    telemetry::Registry& registry = plane_->registry();
+    cluster_.network().enroll(registry);
+    for (pfs::ServerIndex s = 0; s < cluster_.pfs().num_servers(); ++s) {
+      cluster_.pfs().server(s).enroll(registry);
+    }
+    straggler_.enroll(registry);
+    const std::uint32_t tenants =
+        std::min<std::uint32_t>(config_.arrivals.tenants, 32);
+    for (std::uint32_t t = 0; t < tenants; ++t) {
+      const telemetry::Labels labels{telemetry::label("tenant", t)};
+      registry.enroll_counter("tenant.jobs_completed", labels,
+                              &stats_[t].jobs_completed);
+      registry.enroll_counter("tenant.bytes_read", labels,
+                              &stats_[t].bytes_read);
+      const TokenBucket& bucket = buckets_[t];
+      registry.enroll_gauge("admission.inflight_bytes", labels, [&bucket]() {
+        return static_cast<double>(bucket.inflight_bytes());
+      });
+      registry.enroll_gauge("admission.queued", labels, [&bucket]() {
+        return static_cast<double>(bucket.queued());
+      });
+    }
+    plane_->enroll_slo_gauges(config_.arrivals.tenants);
+  }
+
   /// Client node a tenant runs on (tenants cycle over the compute nodes).
   [[nodiscard]] net::NodeId client_of(std::uint32_t tenant) const {
     return cluster_.compute_node(tenant %
@@ -112,6 +146,10 @@ class TrafficEngine {
     Job& job = jobs_[j];
     const std::uint32_t t = job.arrival.tenant;
     ++stats_[t].jobs_submitted;
+    if (plane_ != nullptr) {
+      job.span = plane_->spans().begin(t, cluster_.simulator().now(),
+                                       client_of(t));
+    }
     const bool immediate =
         buckets_[t].submit(job.arrival.bytes, [this, j]() { start(j); });
     if (!immediate) ++stats_[t].jobs_deferred;
@@ -123,13 +161,17 @@ class TrafficEngine {
     job.admitted_at = cluster_.simulator().now();
     stats_[t].admission_wait.record(
         sim::to_seconds(job.admitted_at - job.arrival.at));
+    if (plane_ != nullptr) {
+      plane_->spans().add(job.span, telemetry::Hop::kAdmission,
+                          job.admitted_at - job.arrival.at);
+    }
     job.strips_left = job.arrival.bytes / config_.arrivals.strip_bytes;
     DAS_REQUIRE(job.strips_left > 0);
     const pfs::FileId file = files_[job.arrival.dataset];
     const net::NodeId client = client_of(t);
     for (std::uint64_t s = 0; s < job.strips_left; ++s) {
       straggler_.read_strip(client, t, file, job.arrival.first_strip + s,
-                            [this, j]() { strip_done(j); });
+                            [this, j]() { strip_done(j); }, job.span);
     }
   }
 
@@ -148,6 +190,10 @@ class TrafficEngine {
     const sim::SimTime done_at =
         cluster_.engine(client_of(job.arrival.tenant))
             .execute(sim.now(), job.arrival.bytes, cost);
+    if (plane_ != nullptr) {
+      plane_->spans().add(job.span, telemetry::Hop::kCompute,
+                          done_at - sim.now());
+    }
     sim.schedule_at(done_at, [this, j]() { finish(j); }, "traffic.compute");
   }
 
@@ -161,6 +207,10 @@ class TrafficEngine {
     stats.sojourn.record(sim::to_seconds(now - job.arrival.at));
     stats.service.record(sim::to_seconds(now - job.admitted_at));
     last_finish_ = std::max(last_finish_, now);
+    if (plane_ != nullptr) {
+      plane_->spans().end(job.span, now, client_of(t));
+      plane_->slo().record(t, now, sim::to_seconds(now - job.arrival.at));
+    }
     buckets_[t].release(job.arrival.bytes);
   }
 
@@ -175,6 +225,7 @@ class TrafficEngine {
   std::unique_ptr<DiskFairQueue> disk_wfq_;
   std::vector<Job> jobs_;
   sim::SimTime last_finish_ = 0;
+  telemetry::Plane* plane_ = nullptr;
 };
 
 TrafficReport TrafficEngine::run() {
@@ -192,14 +243,23 @@ TrafficReport TrafficEngine::run() {
     sim.schedule_at(jobs_[j].arrival.at, [this, j]() { submit(j); },
                     "traffic.arrival");
   }
+  if (plane_ != nullptr) plane_->start(sim);
   sim.run();
+  if (plane_ != nullptr) plane_->finish(sim.now());
 
   TrafficReport report;
   report.tenants = stats_;
   for (const TenantStats& s : stats_) report.total.merge(s);
   DAS_REQUIRE(report.total.jobs_completed == jobs_.size());
   report.makespan_s = sim::to_seconds(last_finish_);
-  report.events = sim.events_delivered();
+  // Sampler ticks are observability events, not simulated work: subtract
+  // them so the reported event count is identical with telemetry on or off.
+  report.events = sim.events_delivered() -
+                  (plane_ != nullptr ? plane_->sampler_ticks() : 0);
+  if (config_.context != nullptr) report.session = config_.context->session;
+  if (plane_ != nullptr) {
+    report.slo_alerts = plane_->slo().alerts_fired();
+  }
   report.reads_issued = straggler_.reads_issued();
   report.reroutes = straggler_.reroutes();
   report.hedges_issued = straggler_.hedges_issued();
@@ -216,9 +276,9 @@ TrafficReport TrafficEngine::run() {
 std::string TrafficReport::slo_csv() const {
   std::string csv = slo_csv_header();
   for (std::size_t t = 0; t < tenants.size(); ++t) {
-    csv += slo_csv_row(std::to_string(t), tenants[t]);
+    csv += slo_csv_row(std::to_string(t), tenants[t], session);
   }
-  csv += slo_csv_row("all", total);
+  csv += slo_csv_row("all", total, session);
   return csv;
 }
 

@@ -56,6 +56,10 @@ struct TrafficReport {
   TenantStats total;
   double makespan_s = 0.0;
   std::uint64_t events = 0;
+  /// Run session id stamped into the SLO CSV (joins traces/audits/metrics).
+  std::uint64_t session = 0;
+  /// SLO alerts fired by the telemetry plane (0 without one).
+  std::uint64_t slo_alerts = 0;
   /// Straggler-scheduler counters (zero when the feature is off).
   std::uint64_t reads_issued = 0;
   std::uint64_t reroutes = 0;
@@ -70,7 +74,8 @@ struct TrafficReport {
   sim::HistogramSummary read_latency;
 
   /// Deterministic per-tenant SLO table: slo_csv_header() + one row per
-  /// tenant (label = tenant id) + an "all" aggregate row.
+  /// tenant (label = tenant id) + an "all" aggregate row, each stamped with
+  /// the session id.
   [[nodiscard]] std::string slo_csv() const;
 };
 

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "simkit/assert.hpp"
+#include "telemetry/registry.hpp"
 
 namespace das::traffic {
 
@@ -37,6 +38,7 @@ void StragglerScheduler::release_op(Op* op) {
   op->hedge_armed = false;
   op->done = false;
   op->outstanding = 0;
+  op->span = 0;
   free_ops_.push_back(op);
 }
 
@@ -74,9 +76,18 @@ pfs::ServerIndex StragglerScheduler::pick_fastest(
   return best;
 }
 
+void StragglerScheduler::enroll(telemetry::Registry& registry) const {
+  registry.enroll_counter("straggler.reads", {}, reads_issued_);
+  registry.enroll_counter("straggler.reroutes", {}, reroutes_);
+  registry.enroll_counter("straggler.hedges", {}, hedges_issued_);
+  registry.enroll_counter("straggler.hedges_won", {}, hedges_won_);
+  registry.enroll_counter("straggler.wasted_bytes", {}, wasted_bytes_);
+  registry.enroll_histogram("straggler.read_latency_s", {}, &latency_);
+}
+
 void StragglerScheduler::read_strip(net::NodeId client, net::TenantId tenant,
                                     pfs::FileId file, std::uint64_t strip,
-                                    DoneFn on_done) {
+                                    DoneFn on_done, std::uint64_t span) {
   const pfs::FileMeta& meta = pfs_.meta(file);
   // Resolve against the layout this strip is currently served under (the
   // prior layout while a migration's frontier has not yet passed the strip).
@@ -107,6 +118,7 @@ void StragglerScheduler::read_strip(net::NodeId client, net::TenantId tenant,
   // the new layout could target a server that never held this strip.
   op->holders = std::move(holders);
   op->on_done = std::move(on_done);
+  op->span = span;
 
   ++reads_issued_;
   issue(op, target, /*is_hedge=*/false);
@@ -133,9 +145,9 @@ void StragglerScheduler::issue(Op* op, pfs::ServerIndex target,
                               const pfs::StripBuffer& /*payload*/) {
                             complete(op, target, is_hedge);
                           },
-                          op->tenant);
+                          op->tenant, op->span);
       },
-      op->tenant});
+      op->tenant, op->span});
 }
 
 void StragglerScheduler::complete(Op* op, pfs::ServerIndex from,

@@ -27,6 +27,11 @@
 #include "simkit/simulator.hpp"
 #include "simkit/stats.hpp"
 #include "simkit/time.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace das::telemetry {
+class Registry;
+}  // namespace das::telemetry
 
 namespace das::traffic {
 
@@ -64,7 +69,8 @@ class StragglerScheduler {
   /// fully arrived (a losing hedged copy still transfers afterwards and is
   /// accounted as waste).
   void read_strip(net::NodeId client, net::TenantId tenant, pfs::FileId file,
-                  std::uint64_t strip, DoneFn on_done);
+                  std::uint64_t strip, DoneFn on_done,
+                  std::uint64_t span = 0);
 
   [[nodiscard]] std::uint64_t reads_issued() const { return reads_issued_; }
   [[nodiscard]] std::uint64_t reroutes() const { return reroutes_; }
@@ -81,6 +87,9 @@ class StragglerScheduler {
   [[nodiscard]] double server_ewma(pfs::ServerIndex server) const {
     return ewma_[server];
   }
+
+  /// Enroll reroute/hedge counters and the read-latency histogram.
+  void enroll(telemetry::Registry& registry) const;
 
  private:
   /// One logical strip read; lives until every issued copy has replied.
@@ -101,6 +110,7 @@ class StragglerScheduler {
     bool done = false;
     std::uint32_t outstanding = 0;
     DoneFn on_done;
+    std::uint64_t span = 0;  // causal span of the owning job; 0 untracked
   };
 
   [[nodiscard]] Op* acquire_op();
@@ -128,11 +138,11 @@ class StragglerScheduler {
   std::vector<double> ewma_;
   std::vector<std::uint64_t> samples_;
   sim::Histogram latency_;
-  std::uint64_t reads_issued_ = 0;
-  std::uint64_t reroutes_ = 0;
-  std::uint64_t hedges_issued_ = 0;
-  std::uint64_t hedges_won_ = 0;
-  std::uint64_t wasted_bytes_ = 0;
+  telemetry::Counter reads_issued_;
+  telemetry::Counter reroutes_;
+  telemetry::Counter hedges_issued_;
+  telemetry::Counter hedges_won_;
+  telemetry::Counter wasted_bytes_;
   std::vector<std::unique_ptr<Op>> ops_;
   std::vector<Op*> free_ops_;
 };

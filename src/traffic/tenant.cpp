@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "telemetry/plane.hpp"
+
 namespace das::traffic {
 namespace {
 
@@ -29,10 +31,11 @@ std::string slo_csv_header() {
   return "tenant,jobs,bytes,deferred,"
          "sojourn_p50_s,sojourn_p95_s,sojourn_p99_s,sojourn_mean_s,"
          "service_p50_s,service_p95_s,service_p99_s,service_mean_s,"
-         "admission_wait_p95_s\n";
+         "admission_wait_p95_s,session\n";
 }
 
-std::string slo_csv_row(const std::string& label, const TenantStats& stats) {
+std::string slo_csv_row(const std::string& label, const TenantStats& stats,
+                        std::uint64_t session) {
   const sim::HistogramSummary sojourn = stats.sojourn.summary();
   const sim::HistogramSummary service = stats.service.summary();
   const sim::HistogramSummary wait = stats.admission_wait.summary();
@@ -45,6 +48,7 @@ std::string slo_csv_row(const std::string& label, const TenantStats& stats) {
   row += ',' + fixed(service.p50) + ',' + fixed(service.p95) + ',' +
          fixed(service.p99) + ',' + fixed(service.mean);
   row += ',' + fixed(wait.p95);
+  row += ',' + telemetry::session_hex(session);
   row += '\n';
   return row;
 }

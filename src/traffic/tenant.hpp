@@ -32,13 +32,16 @@ struct TenantStats {
   void merge(const TenantStats& other);
 };
 
-/// Column header for slo_csv_row(); ends with '\n'.
+/// Column header for slo_csv_row(); ends with '\n'. The trailing `session`
+/// column carries the run's trace session id (16 hex digits) so SLO rows
+/// join traces, audits and metrics on one key.
 [[nodiscard]] std::string slo_csv_header();
 
 /// One CSV row: `label,jobs,bytes,deferred,` followed by p50/p95/p99/mean
 /// for sojourn and service and p95 admission wait, all in seconds with
-/// fixed precision; ends with '\n'.
+/// fixed precision, then the session id; ends with '\n'.
 [[nodiscard]] std::string slo_csv_row(const std::string& label,
-                                      const TenantStats& stats);
+                                      const TenantStats& stats,
+                                      std::uint64_t session = 0);
 
 }  // namespace das::traffic

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <vector>
+
 namespace das::sim {
 namespace {
 
@@ -127,6 +130,68 @@ TEST(HistogramTest, MergeCombinesSamples) {
   EXPECT_DOUBLE_EQ(a.max(), 4.0);
   a.merge(Histogram{});  // merging an empty histogram is a no-op
   EXPECT_EQ(a.count(), 4U);
+}
+
+TEST(HistogramTest, MergeOfTwoEmptiesStaysEmpty) {
+  Histogram a;
+  a.merge(Histogram{});
+  EXPECT_EQ(a.count(), 0U);
+  EXPECT_DOUBLE_EQ(a.sum(), 0.0);
+  EXPECT_EQ(a.summary().count, 0U);
+}
+
+TEST(HistogramTest, MergeIntoEmptyAdoptsTheOtherDistribution) {
+  Histogram a;
+  Histogram b;
+  b.record(2.0);
+  b.record(8.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2U);
+  EXPECT_DOUBLE_EQ(a.sum(), 10.0);
+  EXPECT_DOUBLE_EQ(a.min(), 2.0);
+  EXPECT_DOUBLE_EQ(a.max(), 8.0);
+  // The source is untouched.
+  EXPECT_EQ(b.count(), 2U);
+}
+
+TEST(HistogramTest, MergeOfSingleSamplesKeepsQuantilesExact) {
+  Histogram a;
+  a.record(5.0);
+  Histogram b;
+  b.record(1.0);
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(a.quantile(0.5), 1.0);
+  EXPECT_DOUBLE_EQ(a.quantile(1.0), 5.0);
+}
+
+TEST(HistogramTest, MergeOrderDoesNotChangeTheDistribution) {
+  // Property: folding per-node shards into a cluster-wide histogram must
+  // give the same distribution regardless of merge order. Build 8 shards of
+  // deterministic pseudo-random samples and merge forward vs. reversed.
+  std::vector<Histogram> shards(8);
+  std::uint64_t state = 0x9e3779b97f4a7c15ULL;
+  auto next = [&state]() {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    return static_cast<double>(state >> 40) / 1e6;
+  };
+  for (Histogram& shard : shards) {
+    for (int i = 0; i < 100; ++i) shard.record(next());
+  }
+  Histogram forward;
+  for (const Histogram& shard : shards) forward.merge(shard);
+  Histogram reversed;
+  for (std::size_t i = shards.size(); i-- > 0;) reversed.merge(shards[i]);
+
+  EXPECT_EQ(forward.count(), 800U);
+  EXPECT_EQ(forward.count(), reversed.count());
+  // Sums differ only by fp association order across the 8 shard partials.
+  EXPECT_NEAR(forward.sum(), reversed.sum(), 1e-9 * forward.sum());
+  EXPECT_DOUBLE_EQ(forward.min(), reversed.min());
+  EXPECT_DOUBLE_EQ(forward.max(), reversed.max());
+  for (const double q : {0.0, 0.1, 0.5, 0.9, 0.95, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(forward.quantile(q), reversed.quantile(q)) << "q=" << q;
+  }
 }
 
 TEST(GaugeTest, SameInstantUpdateReplacesValue) {

@@ -1,0 +1,175 @@
+// Plane assembly: session ids, alert capture, gauges, and the flight dump.
+#include "telemetry/plane.hpp"
+
+#include <gmock/gmock.h>
+#include <gtest/gtest.h>
+
+#include <cctype>
+
+#include "simkit/simulator.hpp"
+#include "simkit/time.hpp"
+
+namespace das::telemetry {
+namespace {
+
+using ::testing::HasSubstr;
+
+TEST(SessionTest, HashIsDeterministicAndInputSensitive) {
+  const std::uint64_t a = session_hash("scheme=tas;gib=4;");
+  EXPECT_EQ(a, session_hash("scheme=tas;gib=4;"));
+  EXPECT_NE(a, session_hash("scheme=tss;gib=4;"));
+  // FNV-1a offset basis for the empty string — pins the algorithm.
+  EXPECT_EQ(session_hash(""), 0xcbf29ce484222325ULL);
+}
+
+TEST(SessionTest, HexIsSixteenLowercaseDigits) {
+  const std::string hex = session_hex(0xabcULL);
+  EXPECT_EQ(hex, "0000000000000abc");
+  ASSERT_EQ(hex.size(), 16u);
+  for (const char c : hex) {
+    EXPECT_TRUE(std::isxdigit(static_cast<unsigned char>(c)));
+  }
+}
+
+TEST(PlaneTest, DisabledFeaturesStayInert) {
+  Plane plane(PlaneConfig{});
+  EXPECT_FALSE(plane.metrics_enabled());
+  EXPECT_FALSE(plane.spans_enabled());
+  EXPECT_FALSE(plane.slo().enabled());
+  EXPECT_EQ(plane.spans().begin(0, 0, 0), 0u);
+  EXPECT_EQ(plane.sampler_ticks(), 0u);  // metrics off -> no tick accounting
+  plane.finish(sim::milliseconds(10));
+  EXPECT_TRUE(plane.prometheus_snapshot().empty());
+}
+
+TEST(PlaneTest, SamplerTicksSurfaceOnlyWhenMetricsAreOn) {
+  PlaneConfig config;
+  config.metrics = true;
+  config.sample_period = sim::milliseconds(10);
+  Plane plane(config);
+  sim::Simulator simulator;
+  simulator.schedule_at(sim::milliseconds(25), []() {}, "work");
+  plane.start(simulator);
+  simulator.run();
+  EXPECT_GT(plane.sampler_ticks(), 0u);
+  EXPECT_EQ(plane.sampler_ticks(), plane.sampler().ticks());
+}
+
+TEST(PlaneTest, FinishFreezesThePrometheusSnapshot) {
+  PlaneConfig config;
+  config.metrics = true;
+  config.prometheus = true;
+  Plane plane(config);
+  double level = 1.0;
+  plane.registry().enroll_gauge("x.level", {}, [&level]() { return level; });
+  plane.finish(sim::milliseconds(5));
+  const std::string frozen = plane.prometheus_snapshot();
+  EXPECT_THAT(frozen, HasSubstr("das_x_level 1\n"));
+  level = 2.0;  // mutating after finish() must not change the snapshot
+  EXPECT_EQ(plane.prometheus_snapshot(), frozen);
+}
+
+TEST(PlaneTest, PrometheusSnapshotIsOptInSeparatelyFromMetrics) {
+  // A CSV-only run must not pay the exposition's histogram quantile sorts.
+  PlaneConfig config;
+  config.metrics = true;
+  Plane plane(config);
+  plane.registry().enroll_gauge("x.level", {}, []() { return 1.0; });
+  plane.finish(sim::milliseconds(5));
+  EXPECT_TRUE(plane.prometheus_snapshot().empty());
+}
+
+TEST(PlaneTest, SloAlertCapturesTheFlightRingAtBreachTime) {
+  PlaneConfig config;
+  config.spans = true;
+  config.slo.target_s = 0.1;
+  config.slo.budget = 0.05;
+  Plane plane(config);
+
+  // One finished span so the captured ring is non-empty.
+  const std::uint64_t span = plane.spans().begin(0, 0, 0);
+  plane.spans().add(span, Hop::kDisk, sim::milliseconds(3));
+  plane.spans().end(span, sim::milliseconds(4), 0);
+
+  for (int i = 1; i <= 8; ++i) {
+    plane.slo().record(0, sim::milliseconds(i), 1.0);
+  }
+  ASSERT_EQ(plane.alerts().size(), 1u);
+  const Plane::Alert& alert = plane.alerts().front();
+  EXPECT_EQ(alert.tenant, 0u);
+  EXPECT_EQ(alert.at, sim::milliseconds(8));
+  EXPECT_THAT(alert.spans_json, HasSubstr("\"disk\""));
+
+  // A span finishing *after* the breach is absent from the captured ring —
+  // the alert is a snapshot, not a live view.
+  const std::uint64_t late = plane.spans().begin(1, sim::milliseconds(9), 0);
+  plane.spans().end(late, sim::milliseconds(10), 0);
+  EXPECT_EQ(alert.spans_json.find("\"tenant\": 1"), std::string::npos);
+}
+
+TEST(PlaneTest, FlightJsonJoinsSessionAlertsAndSpans) {
+  PlaneConfig config;
+  config.spans = true;
+  config.slo.target_s = 0.1;
+  Plane plane(config);
+  for (int i = 1; i <= 8; ++i) {
+    plane.slo().record(3, sim::milliseconds(100 + i), 1.0);
+  }
+  const std::string json = plane.flight_json(0xdeadbeefULL);
+  EXPECT_THAT(json, HasSubstr("\"session\": \"00000000deadbeef\""));
+  EXPECT_THAT(json, HasSubstr("\"spans_finished\": 0"));
+  EXPECT_THAT(json, HasSubstr("\"tenant\": 3"));
+  EXPECT_THAT(json, HasSubstr("\"at_s\": 0.108000"));
+  EXPECT_THAT(json, HasSubstr("\"spans\": []"));
+}
+
+TEST(PlaneTest, FlightJsonWithNoAlertsIsStillWellFormed) {
+  Plane plane(PlaneConfig{});
+  const std::string json = plane.flight_json(1);
+  EXPECT_THAT(json, HasSubstr("\"alerts\": []"));
+}
+
+TEST(PlaneTest, EnrollSloGaugesAddsTwoSeriesPerTenant) {
+  PlaneConfig config;
+  config.slo.target_s = 0.1;
+  Plane plane(config);
+  plane.enroll_slo_gauges(2);
+  ASSERT_EQ(plane.registry().series_count(), 4u);
+  EXPECT_EQ(plane.registry().series_name(0), "slo.burn_rate{tenant=0}");
+  EXPECT_EQ(plane.registry().series_name(1), "slo.window_p99_s{tenant=0}");
+  EXPECT_EQ(plane.registry().series_name(2), "slo.burn_rate{tenant=1}");
+
+  plane.slo().record(1, sim::milliseconds(1), 1.0);  // one violation
+  EXPECT_GT(plane.registry().read(2), 0.0);
+  EXPECT_EQ(plane.registry().read(0), 0.0);  // tenant 0 untouched
+}
+
+TEST(PlaneTest, EnrollSloGaugesIsANoOpWhenSloIsOff) {
+  Plane plane(PlaneConfig{});
+  plane.enroll_slo_gauges(4);
+  EXPECT_EQ(plane.registry().series_count(), 0u);
+}
+
+TEST(PlaneTest, PreSampleHookRefreshesSloWindows) {
+  PlaneConfig config;
+  config.metrics = true;
+  config.sample_period = sim::milliseconds(200);
+  config.slo.target_s = 0.1;
+  config.slo.window_s = 0.05;
+  Plane plane(config);
+  plane.enroll_slo_gauges(1);
+  plane.slo().record(0, sim::milliseconds(1), 1.0);
+  EXPECT_GT(plane.slo().burn_rate(0), 0.0);
+
+  sim::Simulator simulator;
+  simulator.schedule_at(sim::milliseconds(150), []() {}, "work");
+  plane.start(simulator);
+  simulator.run();
+  // The 200ms sample refreshed the 50ms window first, so the exported burn
+  // rate at that row is 0, not the stale breach.
+  ASSERT_GE(plane.sampler().rows(), 1u);
+  EXPECT_EQ(plane.sampler().value(0, 0), 0.0);
+}
+
+}  // namespace
+}  // namespace das::telemetry

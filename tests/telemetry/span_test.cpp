@@ -1,0 +1,126 @@
+// SpanTracker: minting, hop attribution, retirement, and the flight ring.
+#include "telemetry/span.hpp"
+
+#include <gmock/gmock.h>
+#include <gtest/gtest.h>
+
+#include "simkit/time.hpp"
+#include "simkit/trace.hpp"
+
+namespace das::telemetry {
+namespace {
+
+using ::testing::HasSubstr;
+
+TEST(SpanTrackerTest, DisabledTrackerMintsTheUntrackedId) {
+  SpanTracker spans;
+  EXPECT_EQ(spans.begin(0, 0, 0), 0u);
+  // All record calls on id 0 are single-branch no-ops.
+  spans.add(0, Hop::kDisk, sim::milliseconds(5));
+  spans.end(0, sim::milliseconds(5), 0);
+  EXPECT_EQ(spans.spans_finished(), 0u);
+  EXPECT_EQ(spans.hop_total(Hop::kDisk), 0);
+}
+
+TEST(SpanTrackerTest, ChargesHopsAndRetiresIntoTotals) {
+  SpanTracker spans;
+  spans.set_enabled(true);
+  const std::uint64_t id = spans.begin(3, sim::milliseconds(1), 7);
+  ASSERT_NE(id, 0u);
+  EXPECT_EQ(spans.open_spans(), 1u);
+
+  spans.add(id, Hop::kControl, sim::milliseconds(2));
+  spans.add(id, Hop::kDisk, sim::milliseconds(5));
+  spans.add(id, Hop::kDisk, sim::milliseconds(3));
+  // Totals only accumulate at retirement.
+  EXPECT_EQ(spans.hop_total(Hop::kDisk), 0);
+
+  spans.end(id, sim::milliseconds(20), 7);
+  EXPECT_EQ(spans.open_spans(), 0u);
+  EXPECT_EQ(spans.spans_finished(), 1u);
+  EXPECT_EQ(spans.hop_total(Hop::kControl), sim::milliseconds(2));
+  EXPECT_EQ(spans.hop_total(Hop::kDisk), sim::milliseconds(8));
+  EXPECT_EQ(spans.hop_events(Hop::kDisk), 2u);
+
+  const std::vector<SpanRecord> recent = spans.recent();
+  ASSERT_EQ(recent.size(), 1u);
+  const SpanRecord& r = recent.front();
+  EXPECT_EQ(r.id, id);
+  EXPECT_EQ(r.tenant, 3u);
+  EXPECT_EQ(r.begin, sim::milliseconds(1));
+  EXPECT_EQ(r.end, sim::milliseconds(20));
+}
+
+TEST(SpanTrackerTest, LateChargesAfterRetirementAreDropped) {
+  // A hedge loser's payload lands after the winner already closed the span;
+  // the late add/end must not corrupt attribution or double-count.
+  SpanTracker spans;
+  spans.set_enabled(true);
+  const std::uint64_t id = spans.begin(0, 0, 0);
+  spans.end(id, sim::milliseconds(10), 0);
+  spans.add(id, Hop::kNetWire, sim::milliseconds(99));
+  spans.end(id, sim::milliseconds(99), 0);
+  EXPECT_EQ(spans.spans_finished(), 1u);
+  EXPECT_EQ(spans.hop_total(Hop::kNetWire), 0);
+}
+
+TEST(SpanTrackerTest, RingKeepsOnlyTheMostRecentSpans) {
+  SpanTracker spans(4);
+  spans.set_enabled(true);
+  for (int i = 0; i < 10; ++i) {
+    const std::uint64_t id = spans.begin(0, i, 0);
+    spans.end(id, i + 1, 0);
+  }
+  EXPECT_EQ(spans.spans_finished(), 10u);
+  const std::vector<SpanRecord> recent = spans.recent();
+  ASSERT_EQ(recent.size(), 4u);
+  EXPECT_EQ(recent.front().id, 7u);  // oldest surviving
+  EXPECT_EQ(recent.back().id, 10u);
+}
+
+TEST(SpanTrackerTest, RingJsonRendersHopsAndNoTenantAsMinusOne) {
+  SpanTracker spans;
+  spans.set_enabled(true);
+  const std::uint64_t id = spans.begin(UINT32_MAX, 0, 0);
+  spans.add(id, Hop::kDisk, 1500);
+  spans.end(id, 2000, 0);
+  const std::string json = spans.ring_json();
+  EXPECT_THAT(json, HasSubstr("\"tenant\": -1"));
+  EXPECT_THAT(json, HasSubstr("\"disk\": {\"ns\": 1500, \"n\": 1}"));
+  EXPECT_THAT(json, HasSubstr("\"end_ns\": 2000"));
+  // Unused hops are omitted entirely.
+  EXPECT_EQ(json.find("compute"), std::string::npos);
+}
+
+TEST(SpanTrackerTest, EmptyRingRendersAnEmptyArray) {
+  SpanTracker spans;
+  EXPECT_EQ(spans.ring_json(), "[]");
+}
+
+TEST(SpanTrackerTest, MirrorsSpansIntoTheTracerAsAsyncScopes) {
+  SpanTracker spans;
+  spans.set_enabled(true);
+  sim::Tracer tracer;
+  tracer.enable();
+  spans.set_tracer(&tracer);
+  const std::uint64_t id = spans.begin(1, sim::milliseconds(3), 5);
+  spans.end(id, sim::milliseconds(9), 5);
+  ASSERT_EQ(tracer.events().size(), 2u);
+  EXPECT_EQ(tracer.events()[0].ph, 'b');
+  EXPECT_EQ(tracer.events()[0].cat, "span");
+  EXPECT_EQ(tracer.events()[0].id, id);
+  EXPECT_EQ(tracer.events()[1].ph, 'e');
+}
+
+TEST(SpanTrackerTest, HopNamesAreStable) {
+  EXPECT_STREQ(to_string(Hop::kAdmission), "admission");
+  EXPECT_STREQ(to_string(Hop::kControl), "control");
+  EXPECT_STREQ(to_string(Hop::kNetQueue), "net-queue");
+  EXPECT_STREQ(to_string(Hop::kNetWire), "net-wire");
+  EXPECT_STREQ(to_string(Hop::kDisk), "disk");
+  EXPECT_STREQ(to_string(Hop::kCache), "cache");
+  EXPECT_STREQ(to_string(Hop::kCompute), "compute");
+}
+
+}  // namespace
+}  // namespace das::telemetry

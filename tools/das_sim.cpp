@@ -18,6 +18,9 @@
 //           [--job-mib=16] [--datasets=1] [--replicas=2]
 //           [--admission-mib=0] [--fair-queue=off] [--weights=1,...]
 //           [--hedge=off] [--reroute=off] [--trace-file=FILE] [--slo=FILE]
+//           [--metrics=FILE] [--metrics-prom=FILE] [--metrics-period-ms=50]
+//           [--spans=off] [--flight-record=FILE] [--diag=FILE]
+//           [--slo-target-ms=0] [--slo-budget=0.01] [--slo-window-s=1]
 //
 // --jobs=N runs the sweep's independent (kernel, scheme, trial) cells on N
 // worker threads; --jobs=0 means one worker per hardware thread
@@ -42,7 +45,21 @@
 // scheme/kernel/trial. --audit=FILE writes one predicted-vs-observed
 // decision-audit CSV row per run.
 // --log-level=trace|debug|info|warn|error|off sets every run's logger.
+//
+// Telemetry plane (src/telemetry/): --metrics samples every enrolled counter
+// /gauge/histogram into a columnar CSV time series, --metrics-prom writes a
+// Prometheus text exposition of the final values, --spans tracks causal
+// request spans (per-hop critical-path attribution in the report table),
+// --slo-target-ms arms the per-tenant burn-rate monitor, and
+// --flight-record dumps the span flight-recorder ring captured at each SLO
+// alert. --diag writes a small JSON sidecar (wall seconds, event count) for
+// CI trending. Every output — trace, audit, SLO table, metrics, diag — is
+// stamped with one session id hashed from the run's semantic configuration
+// (never --jobs, output paths, or the telemetry flags themselves), so all
+// artifacts of one experiment join on one key. With every telemetry flag
+// off, outputs are byte-identical to a binary that never heard of them.
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <fstream>
@@ -61,6 +78,7 @@
 #include "simkit/context.hpp"
 #include "simkit/log.hpp"
 #include "simkit/trace.hpp"
+#include "telemetry/plane.hpp"
 #include "traffic/engine.hpp"
 
 namespace {
@@ -81,6 +99,59 @@ std::vector<std::string> parse_kernels(const std::string& arg) {
     throw std::invalid_argument("unknown kernel: " + arg);
   }
   return {arg};
+}
+
+/// Canonical configuration string the session id is hashed from: every flag
+/// that shapes simulated behaviour, in fixed order, as given on the command
+/// line (absent flags contribute their empty default). Worker count, output
+/// file paths, and the telemetry switches are deliberately excluded, so one
+/// experiment keeps one session id across --jobs settings and across
+/// telemetry on/off reruns.
+std::string canonical_config(const das::runner::Args& args) {
+  static const char* const kSemantic[] = {
+      "scheme",        "kernel",          "gib",
+      "nodes",         "trials",          "strip-kib",
+      "nic-mibps",     "disk-mibps",      "compute-mibps",
+      "startup-s",     "jitter-pct",      "stragglers",
+      "slowdown",      "group",           "budget-pct",
+      "pipeline",      "window",          "pre-distributed",
+      "repeats",       "cache-mib",       "cache-policy",
+      "prefetch",      "prefetch-depth",  "migrate",
+      "migrate-threshold", "tenants",     "tenant-jobs",
+      "arrival-rate",  "job-mib",         "datasets",
+      "replicas",      "admission-mib",   "fair-queue",
+      "weights",       "hedge",           "reroute",
+      "trace-file"};
+  std::string out;
+  for (const char* name : kSemantic) {
+    out += name;
+    out += '=';
+    out += args.get(name, "");
+    out += ';';
+  }
+  return out;
+}
+
+void write_file(const std::string& path, const std::string& content,
+                const char* what) {
+  std::ofstream out(path, std::ios::trunc | std::ios::binary);
+  if (!out) {
+    throw std::runtime_error(std::string("cannot write ") + what + " file: " +
+                             path);
+  }
+  out << content;
+}
+
+/// The --diag sidecar: host-side run cost for CI trending, keyed by session.
+std::string diag_json(std::uint64_t session, double wall_seconds,
+                      std::uint64_t sim_events) {
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                "{\"session\": \"%s\", \"wall_seconds\": %.6f, "
+                "\"sim_events\": %llu}\n",
+                das::telemetry::session_hex(session).c_str(), wall_seconds,
+                static_cast<unsigned long long>(sim_events));
+  return buf;
 }
 
 }  // namespace
@@ -207,6 +278,37 @@ int main(int argc, char** argv) {
         traffic.admission.enabled || traffic.fair_queue ||
         traffic.straggler.active();
 
+    // Telemetry plane flags (see header comment). The session id is minted
+    // unconditionally: every run stamps its SLO/audit rows and traces so
+    // artifacts join even when no telemetry output file was requested.
+    const std::string metrics_path = args.get("metrics", "");
+    const std::string metrics_prom_path = args.get("metrics-prom", "");
+    const auto metrics_period_ms = args.get_int("metrics-period-ms", 50);
+    if (metrics_period_ms <= 0) {
+      throw std::invalid_argument("--metrics-period-ms must be > 0");
+    }
+    const bool spans_on = args.get_bool("spans", false);
+    const std::string flight_path = args.get("flight-record", "");
+    const double slo_target_ms = args.get_double("slo-target-ms", 0.0);
+    const std::string diag_path = args.get("diag", "");
+    das::telemetry::PlaneConfig plane_cfg;
+    plane_cfg.metrics = !metrics_path.empty() || !metrics_prom_path.empty();
+    plane_cfg.prometheus = !metrics_prom_path.empty();
+    plane_cfg.spans = spans_on || !flight_path.empty();
+    plane_cfg.sample_period = das::sim::milliseconds(metrics_period_ms);
+    plane_cfg.slo.target_s = slo_target_ms / 1000.0;
+    plane_cfg.slo.budget = args.get_double("slo-budget", 0.01);
+    plane_cfg.slo.window_s = args.get_double("slo-window-s", 1.0);
+    const bool plane_active = plane_cfg.metrics || plane_cfg.spans ||
+                              plane_cfg.slo.target_s > 0.0;
+    std::unique_ptr<das::telemetry::Plane> plane;
+    if (plane_active) {
+      plane = std::make_unique<das::telemetry::Plane>(plane_cfg);
+    }
+    const std::uint64_t session =
+        das::telemetry::session_hash(canonical_config(args));
+    const std::string session_hex = das::telemetry::session_hex(session);
+
     if (const std::string u = args.unused(); !u.empty()) {
       std::cerr << "unknown flags: " << u << "\n";
       return 2;
@@ -216,10 +318,18 @@ int main(int argc, char** argv) {
       das::sim::RunContext context;
       if (!trace_path.empty()) context.tracer.enable();
       if (log_level) context.log.set_level(*log_level);
+      context.telemetry = plane.get();
+      context.session = session;
+      context.tracer.set_session(session_hex);
       traffic.context = &context;
 
+      const auto wall_start = std::chrono::steady_clock::now();
       const das::traffic::TrafficReport report =
           das::traffic::run_traffic(traffic);
+      const double wall_seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        wall_start)
+              .count();
 
       std::string summary;
       summary += "traffic: tenants=" +
@@ -233,6 +343,11 @@ int main(int argc, char** argv) {
                  std::to_string(report.hedges_won) +
                  " wasted_bytes=" + std::to_string(report.wasted_bytes) +
                  "\n";
+      // Printed only when the monitor is armed, so an unarmed run's stdout
+      // is byte-identical to a binary without the telemetry plane.
+      if (plane != nullptr && plane->slo().enabled()) {
+        summary += "slo: alerts=" + std::to_string(report.slo_alerts) + "\n";
+      }
       std::printf("%s", summary.c_str());
       if (slo_path.empty()) {
         std::printf("%s", report.slo_csv().c_str());
@@ -245,6 +360,20 @@ int main(int argc, char** argv) {
       }
       if (!trace_path.empty() && !context.tracer.write_json(trace_path)) {
         throw std::runtime_error("cannot write trace file: " + trace_path);
+      }
+      if (!metrics_path.empty()) {
+        write_file(metrics_path, plane->sampler().csv(), "metrics");
+      }
+      if (!metrics_prom_path.empty()) {
+        write_file(metrics_prom_path, plane->prometheus_snapshot(),
+                   "metrics-prom");
+      }
+      if (!flight_path.empty()) {
+        write_file(flight_path, plane->flight_json(session), "flight-record");
+      }
+      if (!diag_path.empty()) {
+        write_file(diag_path, diag_json(session, wall_seconds, report.events),
+                   "diag");
       }
       return 0;
     }
@@ -266,13 +395,25 @@ int main(int argc, char** argv) {
       }
     }
 
+    // The plane is one registry + sampler, so classic-mode telemetry is
+    // limited to a single cell; sweeps would interleave unrelated runs into
+    // one time series. (--diag aggregates and stays legal for sweeps.)
+    if (plane != nullptr && cells.size() > 1) {
+      throw std::invalid_argument(
+          "--metrics/--spans/--slo-target-ms/--flight-record require a "
+          "single (scheme, kernel, trial) cell; narrow --scheme/--kernel/"
+          "--trials");
+    }
+
     std::vector<std::unique_ptr<das::sim::RunContext>> contexts;
     contexts.reserve(cells.size());
     for (std::size_t i = 0; i < cells.size(); ++i) {
       contexts.push_back(std::make_unique<das::sim::RunContext>());
       if (!trace_path.empty()) contexts.back()->tracer.enable();
       if (log_level) contexts.back()->log.set_level(*log_level);
+      contexts.back()->session = session;
     }
+    if (plane != nullptr) contexts.front()->telemetry = plane.get();
 
     std::vector<RunReport> reports(cells.size());
     das::runner::parallel_for_indexed(
@@ -323,6 +464,7 @@ int main(int argc, char** argv) {
       // have accumulated running the cells serially.
       das::sim::Tracer merged;
       merged.enable();
+      merged.set_session(session_hex);
       for (const auto& context : contexts) {
         merged.merge_from(context->tracer);
       }
@@ -337,6 +479,25 @@ int main(int argc, char** argv) {
       }
       out << das::core::audit_csv_header() << ",trial\n";
       for (const std::string& row : audit_rows) out << row << "\n";
+    }
+    if (!metrics_path.empty()) {
+      write_file(metrics_path, plane->sampler().csv(), "metrics");
+    }
+    if (!metrics_prom_path.empty()) {
+      write_file(metrics_prom_path, plane->prometheus_snapshot(),
+                 "metrics-prom");
+    }
+    if (!flight_path.empty()) {
+      write_file(flight_path, plane->flight_json(session), "flight-record");
+    }
+    if (!diag_path.empty()) {
+      double wall = 0.0;
+      std::uint64_t events = 0;
+      for (const RunReport& r : reports) {
+        wall += r.wall_seconds;
+        events += r.sim_events;
+      }
+      write_file(diag_path, diag_json(session, wall, events), "diag");
     }
     return 0;
   } catch (const std::exception& error) {

@@ -1,0 +1,145 @@
+#!/usr/bin/env python3
+"""Summarize a das_sim --metrics=FILE time series in the terminal.
+
+Standard library only. The input is the sampler's columnar CSV: a `time_s`
+column followed by one column per enrolled series, named `name{k=v;k=v}`.
+
+Default output is the per-tenant SLO table — peak and final burn rate plus
+peak window p99 — built from the `slo.burn_rate{tenant=N}` and
+`slo.window_p99_s{tenant=N}` gauge columns the traffic engine enrolls.
+
+Other modes:
+  --list            print every series name with its final value
+  --series=SUBSTR   ASCII sparkline + min/max/final for each matching series
+
+Examples:
+  das_sim --tenants=8 ... --slo-target-ms=200 --metrics=run.csv
+  tools/metrics_plot.py run.csv
+  tools/metrics_plot.py run.csv --series='net.bytes'
+"""
+
+import argparse
+import csv
+import re
+import sys
+
+SPARK_CHARS = " .:-=+*#%@"
+
+TENANT_SERIES = re.compile(r"^slo\.(burn_rate|window_p99_s)\{tenant=(\d+)\}$")
+
+
+def load(path):
+    """Return (times, {series_name: [values]})."""
+    with open(path, newline="") as f:
+        reader = csv.reader(f)
+        header = next(reader)
+        if not header or header[0] != "time_s":
+            sys.exit(f"{path}: not a das_sim metrics CSV (no time_s column)")
+        columns = {name: [] for name in header[1:]}
+        times = []
+        for row in reader:
+            times.append(float(row[0]))
+            for name, cell in zip(header[1:], row[1:]):
+                columns[name].append(float(cell))
+    return times, columns
+
+
+def sparkline(values, width=48):
+    if not values:
+        return ""
+    if len(values) > width:
+        # Downsample by bucket-max: spikes are the interesting part.
+        step = len(values) / width
+        values = [
+            max(values[int(i * step):max(int(i * step) + 1, int((i + 1) * step))])
+            for i in range(width)
+        ]
+    lo, hi = min(values), max(values)
+    span = (hi - lo) or 1.0
+    scale = len(SPARK_CHARS) - 1
+    return "".join(
+        SPARK_CHARS[int((v - lo) / span * scale)] for v in values)
+
+
+def tenant_table(times, columns):
+    """Per-tenant burn-rate / p99 summary from the SLO gauge columns."""
+    tenants = {}
+    for name, values in columns.items():
+        m = TENANT_SERIES.match(name)
+        if not m:
+            continue
+        kind, tenant = m.group(1), int(m.group(2))
+        tenants.setdefault(tenant, {})[kind] = values
+    if not tenants:
+        print("no slo.* tenant series found (run with --slo-target-ms=N "
+              "and --metrics=FILE)")
+        return False
+
+    print(f"{'tenant':>6} {'peak burn':>10} {'at_s':>8} {'final burn':>11} "
+          f"{'peak p99_s':>11} {'breach':>7}")
+    for tenant in sorted(tenants):
+        series = tenants[tenant]
+        burn = series.get("burn_rate", [])
+        p99 = series.get("window_p99_s", [])
+        peak_burn = max(burn) if burn else 0.0
+        peak_at = times[burn.index(peak_burn)] if burn else 0.0
+        final_burn = burn[-1] if burn else 0.0
+        peak_p99 = max(p99) if p99 else 0.0
+        breach = "YES" if peak_burn >= 1.0 else "-"
+        print(f"{tenant:>6} {peak_burn:>10.3f} {peak_at:>8.3f} "
+              f"{final_burn:>11.3f} {peak_p99:>11.4f} {breach:>7}")
+    for tenant in sorted(tenants):
+        burn = tenants[tenant].get("burn_rate", [])
+        if burn and max(burn) > 0:
+            print(f"\nburn_rate tenant={tenant}: |{sparkline(burn)}|"
+                  f" (0 .. {max(burn):.3f})")
+    return True
+
+
+def list_series(times, columns):
+    width = max((len(name) for name in columns), default=0)
+    print(f"{len(times)} samples, {times[0]:.3f}s .. {times[-1]:.3f}s"
+          if times else "empty series")
+    for name, values in columns.items():
+        final = values[-1] if values else 0.0
+        print(f"  {name:<{width}}  final={final:g}")
+
+
+def show_series(times, columns, needle):
+    matched = False
+    for name, values in columns.items():
+        if needle not in name:
+            continue
+        matched = True
+        lo, hi = (min(values), max(values)) if values else (0.0, 0.0)
+        print(f"{name}\n  |{sparkline(values)}|")
+        print(f"  min={lo:g} max={hi:g} final={values[-1] if values else 0:g}")
+    if not matched:
+        print(f"no series matching {needle!r}; try --list")
+    return matched
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Summarize a das_sim --metrics CSV")
+    parser.add_argument("csv_path", help="metrics CSV written by --metrics=FILE")
+    parser.add_argument("--list", action="store_true",
+                        help="list every series and its final value")
+    parser.add_argument("--series", metavar="SUBSTR",
+                        help="sparkline every series whose name contains SUBSTR")
+    args = parser.parse_args()
+
+    times, columns = load(args.csv_path)
+    if args.list:
+        list_series(times, columns)
+        return 0
+    if args.series:
+        return 0 if show_series(times, columns, args.series) else 1
+    return 0 if tenant_table(times, columns) else 1
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:  # e.g. piped into head
+        sys.exit(0)
