@@ -65,6 +65,8 @@ ActiveExecutor::ActiveExecutor(Cluster& cluster, const Options& options)
     : cluster_(cluster), options_(options) {
   DAS_REQUIRE(options.kernel != nullptr);
   DAS_REQUIRE(!(options.data_mode && options.kernel->is_reduction()));
+  cost_factor_ = cluster.config().compute_cost.factor_for(
+      options.kernel->name(), options.kernel->cost_factor());
 }
 
 ActiveExecutor::~ActiveExecutor() = default;
@@ -121,7 +123,8 @@ void ActiveExecutor::start_server(pfs::ServerIndex server, pfs::FileId input,
     for (const pfs::LocalRun& run : lio.runs()) {
       const std::uint64_t lo =
           run.first_strip >= wanted ? run.first_strip - wanted : 0;
-      const std::uint64_t hi = std::min(num_strips - 1, run.last_strip + wanted);
+      const std::uint64_t hi =
+          std::min(num_strips - 1, run.last_strip + wanted);
       for (std::uint64_t s = lo; s <= hi; ++s) {
         if (self.store().has(input, s) || !planned.insert(s).second) continue;
         // read_primary, not layout().primary: under an in-progress
@@ -341,7 +344,7 @@ void ActiveExecutor::compute_and_write(ServerTask* task, std::size_t index) {
     own_bytes += meta.strip(s).length;
   }
   const sim::SimTime computed = cluster_.engine(task->node).execute(
-      simulator.now(), own_bytes, options_.kernel->cost_factor());
+      simulator.now(), own_bytes, cost_factor_);
 
   if (options_.kernel->is_reduction()) {
     // Ship the partial result (a few dozen bytes) to the requesting client;

@@ -105,6 +105,8 @@ class ActiveExecutor {
 
   Cluster& cluster_;
   Options options_;
+  /// Kernel cost factor after applying the cluster's calibrated overrides.
+  double cost_factor_ = 1.0;
   std::vector<std::unique_ptr<ServerTask>> tasks_;
   std::uint64_t halo_strips_fetched_ = 0;
   std::uint64_t halo_bytes_fetched_ = 0;

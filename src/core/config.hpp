@@ -9,6 +9,8 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
+#include <string>
 
 #include "cache/strip_cache.hpp"
 #include "net/network.hpp"
@@ -18,6 +20,21 @@
 #include "storage/disk.hpp"
 
 namespace das::core {
+
+/// Measured per-kernel compute cost overrides (das_sim --kernel-cost, fed by
+/// --calibrate-kernels). Kernels keep their built-in guess as the fallback,
+/// so an empty model reproduces the uncalibrated system exactly.
+struct ComputeCostModel {
+  std::map<std::string, double> kernel_cost_factor;
+
+  [[nodiscard]] bool active() const { return !kernel_cost_factor.empty(); }
+
+  [[nodiscard]] double factor_for(const std::string& kernel_name,
+                                  double fallback) const {
+    const auto it = kernel_cost_factor.find(kernel_name);
+    return it == kernel_cost_factor.end() ? fallback : it->second;
+  }
+};
 
 struct ClusterConfig {
   /// Storage servers (the paper's "active storage nodes").
@@ -36,6 +53,9 @@ struct ClusterConfig {
   /// Effective per-node processing rate for a cost-factor-1.0 kernel
   /// (memory-bandwidth-bound stencil on a 12-core 2012 node).
   double compute_rate_bps = 450.0 * 1024 * 1024;
+
+  /// Calibrated per-kernel cost-factor overrides (empty = kernel defaults).
+  ComputeCostModel compute_cost;
 
   /// One-time per-run cost: job launch, file open/metadata, shipping the
   /// processing kernel to the servers. Charged identically to every scheme.

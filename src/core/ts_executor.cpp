@@ -49,6 +49,8 @@ TsExecutor::TsExecutor(Cluster& cluster, const Options& options)
     : cluster_(cluster), options_(options) {
   DAS_REQUIRE(options.kernel != nullptr);
   DAS_REQUIRE(!(options.data_mode && options.kernel->is_reduction()));
+  cost_factor_ = cluster.config().compute_cost.factor_for(
+      options.kernel->name(), options.kernel->cost_factor());
 }
 
 TsExecutor::~TsExecutor() = default;
@@ -153,8 +155,7 @@ void TsExecutor::on_strip(NodeTask* task, pfs::StripRef ref,
   if (owned) {
     // The processing cost of this strip, on this compute node.
     const sim::SimTime done = cluster_.engine(task->node).execute(
-        cluster_.simulator().now(), ref.length,
-        options_.kernel->cost_factor());
+        cluster_.simulator().now(), ref.length, cost_factor_);
     cluster_.simulator().schedule_at(
         done, [this, task, s = ref.index]() { gate_arrive(task, s); },
         "ts.compute");

@@ -62,6 +62,8 @@ class TsExecutor {
 
   Cluster& cluster_;
   Options options_;
+  /// Kernel cost factor after applying the cluster's calibrated overrides.
+  double cost_factor_ = 1.0;
   std::vector<std::unique_ptr<NodeTask>> tasks_;
 };
 

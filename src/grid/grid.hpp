@@ -4,15 +4,54 @@
 // images the paper's kernels operate on. In the parallel file system a grid
 // is stored as its row-major element stream, so "row width" and "strip size"
 // interact exactly as in the paper's Figs. 4-7.
+//
+// Storage is 64-byte aligned (one cache line, one AVX-512 vector) so the
+// SIMD kernel paths never straddle a line at row starts, and a grid can
+// optionally be allocated with a padded row stride — rows then begin at
+// aligned addresses even when the logical width is odd. Padded grids keep
+// the same logical contents; only the linear views (data(), operator[])
+// are restricted to contiguous grids, because the element stream of a
+// padded grid is not the file's element stream.
 #pragma once
 
 #include <cmath>
 #include <cstdint>
+#include <cstring>
+#include <new>
 #include <vector>
 
 #include "simkit/assert.hpp"
 
 namespace das::grid {
+
+/// Alignment of every grid allocation: one cache line, which is also the
+/// widest vector the kernel engine dispatches today.
+inline constexpr std::size_t kGridAlignment = 64;
+
+/// Minimal aligned allocator so the backing std::vector honours
+/// kGridAlignment regardless of the element type's natural alignment.
+template <typename T>
+struct GridAllocator {
+  using value_type = T;
+
+  GridAllocator() = default;
+  template <typename U>
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  GridAllocator(const GridAllocator<U>&) {}
+
+  [[nodiscard]] T* allocate(std::size_t n) {
+    return static_cast<T*>(::operator new(
+        n * sizeof(T), std::align_val_t{kGridAlignment}));
+  }
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t{kGridAlignment});
+  }
+
+  template <typename U>
+  friend bool operator==(const GridAllocator&, const GridAllocator<U>&) {
+    return true;
+  }
+};
 
 template <typename T>
 class Grid {
@@ -22,13 +61,38 @@ class Grid {
   Grid(std::uint32_t width, std::uint32_t height, T fill_value = T{})
       : width_(width),
         height_(height),
+        stride_(width),
         cells_(static_cast<std::size_t>(width) * height, fill_value) {
     DAS_REQUIRE(width > 0 && height > 0);
   }
 
+  /// Grid whose row stride is padded up to a kGridAlignment boundary, so
+  /// every row starts 64-byte aligned. Logical contents are identical to
+  /// the contiguous layout; linear element access is unavailable.
+  [[nodiscard]] static Grid padded(std::uint32_t width, std::uint32_t height,
+                                   T fill_value = T{}) {
+    DAS_REQUIRE(width > 0 && height > 0);
+    constexpr std::uint32_t kLane =
+        static_cast<std::uint32_t>(kGridAlignment / sizeof(T));
+    Grid g;
+    g.width_ = width;
+    g.height_ = height;
+    g.stride_ = (width + kLane - 1) / kLane * kLane;
+    g.cells_.assign(static_cast<std::size_t>(g.stride_) * height, fill_value);
+    return g;
+  }
+
   [[nodiscard]] std::uint32_t width() const { return width_; }
   [[nodiscard]] std::uint32_t height() const { return height_; }
-  [[nodiscard]] std::size_t size() const { return cells_.size(); }
+  /// Elements between consecutive row starts (>= width()).
+  [[nodiscard]] std::uint32_t stride() const { return stride_; }
+  /// True when the element stream is dense row-major (stride == width);
+  /// only then do the linear views below exist.
+  [[nodiscard]] bool contiguous() const { return stride_ == width_; }
+  /// Logical element count (padding excluded).
+  [[nodiscard]] std::size_t size() const {
+    return static_cast<std::size_t>(width_) * height_;
+  }
   [[nodiscard]] bool empty() const { return cells_.empty(); }
 
   [[nodiscard]] bool in_bounds(std::int64_t x, std::int64_t y) const {
@@ -38,33 +102,42 @@ class Grid {
 
   [[nodiscard]] T& at(std::uint32_t x, std::uint32_t y) {
     DAS_ASSERT(in_bounds(x, y));
-    return cells_[static_cast<std::size_t>(y) * width_ + x];
+    return cells_[static_cast<std::size_t>(y) * stride_ + x];
   }
   [[nodiscard]] const T& at(std::uint32_t x, std::uint32_t y) const {
     DAS_ASSERT(in_bounds(x, y));
-    return cells_[static_cast<std::size_t>(y) * width_ + x];
+    return cells_[static_cast<std::size_t>(y) * stride_ + x];
   }
 
-  /// Linear (row-major) element access; index < size().
+  /// Linear (row-major) element access; index < size(). Contiguous grids
+  /// only — a padded grid's element stream would include the padding.
   [[nodiscard]] T& operator[](std::size_t i) {
+    DAS_ASSERT(contiguous());
     DAS_ASSERT(i < cells_.size());
     return cells_[i];
   }
   [[nodiscard]] const T& operator[](std::size_t i) const {
+    DAS_ASSERT(contiguous());
     DAS_ASSERT(i < cells_.size());
     return cells_[i];
   }
 
-  [[nodiscard]] T* data() { return cells_.data(); }
-  [[nodiscard]] const T* data() const { return cells_.data(); }
+  [[nodiscard]] T* data() {
+    DAS_ASSERT(contiguous());
+    return cells_.data();
+  }
+  [[nodiscard]] const T* data() const {
+    DAS_ASSERT(contiguous());
+    return cells_.data();
+  }
 
   [[nodiscard]] T* row(std::uint32_t y) {
     DAS_ASSERT(y < height_);
-    return cells_.data() + static_cast<std::size_t>(y) * width_;
+    return cells_.data() + static_cast<std::size_t>(y) * stride_;
   }
   [[nodiscard]] const T* row(std::uint32_t y) const {
     DAS_ASSERT(y < height_);
-    return cells_.data() + static_cast<std::size_t>(y) * width_;
+    return cells_.data() + static_cast<std::size_t>(y) * stride_;
   }
 
   void fill(T value) { cells_.assign(cells_.size(), value); }
@@ -94,15 +167,24 @@ class Grid {
     }
   }
 
+  /// Logical equality: shape and per-row contents (padding never compared,
+  /// so a padded grid equals its contiguous twin).
   friend bool operator==(const Grid& a, const Grid& b) {
-    return a.width_ == b.width_ && a.height_ == b.height_ &&
-           a.cells_ == b.cells_;
+    if (a.width_ != b.width_ || a.height_ != b.height_) return false;
+    if (a.stride_ == b.stride_) return a.cells_ == b.cells_;
+    for (std::uint32_t y = 0; y < a.height_; ++y) {
+      if (std::memcmp(a.row(y), b.row(y), a.width_ * sizeof(T)) != 0) {
+        return false;
+      }
+    }
+    return true;
   }
 
  private:
   std::uint32_t width_ = 0;
   std::uint32_t height_ = 0;
-  std::vector<T> cells_;
+  std::uint32_t stride_ = 0;
+  std::vector<T, GridAllocator<T>> cells_;
 };
 
 /// Largest absolute element-wise difference; grids must have equal shape.
@@ -110,10 +192,14 @@ template <typename T>
 double max_abs_diff(const Grid<T>& a, const Grid<T>& b) {
   DAS_REQUIRE(a.width() == b.width() && a.height() == b.height());
   double worst = 0.0;
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    const double d = std::fabs(static_cast<double>(a[i]) -
-                               static_cast<double>(b[i]));
-    if (d > worst) worst = d;
+  for (std::uint32_t y = 0; y < a.height(); ++y) {
+    const T* ra = a.row(y);
+    const T* rb = b.row(y);
+    for (std::uint32_t x = 0; x < a.width(); ++x) {
+      const double d = std::fabs(static_cast<double>(ra[x]) -
+                                 static_cast<double>(rb[x]));
+      if (d > worst) worst = d;
+    }
   }
   return worst;
 }

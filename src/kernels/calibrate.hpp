@@ -1,0 +1,46 @@
+// Kernel calibration: measure what the vectorized kernels actually sustain
+// on this machine and translate that into the simulator's compute-time
+// parameters (--compute-mibps plus per-kernel --kernel-cost factors), so
+// A8/A9 scheme decisions rest on measured rather than guessed compute rates.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "kernels/simd.hpp"
+
+namespace das::kernels {
+
+/// Measured throughput of one kernel plus the cost factor it implies
+/// relative to the calibration anchor (the fastest kernel measured).
+struct KernelCalibration {
+  std::string name;
+  double cells_per_second = 0.0;
+  double mib_per_second = 0.0;  // cells * sizeof(float)
+  double cost_factor = 1.0;     // anchor rate / this kernel's rate
+};
+
+struct CalibrationReport {
+  simd::Isa isa = simd::Isa::kScalar;
+  std::uint32_t width = 0;
+  std::uint32_t height = 0;
+  std::uint32_t repeats = 0;
+  /// Byte rate of the fastest kernel; the recommended --compute-mibps.
+  double anchor_mibps = 0.0;
+  std::vector<KernelCalibration> kernels;
+
+  /// Comma-joined "name:factor" list, ready for --kernel-cost=.
+  [[nodiscard]] std::string kernel_cost_flag() const;
+
+  /// Human-readable table plus the recommended das_sim flags.
+  [[nodiscard]] std::string format() const;
+};
+
+/// Run the five stencil kernels over a synthetic `width` x `height` raster
+/// `repeats` times each (best-of timing) under the currently active ISA.
+[[nodiscard]] CalibrationReport calibrate_kernels(std::uint32_t width = 1024,
+                                                  std::uint32_t height = 512,
+                                                  std::uint32_t repeats = 3);
+
+}  // namespace das::kernels

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "kernels/simd.hpp"
+
 namespace das::kernels {
 
 std::string GaussianKernel::description() const {
@@ -31,7 +33,6 @@ void GaussianKernel::run_tile(const grid::Grid<float>& buffer,
   const TileView view(buffer, buffer_row0, grid_height);
   constexpr float kWeights[3][3] = {
       {1.0F, 2.0F, 1.0F}, {2.0F, 4.0F, 2.0F}, {1.0F, 2.0F, 1.0F}};
-  const std::uint32_t width = buffer.width();
 
   // Clamped per-cell path, needed only where the 3x3 window leaves the grid.
   const auto edge_cell = [&](std::uint32_t x, std::uint32_t y) {
@@ -46,36 +47,11 @@ void GaussianKernel::run_tile(const grid::Grid<float>& buffer,
     out.at(x, y - out_row_begin) = sum / 16.0F;
   };
 
-  // Rows/columns whose full window is in the grid take the branch-free
-  // sweep. It accumulates in the same (dy, dx) order as the clamped path,
-  // so outputs are bit-identical.
-  const std::uint32_t interior_lo = std::max(out_row_begin, 1U);
-  const std::uint32_t interior_hi = std::min(out_row_end, grid_height - 1);
-  for (std::uint32_t y = out_row_begin; y < out_row_end; ++y) {
-    if (y < interior_lo || y >= interior_hi || width <= 2) {
-      for (std::uint32_t x = 0; x < width; ++x) edge_cell(x, y);
-      continue;
-    }
-    const float* up = view.row(y - 1);
-    const float* mid = view.row(y);
-    const float* down = view.row(y + 1);
-    float* dst = out.row(y - out_row_begin);
-    edge_cell(0, y);
-    for (std::uint32_t x = 1; x + 1 < width; ++x) {
-      float sum = 0.0F;
-      sum += kWeights[0][0] * up[x - 1];
-      sum += kWeights[0][1] * up[x];
-      sum += kWeights[0][2] * up[x + 1];
-      sum += kWeights[1][0] * mid[x - 1];
-      sum += kWeights[1][1] * mid[x];
-      sum += kWeights[1][2] * mid[x + 1];
-      sum += kWeights[2][0] * down[x - 1];
-      sum += kWeights[2][1] * down[x];
-      sum += kWeights[2][2] * down[x + 1];
-      dst[x] = sum / 16.0F;
-    }
-    edge_cell(width - 1, y);
-  }
+  // Cells whose full window is in the grid take the dispatched branch-free
+  // sweep, which accumulates in the same (dy, dx) order as the clamped path
+  // on every ISA, so outputs are bit-identical.
+  simd::run_tile_blocked(view, grid_height, out_row_begin, out_row_end, out,
+                         edge_cell, simd::gaussian_row(simd::active_isa()));
 }
 
 }  // namespace das::kernels

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "kernels/simd.hpp"
+
 namespace das::kernels {
 
 std::string LaplacianKernel::description() const {
@@ -29,7 +31,6 @@ void LaplacianKernel::run_tile(const grid::Grid<float>& buffer,
   check_tile_args(buffer, buffer_row0, grid_height, out_row_begin,
                   out_row_end, out);
   const TileView view(buffer, buffer_row0, grid_height);
-  const std::uint32_t width = buffer.width();
 
   const auto edge_cell = [&](std::uint32_t x, std::uint32_t y) {
     const auto ix = static_cast<std::int64_t>(x);
@@ -41,25 +42,11 @@ void LaplacianKernel::run_tile(const grid::Grid<float>& buffer,
         4.0F * centre;
   };
 
-  // Interior sweep sums in the same left, right, up, down order as the
-  // clamped path, so outputs are bit-identical.
-  const std::uint32_t interior_lo = std::max(out_row_begin, 1U);
-  const std::uint32_t interior_hi = std::min(out_row_end, grid_height - 1);
-  for (std::uint32_t y = out_row_begin; y < out_row_end; ++y) {
-    if (y < interior_lo || y >= interior_hi || width <= 2) {
-      for (std::uint32_t x = 0; x < width; ++x) edge_cell(x, y);
-      continue;
-    }
-    const float* up = view.row(y - 1);
-    const float* mid = view.row(y);
-    const float* down = view.row(y + 1);
-    float* dst = out.row(y - out_row_begin);
-    edge_cell(0, y);
-    for (std::uint32_t x = 1; x + 1 < width; ++x) {
-      dst[x] = mid[x - 1] + mid[x + 1] + up[x] + down[x] - 4.0F * mid[x];
-    }
-    edge_cell(width - 1, y);
-  }
+  // Interior cells go through the dispatched row-segment sweep (AVX2 ->
+  // SSE2 -> scalar), which sums in the same left, right, up, down order as
+  // the clamped path on every ISA, so outputs are bit-identical.
+  simd::run_tile_blocked(view, grid_height, out_row_begin, out_row_end, out,
+                         edge_cell, simd::laplacian_row(simd::active_isa()));
 }
 
 }  // namespace das::kernels

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <array>
 
+#include "kernels/simd.hpp"
+
 namespace das::kernels {
 
 std::string MedianKernel::description() const {
@@ -30,7 +32,6 @@ void MedianKernel::run_tile(const grid::Grid<float>& buffer,
   check_tile_args(buffer, buffer_row0, grid_height, out_row_begin,
                   out_row_end, out);
   const TileView view(buffer, buffer_row0, grid_height);
-  const std::uint32_t width = buffer.width();
 
   const auto edge_cell = [&](std::uint32_t x, std::uint32_t y) {
     std::array<float, 9> window{};
@@ -48,30 +49,12 @@ void MedianKernel::run_tile(const grid::Grid<float>& buffer,
     out.at(x, y - out_row_begin) = window[static_cast<std::size_t>(mid)];
   };
 
-  // Interior cells always have the full 9-cell window; the sweep fills it
-  // in the same (dy, dx) order as the checked path, so nth_element sees the
-  // same array and outputs are bit-identical.
-  const std::uint32_t interior_lo = std::max(out_row_begin, 1U);
-  const std::uint32_t interior_hi = std::min(out_row_end, grid_height - 1);
-  for (std::uint32_t y = out_row_begin; y < out_row_end; ++y) {
-    if (y < interior_lo || y >= interior_hi || width <= 2) {
-      for (std::uint32_t x = 0; x < width; ++x) edge_cell(x, y);
-      continue;
-    }
-    const float* up = view.row(y - 1);
-    const float* mid_row = view.row(y);
-    const float* down = view.row(y + 1);
-    float* dst = out.row(y - out_row_begin);
-    edge_cell(0, y);
-    for (std::uint32_t x = 1; x + 1 < width; ++x) {
-      std::array<float, 9> window = {
-          up[x - 1],       up[x],   up[x + 1],  mid_row[x - 1], mid_row[x],
-          mid_row[x + 1],  down[x - 1], down[x], down[x + 1]};
-      std::nth_element(window.begin(), window.begin() + 4, window.end());
-      dst[x] = window[4];
-    }
-    edge_cell(width - 1, y);
-  }
+  // Interior cells always have the full 9-cell window. The dispatched sweep
+  // selects the median with a fixed min/max sorting network, which yields
+  // the same value as nth_element for any 9-element multiset, so outputs
+  // are bit-identical.
+  simd::run_tile_blocked(view, grid_height, out_row_begin, out_row_end, out,
+                         edge_cell, simd::median_row(simd::active_isa()));
 }
 
 }  // namespace das::kernels

@@ -1,0 +1,133 @@
+// Runtime ISA detection, override plumbing and the dispatch tables.
+#include "kernels/simd.hpp"
+
+#include <atomic>
+#include <stdexcept>
+#include <string>
+
+#include "kernels/simd_detail.hpp"
+
+namespace das::kernels::simd {
+
+namespace {
+
+#if defined(__x86_64__) || defined(__i386__)
+Isa probe_isa() {
+  if (__builtin_cpu_supports("avx2")) return Isa::kAvx2;
+  if (__builtin_cpu_supports("sse2")) return Isa::kSse2;
+  return Isa::kScalar;
+}
+#else
+Isa probe_isa() { return Isa::kScalar; }
+#endif
+
+// kScalar is a valid override, so the "no override" sentinel lives outside
+// the enum range.
+constexpr std::uint8_t kNoOverride = 0xFF;
+std::atomic<std::uint8_t> g_override{kNoOverride};
+std::atomic<std::uint32_t> g_block_cols{kDefaultBlockCols};
+
+}  // namespace
+
+const char* to_string(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar: return "scalar";
+    case Isa::kSse2: return "sse2";
+    case Isa::kAvx2: return "avx2";
+  }
+  return "?";
+}
+
+std::optional<Isa> isa_from_string(std::string_view name) {
+  if (name == "scalar") return Isa::kScalar;
+  if (name == "sse2") return Isa::kSse2;
+  if (name == "avx2") return Isa::kAvx2;
+  return std::nullopt;
+}
+
+Isa detected_isa() {
+  static const Isa detected = probe_isa();
+  return detected;
+}
+
+Isa active_isa() {
+  const std::uint8_t over = g_override.load(std::memory_order_relaxed);
+  if (over == kNoOverride) return detected_isa();
+  return static_cast<Isa>(over);
+}
+
+void set_isa_override(std::optional<Isa> isa) {
+  if (!isa) {
+    g_override.store(kNoOverride, std::memory_order_relaxed);
+    return;
+  }
+  if (*isa > detected_isa()) {
+    throw std::invalid_argument(
+        std::string("kernel ISA '") + to_string(*isa) +
+        "' not supported by this CPU (detected: " +
+        to_string(detected_isa()) + ")");
+  }
+  g_override.store(static_cast<std::uint8_t>(*isa),
+                   std::memory_order_relaxed);
+}
+
+std::optional<Isa> isa_override() {
+  const std::uint8_t over = g_override.load(std::memory_order_relaxed);
+  if (over == kNoOverride) return std::nullopt;
+  return static_cast<Isa>(over);
+}
+
+std::uint32_t block_cols() {
+  return g_block_cols.load(std::memory_order_relaxed);
+}
+
+void set_block_cols(std::uint32_t cols) {
+  g_block_cols.store(cols, std::memory_order_relaxed);
+}
+
+Stencil3RowFn laplacian_row(Isa isa) {
+  switch (isa) {
+    case Isa::kAvx2: return detail::laplacian_row_avx2;
+    case Isa::kSse2: return detail::laplacian_row_sse2;
+    case Isa::kScalar: break;
+  }
+  return detail::laplacian_row_scalar;
+}
+
+Stencil3RowFn gaussian_row(Isa isa) {
+  switch (isa) {
+    case Isa::kAvx2: return detail::gaussian_row_avx2;
+    case Isa::kSse2: return detail::gaussian_row_sse2;
+    case Isa::kScalar: break;
+  }
+  return detail::gaussian_row_scalar;
+}
+
+Stencil3RowFn median_row(Isa isa) {
+  switch (isa) {
+    case Isa::kAvx2: return detail::median_row_avx2;
+    case Isa::kSse2: return detail::median_row_sse2;
+    case Isa::kScalar: break;
+  }
+  return detail::median_row_scalar;
+}
+
+SlopeRowFn slope_row(Isa isa) {
+  switch (isa) {
+    case Isa::kAvx2: return detail::slope_row_avx2;
+    case Isa::kSse2: return detail::slope_row_sse2;
+    case Isa::kScalar: break;
+  }
+  return detail::slope_row_scalar;
+}
+
+StatsRowFn statistics_row(Isa isa) {
+  switch (isa) {
+    case Isa::kAvx2: return detail::statistics_row_avx2;
+    case Isa::kSse2: return detail::statistics_row_sse2;
+    case Isa::kScalar: break;
+  }
+  return detail::statistics_row_scalar;
+}
+
+}  // namespace das::kernels::simd

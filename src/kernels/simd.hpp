@@ -1,0 +1,135 @@
+// Vectorized kernel engine: runtime ISA dispatch + cache-blocked tiling.
+//
+// The five stencil kernels (laplacian, gaussian, slope, median, statistics)
+// formulate their hot loop as a *row-segment function*: compute output cells
+// x in [x0, x1) of one interior row, given raw pointers to the three input
+// rows. Per ISA (AVX2 -> SSE2 -> scalar) there is one such function per
+// kernel; the widest ISA the CPU supports is selected once at startup via
+// CPUID and can be narrowed with set_isa_override (the das_sim --kernel-isa
+// flag). Every vector lane evaluates the *same arithmetic expression in the
+// same operand order* as the scalar path for its own cell — lanes are
+// independent output cells, never partial sums — so SIMD, SSE2 and scalar
+// outputs are bit-identical, and with them every scheme CSV and trace.
+//
+// run_tile_blocked drives the sweep: boundary rows and the two edge columns
+// go through the kernel's clamped per-cell path; interior cells are walked
+// in column strips sized so three input row panels plus the output panel
+// stay L2-resident (a 256 KiB budget). Within a strip the y-loop advances
+// over all rows before the next strip starts, so each input panel is loaded
+// from memory once instead of three times on rasters whose rows outgrow the
+// cache. Cells are written exactly once whatever the strip width, so
+// blocked and unblocked sweeps are bit-identical too.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+#include "grid/grid.hpp"
+#include "kernels/kernel.hpp"
+
+namespace das::kernels::simd {
+
+/// Instruction sets the engine dispatches between, narrowest first.
+enum class Isa : std::uint8_t { kScalar = 0, kSse2 = 1, kAvx2 = 2 };
+
+[[nodiscard]] const char* to_string(Isa isa);
+/// Parse "scalar" / "sse2" / "avx2"; nullopt for anything else.
+[[nodiscard]] std::optional<Isa> isa_from_string(std::string_view name);
+
+/// Widest ISA the CPU supports (CPUID, probed once).
+[[nodiscard]] Isa detected_isa();
+
+/// ISA the kernels actually run: min(detected, override).
+[[nodiscard]] Isa active_isa();
+
+/// Pin the engine to at most `isa` (nullopt restores auto-detection).
+/// Requesting an ISA the CPU lacks throws std::invalid_argument.
+void set_isa_override(std::optional<Isa> isa);
+[[nodiscard]] std::optional<Isa> isa_override();
+
+// ---------------------------------------------------------------------------
+// Row-segment functions. `up` / `mid` / `down` point at logical rows
+// y-1 / y / y+1 (never clamped: callers only invoke these on interior rows),
+// `dst` at the output row; all four may be offset into padded-stride
+// storage. [x0, x1) is an interior column range (x0 >= 1, x1 <= width - 1).
+
+using Stencil3RowFn = void (*)(const float* up, const float* mid,
+                               const float* down, float* dst,
+                               std::uint32_t x0, std::uint32_t x1);
+
+/// Slope needs the Horn denominator 8 * cell_size (double, like the scalar
+/// path's internal arithmetic).
+using SlopeRowFn = void (*)(const float* up, const float* mid,
+                            const float* down, float* dst, std::uint32_t x0,
+                            std::uint32_t x1, double denom);
+
+/// Statistics row scan: folds row[0, n) into the running reduction state.
+/// min/max fold vectorizes; sum / sum_squares keep the scalar path's exact
+/// left-to-right double accumulation order (reordering would change bits).
+using StatsRowFn = void (*)(const float* row, std::uint32_t n,
+                            std::uint64_t& count, float& min, float& max,
+                            double& sum, double& sum_squares);
+
+[[nodiscard]] Stencil3RowFn laplacian_row(Isa isa);
+[[nodiscard]] Stencil3RowFn gaussian_row(Isa isa);
+[[nodiscard]] Stencil3RowFn median_row(Isa isa);
+[[nodiscard]] SlopeRowFn slope_row(Isa isa);
+[[nodiscard]] StatsRowFn statistics_row(Isa isa);
+
+// ---------------------------------------------------------------------------
+// Cache-blocked tile driver.
+
+/// Interior column-strip width (elements). Default sizes three input row
+/// panels + one output panel to a 256 KiB L2 budget; 0 disables blocking
+/// (whole-row sweeps). Overridable for benchmarks and tests.
+[[nodiscard]] std::uint32_t block_cols();
+void set_block_cols(std::uint32_t cols);
+inline constexpr std::uint32_t kDefaultBlockCols = 16384;
+
+/// Shared run_tile driver for the 3x3/5-point stencils.
+///
+/// `edge_cell(x, y)` is the kernel's clamped per-cell path (identical to the
+/// seed implementation); `row_segment(up, mid, down, dst, x0, x1)` its
+/// dispatched interior row function. Boundary rows, narrow grids
+/// (width <= 2) and the first/last column take edge_cell; every interior
+/// cell is covered exactly once by row_segment in column strips of
+/// block_cols() width. Bit-identical to the seed's single sweep for any
+/// strip width because cells are computed independently.
+template <typename EdgeFn, typename RowFn>
+void run_tile_blocked(const TileView& view, std::uint32_t grid_height,
+                      std::uint32_t out_row_begin, std::uint32_t out_row_end,
+                      grid::Grid<float>& out, EdgeFn&& edge_cell,
+                      RowFn&& row_segment) {
+  const std::uint32_t width = view.width();
+  const std::uint32_t interior_lo = std::max(out_row_begin, 1U);
+  const std::uint32_t interior_hi = std::min(out_row_end, grid_height - 1);
+
+  const auto edge_row = [&](std::uint32_t y) {
+    for (std::uint32_t x = 0; x < width; ++x) edge_cell(x, y);
+  };
+  if (width <= 2 || interior_lo >= interior_hi) {
+    for (std::uint32_t y = out_row_begin; y < out_row_end; ++y) edge_row(y);
+    return;
+  }
+  for (std::uint32_t y = out_row_begin; y < interior_lo; ++y) edge_row(y);
+  for (std::uint32_t y = interior_hi; y < out_row_end; ++y) edge_row(y);
+
+  for (std::uint32_t y = interior_lo; y < interior_hi; ++y) {
+    edge_cell(0, y);
+    edge_cell(width - 1, y);
+  }
+
+  const std::uint32_t cols = block_cols();
+  const std::uint32_t strip = cols == 0 ? width - 2 : cols;
+  for (std::uint32_t x0 = 1; x0 < width - 1; x0 += strip) {
+    const std::uint32_t x1 = std::min(x0 + strip, width - 1);
+    for (std::uint32_t y = interior_lo; y < interior_hi; ++y) {
+      row_segment(view.row(y - 1), view.row(y), view.row(y + 1),
+                  out.row(y - out_row_begin), x0, x1);
+    }
+  }
+}
+
+}  // namespace das::kernels::simd

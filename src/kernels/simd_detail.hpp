@@ -1,0 +1,52 @@
+// Internal per-ISA row-segment implementations behind the simd.hpp
+// dispatcher. Each symbol exists on every platform: on targets without the
+// instruction set (or without x86 at all) the sse2/avx2 entry points
+// forward to the scalar body, and runtime detection never selects them
+// anyway. Keep this header free of intrinsics so every TU can include it.
+#pragma once
+
+#include <cstdint>
+
+namespace das::kernels::simd::detail {
+
+void laplacian_row_scalar(const float* up, const float* mid,
+                          const float* down, float* dst, std::uint32_t x0,
+                          std::uint32_t x1);
+void gaussian_row_scalar(const float* up, const float* mid, const float* down,
+                         float* dst, std::uint32_t x0, std::uint32_t x1);
+void slope_row_scalar(const float* up, const float* mid, const float* down,
+                      float* dst, std::uint32_t x0, std::uint32_t x1,
+                      double denom);
+void median_row_scalar(const float* up, const float* mid, const float* down,
+                       float* dst, std::uint32_t x0, std::uint32_t x1);
+void statistics_row_scalar(const float* row, std::uint32_t n,
+                           std::uint64_t& count, float& min, float& max,
+                           double& sum, double& sum_squares);
+
+void laplacian_row_sse2(const float* up, const float* mid, const float* down,
+                        float* dst, std::uint32_t x0, std::uint32_t x1);
+void gaussian_row_sse2(const float* up, const float* mid, const float* down,
+                       float* dst, std::uint32_t x0, std::uint32_t x1);
+void slope_row_sse2(const float* up, const float* mid, const float* down,
+                    float* dst, std::uint32_t x0, std::uint32_t x1,
+                    double denom);
+void median_row_sse2(const float* up, const float* mid, const float* down,
+                     float* dst, std::uint32_t x0, std::uint32_t x1);
+void statistics_row_sse2(const float* row, std::uint32_t n,
+                         std::uint64_t& count, float& min, float& max,
+                         double& sum, double& sum_squares);
+
+void laplacian_row_avx2(const float* up, const float* mid, const float* down,
+                        float* dst, std::uint32_t x0, std::uint32_t x1);
+void gaussian_row_avx2(const float* up, const float* mid, const float* down,
+                       float* dst, std::uint32_t x0, std::uint32_t x1);
+void slope_row_avx2(const float* up, const float* mid, const float* down,
+                    float* dst, std::uint32_t x0, std::uint32_t x1,
+                    double denom);
+void median_row_avx2(const float* up, const float* mid, const float* down,
+                     float* dst, std::uint32_t x0, std::uint32_t x1);
+void statistics_row_avx2(const float* row, std::uint32_t n,
+                         std::uint64_t& count, float& min, float& max,
+                         double& sum, double& sum_squares);
+
+}  // namespace das::kernels::simd::detail

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "kernels/simd.hpp"
+
 namespace das::kernels {
 
 std::string SlopeKernel::description() const {
@@ -30,7 +32,6 @@ void SlopeKernel::run_tile(const grid::Grid<float>& buffer,
   check_tile_args(buffer, buffer_row0, grid_height, out_row_begin,
                   out_row_end, out);
   const TileView view(buffer, buffer_row0, grid_height);
-  const std::uint32_t width = buffer.width();
 
   const auto edge_cell = [&](std::uint32_t x, std::uint32_t y) {
     const auto ix = static_cast<std::int64_t>(x);
@@ -55,37 +56,17 @@ void SlopeKernel::run_tile(const grid::Grid<float>& buffer,
   };
 
   // Interior sweep: same reads, same expressions, no clamping — outputs
-  // are bit-identical to the clamped path.
-  const std::uint32_t interior_lo = std::max(out_row_begin, 1U);
-  const std::uint32_t interior_hi = std::min(out_row_end, grid_height - 1);
-  for (std::uint32_t y = out_row_begin; y < out_row_end; ++y) {
-    if (y < interior_lo || y >= interior_hi || width <= 2) {
-      for (std::uint32_t x = 0; x < width; ++x) edge_cell(x, y);
-      continue;
-    }
-    const float* up = view.row(y - 1);
-    const float* mid = view.row(y);
-    const float* down = view.row(y + 1);
-    float* dst = out.row(y - out_row_begin);
-    edge_cell(0, y);
-    for (std::uint32_t x = 1; x + 1 < width; ++x) {
-      const double a = up[x - 1];
-      const double b = up[x];
-      const double c = up[x + 1];
-      const double d = mid[x - 1];
-      const double f = mid[x + 1];
-      const double g = down[x - 1];
-      const double h = down[x];
-      const double i = down[x + 1];
-
-      const double dzdx = ((c + 2 * f + i) - (a + 2 * d + g)) /
-                          (8.0 * cell_size_);
-      const double dzdy = ((g + 2 * h + i) - (a + 2 * b + c)) /
-                          (8.0 * cell_size_);
-      dst[x] = static_cast<float>(std::sqrt(dzdx * dzdx + dzdy * dzdy));
-    }
-    edge_cell(width - 1, y);
-  }
+  // are bit-identical to the clamped path on every ISA (the dispatched row
+  // functions evaluate Horn's expression per lane in scalar operand order,
+  // with correctly-rounded divide and sqrt).
+  const simd::SlopeRowFn row_fn = simd::slope_row(simd::active_isa());
+  const double denom = 8.0 * cell_size_;
+  simd::run_tile_blocked(
+      view, grid_height, out_row_begin, out_row_end, out, edge_cell,
+      [row_fn, denom](const float* up, const float* mid, const float* down,
+                      float* dst, std::uint32_t x0, std::uint32_t x1) {
+        row_fn(up, mid, down, dst, x0, x1, denom);
+      });
 }
 
 }  // namespace das::kernels

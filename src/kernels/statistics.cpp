@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "kernels/simd.hpp"
+
 namespace das::kernels {
 
 double RasterSummary::mean() const {
@@ -35,16 +37,13 @@ RasterSummary RasterSummary::of_rows(const grid::Grid<float>& g,
                                      std::uint32_t row_end) {
   DAS_REQUIRE(row_begin <= row_end && row_end <= g.height());
   RasterSummary s;
+  // Dispatched per-row reduction. min/max vectorize (order-free without
+  // NaN); sum and sum_squares stay sequential scalar double adds on every
+  // ISA so the summary is bit-identical to the naive loop.
+  const simd::StatsRowFn row_fn = simd::statistics_row(simd::active_isa());
   for (std::uint32_t y = row_begin; y < row_end; ++y) {
-    const float* row = g.row(y);
-    for (std::uint32_t x = 0; x < g.width(); ++x) {
-      const float v = row[x];
-      ++s.count;
-      s.min = std::min(s.min, v);
-      s.max = std::max(s.max, v);
-      s.sum += v;
-      s.sum_squares += static_cast<double>(v) * v;
-    }
+    row_fn(g.row(y), g.width(), s.count, s.min, s.max, s.sum,
+           s.sum_squares);
   }
   return s;
 }

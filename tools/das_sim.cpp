@@ -21,6 +21,19 @@
 //           [--metrics=FILE] [--metrics-prom=FILE] [--metrics-period-ms=50]
 //           [--spans=off] [--flight-record=FILE] [--diag=FILE]
 //           [--slo-target-ms=0] [--slo-budget=0.01] [--slo-window-s=1]
+//           [--kernel-isa=auto|scalar|sse2|avx2] [--calibrate-kernels]
+//           [--kernel-cost=NAME:FACTOR,...]
+//
+// Vectorized kernel engine (src/kernels/simd.hpp): --kernel-isa pins the
+// data-mode kernels to a narrower instruction set than the CPU supports
+// (auto = widest detected; requesting an unsupported ISA is an error). Every
+// ISA produces bit-identical outputs, so the flag changes wall-clock time
+// only and is excluded from the session id. --calibrate-kernels measures the
+// kernels' real cells/sec on this machine under the active ISA, prints the
+// recommended --compute-mibps and --kernel-cost values, and exits.
+// --kernel-cost overrides the per-kernel compute cost factors the simulated
+// compute engines charge (unlisted kernels keep their built-in guess); it is
+// semantic and joins the session id only when given.
 //
 // --jobs=N runs the sweep's independent (kernel, scheme, trial) cells on N
 // worker threads; --jobs=0 means one worker per hardware thread
@@ -71,7 +84,9 @@
 
 #include "core/audit.hpp"
 #include "core/scheme.hpp"
+#include "kernels/calibrate.hpp"
 #include "kernels/registry.hpp"
+#include "kernels/simd.hpp"
 #include "runner/args.hpp"
 #include "runner/paper.hpp"
 #include "runner/sweep.hpp"
@@ -101,6 +116,42 @@ std::vector<std::string> parse_kernels(const std::string& arg) {
   return {arg};
 }
 
+/// Parse --kernel-cost="name:factor,name:factor,..." into the cost model.
+das::core::ComputeCostModel parse_kernel_cost(const std::string& arg) {
+  das::core::ComputeCostModel model;
+  if (arg.empty()) return model;
+  const auto registry = das::kernels::standard_registry();
+  std::size_t pos = 0;
+  while (pos <= arg.size()) {
+    const std::size_t comma = std::min(arg.find(',', pos), arg.size());
+    const std::string entry = arg.substr(pos, comma - pos);
+    const std::size_t colon = entry.find(':');
+    if (colon == std::string::npos || colon == 0 ||
+        colon + 1 >= entry.size()) {
+      throw std::invalid_argument(
+          "bad --kernel-cost entry (want name:factor): " + entry);
+    }
+    const std::string name = entry.substr(0, colon);
+    if (!registry.contains(name)) {
+      throw std::invalid_argument("unknown kernel in --kernel-cost: " + name);
+    }
+    std::size_t used = 0;
+    double factor = 0.0;
+    try {
+      factor = std::stod(entry.substr(colon + 1), &used);
+    } catch (const std::exception&) {
+      used = 0;  // non-numeric: fall through to the contextual error below
+    }
+    if (used != entry.size() - colon - 1 || !(factor > 0.0)) {
+      throw std::invalid_argument("bad --kernel-cost factor for " + name +
+                                  ": " + entry.substr(colon + 1));
+    }
+    model.kernel_cost_factor[name] = factor;
+    pos = comma + 1;
+  }
+  return model;
+}
+
 /// Canonical configuration string the session id is hashed from: every flag
 /// that shapes simulated behaviour, in fixed order, as given on the command
 /// line (absent flags contribute their empty default). Worker count, output
@@ -127,6 +178,14 @@ std::string canonical_config(const das::runner::Args& args) {
     out += name;
     out += '=';
     out += args.get(name, "");
+    out += ';';
+  }
+  // Appended only when given, so every pre-existing configuration keeps the
+  // session id it had before the flag existed. (--kernel-isa is deliberately
+  // absent: all ISAs produce bit-identical outputs.)
+  if (const std::string kc = args.get("kernel-cost", ""); !kc.empty()) {
+    out += "kernel-cost=";
+    out += kc;
     out += ';';
   }
   return out;
@@ -161,6 +220,23 @@ int main(int argc, char** argv) {
 
   try {
     const das::runner::Args args(argc, argv);
+
+    // ISA pinning first: it also governs --calibrate-kernels below.
+    if (const std::string isa = args.get("kernel-isa", "");
+        !isa.empty() && isa != "auto") {
+      const auto parsed = das::kernels::simd::isa_from_string(isa);
+      if (!parsed) {
+        throw std::invalid_argument("unknown --kernel-isa: " + isa +
+                                    " (want auto, scalar, sse2 or avx2)");
+      }
+      das::kernels::simd::set_isa_override(*parsed);
+    }
+    if (args.get_bool("calibrate-kernels", false)) {
+      const auto report = das::kernels::calibrate_kernels();
+      std::fputs(report.format().c_str(), stdout);
+      return 0;
+    }
+
     const auto schemes = parse_schemes(args.get("scheme", "all"));
     const auto kernels = parse_kernels(args.get("kernel", "flow-routing"));
     const auto gib = static_cast<std::uint64_t>(args.get_int("gib", 24));
@@ -225,6 +301,9 @@ int main(int argc, char** argv) {
     base.migration.divergence_threshold =
         args.get_double("migrate-threshold",
                         base.migration.divergence_threshold);
+    // Calibrated per-kernel compute cost factors (--calibrate-kernels
+    // prints a ready-made value). Empty = kernel defaults, bit for bit.
+    base.cluster.compute_cost = parse_kernel_cost(args.get("kernel-cost", ""));
     const std::string trace_path = args.get("trace", "");
     const std::string audit_path = args.get("audit", "");
     std::optional<das::sim::LogLevel> log_level;
@@ -457,7 +536,9 @@ int main(int argc, char** argv) {
         }
       }
     }
-    if (!csv) std::printf("\n%s", das::core::format_report_table(table).c_str());
+    if (!csv) {
+      std::printf("\n%s", das::core::format_report_table(table).c_str());
+    }
 
     if (!trace_path.empty()) {
       // Merging in cell order reproduces the buffer one shared tracer would
