@@ -1,0 +1,131 @@
+// Sparse access patterns and list-I/O pricing.
+//
+// The list-I/O request plane (pfs/region.hpp, DESIGN §15) lets a client
+// fetch exactly the bytes a sparse analysis touches. This module maps the
+// CLI-visible access patterns (every-k-th-row subsampling, column scans,
+// region-list trace files) onto RegionLists that include the stencil halo
+// each sampled row needs, and teaches the decision layer to price a list
+// request — runs per request, coalescing factor, header overhead — so the
+// TS-vs-DAS choice responds to access sparsity: a dense pattern still
+// favors moving the computation, a sparse one favors moving only the runs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/decision.hpp"
+#include "pfs/file.hpp"
+#include "pfs/region.hpp"
+
+namespace das::core {
+
+/// Which sparse pattern a run reads (kNone = the classic full sweep).
+struct AccessSpec {
+  enum class Mode { kNone, kStrided, kColumn, kTrace };
+
+  Mode mode = Mode::kNone;
+  /// kStrided: sample every `stride`-th row (k >= 1; 1 = every row).
+  std::uint32_t stride = 1;
+  /// kTrace: file of "offset length" lines ('#' comments allowed).
+  std::string trace_path;
+
+  [[nodiscard]] bool active() const { return mode != Mode::kNone; }
+
+  /// Parse "strided:K", "column", or "trace:FILE". Throws
+  /// std::invalid_argument (quoting the input) on anything else.
+  [[nodiscard]] static AccessSpec parse(const std::string& text);
+
+  /// Canonical rendering ("strided:8", "column", "trace:FILE").
+  [[nodiscard]] std::string label() const;
+};
+
+/// Rows of halo the widest dependence offset reaches (ceil(max|o|/width));
+/// 0 for pointwise kernels or non-raster files.
+[[nodiscard]] std::uint32_t halo_rows_for(
+    const pfs::FileMeta& meta, const std::vector<std::int64_t>& offsets);
+
+/// Build the region list `spec` touches over `meta`, including `halo_rows`
+/// of stencil halo around every sampled row (so a fetched run is exactly
+/// what the kernel needs to produce its sampled outputs):
+///  * strided:k — rows [i-halo, i+halo] for each sampled row i; a regular
+///    pattern uses the strided wire encoding, overlapping samples merge
+///    into explicit runs (k <= 2*halo degenerates to the dense sweep);
+///  * column — the middle column +- halo columns, one short run per row
+///    (strided encoding, header-dominated by design);
+///  * trace — the file's runs verbatim (halo is the caller's business).
+[[nodiscard]] pfs::RegionList build_access_regions(const pfs::FileMeta& meta,
+                                                   const AccessSpec& spec,
+                                                   std::uint32_t halo_rows);
+
+/// What one list request sweep costs, before any simulation: the inputs of
+/// the pricing model and of the bytes-moved metric (EXPERIMENTS.md).
+struct ListStats {
+  std::uint64_t runs = 0;
+  std::uint64_t payload_bytes = 0;
+  /// Modeled request-message bytes, summed over the per-server requests.
+  std::uint64_t request_header_bytes = 0;
+  /// Per-run reply framing bytes (kListReplyRunBytes each).
+  std::uint64_t reply_framing_bytes = 0;
+  /// Disk extents after server-side coalescing (<= runs).
+  std::uint64_t coalesced_extents = 0;
+  std::uint64_t touched_strips = 0;
+
+  /// Every byte the list sweep puts on the client-server wire.
+  [[nodiscard]] std::uint64_t wire_bytes() const {
+    return payload_bytes + request_header_bytes + reply_framing_bytes;
+  }
+
+  /// Runs per coalesced extent (1.0 when nothing coalesces).
+  [[nodiscard]] double coalescing_factor() const {
+    return coalesced_extents > 0 ? static_cast<double>(runs) /
+                                       static_cast<double>(coalesced_extents)
+                                 : 1.0;
+  }
+};
+
+/// Predict the stats of issuing `regions` against `meta` striped over
+/// `num_servers` round-robin (mirrors the client's per-server batching and
+/// the server's per-strip coalescer exactly).
+[[nodiscard]] ListStats list_stats(const pfs::FileMeta& meta,
+                                   const pfs::RegionList& regions,
+                                   std::uint32_t num_servers);
+
+/// Kernel-output bytes the access's consumer actually keeps — the offload
+/// path's return traffic. Smaller than the list payload by the halo (inputs
+/// fetched only to feed the stencil produce no kept output): strided:k
+/// keeps one output row per sample, column keeps one output column, trace
+/// keeps outputs for the traced fraction of the file.
+/// `full_output_bytes` is kernel->output_bytes over the whole sweep.
+[[nodiscard]] std::uint64_t access_output_bytes(
+    const pfs::FileMeta& meta, const AccessSpec& spec,
+    std::uint32_t halo_rows, std::uint64_t full_output_bytes);
+
+/// The list-aware scheme decision and the rates behind it.
+struct ListDecision {
+  OffloadAction action = OffloadAction::kServeNormal;
+  /// Serve as list I/O: runs to the clients, kernel on the clients.
+  double normal_seconds = 0.0;
+  /// Offload: full sweep on the servers (active storage computes every
+  /// output, so it cannot exploit output sparsity), sampled rows back.
+  double active_seconds = 0.0;
+  std::string rationale;
+};
+
+/// Price list-served normal I/O against a full offloaded sweep. The normal
+/// path moves stats.wire_bytes() through min(servers, clients) NICs, reads
+/// the payload off the server disks, and computes over the payload on the
+/// clients; the offload path streams the whole file off the disks, computes
+/// it on the servers (plus halo exchange from the bandwidth model), and
+/// ships only `returned_bytes` — the sampled outputs, access_output_bytes —
+/// back. Sparser access shrinks the normal path's terms while the offload
+/// path stays near-constant — the flip the acceptance gate checks.
+/// `output_bytes` is the full-sweep output (halo-forecast input).
+[[nodiscard]] ListDecision decide_list_access(
+    const pfs::FileMeta& meta, const std::vector<std::int64_t>& offsets,
+    const ListStats& stats, const ClusterConfig& cluster,
+    const DistributionConfig& distribution, double kernel_cost_factor,
+    std::uint64_t output_bytes, std::uint64_t returned_bytes);
+
+}  // namespace das::core

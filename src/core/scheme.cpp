@@ -345,6 +345,25 @@ void verify_output(RunReport& report, Cluster& cluster, pfs::FileId output,
   report.output_verified = produced == reference;
 }
 
+/// Expand a region list to the whole strips it touches (adjacent strips
+/// merge into one run) — the pre-list-I/O fetch shape.
+pfs::RegionList expand_to_strips(const pfs::FileMeta& meta,
+                                 const pfs::RegionList& regions) {
+  std::vector<pfs::Run> runs;
+  std::uint64_t prev_strip = UINT64_MAX;
+  for (const pfs::StripRun& r : split_by_strip(meta, regions)) {
+    if (r.strip == prev_strip) continue;
+    prev_strip = r.strip;
+    const pfs::StripRef ref = meta.strip(r.strip);
+    if (!runs.empty() && runs.back().offset + runs.back().length == ref.offset) {
+      runs.back().length += ref.length;
+    } else {
+      runs.push_back(pfs::Run{ref.offset, ref.length});
+    }
+  }
+  return pfs::RegionList::from_runs(std::move(runs));
+}
+
 }  // namespace
 
 RunReport run_scheme(const SchemeRunOptions& options) {
@@ -718,6 +737,162 @@ std::vector<RunReport> run_pipeline(
     for (RunReport& r : reports) r.session_id = options.context->session;
   }
   return reports;
+}
+
+RunReport run_list_scheme(const ListRunOptions& options) {
+  DAS_REQUIRE(options.access.active());
+  const kernels::KernelRegistry registry = kernels::standard_registry();
+  const kernels::KernelPtr kernel =
+      registry.create(options.workload.kernel_name);
+  const WorkloadSpec& workload = options.workload;
+
+  pfs::FileMeta meta = workload.make_meta("input");
+  const auto offsets = kernel->features().resolve(meta.raster_width);
+  const pfs::RegionList list_regions = build_access_regions(
+      meta, options.access, halo_rows_for(meta, offsets));
+
+  // Price the list access itself (never the whole-strip expansion): this is
+  // the decision that must flip TS <-> DAS as sparsity varies.
+  const ListStats stats =
+      list_stats(meta, list_regions, options.cluster.storage_nodes);
+  const double cost_factor = options.cluster.compute_cost.factor_for(
+      kernel->name(), kernel->cost_factor());
+  const std::uint64_t full_output = kernel->output_bytes(meta.size_bytes);
+  const ListDecision decision = decide_list_access(
+      meta, offsets, stats, options.cluster, options.distribution,
+      cost_factor, full_output,
+      access_output_bytes(meta, options.access,
+                          halo_rows_for(meta, offsets), full_output));
+
+  if (options.scheme != Scheme::kTS) {
+    // Offloaded service: active storage runs the full sweep the classic
+    // runner already models; only the decision note changes.
+    SchemeRunOptions classic;
+    classic.scheme = options.scheme;
+    classic.workload = options.workload;
+    classic.cluster = options.cluster;
+    classic.distribution = options.distribution;
+    classic.context = options.context;
+    RunReport report = run_scheme(classic);
+    report.decision_note = decision.rationale;
+    return report;
+  }
+
+  Cluster cluster(options.cluster, options.context);
+  const pfs::RegionList regions =
+      options.whole_strips ? expand_to_strips(meta, list_regions)
+                           : list_regions;
+
+  std::optional<std::vector<std::byte>> data;
+  if (workload.with_data) {
+    data = grid::to_bytes(make_input(workload, *kernel));
+  }
+  const pfs::FileId input = cluster.pfs().create_file(
+      meta,
+      std::make_unique<pfs::RoundRobinLayout>(options.cluster.storage_nodes),
+      data ? &*data : nullptr);
+
+  RunReport report;
+  report.scheme = to_string(options.scheme);
+  report.kernel = kernel->name();
+  report.data_bytes = workload.data_bytes;
+  report.storage_nodes = options.cluster.storage_nodes;
+  report.compute_nodes = options.cluster.compute_nodes;
+  report.data_mode = workload.with_data;
+  report.decision_note = decision.rationale;
+
+  const TrafficSnapshot before = TrafficSnapshot::take(cluster.network());
+
+  telemetry::Plane* plane =
+      options.context != nullptr ? options.context->telemetry : nullptr;
+  if (plane != nullptr) {
+    cluster.network().enroll(plane->registry());
+    for (pfs::ServerIndex s = 0; s < cluster.pfs().num_servers(); ++s) {
+      cluster.pfs().server(s).enroll(plane->registry());
+    }
+    for (std::uint32_t c = 0; c < options.cluster.compute_nodes; ++c) {
+      cluster.client(c).enroll(plane->registry());
+    }
+    plane->start(cluster.simulator());
+  }
+
+  // Contiguous run partition: client c owns runs [c*R/C, (c+1)*R/C), so
+  // each client issues exactly one read_regions and the per-server batches
+  // stay large (strided patterns land on few clients per server).
+  struct ClientPart {
+    pfs::RegionList part;
+  };
+  const std::uint32_t clients = options.cluster.compute_nodes;
+  const std::size_t num_runs = regions.runs().size();
+  std::vector<ClientPart> parts(clients);
+  std::uint32_t active = 0;
+  for (std::uint32_t c = 0; c < clients; ++c) {
+    const std::size_t lo = c * num_runs / clients;
+    const std::size_t hi = (c + 1) * num_runs / clients;
+    if (hi > lo) {
+      parts[c].part = regions.subset(lo, hi);
+      ++active;
+    }
+  }
+  DAS_REQUIRE(active > 0 && "sparse access selected no runs");
+
+  sim::SimTime finish = -1;
+  std::uint32_t remaining = active;
+  for (std::uint32_t c = 0; c < clients; ++c) {
+    if (parts[c].part.empty()) continue;
+    cluster.simulator().schedule_at(
+        options.cluster.job_startup,
+        [&cluster, &parts, &finish, &remaining, c, cost_factor, input]() {
+          cluster.client(c).read_regions(
+              input, parts[c].part,
+              [&cluster, &parts, &finish, &remaining, c, cost_factor]() {
+                // The client computes over the rows it fetched (sampled
+                // rows + halo); the sampled outputs are kept client-side,
+                // so nothing is written back.
+                sim::Simulator& sim = cluster.simulator();
+                const sim::SimTime done =
+                    cluster.engine(cluster.compute_node(c))
+                        .execute(sim.now(), parts[c].part.total_bytes(),
+                                 cost_factor);
+                sim.schedule_at(
+                    done,
+                    [&cluster, &finish, &remaining]() {
+                      DAS_REQUIRE(remaining > 0);
+                      if (--remaining == 0) {
+                        finish = cluster.simulator().now();
+                      }
+                    },
+                    "list.compute");
+              });
+        },
+        "job.start");
+  }
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  cluster.simulator().run();
+  const auto wall_end = std::chrono::steady_clock::now();
+  DAS_REQUIRE(finish >= 0 && "list run did not complete");
+  if (plane != nullptr) plane->finish(cluster.simulator().now());
+
+  report.exec_seconds = sim::to_seconds(finish);
+  report.wall_seconds =
+      std::chrono::duration<double>(wall_end - wall_start).count();
+  report.sim_events =
+      cluster.simulator().events_delivered() -
+      (plane != nullptr ? plane->sampler_ticks() : 0);
+  if (options.context != nullptr) report.session_id = options.context->session;
+  if (plane != nullptr) {
+    report.spans_finished = plane->spans().spans_finished();
+    for (std::size_t h = 0; h < telemetry::kNumHops; ++h) {
+      report.span_hop_seconds[h] = sim::to_seconds(
+          plane->spans().hop_total(static_cast<telemetry::Hop>(h)));
+    }
+  }
+  fill_traffic(report, cluster.network(), before);
+  fill_utilization(report, cluster, finish);
+  fill_cache_stats(report, cluster);
+  fill_latency_breakdown(report, cluster);
+  return report;
 }
 
 }  // namespace das::core

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "core/config.hpp"
+#include "core/list_access.hpp"
 #include "core/metrics.hpp"
 #include "core/migration_planner.hpp"
 #include "core/workload.hpp"
@@ -53,6 +54,30 @@ struct SchemeRunOptions {
 
 /// Run one scheme on one workload and report the result.
 [[nodiscard]] RunReport run_scheme(const SchemeRunOptions& options);
+
+/// One sparse-access run through the list-I/O request plane.
+struct ListRunOptions {
+  /// kTS serves the access as list I/O: each client issues one
+  /// read_regions over its contiguous share of the runs and computes over
+  /// the fetched rows. Any other scheme delegates to run_scheme (active
+  /// storage computes every output — it cannot subset the sweep), with the
+  /// list-aware pricing recorded in the decision note either way.
+  Scheme scheme = Scheme::kTS;
+  WorkloadSpec workload;
+  AccessSpec access;
+  ClusterConfig cluster;
+  DistributionConfig distribution;
+  /// Expand every run to its enclosing whole strips before issuing — the
+  /// pre-list-I/O behavior, kept as the A/B baseline bench_listio
+  /// measures the bytes-moved reduction against.
+  bool whole_strips = false;
+  sim::RunContext* context = nullptr;
+};
+
+/// Run one sparse access (see ListRunOptions). The report's
+/// client_server_bytes is the bytes-moved metric of EXPERIMENTS.md: runs +
+/// list headers only, never the enclosing strips (unless whole_strips).
+[[nodiscard]] RunReport run_list_scheme(const ListRunOptions& options);
 
 /// Run a chain of kernels (e.g. flow-routing then flow-accumulation), each
 /// consuming the previous operator's output, within ONE simulation —

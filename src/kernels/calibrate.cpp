@@ -15,7 +15,7 @@ namespace {
 
 constexpr const char* kCalibratedKernels[] = {
     "laplacian-4", "gaussian-2d", "surface-slope", "median-3x3",
-    "raster-statistics"};
+    "flow-routing", "raster-statistics"};
 
 /// Deterministic synthetic raster; strictly positive values so the
 /// reduction kernels never see -0.0 (min/max over mixed zero signs is the

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "kernels/simd.hpp"
+
 namespace das::kernels {
 namespace {
 
@@ -62,47 +64,19 @@ void FlowRoutingKernel::run_tile(const grid::Grid<float>& buffer,
   check_tile_args(buffer, buffer_row0, grid_height, out_row_begin,
                   out_row_end, out);
   const TileView view(buffer, buffer_row0, grid_height);
-  const std::uint32_t width = buffer.width();
 
-  // Interior cells have all 8 neighbours in the grid, so the sweep drops the
-  // in_grid test and unrolls the scan in the same E, SE, S, SW, W, NW, N, NE
-  // order with the same strict `<`, keeping tie-breaks (and outputs)
-  // identical to route_cell.
-  const std::uint32_t interior_lo = std::max(out_row_begin, 1U);
-  const std::uint32_t interior_hi = std::min(out_row_end, grid_height - 1);
-  for (std::uint32_t y = out_row_begin; y < out_row_end; ++y) {
-    if (y < interior_lo || y >= interior_hi || width <= 2) {
-      for (std::uint32_t x = 0; x < width; ++x) {
-        out.at(x, y - out_row_begin) = route_cell(view, x, y);
-      }
-      continue;
-    }
-    const float* up = view.row(y - 1);
-    const float* mid = view.row(y);
-    const float* down = view.row(y + 1);
-    float* dst = out.row(y - out_row_begin);
-    dst[0] = route_cell(view, 0, y);
-    for (std::uint32_t x = 1; x + 1 < width; ++x) {
-      float best = mid[x];
-      std::uint32_t code = 0;
-      const auto consider = [&](float v, std::uint32_t step_code) {
-        if (v < best) {
-          best = v;
-          code = step_code;
-        }
-      };
-      consider(mid[x + 1], 1);    // E
-      consider(down[x + 1], 2);   // SE
-      consider(down[x], 4);       // S
-      consider(down[x - 1], 8);   // SW
-      consider(mid[x - 1], 16);   // W
-      consider(up[x - 1], 32);    // NW
-      consider(up[x], 64);        // N
-      consider(up[x + 1], 128);   // NE
-      dst[x] = static_cast<float>(code);
-    }
-    dst[width - 1] = route_cell(view, width - 1, y);
-  }
+  const auto edge_cell = [&](std::uint32_t x, std::uint32_t y) {
+    out.at(x, y - out_row_begin) = route_cell(view, x, y);
+  };
+
+  // Interior cells have all 8 neighbours in the grid, so the dispatched
+  // row-segment sweep (AVX2 -> SSE2 -> scalar) drops the in_grid test and
+  // unrolls the scan in the same E, SE, S, SW, W, NW, N, NE order with the
+  // same strict `<` per lane, keeping tie-breaks (and outputs) identical to
+  // route_cell on every ISA.
+  simd::run_tile_blocked(view, grid_height, out_row_begin, out_row_end, out,
+                         edge_cell,
+                         simd::flow_routing_row(simd::active_isa()));
 }
 
 }  // namespace das::kernels

@@ -112,6 +112,15 @@ Stencil3RowFn median_row(Isa isa) {
   return detail::median_row_scalar;
 }
 
+Stencil3RowFn flow_routing_row(Isa isa) {
+  switch (isa) {
+    case Isa::kAvx2: return detail::flow_routing_row_avx2;
+    case Isa::kSse2: return detail::flow_routing_row_sse2;
+    case Isa::kScalar: break;
+  }
+  return detail::flow_routing_row_scalar;
+}
+
 SlopeRowFn slope_row(Isa isa) {
   switch (isa) {
     case Isa::kAvx2: return detail::slope_row_avx2;

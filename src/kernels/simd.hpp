@@ -75,6 +75,9 @@ using StatsRowFn = void (*)(const float* row, std::uint32_t n,
 [[nodiscard]] Stencil3RowFn laplacian_row(Isa isa);
 [[nodiscard]] Stencil3RowFn gaussian_row(Isa isa);
 [[nodiscard]] Stencil3RowFn median_row(Isa isa);
+/// D8 flow routing: 8-way strict-less argmax with first-wins tie-breaking
+/// (E, SE, S, SW, W, NW, N, NE scan order preserved lane-wise).
+[[nodiscard]] Stencil3RowFn flow_routing_row(Isa isa);
 [[nodiscard]] SlopeRowFn slope_row(Isa isa);
 [[nodiscard]] StatsRowFn statistics_row(Isa isa);
 

@@ -146,6 +146,37 @@ void median_row_avx2(const float* up, const float* mid, const float* down,
   median_row_scalar(up, mid, down, dst, x, x1);
 }
 
+void flow_routing_row_avx2(const float* up, const float* mid,
+                           const float* down, float* dst, std::uint32_t x0,
+                           std::uint32_t x1) {
+  std::uint32_t x = x0;
+  for (; x + 8 <= x1; x += 8) {
+    // 8-way argmax with strict `<` and first-wins ties: the compare mask is
+    // taken BEFORE the min update, so a later neighbour equal to the running
+    // best never steals the code — exactly the scalar consider() order.
+    // Codes stay in the float domain (0..128 are exactly representable) so
+    // the winner blends straight into the output store.
+    __m256 best = _mm256_loadu_ps(mid + x);
+    __m256 code = _mm256_setzero_ps();
+    const auto consider = [&](const float* taps, float step_code) {
+      const __m256 v = _mm256_loadu_ps(taps);
+      const __m256 lt = _mm256_cmp_ps(v, best, _CMP_LT_OQ);
+      best = _mm256_min_ps(v, best);  // v < best ? v : best — scalar update
+      code = _mm256_blendv_ps(code, _mm256_set1_ps(step_code), lt);
+    };
+    consider(mid + x + 1, 1.0F);    // E
+    consider(down + x + 1, 2.0F);   // SE
+    consider(down + x, 4.0F);       // S
+    consider(down + x - 1, 8.0F);   // SW
+    consider(mid + x - 1, 16.0F);   // W
+    consider(up + x - 1, 32.0F);    // NW
+    consider(up + x, 64.0F);        // N
+    consider(up + x + 1, 128.0F);   // NE
+    _mm256_storeu_ps(dst + x, code);
+  }
+  flow_routing_row_scalar(up, mid, down, dst, x, x1);
+}
+
 void statistics_row_avx2(const float* row, std::uint32_t n,
                          std::uint64_t& count, float& min, float& max,
                          double& sum, double& sum_squares) {
@@ -195,6 +226,11 @@ void slope_row_avx2(const float* up, const float* mid, const float* down,
 void median_row_avx2(const float* up, const float* mid, const float* down,
                      float* dst, std::uint32_t x0, std::uint32_t x1) {
   median_row_scalar(up, mid, down, dst, x0, x1);
+}
+void flow_routing_row_avx2(const float* up, const float* mid,
+                           const float* down, float* dst, std::uint32_t x0,
+                           std::uint32_t x1) {
+  flow_routing_row_scalar(up, mid, down, dst, x0, x1);
 }
 void statistics_row_avx2(const float* row, std::uint32_t n,
                          std::uint64_t& count, float& min, float& max,

@@ -19,6 +19,9 @@ void slope_row_scalar(const float* up, const float* mid, const float* down,
                       double denom);
 void median_row_scalar(const float* up, const float* mid, const float* down,
                        float* dst, std::uint32_t x0, std::uint32_t x1);
+void flow_routing_row_scalar(const float* up, const float* mid,
+                             const float* down, float* dst, std::uint32_t x0,
+                             std::uint32_t x1);
 void statistics_row_scalar(const float* row, std::uint32_t n,
                            std::uint64_t& count, float& min, float& max,
                            double& sum, double& sum_squares);
@@ -32,6 +35,9 @@ void slope_row_sse2(const float* up, const float* mid, const float* down,
                     double denom);
 void median_row_sse2(const float* up, const float* mid, const float* down,
                      float* dst, std::uint32_t x0, std::uint32_t x1);
+void flow_routing_row_sse2(const float* up, const float* mid,
+                           const float* down, float* dst, std::uint32_t x0,
+                           std::uint32_t x1);
 void statistics_row_sse2(const float* row, std::uint32_t n,
                          std::uint64_t& count, float& min, float& max,
                          double& sum, double& sum_squares);
@@ -45,6 +51,9 @@ void slope_row_avx2(const float* up, const float* mid, const float* down,
                     double denom);
 void median_row_avx2(const float* up, const float* mid, const float* down,
                      float* dst, std::uint32_t x0, std::uint32_t x1);
+void flow_routing_row_avx2(const float* up, const float* mid,
+                           const float* down, float* dst, std::uint32_t x0,
+                           std::uint32_t x1);
 void statistics_row_avx2(const float* row, std::uint32_t n,
                          std::uint64_t& count, float& min, float& max,
                          double& sum, double& sum_squares);

@@ -69,6 +69,30 @@ void median_row_scalar(const float* up, const float* mid, const float* down,
   }
 }
 
+void flow_routing_row_scalar(const float* up, const float* mid,
+                             const float* down, float* dst, std::uint32_t x0,
+                             std::uint32_t x1) {
+  for (std::uint32_t x = x0; x < x1; ++x) {
+    float best = mid[x];
+    std::uint32_t code = 0;
+    const auto consider = [&](float v, std::uint32_t step_code) {
+      if (v < best) {
+        best = v;
+        code = step_code;
+      }
+    };
+    consider(mid[x + 1], 1);    // E
+    consider(down[x + 1], 2);   // SE
+    consider(down[x], 4);       // S
+    consider(down[x - 1], 8);   // SW
+    consider(mid[x - 1], 16);   // W
+    consider(up[x - 1], 32);    // NW
+    consider(up[x], 64);        // N
+    consider(up[x + 1], 128);   // NE
+    dst[x] = static_cast<float>(code);
+  }
+}
+
 void statistics_row_scalar(const float* row, std::uint32_t n,
                            std::uint64_t& count, float& min, float& max,
                            double& sum, double& sum_squares) {

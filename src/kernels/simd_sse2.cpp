@@ -144,6 +144,38 @@ void median_row_sse2(const float* up, const float* mid, const float* down,
   median_row_scalar(up, mid, down, dst, x, x1);
 }
 
+void flow_routing_row_sse2(const float* up, const float* mid,
+                           const float* down, float* dst, std::uint32_t x0,
+                           std::uint32_t x1) {
+  std::uint32_t x = x0;
+  for (; x + 4 <= x1; x += 4) {
+    // 8-way argmax, strict `<` with first-wins ties: the compare mask is
+    // taken BEFORE the min update, so a neighbour equal to the running best
+    // never steals the code — exactly the scalar consider() order. Codes
+    // live as their float values (0..128 are exact), so the winning lane's
+    // code blends through the ps domain and stores directly.
+    __m128 best = _mm_loadu_ps(mid + x);
+    __m128 code = _mm_setzero_ps();
+    const auto consider = [&](const float* taps, float step_code) {
+      const __m128 v = _mm_loadu_ps(taps);
+      const __m128 lt = _mm_cmplt_ps(v, best);
+      best = _mm_min_ps(v, best);  // v < best ? v : best — scalar update
+      const __m128 c = _mm_set1_ps(step_code);
+      code = _mm_or_ps(_mm_and_ps(lt, c), _mm_andnot_ps(lt, code));
+    };
+    consider(mid + x + 1, 1.0F);    // E
+    consider(down + x + 1, 2.0F);   // SE
+    consider(down + x, 4.0F);       // S
+    consider(down + x - 1, 8.0F);   // SW
+    consider(mid + x - 1, 16.0F);   // W
+    consider(up + x - 1, 32.0F);    // NW
+    consider(up + x, 64.0F);        // N
+    consider(up + x + 1, 128.0F);   // NE
+    _mm_storeu_ps(dst + x, code);
+  }
+  flow_routing_row_scalar(up, mid, down, dst, x, x1);
+}
+
 void statistics_row_sse2(const float* row, std::uint32_t n,
                          std::uint64_t& count, float& min, float& max,
                          double& sum, double& sum_squares) {
@@ -196,6 +228,11 @@ void slope_row_sse2(const float* up, const float* mid, const float* down,
 void median_row_sse2(const float* up, const float* mid, const float* down,
                      float* dst, std::uint32_t x0, std::uint32_t x1) {
   median_row_scalar(up, mid, down, dst, x0, x1);
+}
+void flow_routing_row_sse2(const float* up, const float* mid,
+                           const float* down, float* dst, std::uint32_t x0,
+                           std::uint32_t x1) {
+  flow_routing_row_scalar(up, mid, down, dst, x0, x1);
 }
 void statistics_row_sse2(const float* row, std::uint32_t n,
                          std::uint64_t& count, float& min, float& max,

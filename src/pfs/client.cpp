@@ -100,6 +100,119 @@ void PfsClient::read_range(FileId file, std::uint64_t offset,
   }
 }
 
+PfsClient::ListOp* PfsClient::acquire_list_op() {
+  if (free_list_ops_.empty()) {
+    list_ops_.push_back(std::make_unique<ListOp>());
+    return list_ops_.back().get();
+  }
+  ListOp* op = free_list_ops_.back();
+  free_list_ops_.pop_back();
+  return op;
+}
+
+void PfsClient::release_list_op(ListOp* op) {
+  op->on_complete.reset();
+  op->on_run.reset();
+  op->outstanding = 0;
+  op->span = 0;
+  for (ListBatch& b : op->batches) {
+    b.runs.clear();  // keeps capacity for the next read_regions
+    b.payload = 0;
+  }
+  free_list_ops_.push_back(op);
+}
+
+void PfsClient::finish_list_op(ListOp* op) {
+  if (op->span != 0) {
+    if (telemetry::Plane* plane = sim_.context().telemetry) {
+      plane->spans().end(op->span, sim_.now(), node_);
+    }
+  }
+  RangeDoneFn done = std::move(op->on_complete);
+  release_list_op(op);
+  if (done) done();
+}
+
+void PfsClient::deliver_list_batch(ListOp* op, std::size_t b,
+                                   const StripBuffer& payload) {
+  if (!op->on_run) return;
+  std::uint64_t at = 0;
+  for (const StripRun& r : op->batches[b].runs) {
+    const Run run{r.strip * op->strip_size + r.offset_in_strip, r.length};
+    // Each delivered run is a view of the one packed reply payload — the
+    // gather never copies on the client side.
+    op->on_run(run, payload.empty() ? StripBuffer{}
+                                    : payload.view(at, r.length));
+    at += r.length;
+  }
+}
+
+void PfsClient::read_regions(FileId file, const RegionList& regions,
+                             RangeDoneFn on_complete, RegionRunFn on_run) {
+  const FileMeta& meta = pfs_.meta(file);
+  if (regions.empty()) {
+    // Degenerate but legal (a client's share of a partitioned list can be
+    // empty): nothing to fetch, complete in place.
+    if (on_complete) on_complete();
+    return;
+  }
+
+  ListOp* op = acquire_list_op();
+  op->file = file;
+  op->strip_size = meta.strip_size;
+  op->on_complete = std::move(on_complete);
+  op->on_run = std::move(on_run);
+  if (telemetry::Plane* plane = sim_.context().telemetry) {
+    op->span = plane->spans().begin(net::kNoTenant, sim_.now(), node_);
+  }
+
+  bytes_read_ += regions.total_bytes();
+
+  // Split at strip boundaries, then group the strip-runs by the server
+  // currently holding each strip (first-touch batch order, run order
+  // preserved within a batch).
+  static constexpr std::size_t kNoBatch = SIZE_MAX;
+  std::vector<std::size_t> batch_of(pfs_.num_servers(), kNoBatch);
+  std::size_t used = 0;
+  for (const StripRun& r : split_by_strip(meta, regions)) {
+    const ServerIndex holder = pfs_.read_primary(file, r.strip);
+    std::size_t& b = batch_of[holder];
+    if (b == kNoBatch) {
+      b = used++;
+      if (op->batches.size() < used) op->batches.emplace_back();
+      op->batches[b].server = holder;
+    }
+    op->batches[b].runs.push_back(r);
+    op->batches[b].payload += r.length;
+  }
+
+  op->outstanding = used;
+  for (std::size_t b = 0; b < used; ++b) {
+    const ListBatch& batch = op->batches[b];
+    PfsServer& server = pfs_.server(batch.server);
+    // The request message itself costs real wire bytes: the fixed list
+    // header plus this server's run (or strided) descriptors. It travels
+    // client->server, so it lands in the same byte ledger as the replies.
+    const std::uint64_t request_bytes =
+        RegionList::request_bytes(regions.encoding(), batch.runs.size());
+    net_.send(net::Message{
+        node_, server.node(), request_bytes,
+        net::TrafficClass::kClientServer,
+        [this, &server, op, b]() {
+          server.serve_read_list(
+              op->file, op->batches[b].runs, node_,
+              net::TrafficClass::kClientServer,
+              [this, op, b](const StripBuffer& payload) {
+                deliver_list_batch(op, b, payload);
+                DAS_REQUIRE(op->outstanding > 0);
+                if (--op->outstanding == 0) finish_list_op(op);
+              },
+              net::kNoTenant, op->span);
+        },
+        net::kNoTenant, op->span});
+  }
+}
+
 void PfsClient::write_range(FileId file, std::uint64_t offset,
                             std::uint64_t length, StripBuffer data,
                             RangeDoneFn on_complete) {

@@ -19,6 +19,7 @@
 
 #include "net/network.hpp"
 #include "pfs/pfs.hpp"
+#include "pfs/region.hpp"
 #include "pfs/strip_buffer.hpp"
 #include "simkit/inplace_fn.hpp"
 #include "simkit/simulator.hpp"
@@ -36,6 +37,10 @@ using RangeDoneFn = sim::InplaceFn<void()>;
 /// (index, byte offset in the file, length); the buffer is a shared view of
 /// the server's stored bytes (empty in timing-only mode).
 using RangeStripFn = sim::InplaceFn<void(StripRef, const StripBuffer&)>;
+/// Per-run delivery callback for read_regions: the Run names the delivered
+/// file-space bytes; the buffer is a zero-copy view into the server's
+/// packed reply payload (empty in timing-only mode).
+using RegionRunFn = sim::InplaceFn<void(Run, const StripBuffer&)>;
 
 class PfsClient {
  public:
@@ -54,6 +59,20 @@ class PfsClient {
   /// (no over-read).
   void read_range(FileId file, std::uint64_t offset, std::uint64_t length,
                   RangeDoneFn on_complete, RangeStripFn on_strip = {});
+
+  /// Scatter-gather list read: fetch exactly the runs of `regions` (see
+  /// pfs/region.hpp). The layout math splits the list per strip, groups the
+  /// strip-runs by holding server, and sends ONE request message per server
+  /// whose wire size is the modeled list header (fixed part + run or
+  /// strided descriptors) — contrast read_range's one zero-byte request per
+  /// strip. Each server coalesces its runs and replies with one packed
+  /// message (payload + per-run framing); wire and disk bytes reflect only
+  /// the runs, never the enclosing strips. `on_run` (optional) fires per
+  /// run in file order within each server batch with a view into the packed
+  /// payload; `on_complete` runs when every batch has arrived. An empty
+  /// list completes synchronously without touching the network.
+  void read_regions(FileId file, const RegionList& regions,
+                    RangeDoneFn on_complete, RegionRunFn on_run = {});
 
   /// Write [offset, offset+length) of `file`. Writes must be strip-aligned
   /// (offset and length multiples of the strip size, except the final
@@ -91,8 +110,34 @@ class PfsClient {
     std::uint64_t span = 0;  // causal span for the whole range; 0 untracked
   };
 
+  /// One server's share of an in-flight read_regions: the strip-runs it
+  /// serves (kept client-side to slice the packed reply) and their payload.
+  struct ListBatch {
+    ServerIndex server = 0;
+    std::uint64_t payload = 0;
+    std::vector<StripRun> runs;
+  };
+
+  /// One in-flight read_regions (pooled like RangeOp; the batch vectors
+  /// keep their capacity across recycles).
+  struct ListOp {
+    FileId file{};
+    std::uint64_t strip_size = 0;
+    std::uint64_t outstanding = 0;
+    RangeDoneFn on_complete;
+    RegionRunFn on_run;
+    std::uint64_t span = 0;
+    std::vector<ListBatch> batches;
+  };
+
   [[nodiscard]] RangeOp* acquire_range_op();
   void release_range_op(RangeOp* op);
+  [[nodiscard]] ListOp* acquire_list_op();
+  void release_list_op(ListOp* op);
+  void finish_list_op(ListOp* op);
+  /// Slice batch `b`'s packed payload into per-run views and deliver them.
+  void deliver_list_batch(ListOp* op, std::size_t b,
+                          const StripBuffer& payload);
   /// Run the op's completion (if any) after recycling the record, so the
   /// callback may start a new range without growing the pool.
   void finish_range_op(RangeOp* op);
@@ -106,6 +151,8 @@ class PfsClient {
   telemetry::Counter bytes_written_;
   std::vector<std::unique_ptr<RangeOp>> range_ops_;
   std::vector<RangeOp*> free_range_ops_;
+  std::vector<std::unique_ptr<ListOp>> list_ops_;
+  std::vector<ListOp*> free_list_ops_;
 };
 
 }  // namespace das::pfs

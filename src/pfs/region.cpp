@@ -1,0 +1,169 @@
+#include "pfs/region.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+namespace das::pfs {
+namespace {
+
+[[noreturn]] void reject(const std::string& what) {
+  throw std::invalid_argument("RegionList: " + what);
+}
+
+}  // namespace
+
+RegionList RegionList::from_runs(std::vector<Run> runs) {
+  std::sort(runs.begin(), runs.end(), [](const Run& a, const Run& b) {
+    return a.offset < b.offset;
+  });
+  RegionList list;
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const Run& r = runs[i];
+    if (r.length == 0) {
+      reject("zero-length run at offset " + std::to_string(r.offset) +
+             " (run " + std::to_string(i) + " of " +
+             std::to_string(runs.size()) + ")");
+    }
+    if (r.length > std::numeric_limits<std::uint64_t>::max() - r.offset) {
+      reject("run at offset " + std::to_string(r.offset) + " with length " +
+             std::to_string(r.length) + " overflows the byte space");
+    }
+    if (i > 0) {
+      const Run& prev = runs[i - 1];
+      if (r.offset < prev.offset + prev.length) {
+        reject("run [" + std::to_string(r.offset) + ", " +
+               std::to_string(r.offset + r.length) + ") overlaps run [" +
+               std::to_string(prev.offset) + ", " +
+               std::to_string(prev.offset + prev.length) + ")");
+      }
+    }
+    list.total_bytes_ += r.length;
+  }
+  list.runs_ = std::move(runs);
+  list.encoding_ = RegionEncoding::kExplicit;
+  return list;
+}
+
+RegionList RegionList::strided(std::uint64_t start, std::uint64_t run_length,
+                               std::int64_t stride, std::uint64_t count) {
+  if (count == 0) return RegionList{};
+  if (run_length == 0) {
+    reject("strided pattern with zero run_length (start " +
+           std::to_string(start) + ", count " + std::to_string(count) + ")");
+  }
+  const std::uint64_t abs_stride =
+      stride < 0 ? static_cast<std::uint64_t>(-(stride + 1)) + 1
+                 : static_cast<std::uint64_t>(stride);
+  if (count > 1 && abs_stride < run_length) {
+    reject("stride " + std::to_string(stride) + " smaller than run_length " +
+           std::to_string(run_length) + ": consecutive runs overlap");
+  }
+  // Normalize a descending sweep to its ascending equivalent: the i-th run
+  // of a negative-stride pattern starts at start - i*|stride|, so the whole
+  // set is the ascending pattern anchored at the lowest start.
+  std::uint64_t lo = start;
+  if (stride < 0 && count > 1) {
+    const std::uint64_t span = abs_stride * (count - 1);
+    if (abs_stride != 0 && span / abs_stride != count - 1) {
+      reject("stride " + std::to_string(stride) + " x count " +
+             std::to_string(count) + " overflows the byte space");
+    }
+    if (span > start) {
+      reject("negative stride " + std::to_string(stride) + " underflows: run " +
+             std::to_string(count - 1) + " would start at " +
+             std::to_string(start) + " - " + std::to_string(span));
+    }
+    lo = start - span;
+  }
+  if (count > 1 && abs_stride != 0) {
+    const std::uint64_t span = abs_stride * (count - 1);
+    if (span / abs_stride != count - 1 ||
+        lo > std::numeric_limits<std::uint64_t>::max() - span) {
+      reject("strided pattern (start " + std::to_string(lo) + ", stride " +
+             std::to_string(abs_stride) + ", count " + std::to_string(count) +
+             ") overflows the byte space");
+    }
+  }
+  RegionList list;
+  list.runs_.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::uint64_t off = lo + i * abs_stride;
+    if (run_length > std::numeric_limits<std::uint64_t>::max() - off) {
+      reject("strided run at offset " + std::to_string(off) + " with length " +
+             std::to_string(run_length) + " overflows the byte space");
+    }
+    list.runs_.push_back(Run{off, run_length});
+  }
+  list.total_bytes_ = run_length * count;
+  list.encoding_ = RegionEncoding::kStrided;
+  return list;
+}
+
+RegionList RegionList::subset(std::size_t begin, std::size_t end) const {
+  DAS_REQUIRE(begin <= end);
+  DAS_REQUIRE(end <= runs_.size());
+  RegionList list;
+  list.runs_.assign(runs_.begin() + static_cast<std::ptrdiff_t>(begin),
+                    runs_.begin() + static_cast<std::ptrdiff_t>(end));
+  for (const Run& r : list.runs_) list.total_bytes_ += r.length;
+  list.encoding_ = encoding_;
+  return list;
+}
+
+std::uint64_t RegionList::request_bytes(RegionEncoding encoding,
+                                        std::size_t num_runs) {
+  if (num_runs == 0) return kListRequestFixedBytes;
+  if (encoding == RegionEncoding::kStrided) {
+    return kListRequestFixedBytes + kListStridedDescriptorBytes;
+  }
+  return kListRequestFixedBytes + kListRunDescriptorBytes * num_runs;
+}
+
+std::vector<StripRun> split_by_strip(const FileMeta& meta,
+                                     const RegionList& list) {
+  DAS_REQUIRE(meta.strip_size > 0);
+  std::vector<StripRun> out;
+  out.reserve(list.runs().size());
+  for (const Run& r : list.runs()) {
+    if (r.offset + r.length > meta.size_bytes) {
+      throw std::invalid_argument(
+          "RegionList: run [" + std::to_string(r.offset) + ", " +
+          std::to_string(r.offset + r.length) + ") reaches past the end of " +
+          meta.name + " (" + std::to_string(meta.size_bytes) + " bytes)");
+    }
+    std::uint64_t off = r.offset;
+    std::uint64_t left = r.length;
+    while (left > 0) {
+      const std::uint64_t strip = off / meta.strip_size;
+      const std::uint64_t within = off - strip * meta.strip_size;
+      const std::uint64_t take = std::min(left, meta.strip_size - within);
+      out.push_back(StripRun{strip, within, take});
+      off += take;
+      left -= take;
+    }
+  }
+  return out;
+}
+
+std::vector<Extent> coalesce_runs(std::vector<Extent> extents) {
+  std::sort(extents.begin(), extents.end(),
+            [](const Extent& a, const Extent& b) {
+              return a.offset < b.offset;
+            });
+  std::vector<Extent> out;
+  for (const Extent& e : extents) {
+    if (e.length == 0) continue;
+    if (!out.empty() && e.offset <= out.back().offset + out.back().length) {
+      const std::uint64_t end =
+          std::max(out.back().offset + out.back().length, e.offset + e.length);
+      out.back().length = end - out.back().offset;
+    } else {
+      out.push_back(e);
+    }
+  }
+  return out;
+}
+
+}  // namespace das::pfs

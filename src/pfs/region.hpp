@@ -1,0 +1,117 @@
+// Noncontiguous region lists: the request vocabulary for list I/O.
+//
+// A RegionList is an ordered set of disjoint (offset, length) runs over a
+// file's byte space. Clients build one per read, the layout math splits it
+// into per-strip runs, and servers coalesce per-strip runs into minimal
+// disk extents. Two wire encodings exist: an explicit run table (16 bytes
+// per run) and a strided descriptor (one 32-byte record for regular
+// patterns like column scans and k-row subsampling). Wire costs are modeled
+// here so every layer prices a request identically.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pfs/file.hpp"
+
+namespace das::pfs {
+
+/// One contiguous byte run within a file.
+struct Run {
+  std::uint64_t offset = 0;
+  std::uint64_t length = 0;
+
+  friend bool operator==(const Run&, const Run&) = default;
+};
+
+/// How a region list travels on the wire. Strided lists describe the whole
+/// pattern in one fixed-size descriptor; explicit lists pay per run.
+enum class RegionEncoding : std::uint8_t { kExplicit, kStrided };
+
+/// Modeled wire costs (bytes). The fixed part covers file id, op code and
+/// run count; each explicit run costs an (offset, length) pair; a strided
+/// descriptor carries (start, run_length, stride, count); each run in a
+/// reply is framed with its length so the client can slice the packed
+/// payload without echoing offsets.
+inline constexpr std::uint64_t kListRequestFixedBytes = 24;
+inline constexpr std::uint64_t kListRunDescriptorBytes = 16;
+inline constexpr std::uint64_t kListStridedDescriptorBytes = 32;
+inline constexpr std::uint64_t kListReplyRunBytes = 8;
+
+/// Ordered, disjoint, ascending run list plus its wire encoding. Instances
+/// are immutable after construction; both factories validate and normalize
+/// (sort, reject zero-length and overlapping runs) so downstream layers can
+/// assume a canonical shape.
+class RegionList {
+ public:
+  RegionList() = default;
+
+  /// Build from explicit runs. Sorts by offset; throws std::invalid_argument
+  /// (quoting the offending numbers) on zero-length runs, offset+length
+  /// overflow, or overlapping runs.
+  static RegionList from_runs(std::vector<Run> runs);
+
+  /// Build a strided pattern: `count` runs of `run_length` bytes, the i-th
+  /// starting at start + i*stride. Negative strides are normalized to the
+  /// ascending equivalent. |stride| must be >= run_length (else consecutive
+  /// runs overlap), and no run may underflow below offset 0 or overflow
+  /// uint64. Degenerate counts: count == 0 yields an empty list.
+  static RegionList strided(std::uint64_t start, std::uint64_t run_length,
+                            std::int64_t stride, std::uint64_t count);
+
+  /// The sub-list covering runs [begin, end). Preserves the encoding class
+  /// (a slice of a strided pattern is still strided).
+  [[nodiscard]] RegionList subset(std::size_t begin, std::size_t end) const;
+
+  [[nodiscard]] const std::vector<Run>& runs() const { return runs_; }
+  [[nodiscard]] RegionEncoding encoding() const { return encoding_; }
+  [[nodiscard]] bool empty() const { return runs_.empty(); }
+
+  /// Total payload bytes across all runs.
+  [[nodiscard]] std::uint64_t total_bytes() const { return total_bytes_; }
+
+  /// Modeled request-message size for `num_runs` runs under `encoding`.
+  [[nodiscard]] static std::uint64_t request_bytes(RegionEncoding encoding,
+                                                  std::size_t num_runs);
+
+  /// Modeled per-run framing added to a reply payload.
+  [[nodiscard]] static std::uint64_t reply_framing_bytes(std::size_t num_runs) {
+    return kListReplyRunBytes * num_runs;
+  }
+
+ private:
+  std::vector<Run> runs_;
+  std::uint64_t total_bytes_ = 0;
+  RegionEncoding encoding_ = RegionEncoding::kExplicit;
+};
+
+/// One run clipped to a single strip: what a server actually services.
+struct StripRun {
+  std::uint64_t strip = 0;
+  std::uint64_t offset_in_strip = 0;
+  std::uint64_t length = 0;
+
+  friend bool operator==(const StripRun&, const StripRun&) = default;
+};
+
+/// Split a region list into per-strip runs, splitting any run that
+/// straddles a strip boundary. Order-preserving (ascending offset). Throws
+/// std::invalid_argument (with the exact numbers) if any run reaches past
+/// the end of the file.
+[[nodiscard]] std::vector<StripRun> split_by_strip(const FileMeta& meta,
+                                                   const RegionList& list);
+
+/// One contiguous disk extent produced by the server-side coalescer.
+struct Extent {
+  std::uint64_t offset = 0;
+  std::uint64_t length = 0;
+
+  friend bool operator==(const Extent&, const Extent&) = default;
+};
+
+/// Merge adjacent and overlapping extents into the minimal sorted cover.
+/// The result covers exactly the union of the inputs: every input byte is
+/// covered, no byte outside the union is, and no two extents touch.
+[[nodiscard]] std::vector<Extent> coalesce_runs(std::vector<Extent> extents);
+
+}  // namespace das::pfs

@@ -1,5 +1,7 @@
 #include "pfs/server.hpp"
 
+#include <algorithm>
+#include <cstring>
 #include <utility>
 
 #include "pfs/prefetch.hpp"
@@ -63,7 +65,34 @@ void PfsServer::serve_read(FileId file, std::uint64_t strip,
                            std::uint64_t span) {
   ReadRequest request{file,      strip, offset_in_strip,    length,
                       requester, cls,   tenant,             std::move(on_data),
-                      span};
+                      span,      {}};
+  if (read_scheduler_ != nullptr && tenant != net::kNoTenant &&
+      read_scheduler_->intercept_read(*this, request)) {
+    return;
+  }
+  serve_read_now(std::move(request));
+}
+
+void PfsServer::serve_read_list(FileId file, std::vector<StripRun> runs,
+                                net::NodeId requester, net::TrafficClass cls,
+                                StripDataFn on_data, net::TenantId tenant,
+                                std::uint64_t span) {
+  DAS_REQUIRE(!runs.empty());
+  std::uint64_t payload = 0;
+  for (const StripRun& r : runs) payload += r.length;
+  // `length` carries the total payload so fair-queue costing and byte
+  // accounting see the real transfer size; `strip`/`offset_in_strip` are
+  // nominal (the first run) — serve_list_now regroups per strip itself.
+  ReadRequest request{file,
+                      runs.front().strip,
+                      runs.front().offset_in_strip,
+                      payload,
+                      requester,
+                      cls,
+                      tenant,
+                      std::move(on_data),
+                      span,
+                      std::move(runs)};
   if (read_scheduler_ != nullptr && tenant != net::kNoTenant &&
       read_scheduler_->intercept_read(*this, request)) {
     return;
@@ -72,6 +101,10 @@ void PfsServer::serve_read(FileId file, std::uint64_t strip,
 }
 
 void PfsServer::serve_read_now(ReadRequest request) {
+  if (!request.runs.empty()) {
+    serve_list_now(std::move(request));
+    return;
+  }
   const FileId file = request.file;
   const std::uint64_t strip = request.strip;
   // readable(), not has(): a request that resolved this server as holder
@@ -108,7 +141,81 @@ void PfsServer::serve_read_now(ReadRequest request) {
   op->cls = request.cls;
   op->tenant = request.tenant;
   op->span = request.span;
+  ship_read_op(op, read_done);
+}
 
+void PfsServer::serve_list_now(ReadRequest request) {
+  const FileId file = request.file;
+
+  ++remote_reads_served_;
+  remote_bytes_served_ += request.length;
+  ++list_requests_served_;
+  list_runs_served_ += request.runs.size();
+
+  // Coalesce and read per strip: runs arrive in ascending file order, so
+  // same-strip runs are consecutive. Each strip's runs merge into minimal
+  // disk extents; the disk serializes the extent reads, so the last
+  // completion is when the whole gather is on the NIC side.
+  sim::SimTime read_done = sim_.now();
+  std::vector<Extent> extents;
+  std::size_t i = 0;
+  while (i < request.runs.size()) {
+    const std::uint64_t strip = request.runs[i].strip;
+    DAS_REQUIRE(store_.readable(file, strip));
+    const std::uint64_t stored_len = store_.length(file, strip);
+    extents.clear();
+    for (; i < request.runs.size() && request.runs[i].strip == strip; ++i) {
+      const StripRun& r = request.runs[i];
+      DAS_REQUIRE(r.offset_in_strip + r.length <= stored_len);
+      extents.push_back(Extent{r.offset_in_strip, r.length});
+    }
+    const std::vector<Extent> merged = coalesce_runs(std::move(extents));
+    extents.clear();
+    list_extents_read_ += merged.size();
+    const std::uint64_t disk_off = store_.disk_offset(file, strip);
+    for (const Extent& e : merged) {
+      read_done = std::max(
+          read_done, disk_.read(sim_.now(), disk_off + e.offset, e.length));
+    }
+  }
+
+  if (request.span != 0) {
+    if (telemetry::Plane* plane = sim_.context().telemetry) {
+      plane->spans().add(request.span, telemetry::Hop::kDisk,
+                         read_done - sim_.now());
+    }
+  }
+
+  // Gather the run bytes into one pooled payload in request order (data
+  // mode only). The client slices per-run views of this single buffer, so
+  // the whole reply is one allocation end to end.
+  ReadOp* op = acquire_read_op();
+  if (request.length > 0 &&
+      !store_.buffer(file, request.runs.front().strip).empty()) {
+    StripBuffer gathered = StripBuffer::allocate(request.length);
+    std::uint64_t at = 0;
+    for (const StripRun& r : request.runs) {
+      const StripBuffer& stored = store_.buffer(file, r.strip);
+      DAS_REQUIRE(!stored.empty());
+      std::memcpy(gathered.mutable_data() + at,
+                  stored.data() + r.offset_in_strip, r.length);
+      at += r.length;
+    }
+    op->payload = std::move(gathered);
+  }
+  op->handler = std::move(request.on_data);
+  // The reply wire size is the gathered payload plus per-run framing — the
+  // enclosing strips never travel.
+  op->length = request.length + RegionList::reply_framing_bytes(
+                                    request.runs.size());
+  op->requester = request.requester;
+  op->cls = request.cls;
+  op->tenant = request.tenant;
+  op->span = request.span;
+  ship_read_op(op, read_done);
+}
+
+void PfsServer::ship_read_op(ReadOp* op, sim::SimTime read_done) {
   sim_.schedule_at(
       read_done,
       [this, op]() {
@@ -153,6 +260,9 @@ void PfsServer::enroll(telemetry::Registry& registry) const {
   const telemetry::Labels labels{telemetry::label("server", node_)};
   registry.enroll_counter("pfs.remote_reads", labels, remote_reads_served_);
   registry.enroll_counter("pfs.remote_bytes", labels, remote_bytes_served_);
+  registry.enroll_counter("pfs.list_requests", labels, list_requests_served_);
+  registry.enroll_counter("pfs.list_runs", labels, list_runs_served_);
+  registry.enroll_counter("pfs.list_extents", labels, list_extents_read_);
   registry.enroll_gauge("disk.bytes_read", labels, [this]() {
     return static_cast<double>(disk_.bytes_read());
   });

@@ -20,6 +20,7 @@
 #include "cache/strip_cache.hpp"
 #include "net/network.hpp"
 #include "pfs/file.hpp"
+#include "pfs/region.hpp"
 #include "pfs/store.hpp"
 #include "pfs/strip_buffer.hpp"
 #include "simkit/simulator.hpp"
@@ -54,6 +55,12 @@ struct ReadRequest {
   /// Causal span the read belongs to; 0 when untracked. Disk service time
   /// is charged to it, and the payload reply carries it onto the wire.
   std::uint64_t span = 0;
+  /// Noncontiguous runs within this strip. Empty = classic contiguous read
+  /// over [offset_in_strip, offset_in_strip + length). Non-empty = list
+  /// I/O: `length` is the total payload across the runs (what fair-queue
+  /// costing sees), the server coalesces the runs into minimal disk
+  /// extents, and the reply adds per-run framing on the wire.
+  std::vector<StripRun> runs;
 };
 
 /// Disk scheduling hook at the server's read service point (traffic
@@ -100,9 +107,23 @@ class PfsServer {
                   net::TenantId tenant = net::kNoTenant,
                   std::uint64_t span = 0);
 
+  /// Serve a scatter-gather list read: `runs` are disjoint ascending runs
+  /// over strips of `file` stored on this server. Per strip, the server
+  /// coalesces runs into minimal disk extents and reads only those extents;
+  /// the run bytes are gathered in request order into one pooled payload
+  /// (data mode) and shipped as a single packed message of payload +
+  /// per-run framing bytes. Goes through the same ReadScheduler intercept
+  /// as serve_read() when tenant-tagged.
+  void serve_read_list(FileId file, std::vector<StripRun> runs,
+                       net::NodeId requester, net::TrafficClass cls,
+                       StripDataFn on_data,
+                       net::TenantId tenant = net::kNoTenant,
+                       std::uint64_t span = 0);
+
   /// Serve `request` now, bypassing any installed read scheduler: reserve
   /// the disk and ship the payload. Schedulers call this to release reads
-  /// they queued; everyone else calls serve_read().
+  /// they queued; everyone else calls serve_read(). List requests
+  /// (non-empty `request.runs`) branch to the coalescing path.
   void serve_read_now(ReadRequest request);
 
   /// Install (or remove, with nullptr) the disk scheduling hook. The
@@ -157,6 +178,19 @@ class PfsServer {
     return remote_bytes_served_;
   }
 
+  /// List-I/O service counters: requests handled, runs they carried, and
+  /// the coalesced disk extents actually read. extents <= runs always; the
+  /// ratio is the coalescing factor the decision engine prices.
+  [[nodiscard]] std::uint64_t list_requests_served() const {
+    return list_requests_served_;
+  }
+  [[nodiscard]] std::uint64_t list_runs_served() const {
+    return list_runs_served_;
+  }
+  [[nodiscard]] std::uint64_t list_extents_read() const {
+    return list_extents_read_;
+  }
+
   /// Enroll this server's instruments (served reads/bytes, disk queue,
   /// cache and prefetcher stats when attached) in the telemetry registry.
   void enroll(telemetry::Registry& registry) const;
@@ -188,6 +222,13 @@ class PfsServer {
   [[nodiscard]] AckOp* acquire_ack_op();
   void release_ack_op(AckOp* op);
 
+  /// Coalescing service path for a list request (request.runs non-empty).
+  void serve_list_now(ReadRequest request);
+
+  /// Schedule the payload reply for `op` at `read_done` (shared by the
+  /// contiguous and list paths; `op->length` is the wire size).
+  void ship_read_op(ReadOp* op, sim::SimTime read_done);
+
   sim::Simulator& sim_;
   net::Network& net_;
   net::NodeId node_;
@@ -195,6 +236,9 @@ class PfsServer {
   ServerStore store_;
   telemetry::Counter remote_reads_served_;
   telemetry::Counter remote_bytes_served_;
+  telemetry::Counter list_requests_served_;
+  telemetry::Counter list_runs_served_;
+  telemetry::Counter list_extents_read_;
   cache::StripCache* cache_ = nullptr;
   cache::InvalidationHub* hub_ = nullptr;
   ReadScheduler* read_scheduler_ = nullptr;

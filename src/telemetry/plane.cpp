@@ -29,6 +29,7 @@ Plane::Plane(PlaneConfig config)
       spans_(config.flight_capacity),
       slo_(config.slo) {
   spans_.set_enabled(config_.spans);
+  spans_.set_sample_every(config_.span_sample);
   sampler_.set_pre_sample_hook([this](sim::SimTime now) { slo_.refresh(now); });
   slo_.set_alert_hook(
       [this](std::uint32_t tenant, sim::SimTime now, double burn) {

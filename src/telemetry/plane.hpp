@@ -46,6 +46,10 @@ struct PlaneConfig {
   /// milliseconds on a long run — which a CSV-only run never needs.
   bool prometheus = false;
   bool spans = false;  // mint + track causal request spans
+  /// Track only 1-in-N spans (--span-sample=N; <= 1 tracks every request).
+  /// Deterministic: the pick hashes the span mint counter, so the sampled
+  /// subset is identical across --jobs. Hop totals scale by ~N.
+  std::uint32_t span_sample = 1;
   sim::SimDuration sample_period = sim::milliseconds(50);
   SloConfig slo;  // slo.target_s <= 0 leaves the monitor off
   std::size_t flight_capacity = 256;

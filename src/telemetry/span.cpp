@@ -51,10 +51,24 @@ void SpanTracker::grow() {
   }
 }
 
+std::uint64_t SpanTracker::id_hash(std::uint64_t id) {
+  std::uint64_t h = 14695981039346656037ULL;
+  for (int i = 0; i < 8; ++i) {
+    h ^= (id >> (i * 8)) & 0xff;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
 std::uint64_t SpanTracker::begin(std::uint32_t tenant, sim::SimTime now,
                                  std::uint32_t node) {
   if (!enabled_) return 0;
+  // Mint unconditionally so the sampled subset depends only on request
+  // order (deterministic per simulation), then gate on the id hash: the
+  // counter itself would sample a biased, phase-locked subset of periodic
+  // workloads, the hash spreads the picks uniformly.
   const std::uint64_t id = ++next_id_;
+  if (sample_every_ > 1 && id_hash(id) % sample_every_ != 0) return 0;
   while (slots_[id & (slots_.size() - 1)].record.id != 0) grow();
   OpenSpan& open = slots_[id & (slots_.size() - 1)];
   open.record = SpanRecord{};

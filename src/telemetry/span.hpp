@@ -64,6 +64,16 @@ class SpanTracker {
   void set_enabled(bool enabled) { enabled_ = enabled; }
   [[nodiscard]] bool enabled() const { return enabled_; }
 
+  /// Track only 1-in-`n` spans (--span-sample=N): every begin() still mints
+  /// an id, but an unsampled request gets id 0 — the untracked sentinel —
+  /// so its whole data path pays only the zero-branch. The choice hashes
+  /// the mint counter (FNV-1a), not simulated time or randomness, so the
+  /// sampled subset is identical across --jobs and across reruns. Hop
+  /// totals then represent ~1/n of the traffic; multiply by n to estimate
+  /// whole-run attribution (EXPERIMENTS.md). n <= 1 tracks everything.
+  void set_sample_every(std::uint32_t n) { sample_every_ = n; }
+  [[nodiscard]] std::uint32_t sample_every() const { return sample_every_; }
+
   /// Mirror spans into this tracer as linked async scopes (cat "span").
   /// Optional; spans accumulate attribution either way.
   void set_tracer(sim::Tracer* tracer) { tracer_ = tracer; }
@@ -116,7 +126,11 @@ class SpanTracker {
   }
   void grow();
 
+  /// FNV-1a of the eight id bytes; the sampling gate for set_sample_every.
+  [[nodiscard]] static std::uint64_t id_hash(std::uint64_t id);
+
   bool enabled_ = false;
+  std::uint32_t sample_every_ = 1;
   sim::Tracer* tracer_ = nullptr;
   std::uint64_t next_id_ = 0;
   std::uint64_t finished_ = 0;

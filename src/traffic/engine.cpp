@@ -48,6 +48,7 @@ class TrafficEngine {
     DAS_REQUIRE(config.arrivals.datasets > 0);
     DAS_REQUIRE(config.cluster.compute_nodes > 0);
     plane_ = config.context != nullptr ? config.context->telemetry : nullptr;
+    build_access_template();
     build_datasets();
     build_schedulers();
     build_tenants();
@@ -63,6 +64,22 @@ class TrafficEngine {
     std::uint64_t strips_left = 0;
     std::uint64_t span = 0;  // causal span minted at submit; 0 untracked
   };
+
+  /// --access=strided:K under traffic: precompute the within-strip run list
+  /// once (every dataset strip is full-length, so one template fits all);
+  /// each read stamps the strip number into a copy. Empty = whole strips.
+  void build_access_template() {
+    if (config_.access_stride <= 1) return;
+    constexpr std::uint64_t kRowUnit = 4096;
+    const std::uint64_t strip = config_.arrivals.strip_bytes;
+    const std::uint64_t unit = std::min(kRowUnit, strip);
+    const std::uint64_t step = unit * config_.access_stride;
+    for (std::uint64_t off = 0; off < strip; off += step) {
+      const std::uint64_t len = std::min(unit, strip - off);
+      run_template_.push_back(pfs::StripRun{0, off, len});
+      strip_payload_ += len;
+    }
+  }
 
   void build_datasets() {
     const ArrivalConfig& a = config_.arrivals;
@@ -170,9 +187,23 @@ class TrafficEngine {
     const pfs::FileId file = files_[job.arrival.dataset];
     const net::NodeId client = client_of(t);
     for (std::uint64_t s = 0; s < job.strips_left; ++s) {
-      straggler_.read_strip(client, t, file, job.arrival.first_strip + s,
-                            [this, j]() { strip_done(j); }, job.span);
+      if (run_template_.empty()) {
+        straggler_.read_strip(client, t, file, job.arrival.first_strip + s,
+                              [this, j]() { strip_done(j); }, job.span);
+      } else {
+        std::vector<pfs::StripRun> runs = run_template_;
+        for (pfs::StripRun& r : runs) r.strip = job.arrival.first_strip + s;
+        straggler_.read_strip_runs(client, t, file, std::move(runs),
+                                   [this, j]() { strip_done(j); }, job.span);
+      }
     }
+  }
+
+  /// Bytes a job actually fetches (and computes over): the whole job under
+  /// whole-strip reads, only the sampled runs under list-I/O access.
+  [[nodiscard]] std::uint64_t job_payload(const Job& job) const {
+    if (run_template_.empty()) return job.arrival.bytes;
+    return job.arrival.bytes / config_.arrivals.strip_bytes * strip_payload_;
   }
 
   void strip_done(std::uint32_t j) {
@@ -189,7 +220,7 @@ class TrafficEngine {
     sim::Simulator& sim = cluster_.simulator();
     const sim::SimTime done_at =
         cluster_.engine(client_of(job.arrival.tenant))
-            .execute(sim.now(), job.arrival.bytes, cost);
+            .execute(sim.now(), job_payload(job), cost);
     if (plane_ != nullptr) {
       plane_->spans().add(job.span, telemetry::Hop::kCompute,
                           done_at - sim.now());
@@ -203,7 +234,7 @@ class TrafficEngine {
     const sim::SimTime now = cluster_.simulator().now();
     TenantStats& stats = stats_[t];
     ++stats.jobs_completed;
-    stats.bytes_read += job.arrival.bytes;
+    stats.bytes_read += job_payload(job);
     stats.sojourn.record(sim::to_seconds(now - job.arrival.at));
     stats.service.record(sim::to_seconds(now - job.admitted_at));
     last_finish_ = std::max(last_finish_, now);
@@ -224,6 +255,10 @@ class TrafficEngine {
   std::unique_ptr<NicFairQueue> nic_wfq_;
   std::unique_ptr<DiskFairQueue> disk_wfq_;
   std::vector<Job> jobs_;
+  /// Within-strip run template for list-I/O access (empty = whole strips)
+  /// and the payload bytes one strip's runs carry.
+  std::vector<pfs::StripRun> run_template_;
+  std::uint64_t strip_payload_ = 0;
   sim::SimTime last_finish_ = 0;
   telemetry::Plane* plane_ = nullptr;
 };

@@ -47,6 +47,12 @@ struct TrafficConfig {
   /// Per-tenant WFQ weights, cycled over tenants; empty means all 1.0.
   std::vector<double> weights;
   StragglerConfig straggler;
+  /// Sparse list-I/O access (--access=strided:K under traffic mode): jobs
+  /// fetch every K-th 4 KiB row unit of each strip through one list request
+  /// (StragglerScheduler::read_strip_runs) instead of the whole strip, and
+  /// compute over only the fetched bytes. 0 or 1 keeps the whole-strip
+  /// reads byte for byte.
+  std::uint32_t access_stride = 0;
   /// Run context (logger/tracer); null uses the cluster's private default.
   sim::RunContext* context = nullptr;
 };

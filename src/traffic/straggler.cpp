@@ -35,6 +35,7 @@ StragglerScheduler::Op* StragglerScheduler::acquire_op() {
 void StragglerScheduler::release_op(Op* op) {
   op->on_done.reset();
   op->holders.clear();  // keeps capacity for the next read
+  op->runs.clear();     // likewise
   op->hedge_armed = false;
   op->done = false;
   op->outstanding = 0;
@@ -88,7 +89,31 @@ void StragglerScheduler::enroll(telemetry::Registry& registry) const {
 void StragglerScheduler::read_strip(net::NodeId client, net::TenantId tenant,
                                     pfs::FileId file, std::uint64_t strip,
                                     DoneFn on_done, std::uint64_t span) {
-  const pfs::FileMeta& meta = pfs_.meta(file);
+  begin_read(client, tenant, file, strip, pfs_.meta(file).strip(strip).length,
+             {}, std::move(on_done), span);
+}
+
+void StragglerScheduler::read_strip_runs(net::NodeId client,
+                                         net::TenantId tenant,
+                                         pfs::FileId file,
+                                         std::vector<pfs::StripRun> runs,
+                                         DoneFn on_done, std::uint64_t span) {
+  DAS_REQUIRE(!runs.empty());
+  const std::uint64_t strip = runs.front().strip;
+  std::uint64_t payload = 0;
+  for (const pfs::StripRun& r : runs) {
+    DAS_REQUIRE(r.strip == strip && "one list read targets one strip");
+    payload += r.length;
+  }
+  begin_read(client, tenant, file, strip, payload, std::move(runs),
+             std::move(on_done), span);
+}
+
+void StragglerScheduler::begin_read(net::NodeId client, net::TenantId tenant,
+                                    pfs::FileId file, std::uint64_t strip,
+                                    std::uint64_t length,
+                                    std::vector<pfs::StripRun> runs,
+                                    DoneFn on_done, std::uint64_t span) {
   // Resolve against the layout this strip is currently served under (the
   // prior layout while a migration's frontier has not yet passed the strip).
   std::vector<pfs::ServerIndex> holders = pfs_.read_holders(file, strip);
@@ -109,7 +134,8 @@ void StragglerScheduler::read_strip(net::NodeId client, net::TenantId tenant,
   Op* op = acquire_op();
   op->file = file;
   op->strip = strip;
-  op->length = meta.strip(strip).length;
+  op->length = length;
+  op->runs = std::move(runs);
   op->client = client;
   op->tenant = tenant;
   op->first_server = target;
@@ -134,18 +160,41 @@ void StragglerScheduler::issue(Op* op, pfs::ServerIndex target,
   }
   ++op->outstanding;
   pfs::PfsServer& server = pfs_.server(target);
-  // Request travels as a tenant-tagged control message; the server reads the
-  // strip (through any installed disk scheduler) and ships the payload back.
+  if (op->runs.empty()) {
+    // Request travels as a tenant-tagged control message; the server reads
+    // the strip (through any installed disk scheduler) and ships the payload
+    // back.
+    net_.send(net::Message{
+        op->client, server.node(), 0, net::TrafficClass::kControl,
+        [this, op, &server, target, is_hedge]() {
+          server.serve_read(op->file, op->strip, 0, op->length, op->client,
+                            net::TrafficClass::kClientServer,
+                            [this, op, target, is_hedge](
+                                const pfs::StripBuffer& /*payload*/) {
+                              complete(op, target, is_hedge);
+                            },
+                            op->tenant, op->span);
+        },
+        op->tenant, op->span});
+    return;
+  }
+  // List read: the request itself carries the run descriptors, so it bills
+  // real header bytes on the data-plane class. The server coalesces the
+  // runs into disk extents and replies with one packed payload. The op's
+  // run list stays intact — a hedge re-issues a copy of the same list.
   net_.send(net::Message{
-      op->client, server.node(), 0, net::TrafficClass::kControl,
+      op->client, server.node(),
+      pfs::RegionList::request_bytes(pfs::RegionEncoding::kStrided,
+                                     op->runs.size()),
+      net::TrafficClass::kClientServer,
       [this, op, &server, target, is_hedge]() {
-        server.serve_read(op->file, op->strip, 0, op->length, op->client,
-                          net::TrafficClass::kClientServer,
-                          [this, op, target, is_hedge](
-                              const pfs::StripBuffer& /*payload*/) {
-                            complete(op, target, is_hedge);
-                          },
-                          op->tenant, op->span);
+        server.serve_read_list(op->file, op->runs, op->client,
+                               net::TrafficClass::kClientServer,
+                               [this, op, target, is_hedge](
+                                   const pfs::StripBuffer& /*payload*/) {
+                                 complete(op, target, is_hedge);
+                               },
+                               op->tenant, op->span);
       },
       op->tenant, op->span});
 }

@@ -24,6 +24,7 @@
 
 #include "net/network.hpp"
 #include "pfs/pfs.hpp"
+#include "pfs/region.hpp"
 #include "simkit/simulator.hpp"
 #include "simkit/stats.hpp"
 #include "simkit/time.hpp"
@@ -72,6 +73,15 @@ class StragglerScheduler {
                   std::uint64_t strip, DoneFn on_done,
                   std::uint64_t span = 0);
 
+  /// List-I/O variant: fetch only `runs` (all within one strip) as a single
+  /// coalesced list request (pfs::PfsServer::serve_read_list). Re-route and
+  /// hedging apply exactly as for read_strip; a hedge re-issues the same
+  /// run list to the replica holder, and a losing copy's waste is the list
+  /// payload, not the whole strip.
+  void read_strip_runs(net::NodeId client, net::TenantId tenant,
+                       pfs::FileId file, std::vector<pfs::StripRun> runs,
+                       DoneFn on_done, std::uint64_t span = 0);
+
   [[nodiscard]] std::uint64_t reads_issued() const { return reads_issued_; }
   [[nodiscard]] std::uint64_t reroutes() const { return reroutes_; }
   [[nodiscard]] std::uint64_t hedges_issued() const { return hedges_issued_; }
@@ -111,10 +121,20 @@ class StragglerScheduler {
     std::uint32_t outstanding = 0;
     DoneFn on_done;
     std::uint64_t span = 0;  // causal span of the owning job; 0 untracked
+    /// Non-empty for a list read: the runs every issued copy requests.
+    /// `length` is then the list payload (waste + latency accounting).
+    std::vector<pfs::StripRun> runs;
   };
 
   [[nodiscard]] Op* acquire_op();
   void release_op(Op* op);
+
+  /// Shared tail of read_strip / read_strip_runs: pick the target (with
+  /// re-route), populate a pooled op and issue it (arming the hedge timer).
+  void begin_read(net::NodeId client, net::TenantId tenant, pfs::FileId file,
+                  std::uint64_t strip, std::uint64_t length,
+                  std::vector<pfs::StripRun> runs, DoneFn on_done,
+                  std::uint64_t span);
 
   void issue(Op* op, pfs::ServerIndex target, bool is_hedge);
   void complete(Op* op, pfs::ServerIndex from, bool is_hedge);

@@ -115,7 +115,8 @@ TEST(ComputeCostModelTest, CalibratedRatesShiftSchemeComparisonCoherently) {
 TEST(KernelCalibrationTest, ReportIsWellFormed) {
   const kernels::CalibrationReport report =
       kernels::calibrate_kernels(64, 48, 1);
-  ASSERT_EQ(report.kernels.size(), 5U);
+  // The five stencils plus flow-routing (vectorized in the list-I/O PR).
+  ASSERT_EQ(report.kernels.size(), 6U);
   double best = 0.0;
   for (const auto& k : report.kernels) {
     EXPECT_GT(k.cells_per_second, 0.0) << k.name;
@@ -126,6 +127,7 @@ TEST(KernelCalibrationTest, ReportIsWellFormed) {
   EXPECT_DOUBLE_EQ(report.anchor_mibps, best);
   const std::string flag = report.kernel_cost_flag();
   EXPECT_NE(flag.find("laplacian-4:"), std::string::npos);
+  EXPECT_NE(flag.find("flow-routing:"), std::string::npos);
   EXPECT_NE(flag.find("raster-statistics:"), std::string::npos);
   EXPECT_NE(report.format().find("--compute-mibps"), std::string::npos);
 }

@@ -110,7 +110,8 @@ TEST_P(SimdBitIdenticalTest, AllIsasAndBlockingsMatchScalar) {
 INSTANTIATE_TEST_SUITE_P(
     Kernels, SimdBitIdenticalTest,
     ::testing::Combine(::testing::Values("laplacian-4", "gaussian-2d",
-                                         "surface-slope", "median-3x3"),
+                                         "surface-slope", "median-3x3",
+                                         "flow-routing"),
                        ::testing::Values(3U, 16U, 33U)),
     [](const auto& info) {
       std::string name = std::get<0>(info.param);
@@ -128,8 +129,8 @@ TEST(SimdTilingTest, TiledSweepsMatchScalarWholeGrid) {
   const std::uint32_t height = 41;
   const grid::Grid<float> input = image(width, height);
 
-  for (const char* name :
-       {"laplacian-4", "gaussian-2d", "surface-slope", "median-3x3"}) {
+  for (const char* name : {"laplacian-4", "gaussian-2d", "surface-slope",
+                           "median-3x3", "flow-routing"}) {
     const KernelPtr kernel = registry.create(name);
     grid::Grid<float> reference(width, height);
     {
@@ -220,8 +221,47 @@ TEST(SimdDispatchTest, EveryIsaHasRowFunctions) {
     EXPECT_NE(simd::laplacian_row(isa), nullptr);
     EXPECT_NE(simd::gaussian_row(isa), nullptr);
     EXPECT_NE(simd::median_row(isa), nullptr);
+    EXPECT_NE(simd::flow_routing_row(isa), nullptr);
     EXPECT_NE(simd::slope_row(isa), nullptr);
     EXPECT_NE(simd::statistics_row(isa), nullptr);
+  }
+}
+
+// Flow routing's argmax is tie-heavy on flat terrain; the vector path must
+// reproduce the scalar first-wins rule exactly, not just on smooth images.
+TEST(SimdFlowRoutingTest, TieBreaksMatchScalarOnPlateausAndSteps) {
+  const KernelRegistry registry = standard_registry();
+  const KernelPtr kernel = registry.create("flow-routing");
+  const std::uint32_t width = 35;
+  const std::uint32_t height = 23;
+
+  // Plateau (all ties -> every cell a pit), a single sink, and a two-level
+  // step where an entire column ties at the lower level.
+  std::vector<grid::Grid<float>> inputs;
+  inputs.emplace_back(width, height, 5.0F);
+  inputs.emplace_back(width, height, 5.0F);
+  inputs.back().at(17, 11) = 1.0F;
+  inputs.emplace_back(width, height, 5.0F);
+  for (std::uint32_t y = 0; y < height; ++y) {
+    for (std::uint32_t x = width / 2; x < width; ++x) {
+      inputs.back().at(x, y) = 2.0F;
+    }
+  }
+
+  for (const grid::Grid<float>& input : inputs) {
+    grid::Grid<float> reference(width, height);
+    {
+      EngineGuard guard(simd::Isa::kScalar, 0);
+      reference = kernel->run_reference(input);
+    }
+    EXPECT_EQ(reference.at(17, 11), 0.0F) << "a pit routes nowhere";
+    for (const simd::Isa isa : runnable_isas()) {
+      EngineGuard guard(isa, 7);
+      const grid::Grid<float> out = kernel->run_reference(input);
+      expect_bits_equal(out, reference,
+                        std::string("flow-routing ties isa=") +
+                            simd::to_string(isa));
+    }
   }
 }
 

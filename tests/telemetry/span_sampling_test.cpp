@@ -1,0 +1,110 @@
+// Span sampling (--span-sample=N): deterministic 1-in-N selection by a
+// hash of the mint counter. The same mint sequence must pick the same
+// subset on every run (and therefore for any --jobs split that preserves
+// per-context mint order), tracked spans behave exactly like unsampled
+// ones, and skipped spans are free no-ops.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "simkit/time.hpp"
+#include "telemetry/span.hpp"
+
+namespace das::telemetry {
+namespace {
+
+/// Mint `n` spans and return the mint positions (1-based) that were tracked.
+std::vector<std::uint64_t> tracked_positions(std::uint32_t sample_every,
+                                             std::uint64_t n) {
+  SpanTracker spans;
+  spans.set_enabled(true);
+  spans.set_sample_every(sample_every);
+  std::vector<std::uint64_t> positions;
+  for (std::uint64_t i = 1; i <= n; ++i) {
+    if (spans.begin(0, 0, 0) != 0) positions.push_back(i);
+  }
+  return positions;
+}
+
+TEST(SpanSamplingTest, SampleEveryOneTracksEverything) {
+  EXPECT_EQ(tracked_positions(1, 100).size(), 100U);
+}
+
+TEST(SpanSamplingTest, SelectionIsDeterministic) {
+  const auto first = tracked_positions(4, 2000);
+  const auto second = tracked_positions(4, 2000);
+  EXPECT_EQ(first, second);
+  ASSERT_FALSE(first.empty());
+}
+
+TEST(SpanSamplingTest, RateIsApproximatelyOneInN) {
+  for (const std::uint32_t n : {2U, 4U, 16U}) {
+    const auto tracked = tracked_positions(n, 8000);
+    const double rate = static_cast<double>(tracked.size()) / 8000.0;
+    EXPECT_NEAR(rate, 1.0 / n, 0.25 / n)
+        << "sample_every=" << n << " tracked " << tracked.size();
+  }
+}
+
+TEST(SpanSamplingTest, HashAvoidsPhaseLock) {
+  // A modulo on the raw counter would track exactly every N-th mint; a
+  // periodic workload (e.g. every N-th request is the expensive one) would
+  // then see 0% or 100% sampling. The hash must break that phase lock:
+  // consecutive tracked positions must not all sit at one residue.
+  const auto tracked = tracked_positions(4, 4000);
+  ASSERT_GT(tracked.size(), 10U);
+  bool mixed_residues = false;
+  for (std::size_t i = 1; i < tracked.size(); ++i) {
+    if (tracked[i] % 4 != tracked[0] % 4) {
+      mixed_residues = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(mixed_residues);
+}
+
+TEST(SpanSamplingTest, SkippedSpansAreFreeAndTrackedSpansAttribute) {
+  SpanTracker spans;
+  spans.set_enabled(true);
+  spans.set_sample_every(3);
+  std::uint64_t tracked_id = 0;
+  std::uint64_t minted = 0;
+  while (tracked_id == 0) {
+    tracked_id = spans.begin(1, 0, 0);
+    ++minted;
+    ASSERT_LT(minted, 100U) << "sampler never tracked a span";
+  }
+  // Charging a skipped span (id 0) is a no-op; the tracked span attributes.
+  spans.add(0, Hop::kDisk, sim::milliseconds(7));
+  spans.add(tracked_id, Hop::kDisk, sim::milliseconds(5));
+  spans.end(0, sim::milliseconds(9), 0);
+  spans.end(tracked_id, sim::milliseconds(9), 0);
+  EXPECT_EQ(spans.spans_finished(), 1U);
+  EXPECT_EQ(spans.hop_total(Hop::kDisk), sim::milliseconds(5));
+}
+
+TEST(SpanSamplingTest, MintCounterAdvancesForSkippedSpans) {
+  // Skipped mints still consume ids: two trackers with different sampling
+  // rates walk the same id sequence, so the sampled subset of one is a
+  // subset decision, not a renumbering.
+  SpanTracker dense;
+  dense.set_enabled(true);
+  SpanTracker sparse;
+  sparse.set_enabled(true);
+  sparse.set_sample_every(4);
+  std::vector<std::uint64_t> dense_ids;
+  std::vector<std::uint64_t> sparse_ids;
+  for (int i = 0; i < 200; ++i) {
+    dense_ids.push_back(dense.begin(0, 0, 0));
+    const std::uint64_t id = sparse.begin(0, 0, 0);
+    if (id != 0) sparse_ids.push_back(id);
+  }
+  // Every tracked sparse id appears at the same position in the dense walk.
+  for (const std::uint64_t id : sparse_ids) {
+    EXPECT_EQ(dense_ids[id - 1], id);
+  }
+}
+
+}  // namespace
+}  // namespace das::telemetry

@@ -23,6 +23,29 @@
 //           [--slo-target-ms=0] [--slo-budget=0.01] [--slo-window-s=1]
 //           [--kernel-isa=auto|scalar|sse2|avx2] [--calibrate-kernels]
 //           [--kernel-cost=NAME:FACTOR,...]
+//           [--access=strided:K|column|trace:FILE] [--span-sample=N]
+//
+// Sparse access (--access, src/core/list_access.hpp): instead of the full
+// raster sweep, read only every K-th row (strided:K), the middle column
+// (column), or the "offset length" runs of a trace file — each fetched run
+// padded with the kernel's stencil halo — through the list-I/O request
+// plane (pfs/region.hpp, DESIGN §15). TS then moves only runs + list
+// headers over the wire (client_server_bytes is the bytes-moved metric);
+// NAS/DAS still sweep the whole file (active storage computes every output)
+// and the table gains one "list-io ..." pricing line per row showing which
+// side the decision engine took. --access is semantic and joins the session
+// id only when given. Under traffic mode, --access=strided:K makes every
+// job fetch each strip's every-K-th 4 KiB row unit as one list request.
+//
+// --compute-mibps=auto runs the kernel calibration sweep once at startup
+// and feeds the measured anchor rate plus per-kernel cost factors into the
+// cluster (explicit --kernel-cost entries still win); the session id hashes
+// the *resolved* values, so runs calibrated on different machines do not
+// collide. --span-sample=N tracks 1 of every N request spans, chosen by a
+// deterministic hash of the span mint counter (the same subset for any
+// --jobs); multiply span hop totals by N to estimate whole-run attribution.
+// The flag implies --spans and, being observational, never joins the
+// session id.
 //
 // Vectorized kernel engine (src/kernels/simd.hpp): --kernel-isa pins the
 // data-mode kernels to a narrower instruction set than the CPU supports
@@ -182,10 +205,17 @@ std::string canonical_config(const das::runner::Args& args) {
   }
   // Appended only when given, so every pre-existing configuration keeps the
   // session id it had before the flag existed. (--kernel-isa is deliberately
-  // absent: all ISAs produce bit-identical outputs.)
+  // absent: all ISAs produce bit-identical outputs; --span-sample is absent
+  // because sampling is observational — it changes which spans are tracked,
+  // never the simulated byte flows.)
   if (const std::string kc = args.get("kernel-cost", ""); !kc.empty()) {
     out += "kernel-cost=";
     out += kc;
+    out += ';';
+  }
+  if (const std::string ac = args.get("access", ""); !ac.empty()) {
+    out += "access=";
+    out += ac;
     out += ';';
   }
   return out;
@@ -255,8 +285,21 @@ int main(int argc, char** argv) {
         static_cast<double>(args.get_int("nic-mibps", 110)) * 1024 * 1024;
     base.cluster.disk_bandwidth_bps =
         static_cast<double>(args.get_int("disk-mibps", 700)) * 1024 * 1024;
-    base.cluster.compute_rate_bps =
-        static_cast<double>(args.get_int("compute-mibps", 450)) * 1024 * 1024;
+    // --compute-mibps=auto runs the kernel calibration sweep once and feeds
+    // the measured anchor rate (and, below, the measured per-kernel cost
+    // factors) into the cluster, so the scheme decisions rest on this
+    // machine's real compute throughput. The resolved values join the
+    // session id (see below): two hosts calibrating differently are two
+    // different experiments.
+    std::optional<das::kernels::CalibrationReport> calibrated;
+    if (args.get("compute-mibps", "") == "auto") {
+      calibrated = das::kernels::calibrate_kernels();
+      base.cluster.compute_rate_bps = calibrated->anchor_mibps * 1024 * 1024;
+    } else {
+      base.cluster.compute_rate_bps =
+          static_cast<double>(args.get_int("compute-mibps", 450)) * 1024 *
+          1024;
+    }
     base.cluster.job_startup =
         das::sim::seconds(args.get_int("startup-s", 12));
     base.cluster.disk_jitter =
@@ -303,7 +346,15 @@ int main(int argc, char** argv) {
                         base.migration.divergence_threshold);
     // Calibrated per-kernel compute cost factors (--calibrate-kernels
     // prints a ready-made value). Empty = kernel defaults, bit for bit.
+    // Under --compute-mibps=auto the calibration's factors fill in every
+    // kernel an explicit --kernel-cost entry did not pin.
     base.cluster.compute_cost = parse_kernel_cost(args.get("kernel-cost", ""));
+    if (calibrated) {
+      for (const auto& k : calibrated->kernels) {
+        base.cluster.compute_cost.kernel_cost_factor.try_emplace(
+            k.name, k.cost_factor);
+      }
+    }
     const std::string trace_path = args.get("trace", "");
     const std::string audit_path = args.get("audit", "");
     std::optional<das::sim::LogLevel> log_level;
@@ -315,6 +366,15 @@ int main(int argc, char** argv) {
     }
     auto jobs = static_cast<unsigned>(args.get_int("jobs", 1));
     if (jobs == 0) jobs = das::runner::default_jobs();
+
+    // Sparse list-I/O access (--access=strided:K|column|trace:FILE): the
+    // classic sweep serves it through run_list_scheme (TS fetches only the
+    // runs, other schemes price the list but sweep in full); traffic mode
+    // supports the strided pattern on every job's strip reads.
+    das::core::AccessSpec access;
+    if (const std::string a = args.get("access", ""); !a.empty()) {
+      access = das::core::AccessSpec::parse(a);
+    }
 
     // Traffic mode (see header comment). All its flags are parsed here —
     // before the unknown-flag check — whether or not the mode engages.
@@ -351,6 +411,9 @@ int main(int argc, char** argv) {
     }
     traffic.straggler.hedge = args.get_bool("hedge", false);
     traffic.straggler.reroute = args.get_bool("reroute", false);
+    if (access.mode == das::core::AccessSpec::Mode::kStrided) {
+      traffic.access_stride = access.stride;
+    }
     const std::string slo_path = args.get("slo", "");
     const bool traffic_mode =
         traffic.arrivals.tenants > 1 || !traffic.trace_file.empty() ||
@@ -367,13 +430,21 @@ int main(int argc, char** argv) {
       throw std::invalid_argument("--metrics-period-ms must be > 0");
     }
     const bool spans_on = args.get_bool("spans", false);
+    // --span-sample=N tracks 1-in-N requests (deterministic hash of the
+    // span mint counter, so the subset is stable across --jobs); hop totals
+    // then represent ~1/N of the traffic. Giving the flag implies --spans.
+    const auto span_sample = args.get_int("span-sample", 1);
+    if (span_sample < 1) {
+      throw std::invalid_argument("--span-sample must be >= 1");
+    }
     const std::string flight_path = args.get("flight-record", "");
     const double slo_target_ms = args.get_double("slo-target-ms", 0.0);
     const std::string diag_path = args.get("diag", "");
     das::telemetry::PlaneConfig plane_cfg;
     plane_cfg.metrics = !metrics_path.empty() || !metrics_prom_path.empty();
     plane_cfg.prometheus = !metrics_prom_path.empty();
-    plane_cfg.spans = spans_on || !flight_path.empty();
+    plane_cfg.spans = spans_on || !flight_path.empty() || span_sample > 1;
+    plane_cfg.span_sample = static_cast<std::uint32_t>(span_sample);
     plane_cfg.sample_period = das::sim::milliseconds(metrics_period_ms);
     plane_cfg.slo.target_s = slo_target_ms / 1000.0;
     plane_cfg.slo.budget = args.get_double("slo-budget", 0.01);
@@ -384,8 +455,19 @@ int main(int argc, char** argv) {
     if (plane_active) {
       plane = std::make_unique<das::telemetry::Plane>(plane_cfg);
     }
-    const std::uint64_t session =
-        das::telemetry::session_hash(canonical_config(args));
+    // --compute-mibps=auto resolves to machine-measured rates, so the
+    // session id must record what was actually simulated, not the word
+    // "auto": the resolved values are appended to the canonical string.
+    std::string canonical = canonical_config(args);
+    if (calibrated) {
+      char resolved[64];
+      std::snprintf(resolved, sizeof resolved,
+                    "resolved-compute-mibps=%.1f;", calibrated->anchor_mibps);
+      canonical += resolved;
+      canonical +=
+          "resolved-kernel-cost=" + calibrated->kernel_cost_flag() + ';';
+    }
+    const std::uint64_t session = das::telemetry::session_hash(canonical);
     const std::string session_hex = das::telemetry::session_hex(session);
 
     if (const std::string u = args.unused(); !u.empty()) {
@@ -394,6 +476,12 @@ int main(int argc, char** argv) {
     }
 
     if (traffic_mode) {
+      if (access.active() &&
+          access.mode != das::core::AccessSpec::Mode::kStrided) {
+        throw std::invalid_argument(
+            "traffic mode supports --access=strided:K only (column and "
+            "trace patterns need the classic sweep's raster geometry)");
+      }
       das::sim::RunContext context;
       if (!trace_path.empty()) context.tracer.enable();
       if (log_level) context.log.set_level(*log_level);
@@ -497,6 +585,19 @@ int main(int argc, char** argv) {
     std::vector<RunReport> reports(cells.size());
     das::runner::parallel_for_indexed(
         jobs, cells.size(), [&](std::size_t i) {
+          if (access.active()) {
+            das::core::ListRunOptions o;
+            o.scheme = cells[i].scheme;
+            o.workload = base.workload;
+            o.workload.kernel_name = cells[i].kernel;
+            o.access = access;
+            o.cluster = base.cluster;
+            o.cluster.seed = base.cluster.seed + cells[i].trial * 1000003;
+            o.distribution = base.distribution;
+            o.context = contexts[i].get();
+            reports[i] = das::core::run_list_scheme(o);
+            return;
+          }
           das::core::SchemeRunOptions o = base;
           o.scheme = cells[i].scheme;
           o.workload.kernel_name = cells[i].kernel;
@@ -538,6 +639,15 @@ int main(int argc, char** argv) {
     }
     if (!csv) {
       std::printf("\n%s", das::core::format_report_table(table).c_str());
+      if (access.active()) {
+        // One list-I/O pricing line per table row: what the access cost as
+        // a list request and why the decision engine picked its side.
+        for (const RunReport& r : table) {
+          std::printf("list-io %s %s %s: %s\n", r.scheme.c_str(),
+                      r.kernel.c_str(), access.label().c_str(),
+                      r.decision_note.c_str());
+        }
+      }
     }
 
     if (!trace_path.empty()) {
